@@ -1,0 +1,84 @@
+//! The dense LU baseline.
+
+use hodlr_la::lu::SingularError;
+use hodlr_la::{DenseMatrix, LuFactor, Scalar};
+
+/// A plain dense LU direct solver: `O(N^2)` storage and `O(N^3)` work.
+///
+/// It exists so the benchmark harnesses can show where the HODLR solvers
+/// overtake the classical approach (and so small problems have an exact
+/// reference).
+pub struct DenseLuSolver<T: Scalar> {
+    lu: LuFactor<T>,
+    n: usize,
+}
+
+impl<T: Scalar> DenseLuSolver<T> {
+    /// Factorize a dense matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the matrix is numerically singular.
+    pub fn new(a: &DenseMatrix<T>) -> Result<Self, SingularError> {
+        assert_eq!(a.rows(), a.cols(), "dense LU needs a square matrix");
+        Ok(DenseLuSolver {
+            lu: LuFactor::new(a)?,
+            n: a.rows(),
+        })
+    }
+
+    /// Problem size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solve for one right-hand side.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        self.lu.solve_vec(b)
+    }
+
+    /// Solve for several right-hand sides.
+    pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+        self.lu.solve_matrix(b)
+    }
+
+    /// Storage of the factorization in scalar entries (`N^2`).
+    pub fn storage_entries(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// The `O(N^3)` operation count of the factorization, for the Flop/s
+    /// figures.
+    pub fn factorization_flops(&self) -> u64 {
+        2 * (self.n as u64).pow(3) / 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr_la::random::{random_diag_dominant, random_vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solves_a_random_system() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: DenseMatrix<f64> = random_diag_dominant(&mut rng, 30);
+        let solver = DenseLuSolver::new(&a).unwrap();
+        let b: Vec<f64> = random_vector(&mut rng, 30);
+        let x = solver.solve(&b);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!((l - r).abs() < 1e-10);
+        }
+        assert_eq!(solver.n(), 30);
+        assert_eq!(solver.storage_entries(), 900);
+        assert_eq!(solver.factorization_flops(), 2 * 27000 / 3);
+    }
+
+    #[test]
+    fn reports_singularity() {
+        let a = DenseMatrix::<f64>::zeros(4, 4);
+        assert!(DenseLuSolver::new(&a).is_err());
+    }
+}

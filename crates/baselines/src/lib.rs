@@ -1,0 +1,19 @@
+//! # hodlr-baselines — reference solvers the paper compares against
+//!
+//! * [`DenseLuSolver`] — the classical `O(N^3)` dense LU direct solver; the
+//!   baseline every fast method is ultimately measured against and the
+//!   comparison that motivates hierarchical low-rank formats in the first
+//!   place (Section I-A).
+//! * [`HodlrlibStyleSolver`] — a recursive HODLR factorization in the style
+//!   of the HODLRlib library the paper benchmarks in Table III: per-node
+//!   storage of the `Y = A_node^{-1} U_node` bases and of the coupling
+//!   matrices, with parallelism only *across* nodes of the same tree level
+//!   (HODLRlib uses an OpenMP `parallel for`; here rayon).  There is no
+//!   batching and no flattened data structure — precisely the overheads the
+//!   paper's contribution removes.
+
+pub mod dense;
+pub mod hodlrlib;
+
+pub use dense::DenseLuSolver;
+pub use hodlrlib::{HodlrlibFactorization, HodlrlibStyleSolver};

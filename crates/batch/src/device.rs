@@ -1,0 +1,309 @@
+//! The virtual device: counters, launch metering, and the PCIe model.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Direction of an explicit host/device transfer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TransferDirection {
+    /// Host to device (`cudaMemcpyHostToDevice`).
+    HostToDevice,
+    /// Device to host (`cudaMemcpyDeviceToHost`).
+    DeviceToHost,
+}
+
+/// A snapshot of the device counters, cheap to copy and subtract.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Number of batched-kernel launches issued so far.
+    pub kernel_launches: u64,
+    /// Number of individual problems executed across all batches.
+    pub batch_entries: u64,
+    /// Floating-point operations executed by the kernels.
+    pub flops: u64,
+    /// Bytes copied host → device.
+    pub h2d_bytes: u64,
+    /// Bytes copied device → host.
+    pub d2h_bytes: u64,
+    /// Bytes currently allocated in device buffers.
+    pub allocated_bytes: u64,
+    /// High-water mark of allocated device memory.
+    pub peak_allocated_bytes: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter-wise difference `self - earlier`, used to meter a single
+    /// phase (e.g. factorization only).  Allocation gauges are carried over
+    /// from `self`.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            batch_entries: self.batch_entries - earlier.batch_entries,
+            flops: self.flops - earlier.flops,
+            h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
+            d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
+            allocated_bytes: self.allocated_bytes,
+            peak_allocated_bytes: self.peak_allocated_bytes,
+        }
+    }
+
+    /// GFlop/s for this snapshot given an elapsed wall-clock time.
+    pub fn gflops(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / elapsed_secs / 1.0e9
+    }
+}
+
+/// The virtual batched-BLAS device.
+///
+/// A `Device` is shared by reference; all counters use atomics so that
+/// kernels running on rayon worker threads can report their work without
+/// locking.  The default configuration mirrors the paper's testbed: a PCIe
+/// 3.0 ×16 link (15.75 GB/s peak, ~12 GB/s achieved) between host and device.
+#[derive(Debug)]
+pub struct Device {
+    kernel_launches: AtomicU64,
+    batch_entries: AtomicU64,
+    flops: AtomicU64,
+    h2d_bytes: AtomicU64,
+    d2h_bytes: AtomicU64,
+    allocated_bytes: AtomicU64,
+    peak_allocated_bytes: AtomicU64,
+    /// Achievable host↔device bandwidth in bytes per second (simulated).
+    pcie_bytes_per_sec: f64,
+    /// Device memory capacity in bytes (the V100 of the paper has 32 GB).
+    memory_capacity: u64,
+    /// Whether batched kernels may run batch entries in parallel.
+    parallel: bool,
+    /// Launch log guarded by a mutex (used by tests and the launch report).
+    launch_log: Mutex<Vec<LaunchRecord>>,
+    log_launches: bool,
+}
+
+/// One record in the (optional) launch log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// Kernel name, e.g. `"gemm_strided_batched"`.
+    pub kernel: &'static str,
+    /// Number of problems in the batch.
+    pub batch: usize,
+    /// Stream label the launch was issued on (0 = default stream).
+    pub stream: usize,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Device {
+    /// A device with the paper's default configuration (PCIe 3.0 ×16,
+    /// 32 GB of memory, parallel batched kernels).
+    pub fn new() -> Self {
+        Device {
+            kernel_launches: AtomicU64::new(0),
+            batch_entries: AtomicU64::new(0),
+            flops: AtomicU64::new(0),
+            h2d_bytes: AtomicU64::new(0),
+            d2h_bytes: AtomicU64::new(0),
+            allocated_bytes: AtomicU64::new(0),
+            peak_allocated_bytes: AtomicU64::new(0),
+            pcie_bytes_per_sec: 12.0e9,
+            memory_capacity: 32 * (1 << 30),
+            parallel: true,
+            launch_log: Mutex::new(Vec::new()),
+            log_launches: false,
+        }
+    }
+
+    /// A device whose batched kernels execute batch entries sequentially.
+    /// Used by tests to compare against the parallel path and by the
+    /// "single-core" ablation benchmarks.
+    pub fn sequential() -> Self {
+        Device {
+            parallel: false,
+            ..Device::new()
+        }
+    }
+
+    /// Enable the launch log (records every kernel launch).  Off by default
+    /// because the log grows with the number of launches.
+    pub fn with_launch_log(mut self) -> Self {
+        self.log_launches = true;
+        self
+    }
+
+    /// Override the simulated PCIe bandwidth (bytes per second).
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.pcie_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Override the simulated device memory capacity in bytes.
+    pub fn with_memory_capacity(mut self, bytes: u64) -> Self {
+        self.memory_capacity = bytes;
+        self
+    }
+
+    /// Whether batched kernels run their batch entries in parallel.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Simulated device memory capacity in bytes.
+    pub fn memory_capacity(&self) -> u64 {
+        self.memory_capacity
+    }
+
+    /// Record a batched kernel launch executing `batch` problems and
+    /// `flops` floating-point operations.
+    pub fn record_launch(&self, kernel: &'static str, batch: usize, flops: u64, stream: usize) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.batch_entries.fetch_add(batch as u64, Ordering::Relaxed);
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+        if self.log_launches {
+            self.launch_log.lock().push(LaunchRecord {
+                kernel,
+                batch,
+                stream,
+            });
+        }
+    }
+
+    /// Record an explicit host/device transfer of `bytes` bytes.
+    pub fn record_transfer(&self, direction: TransferDirection, bytes: u64) {
+        match direction {
+            TransferDirection::HostToDevice => {
+                self.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            TransferDirection::DeviceToHost => {
+                self.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record a device allocation of `bytes` bytes.
+    pub(crate) fn record_alloc(&self, bytes: u64) {
+        let now = self.allocated_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_allocated_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record the release of a device allocation of `bytes` bytes.
+    pub(crate) fn record_free(&self, bytes: u64) {
+        self.allocated_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Simulated wall-clock time to transfer `bytes` over the PCIe link.
+    pub fn transfer_time_secs(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.pcie_bytes_per_sec
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            batch_entries: self.batch_entries.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            allocated_bytes: self.allocated_bytes.load(Ordering::Relaxed),
+            peak_allocated_bytes: self.peak_allocated_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters (allocation gauges included) to zero.
+    pub fn reset_counters(&self) {
+        self.kernel_launches.store(0, Ordering::Relaxed);
+        self.batch_entries.store(0, Ordering::Relaxed);
+        self.flops.store(0, Ordering::Relaxed);
+        self.h2d_bytes.store(0, Ordering::Relaxed);
+        self.d2h_bytes.store(0, Ordering::Relaxed);
+        self.peak_allocated_bytes
+            .store(self.allocated_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.launch_log.lock().clear();
+    }
+
+    /// A copy of the launch log (empty unless [`Device::with_launch_log`]
+    /// was used).
+    pub fn launch_log(&self) -> Vec<LaunchRecord> {
+        self.launch_log.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let dev = Device::new();
+        dev.record_launch("gemm_strided_batched", 8, 1000, 0);
+        dev.record_launch("getrf_batched", 4, 500, 1);
+        dev.record_transfer(TransferDirection::HostToDevice, 64);
+        dev.record_transfer(TransferDirection::DeviceToHost, 16);
+        let c = dev.counters();
+        assert_eq!(c.kernel_launches, 2);
+        assert_eq!(c.batch_entries, 12);
+        assert_eq!(c.flops, 1500);
+        assert_eq!(c.h2d_bytes, 64);
+        assert_eq!(c.d2h_bytes, 16);
+        dev.reset_counters();
+        assert_eq!(dev.counters().kernel_launches, 0);
+        assert_eq!(dev.counters().flops, 0);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let dev = Device::new();
+        dev.record_launch("a", 1, 100, 0);
+        let before = dev.counters();
+        dev.record_launch("b", 2, 250, 0);
+        let delta = dev.counters().since(&before);
+        assert_eq!(delta.kernel_launches, 1);
+        assert_eq!(delta.batch_entries, 2);
+        assert_eq!(delta.flops, 250);
+    }
+
+    #[test]
+    fn launch_log_records_kernels() {
+        let dev = Device::new().with_launch_log();
+        dev.record_launch("gemm_strided_batched", 3, 0, 7);
+        let log = dev.launch_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kernel, "gemm_strided_batched");
+        assert_eq!(log[0].batch, 3);
+        assert_eq!(log[0].stream, 7);
+    }
+
+    #[test]
+    fn bandwidth_model() {
+        let dev = Device::new().with_bandwidth(10.0e9);
+        let t = dev.transfer_time_secs(20_000_000_000);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gflops_computation() {
+        let snap = CounterSnapshot {
+            flops: 2_000_000_000,
+            ..Default::default()
+        };
+        assert!((snap.gflops(1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(snap.gflops(0.0), 0.0);
+    }
+
+    #[test]
+    fn allocation_gauges_track_peak() {
+        let dev = Device::new();
+        dev.record_alloc(100);
+        dev.record_alloc(50);
+        dev.record_free(100);
+        dev.record_alloc(10);
+        let c = dev.counters();
+        assert_eq!(c.allocated_bytes, 60);
+        assert_eq!(c.peak_allocated_bytes, 150);
+    }
+}

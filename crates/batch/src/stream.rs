@@ -1,0 +1,113 @@
+//! Streams: labelled launch queues.
+//!
+//! On a real GPU, launching independent gemms on separate CUDA streams lets
+//! the hardware overlap small kernels; the paper uses this for the top few
+//! tree levels where the batch size is tiny (Section III-C).  On the virtual
+//! device a stream is a bookkeeping label carried into the launch log, plus a
+//! "synchronise" no-op so that calling code reads like the GPU original.
+
+/// A launch queue label.  Stream 0 is the default stream.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Stream {
+    id: usize,
+}
+
+impl Default for Stream {
+    fn default() -> Self {
+        Stream { id: 0 }
+    }
+}
+
+impl Stream {
+    /// The default stream (id 0).
+    pub fn default_stream() -> Self {
+        Stream::default()
+    }
+
+    /// Create a stream with an explicit id.
+    pub fn with_id(id: usize) -> Self {
+        Stream { id }
+    }
+
+    /// The stream id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Block until all work on the stream has completed.  The virtual device
+    /// executes kernels synchronously, so this is a no-op kept for API parity
+    /// with `cudaStreamSynchronize`.
+    pub fn synchronize(&self) {}
+}
+
+/// A small pool of streams, handed out round-robin; mirrors the way the
+/// paper cycles independent gemms over a fixed set of CUDA streams at the
+/// top levels of the tree.
+#[derive(Clone, Debug)]
+pub struct StreamPool {
+    streams: Vec<Stream>,
+    next: usize,
+}
+
+impl StreamPool {
+    /// A pool of `n` streams with ids `1..=n` (0 is reserved for the default
+    /// stream).
+    pub fn new(n: usize) -> Self {
+        StreamPool {
+            streams: (1..=n).map(Stream::with_id).collect(),
+            next: 0,
+        }
+    }
+
+    /// Number of streams in the pool.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` when the pool holds no streams.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Hand out the next stream, cycling through the pool.
+    pub fn next_stream(&mut self) -> Stream {
+        if self.streams.is_empty() {
+            return Stream::default();
+        }
+        let s = self.streams[self.next % self.streams.len()];
+        self.next += 1;
+        s
+    }
+
+    /// Synchronise every stream in the pool.
+    pub fn synchronize_all(&self) {
+        for s in &self.streams {
+            s.synchronize();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_has_id_zero() {
+        assert_eq!(Stream::default_stream().id(), 0);
+    }
+
+    #[test]
+    fn pool_hands_out_streams_round_robin() {
+        let mut pool = StreamPool::new(3);
+        let ids: Vec<usize> = (0..7).map(|_| pool.next_stream().id()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 1, 2, 3, 1]);
+        pool.synchronize_all();
+    }
+
+    #[test]
+    fn empty_pool_falls_back_to_default_stream() {
+        let mut pool = StreamPool::new(0);
+        assert!(pool.is_empty());
+        assert_eq!(pool.next_stream().id(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the virtual device's batched kernels
+//! themselves (the building blocks of Algorithms 3-4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hodlr_batch::{gemm_strided_batched, getrf_strided_batched, Device, DeviceBuffer, Stream};
+use hodlr_la::Op;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_kernels");
+    group.sample_size(20);
+    let device = Device::new();
+    let batch = 64;
+    let m = 64;
+    let a = DeviceBuffer::<f64>::from_host(&device, &vec![0.5; m * m * batch]);
+    let b = DeviceBuffer::<f64>::from_host(&device, &vec![0.25; m * m * batch]);
+    group.bench_function("gemm_strided_batched_64x64x64_batch64", |bch| {
+        bch.iter(|| {
+            let mut c_buf = DeviceBuffer::<f64>::zeros(&device, m * m * batch);
+            gemm_strided_batched(
+                &device, Stream::default(), Op::None, Op::None, m, m, m, 1.0,
+                &a, m, m * m, &b, m, m * m, 0.0, &mut c_buf, m, m * m, batch,
+            );
+        })
+    });
+    group.bench_function("getrf_strided_batched_64_batch64", |bch| {
+        bch.iter(|| {
+            let mut work = DeviceBuffer::<f64>::from_host(&device, &diag_dominant_host(m, batch));
+            getrf_strided_batched(&device, Stream::default(), m, &mut work, m, m * m, batch).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn diag_dominant_host(m: usize, batch: usize) -> Vec<f64> {
+    let mut host = vec![0.1; m * m * batch];
+    for k in 0..batch {
+        for i in 0..m {
+            host[k * m * m + i * m + i] = m as f64;
+        }
+    }
+    host
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark backing Fig. 5: batched factorization across
+//! two problem sizes so the scaling trend is visible in the report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hodlr_batch::Device;
+use hodlr_bench::rpy_hodlr;
+use hodlr_core::GpuSolver;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_scaling");
+    group.sample_size(10);
+    for n in [3 * 256usize, 3 * 512] {
+        let matrix = rpy_hodlr(n, 1e-10);
+        group.bench_with_input(BenchmarkId::new("batched_factorize", n), &matrix, |bch, m| {
+            bch.iter(|| {
+                let device = Device::new();
+                let mut gpu = GpuSolver::new(&device, m);
+                gpu.factorize().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

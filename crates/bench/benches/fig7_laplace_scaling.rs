@@ -1,0 +1,21 @@
+//! Criterion micro-benchmark backing Fig. 7: Laplace-BIE solve scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hodlr_bench::laplace_hodlr;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_laplace_scaling");
+    group.sample_size(10);
+    for n in [512usize, 1024] {
+        let (_bie, matrix) = laplace_hodlr(n, 1e-8);
+        let factor = matrix.factorize_serial().unwrap();
+        let b = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::new("serial_solve", n), &factor, |bch, f| {
+            bch.iter(|| f.solve(&b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

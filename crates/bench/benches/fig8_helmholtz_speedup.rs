@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark backing Fig. 8: batched vs block-sparse solve
+//! on the Helmholtz workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hodlr_batch::Device;
+use hodlr_bench::helmholtz_hodlr;
+use hodlr_bench::workloads::resolved_kappa;
+use hodlr_core::GpuSolver;
+use hodlr_la::Complex64;
+use hodlr_sparse::ExtendedSystem;
+
+fn bench(c: &mut Criterion) {
+    let n = 1024;
+    let (_bie, matrix) = helmholtz_hodlr(n, resolved_kappa(n), 1e-6);
+    let b = vec![Complex64::new(1.0, 0.0); n];
+    let mut group = c.benchmark_group("fig8_helmholtz_speedup");
+    group.sample_size(10);
+
+    let device = Device::new();
+    let mut gpu = GpuSolver::new(&device, &matrix);
+    gpu.factorize().unwrap();
+    group.bench_function("batched_solve", |bch| bch.iter(|| gpu.solve(&b)));
+
+    let block_sparse = ExtendedSystem::new(&matrix).factorize(true).unwrap();
+    group.bench_function("block_sparse_solve", |bch| bch.iter(|| block_sparse.solve(&b)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion micro-benchmark backing Fig. 9: the flop-heavy batched
+//! factorization kernel sequence, whose metered flop count divided by the
+//! measured time gives the GFlop/s series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hodlr_batch::Device;
+use hodlr_bench::kernel_hodlr;
+use hodlr_core::GpuSolver;
+
+fn bench(c: &mut Criterion) {
+    let matrix = kernel_hodlr(2048, 1e-10);
+    let mut group = c.benchmark_group("fig9_flops");
+    group.sample_size(10);
+    group.bench_function("batched_factorize_2048", |bch| {
+        bch.iter(|| {
+            let device = Device::new();
+            let mut gpu = GpuSolver::new(&device, &matrix);
+            gpu.factorize().unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark backing Table III: factorization and solve of
+//! a scaled-down RPY kernel matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hodlr_batch::Device;
+use hodlr_bench::rpy_hodlr;
+use hodlr_core::GpuSolver;
+
+fn bench(c: &mut Criterion) {
+    let matrix = rpy_hodlr(3 * 256, 1e-10);
+    let b = vec![1.0; matrix.n()];
+    let mut group = c.benchmark_group("table3_rpy");
+    group.sample_size(10);
+    group.bench_function("serial_factorize", |bch| {
+        bch.iter(|| matrix.factorize_serial().unwrap())
+    });
+    let factor = matrix.factorize_serial().unwrap();
+    group.bench_function("serial_solve", |bch| bch.iter(|| factor.solve(&b)));
+    group.bench_function("batched_factorize", |bch| {
+        bch.iter(|| {
+            let device = Device::new();
+            let mut gpu = GpuSolver::new(&device, &matrix);
+            gpu.factorize().unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion micro-benchmark backing Table IV: the Laplace BIE workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hodlr_bench::laplace_hodlr;
+use hodlr_sparse::ExtendedSystem;
+
+fn bench(c: &mut Criterion) {
+    let (_bie, matrix) = laplace_hodlr(1024, 1e-10);
+    let b = vec![1.0; matrix.n()];
+    let mut group = c.benchmark_group("table4_laplace");
+    group.sample_size(10);
+    group.bench_function("serial_factorize", |bch| {
+        bch.iter(|| matrix.factorize_serial().unwrap())
+    });
+    let factor = matrix.factorize_serial().unwrap();
+    group.bench_function("serial_solve", |bch| bch.iter(|| factor.solve(&b)));
+    group.bench_function("block_sparse_factorize", |bch| {
+        bch.iter(|| ExtendedSystem::new(&matrix).factorize(true).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

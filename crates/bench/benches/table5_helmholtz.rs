@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark backing Table V: the Helmholtz BIE workload
+//! (complex arithmetic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hodlr_batch::Device;
+use hodlr_bench::helmholtz_hodlr;
+use hodlr_bench::workloads::resolved_kappa;
+use hodlr_core::GpuSolver;
+use hodlr_la::Complex64;
+
+fn bench(c: &mut Criterion) {
+    let n = 1024;
+    let (_bie, matrix) = helmholtz_hodlr(n, resolved_kappa(n), 1e-6);
+    let b = vec![Complex64::new(1.0, 0.5); matrix.n()];
+    let mut group = c.benchmark_group("table5_helmholtz");
+    group.sample_size(10);
+    group.bench_function("serial_factorize", |bch| {
+        bch.iter(|| matrix.factorize_serial().unwrap())
+    });
+    group.bench_function("batched_factorize_and_solve", |bch| {
+        bch.iter(|| {
+            let device = Device::new();
+            let mut gpu = GpuSolver::new(&device, &matrix);
+            gpu.factorize().unwrap();
+            gpu.solve(&b)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 5: factorization and solve time vs N for the Table III workload,
+//! as CSV series plus fitted scaling exponents against the paper's
+//! O(N log^2 N) and O(N) guide lines.
+
+use hodlr_bench::harness::fitted_exponent;
+use hodlr_bench::{measure_solvers, print_csv, rpy_hodlr, MeasureConfig, SolverRow};
+
+fn main() {
+    let args = hodlr_bench::parse_args(
+        &[3 * 512, 3 * 1024, 3 * 2048, 3 * 4096],
+        &[1 << 17, 1 << 18, 1 << 19, 1 << 20, 1 << 21],
+    );
+    let mut rows: Vec<SolverRow> = Vec::new();
+    for &n in &args.sizes {
+        let matrix = rpy_hodlr(n, 1e-12);
+        let config = MeasureConfig {
+            serial_hodlr: true,
+            hodlrlib: n <= args.baseline_cap,
+            block_sparse_seq: false,
+            block_sparse_par: false,
+            gpu_hodlr: true,
+            dense: false,
+        };
+        rows.extend(measure_solvers(&matrix, &config));
+    }
+    print_csv("Fig. 5 series (RPY kernel)", &rows);
+    for solver in ["Serial HODLR Solver", "HODLRlib-style Solver", "GPU HODLR Solver"] {
+        let factor: Vec<(usize, f64)> = rows
+            .iter()
+            .filter(|r| r.solver == solver)
+            .map(|r| (r.n, r.t_factor))
+            .collect();
+        let solve: Vec<(usize, f64)> = rows
+            .iter()
+            .filter(|r| r.solver == solver)
+            .map(|r| (r.n, r.t_solve))
+            .collect();
+        if factor.len() >= 2 {
+            println!(
+                "{solver}: factorization ~ N^{:.2} (paper guide: N log^2 N), solve ~ N^{:.2} (paper guide: N)",
+                fitted_exponent(&factor),
+                fitted_exponent(&solve)
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig. 7: scaling of the Table IV solvers (CSV series + fitted exponents).
+
+use hodlr_bench::harness::fitted_exponent;
+use hodlr_bench::{laplace_hodlr, measure_solvers, print_csv, MeasureConfig, SolverRow};
+
+fn main() {
+    let args = hodlr_bench::parse_args(
+        &[1 << 10, 1 << 11, 1 << 12, 1 << 13],
+        &[1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22],
+    );
+    for (label, tol) in [("high accuracy", 1e-12), ("low accuracy", 1e-4)] {
+        let mut rows: Vec<SolverRow> = Vec::new();
+        for &n in &args.sizes {
+            let (_bie, matrix) = laplace_hodlr(n, tol);
+            let config = MeasureConfig {
+                serial_hodlr: false,
+                hodlrlib: false,
+                block_sparse_seq: n <= args.baseline_cap,
+                block_sparse_par: n <= args.baseline_cap,
+                gpu_hodlr: true,
+                dense: false,
+            };
+            rows.extend(measure_solvers(&matrix, &config));
+        }
+        print_csv(&format!("Fig. 7 series, Laplace BIE, {label}"), &rows);
+        for solver in ["Serial Block-Sparse Solver", "Parallel Block-Sparse Solver", "GPU HODLR Solver"] {
+            let factor: Vec<(usize, f64)> = rows
+                .iter()
+                .filter(|r| r.solver == solver)
+                .map(|r| (r.n, r.t_factor))
+                .collect();
+            if factor.len() >= 2 {
+                println!("{label} / {solver}: factorization ~ N^{:.2}", fitted_exponent(&factor));
+            }
+        }
+        println!();
+    }
+}

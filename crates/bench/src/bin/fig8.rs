@@ -1,0 +1,41 @@
+//! Fig. 8: speedup of the GPU-style solver over the parallel block-sparse
+//! solver on the Helmholtz workload.
+
+use hodlr_bench::workloads::resolved_kappa;
+use hodlr_bench::{helmholtz_hodlr, measure_solvers, print_csv, MeasureConfig, SolverRow};
+
+fn main() {
+    let args = hodlr_bench::parse_args(
+        &[1 << 10, 1 << 11, 1 << 12],
+        &[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19],
+    );
+    for (label, tol) in [("high accuracy", 1e-10), ("low accuracy", 1e-4)] {
+        let mut rows: Vec<SolverRow> = Vec::new();
+        for &n in &args.sizes {
+            let kappa = if args.full { 100.0 } else { resolved_kappa(n) };
+            let (_bie, matrix) = helmholtz_hodlr(n, kappa, tol);
+            let config = MeasureConfig {
+                serial_hodlr: false,
+                hodlrlib: false,
+                block_sparse_seq: false,
+                block_sparse_par: n <= args.baseline_cap,
+                gpu_hodlr: true,
+                dense: false,
+            };
+            rows.extend(measure_solvers(&matrix, &config));
+        }
+        print_csv(&format!("Fig. 8 series, Helmholtz BIE, {label}"), &rows);
+        for &n in &args.sizes {
+            let bs = rows.iter().find(|r| r.n == n && r.solver.starts_with("Parallel Block"));
+            let gpu = rows.iter().find(|r| r.n == n && r.solver.starts_with("GPU"));
+            if let (Some(bs), Some(gpu)) = (bs, gpu) {
+                println!(
+                    "{label}, N = {n}: factorization speedup {:.2}x, solve speedup {:.2}x",
+                    bs.t_factor / gpu.t_factor,
+                    bs.t_solve / gpu.t_solve
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Fig. 9: achieved GFlop/s of the factorization and the solve as a
+//! function of N (metered flops on the virtual device for the GPU-style
+//! solver, analytic Theorem-3/4 counts for the others).
+
+use hodlr_bench::workloads::resolved_kappa;
+use hodlr_bench::{helmholtz_hodlr, measure_solvers, MeasureConfig};
+
+fn main() {
+    let args = hodlr_bench::parse_args(
+        &[1 << 10, 1 << 11, 1 << 12],
+        &[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19],
+    );
+    println!("# Fig. 9: GFlop/s for the Helmholtz workload (high accuracy)");
+    println!("solver,N,factor_gflops,solve_gflops");
+    for &n in &args.sizes {
+        let kappa = if args.full { 100.0 } else { resolved_kappa(n) };
+        let (_bie, matrix) = helmholtz_hodlr(n, kappa, 1e-10);
+        let config = MeasureConfig {
+            serial_hodlr: true,
+            hodlrlib: false,
+            block_sparse_seq: false,
+            block_sparse_par: false,
+            gpu_hodlr: true,
+            dense: false,
+        };
+        for row in measure_solvers(&matrix, &config) {
+            println!(
+                "{},{},{:.3},{:.3}",
+                row.solver,
+                row.n,
+                row.factor_gflops.unwrap_or(f64::NAN),
+                row.solve_gflops.unwrap_or(f64::NAN)
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Table IV: Laplace exterior BIE (Eq. 21), high-accuracy (a) and
+//! low-accuracy (b) solvers, four-solver comparison.
+
+use hodlr_bench::{laplace_hodlr, measure_solvers, print_table, MeasureConfig};
+
+fn main() {
+    let args = hodlr_bench::parse_args(
+        &[1 << 11, 1 << 12, 1 << 13],
+        &[1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22],
+    );
+    for (label, tol) in [("(a) high accuracy, tol 1e-12", 1e-12), ("(b) low accuracy, tol 1e-4", 1e-4)] {
+        for &n in &args.sizes {
+            let (_bie, matrix) = laplace_hodlr(n, tol);
+            let config = MeasureConfig {
+                serial_hodlr: true,
+                hodlrlib: false,
+                block_sparse_seq: n <= args.baseline_cap,
+                block_sparse_par: n <= args.baseline_cap,
+                gpu_hodlr: true,
+                dense: false,
+            };
+            let rows = measure_solvers(&matrix, &config);
+            print_table(&format!("Table IV {label}, N = {n}"), &rows);
+        }
+    }
+}

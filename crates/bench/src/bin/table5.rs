@@ -1,0 +1,31 @@
+//! Table V: Helmholtz combined-field BIE (Eq. 24), high-accuracy fast
+//! direct solver (a) and low-accuracy preconditioner (b).
+
+use hodlr_bench::workloads::resolved_kappa;
+use hodlr_bench::{helmholtz_hodlr, measure_solvers, print_table, MeasureConfig};
+
+fn main() {
+    let args = hodlr_bench::parse_args(
+        &[1 << 10, 1 << 11, 1 << 12],
+        &[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20],
+    );
+    for (label, tol) in [("(a) high accuracy, tol 1e-10", 1e-10), ("(b) low accuracy, tol 1e-4", 1e-4)] {
+        for &n in &args.sizes {
+            let kappa = if args.full { 100.0 } else { resolved_kappa(n) };
+            let (_bie, matrix) = helmholtz_hodlr(n, kappa, tol);
+            let config = MeasureConfig {
+                serial_hodlr: true,
+                hodlrlib: false,
+                block_sparse_seq: n <= args.baseline_cap,
+                block_sparse_par: n <= args.baseline_cap,
+                gpu_hodlr: true,
+                dense: false,
+            };
+            let rows = measure_solvers(&matrix, &config);
+            print_table(
+                &format!("Table V {label}, kappa = eta = {kappa:.1}, N = {n}"),
+                &rows,
+            );
+        }
+    }
+}

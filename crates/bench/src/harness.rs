@@ -1,0 +1,282 @@
+//! Timing harness shared by every table/figure binary.
+
+use hodlr_baselines::{DenseLuSolver, HodlrlibStyleSolver};
+use hodlr_batch::Device;
+use hodlr_core::{ComplexityReport, GpuSolver, HodlrMatrix};
+use hodlr_la::{RealScalar, Scalar};
+use hodlr_sparse::ExtendedSystem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// What to measure for one problem size.
+#[derive(Copy, Clone, Debug)]
+pub struct MeasureConfig {
+    /// Run the serial flattened HODLR solver (Algorithms 1–2).
+    pub serial_hodlr: bool,
+    /// Run the HODLRlib-style recursive solver.
+    pub hodlrlib: bool,
+    /// Run the sequential block-sparse solver.
+    pub block_sparse_seq: bool,
+    /// Run the parallel block-sparse solver.
+    pub block_sparse_par: bool,
+    /// Run the GPU-style batched solver on the virtual device.
+    pub gpu_hodlr: bool,
+    /// Run the dense LU baseline (only sensible at small sizes).
+    pub dense: bool,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            serial_hodlr: true,
+            hodlrlib: false,
+            block_sparse_seq: true,
+            block_sparse_par: true,
+            gpu_hodlr: true,
+            dense: false,
+        }
+    }
+}
+
+/// One row of a paper-style table: a solver's timings, memory and residual
+/// at one problem size.
+#[derive(Clone, Debug)]
+pub struct SolverRow {
+    /// Solver label, e.g. `"GPU HODLR Solver"`.
+    pub solver: String,
+    /// Problem size `N`.
+    pub n: usize,
+    /// Factorization time in seconds (`t_f`).
+    pub t_factor: f64,
+    /// Solve time for one right-hand side in seconds (`t_s`).
+    pub t_solve: f64,
+    /// Memory of the factorization in GiB (`mem`).
+    pub mem_gib: f64,
+    /// Relative residual of the computed solution (`relres`).
+    pub relres: f64,
+    /// Flops per second achieved during factorization, when metered.
+    pub factor_gflops: Option<f64>,
+    /// Flops per second achieved during the solve, when metered.
+    pub solve_gflops: Option<f64>,
+}
+
+/// Measure every requested solver on one HODLR matrix; the right-hand side
+/// is random (as in the paper) and the residual is evaluated with the HODLR
+/// matrix-vector product.
+pub fn measure_solvers<T: Scalar>(matrix: &HodlrMatrix<T>, config: &MeasureConfig) -> Vec<SolverRow> {
+    let n = matrix.n();
+    let mut rng = StdRng::seed_from_u64(n as u64 ^ 0x9e3779b9);
+    let b: Vec<T> = hodlr_la::random::random_vector(&mut rng, n);
+    let mut rows = Vec::new();
+    let report = ComplexityReport::for_matrix(matrix);
+
+    if config.serial_hodlr {
+        let start = Instant::now();
+        let factor = matrix.factorize_serial().expect("serial factorization");
+        let t_factor = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let x = factor.solve(&b);
+        let t_solve = start.elapsed().as_secs_f64();
+        rows.push(SolverRow {
+            solver: "Serial HODLR Solver".into(),
+            n,
+            t_factor,
+            t_solve,
+            mem_gib: factor.memory_gib(),
+            relres: matrix.relative_residual(&x, &b).to_f64(),
+            factor_gflops: Some(report.factorization_flops as f64 / t_factor / 1e9),
+            solve_gflops: Some(report.solve_flops as f64 / t_solve / 1e9),
+        });
+    }
+
+    if config.hodlrlib {
+        let start = Instant::now();
+        let factor = HodlrlibStyleSolver::factorize(matrix).expect("hodlrlib factorization");
+        let t_factor = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let x = factor.solve(&b);
+        let t_solve = start.elapsed().as_secs_f64();
+        rows.push(SolverRow {
+            solver: "HODLRlib-style Solver".into(),
+            n,
+            t_factor,
+            t_solve,
+            mem_gib: (factor.storage_entries() * std::mem::size_of::<T>()) as f64
+                / (1u64 << 30) as f64,
+            relres: matrix.relative_residual(&x, &b).to_f64(),
+            factor_gflops: Some(report.factorization_flops as f64 / t_factor / 1e9),
+            solve_gflops: Some(report.solve_flops as f64 / t_solve / 1e9),
+        });
+    }
+
+    for (label, parallel, enabled) in [
+        ("Serial Block-Sparse Solver", false, config.block_sparse_seq),
+        ("Parallel Block-Sparse Solver", true, config.block_sparse_par),
+    ] {
+        if !enabled {
+            continue;
+        }
+        let start = Instant::now();
+        let ext = ExtendedSystem::new(matrix);
+        let factor = ext.factorize(parallel).expect("block-sparse factorization");
+        let t_factor = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let x = factor.solve(&b);
+        let t_solve = start.elapsed().as_secs_f64();
+        rows.push(SolverRow {
+            solver: label.into(),
+            n,
+            t_factor,
+            t_solve,
+            mem_gib: factor.memory_gib(),
+            relres: matrix.relative_residual(&x, &b).to_f64(),
+            factor_gflops: None,
+            solve_gflops: None,
+        });
+    }
+
+    if config.gpu_hodlr {
+        let device = Device::new();
+        let mut gpu = GpuSolver::new(&device, matrix);
+        let before_factor = device.counters();
+        let start = Instant::now();
+        gpu.factorize().expect("batched factorization");
+        let t_factor = start.elapsed().as_secs_f64();
+        let factor_flops = device.counters().since(&before_factor).flops;
+        let before_solve = device.counters();
+        let start = Instant::now();
+        let x = gpu.solve(&b);
+        let t_solve = start.elapsed().as_secs_f64();
+        let solve_flops = device.counters().since(&before_solve).flops;
+        rows.push(SolverRow {
+            solver: "GPU HODLR Solver".into(),
+            n,
+            t_factor,
+            t_solve,
+            mem_gib: matrix.memory_gib(),
+            relres: matrix.relative_residual(&x, &b).to_f64(),
+            factor_gflops: Some(factor_flops as f64 / t_factor / 1e9),
+            solve_gflops: Some(solve_flops as f64 / t_solve / 1e9),
+        });
+    }
+
+    if config.dense {
+        let dense = matrix.to_dense();
+        let start = Instant::now();
+        let solver = DenseLuSolver::new(&dense).expect("dense factorization");
+        let t_factor = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let x = solver.solve(&b);
+        let t_solve = start.elapsed().as_secs_f64();
+        rows.push(SolverRow {
+            solver: "Dense LU".into(),
+            n,
+            t_factor,
+            t_solve,
+            mem_gib: (solver.storage_entries() * std::mem::size_of::<T>()) as f64
+                / (1u64 << 30) as f64,
+            relres: matrix.relative_residual(&x, &b).to_f64(),
+            factor_gflops: Some(solver.factorization_flops() as f64 / t_factor / 1e9),
+            solve_gflops: None,
+        });
+    }
+
+    rows
+}
+
+/// Print rows in the paper's table layout, grouped by problem size.
+pub fn print_table(title: &str, rows: &[SolverRow]) {
+    println!("== {title}");
+    println!(
+        "{:<10} {:<28} {:>12} {:>12} {:>10} {:>12}",
+        "N", "solver", "t_f [s]", "t_s [s]", "mem [GiB]", "relres"
+    );
+    for row in rows {
+        println!(
+            "{:<10} {:<28} {:>12.4e} {:>12.4e} {:>10.4} {:>12.3e}",
+            row.n, row.solver, row.t_factor, row.t_solve, row.mem_gib, row.relres
+        );
+    }
+    println!();
+}
+
+/// Print rows as a CSV series (one line per row), the format the figure
+/// harnesses emit so the scaling plots can be regenerated.
+pub fn print_csv(title: &str, rows: &[SolverRow]) {
+    println!("# {title}");
+    println!("solver,N,t_factor,t_solve,mem_gib,relres,factor_gflops,solve_gflops");
+    for row in rows {
+        println!(
+            "{},{},{:.6e},{:.6e},{:.6e},{:.3e},{},{}",
+            row.solver,
+            row.n,
+            row.t_factor,
+            row.t_solve,
+            row.mem_gib,
+            row.relres,
+            row.factor_gflops.map_or(String::new(), |v| format!("{v:.3}")),
+            row.solve_gflops.map_or(String::new(), |v| format!("{v:.3}")),
+        );
+    }
+    println!();
+}
+
+/// Least-squares slope of `log(time)` against `log(N)`, printed by the
+/// figure harnesses next to the `O(N log^2 N)` / `O(N)` guide lines of the
+/// paper.
+pub fn fitted_exponent(points: &[(usize, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(_, t)| t > 0.0)
+        .map(|&(n, t)| ((n as f64).ln(), t.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::kernel_hodlr;
+
+    #[test]
+    fn measure_all_solvers_on_a_small_problem() {
+        let matrix = kernel_hodlr(512, 1e-8);
+        let config = MeasureConfig {
+            serial_hodlr: true,
+            hodlrlib: true,
+            block_sparse_seq: true,
+            block_sparse_par: true,
+            gpu_hodlr: true,
+            dense: true,
+        };
+        let rows = measure_solvers(&matrix, &config);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.relres < 1e-6, "{}: relres {}", row.solver, row.relres);
+            assert!(row.t_factor > 0.0 && row.t_solve >= 0.0);
+            assert!(row.mem_gib > 0.0);
+        }
+        print_table("smoke", &rows);
+        print_csv("smoke", &rows);
+    }
+
+    #[test]
+    fn fitted_exponent_recovers_a_power_law() {
+        let pts: Vec<(usize, f64)> = (10..15).map(|k| (1 << k, (1 << k) as f64 * 3.0)).collect();
+        let slope = fitted_exponent(&pts);
+        assert!((slope - 1.0).abs() < 1e-12);
+        let quad: Vec<(usize, f64)> = (10..15)
+            .map(|k| (1 << k, ((1 << k) as f64).powi(2)))
+            .collect();
+        assert!((fitted_exponent(&quad) - 2.0).abs() < 1e-12);
+    }
+}

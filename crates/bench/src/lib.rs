@@ -1,0 +1,36 @@
+//! # hodlr-bench — harnesses that regenerate the paper's tables and figures
+//!
+//! One binary per table/figure of the evaluation section:
+//!
+//! | Binary | Paper artefact | Workload |
+//! |---|---|---|
+//! | `table3` | Table III | RPY kernel matrices (Section IV-A) |
+//! | `fig5` | Fig. 5 | scaling of the Table III runs (CSV series) |
+//! | `table4` | Table IV (a)/(b) | Laplace exterior BIE (Section IV-B) |
+//! | `fig7` | Fig. 7 | scaling of the Table IV runs (CSV series) |
+//! | `table5` | Table V (a)/(b) | Helmholtz exterior BIE (Section IV-C) |
+//! | `fig8` | Fig. 8 | speedups of the Table V runs |
+//! | `fig9` | Fig. 9 | GFlop/s of factorization and solve |
+//! | `ranks` | Appendix | per-level off-diagonal rank profiles |
+//!
+//! Every binary accepts `--full` to run the paper's original problem sizes
+//! (hours on a laptop; the defaults are scaled down so a full sweep finishes
+//! in minutes) and `--sizes 4096,8192,...` to override the sweep explicitly.
+//! All harnesses print the same row layout as the corresponding table —
+//! `N`, factorization time `t_f`, solve time `t_s`, memory `mem`, relative
+//! residual `relres` per solver — so paper-vs-measured comparisons (recorded
+//! in EXPERIMENTS.md) are line-by-line.
+//!
+//! The wall-clock columns are measured on the virtual batched-BLAS device of
+//! `hodlr-batch`; absolute numbers therefore reflect CPU execution, while
+//! the *shape* — scaling slopes, memory footprints, residuals, who wins and
+//! where the crossovers are among the CPU solvers — is what reproduces the
+//! paper (see DESIGN.md for the substitution argument).
+
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{measure_solvers, print_csv, print_table, MeasureConfig, SolverRow};
+pub use workloads::{
+    helmholtz_hodlr, kernel_hodlr, laplace_hodlr, parse_args, rpy_hodlr, SweepArgs,
+};

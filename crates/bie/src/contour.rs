@@ -1,0 +1,182 @@
+//! Smooth closed contours in the plane.
+
+/// A smooth closed curve `gamma(t)`, `t in [0, 2*pi)`, traversed
+/// counter-clockwise (the bounded obstacle lies on the left of the tangent).
+pub trait Contour: Sync {
+    /// Position `gamma(t)`.
+    fn point(&self, t: f64) -> [f64; 2];
+    /// First derivative `gamma'(t)`.
+    fn derivative(&self, t: f64) -> [f64; 2];
+    /// Second derivative `gamma''(t)`.
+    fn second_derivative(&self, t: f64) -> [f64; 2];
+
+    /// Speed `|gamma'(t)|`.
+    fn speed(&self, t: f64) -> f64 {
+        let d = self.derivative(t);
+        (d[0] * d[0] + d[1] * d[1]).sqrt()
+    }
+
+    /// Unit normal pointing *away* from the bounded obstacle (into the
+    /// exterior domain), i.e. the outward normal of the obstacle.
+    fn outward_normal(&self, t: f64) -> [f64; 2] {
+        let d = self.derivative(t);
+        let s = (d[0] * d[0] + d[1] * d[1]).sqrt();
+        [d[1] / s, -d[0] / s]
+    }
+
+    /// `n(t) . gamma''(t) / |gamma'(t)|^2` — the quantity that appears in the
+    /// diagonal limit of the Laplace double-layer kernel.
+    fn normal_dot_curvature(&self, t: f64) -> f64 {
+        let n = self.outward_normal(t);
+        let dd = self.second_derivative(t);
+        let s = self.speed(t);
+        (n[0] * dd[0] + n[1] * dd[1]) / (s * s)
+    }
+}
+
+/// The smooth star-shaped contour used for the paper's BIE benchmarks
+/// (Fig. 6): `gamma(t) = r(t) (cos t, sin t)` with
+/// `r(t) = radius * (1 + amplitude * cos(arms * t))`, stretched by
+/// `aspect` along the x axis to match the elongated shape in the figure.
+#[derive(Copy, Clone, Debug)]
+pub struct StarContour {
+    /// Base radius.
+    pub radius: f64,
+    /// Relative amplitude of the oscillation (must keep `r(t) > 0`).
+    pub amplitude: f64,
+    /// Number of oscillations ("arms").
+    pub arms: usize,
+    /// Stretch factor applied to the x coordinate.
+    pub aspect: f64,
+}
+
+impl Default for StarContour {
+    fn default() -> Self {
+        StarContour::paper_contour()
+    }
+}
+
+impl StarContour {
+    /// A smooth wavy contour resembling Fig. 6 of the paper: an elongated
+    /// blob with gentle oscillations, contained in roughly `[-2, 2] x
+    /// [-1.5, 1.5]`.
+    pub fn paper_contour() -> Self {
+        StarContour {
+            radius: 1.0,
+            amplitude: 0.3,
+            arms: 5,
+            aspect: 1.6,
+        }
+    }
+
+    fn r(&self, t: f64) -> f64 {
+        self.radius * (1.0 + self.amplitude * (self.arms as f64 * t).cos())
+    }
+
+    fn dr(&self, t: f64) -> f64 {
+        -self.radius * self.amplitude * self.arms as f64 * (self.arms as f64 * t).sin()
+    }
+
+    fn ddr(&self, t: f64) -> f64 {
+        -self.radius * self.amplitude * (self.arms as f64).powi(2) * (self.arms as f64 * t).cos()
+    }
+}
+
+impl Contour for StarContour {
+    fn point(&self, t: f64) -> [f64; 2] {
+        let r = self.r(t);
+        [self.aspect * r * t.cos(), r * t.sin()]
+    }
+
+    fn derivative(&self, t: f64) -> [f64; 2] {
+        let (r, dr) = (self.r(t), self.dr(t));
+        [
+            self.aspect * (dr * t.cos() - r * t.sin()),
+            dr * t.sin() + r * t.cos(),
+        ]
+    }
+
+    fn second_derivative(&self, t: f64) -> [f64; 2] {
+        let (r, dr, ddr) = (self.r(t), self.dr(t), self.ddr(t));
+        [
+            self.aspect * (ddr * t.cos() - 2.0 * dr * t.sin() - r * t.cos()),
+            ddr * t.sin() + 2.0 * dr * t.cos() - r * t.sin(),
+        ]
+    }
+}
+
+/// Sample `n` equispaced parameter values `t_i = 2 pi i / n`.
+pub fn equispaced_parameters(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 2.0 * std::f64::consts::PI * i as f64 / n as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let c = StarContour::paper_contour();
+        let h = 1e-6;
+        for &t in &[0.1, 1.0, 2.5, 4.0, 6.0] {
+            let p_plus = c.point(t + h);
+            let p_minus = c.point(t - h);
+            let d = c.derivative(t);
+            for k in 0..2 {
+                let fd = (p_plus[k] - p_minus[k]) / (2.0 * h);
+                assert!((d[k] - fd).abs() < 1e-6, "first derivative at t={t}");
+            }
+            let d_plus = c.derivative(t + h);
+            let d_minus = c.derivative(t - h);
+            let dd = c.second_derivative(t);
+            for k in 0..2 {
+                let fd = (d_plus[k] - d_minus[k]) / (2.0 * h);
+                assert!((dd[k] - fd).abs() < 1e-5, "second derivative at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn normal_is_unit_and_orthogonal_to_tangent_and_points_outward() {
+        let c = StarContour::paper_contour();
+        for &t in &[0.0, 0.7, 2.0, 3.3, 5.1] {
+            let n = c.outward_normal(t);
+            let d = c.derivative(t);
+            assert!((n[0] * n[0] + n[1] * n[1] - 1.0).abs() < 1e-12);
+            assert!((n[0] * d[0] + n[1] * d[1]).abs() < 1e-12);
+            // Outward: moving from the boundary along n increases the
+            // distance from the origin (the contour is star-shaped).
+            let p = c.point(t);
+            let outside = [p[0] + 1e-3 * n[0], p[1] + 1e-3 * n[1]];
+            let r_p = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            let r_o = (outside[0] * outside[0] + outside[1] * outside[1]).sqrt();
+            assert!(r_o > r_p, "normal does not point outward at t={t}");
+        }
+    }
+
+    #[test]
+    fn circle_curvature_limit() {
+        // For the unit circle (amplitude 0, aspect 1) the double-layer
+        // diagonal limit n . gamma'' / |gamma'|^2 equals -1 (radius 1,
+        // outward normal).
+        let circle = StarContour {
+            radius: 1.0,
+            amplitude: 0.0,
+            arms: 1,
+            aspect: 1.0,
+        };
+        for &t in &[0.2, 1.5, 3.0] {
+            assert!((circle.normal_dot_curvature(t) + 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equispaced_parameters_cover_the_period() {
+        let ts = equispaced_parameters(8);
+        assert_eq!(ts.len(), 8);
+        assert_eq!(ts[0], 0.0);
+        assert!((ts[4] - std::f64::consts::PI).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,213 @@
+//! Quadrature rules on a periodic parameter grid.
+//!
+//! The Laplace equation (21) has a smooth integrand on a smooth contour, so
+//! the plain (periodic) trapezoidal rule is used — the paper calls this the
+//! "2nd-order quadrature".  The Helmholtz combined-field kernel (24) has a
+//! logarithmic singularity at the target point, so the 6th-order
+//! Kapur–Rokhlin corrected trapezoidal rule is used: the singular node is
+//! dropped and the six nearest nodes on each side receive correction
+//! weights.
+
+use crate::contour::Contour;
+
+/// Plain periodic trapezoidal weights `w_j = (2 pi / n) |gamma'(t_j)|`.
+pub fn trapezoidal_weights<C: Contour>(contour: &C, params: &[f64]) -> Vec<f64> {
+    let h = 2.0 * std::f64::consts::PI / params.len() as f64;
+    params.iter().map(|&t| h * contour.speed(t)).collect()
+}
+
+/// The 6th-order Kapur–Rokhlin correction coefficients `gamma_1..gamma_6`
+/// (Kapur & Rokhlin 1997; also tabulated in Hao, Barnett & Martinsson).
+/// The weight of the node at distance `k` grid points from the singular
+/// target (on either side) is multiplied by `1 + gamma_k`; the weight of the
+/// singular node itself is set to zero.
+pub const KAPUR_ROKHLIN_6: [f64; 6] = [
+    4.967362978287758,
+    -16.20501504859126,
+    25.85153761832639,
+    -22.22599466791883,
+    9.930104998037539,
+    -1.817995878141594,
+];
+
+/// Kapur–Rokhlin corrected weights for the target node `target`: the plain
+/// trapezoidal weights with the singular node zeroed and the 6 neighbours on
+/// each side (periodically) corrected.
+///
+/// # Panics
+/// Panics if the grid has fewer than 13 nodes (the correction stencils would
+/// wrap onto each other).
+pub fn kapur_rokhlin_weights<C: Contour>(
+    contour: &C,
+    params: &[f64],
+    target: usize,
+) -> Vec<f64> {
+    let n = params.len();
+    assert!(n >= 13, "Kapur-Rokhlin needs at least 13 quadrature nodes");
+    let mut w = trapezoidal_weights(contour, params);
+    w[target] = 0.0;
+    for (k, gamma) in KAPUR_ROKHLIN_6.iter().enumerate() {
+        let offset = k + 1;
+        let right = (target + offset) % n;
+        let left = (target + n - offset) % n;
+        w[right] *= 1.0 + gamma;
+        w[left] *= 1.0 + gamma;
+    }
+    w
+}
+
+/// The multiplicative correction applied to the node at (periodic) grid
+/// distance `dist` from the singular target: `1 + gamma_dist` for
+/// `1 <= dist <= 6`, `0` for `dist == 0`, `1` otherwise.  This is the form
+/// the Nyström assembly uses entry by entry.
+pub fn kapur_rokhlin_factor(dist: usize) -> f64 {
+    match dist {
+        0 => 0.0,
+        d if d <= 6 => 1.0 + KAPUR_ROKHLIN_6[d - 1],
+        _ => 1.0,
+    }
+}
+
+/// Periodic grid distance between nodes `i` and `j` on an `n`-point grid.
+pub fn periodic_distance(i: usize, j: usize, n: usize) -> usize {
+    let d = i.abs_diff(j);
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contour::{equispaced_parameters, StarContour};
+
+    #[test]
+    fn trapezoid_integrates_the_circumference_exactly_for_a_circle() {
+        let circle = StarContour {
+            radius: 2.0,
+            amplitude: 0.0,
+            arms: 1,
+            aspect: 1.0,
+        };
+        let params = equispaced_parameters(40);
+        let w = trapezoidal_weights(&circle, &params);
+        let length: f64 = w.iter().sum();
+        assert!((length - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_converges_spectrally_for_smooth_periodic_integrands() {
+        // Integrate a smooth function over the star contour with two
+        // resolutions; the coarse error should already be tiny.
+        let c = StarContour::paper_contour();
+        let integral = |n: usize| -> f64 {
+            let params = equispaced_parameters(n);
+            let w = trapezoidal_weights(&c, &params);
+            params
+                .iter()
+                .zip(&w)
+                .map(|(&t, &wi)| {
+                    let p = c.point(t);
+                    (p[0] * p[0] + (2.0 * p[1]).cos()) * wi
+                })
+                .sum()
+        };
+        let coarse = integral(400);
+        let fine = integral(800);
+        assert!((coarse - fine).abs() < 1e-9 * fine.abs().max(1.0));
+    }
+
+    #[test]
+    fn kapur_rokhlin_coefficients_have_the_known_alternating_structure() {
+        // Signs alternate and the magnitudes are the published 6th-order
+        // values; their sum is about 0.5 (a well-known sanity check).
+        let sum: f64 = KAPUR_ROKHLIN_6.iter().sum();
+        assert!((sum - 0.5).abs() < 0.01, "sum {sum}");
+        for (k, g) in KAPUR_ROKHLIN_6.iter().enumerate() {
+            assert_eq!(g.signum(), if k % 2 == 0 { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn corrected_weights_zero_the_target_and_touch_twelve_neighbours() {
+        let c = StarContour::paper_contour();
+        let params = equispaced_parameters(64);
+        let plain = trapezoidal_weights(&c, &params);
+        let corrected = kapur_rokhlin_weights(&c, &params, 10);
+        assert_eq!(corrected[10], 0.0);
+        let mut touched = 0;
+        for j in 0..64 {
+            if j == 10 {
+                continue;
+            }
+            if (corrected[j] - plain[j]).abs() > 1e-14 {
+                touched += 1;
+                assert!(periodic_distance(10, j, 64) <= 6);
+            }
+        }
+        assert_eq!(touched, 12);
+    }
+
+    #[test]
+    fn kapur_rokhlin_integrates_a_log_singularity_accurately() {
+        // Integral over the unit circle of log|x(t0) - x(t)| ds(t), target at
+        // t0 = 0: the exact value for the unit circle is zero
+        // (since the mean of log(2 sin(t/2)) over the period vanishes).
+        let circle = StarContour {
+            radius: 1.0,
+            amplitude: 0.0,
+            arms: 1,
+            aspect: 1.0,
+        };
+        let run = |n: usize| -> f64 {
+            let params = equispaced_parameters(n);
+            let w = kapur_rokhlin_weights(&circle, &params, 0);
+            let x0 = circle.point(0.0);
+            params
+                .iter()
+                .zip(&w)
+                .map(|(&t, &wi)| {
+                    if wi == 0.0 {
+                        return 0.0;
+                    }
+                    let p = circle.point(t);
+                    let r = ((p[0] - x0[0]).powi(2) + (p[1] - x0[1]).powi(2)).sqrt();
+                    r.ln() * wi
+                })
+                .sum()
+        };
+        let coarse = (run(100)).abs();
+        let fine = (run(400)).abs();
+        assert!(fine < 1e-6, "fine-grid error {fine}");
+        assert!(fine < coarse, "no convergence: {coarse} -> {fine}");
+        // Plain trapezoid (skipping the singular node without correction)
+        // is far less accurate.
+        let plain = |n: usize| -> f64 {
+            let params = equispaced_parameters(n);
+            let w = trapezoidal_weights(&circle, &params);
+            let x0 = circle.point(0.0);
+            params
+                .iter()
+                .zip(&w)
+                .enumerate()
+                .map(|(j, (&t, &wi))| {
+                    if j == 0 {
+                        return 0.0;
+                    }
+                    let p = circle.point(t);
+                    let r = ((p[0] - x0[0]).powi(2) + (p[1] - x0[1]).powi(2)).sqrt();
+                    r.ln() * wi
+                })
+                .sum()
+        };
+        assert!(fine < plain(400).abs() / 10.0);
+    }
+
+    #[test]
+    fn periodic_distance_wraps() {
+        assert_eq!(periodic_distance(0, 63, 64), 1);
+        assert_eq!(periodic_distance(5, 5, 64), 0);
+        assert_eq!(periodic_distance(2, 34, 64), 32);
+        assert_eq!(kapur_rokhlin_factor(0), 0.0);
+        assert_eq!(kapur_rokhlin_factor(7), 1.0);
+        assert!((kapur_rokhlin_factor(1) - (1.0 + KAPUR_ROKHLIN_6[0])).abs() < 1e-15);
+    }
+}

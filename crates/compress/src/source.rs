@@ -1,0 +1,179 @@
+//! Lazy entry access to the block being compressed.
+
+use hodlr_la::{DenseMatrix, Scalar};
+
+/// A matrix block whose entries can be evaluated on demand.
+///
+/// Kernel matrices and Nyström-discretized integral operators implement this
+/// trait directly from their analytic kernel, so an `N x N` operator is never
+/// formed densely — only the entries the compression algorithm actually
+/// touches are evaluated.  Everything is `Sync` so blocks can be compressed
+/// in parallel.
+pub trait MatrixEntrySource<T: Scalar>: Sync {
+    /// Number of rows of the block.
+    fn nrows(&self) -> usize;
+    /// Number of columns of the block.
+    fn ncols(&self) -> usize;
+    /// Entry `(i, j)` of the block.
+    fn entry(&self, i: usize, j: usize) -> T;
+
+    /// Evaluate row `i` into `out` (length `ncols`).
+    fn row(&self, i: usize, out: &mut [T]) {
+        debug_assert_eq!(out.len(), self.ncols());
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.entry(i, j);
+        }
+    }
+
+    /// Evaluate column `j` into `out` (length `nrows`).
+    fn col(&self, j: usize, out: &mut [T]) {
+        debug_assert_eq!(out.len(), self.nrows());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.entry(i, j);
+        }
+    }
+
+    /// Materialise the whole block densely.  The default implementation
+    /// evaluates column by column; sources with cheaper bulk access may
+    /// override it.
+    fn to_dense(&self) -> DenseMatrix<T> {
+        let mut a = DenseMatrix::zeros(self.nrows(), self.ncols());
+        for j in 0..self.ncols() {
+            let col = a.col_mut(j);
+            self.col(j, col);
+        }
+        a
+    }
+}
+
+/// A dense matrix (or sub-block of one) used as an entry source.
+#[derive(Clone, Debug)]
+pub struct DenseSource<'a, T: Scalar> {
+    matrix: &'a DenseMatrix<T>,
+    row_offset: usize,
+    col_offset: usize,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl<'a, T: Scalar> DenseSource<'a, T> {
+    /// The whole matrix as a source.
+    pub fn new(matrix: &'a DenseMatrix<T>) -> Self {
+        DenseSource {
+            matrix,
+            row_offset: 0,
+            col_offset: 0,
+            nrows: matrix.rows(),
+            ncols: matrix.cols(),
+        }
+    }
+
+    /// A rectangular sub-block `matrix[row..row+nrows, col..col+ncols]`.
+    pub fn block(
+        matrix: &'a DenseMatrix<T>,
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> Self {
+        assert!(row + nrows <= matrix.rows() && col + ncols <= matrix.cols());
+        DenseSource {
+            matrix,
+            row_offset: row,
+            col_offset: col,
+            nrows,
+            ncols,
+        }
+    }
+}
+
+impl<T: Scalar> MatrixEntrySource<T> for DenseSource<'_, T> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn entry(&self, i: usize, j: usize) -> T {
+        self.matrix[(self.row_offset + i, self.col_offset + j)]
+    }
+
+    fn col(&self, j: usize, out: &mut [T]) {
+        let col = self.matrix.col(self.col_offset + j);
+        out.copy_from_slice(&col[self.row_offset..self.row_offset + self.nrows]);
+    }
+}
+
+/// An entry source defined by a closure `(i, j) -> T`.
+pub struct ClosureSource<T, F>
+where
+    F: Fn(usize, usize) -> T + Sync,
+{
+    nrows: usize,
+    ncols: usize,
+    f: F,
+}
+
+impl<T: Scalar, F: Fn(usize, usize) -> T + Sync> ClosureSource<T, F> {
+    /// Wrap a closure as an `nrows x ncols` entry source.
+    pub fn new(nrows: usize, ncols: usize, f: F) -> Self {
+        ClosureSource { nrows, ncols, f }
+    }
+}
+
+impl<T: Scalar, F: Fn(usize, usize) -> T + Sync> MatrixEntrySource<T> for ClosureSource<T, F> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn entry(&self, i: usize, j: usize) -> T {
+        (self.f)(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_source_full_and_block() {
+        let a = DenseMatrix::<f64>::from_fn(4, 5, |i, j| (10 * i + j) as f64);
+        let full = DenseSource::new(&a);
+        assert_eq!(full.nrows(), 4);
+        assert_eq!(full.ncols(), 5);
+        assert_eq!(full.entry(2, 3), 23.0);
+        assert_eq!(full.to_dense(), a);
+
+        let block = DenseSource::block(&a, 1, 2, 2, 3);
+        assert_eq!(block.entry(0, 0), 12.0);
+        assert_eq!(block.entry(1, 2), 24.0);
+        let d = block.to_dense();
+        assert_eq!(d.rows(), 2);
+        assert_eq!(d.cols(), 3);
+        assert_eq!(d[(1, 1)], 23.0);
+    }
+
+    #[test]
+    fn closure_source_rows_and_cols() {
+        let src = ClosureSource::new(3, 2, |i, j| (i + 10 * j) as f64);
+        let mut row = vec![0.0; 2];
+        src.row(1, &mut row);
+        assert_eq!(row, vec![1.0, 11.0]);
+        let mut col = vec![0.0; 3];
+        src.col(1, &mut col);
+        assert_eq!(col, vec![10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_block_panics() {
+        let a = DenseMatrix::<f64>::zeros(3, 3);
+        let _ = DenseSource::block(&a, 2, 2, 2, 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Dense truncated-SVD compression.
+//!
+//! Forms the block densely and truncates its SVD at the requested tolerance.
+//! This is the optimal (Eckart–Young) compression, used as the reference in
+//! tests and as the method of choice for blocks that are small enough that
+//! the `O(mn min(m, n))` cost does not matter.
+
+use crate::lowrank::LowRank;
+use crate::source::MatrixEntrySource;
+use hodlr_la::svd::jacobi_svd;
+use hodlr_la::Scalar;
+
+/// Compress `source` by a dense truncated SVD at relative tolerance `tol`
+/// (singular values below `tol * sigma_max` are discarded), with an optional
+/// hard rank cap.
+pub fn truncated_svd_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
+    source: &S,
+    tol: T::Real,
+    max_rank: Option<usize>,
+) -> LowRank<T> {
+    let m = source.nrows();
+    let n = source.ncols();
+    if m == 0 || n == 0 {
+        return LowRank::zero(m, n);
+    }
+    let a = source.to_dense();
+    let svd = jacobi_svd(&a);
+    let mut k = svd.rank(tol);
+    if let Some(cap) = max_rank {
+        k = k.min(cap);
+    }
+    let (u, v) = svd.truncate(k);
+    LowRank::new(u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ClosureSource, DenseSource};
+    use hodlr_la::random::random_low_rank;
+    use hodlr_la::svd::tail_energy;
+    use hodlr_la::DenseMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_exact_rank() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a: DenseMatrix<f64> = random_low_rank(&mut rng, 30, 22, 7);
+        let lr = truncated_svd_compress(&DenseSource::new(&a), 1e-10, None);
+        assert_eq!(lr.rank(), 7);
+        assert!(lr.reconstruction_error(&a) < 1e-9 * a.norm_fro());
+    }
+
+    #[test]
+    fn truncation_error_is_optimal() {
+        let src = ClosureSource::new(40, 40, |i, j| {
+            1.0 / (1.0 + (i as f64 - j as f64).abs() + (i + j) as f64 * 0.1)
+        });
+        let dense = src.to_dense();
+        let lr = truncated_svd_compress(&src, 1e-14, Some(6));
+        let err = lr.reconstruction_error(&dense);
+        let sigma = hodlr_la::svd::singular_values(&dense);
+        let best = tail_energy(&sigma, 6);
+        assert!((err - best).abs() < 1e-10 * dense.norm_fro().max(1.0));
+    }
+
+    #[test]
+    fn loose_tolerance_gives_smaller_rank() {
+        // Separated 1-D clusters: the interaction block has a geometrically
+        // decaying spectrum, so the rank depends strongly on the tolerance.
+        let src = ClosureSource::new(30, 30, |i, j| {
+            let x = i as f64 / 30.0;
+            let y = 3.0 + j as f64 / 30.0;
+            1.0 / (x - y).abs()
+        });
+        let loose = truncated_svd_compress(&src, 1e-2, None);
+        let tight = truncated_svd_compress(&src, 1e-12, None);
+        assert!(loose.rank() < tight.rank());
+    }
+
+    #[test]
+    fn empty_and_zero_blocks() {
+        let zero = DenseMatrix::<f64>::zeros(5, 5);
+        assert_eq!(truncated_svd_compress(&DenseSource::new(&zero), 1e-10, None).rank(), 0);
+        let empty = DenseMatrix::<f64>::zeros(4, 0);
+        let lr = truncated_svd_compress(&DenseSource::new(&empty), 1e-10, None);
+        assert_eq!(lr.nrows(), 4);
+        assert_eq!(lr.ncols(), 0);
+    }
+}

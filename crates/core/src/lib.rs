@@ -1,0 +1,41 @@
+//! # hodlr-core — HODLR matrices and their factorization
+//!
+//! This crate implements the primary contribution of Chen & Martinsson,
+//! *"Solving Linear Systems on a GPU with Hierarchically Off-Diagonal
+//! Low-Rank Approximations"* (SC 2022):
+//!
+//! * the **flattened data structure** for HODLR matrices where all left and
+//!   right low-rank bases are concatenated into two big matrices
+//!   `Ubig` / `Vbig`, all leaf diagonal blocks into `Dbig`, and all
+//!   Schur-complement coefficient matrices into per-level `Kbig` blocks
+//!   (Figs. 3–4 of the paper) — see [`HodlrMatrix`] and [`LevelLayout`];
+//! * the **recursive solver** of Section III-A (Theorem 1), used as the
+//!   correctness oracle — see [`recursive`];
+//! * the **non-recursive level-by-level factorization and solve**
+//!   (Algorithms 1–2), the "serial HODLR solver" of the evaluation — see
+//!   [`SerialFactorization`];
+//! * the **batched factorization and solve** (Algorithms 3–4) running on the
+//!   virtual batched-BLAS device of `hodlr-batch`, the "GPU HODLR solver" of
+//!   the evaluation — see [`GpuSolver`];
+//! * the **complexity model** of Theorems 2–4 (storage, factorization cost,
+//!   solve cost) used to cross-check the metered flop counters — see
+//!   [`report`].
+//!
+//! Construction of the HODLR approximation itself (compressing every sibling
+//! off-diagonal block) lives in [`builder`], on top of `hodlr-compress`.
+
+pub mod builder;
+pub mod gpu;
+pub mod layout;
+pub mod matrix;
+pub mod recursive;
+pub mod report;
+pub mod serial;
+
+pub use builder::{build_from_dense, build_from_source, BlockSource};
+pub use gpu::GpuSolver;
+pub use layout::LevelLayout;
+pub use matrix::HodlrMatrix;
+pub use recursive::solve_recursive;
+pub use report::{ComplexityReport, CostModel};
+pub use serial::SerialFactorization;

@@ -1,0 +1,428 @@
+//! The [`HodlrMatrix`] storage type: flattened bases plus leaf diagonal
+//! blocks (Figs. 3–4 of the paper).
+
+use crate::layout::LevelLayout;
+use hodlr_la::{gemm, norms, DenseMatrix, MatRef, Op, RealScalar, Scalar};
+use hodlr_tree::{ClusterTree, NodeId};
+
+/// A HODLR matrix stored in the paper's flattened format.
+///
+/// * `ubig` / `vbig` are `N x W` matrices (`W =` [`LevelLayout::total_cols`])
+///   holding, for every non-root node `alpha`, its left basis `U_alpha` (rows
+///   `I_alpha`, columns of `alpha`'s level) and right basis `V_alpha`;
+/// * `diag` holds the dense leaf diagonal blocks `D_alpha` in leaf order;
+/// * every sibling off-diagonal block is `A(I_alpha, I_beta) = U_alpha
+///   V_beta^*` (Eq. 5).
+///
+/// Bases narrower than their level block are zero-padded on the right; the
+/// true per-node ranks are kept in `node_ranks` for reporting (the appendix
+/// rank tables).
+#[derive(Clone, Debug)]
+pub struct HodlrMatrix<T: Scalar> {
+    tree: ClusterTree,
+    layout: LevelLayout,
+    node_ranks: Vec<usize>,
+    ubig: DenseMatrix<T>,
+    vbig: DenseMatrix<T>,
+    diag: Vec<DenseMatrix<T>>,
+}
+
+impl<T: Scalar> HodlrMatrix<T> {
+    /// Assemble a HODLR matrix from its parts.  Intended for the builder and
+    /// for tests that construct exactly-representable matrices; most users
+    /// should go through [`crate::build_from_source`].
+    ///
+    /// # Panics
+    /// Panics if the shapes of the parts are inconsistent with the tree and
+    /// layout.
+    pub fn from_parts(
+        tree: ClusterTree,
+        layout: LevelLayout,
+        node_ranks: Vec<usize>,
+        ubig: DenseMatrix<T>,
+        vbig: DenseMatrix<T>,
+        diag: Vec<DenseMatrix<T>>,
+    ) -> Self {
+        let n = tree.n();
+        assert_eq!(layout.levels(), tree.levels(), "layout levels must match the tree");
+        assert_eq!(ubig.rows(), n, "Ubig must have N rows");
+        assert_eq!(vbig.rows(), n, "Vbig must have N rows");
+        assert_eq!(ubig.cols(), layout.total_cols(), "Ubig has the wrong width");
+        assert_eq!(vbig.cols(), layout.total_cols(), "Vbig has the wrong width");
+        assert_eq!(node_ranks.len(), tree.num_nodes() + 1, "one rank entry per node id");
+        assert_eq!(diag.len(), tree.num_leaves(), "one diagonal block per leaf");
+        for (leaf_idx, leaf) in tree.leaves().enumerate() {
+            let size = tree.node_size(leaf);
+            assert_eq!(diag[leaf_idx].rows(), size, "diagonal block {leaf_idx} has wrong size");
+            assert_eq!(diag[leaf_idx].cols(), size, "diagonal block {leaf_idx} has wrong size");
+        }
+        for level in 1..=tree.levels() {
+            for node in tree.level_nodes(level) {
+                assert!(
+                    node_ranks[node] <= layout.width(level),
+                    "rank of node {node} exceeds its level width"
+                );
+            }
+        }
+        HodlrMatrix {
+            tree,
+            layout,
+            node_ranks,
+            ubig,
+            vbig,
+            diag,
+        }
+    }
+
+    /// Matrix size `N`.
+    pub fn n(&self) -> usize {
+        self.tree.n()
+    }
+
+    /// The underlying cluster tree.
+    pub fn tree(&self) -> &ClusterTree {
+        &self.tree
+    }
+
+    /// The column layout of the flattened bases.
+    pub fn layout(&self) -> &LevelLayout {
+        &self.layout
+    }
+
+    /// Number of tree levels `L`.
+    pub fn levels(&self) -> usize {
+        self.tree.levels()
+    }
+
+    /// The flattened left bases (`Ubig` in the paper).
+    pub fn ubig(&self) -> &DenseMatrix<T> {
+        &self.ubig
+    }
+
+    /// The flattened right bases (`Vbig` in the paper).
+    pub fn vbig(&self) -> &DenseMatrix<T> {
+        &self.vbig
+    }
+
+    /// The true (unpadded) rank of a node's low-rank basis.
+    pub fn node_rank(&self, node: NodeId) -> usize {
+        self.node_ranks[node]
+    }
+
+    /// Leaf diagonal blocks, in leaf order.
+    pub fn diag_blocks(&self) -> &[DenseMatrix<T>] {
+        &self.diag
+    }
+
+    /// The dense diagonal block of the `idx`-th leaf.
+    pub fn diag_block(&self, idx: usize) -> &DenseMatrix<T> {
+        &self.diag[idx]
+    }
+
+    /// View of `U_alpha` (padded to the level width) inside `Ubig`.
+    pub fn u_block(&self, node: NodeId) -> MatRef<'_, T> {
+        self.basis_block(&self.ubig, node)
+    }
+
+    /// View of `V_alpha` (padded to the level width) inside `Vbig`.
+    pub fn v_block(&self, node: NodeId) -> MatRef<'_, T> {
+        self.basis_block(&self.vbig, node)
+    }
+
+    fn basis_block<'a>(&'a self, big: &'a DenseMatrix<T>, node: NodeId) -> MatRef<'a, T> {
+        let level = self.tree.level_of(node);
+        assert!(level >= 1, "the root has no off-diagonal basis");
+        let rows = self.tree.range(node);
+        let cols = self.layout.col_range(level);
+        if cols.is_empty() {
+            // A zero-rank level: hand back an empty view of the right height.
+            return MatRef::from_parts(&[], rows.len(), 0, rows.len().max(1));
+        }
+        big.block(rows.start, cols.start, rows.len(), cols.len())
+    }
+
+    /// Maximum off-diagonal rank over all nodes (the paper's "rank of the
+    /// HODLR matrix", Definition 2).
+    pub fn max_rank(&self) -> usize {
+        self.node_ranks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-level maximum off-diagonal rank, shallowest level (level 1)
+    /// first — the format of the appendix rank tables.
+    pub fn rank_profile(&self) -> Vec<usize> {
+        (1..=self.levels())
+            .map(|l| {
+                self.tree
+                    .level_nodes(l)
+                    .map(|node| self.node_ranks[node])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Number of scalar entries stored (diagonal blocks + padded bases).
+    pub fn storage_entries(&self) -> usize {
+        let diag: usize = self.diag.iter().map(|d| d.rows() * d.cols()).sum();
+        diag + self.ubig.rows() * self.ubig.cols() + self.vbig.rows() * self.vbig.cols()
+    }
+
+    /// Storage in bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.storage_entries() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Storage in GiB (the `mem` column of the paper's tables).
+    pub fn memory_gib(&self) -> f64 {
+        self.storage_bytes() as f64 / (1u64 << 30) as f64
+    }
+
+    /// Matrix-vector product `y = A x` using the HODLR structure
+    /// (`O(N log N)` work).
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.n(), "matvec: x has the wrong length");
+        let mut y = vec![T::zero(); self.n()];
+        // Leaf diagonal blocks.
+        for (leaf_idx, leaf) in self.tree.leaves().enumerate() {
+            let range = self.tree.range(leaf);
+            let d = &self.diag[leaf_idx];
+            hodlr_la::gemv(
+                T::one(),
+                d.as_ref(),
+                Op::None,
+                &x[range.clone()],
+                T::one(),
+                &mut y[range],
+            );
+        }
+        // Off-diagonal low-rank blocks, one sibling pair per internal node.
+        for gamma in self.tree.internal_nodes() {
+            let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+            self.apply_off_diag(alpha, beta, x, &mut y);
+            self.apply_off_diag(beta, alpha, x, &mut y);
+        }
+        y
+    }
+
+    /// `y[I_row] += U_row (V_col^* x[I_col])`.
+    fn apply_off_diag(&self, row_node: NodeId, col_node: NodeId, x: &[T], y: &mut [T]) {
+        let row_range = self.tree.range(row_node);
+        let col_range = self.tree.range(col_node);
+        let u = self.u_block(row_node);
+        let v = self.v_block(col_node);
+        let width = u.cols();
+        let mut tmp = vec![T::zero(); width];
+        hodlr_la::gemv(T::one(), v, Op::ConjTrans, &x[col_range], T::zero(), &mut tmp);
+        hodlr_la::gemv(T::one(), u, Op::None, &tmp, T::one(), &mut y[row_range]);
+    }
+
+    /// Matrix-matrix product `Y = A X` column by column.
+    pub fn matmat(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        assert_eq!(x.rows(), self.n());
+        let mut y = DenseMatrix::zeros(self.n(), x.cols());
+        for j in 0..x.cols() {
+            let yj = self.matvec(x.col(j));
+            y.col_mut(j).copy_from_slice(&yj);
+        }
+        y
+    }
+
+    /// Materialise the matrix densely (tests and small problems only).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let n = self.n();
+        let mut a = DenseMatrix::zeros(n, n);
+        for (leaf_idx, leaf) in self.tree.leaves().enumerate() {
+            let range = self.tree.range(leaf);
+            a.set_block(range.start, range.start, &self.diag[leaf_idx]);
+        }
+        for gamma in self.tree.internal_nodes() {
+            let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+            self.write_off_diag(&mut a, alpha, beta);
+            self.write_off_diag(&mut a, beta, alpha);
+        }
+        a
+    }
+
+    fn write_off_diag(&self, a: &mut DenseMatrix<T>, row_node: NodeId, col_node: NodeId) {
+        let row_range = self.tree.range(row_node);
+        let col_range = self.tree.range(col_node);
+        let u = self.u_block(row_node);
+        let v = self.v_block(col_node);
+        let mut block = DenseMatrix::zeros(row_range.len(), col_range.len());
+        gemm(T::one(), u, Op::None, v, Op::ConjTrans, T::zero(), block.as_mut());
+        a.set_block(row_range.start, col_range.start, &block);
+    }
+
+    /// Relative residual `||b - A x|| / ||b||` of a candidate solution
+    /// (the `relres` column of the paper's tables).
+    pub fn relative_residual(&self, x: &[T], b: &[T]) -> T::Real {
+        let ax = self.matvec(x);
+        let mut diff = T::Real::zero();
+        let mut bnorm = T::Real::zero();
+        for i in 0..b.len() {
+            diff += (b[i] - ax[i]).abs_sqr();
+            bnorm += b[i].abs_sqr();
+        }
+        norms::relative_residual(diff.sqrt_real(), bnorm.sqrt_real())
+    }
+}
+
+/// Build a random, exactly-representable, strictly diagonally dominant HODLR
+/// matrix — the workhorse of the solver correctness tests (an exact HODLR
+/// matrix means the solvers must reproduce the dense solution to machine
+/// precision, Theorem 1).
+pub fn random_hodlr<T: Scalar, R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    levels: usize,
+    rank: usize,
+) -> HodlrMatrix<T> {
+    let tree = ClusterTree::uniform(n, levels);
+    let layout = LevelLayout::uniform(levels, rank);
+    let w = layout.total_cols();
+    let mut ubig: DenseMatrix<T> = DenseMatrix::zeros(n, w);
+    let mut vbig: DenseMatrix<T> = DenseMatrix::zeros(n, w);
+    let mut node_ranks = vec![0usize; tree.num_nodes() + 1];
+
+    for level in 1..=levels {
+        let cols = layout.col_range(level);
+        for node in tree.level_nodes(level) {
+            node_ranks[node] = rank;
+            let rows = tree.range(node);
+            for j in cols.clone() {
+                for i in rows.clone() {
+                    ubig[(i, j)] = hodlr_la::random::random_scalar(rng);
+                    vbig[(i, j)] = hodlr_la::random::random_scalar(rng);
+                }
+            }
+        }
+    }
+
+    // Diagonal blocks shifted to make the whole matrix strictly diagonally
+    // dominant: off-diagonal row sums are bounded by L * rank * max|U||V|
+    // * N, so a shift proportional to that is comfortably sufficient.
+    let shift = T::from_f64((levels.max(1) * rank.max(1)) as f64 * n as f64);
+    let diag: Vec<DenseMatrix<T>> = tree
+        .leaves()
+        .map(|leaf| {
+            let size = tree.node_size(leaf);
+            let mut d: DenseMatrix<T> = hodlr_la::random::random_matrix(rng, size, size);
+            for i in 0..size {
+                d[(i, i)] += shift;
+            }
+            d
+        })
+        .collect();
+
+    HodlrMatrix::from_parts(tree, layout, node_ranks, ubig, vbig, diag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr_la::Complex64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_hodlr_shapes_and_profile() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 64, 3, 4);
+        assert_eq!(m.n(), 64);
+        assert_eq!(m.levels(), 3);
+        assert_eq!(m.max_rank(), 4);
+        assert_eq!(m.rank_profile(), vec![4, 4, 4]);
+        assert_eq!(m.ubig().cols(), 12);
+        assert_eq!(m.diag_blocks().len(), 8);
+        assert_eq!(m.node_rank(5), 4);
+        // Storage: 8 leaf blocks of 8x8 plus two 64x12 bases.
+        assert_eq!(m.storage_entries(), 8 * 64 + 2 * 64 * 12);
+        assert!(m.memory_gib() > 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 48, 3, 3);
+        let dense = m.to_dense();
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y = m.matvec(&x);
+        let y_ref = dense.matvec(&x);
+        for (a, b) in y.iter().zip(y_ref.iter()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense_complex() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m: HodlrMatrix<Complex64> = random_hodlr(&mut rng, 32, 2, 2);
+        let dense = m.to_dense();
+        let x: Vec<Complex64> = (0..32)
+            .map(|i| Complex64::new((i as f64).cos(), (i as f64 * 0.5).sin()))
+            .collect();
+        let y = m.matvec(&x);
+        let y_ref = dense.matvec(&x);
+        for (a, b) in y.iter().zip(y_ref.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matmat_matches_repeated_matvec() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 40, 2, 3);
+        let x: DenseMatrix<f64> = hodlr_la::random::random_matrix(&mut rng, 40, 3);
+        let y = m.matmat(&x);
+        for j in 0..3 {
+            let yj = m.matvec(x.col(j));
+            for i in 0..40 {
+                assert!((y[(i, j)] - yj[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 32, 2, 2);
+        let x: Vec<f64> = (0..32).map(|i| i as f64 - 16.0).collect();
+        let b = m.matvec(&x);
+        assert!(m.relative_residual(&x, &b) < 1e-14);
+        // A perturbed solution has a visible residual.
+        let mut x2 = x.clone();
+        x2[0] += 1.0;
+        assert!(m.relative_residual(&x2, &b) > 1e-6);
+    }
+
+    #[test]
+    fn single_level_tree_is_just_a_dense_block() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 10, 0, 0);
+        assert_eq!(m.levels(), 0);
+        assert_eq!(m.ubig().cols(), 0);
+        let dense = m.to_dense();
+        assert_eq!(dense.rows(), 10);
+        let x = vec![1.0; 10];
+        let y = m.matvec(&x);
+        let y_ref = dense.matvec(&x);
+        for (a, b) in y.iter().zip(y_ref.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one diagonal block per leaf")]
+    fn from_parts_validates_diag_count() {
+        let tree = ClusterTree::uniform(8, 1);
+        let layout = LevelLayout::uniform(1, 1);
+        let _ = HodlrMatrix::<f64>::from_parts(
+            tree,
+            layout,
+            vec![0; 4],
+            DenseMatrix::zeros(8, 1),
+            DenseMatrix::zeros(8, 1),
+            vec![DenseMatrix::zeros(4, 4)],
+        );
+    }
+}

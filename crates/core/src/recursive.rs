@@ -1,0 +1,210 @@
+//! The recursive HODLR solver of Section III-A (the correctness oracle).
+//!
+//! Equation (6) partitions the system by the two children of a node; the two
+//! subproblems (7) are solved recursively with the right-hand side augmented
+//! by the node's left basis, and the results are stitched together through
+//! the small Schur-complement system (9).  Theorem 1 proves the recursion
+//! correct.  This implementation re-factorizes everything on every call —
+//! it exists to validate the precomputed factorizations (Algorithms 1–4),
+//! not to be fast.
+
+use crate::matrix::HodlrMatrix;
+use hodlr_la::lu::SingularError;
+use hodlr_la::{gemm, DenseMatrix, LuFactor, Op, Scalar};
+use hodlr_tree::NodeId;
+
+/// Solve `A X = B` by the recursive algorithm of Section III-A.
+///
+/// # Errors
+/// Returns an error if a leaf diagonal block or one of the small coupling
+/// matrices (9) is numerically singular.
+pub fn solve_recursive<T: Scalar>(
+    matrix: &HodlrMatrix<T>,
+    b: &DenseMatrix<T>,
+) -> Result<DenseMatrix<T>, SingularError> {
+    assert_eq!(b.rows(), matrix.n(), "right-hand side has the wrong row count");
+    solve_node(matrix, matrix.tree().root(), b)
+}
+
+/// Convenience wrapper for a single right-hand side.
+pub fn solve_recursive_vec<T: Scalar>(
+    matrix: &HodlrMatrix<T>,
+    b: &[T],
+) -> Result<Vec<T>, SingularError> {
+    let b_mat = DenseMatrix::from_col_major(b.len(), 1, b.to_vec());
+    let x = solve_recursive(matrix, &b_mat)?;
+    Ok(x.into_data())
+}
+
+fn solve_node<T: Scalar>(
+    matrix: &HodlrMatrix<T>,
+    node: NodeId,
+    b: &DenseMatrix<T>,
+) -> Result<DenseMatrix<T>, SingularError> {
+    let tree = matrix.tree();
+    debug_assert_eq!(b.rows(), tree.node_size(node));
+
+    if tree.is_leaf(node) {
+        // Which leaf is this?  Leaves are numbered consecutively at the last
+        // level, so the local index is the offset from the first leaf id.
+        let first_leaf = 1usize << tree.levels();
+        let leaf_idx = node - first_leaf;
+        let lu = LuFactor::new(matrix.diag_block(leaf_idx))?;
+        return Ok(lu.solve_matrix(b));
+    }
+
+    let (alpha, beta) = tree.children(node).expect("internal node");
+    let ra = tree.range(alpha);
+    let rb = tree.range(beta);
+    let offset = ra.start;
+    let nrhs = b.cols();
+
+    let u_a = matrix.u_block(alpha).to_owned();
+    let u_b = matrix.u_block(beta).to_owned();
+    let v_a = matrix.v_block(alpha).to_owned();
+    let v_b = matrix.v_block(beta).to_owned();
+    let w = u_a.cols();
+
+    // Augmented right-hand sides [b_alpha | U_alpha] and [b_beta | U_beta]
+    // (Eq. 7, written compactly as in Example 1).
+    let b_a = b.sub_matrix(ra.start - offset, 0, ra.len(), nrhs).hcat(&u_a);
+    let b_b = b.sub_matrix(rb.start - offset, 0, rb.len(), nrhs).hcat(&u_b);
+
+    let sol_a = solve_node(matrix, alpha, &b_a)?;
+    let sol_b = solve_node(matrix, beta, &b_b)?;
+
+    let z_a = sol_a.sub_matrix(0, 0, ra.len(), nrhs);
+    let y_a = sol_a.sub_matrix(0, nrhs, ra.len(), w);
+    let z_b = sol_b.sub_matrix(0, 0, rb.len(), nrhs);
+    let y_b = sol_b.sub_matrix(0, nrhs, rb.len(), w);
+
+    // Coupling system (9): [[V_a^* Y_a, I], [I, V_b^* Y_b]].
+    let mut k = DenseMatrix::<T>::zeros(2 * w, 2 * w);
+    if w > 0 {
+        let mut t_a = DenseMatrix::<T>::zeros(w, w);
+        gemm(T::one(), v_a.as_ref(), Op::ConjTrans, y_a.as_ref(), Op::None, T::zero(), t_a.as_mut());
+        let mut t_b = DenseMatrix::<T>::zeros(w, w);
+        gemm(T::one(), v_b.as_ref(), Op::ConjTrans, y_b.as_ref(), Op::None, T::zero(), t_b.as_mut());
+        k.set_block(0, 0, &t_a);
+        k.set_block(w, w, &t_b);
+        for i in 0..w {
+            k[(i, w + i)] = T::one();
+            k[(w + i, i)] = T::one();
+        }
+
+        // Right-hand side [V_a^* z_a; V_b^* z_b].
+        let mut rhs = DenseMatrix::<T>::zeros(2 * w, nrhs);
+        {
+            let mut top = rhs.block_mut(0, 0, w, nrhs);
+            gemm(T::one(), v_a.as_ref(), Op::ConjTrans, z_a.as_ref(), Op::None, T::zero(), top.reborrow());
+        }
+        {
+            let mut bottom = rhs.block_mut(w, 0, w, nrhs);
+            gemm(T::one(), v_b.as_ref(), Op::ConjTrans, z_b.as_ref(), Op::None, T::zero(), bottom.reborrow());
+        }
+
+        let k_lu = LuFactor::from_matrix(k)?;
+        let w_sol = k_lu.solve_matrix(&rhs);
+        let w_a = w_sol.sub_matrix(0, 0, w, nrhs);
+        let w_b = w_sol.sub_matrix(w, 0, w, nrhs);
+
+        // x = z - Y w (Eq. 8).
+        let mut x_a = z_a.clone();
+        let mut corr_a = DenseMatrix::<T>::zeros(ra.len(), nrhs);
+        gemm(T::one(), y_a.as_ref(), Op::None, w_a.as_ref(), Op::None, T::zero(), corr_a.as_mut());
+        x_a.axpy(-T::one(), &corr_a);
+
+        let mut x_b = z_b.clone();
+        let mut corr_b = DenseMatrix::<T>::zeros(rb.len(), nrhs);
+        gemm(T::one(), y_b.as_ref(), Op::None, w_b.as_ref(), Op::None, T::zero(), corr_b.as_mut());
+        x_b.axpy(-T::one(), &corr_b);
+
+        Ok(x_a.vcat(&x_b))
+    } else {
+        // Zero-rank off-diagonal blocks: the two subproblems are independent.
+        Ok(z_a.vcat(&z_b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::random_hodlr;
+    use hodlr_la::lu::solve_dense;
+    use hodlr_la::{Complex64, RealScalar};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_against_dense<T: Scalar>(n: usize, levels: usize, rank: usize, seed: u64, tol: f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m: HodlrMatrix<T> = random_hodlr(&mut rng, n, levels, rank);
+        let dense = m.to_dense();
+        let b: Vec<T> = hodlr_la::random::random_vector(&mut rng, n);
+        let x = solve_recursive_vec(&m, &b).expect("diag dominant matrix is invertible");
+        let x_ref = solve_dense(&dense, &b).expect("dense solve");
+        for (a, r) in x.iter().zip(x_ref.iter()) {
+            assert!((*a - *r).abs().to_f64() < tol, "{a:?} vs {r:?}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_solve_real() {
+        check_against_dense::<f64>(64, 3, 3, 41, 1e-9);
+        check_against_dense::<f64>(96, 2, 5, 42, 1e-9);
+    }
+
+    #[test]
+    fn matches_dense_solve_complex() {
+        check_against_dense::<Complex64>(48, 2, 3, 43, 1e-9);
+    }
+
+    #[test]
+    fn matches_dense_solve_non_power_of_two() {
+        check_against_dense::<f64>(77, 3, 2, 44, 1e-9);
+        check_against_dense::<f64>(33, 2, 1, 45, 1e-9);
+    }
+
+    #[test]
+    fn multiple_right_hand_sides() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 40, 2, 2);
+        let b: DenseMatrix<f64> = hodlr_la::random::random_matrix(&mut rng, 40, 4);
+        let x = solve_recursive(&m, &b).unwrap();
+        // Residual per column.
+        let ax = m.matmat(&x);
+        assert!(ax.sub(&b).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rank_blocks_decouple_the_system() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 32, 2, 0);
+        let b: Vec<f64> = hodlr_la::random::random_vector(&mut rng, 32);
+        let x = solve_recursive_vec(&m, &b).unwrap();
+        let dense = m.to_dense();
+        let x_ref = solve_dense(&dense, &b).unwrap();
+        for (a, r) in x.iter().zip(x_ref.iter()) {
+            assert!((a - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_leaf_is_reported() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let mut m: HodlrMatrix<f64> = random_hodlr(&mut rng, 16, 1, 1);
+        // Zero out one leaf diagonal block to force a singular subproblem.
+        let zero = DenseMatrix::zeros(8, 8);
+        let diag = vec![zero, m.diag_block(1).clone()];
+        let rebuilt = HodlrMatrix::from_parts(
+            m.tree().clone(),
+            m.layout().clone(),
+            (0..=m.tree().num_nodes()).map(|id| if id == 0 { 0 } else { m.node_rank(id.max(1)) }).collect(),
+            m.ubig().clone(),
+            m.vbig().clone(),
+            diag,
+        );
+        m = rebuilt;
+        let b = vec![1.0; 16];
+        assert!(solve_recursive_vec(&m, &b).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! The complexity model of Theorems 2–4.
+//!
+//! The paper derives, for a rank-`r` HODLR matrix of size `N` with leaf size
+//! `m` and `L` tree levels:
+//!
+//! * storage of the matrix and its factorization:
+//!   `m*N + 2*r*N*L = O(r N log N)` scalars (Theorem 2; the statement counts
+//!   the `U` bases once since `Y` overwrites them — we count both `U` and
+//!   `V`, as the storage listing above Theorem 2 does);
+//! * factorization cost:
+//!   `2/3 m^2 N + 2 m r N L + 2 r^2 N (L + L^2) = O(r^2 N log^2 N)`
+//!   operations (Theorem 3);
+//! * solve cost per right-hand side:
+//!   `2 m N + 4 r N L = O(r N log N)` operations (Theorem 4).
+//!
+//! [`CostModel`] evaluates those formulas; [`ComplexityReport`] evaluates
+//! them for a concrete [`HodlrMatrix`] so benchmarks can print analytic
+//! flop counts next to the metered ones.
+
+use crate::matrix::HodlrMatrix;
+use hodlr_la::Scalar;
+
+/// The parameters `(N, m, r, L)` of the paper's complexity analysis.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Problem size `N`.
+    pub n: usize,
+    /// Leaf (diagonal block) size `m`.
+    pub leaf_size: usize,
+    /// Off-diagonal rank `r`.
+    pub rank: usize,
+    /// Number of tree levels `L`.
+    pub levels: usize,
+}
+
+impl CostModel {
+    /// Storage of the HODLR matrix and its factorization, in scalar entries
+    /// (Theorem 2, counting both `U` and `V` bases).
+    pub fn storage_entries(&self) -> u64 {
+        let (n, m, r, l) = self.as_u64();
+        m * n + 2 * r * n * l
+    }
+
+    /// Operations required by the factorization (Theorem 3).
+    pub fn factorization_flops(&self) -> u64 {
+        let (n, m, r, l) = self.as_u64();
+        2 * m * m * n / 3 + 2 * m * r * n * l + 2 * r * r * n * (l + l * l)
+    }
+
+    /// Operations required to solve one right-hand side (Theorem 4).
+    pub fn solve_flops(&self) -> u64 {
+        let (n, m, r, l) = self.as_u64();
+        2 * m * n + 4 * r * n * l
+    }
+
+    fn as_u64(&self) -> (u64, u64, u64, u64) {
+        (
+            self.n as u64,
+            self.leaf_size as u64,
+            self.rank as u64,
+            self.levels as u64,
+        )
+    }
+}
+
+/// Analytic complexity figures evaluated for a concrete HODLR matrix,
+/// using its maximum leaf size and maximum off-diagonal rank.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ComplexityReport {
+    /// The model parameters extracted from the matrix.
+    pub model: CostModel,
+    /// Predicted storage (scalar entries).
+    pub storage_entries: u64,
+    /// Predicted factorization operations.
+    pub factorization_flops: u64,
+    /// Predicted solve operations per right-hand side.
+    pub solve_flops: u64,
+    /// Actual stored entries of the matrix (diagonal blocks + padded bases).
+    pub actual_storage_entries: u64,
+}
+
+impl ComplexityReport {
+    /// Evaluate the model for a matrix.
+    pub fn for_matrix<T: Scalar>(matrix: &HodlrMatrix<T>) -> Self {
+        let model = CostModel {
+            n: matrix.n(),
+            leaf_size: matrix.tree().max_leaf_size(),
+            rank: matrix.max_rank(),
+            levels: matrix.levels(),
+        };
+        ComplexityReport {
+            model,
+            storage_entries: model.storage_entries(),
+            factorization_flops: model.factorization_flops(),
+            solve_flops: model.solve_flops(),
+            actual_storage_entries: matrix.storage_entries() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::random_hodlr;
+    use hodlr_batch::Device;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn formulas_match_hand_computed_values() {
+        // N = 1024, m = 64, r = 8, L = 4.
+        let model = CostModel {
+            n: 1024,
+            leaf_size: 64,
+            rank: 8,
+            levels: 4,
+        };
+        assert_eq!(model.storage_entries(), 64 * 1024 + 2 * 8 * 1024 * 4);
+        assert_eq!(
+            model.factorization_flops(),
+            2 * 64 * 64 * 1024 / 3 + 2 * 64 * 8 * 1024 * 4 + 2 * 8 * 8 * 1024 * (4 + 16)
+        );
+        assert_eq!(model.solve_flops(), 2 * 64 * 1024 + 4 * 8 * 1024 * 4);
+    }
+
+    #[test]
+    fn solve_cost_is_twice_the_basis_storage() {
+        // The paper notes t_s = 2 * (storage touched per solve): every stored
+        // entry of the factorization participates in one multiply-add.
+        let model = CostModel {
+            n: 4096,
+            leaf_size: 32,
+            rank: 5,
+            levels: 7,
+        };
+        // Storage counting U only (as in Theorem 2): m N + r N L.
+        let theorem2 = model.leaf_size as u64 * model.n as u64
+            + model.rank as u64 * model.n as u64 * model.levels as u64;
+        assert_eq!(model.solve_flops(), 2 * theorem2 + 2 * model.rank as u64 * model.n as u64 * model.levels as u64);
+    }
+
+    #[test]
+    fn report_matches_actual_storage_for_uniform_rank() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 256, 3, 4);
+        let report = ComplexityReport::for_matrix(&m);
+        assert_eq!(report.model.n, 256);
+        assert_eq!(report.model.rank, 4);
+        assert_eq!(report.model.levels, 3);
+        // Uniform leaf size 32, so predicted and actual storage agree exactly.
+        assert_eq!(report.actual_storage_entries, report.storage_entries);
+    }
+
+    #[test]
+    fn metered_factorization_flops_are_close_to_theorem_3() {
+        // The analytic count and the metered count agree to within a modest
+        // factor (the formula drops lower-order terms such as the LU of the
+        // small coupling matrices).
+        let mut rng = StdRng::seed_from_u64(92);
+        let matrix: HodlrMatrix<f64> = random_hodlr(&mut rng, 512, 4, 4);
+        let report = ComplexityReport::for_matrix(&matrix);
+        let device = Device::new();
+        let mut gpu = crate::GpuSolver::new(&device, &matrix);
+        let before = device.counters();
+        gpu.factorize().unwrap();
+        let measured = device.counters().since(&before).flops;
+        let predicted = report.factorization_flops;
+        let ratio = measured as f64 / predicted as f64;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "measured {measured} vs predicted {predicted} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn metered_solve_flops_are_close_to_theorem_4() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let matrix: HodlrMatrix<f64> = random_hodlr(&mut rng, 512, 4, 4);
+        let report = ComplexityReport::for_matrix(&matrix);
+        let device = Device::new();
+        let mut gpu = crate::GpuSolver::new(&device, &matrix);
+        gpu.factorize().unwrap();
+        let b = vec![1.0; 512];
+        let before = device.counters();
+        let _ = gpu.solve(&b);
+        let measured = device.counters().since(&before).flops;
+        let predicted = report.solve_flops;
+        let ratio = measured as f64 / predicted as f64;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "measured {measured} vs predicted {predicted} (ratio {ratio})"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Kernel functions: the RPY tensor (Eq. 18) and standard scalar kernels.
+
+/// A translation-invariant scalar kernel `K(x, y)` over points in `R^d`.
+pub trait ScalarKernel: Sync {
+    /// Evaluate the kernel at a pair of points.
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// Value on the diagonal (`x == y`); defaults to `eval(x, x)`.
+    fn diagonal(&self, x: &[f64]) -> f64 {
+        self.eval(x, x)
+    }
+}
+
+fn dist(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// The Gaussian (squared-exponential) kernel
+/// `K(x, y) = exp(-|x - y|^2 / (2 l^2))`, ubiquitous in kernel methods.
+#[derive(Copy, Clone, Debug)]
+pub struct GaussianKernel {
+    /// Length scale `l`.
+    pub length_scale: f64,
+}
+
+impl ScalarKernel for GaussianKernel {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        let r = dist(x, y);
+        (-0.5 * (r / self.length_scale).powi(2)).exp()
+    }
+}
+
+/// The exponential kernel `K(x, y) = exp(-|x - y| / l)` (Matérn-1/2).
+#[derive(Copy, Clone, Debug)]
+pub struct ExponentialKernel {
+    /// Length scale `l`.
+    pub length_scale: f64,
+}
+
+impl ScalarKernel for ExponentialKernel {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        (-dist(x, y) / self.length_scale).exp()
+    }
+}
+
+/// The Matérn-3/2 kernel
+/// `K(x, y) = (1 + sqrt(3) r / l) exp(-sqrt(3) r / l)`, the covariance model
+/// of the data-assimilation applications cited in the introduction.
+#[derive(Copy, Clone, Debug)]
+pub struct MaternKernel {
+    /// Length scale `l`.
+    pub length_scale: f64,
+}
+
+impl ScalarKernel for MaternKernel {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        let s = 3.0_f64.sqrt() * dist(x, y) / self.length_scale;
+        (1.0 + s) * (-s).exp()
+    }
+}
+
+/// The Rotne–Prager–Yamakawa tensor kernel of Eq. (18), which models
+/// hydrodynamic interactions between spherical particles of radius `a` in
+/// Brownian-dynamics simulations.
+///
+/// For two particles at `y_i`, `y_j` with `r = y_i - y_j` the kernel value
+/// is a `3 x 3` matrix; [`RpyKernel::block`] evaluates it and
+/// [`RpyKernel::entry`] addresses a single component, so the full kernel
+/// matrix over `n` particles has size `3n x 3n`.
+#[derive(Copy, Clone, Debug)]
+pub struct RpyKernel {
+    /// Boltzmann constant times temperature (`kT`; 1 in the benchmark).
+    pub kt: f64,
+    /// Fluid viscosity (`eta`; 1 in the benchmark).
+    pub eta: f64,
+    /// Particle radius (`a`; half the minimum pairwise distance in the
+    /// benchmark, so the `r < 2a` branch is exercised only on the diagonal).
+    pub radius: f64,
+}
+
+impl RpyKernel {
+    /// The benchmark configuration of Section IV-A: `k = T = eta = 1` and
+    /// `a = r_min / 2`.
+    pub fn paper_benchmark(min_distance: f64) -> Self {
+        RpyKernel {
+            kt: 1.0,
+            eta: 1.0,
+            radius: min_distance / 2.0,
+        }
+    }
+
+    /// Evaluate the `3 x 3` block for a pair of 3-D points (Eq. 18).
+    pub fn block(&self, yi: &[f64], yj: &[f64]) -> [[f64; 3]; 3] {
+        let pi = std::f64::consts::PI;
+        let a = self.radius;
+        let r_vec = [yi[0] - yj[0], yi[1] - yj[1], yi[2] - yj[2]];
+        let r = (r_vec[0] * r_vec[0] + r_vec[1] * r_vec[1] + r_vec[2] * r_vec[2]).sqrt();
+        let mut out = [[0.0; 3]; 3];
+        if r >= 2.0 * a {
+            let c = self.kt / (8.0 * pi * self.eta * r);
+            let r2 = r * r;
+            for (i, row) in out.iter_mut().enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    let delta = if i == j { 1.0 } else { 0.0 };
+                    let rr = r_vec[i] * r_vec[j] / r2;
+                    *v = c * (delta + rr + 2.0 * a * a / (3.0 * r2) * (delta - 3.0 * rr));
+                }
+            }
+        } else {
+            let c = self.kt / (6.0 * pi * self.eta * a);
+            if r == 0.0 {
+                for (i, row) in out.iter_mut().enumerate() {
+                    row[i] = c;
+                }
+            } else {
+                for (i, row) in out.iter_mut().enumerate() {
+                    for (j, v) in row.iter_mut().enumerate() {
+                        let delta = if i == j { 1.0 } else { 0.0 };
+                        let rr = r_vec[i] * r_vec[j] / r;
+                        *v = c * ((1.0 - 9.0 / 32.0 * r / a) * delta + 3.0 / (32.0 * a) * rr);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Entry `(row, col)` of the `3n x 3n` kernel matrix: `row = 3 i + a`,
+    /// `col = 3 j + b` addresses component `(a, b)` of the block for the
+    /// particle pair `(i, j)`.
+    pub fn entry(&self, yi: &[f64], yj: &[f64], comp_row: usize, comp_col: usize) -> f64 {
+        self.block(yi, yj)[comp_row][comp_col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_and_exponential_basics() {
+        let g = GaussianKernel { length_scale: 2.0 };
+        assert!((g.eval(&[0.0, 0.0], &[0.0, 0.0]) - 1.0).abs() < 1e-15);
+        assert!((g.eval(&[0.0], &[2.0]) - (-0.5_f64).exp()).abs() < 1e-15);
+
+        let e = ExponentialKernel { length_scale: 1.0 };
+        assert!((e.eval(&[1.0, 0.0], &[0.0, 0.0]) - (-1.0_f64).exp()).abs() < 1e-15);
+        assert!(e.eval(&[0.0], &[5.0]) < e.eval(&[0.0], &[1.0]));
+    }
+
+    #[test]
+    fn matern_decreases_with_distance_and_is_one_at_zero() {
+        let m = MaternKernel { length_scale: 1.5 };
+        assert!((m.diagonal(&[0.3, 0.7]) - 1.0).abs() < 1e-15);
+        let v1 = m.eval(&[0.0], &[0.5]);
+        let v2 = m.eval(&[0.0], &[1.5]);
+        assert!(v1 > v2 && v2 > 0.0);
+    }
+
+    #[test]
+    fn rpy_block_is_symmetric_and_positive_on_diagonal() {
+        let k = RpyKernel {
+            kt: 1.0,
+            eta: 1.0,
+            radius: 0.01,
+        };
+        let yi = [0.1, 0.2, 0.3];
+        let yj = [0.4, -0.1, 0.2];
+        let b = k.block(&yi, &yj);
+        // Symmetry of each off-diagonal block: B(y_i, y_j) = B(y_j, y_i)^T,
+        // and each block is itself symmetric because it is built from
+        // delta_ij and r_i r_j.
+        let b_t = k.block(&yj, &yi);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((b[i][j] - b[j][i]).abs() < 1e-15);
+                assert!((b[i][j] - b_t[j][i]).abs() < 1e-15);
+            }
+        }
+        // Self block is a positive multiple of the identity.
+        let s = k.block(&yi, &yi);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    assert!(s[i][j] > 0.0);
+                } else {
+                    assert_eq!(s[i][j], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rpy_far_field_decays_like_one_over_r() {
+        let k = RpyKernel {
+            kt: 1.0,
+            eta: 1.0,
+            radius: 0.001,
+        };
+        let near = k.block(&[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0])[1][1];
+        let far = k.block(&[0.0, 0.0, 0.0], &[10.0, 0.0, 0.0])[1][1];
+        assert!((near / far - 10.0).abs() < 0.2, "ratio {}", near / far);
+    }
+
+    #[test]
+    fn rpy_near_field_branch_is_continuous_at_r_equals_2a() {
+        let a = 0.1;
+        let k = RpyKernel {
+            kt: 1.0,
+            eta: 1.0,
+            radius: a,
+        };
+        let just_inside = k.block(&[0.0, 0.0, 0.0], &[2.0 * a - 1e-9, 0.0, 0.0]);
+        let just_outside = k.block(&[0.0, 0.0, 0.0], &[2.0 * a + 1e-9, 0.0, 0.0]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (just_inside[i][j] - just_outside[i][j]).abs() < 1e-6,
+                    "discontinuity at component ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rpy_entry_addresses_block_components() {
+        let k = RpyKernel {
+            kt: 1.0,
+            eta: 1.0,
+            radius: 0.05,
+        };
+        let yi = [0.0, 0.1, 0.2];
+        let yj = [0.5, 0.4, 0.3];
+        let block = k.block(&yi, &yj);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(k.entry(&yi, &yj, a, b), block[a][b]);
+            }
+        }
+    }
+}

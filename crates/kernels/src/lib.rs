@@ -1,0 +1,24 @@
+//! # hodlr-kernels — kernel functions and kernel-matrix sources
+//!
+//! The paper's first benchmark family (Section IV-A, Table III) solves dense
+//! linear systems whose coefficient matrix is a *kernel matrix*
+//! `K_{ij} = K(y_i, y_j)` over a point cloud.  This crate provides:
+//!
+//! * the Rotne–Prager–Yamakawa (RPY) tensor kernel of Eq. (18), used in the
+//!   paper's comparison against HODLRlib, plus the standard scalar kernels
+//!   of the machine-learning applications the introduction cites (Gaussian,
+//!   Matérn, exponential) — see [`kernels`];
+//! * adapters that turn a kernel plus a point cloud into a
+//!   [`MatrixEntrySource`](hodlr_compress::MatrixEntrySource) so the HODLR
+//!   builder can compress blocks without materialising the matrix — see
+//!   [`source`];
+//! * Bessel and Hankel functions (`J0`, `J1`, `Y0`, `Y1`, `H0^(1)`,
+//!   `H1^(1)`) needed by the Helmholtz boundary integral equation of
+//!   Section IV-C — see [`hankel`].
+
+pub mod hankel;
+pub mod kernels;
+pub mod source;
+
+pub use kernels::{ExponentialKernel, GaussianKernel, MaternKernel, RpyKernel, ScalarKernel};
+pub use source::{RpyMatrixSource, ScalarKernelSource};

@@ -1,0 +1,162 @@
+//! Entry sources that expose kernel matrices to the HODLR builder.
+
+use crate::kernels::{RpyKernel, ScalarKernel};
+use hodlr_compress::MatrixEntrySource;
+use hodlr_tree::PointCloud;
+
+/// The `n x n` kernel matrix `K_{ij} = K(y_i, y_j) + shift * delta_{ij}`
+/// over a point cloud, evaluated lazily.
+///
+/// The optional diagonal shift (a "nugget" or regularisation term) is what
+/// kernel methods add in practice and also keeps the benchmark systems well
+/// conditioned.
+pub struct ScalarKernelSource<'a, K: ScalarKernel> {
+    kernel: K,
+    points: &'a PointCloud,
+    shift: f64,
+}
+
+impl<'a, K: ScalarKernel> ScalarKernelSource<'a, K> {
+    /// A kernel matrix without diagonal shift.
+    pub fn new(kernel: K, points: &'a PointCloud) -> Self {
+        Self::with_shift(kernel, points, 0.0)
+    }
+
+    /// A kernel matrix with diagonal shift `shift`.
+    pub fn with_shift(kernel: K, points: &'a PointCloud, shift: f64) -> Self {
+        ScalarKernelSource {
+            kernel,
+            points,
+            shift,
+        }
+    }
+}
+
+impl<K: ScalarKernel> MatrixEntrySource<f64> for ScalarKernelSource<'_, K> {
+    fn nrows(&self) -> usize {
+        self.points.len()
+    }
+
+    fn ncols(&self) -> usize {
+        self.points.len()
+    }
+
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        let v = self.kernel.eval(self.points.point(i), self.points.point(j));
+        if i == j {
+            v + self.shift
+        } else {
+            v
+        }
+    }
+}
+
+/// The `3n x 3n` RPY kernel matrix over `n` particles in 3-D
+/// (Section IV-A / Table III of the paper): row `3i + a` and column `3j + b`
+/// address component `(a, b)` of the mobility block for the particle pair
+/// `(i, j)`.
+pub struct RpyMatrixSource<'a> {
+    kernel: RpyKernel,
+    points: &'a PointCloud,
+}
+
+impl<'a> RpyMatrixSource<'a> {
+    /// Wrap an RPY kernel and a 3-D point cloud.
+    ///
+    /// # Panics
+    /// Panics if the cloud is not 3-dimensional.
+    pub fn new(kernel: RpyKernel, points: &'a PointCloud) -> Self {
+        assert_eq!(points.dim(), 3, "the RPY kernel is defined over 3-D points");
+        RpyMatrixSource { kernel, points }
+    }
+
+    /// Number of particles (the matrix size is three times this).
+    pub fn num_particles(&self) -> usize {
+        self.points.len()
+    }
+}
+
+impl MatrixEntrySource<f64> for RpyMatrixSource<'_> {
+    fn nrows(&self) -> usize {
+        3 * self.points.len()
+    }
+
+    fn ncols(&self) -> usize {
+        3 * self.points.len()
+    }
+
+    fn entry(&self, row: usize, col: usize) -> f64 {
+        let (i, a) = (row / 3, row % 3);
+        let (j, b) = (col / 3, col % 3);
+        self.kernel
+            .entry(self.points.point(i), self.points.point(j), a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::GaussianKernel;
+    use hodlr_tree::{partition_points, uniform_cube_points};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scalar_kernel_source_is_symmetric_with_shift_on_diagonal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cloud = uniform_cube_points(&mut rng, 30, 2);
+        let src = ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.5 }, &cloud, 2.0);
+        assert_eq!(src.nrows(), 30);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((src.entry(i, j) - src.entry(j, i)).abs() < 1e-15);
+            }
+            assert!(src.entry(i, i) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn rpy_source_shape_and_symmetry() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cloud = uniform_cube_points(&mut rng, 10, 3);
+        let kernel = RpyKernel::paper_benchmark(cloud.min_distance());
+        let src = RpyMatrixSource::new(kernel, &cloud);
+        assert_eq!(src.nrows(), 30);
+        assert_eq!(src.ncols(), 30);
+        assert_eq!(src.num_particles(), 10);
+        for r in 0..12 {
+            for c in 0..12 {
+                assert!((src.entry(r, c) - src.entry(c, r)).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matrix_blocks_are_compressible_after_spatial_ordering() {
+        // The whole point of the HODLR approach: off-diagonal blocks of a
+        // kernel matrix over spatially ordered points have low numerical
+        // rank.
+        let mut rng = StdRng::seed_from_u64(5);
+        let cloud = uniform_cube_points(&mut rng, 256, 3);
+        let part = partition_points(&cloud, 32);
+        let src = ScalarKernelSource::with_shift(
+            GaussianKernel { length_scale: 3.0 },
+            &part.points,
+            1.0,
+        );
+        // Compress the level-1 off-diagonal block (first half vs second half).
+        let half = part.tree.range(2).len();
+        let rest = 256 - half;
+        let block = hodlr_compress::ClosureSource::new(half, rest, |i, j| src.entry(i, half + j));
+        let lr = hodlr_compress::aca_compress(&block, 1e-6, None, hodlr_compress::AcaPivoting::Rook);
+        assert!(lr.rank() < 64, "rank {} is not low", lr.rank());
+    }
+
+    #[test]
+    #[should_panic(expected = "3-D")]
+    fn rpy_source_requires_3d_points() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cloud = uniform_cube_points(&mut rng, 5, 2);
+        let _ = RpyMatrixSource::new(RpyKernel::paper_benchmark(0.1), &cloud);
+    }
+}

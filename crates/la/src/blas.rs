@@ -1,0 +1,466 @@
+//! Level-2/3 BLAS style kernels: `gemm`, `gemv` and friends.
+//!
+//! The GEMM kernel is a cache-blocked, register-tiled triple loop with an
+//! optional rayon-parallel outer loop over column panels.  It supports the
+//! `N`/`T`/`C` operation codes of BLAS through [`Op`], which is what the
+//! HODLR factorization needs (`V^H * Y` products use `Op::ConjTrans`).
+
+use crate::dense::{MatMut, MatRef};
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Operation applied to an input operand of [`gemm`]/[`gemv`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the matrix as stored.
+    None,
+    /// Use the transpose.
+    Trans,
+    /// Use the conjugate transpose (equals `Trans` for real scalars).
+    ConjTrans,
+}
+
+impl Op {
+    /// Rows of `op(A)` given the stored shape of `A`.
+    #[inline]
+    pub fn rows_of<T: Scalar>(self, a: &MatRef<'_, T>) -> usize {
+        match self {
+            Op::None => a.rows(),
+            _ => a.cols(),
+        }
+    }
+
+    /// Columns of `op(A)` given the stored shape of `A`.
+    #[inline]
+    pub fn cols_of<T: Scalar>(self, a: &MatRef<'_, T>) -> usize {
+        match self {
+            Op::None => a.cols(),
+            _ => a.rows(),
+        }
+    }
+
+    /// Element `(i, j)` of `op(A)`.
+    #[inline]
+    pub fn at<T: Scalar>(self, a: &MatRef<'_, T>, i: usize, j: usize) -> T {
+        match self {
+            Op::None => a.get(i, j),
+            Op::Trans => a.get(j, i),
+            Op::ConjTrans => a.get(j, i).conj(),
+        }
+    }
+}
+
+/// Number of flops of a real/complex multiply-add counted as 2 operations, as
+/// in the paper's complexity analysis (Sec. III-D, footnote 3).
+#[inline]
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+/// Threshold (in multiply-adds) above which `gemm` parallelises over columns.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// General matrix-matrix multiply:
+/// `C <- alpha * op_a(A) * op_b(B) + beta * C`.
+///
+/// Shapes must satisfy `op_a(A): m x k`, `op_b(B): k x n`, `C: m x n`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    op_a: Op,
+    b: MatRef<'_, T>,
+    op_b: Op,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let m = op_a.rows_of(&a);
+    let k = op_a.cols_of(&a);
+    let k2 = op_b.rows_of(&b);
+    let n = op_b.cols_of(&b);
+    assert_eq!(k, k2, "gemm: inner dimensions differ ({k} vs {k2})");
+    assert_eq!(c.rows(), m, "gemm: C has wrong row count");
+    assert_eq!(c.cols(), n, "gemm: C has wrong column count");
+
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Scale C by beta first.
+    if beta == T::zero() {
+        c.fill(T::zero());
+    } else if beta != T::one() {
+        for j in 0..n {
+            for x in c.col_mut(j) {
+                *x *= beta;
+            }
+        }
+    }
+    if k == 0 || alpha == T::zero() {
+        return;
+    }
+
+    // Pack op_a(A) once into a column-major m x k buffer: every inner kernel
+    // then streams contiguous columns regardless of the requested op.
+    let a_packed = pack(a, op_a);
+
+    let work = m * n * k;
+    if work >= PAR_THRESHOLD && n > 1 {
+        // Parallelise over disjoint column panels of C.
+        let panel = (n / rayon::current_num_threads().max(1)).max(8).min(n);
+        let ld_c = c.ld();
+        let c_cols = collect_col_ranges(n, panel);
+        // SAFETY: the panels index disjoint column ranges of C, so the raw
+        // pointer writes below never alias.  The pointer wrapper is confined
+        // to this scope.
+        let c_ptr = SendPtr(c.col_mut(0).as_mut_ptr());
+        c_cols.into_par_iter().for_each(|(j0, j1)| {
+            let c_ptr = c_ptr;
+            for j in j0..j1 {
+                let c_col =
+                    unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(j * ld_c), m) };
+                gemm_col(alpha, &a_packed, m, k, &b, op_b, j, c_col);
+            }
+        });
+    } else {
+        for j in 0..n {
+            let c_col = c.col_mut(j);
+            gemm_col(alpha, &a_packed, m, k, &b, op_b, j, c_col);
+        }
+    }
+}
+
+/// A raw pointer that may be sent across rayon worker threads.  Safety is
+/// established at the use site: each task writes a disjoint region.
+#[derive(Copy, Clone)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Pack `op(A)` into a contiguous column-major buffer.
+fn pack<T: Scalar>(a: MatRef<'_, T>, op: Op) -> Vec<T> {
+    let m = op.rows_of(&a);
+    let k = op.cols_of(&a);
+    let mut buf = Vec::with_capacity(m * k);
+    match op {
+        Op::None => {
+            for p in 0..k {
+                buf.extend_from_slice(a.col(p));
+            }
+        }
+        Op::Trans => {
+            for p in 0..k {
+                for i in 0..m {
+                    buf.push(a.get(p, i));
+                }
+            }
+        }
+        Op::ConjTrans => {
+            for p in 0..k {
+                for i in 0..m {
+                    buf.push(a.get(p, i).conj());
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Compute one column of C: `c_col += alpha * A_packed * op_b(B)[:, j]`,
+/// where `A_packed` is column-major `m x k`.
+#[inline]
+fn gemm_col<T: Scalar>(
+    alpha: T,
+    a_packed: &[T],
+    m: usize,
+    k: usize,
+    b: &MatRef<'_, T>,
+    op_b: Op,
+    j: usize,
+    c_col: &mut [T],
+) {
+    match op_b {
+        Op::None => {
+            let b_col = b.col(j);
+            for (p, &bpj) in b_col.iter().enumerate().take(k) {
+                let scale = alpha * bpj;
+                if scale == T::zero() {
+                    continue;
+                }
+                let a_col = &a_packed[p * m..(p + 1) * m];
+                axpy_slice(scale, a_col, c_col);
+            }
+        }
+        _ => {
+            for p in 0..k {
+                let bpj = match op_b {
+                    Op::Trans => b.get(j, p),
+                    Op::ConjTrans => b.get(j, p).conj(),
+                    Op::None => unreachable!(),
+                };
+                let scale = alpha * bpj;
+                if scale == T::zero() {
+                    continue;
+                }
+                let a_col = &a_packed[p * m..(p + 1) * m];
+                axpy_slice(scale, a_col, c_col);
+            }
+        }
+    }
+}
+
+/// `y += alpha * x` over slices of equal length (the hot inner loop).
+#[inline]
+pub fn axpy_slice<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi.mul_add(alpha, *yi);
+    }
+}
+
+/// Dot product `sum_i conj(x_i) * y_i` (the complex inner product).
+#[inline]
+pub fn dot_conj<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = T::zero();
+    for (&xi, &yi) in x.iter().zip(y) {
+        acc += xi.conj() * yi;
+    }
+    acc
+}
+
+/// Dot product without conjugation `sum_i x_i * y_i`.
+#[inline]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = T::zero();
+    for (&xi, &yi) in x.iter().zip(y) {
+        acc += xi * yi;
+    }
+    acc
+}
+
+/// General matrix-vector multiply `y <- alpha * op(A) * x + beta * y`.
+pub fn gemv<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    op: Op,
+    x: &[T],
+    beta: T,
+    y: &mut [T],
+) {
+    let m = op.rows_of(&a);
+    let k = op.cols_of(&a);
+    assert_eq!(x.len(), k, "gemv: x has wrong length");
+    assert_eq!(y.len(), m, "gemv: y has wrong length");
+
+    if beta == T::zero() {
+        y.fill(T::zero());
+    } else if beta != T::one() {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == T::zero() || k == 0 {
+        return;
+    }
+
+    match op {
+        Op::None => {
+            for (p, &xp) in x.iter().enumerate() {
+                let scale = alpha * xp;
+                if scale == T::zero() {
+                    continue;
+                }
+                axpy_slice(scale, a.col(p), y);
+            }
+        }
+        Op::Trans => {
+            for (i, yi) in y.iter_mut().enumerate() {
+                *yi += alpha * dot(a.col(i), x);
+            }
+        }
+        Op::ConjTrans => {
+            for (i, yi) in y.iter_mut().enumerate() {
+                *yi += alpha * dot_conj(a.col(i), x);
+            }
+        }
+    }
+}
+
+/// Collect `(start, end)` pairs that partition `0..n` into chunks of `panel`.
+fn collect_col_ranges(n: usize, panel: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n / panel + 1);
+    let mut j = 0;
+    while j < n {
+        let end = (j + panel).min(n);
+        out.push((j, end));
+        j = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::Complex64;
+
+    fn naive_gemm<T: Scalar>(
+        alpha: T,
+        a: &DenseMatrix<T>,
+        op_a: Op,
+        b: &DenseMatrix<T>,
+        op_b: Op,
+        beta: T,
+        c: &DenseMatrix<T>,
+    ) -> DenseMatrix<T> {
+        let ar = a.as_ref();
+        let br = b.as_ref();
+        let m = op_a.rows_of(&ar);
+        let k = op_a.cols_of(&ar);
+        let n = op_b.cols_of(&br);
+        DenseMatrix::from_fn(m, n, |i, j| {
+            let mut acc = T::zero();
+            for p in 0..k {
+                acc += op_a.at(&ar, i, p) * op_b.at(&br, p, j);
+            }
+            alpha * acc + beta * c[(i, j)]
+        })
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f64> {
+        // Simple deterministic LCG so this test has no rand dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive_all_ops() {
+        let a = rand_mat(7, 5, 1);
+        let b = rand_mat(5, 6, 2);
+        let mut c = rand_mat(7, 6, 3);
+        let expect = naive_gemm(2.0, &a, Op::None, &b, Op::None, 0.5, &c);
+        gemm(2.0, a.as_ref(), Op::None, b.as_ref(), Op::None, 0.5, c.as_mut());
+        assert!(c.sub(&expect).norm_max() < 1e-13);
+
+        // Transposed operands.
+        let a = rand_mat(5, 7, 4); // op_a = T -> 7x5
+        let b = rand_mat(6, 5, 5); // op_b = T -> 5x6
+        let mut c = rand_mat(7, 6, 6);
+        let expect = naive_gemm(1.0, &a, Op::Trans, &b, Op::Trans, -1.0, &c);
+        gemm(1.0, a.as_ref(), Op::Trans, b.as_ref(), Op::Trans, -1.0, c.as_mut());
+        assert!(c.sub(&expect).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn gemm_conj_trans_complex() {
+        let a = DenseMatrix::from_fn(3, 4, |i, j| Complex64::new(i as f64, j as f64 + 1.0));
+        let b = DenseMatrix::from_fn(3, 2, |i, j| Complex64::new(j as f64 - 1.0, i as f64));
+        let mut c = DenseMatrix::<Complex64>::zeros(4, 2);
+        let expect = naive_gemm(
+            Complex64::new(1.0, 0.0),
+            &a,
+            Op::ConjTrans,
+            &b,
+            Op::None,
+            Complex64::new(0.0, 0.0),
+            &c,
+        );
+        gemm(
+            Complex64::new(1.0, 0.0),
+            a.as_ref(),
+            Op::ConjTrans,
+            b.as_ref(),
+            Op::None,
+            Complex64::new(0.0, 0.0),
+            c.as_mut(),
+        );
+        assert!(c.sub(&expect).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn gemm_large_parallel_path() {
+        let a = rand_mat(96, 80, 11);
+        let b = rand_mat(80, 112, 12);
+        let mut c = DenseMatrix::<f64>::zeros(96, 112);
+        let expect = naive_gemm(1.0, &a, Op::None, &b, Op::None, 0.0, &c);
+        gemm(1.0, a.as_ref(), Op::None, b.as_ref(), Op::None, 0.0, c.as_mut());
+        assert!(c.sub(&expect).norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn gemm_on_block_views() {
+        // Multiply sub-blocks addressed through strided views.
+        let big_a = rand_mat(10, 10, 21);
+        let big_b = rand_mat(10, 10, 22);
+        let mut big_c = DenseMatrix::<f64>::zeros(10, 10);
+        let a = big_a.block(2, 3, 4, 5);
+        let b = big_b.block(1, 0, 5, 3);
+        gemm(
+            1.0,
+            a,
+            Op::None,
+            b,
+            Op::None,
+            0.0,
+            big_c.block_mut(0, 0, 4, 3),
+        );
+        let expect = a.to_owned().matmul(&b.to_owned());
+        assert!(big_c.sub_matrix(0, 0, 4, 3).sub(&expect).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn gemv_all_ops() {
+        let a = rand_mat(6, 4, 31);
+        let x4: Vec<f64> = (0..4).map(|i| i as f64 + 1.0).collect();
+        let x6: Vec<f64> = (0..6).map(|i| 0.5 * i as f64 - 1.0).collect();
+
+        let mut y = vec![0.0; 6];
+        gemv(1.0, a.as_ref(), Op::None, &x4, 0.0, &mut y);
+        let expect = a.matvec(&x4);
+        for i in 0..6 {
+            assert!((y[i] - expect[i]).abs() < 1e-13);
+        }
+
+        let mut yt = vec![1.0; 4];
+        gemv(2.0, a.as_ref(), Op::Trans, &x6, 3.0, &mut yt);
+        let expect_t = a.transpose().matvec(&x6);
+        for i in 0..4 {
+            assert!((yt[i] - (2.0 * expect_t[i] + 3.0)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn dot_products() {
+        let x = vec![Complex64::new(1.0, 2.0), Complex64::new(0.0, -1.0)];
+        let y = vec![Complex64::new(3.0, 0.0), Complex64::new(1.0, 1.0)];
+        let d = dot_conj(&x, &y);
+        // conj(1+2i)*3 + conj(-i)*(1+i) = (3-6i) + i(1+i) = (3-6i) + (i-1) = 2 - 5i
+        assert!((d - Complex64::new(2.0, -5.0)).abs() < 1e-14);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn gemm_flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let a = DenseMatrix::<f64>::zeros(0, 3);
+        let b = DenseMatrix::<f64>::zeros(3, 0);
+        let mut c = DenseMatrix::<f64>::zeros(0, 0);
+        gemm(1.0, a.as_ref(), Op::None, b.as_ref(), Op::None, 0.0, c.as_mut());
+        let a = DenseMatrix::<f64>::zeros(2, 0);
+        let b = DenseMatrix::<f64>::zeros(0, 2);
+        let mut c = DenseMatrix::from_fn(2, 2, |_, _| 5.0);
+        gemm(1.0, a.as_ref(), Op::None, b.as_ref(), Op::None, 1.0, c.as_mut());
+        assert_eq!(c[(0, 0)], 5.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! A minimal complex-number type.
+//!
+//! The workspace deliberately avoids external numeric crates, so complex
+//! arithmetic (needed for the Helmholtz boundary integral equation, Sec. IV-C
+//! of the paper) is implemented here.  The layout matches the conventional
+//! LAPACK interleaved `[re, im]` representation so that a slice of
+//! `Complex<R>` can be reinterpreted as pairs if ever needed.
+
+use crate::scalar::RealScalar;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over a real base type `R`.
+#[derive(Copy, Clone, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<R> {
+    /// Real part.
+    pub re: R,
+    /// Imaginary part.
+    pub im: R,
+}
+
+impl<R: RealScalar> Complex<R> {
+    /// Create a complex number from its real and imaginary parts.
+    #[inline]
+    pub fn new(re: R, im: R) -> Self {
+        Self { re, im }
+    }
+
+    /// The imaginary unit `i`.
+    #[inline]
+    pub fn i() -> Self {
+        Self::new(R::zero(), R::one())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conjugate(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Modulus (2-norm) of the complex number.
+    #[inline]
+    pub fn modulus(self) -> R {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus.
+    #[inline]
+    pub fn modulus_sqr(self) -> R {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> R {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse, computed with Smith's algorithm to avoid
+    /// overflow for large components.
+    #[inline]
+    pub fn recip(self) -> Self {
+        if self.re.abs_real() >= self.im.abs_real() {
+            let r = self.im / self.re;
+            let d = self.re + self.im * r;
+            Self::new(R::one() / d, -r / d)
+        } else {
+            let r = self.re / self.im;
+            let d = self.re * r + self.im;
+            Self::new(r / d, -R::one() / d)
+        }
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let m = self.modulus();
+        let two = R::from_f64_real(2.0);
+        let re = ((m + self.re) / two).sqrt_real();
+        let im_mag = ((m - self.re) / two).sqrt_real();
+        let im = if self.im < R::zero() { -im_mag } else { im_mag };
+        Self::new(re, im)
+    }
+
+    /// Complex exponential `e^{self}`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// `e^{i·theta}` for a real angle `theta`.
+    #[inline]
+    pub fn cis(theta: R) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Multiply by the imaginary unit (rotation by 90 degrees).
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Self::new(-self.im, self.re)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale_by(self, s: R) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+}
+
+impl<R: RealScalar> Add for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<R: RealScalar> Sub for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<R: RealScalar> Mul for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<R: RealScalar> Div for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl<R: RealScalar> Neg for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<R: RealScalar> AddAssign for Complex<R> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<R: RealScalar> SubAssign for Complex<R> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<R: RealScalar> MulAssign for Complex<R> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<R: RealScalar> DivAssign for Complex<R> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<R: RealScalar> Sum for Complex<R> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::new(R::zero(), R::zero()), |a, b| a + b)
+    }
+}
+
+impl<R: RealScalar> Mul<R> for Complex<R> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: R) -> Self {
+        self.scale_by(rhs)
+    }
+}
+
+impl<R: fmt::Debug> fmt::Debug for Complex<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}+{:?}i)", self.re, self.im)
+    }
+}
+
+impl<R: fmt::Display> fmt::Display for Complex<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}+{}i)", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type C = Complex<f64>;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C::new(1.5, -2.25);
+        let b = C::new(-0.5, 3.0);
+        assert_eq!(a + b, C::new(1.0, 0.75));
+        assert_eq!(a - b, C::new(2.0, -5.25));
+        let prod = a * b;
+        // (1.5 - 2.25i)(-0.5 + 3i) = -0.75 + 4.5i + 1.125i + 6.75 = 6.0 + 5.625i
+        assert!((prod.re - 6.0).abs() < 1e-14);
+        assert!((prod.im - 5.625).abs() < 1e-14);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = C::new(2.0, -7.0);
+        let b = C::new(-3.0, 0.25);
+        let q = (a * b) / b;
+        assert!((q - a).modulus() < 1e-13);
+    }
+
+    #[test]
+    fn recip_is_stable_for_skewed_magnitudes() {
+        let a = C::new(1e-200, 1e200);
+        let r = a.recip();
+        let check = a * r;
+        assert!((check.re - 1.0).abs() < 1e-12);
+        assert!(check.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-5.0, 12.0)] {
+            let z = C::new(re, im);
+            let s = z.sqrt();
+            assert!((s * s - z).modulus() < 1e-12, "sqrt failed for {z:?}");
+            // principal branch: non-negative real part
+            assert!(s.re >= -1e-15);
+        }
+    }
+
+    #[test]
+    fn exp_and_cis() {
+        let z = C::new(0.0, std::f64::consts::PI);
+        let e = z.exp();
+        assert!((e.re + 1.0).abs() < 1e-14);
+        assert!(e.im.abs() < 1e-14);
+        let c = C::cis(std::f64::consts::FRAC_PI_2);
+        assert!((c - C::i()).modulus() < 1e-15);
+    }
+
+    #[test]
+    fn mul_i_rotates() {
+        let z = C::new(2.0, 3.0);
+        assert_eq!(z.mul_i(), C::new(-3.0, 2.0));
+        assert_eq!(z.mul_i(), z * C::i());
+    }
+
+    #[test]
+    fn arg_and_modulus() {
+        let z = C::new(0.0, 2.0);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert_eq!(z.modulus(), 2.0);
+        assert_eq!(z.modulus_sqr(), 4.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = vec![C::new(1.0, 1.0); 10];
+        let s: C = v.into_iter().sum();
+        assert_eq!(s, C::new(10.0, 10.0));
+    }
+}

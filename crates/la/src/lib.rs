@@ -1,0 +1,42 @@
+//! # hodlr-la — dense linear-algebra substrate
+//!
+//! A small, self-contained dense linear-algebra library used by every other
+//! crate in the `hodlr-rs` workspace.  It provides:
+//!
+//! * a [`Scalar`] abstraction over `f32`, `f64`, [`Complex32`] and
+//!   [`Complex64`] so that every solver in the workspace is generic
+//!   over real and complex fields (the paper solves both Laplace — real — and
+//!   Helmholtz — complex — boundary integral equations);
+//! * a column-major [`DenseMatrix`] with borrowed strided views
+//!   ([`MatRef`]/[`MatMut`]) so that sub-blocks of the big concatenated
+//!   `Ubig`/`Vbig`/`Dbig` matrices can be addressed without copies;
+//! * level-3 BLAS style kernels ([`gemm`](blas::gemm), triangular solves) with
+//!   cache blocking and optional rayon parallelism;
+//! * LAPACK-style factorizations: LU with partial pivoting ([`lu`]),
+//!   Householder QR and column-pivoted QR ([`qr`]), and a one-sided Jacobi
+//!   SVD ([`svd`]) used for low-rank recompression.
+//!
+//! Everything is written from scratch: no external BLAS, LAPACK or GPU
+//! libraries are used anywhere in the workspace.
+
+pub mod blas;
+pub mod complex;
+pub mod dense;
+pub mod lu;
+pub mod norms;
+pub mod qr;
+pub mod random;
+pub mod scalar;
+pub mod svd;
+pub mod triangular;
+
+pub use blas::{gemm, gemv, Op};
+pub use complex::Complex;
+pub use dense::{DenseMatrix, MatMut, MatRef};
+pub use lu::LuFactor;
+pub use scalar::{RealScalar, Scalar};
+
+/// Single-precision complex number.
+pub type Complex32 = Complex<f32>;
+/// Double-precision complex number.
+pub type Complex64 = Complex<f64>;

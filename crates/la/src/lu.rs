@@ -1,0 +1,372 @@
+//! LU factorization with partial (row) pivoting and associated solves.
+//!
+//! This is the workhorse of the HODLR solver: every leaf diagonal block and
+//! every 2r x 2r coefficient matrix `K` (Eq. 11) is factorized with `getrf`
+//! and solved with `getrs`.  The routines operate in place on views so that
+//! the batched engine in `hodlr-batch` can run them on sub-blocks of one big
+//! buffer, mirroring cuBLAS `getrfBatched`/`getrsBatched`.
+
+use crate::blas::Op;
+use crate::dense::{DenseMatrix, MatMut, MatRef};
+use crate::scalar::{RealScalar, Scalar};
+
+/// Error returned when a factorization encounters an exactly singular pivot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularError {
+    /// Zero pivot position (0-based), mirroring LAPACK's `info` convention.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for SingularError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular: zero pivot at position {}", self.pivot)
+    }
+}
+
+impl std::error::Error for SingularError {}
+
+/// In-place LU factorization with partial pivoting (LAPACK `getrf`).
+///
+/// On success the strictly lower triangle of `a` holds `L` (unit diagonal
+/// implicit), the upper triangle holds `U`, and the returned vector holds the
+/// pivot rows: at step `k` row `k` was swapped with row `piv[k]`.
+///
+/// Returns [`SingularError`] when a pivot is exactly zero; the factorization
+/// is left in a partially updated state in that case.
+pub fn getrf_in_place<T: Scalar>(mut a: MatMut<'_, T>) -> Result<Vec<usize>, SingularError> {
+    let n = a.rows().min(a.cols());
+    let mut piv = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Pivot search: largest modulus in column k at or below the diagonal.
+        let mut p = k;
+        let mut best = a.get(k, k).abs();
+        for i in (k + 1)..a.rows() {
+            let v = a.get(i, k).abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        piv.push(p);
+        if best == <T::Real as Scalar>::zero() {
+            return Err(SingularError { pivot: k });
+        }
+        if p != k {
+            swap_rows(&mut a, k, p);
+        }
+        let pivot = a.get(k, k);
+        let pivot_inv = pivot.recip();
+        for i in (k + 1)..a.rows() {
+            let lik = a.get(i, k) * pivot_inv;
+            a.set(i, k, lik);
+        }
+        // Trailing update: A[k+1.., k+1..] -= L[k+1.., k] * U[k, k+1..].
+        for j in (k + 1)..a.cols() {
+            let ukj = a.get(k, j);
+            if ukj == T::zero() {
+                continue;
+            }
+            for i in (k + 1)..a.rows() {
+                let lik = a.get(i, k);
+                let v = a.get(i, j) - lik * ukj;
+                a.set(i, j, v);
+            }
+        }
+    }
+    Ok(piv)
+}
+
+fn swap_rows<T: Scalar>(a: &mut MatMut<'_, T>, r1: usize, r2: usize) {
+    for j in 0..a.cols() {
+        let t = a.get(r1, j);
+        let v = a.get(r2, j);
+        a.set(r1, j, v);
+        a.set(r2, j, t);
+    }
+}
+
+/// Apply the row interchanges recorded by [`getrf_in_place`] to a right-hand
+/// side (LAPACK `laswp` forward direction).
+pub fn apply_pivots_forward<T: Scalar>(piv: &[usize], mut b: MatMut<'_, T>) {
+    for (k, &p) in piv.iter().enumerate() {
+        if p != k {
+            swap_rows(&mut b, k, p);
+        }
+    }
+}
+
+/// Solve `A X = B` in place given the in-place LU factors and pivots
+/// (LAPACK `getrs`, no-transpose).  `B` is overwritten with the solution.
+pub fn getrs_in_place<T: Scalar>(lu: MatRef<'_, T>, piv: &[usize], mut b: MatMut<'_, T>) {
+    assert_eq!(lu.rows(), lu.cols(), "getrs: factor must be square");
+    assert_eq!(lu.rows(), b.rows(), "getrs: rhs has wrong row count");
+    apply_pivots_forward(piv, b.reborrow());
+    crate::triangular::solve_triangular_in_place(
+        lu,
+        crate::triangular::Triangle::Lower,
+        crate::triangular::Diag::Unit,
+        b.reborrow(),
+    );
+    crate::triangular::solve_triangular_in_place(
+        lu,
+        crate::triangular::Triangle::Upper,
+        crate::triangular::Diag::NonUnit,
+        b,
+    );
+}
+
+/// An owned LU factorization of a square matrix.
+#[derive(Clone)]
+pub struct LuFactor<T> {
+    lu: DenseMatrix<T>,
+    piv: Vec<usize>,
+}
+
+impl<T: Scalar> std::fmt::Debug for LuFactor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LuFactor")
+            .field("order", &self.lu.rows())
+            .field("piv", &self.piv)
+            .finish()
+    }
+}
+
+impl<T: Scalar> LuFactor<T> {
+    /// Factorize a square matrix (copying it).
+    pub fn new(a: &DenseMatrix<T>) -> Result<Self, SingularError> {
+        assert_eq!(a.rows(), a.cols(), "LuFactor requires a square matrix");
+        let mut lu = a.clone();
+        let piv = getrf_in_place(lu.as_mut())?;
+        Ok(Self { lu, piv })
+    }
+
+    /// Factorize, taking ownership of the matrix storage.
+    pub fn from_matrix(mut a: DenseMatrix<T>) -> Result<Self, SingularError> {
+        assert_eq!(a.rows(), a.cols(), "LuFactor requires a square matrix");
+        let piv = getrf_in_place(a.as_mut())?;
+        Ok(Self { lu: a, piv })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`, returning the solution.
+    pub fn solve_vec(&self, b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.order());
+        let mut x = b.to_vec();
+        let n = x.len();
+        getrs_in_place(self.lu.as_ref(), &self.piv, MatMut::from_parts(&mut x, n, 1, n.max(1)));
+        x
+    }
+
+    /// Solve `A X = B` for a multi-column right-hand side in place.
+    pub fn solve_in_place(&self, b: MatMut<'_, T>) {
+        getrs_in_place(self.lu.as_ref(), &self.piv, b);
+    }
+
+    /// Solve `A X = B`, returning the solution matrix.
+    pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+        let mut x = b.clone();
+        self.solve_in_place(x.as_mut());
+        x
+    }
+
+    /// Logarithm of the absolute determinant plus the sign/phase factor.
+    ///
+    /// Returns `(log|det|, s)` where `det = s * exp(log|det|)` and `|s| = 1`.
+    pub fn log_det(&self) -> (T::Real, T) {
+        let n = self.order();
+        let mut log_abs = T::Real::zero();
+        let mut phase = T::one();
+        let mut swaps = 0usize;
+        for (k, &p) in self.piv.iter().enumerate() {
+            if p != k {
+                swaps += 1;
+            }
+        }
+        for i in 0..n {
+            let d = self.lu[(i, i)];
+            log_abs += d.abs().ln();
+            phase *= d.scale(d.abs().recip_or_one());
+        }
+        if swaps % 2 == 1 {
+            phase = -phase;
+        }
+        (log_abs, phase)
+    }
+
+    /// The factored matrix data (L and U packed), useful for testing.
+    pub fn factors(&self) -> (&DenseMatrix<T>, &[usize]) {
+        (&self.lu, &self.piv)
+    }
+
+    /// Explicitly form the inverse (for small matrices / testing only).
+    pub fn inverse(&self) -> DenseMatrix<T> {
+        let n = self.order();
+        let id = DenseMatrix::identity(n);
+        self.solve_matrix(&id)
+    }
+}
+
+/// Internal helper: `1 / x` but 1 when `x == 0`, used to normalise phases.
+trait RecipOrOne {
+    fn recip_or_one(self) -> Self;
+}
+impl<R: RealScalar> RecipOrOne for R {
+    fn recip_or_one(self) -> Self {
+        if self == R::zero() {
+            R::one()
+        } else {
+            R::one() / self
+        }
+    }
+}
+
+/// Solve a dense system `A x = b` with a fresh LU factorization.
+pub fn solve_dense<T: Scalar>(a: &DenseMatrix<T>, b: &[T]) -> Result<Vec<T>, SingularError> {
+    Ok(LuFactor::new(a)?.solve_vec(b))
+}
+
+/// Reconstruct `P * A` from packed LU factors: used by tests to check
+/// `P A = L U`.
+pub fn reconstruct_pa<T: Scalar>(a: &DenseMatrix<T>, piv: &[usize]) -> DenseMatrix<T> {
+    let mut pa = a.clone();
+    let mut view = pa.as_mut();
+    for (k, &p) in piv.iter().enumerate() {
+        if p != k {
+            swap_rows(&mut view, k, p);
+        }
+    }
+    pa
+}
+
+/// Multiply the packed `L` and `U` factors back together (testing helper).
+pub fn multiply_lu<T: Scalar>(lu: &DenseMatrix<T>) -> DenseMatrix<T> {
+    let n = lu.rows();
+    let m = lu.cols();
+    let k = n.min(m);
+    let l = DenseMatrix::from_fn(n, k, |i, j| {
+        if i > j {
+            lu[(i, j)]
+        } else if i == j {
+            T::one()
+        } else {
+            T::zero()
+        }
+    });
+    let u = DenseMatrix::from_fn(k, m, |i, j| if i <= j { lu[(i, j)] } else { T::zero() });
+    let mut c = DenseMatrix::zeros(n, m);
+    crate::blas::gemm(T::one(), l.as_ref(), Op::None, u.as_ref(), Op::None, T::zero(), c.as_mut());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_matrix;
+    use crate::Complex64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lu_reconstructs_pa() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: DenseMatrix<f64> = random_matrix(&mut rng, 8, 8);
+        let mut lu = a.clone();
+        let piv = getrf_in_place(lu.as_mut()).unwrap();
+        let pa = reconstruct_pa(&a, &piv);
+        let prod = multiply_lu(&lu);
+        assert!(pa.sub(&prod).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a: DenseMatrix<f64> = random_matrix(&mut rng, 12, 12);
+        let x_true: Vec<f64> = (0..12).map(|i| (i as f64) - 5.5).collect();
+        let b = a.matvec(&x_true);
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve_vec(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn complex_solve() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a: DenseMatrix<Complex64> = random_matrix(&mut rng, 9, 9);
+        let x_true: Vec<Complex64> = (0..9)
+            .map(|i| Complex64::new(i as f64, -(i as f64) / 2.0))
+            .collect();
+        let b = a.matvec(&x_true);
+        let x = solve_dense(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a: DenseMatrix<f64> = random_matrix(&mut rng, 10, 10);
+        let x_true: DenseMatrix<f64> = random_matrix(&mut rng, 10, 4);
+        let b = a.matmul(&x_true);
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve_matrix(&b);
+        assert!(x.sub(&x_true).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let err = LuFactor::new(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn log_det_matches_known_determinant() {
+        // det = 2 * 3 * 4 = 24 for a triangular matrix.
+        let a: DenseMatrix<f64> = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 3.0, 5.0],
+            vec![0.0, 0.0, 4.0],
+        ]);
+        let f = LuFactor::new(&a).unwrap();
+        let (log_abs, sign) = f.log_det();
+        assert!((log_abs - 24.0_f64.ln()).abs() < 1e-12);
+        assert!((sign - 1.0).abs() < 1e-12);
+
+        // Swap two rows: determinant flips sign.
+        let b: DenseMatrix<f64> = DenseMatrix::from_rows(&[
+            vec![0.0, 3.0, 5.0],
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 0.0, 4.0],
+        ]);
+        let f = LuFactor::new(&b).unwrap();
+        let (log_abs, sign) = f.log_det();
+        assert!((log_abs - 24.0_f64.ln()).abs() < 1e-12);
+        assert!((sign + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a: DenseMatrix<f64> = random_matrix(&mut rng, 6, 6);
+        let inv = LuFactor::new(&a).unwrap().inverse();
+        let id = a.matmul(&inv);
+        assert!(id.sub(&DenseMatrix::identity(6)).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve_vec(&[2.0, 3.0]);
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+}

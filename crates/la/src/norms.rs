@@ -1,0 +1,97 @@
+//! Matrix and vector norms.
+
+use crate::dense::MatRef;
+use crate::scalar::{RealScalar, Scalar};
+
+/// Frobenius norm of a matrix view.
+pub fn norm_fro<T: Scalar>(a: MatRef<'_, T>) -> T::Real {
+    let mut acc = T::Real::zero();
+    for j in 0..a.cols() {
+        for &x in a.col(j) {
+            acc += x.abs_sqr();
+        }
+    }
+    acc.sqrt_real()
+}
+
+/// Largest entry modulus of a matrix view.
+pub fn norm_max<T: Scalar>(a: MatRef<'_, T>) -> T::Real {
+    let mut acc = T::Real::zero();
+    for j in 0..a.cols() {
+        for &x in a.col(j) {
+            acc = acc.max_real(x.abs());
+        }
+    }
+    acc
+}
+
+/// Euclidean norm of a vector.
+pub fn norm2<T: Scalar>(x: &[T]) -> T::Real {
+    let mut acc = T::Real::zero();
+    for &v in x {
+        acc += v.abs_sqr();
+    }
+    acc.sqrt_real()
+}
+
+/// Euclidean distance between two vectors.
+pub fn dist2<T: Scalar>(x: &[T], y: &[T]) -> T::Real {
+    assert_eq!(x.len(), y.len());
+    let mut acc = T::Real::zero();
+    for (&a, &b) in x.iter().zip(y) {
+        acc += (a - b).abs_sqr();
+    }
+    acc.sqrt_real()
+}
+
+/// Relative residual `||b - A x|| / ||b||` given the residual and b norms.
+pub fn relative_residual<R: RealScalar>(residual_norm: R, b_norm: R) -> R {
+    if b_norm == R::zero() {
+        residual_norm
+    } else {
+        residual_norm / b_norm
+    }
+}
+
+/// One-norm (maximum absolute column sum).
+pub fn norm_one<T: Scalar>(a: MatRef<'_, T>) -> T::Real {
+    let mut best = T::Real::zero();
+    for j in 0..a.cols() {
+        let mut s = T::Real::zero();
+        for &x in a.col(j) {
+            s += x.abs();
+        }
+        best = best.max_real(s);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::Complex64;
+
+    #[test]
+    fn frobenius_and_max() {
+        let a: DenseMatrix<f64> = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert!((norm_fro(a.as_ref()) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_max(a.as_ref()), 4.0);
+        assert_eq!(norm_one(a.as_ref()), 4.0);
+    }
+
+    #[test]
+    fn complex_norms() {
+        let a = DenseMatrix::from_fn(1, 1, |_, _| Complex64::new(3.0, 4.0));
+        assert!((norm_fro(a.as_ref()) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_max(a.as_ref()), 5.0);
+    }
+
+    #[test]
+    fn vector_norms() {
+        assert_eq!(norm2(&[3.0_f64, 4.0]), 5.0);
+        assert_eq!(dist2(&[1.0_f64, 1.0], &[1.0, 2.0]), 1.0);
+        assert_eq!(relative_residual(1.0_f64, 2.0), 0.5);
+        assert_eq!(relative_residual(0.25_f64, 0.0), 0.25);
+    }
+}

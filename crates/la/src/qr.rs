@@ -1,0 +1,477 @@
+//! Householder QR and column-pivoted (rank-revealing) QR.
+//!
+//! The HODLR construction needs two things from QR:
+//!
+//! * a plain thin QR used to re-orthonormalise low-rank bases produced by the
+//!   randomized range finder ([`thin_qr`]);
+//! * a column-pivoted QR ([`PivotedQr`]) whose diagonal of `R` decays, so a
+//!   numerical rank can be read off against a tolerance — the workhorse of
+//!   dense low-rank compression when no analytic structure is available.
+//!
+//! Both work for real and complex scalars.
+
+use crate::blas::{gemm, Op};
+use crate::dense::{DenseMatrix, MatMut};
+use crate::scalar::{RealScalar, Scalar};
+
+/// A Householder reflector `H = I - tau * v v^*` stored as the vector `v`
+/// (with `v[0] = 1` implicitly) and the scalar `tau`.
+#[derive(Clone, Debug)]
+struct Reflector<T: Scalar> {
+    v: Vec<T>,
+    tau: T,
+}
+
+/// Compute the Householder reflector that maps `x` onto `beta * e_1` and
+/// return `(reflector, beta)`.  For a zero column the identity reflector
+/// (`tau = 0`) is returned.
+fn householder<T: Scalar>(x: &[T]) -> (Reflector<T>, T) {
+    let n = x.len();
+    debug_assert!(n > 0);
+    let norm = crate::norms::norm2(x);
+    if norm == T::Real::zero() {
+        return (
+            Reflector {
+                v: vec![T::zero(); n],
+                tau: T::zero(),
+            },
+            T::zero(),
+        );
+    }
+    // beta = -sign(x0) * ||x||, where sign is the complex phase of x0.
+    let x0 = x[0];
+    let phase = if x0.abs() == T::Real::zero() {
+        T::one()
+    } else {
+        x0.scale(x0.abs().recip_real())
+    };
+    let beta = -(phase.scale(norm));
+    // v = x - beta e1, normalised so that v[0] = 1.
+    let v0 = x0 - beta;
+    let mut v = vec![T::zero(); n];
+    v[0] = T::one();
+    if v0.abs() == T::Real::zero() {
+        // x is already a multiple of e1 with the "wrong" sign handled above.
+        return (
+            Reflector {
+                v,
+                tau: T::zero(),
+            },
+            x0,
+        );
+    }
+    let inv_v0 = v0.recip();
+    for i in 1..n {
+        v[i] = x[i] * inv_v0;
+    }
+    // tau = (beta - x0) / beta gives H x = beta e1 for the scaled v.
+    let tau = (beta - x0) / beta;
+    (Reflector { v, tau }, beta)
+}
+
+/// Apply `H = I - tau v v^*` to the sub-block `a` from the left: `A <- H A`.
+fn apply_reflector_left<T: Scalar>(r: &Reflector<T>, mut a: MatMut<'_, T>) {
+    if r.tau == T::zero() {
+        return;
+    }
+    let m = a.rows();
+    let n = a.cols();
+    debug_assert_eq!(r.v.len(), m);
+    for j in 0..n {
+        // w = v^* a_j
+        let mut w = T::zero();
+        for i in 0..m {
+            w += r.v[i].conj() * a.get(i, j);
+        }
+        w *= r.tau;
+        if w == T::zero() {
+            continue;
+        }
+        for i in 0..m {
+            let val = a.get(i, j) - w * r.v[i];
+            a.set(i, j, val);
+        }
+    }
+}
+
+trait RecipReal {
+    fn recip_real(self) -> Self;
+}
+
+impl<R: RealScalar> RecipReal for R {
+    fn recip_real(self) -> Self {
+        R::one() / self
+    }
+}
+
+/// Thin (economy) QR factorization `A = Q R` of an `m x n` matrix with
+/// `m >= n`: `Q` is `m x n` with orthonormal columns and `R` is `n x n`
+/// upper triangular.
+///
+/// For `m < n` the factorization is still returned with `Q: m x m` and
+/// `R: m x n`.
+///
+/// # Panics
+/// Panics if `a` is empty.
+pub fn thin_qr<T: Scalar>(a: &DenseMatrix<T>) -> (DenseMatrix<T>, DenseMatrix<T>) {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m > 0 && n > 0, "thin_qr: empty matrix");
+    let k = m.min(n);
+
+    let mut work = a.clone();
+    let mut reflectors = Vec::with_capacity(k);
+    for col in 0..k {
+        let x: Vec<T> = (col..m).map(|i| work[(i, col)]).collect();
+        let (refl, beta) = householder(&x);
+        // Update trailing block [col.., col..].
+        apply_reflector_left(&refl, work.block_mut(col, col, m - col, n - col));
+        // The reflector zeroes the column below the diagonal; enforce exactly.
+        work[(col, col)] = beta;
+        for i in (col + 1)..m {
+            work[(i, col)] = T::zero();
+        }
+        reflectors.push(refl);
+    }
+
+    // R is the top k x n block of the reduced matrix.
+    let r = work.sub_matrix(0, 0, k, n);
+
+    // Form the thin Q by applying the reflectors to the first k columns of I.
+    let mut q = DenseMatrix::<T>::zeros(m, k);
+    for j in 0..k {
+        q[(j, j)] = T::one();
+    }
+    for col in (0..k).rev() {
+        apply_reflector_left(&reflectors[col], q.block_mut(col, col, m - col, k - col));
+    }
+    (q, r)
+}
+
+/// Orthonormalise the columns of `a` in place (thin Q), returning the number
+/// of numerically independent columns kept.  Columns whose residual norm
+/// falls below `tol * ||a||_F` are dropped.
+pub fn orthonormalize<T: Scalar>(a: &DenseMatrix<T>, tol: T::Real) -> DenseMatrix<T> {
+    let (q, r) = thin_qr(a);
+    let k = q.cols();
+    // Determine how many diagonal entries of R are significant.
+    let mut scale = T::Real::zero();
+    for i in 0..k.min(r.rows()) {
+        scale = scale.max_real(r[(i, i)].abs());
+    }
+    if scale == T::Real::zero() {
+        return DenseMatrix::zeros(a.rows(), 0);
+    }
+    let mut keep = 0;
+    for i in 0..k.min(r.rows()) {
+        if r[(i, i)].abs() > tol * scale {
+            keep = i + 1;
+        }
+    }
+    q.sub_matrix(0, 0, q.rows(), keep)
+}
+
+/// Result of a column-pivoted QR factorization `A P = Q R`.
+///
+/// `perm[j]` is the index of the original column of `A` that was moved to
+/// position `j`, so `A[:, perm] = Q R`.
+#[derive(Clone, Debug)]
+pub struct PivotedQr<T: Scalar> {
+    /// Thin orthonormal factor, `m x rank`.
+    pub q: DenseMatrix<T>,
+    /// Upper-trapezoidal factor in pivoted order, `rank x n`.
+    pub r: DenseMatrix<T>,
+    /// Column permutation: `a[:, perm[j]]` is the `j`-th pivoted column.
+    pub perm: Vec<usize>,
+    /// Numerical rank detected against the requested tolerance.
+    pub rank: usize,
+}
+
+impl<T: Scalar> PivotedQr<T> {
+    /// Reassemble the low-rank factors `(U, V)` such that `A ~= U V^*`
+    /// (the HODLR off-diagonal convention, Eq. (5) of the paper).
+    ///
+    /// `U = Q` and `V^*` is `R` with the column permutation undone.
+    pub fn low_rank_factors(&self) -> (DenseMatrix<T>, DenseMatrix<T>) {
+        let rank = self.rank;
+        let n = self.r.cols();
+        let u = self.q.clone();
+        // v is n x rank with v[j, :] = conj(r[:, pos of column j]).
+        let mut v = DenseMatrix::<T>::zeros(n, rank);
+        for (pos, &orig) in self.perm.iter().enumerate() {
+            for i in 0..rank {
+                v[(orig, i)] = self.r[(i, pos)].conj();
+            }
+        }
+        (u, v)
+    }
+}
+
+/// Column-pivoted QR with early termination at a relative tolerance or a
+/// maximum rank (Golub–Businger with running column-norm downdates).
+///
+/// The factorization stops as soon as the largest remaining column norm drops
+/// below `tol` times the largest initial column norm, or when `max_rank`
+/// columns have been processed.
+///
+/// # Panics
+/// Panics if `a` is empty.
+pub fn pivoted_qr<T: Scalar>(
+    a: &DenseMatrix<T>,
+    tol: T::Real,
+    max_rank: Option<usize>,
+) -> PivotedQr<T> {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m > 0 && n > 0, "pivoted_qr: empty matrix");
+    let kmax = max_rank.unwrap_or(usize::MAX).min(m).min(n);
+
+    let mut work = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut col_norms: Vec<T::Real> = (0..n)
+        .map(|j| crate::norms::norm2(work.col(j)))
+        .collect();
+    let norm_scale = col_norms
+        .iter()
+        .fold(T::Real::zero(), |acc, &x| acc.max_real(x));
+
+    let mut reflectors: Vec<Reflector<T>> = Vec::new();
+    let mut rank = 0;
+
+    while rank < kmax {
+        // Pivot: bring the column with the largest remaining norm to `rank`.
+        let (pivot, &pivot_norm) = col_norms
+            .iter()
+            .enumerate()
+            .skip(rank)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty remaining columns");
+        if norm_scale == T::Real::zero() || pivot_norm <= tol * norm_scale {
+            break;
+        }
+        if pivot != rank {
+            swap_cols(&mut work, rank, pivot);
+            perm.swap(rank, pivot);
+            col_norms.swap(rank, pivot);
+        }
+
+        let x: Vec<T> = (rank..m).map(|i| work[(i, rank)]).collect();
+        let (refl, beta) = householder(&x);
+        apply_reflector_left(&refl, work.block_mut(rank, rank, m - rank, n - rank));
+        work[(rank, rank)] = beta;
+        for i in (rank + 1)..m {
+            work[(i, rank)] = T::zero();
+        }
+        reflectors.push(refl);
+        rank += 1;
+
+        // Recompute the trailing column norms (exact recomputation is O(mn)
+        // per step; fine for the small blocks compressed in HODLR builds and
+        // avoids the classical downdating cancellation issue).
+        for j in rank..n {
+            let tail: Vec<T> = (rank..m).map(|i| work[(i, j)]).collect();
+            col_norms[j] = crate::norms::norm2(&tail);
+        }
+    }
+
+    let r = if rank == 0 {
+        DenseMatrix::zeros(0, n)
+    } else {
+        work.sub_matrix(0, 0, rank, n)
+    };
+
+    // Thin Q: apply reflectors to the first `rank` columns of the identity.
+    let mut q = DenseMatrix::<T>::zeros(m, rank);
+    for j in 0..rank {
+        q[(j, j)] = T::one();
+    }
+    for col in (0..rank).rev() {
+        apply_reflector_left(&reflectors[col], q.block_mut(col, col, m - col, rank - col));
+    }
+
+    PivotedQr { q, r, perm, rank }
+}
+
+fn swap_cols<T: Scalar>(a: &mut DenseMatrix<T>, j1: usize, j2: usize) {
+    if j1 == j2 {
+        return;
+    }
+    let rows = a.rows();
+    for i in 0..rows {
+        let t = a[(i, j1)];
+        a[(i, j1)] = a[(i, j2)];
+        a[(i, j2)] = t;
+    }
+}
+
+/// Reconstruction error `||A - Q R P^*||_F` of a pivoted QR, used by tests.
+pub fn pivoted_qr_residual<T: Scalar>(a: &DenseMatrix<T>, f: &PivotedQr<T>) -> T::Real {
+    let (u, v) = f.low_rank_factors();
+    let mut approx = DenseMatrix::<T>::zeros(a.rows(), a.cols());
+    if f.rank > 0 {
+        gemm(
+            T::one(),
+            u.as_ref(),
+            Op::None,
+            v.as_ref(),
+            Op::ConjTrans,
+            T::zero(),
+            approx.as_mut(),
+        );
+    }
+    a.sub(&approx).norm_fro()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{gaussian_matrix, random_low_rank, random_matrix};
+    use crate::Complex64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_orthonormal<T: Scalar>(q: &DenseMatrix<T>, tol: f64) {
+        let k = q.cols();
+        let mut gram = DenseMatrix::<T>::zeros(k, k);
+        gemm(
+            T::one(),
+            q.as_ref(),
+            Op::ConjTrans,
+            q.as_ref(),
+            Op::None,
+            T::zero(),
+            gram.as_mut(),
+        );
+        for i in 0..k {
+            for j in 0..k {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (gram[(i, j)].abs().to_f64() - expect).abs() < tol,
+                    "gram[{i},{j}] = {:?}",
+                    gram[(i, j)]
+                );
+            }
+        }
+    }
+
+    fn check_qr_reconstruction<T: Scalar>(a: &DenseMatrix<T>, tol: f64) {
+        let (q, r) = thin_qr(a);
+        check_orthonormal(&q, tol);
+        let mut qr = DenseMatrix::<T>::zeros(a.rows(), a.cols());
+        gemm(
+            T::one(),
+            q.as_ref(),
+            Op::None,
+            r.as_ref(),
+            Op::None,
+            T::zero(),
+            qr.as_mut(),
+        );
+        let err = a.sub(&qr).norm_fro().to_f64();
+        let scale = a.norm_fro().to_f64().max(1.0);
+        assert!(err / scale < tol, "qr reconstruction error {err}");
+    }
+
+    #[test]
+    fn thin_qr_real_tall() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a: DenseMatrix<f64> = random_matrix(&mut rng, 30, 12);
+        check_qr_reconstruction(&a, 1e-12);
+    }
+
+    #[test]
+    fn thin_qr_real_wide() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a: DenseMatrix<f64> = random_matrix(&mut rng, 8, 20);
+        check_qr_reconstruction(&a, 1e-12);
+    }
+
+    #[test]
+    fn thin_qr_complex() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a: DenseMatrix<Complex64> = random_matrix(&mut rng, 25, 10);
+        check_qr_reconstruction(&a, 1e-12);
+    }
+
+    #[test]
+    fn thin_qr_r_is_upper_triangular() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a: DenseMatrix<f64> = random_matrix(&mut rng, 16, 16);
+        let (_, r) = thin_qr(&a);
+        for i in 0..r.rows() {
+            for j in 0..i.min(r.cols()) {
+                assert!(r[(i, j)].abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn thin_qr_rank_deficient_column() {
+        // First column zero: reflector must handle a zero pivot column.
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut a: DenseMatrix<f64> = random_matrix(&mut rng, 10, 4);
+        for i in 0..10 {
+            a[(i, 0)] = 0.0;
+        }
+        check_qr_reconstruction(&a, 1e-12);
+    }
+
+    #[test]
+    fn pivoted_qr_detects_exact_rank() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let a: DenseMatrix<f64> = random_low_rank(&mut rng, 40, 30, 5);
+        let f = pivoted_qr(&a, 1e-10, None);
+        assert_eq!(f.rank, 5);
+        let err = pivoted_qr_residual(&a, &f);
+        assert!(err < 1e-9 * a.norm_fro());
+    }
+
+    #[test]
+    fn pivoted_qr_complex_rank() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a: DenseMatrix<Complex64> = random_low_rank(&mut rng, 24, 24, 7);
+        let f = pivoted_qr(&a, 1e-10, None);
+        assert_eq!(f.rank, 7);
+        let err = pivoted_qr_residual(&a, &f);
+        assert!(err.to_f64() < 1e-9 * a.norm_fro().to_f64());
+    }
+
+    #[test]
+    fn pivoted_qr_max_rank_cap() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let a: DenseMatrix<f64> = gaussian_matrix(&mut rng, 30, 30);
+        let f = pivoted_qr(&a, 0.0, Some(4));
+        assert_eq!(f.rank, 4);
+        assert_eq!(f.q.cols(), 4);
+        assert_eq!(f.r.rows(), 4);
+    }
+
+    #[test]
+    fn pivoted_qr_zero_matrix_has_rank_zero() {
+        let a: DenseMatrix<f64> = DenseMatrix::zeros(12, 9);
+        let f = pivoted_qr(&a, 1e-12, None);
+        assert_eq!(f.rank, 0);
+    }
+
+    #[test]
+    fn pivoted_qr_full_rank_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let a: DenseMatrix<f64> = gaussian_matrix(&mut rng, 20, 14);
+        let f = pivoted_qr(&a, 1e-14, None);
+        assert_eq!(f.rank, 14);
+        let err = pivoted_qr_residual(&a, &f);
+        assert!(err < 1e-11 * a.norm_fro());
+        check_orthonormal(&f.q, 1e-11);
+    }
+
+    #[test]
+    fn orthonormalize_drops_dependent_columns() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let b: DenseMatrix<f64> = gaussian_matrix(&mut rng, 30, 3);
+        // Duplicate the columns: 6 columns, rank 3.
+        let a = b.hcat(&b);
+        let q = orthonormalize(&a, 1e-10);
+        assert_eq!(q.cols(), 3);
+        check_orthonormal(&q, 1e-11);
+    }
+}

@@ -1,0 +1,131 @@
+//! Random matrices and vectors for tests, benchmarks and randomized
+//! compression (range finders).
+
+use crate::dense::DenseMatrix;
+use crate::scalar::{RealScalar, Scalar};
+use rand::Rng;
+
+/// Draw a scalar with independent entries uniform in `[-1, 1]` (real and,
+/// when applicable, imaginary part).
+pub fn random_scalar<T: Scalar, R: Rng + ?Sized>(rng: &mut R) -> T {
+    let re = T::Real::from_f64_real(rng.gen_range(-1.0..1.0));
+    if T::IS_COMPLEX {
+        let im = T::Real::from_f64_real(rng.gen_range(-1.0..1.0));
+        T::from_parts(re, im)
+    } else {
+        T::from_real(re)
+    }
+}
+
+/// A `rows x cols` matrix with independent uniform `[-1, 1]` entries.
+pub fn random_matrix<T: Scalar, R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+) -> DenseMatrix<T> {
+    DenseMatrix::from_fn(rows, cols, |_, _| random_scalar::<T, _>(rng))
+}
+
+/// A random vector with independent uniform `[-1, 1]` entries.
+pub fn random_vector<T: Scalar, R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<T> {
+    (0..len).map(|_| random_scalar::<T, _>(rng)).collect()
+}
+
+/// A standard-normal scalar (Box–Muller), used by the randomized range
+/// finder where Gaussian test matrices have the strongest guarantees.
+pub fn gaussian_scalar<T: Scalar, R: Rng + ?Sized>(rng: &mut R) -> T {
+    let normal = |rng: &mut R| -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let re = T::Real::from_f64_real(normal(rng));
+    if T::IS_COMPLEX {
+        let im = T::Real::from_f64_real(normal(rng));
+        T::from_parts(re, im)
+    } else {
+        T::from_real(re)
+    }
+}
+
+/// A `rows x cols` Gaussian random matrix.
+pub fn gaussian_matrix<T: Scalar, R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+) -> DenseMatrix<T> {
+    DenseMatrix::from_fn(rows, cols, |_, _| gaussian_scalar::<T, _>(rng))
+}
+
+/// A random diagonally dominant matrix (always invertible), handy for solver
+/// tests that need a well-conditioned coefficient matrix.
+pub fn random_diag_dominant<T: Scalar, R: Rng + ?Sized>(rng: &mut R, n: usize) -> DenseMatrix<T> {
+    let mut a: DenseMatrix<T> = random_matrix(rng, n, n);
+    let shift = T::from_f64(n as f64 + 1.0);
+    for i in 0..n {
+        a[(i, i)] += shift;
+    }
+    a
+}
+
+/// A random matrix of exact rank `r`: the product of `rows x r` and `r x cols`
+/// random factors.  Used to test low-rank compression routines.
+pub fn random_low_rank<T: Scalar, R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    rank: usize,
+) -> DenseMatrix<T> {
+    let u: DenseMatrix<T> = gaussian_matrix(rng, rows, rank);
+    let v: DenseMatrix<T> = gaussian_matrix(rng, rank, cols);
+    u.matmul(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_matrix_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: DenseMatrix<f64> = random_matrix(&mut rng, 20, 20);
+        assert!(a.data().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn complex_random_has_imaginary_part() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: DenseMatrix<Complex64> = random_matrix(&mut rng, 10, 10);
+        assert!(a.data().iter().any(|z| z.im != 0.0));
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let v: Vec<f64> = (0..n).map(|_| gaussian_scalar::<f64, _>(&mut rng)).collect();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn diag_dominant_is_invertible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: DenseMatrix<f64> = random_diag_dominant(&mut rng, 15);
+        assert!(crate::lu::LuFactor::new(&a).is_ok());
+    }
+
+    #[test]
+    fn low_rank_has_requested_rank() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: DenseMatrix<f64> = random_low_rank(&mut rng, 12, 9, 3);
+        let sv = crate::svd::singular_values(&a);
+        assert!(sv[2] > 1e-8);
+        assert!(sv[3] < 1e-10 * sv[0].max(1.0));
+    }
+}

@@ -1,0 +1,382 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The SVD is used in two places in the workspace: recompression of low-rank
+//! factors produced by the randomized range finder (small `r x n` matrices)
+//! and as the reference "best rank-k approximation" oracle in tests.  The
+//! one-sided Jacobi method is simple, backwards stable, works unchanged for
+//! complex matrices, and is accurate for the small blocks it is applied to.
+
+use crate::blas::{gemm, Op};
+use crate::dense::DenseMatrix;
+use crate::scalar::{RealScalar, Scalar};
+
+/// A (thin) singular value decomposition `A = U diag(sigma) V^*`.
+///
+/// `U` is `m x k`, `V` is `n x k` and `sigma` holds the `k = min(m, n)`
+/// singular values in non-increasing order.
+#[derive(Clone, Debug)]
+pub struct Svd<T: Scalar> {
+    /// Left singular vectors (orthonormal columns).
+    pub u: DenseMatrix<T>,
+    /// Singular values, non-increasing.
+    pub sigma: Vec<T::Real>,
+    /// Right singular vectors (orthonormal columns).
+    pub v: DenseMatrix<T>,
+}
+
+impl<T: Scalar> Svd<T> {
+    /// Numerical rank: the number of singular values above
+    /// `tol * sigma_max` (or above zero when `sigma_max == 0`).
+    pub fn rank(&self, tol: T::Real) -> usize {
+        let smax = self.sigma.first().copied().unwrap_or(T::Real::zero());
+        if smax == T::Real::zero() {
+            return 0;
+        }
+        self.sigma.iter().take_while(|&&s| s > tol * smax).count()
+    }
+
+    /// Truncate to the leading `k` singular triplets and return `(U, V)` in
+    /// the HODLR off-diagonal convention `A ~= U V^*`, where the singular
+    /// values are folded into `U`.
+    pub fn truncate(&self, k: usize) -> (DenseMatrix<T>, DenseMatrix<T>) {
+        let k = k.min(self.sigma.len());
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut u = DenseMatrix::<T>::zeros(m, k);
+        let mut v = DenseMatrix::<T>::zeros(n, k);
+        for j in 0..k {
+            let s = self.sigma[j];
+            for i in 0..m {
+                u[(i, j)] = self.u[(i, j)].scale(s);
+            }
+            for i in 0..n {
+                v[(i, j)] = self.v[(i, j)];
+            }
+        }
+        (u, v)
+    }
+
+    /// Truncate at a relative tolerance: keep all triplets with
+    /// `sigma_j > tol * sigma_0`.
+    pub fn truncate_tol(&self, tol: T::Real) -> (DenseMatrix<T>, DenseMatrix<T>) {
+        self.truncate(self.rank(tol))
+    }
+
+    /// Reconstruct the (possibly truncated) matrix `U diag(sigma) V^*`.
+    pub fn reconstruct(&self) -> DenseMatrix<T> {
+        let (u, v) = self.truncate(self.sigma.len());
+        let mut a = DenseMatrix::<T>::zeros(u.rows(), v.rows());
+        if !u.is_empty() && !v.is_empty() {
+            gemm(
+                T::one(),
+                u.as_ref(),
+                Op::None,
+                v.as_ref(),
+                Op::ConjTrans,
+                T::zero(),
+                a.as_mut(),
+            );
+        }
+        a
+    }
+}
+
+/// Maximum number of one-sided Jacobi sweeps before giving up.  In practice
+/// convergence takes a handful of sweeps for the small matrices we factor.
+const MAX_SWEEPS: usize = 60;
+
+/// Compute the thin SVD of `a` by the one-sided Jacobi method.
+///
+/// Works for real and complex scalars.  For wide matrices (`m < n`) the
+/// factorization of the conjugate transpose is computed and the factors are
+/// swapped, so the returned triple always satisfies `A ~= U diag(sigma) V^*`.
+pub fn jacobi_svd<T: Scalar>(a: &DenseMatrix<T>) -> Svd<T> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Svd {
+            u: DenseMatrix::zeros(m, 0),
+            sigma: Vec::new(),
+            v: DenseMatrix::zeros(n, 0),
+        };
+    }
+    if m < n {
+        // Factor A^* = U S V^*, then A = V S U^*.
+        let at = a.conj_transpose();
+        let svd = jacobi_svd(&at);
+        return Svd {
+            u: svd.v,
+            sigma: svd.sigma,
+            v: svd.u,
+        };
+    }
+
+    // Work on a copy whose columns are rotated until mutually orthogonal.
+    let mut w = a.clone();
+    let mut v = DenseMatrix::<T>::identity(n);
+
+    let eps = T::Real::EPSILON;
+    let tol = eps.sqrt_real() * eps.sqrt_real() * T::Real::from_f64_real(4.0); // ~4*eps
+    let frob = a.norm_fro();
+    if frob == T::Real::zero() {
+        return Svd {
+            u: DenseMatrix::zeros(m, n),
+            sigma: vec![T::Real::zero(); n],
+            v: DenseMatrix::identity(n),
+        };
+    }
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut converged = true;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // 2x2 Gram matrix of columns p and q.
+                let (app, aqq, apq) = gram_entries(&w, p, q);
+                let denom = (app * aqq).sqrt_real();
+                if denom == T::Real::zero() {
+                    continue;
+                }
+                if apq.abs() <= tol * denom {
+                    continue;
+                }
+                converged = false;
+
+                // Phase of the off-diagonal entry: apq = |apq| e^{i phi}.
+                let r = apq.abs();
+                let phase = if r == T::Real::zero() {
+                    T::one()
+                } else {
+                    apq.scale(T::Real::one() / r)
+                };
+
+                // Real Jacobi rotation diagonalising [[app, r], [r, aqq]].
+                let tau = (aqq - app) / (T::Real::from_f64_real(2.0) * r);
+                let t = {
+                    let sign = if tau >= T::Real::zero() {
+                        T::Real::one()
+                    } else {
+                        -T::Real::one()
+                    };
+                    sign / (tau.abs_real() + (T::Real::one() + tau * tau).sqrt_real())
+                };
+                let c = T::Real::one() / (T::Real::one() + t * t).sqrt_real();
+                let s = c * t;
+
+                // Unitary 2x2 update G = diag(phase, 1) * [[c, s], [-s, c]]:
+                // col_p <- phase*c*col_p - s*col_q
+                // col_q <- phase*s*col_p + c*col_q
+                rotate_columns(&mut w, p, q, phase, c, s);
+                rotate_columns(&mut v, p, q, phase, c, s);
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; normalised columns form U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<T::Real> = (0..n).map(|j| crate::norms::norm2(w.col(j))).collect();
+    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = DenseMatrix::<T>::zeros(m, n);
+    let mut vv = DenseMatrix::<T>::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let s = norms[old_j];
+        sigma.push(s);
+        if s > T::Real::zero() {
+            let inv = T::Real::one() / s;
+            for i in 0..m {
+                u[(i, new_j)] = w[(i, old_j)].scale(inv);
+            }
+        }
+        for i in 0..n {
+            vv[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+
+    Svd { u, sigma, v: vv }
+}
+
+/// Gram entries `(a_pp, a_qq, a_pq)` of columns `p`, `q` of `w`:
+/// `a_pq = w_p^* w_q` (note the conjugation on the first argument).
+fn gram_entries<T: Scalar>(w: &DenseMatrix<T>, p: usize, q: usize) -> (T::Real, T::Real, T) {
+    let cp = w.col(p);
+    let cq = w.col(q);
+    let mut app = T::Real::zero();
+    let mut aqq = T::Real::zero();
+    let mut apq = T::zero();
+    for i in 0..cp.len() {
+        app += cp[i].abs_sqr();
+        aqq += cq[i].abs_sqr();
+        apq += cp[i].conj() * cq[i];
+    }
+    (app, aqq, apq)
+}
+
+/// Apply the elementary unitary `G = diag(phase, 1) * [[c, s], [-s, c]]` to
+/// columns `p` and `q` of `w` from the right.
+fn rotate_columns<T: Scalar>(
+    w: &mut DenseMatrix<T>,
+    p: usize,
+    q: usize,
+    phase: T,
+    c: T::Real,
+    s: T::Real,
+) {
+    let rows = w.rows();
+    for i in 0..rows {
+        let wp = w[(i, p)];
+        let wq = w[(i, q)];
+        let new_p = (wp * phase).scale(c) - wq.scale(s);
+        let new_q = (wp * phase).scale(s) + wq.scale(c);
+        w[(i, p)] = new_p;
+        w[(i, q)] = new_q;
+    }
+}
+
+/// Convenience wrapper returning only the singular values of `a`,
+/// non-increasing.
+pub fn singular_values<T: Scalar>(a: &DenseMatrix<T>) -> Vec<T::Real> {
+    jacobi_svd(a).sigma
+}
+
+/// Best rank-`k` approximation error in the Frobenius norm:
+/// `sqrt(sum_{j>k} sigma_j^2)`.  Used by compression tests as the optimal
+/// reference error.
+pub fn tail_energy<R: RealScalar>(sigma: &[R], k: usize) -> R {
+    let mut acc = R::zero();
+    for &s in sigma.iter().skip(k) {
+        acc += s * s;
+    }
+    acc.sqrt_real()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{gaussian_matrix, random_low_rank};
+    use crate::Complex64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_svd<T: Scalar>(a: &DenseMatrix<T>, tol: f64) {
+        let svd = jacobi_svd(a);
+        // Reconstruction.
+        let rec = svd.reconstruct();
+        let err = a.sub(&rec).norm_fro().to_f64();
+        let scale = a.norm_fro().to_f64().max(1.0);
+        assert!(err / scale < tol, "svd reconstruction error {err}");
+        // Ordering.
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1], "singular values not sorted: {:?}", svd.sigma);
+        }
+        // Orthonormality of U and V.
+        for (q, label) in [(&svd.u, "U"), (&svd.v, "V")] {
+            let k = q.cols();
+            let mut gram = DenseMatrix::<T>::zeros(k, k);
+            gemm(
+                T::one(),
+                q.as_ref(),
+                Op::ConjTrans,
+                q.as_ref(),
+                Op::None,
+                T::zero(),
+                gram.as_mut(),
+            );
+            for i in 0..k {
+                for j in 0..k {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (gram[(i, j)].abs().to_f64() - expect).abs() < 100.0 * tol,
+                        "{label} gram[{i},{j}] = {:?}",
+                        gram[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn svd_real_square() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a: DenseMatrix<f64> = gaussian_matrix(&mut rng, 20, 20);
+        check_svd(&a, 1e-11);
+    }
+
+    #[test]
+    fn svd_real_tall_and_wide() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let tall: DenseMatrix<f64> = gaussian_matrix(&mut rng, 30, 10);
+        check_svd(&tall, 1e-11);
+        let wide: DenseMatrix<f64> = gaussian_matrix(&mut rng, 10, 30);
+        check_svd(&wide, 1e-11);
+    }
+
+    #[test]
+    fn svd_complex() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let a: DenseMatrix<Complex64> = gaussian_matrix(&mut rng, 18, 12);
+        check_svd(&a, 1e-11);
+    }
+
+    #[test]
+    fn svd_rank_detection() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let a: DenseMatrix<f64> = random_low_rank(&mut rng, 40, 25, 6);
+        let svd = jacobi_svd(&a);
+        assert_eq!(svd.rank(1e-10), 6);
+    }
+
+    #[test]
+    fn svd_truncation_matches_tail_energy() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let a: DenseMatrix<f64> = gaussian_matrix(&mut rng, 25, 25);
+        let svd = jacobi_svd(&a);
+        let k = 8;
+        let (u, v) = svd.truncate(k);
+        let mut approx = DenseMatrix::<f64>::zeros(25, 25);
+        gemm(
+            1.0,
+            u.as_ref(),
+            Op::None,
+            v.as_ref(),
+            Op::ConjTrans,
+            0.0,
+            approx.as_mut(),
+        );
+        let err = a.sub(&approx).norm_fro();
+        let best = tail_energy(&svd.sigma, k);
+        assert!((err - best).abs() < 1e-9 * a.norm_fro());
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a: DenseMatrix<f64> = DenseMatrix::zeros(10, 6);
+        let svd = jacobi_svd(&a);
+        assert_eq!(svd.rank(1e-12), 0);
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn svd_singular_values_match_known_matrix() {
+        // diag(3, 2, 1) embedded in a rotation-free matrix.
+        let mut a = DenseMatrix::<f64>::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 2.0;
+        a[(2, 2)] = 1.0;
+        let svd = jacobi_svd(&a);
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-14);
+        assert!((svd.sigma[1] - 2.0).abs() < 1e-14);
+        assert!((svd.sigma[2] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tail_energy_basics() {
+        let s = vec![4.0_f64, 3.0, 0.0];
+        assert_eq!(tail_energy(&s, 0), 5.0);
+        assert_eq!(tail_energy(&s, 1), 3.0);
+        assert_eq!(tail_energy(&s, 3), 0.0);
+    }
+}

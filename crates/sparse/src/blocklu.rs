@@ -1,0 +1,394 @@
+//! A block-sparse matrix and its block LU factorization.
+
+use hodlr_la::lu::SingularError;
+use hodlr_la::{gemm, DenseMatrix, LuFactor, Op, Scalar};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A square matrix partitioned into blocks, of which only a sparse subset is
+/// nonzero.
+#[derive(Clone, Debug)]
+pub struct BlockSparseSystem<T: Scalar> {
+    sizes: Vec<usize>,
+    offsets: Vec<usize>,
+    blocks: HashMap<(usize, usize), DenseMatrix<T>>,
+}
+
+impl<T: Scalar> BlockSparseSystem<T> {
+    /// An empty system with the given block sizes.
+    pub fn new(sizes: Vec<usize>) -> Self {
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        offsets.push(0);
+        let mut acc = 0;
+        for &s in &sizes {
+            acc += s;
+            offsets.push(acc);
+        }
+        BlockSparseSystem {
+            sizes,
+            offsets,
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Number of block rows/columns.
+    pub fn num_blocks(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total number of scalar unknowns.
+    pub fn dim(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Size of block `i`.
+    pub fn block_size(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// Scalar offset of block `i`.
+    pub fn block_offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Insert (or accumulate into) the block at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the block shape does not match the row/column sizes.
+    pub fn add_block(&mut self, row: usize, col: usize, block: DenseMatrix<T>) {
+        assert_eq!(block.rows(), self.sizes[row], "block row size mismatch");
+        assert_eq!(block.cols(), self.sizes[col], "block column size mismatch");
+        match self.blocks.get_mut(&(row, col)) {
+            Some(existing) => existing.axpy(T::one(), &block),
+            None => {
+                self.blocks.insert((row, col), block);
+            }
+        }
+    }
+
+    /// Number of stored (nonzero) blocks.
+    pub fn num_stored_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of stored scalar entries.
+    pub fn storage_entries(&self) -> usize {
+        self.blocks.values().map(|b| b.rows() * b.cols()).sum()
+    }
+
+    /// Materialise the full matrix densely (tests only).
+    pub fn to_dense(&self) -> DenseMatrix<T> {
+        let n = self.dim();
+        let mut a = DenseMatrix::zeros(n, n);
+        for (&(i, j), block) in &self.blocks {
+            a.set_block(self.offsets[i], self.offsets[j], block);
+        }
+        a
+    }
+
+    /// Factorize with the given elimination order.
+    ///
+    /// # Errors
+    /// Returns an error if a pivot block becomes singular.
+    pub fn factorize(
+        &self,
+        order: &[usize],
+        parallel: bool,
+    ) -> Result<BlockSparseLu<T>, SingularError> {
+        assert_eq!(order.len(), self.num_blocks(), "order must list every block");
+        let mut work = self.blocks.clone();
+        let mut position = vec![0usize; order.len()];
+        for (pos, &p) in order.iter().enumerate() {
+            position[p] = pos;
+        }
+
+        let mut pivot_lu: Vec<Option<LuFactor<T>>> = (0..self.num_blocks()).map(|_| None).collect();
+        let mut lower: HashMap<(usize, usize), DenseMatrix<T>> = HashMap::new();
+        let mut upper: HashMap<(usize, usize), DenseMatrix<T>> = HashMap::new();
+
+        for &p in order {
+            let app = work
+                .remove(&(p, p))
+                .unwrap_or_else(|| DenseMatrix::zeros(self.sizes[p], self.sizes[p]));
+            let lu = LuFactor::from_matrix(app)?;
+
+            // Rows below and columns right of the pivot (in elimination
+            // order) that currently hold a block coupled to `p`.
+            let rows: Vec<usize> = work
+                .keys()
+                .filter(|&&(i, j)| j == p && position[i] > position[p])
+                .map(|&(i, _)| i)
+                .collect();
+            let cols: Vec<usize> = work
+                .keys()
+                .filter(|&&(i, j)| i == p && position[j] > position[p])
+                .map(|&(_, j)| j)
+                .collect();
+
+            // U_pj: the pivot row blocks as they are now.
+            // L_ip: A_ip App^{-1}; also keep App^{-1} A_pj for the updates.
+            let mut inv_apj: HashMap<usize, DenseMatrix<T>> = HashMap::new();
+            for &j in &cols {
+                let apj = work.get(&(p, j)).expect("column block exists").clone();
+                let solved = lu.solve_matrix(&apj);
+                upper.insert((p, j), apj);
+                inv_apj.insert(j, solved);
+            }
+            for &i in &rows {
+                let aip = work.remove(&(i, p)).expect("row block exists");
+                lower.insert((i, p), aip);
+            }
+
+            // Schur updates A_ij -= A_ip App^{-1} A_pj for every (i, j) pair.
+            let pairs: Vec<(usize, usize)> = rows
+                .iter()
+                .flat_map(|&i| cols.iter().map(move |&j| (i, j)))
+                .collect();
+            let compute = |&(i, j): &(usize, usize)| -> ((usize, usize), DenseMatrix<T>) {
+                let aip = &lower[&(i, p)];
+                let spj = &inv_apj[&j];
+                let mut update = DenseMatrix::zeros(self.sizes[i], self.sizes[j]);
+                gemm(
+                    T::one(),
+                    aip.as_ref(),
+                    Op::None,
+                    spj.as_ref(),
+                    Op::None,
+                    T::zero(),
+                    update.as_mut(),
+                );
+                ((i, j), update)
+            };
+            let updates: Vec<((usize, usize), DenseMatrix<T>)> = if parallel && pairs.len() > 1 {
+                pairs.par_iter().map(compute).collect()
+            } else {
+                pairs.iter().map(compute).collect()
+            };
+            for ((i, j), update) in updates {
+                match work.get_mut(&(i, j)) {
+                    Some(existing) => existing.axpy(-T::one(), &update),
+                    None => {
+                        let mut fill = DenseMatrix::zeros(self.sizes[i], self.sizes[j]);
+                        fill.axpy(-T::one(), &update);
+                        work.insert((i, j), fill);
+                    }
+                }
+            }
+            // Remove the pivot row blocks from the active set.
+            for &j in &cols {
+                work.remove(&(p, j));
+            }
+            pivot_lu[p] = Some(lu);
+        }
+
+        Ok(BlockSparseLu {
+            sizes: self.sizes.clone(),
+            offsets: self.offsets.clone(),
+            order: order.to_vec(),
+            pivot_lu: pivot_lu.into_iter().map(|p| p.expect("pivot factored")).collect(),
+            lower,
+            upper,
+        })
+    }
+}
+
+/// The block LU factorization produced by [`BlockSparseSystem::factorize`].
+#[derive(Clone, Debug)]
+pub struct BlockSparseLu<T: Scalar> {
+    sizes: Vec<usize>,
+    offsets: Vec<usize>,
+    order: Vec<usize>,
+    pivot_lu: Vec<LuFactor<T>>,
+    lower: HashMap<(usize, usize), DenseMatrix<T>>,
+    upper: HashMap<(usize, usize), DenseMatrix<T>>,
+}
+
+impl<T: Scalar> BlockSparseLu<T> {
+    /// Total number of scalar unknowns.
+    pub fn dim(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Stored entries of the factorization (pivot factors + L and U blocks).
+    pub fn storage_entries(&self) -> usize {
+        let pivots: usize = self.pivot_lu.iter().map(|f| f.order() * f.order()).sum();
+        let l: usize = self.lower.values().map(|b| b.rows() * b.cols()).sum();
+        let u: usize = self.upper.values().map(|b| b.rows() * b.cols()).sum();
+        pivots + l + u
+    }
+
+    /// Storage in GiB.
+    pub fn memory_gib(&self) -> f64 {
+        (self.storage_entries() * std::mem::size_of::<T>()) as f64 / (1u64 << 30) as f64
+    }
+
+    /// Solve the factored system for a (block-partitioned) right-hand side
+    /// of `nrhs` columns, given as a dense `dim x nrhs` matrix.
+    pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+        assert_eq!(b.rows(), self.dim(), "right-hand side has the wrong row count");
+        let nrhs = b.cols();
+        let mut x = b.clone();
+
+        // Index the L blocks by pivot column and the U blocks by pivot row
+        // once, so the substitution sweeps touch only the blocks they need.
+        let mut lower_by_col: HashMap<usize, Vec<(usize, &DenseMatrix<T>)>> = HashMap::new();
+        for (&(i, q), block) in &self.lower {
+            lower_by_col.entry(q).or_default().push((i, block));
+        }
+        let mut upper_by_row: HashMap<usize, Vec<(usize, &DenseMatrix<T>)>> = HashMap::new();
+        for (&(r, j), block) in &self.upper {
+            upper_by_row.entry(r).or_default().push((j, block));
+        }
+
+        // Forward: for every pivot in elimination order, once its rows are
+        // final, subtract L_ip (App^{-1} y_p) from every later row i.
+        for &p in &self.order {
+            let yp = x.sub_matrix(self.offsets[p], 0, self.sizes[p], nrhs);
+            let zp = self.pivot_lu[p].solve_matrix(&yp);
+            if let Some(rows) = lower_by_col.get(&p) {
+                for &(i, lip) in rows {
+                    let mut xi = x.block_mut(self.offsets[i], 0, self.sizes[i], nrhs);
+                    gemm(
+                        -T::one(),
+                        lip.as_ref(),
+                        Op::None,
+                        zp.as_ref(),
+                        Op::None,
+                        T::one(),
+                        xi.reborrow(),
+                    );
+                }
+            }
+        }
+
+        // Backward: in reverse elimination order, x_p = App^{-1} (y_p -
+        // sum_{q later} U_pq x_q).
+        for &p in self.order.iter().rev() {
+            let mut rhs = x.sub_matrix(self.offsets[p], 0, self.sizes[p], nrhs);
+            if let Some(cols) = upper_by_row.get(&p) {
+                for &(j, upj) in cols {
+                    let xj = x.sub_matrix(self.offsets[j], 0, self.sizes[j], nrhs);
+                    let mut tmp = DenseMatrix::zeros(self.sizes[p], nrhs);
+                    gemm(
+                        T::one(),
+                        upj.as_ref(),
+                        Op::None,
+                        xj.as_ref(),
+                        Op::None,
+                        T::zero(),
+                        tmp.as_mut(),
+                    );
+                    rhs.axpy(-T::one(), &tmp);
+                }
+            }
+            let solved = self.pivot_lu[p].solve_matrix(&rhs);
+            x.set_block(self.offsets[p], 0, &solved);
+        }
+        x
+    }
+
+    /// Solve for a single right-hand side vector.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let b_mat = DenseMatrix::from_col_major(b.len(), 1, b.to_vec());
+        self.solve_matrix(&b_mat).into_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr_la::lu::solve_dense;
+    use hodlr_la::random::{random_diag_dominant, random_matrix, random_vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_block_system(seed: u64, sizes: Vec<usize>, density: f64) -> BlockSparseSystem<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sys = BlockSparseSystem::new(sizes.clone());
+        for i in 0..sizes.len() {
+            // Strong diagonal blocks keep every Schur complement invertible.
+            let mut d: DenseMatrix<f64> = random_diag_dominant(&mut rng, sizes[i]);
+            d.scale_in_place(4.0);
+            sys.add_block(i, i, d);
+            for j in 0..sizes.len() {
+                if i != j && rand::Rng::gen_bool(&mut rng, density) {
+                    sys.add_block(i, j, random_matrix(&mut rng, sizes[i], sizes[j]));
+                }
+            }
+        }
+        sys
+    }
+
+    #[test]
+    fn block_lu_matches_dense_solve() {
+        let sys = random_block_system(1, vec![4, 6, 3, 5, 2], 0.4);
+        let dense = sys.to_dense();
+        let order: Vec<usize> = (0..sys.num_blocks()).collect();
+        let lu = sys.factorize(&order, false).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let b: Vec<f64> = random_vector(&mut rng, sys.dim());
+        let x = lu.solve(&b);
+        let x_ref = solve_dense(&dense, &b).unwrap();
+        for (a, r) in x.iter().zip(x_ref.iter()) {
+            assert!((a - r).abs() < 1e-8, "{a} vs {r}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_factorizations_agree() {
+        let sys = random_block_system(3, vec![5; 8], 0.3);
+        let order: Vec<usize> = (0..8).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let b: Vec<f64> = random_vector(&mut rng, sys.dim());
+        let x_seq = sys.factorize(&order, false).unwrap().solve(&b);
+        let x_par = sys.factorize(&order, true).unwrap().solve(&b);
+        for (a, r) in x_seq.iter().zip(x_par.iter()) {
+            assert!((a - r).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn elimination_order_does_not_change_the_answer() {
+        let sys = random_block_system(5, vec![3, 4, 5, 2, 6], 0.5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let b: Vec<f64> = random_vector(&mut rng, sys.dim());
+        let natural: Vec<usize> = (0..5).collect();
+        let reversed: Vec<usize> = (0..5).rev().collect();
+        let x1 = sys.factorize(&natural, false).unwrap().solve(&b);
+        let x2 = sys.factorize(&reversed, false).unwrap().solve(&b);
+        for (a, r) in x1.iter().zip(x2.iter()) {
+            assert!((a - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn multiple_right_hand_sides() {
+        let sys = random_block_system(7, vec![4, 4, 4], 0.8);
+        let dense = sys.to_dense();
+        let order = vec![0, 1, 2];
+        let lu = sys.factorize(&order, false).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let b: DenseMatrix<f64> = random_matrix(&mut rng, sys.dim(), 3);
+        let x = lu.solve_matrix(&b);
+        let residual = dense.matmul(&x).sub(&b).norm_max();
+        assert!(residual < 1e-8, "residual {residual}");
+    }
+
+    #[test]
+    fn singular_pivot_is_reported() {
+        let mut sys = BlockSparseSystem::<f64>::new(vec![3, 3]);
+        sys.add_block(0, 0, DenseMatrix::identity(3));
+        sys.add_block(1, 1, DenseMatrix::zeros(3, 3));
+        assert!(sys.factorize(&[0, 1], false).is_err());
+    }
+
+    #[test]
+    fn storage_accounting_counts_blocks() {
+        let sys = random_block_system(9, vec![4, 4], 1.0);
+        assert_eq!(sys.num_stored_blocks(), 4);
+        assert_eq!(sys.storage_entries(), 4 * 16);
+        let lu = sys.factorize(&[0, 1], false).unwrap();
+        assert!(lu.storage_entries() >= 3 * 16);
+        assert!(lu.memory_gib() > 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Assembly of the extended (sparsified) block system of Section III-E (b).
+
+use crate::blocklu::{BlockSparseLu, BlockSparseSystem};
+use hodlr_core::HodlrMatrix;
+use hodlr_la::lu::SingularError;
+use hodlr_la::{DenseMatrix, Scalar};
+use hodlr_tree::NodeId;
+
+/// The extended block-sparse embedding of a HODLR matrix.
+///
+/// Unknown blocks, in this order:
+///
+/// 1. one block `x_lambda` per leaf (the original unknowns, leaf by leaf);
+/// 2. one auxiliary block `w_alpha` per non-root tree node, where
+///    `w_alpha = V_{sibling(alpha)}^* x_{sibling(alpha)}` — the quantity the
+///    left basis `U_alpha` multiplies (Example 3 of the paper).
+///
+/// Block equations:
+///
+/// * rows of `x_lambda`:
+///   `D_lambda x_lambda + sum_{alpha : I_lambda in I_alpha} U_alpha(I_lambda, :) w_alpha = b_lambda`;
+/// * rows of `w_alpha`:
+///   `V_{sib}^* x_{sib} - w_alpha = 0`, expanded leaf by leaf of `sib`.
+///
+/// The natural elimination order — leaves first, then the auxiliaries from
+/// the deepest level up — is what the paper reports works well without any
+/// fill-reducing analysis.
+pub struct ExtendedSystem<T: Scalar> {
+    system: BlockSparseSystem<T>,
+    order: Vec<usize>,
+    n: usize,
+    num_leaves: usize,
+    leaf_offsets: Vec<usize>,
+    leaf_sizes: Vec<usize>,
+}
+
+impl<T: Scalar> ExtendedSystem<T> {
+    /// Assemble the extended system from a HODLR matrix.
+    pub fn new(matrix: &HodlrMatrix<T>) -> Self {
+        let tree = matrix.tree();
+        let layout = matrix.layout();
+        let n = matrix.n();
+        let num_leaves = tree.num_leaves();
+        let num_nodes = tree.num_nodes();
+
+        // Block index map: leaves 0..num_leaves, then non-root nodes in id
+        // order (ids 2..=num_nodes map to num_leaves + id - 2).
+        let aux_index = |node: NodeId| num_leaves + node - 2;
+        let first_leaf = 1usize << tree.levels();
+
+        let mut sizes = Vec::with_capacity(num_leaves + num_nodes - 1);
+        let mut leaf_offsets = Vec::with_capacity(num_leaves);
+        let mut leaf_sizes = Vec::with_capacity(num_leaves);
+        for leaf in tree.leaves() {
+            leaf_offsets.push(tree.range(leaf).start);
+            leaf_sizes.push(tree.node_size(leaf));
+            sizes.push(tree.node_size(leaf));
+        }
+        for node in 2..=num_nodes {
+            let level = tree.level_of(node);
+            sizes.push(layout.width(level));
+        }
+
+        let mut system = BlockSparseSystem::new(sizes);
+
+        // Leaf rows: diagonal blocks and the U couplings to every non-root
+        // ancestor (including the leaf itself).
+        for (leaf_idx, leaf) in tree.leaves().enumerate() {
+            system.add_block(leaf_idx, leaf_idx, matrix.diag_block(leaf_idx).clone());
+            let leaf_range = tree.range(leaf);
+            let mut node = leaf;
+            while node >= 2 {
+                let level = tree.level_of(node);
+                let w = layout.width(level);
+                if w > 0 {
+                    // U_node restricted to the rows of this leaf.
+                    let u = matrix.u_block(node);
+                    let node_start = tree.range(node).start;
+                    let local = leaf_range.start - node_start;
+                    let mut block = DenseMatrix::zeros(leaf_range.len(), w);
+                    for j in 0..w {
+                        for i in 0..leaf_range.len() {
+                            block[(i, j)] = u.get(local + i, j);
+                        }
+                    }
+                    system.add_block(leaf_idx, aux_index(node), block);
+                }
+                node /= 2;
+            }
+        }
+
+        // Auxiliary rows: V_{sib}^* x_{sib} - w_alpha = 0.
+        for node in 2..=num_nodes {
+            let level = tree.level_of(node);
+            let w = layout.width(level);
+            let row = aux_index(node);
+            // -I on the diagonal of the auxiliary block.
+            let mut neg_identity = DenseMatrix::zeros(w, w);
+            for i in 0..w {
+                neg_identity[(i, i)] = -T::one();
+            }
+            system.add_block(row, row, neg_identity);
+
+            let sib = node ^ 1;
+            let sib_range = tree.range(sib);
+            let v = matrix.v_block(sib);
+            // Split V_{sib}^* over the leaves underneath the sibling.
+            for (leaf_idx, leaf) in tree.leaves().enumerate() {
+                let leaf_range = tree.range(leaf);
+                if leaf_range.start < sib_range.start || leaf_range.end > sib_range.end {
+                    continue;
+                }
+                let local = leaf_range.start - sib_range.start;
+                let mut block = DenseMatrix::zeros(w, leaf_range.len());
+                for j in 0..leaf_range.len() {
+                    for i in 0..w {
+                        block[(i, j)] = v.get(local + j, i).conj();
+                    }
+                }
+                system.add_block(row, leaf_idx, block);
+            }
+        }
+
+        // Natural ordering: leaves, then auxiliaries deepest level first.
+        let mut order: Vec<usize> = (0..num_leaves).collect();
+        for level in (1..=tree.levels()).rev() {
+            for node in tree.level_nodes(level) {
+                order.push(aux_index(node));
+            }
+        }
+
+        // Sanity: the order must mention every block exactly once.
+        debug_assert_eq!(order.len(), system.num_blocks());
+        let _ = first_leaf;
+
+        ExtendedSystem {
+            system,
+            order,
+            n,
+            num_leaves,
+            leaf_offsets,
+            leaf_sizes,
+        }
+    }
+
+    /// The underlying block-sparse system.
+    pub fn system(&self) -> &BlockSparseSystem<T> {
+        &self.system
+    }
+
+    /// The natural elimination order used by [`ExtendedSystem::factorize`].
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Total number of scalar unknowns in the extended system (original `N`
+    /// plus all auxiliaries).
+    pub fn extended_dim(&self) -> usize {
+        self.system.dim()
+    }
+
+    /// Size `N` of the original system.
+    pub fn original_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Factorize with the natural ordering.
+    ///
+    /// # Errors
+    /// Returns an error if a pivot block is singular.
+    pub fn factorize(&self, parallel: bool) -> Result<ExtendedFactorization<T>, SingularError> {
+        let lu = self.system.factorize(&self.order, parallel)?;
+        Ok(ExtendedFactorization {
+            lu,
+            n: self.n,
+            num_leaves: self.num_leaves,
+            leaf_offsets: self.leaf_offsets.clone(),
+            leaf_sizes: self.leaf_sizes.clone(),
+        })
+    }
+}
+
+/// A factorized extended system, ready to solve the original `A x = b`.
+pub struct ExtendedFactorization<T: Scalar> {
+    lu: BlockSparseLu<T>,
+    n: usize,
+    num_leaves: usize,
+    leaf_offsets: Vec<usize>,
+    leaf_sizes: Vec<usize>,
+}
+
+impl<T: Scalar> ExtendedFactorization<T> {
+    /// Solve `A x = b` for the original unknowns: the right-hand side is
+    /// padded with zeros on the auxiliary rows, the extended system is
+    /// solved, and the leaf unknowns are gathered back into the original
+    /// ordering.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.n, "right-hand side has the wrong length");
+        let mut extended_b = vec![T::zero(); self.lu.dim()];
+        // Leaf blocks come first and are laid out in leaf order, which is
+        // also the original index order.
+        extended_b[..self.n].copy_from_slice(b);
+        let extended_x = self.lu.solve(&extended_b);
+        let mut x = vec![T::zero(); self.n];
+        let mut cursor = 0;
+        for leaf_idx in 0..self.num_leaves {
+            let len = self.leaf_sizes[leaf_idx];
+            let start = self.leaf_offsets[leaf_idx];
+            x[start..start + len].copy_from_slice(&extended_x[cursor..cursor + len]);
+            cursor += len;
+        }
+        x
+    }
+
+    /// Stored entries of the factorization.
+    pub fn storage_entries(&self) -> usize {
+        self.lu.storage_entries()
+    }
+
+    /// Storage in GiB.
+    pub fn memory_gib(&self) -> f64 {
+        self.lu.memory_gib()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr_core::matrix::random_hodlr;
+    use hodlr_la::lu::solve_dense;
+    use hodlr_la::{Complex64, RealScalar};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check<T: Scalar>(n: usize, levels: usize, rank: usize, seed: u64, parallel: bool, tol: f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m: HodlrMatrix<T> = random_hodlr(&mut rng, n, levels, rank);
+        let ext = ExtendedSystem::new(&m);
+        assert_eq!(ext.original_dim(), n);
+        assert!(ext.extended_dim() > n);
+        let fact = ext.factorize(parallel).expect("invertible");
+        let b: Vec<T> = hodlr_la::random::random_vector(&mut rng, n);
+        let x = fact.solve(&b);
+        // Compare against the serial HODLR factorization and the dense solve.
+        let x_dense = solve_dense(&m.to_dense(), &b).unwrap();
+        for (a, r) in x.iter().zip(x_dense.iter()) {
+            assert!((*a - *r).abs().to_f64() < tol, "{a:?} vs {r:?}");
+        }
+    }
+
+    #[test]
+    fn extended_solve_matches_dense_real() {
+        check::<f64>(64, 3, 3, 11, false, 1e-8);
+        check::<f64>(80, 2, 4, 12, true, 1e-8);
+    }
+
+    #[test]
+    fn extended_solve_matches_dense_complex() {
+        check::<Complex64>(48, 2, 2, 13, false, 1e-8);
+    }
+
+    #[test]
+    fn extended_solve_non_power_of_two() {
+        check::<f64>(70, 3, 2, 14, false, 1e-8);
+    }
+
+    #[test]
+    fn extended_dimension_matches_the_formula() {
+        // N plus one auxiliary of the level width per non-root node.
+        let mut rng = StdRng::seed_from_u64(15);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 64, 3, 2);
+        let ext = ExtendedSystem::new(&m);
+        let aux: usize = (1..=3).map(|l| (1usize << l) * 2).sum();
+        assert_eq!(ext.extended_dim(), 64 + aux);
+        assert_eq!(ext.order().len(), ext.system().num_blocks());
+    }
+
+    #[test]
+    fn storage_grows_with_the_extended_system() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 128, 3, 3);
+        let ext = ExtendedSystem::new(&m);
+        let fact = ext.factorize(false).unwrap();
+        assert!(fact.storage_entries() > m.storage_entries());
+        assert!(fact.memory_gib() > 0.0);
+    }
+}

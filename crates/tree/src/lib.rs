@@ -1,0 +1,24 @@
+//! # hodlr-tree — cluster trees
+//!
+//! A *cluster tree* (Definition 1 of the paper) is a complete binary tree
+//! over a consecutive index set `{0, 1, ..., N-1}`: level `l` has `2^l`
+//! nodes, every node owns a non-empty consecutive index range, and the two
+//! children of a node partition their parent's range.  The tree dictates the
+//! tessellation of a HODLR matrix into leaf diagonal blocks and sibling
+//! off-diagonal blocks (Fig. 2).
+//!
+//! Two constructions are provided:
+//!
+//! * [`ClusterTree::uniform`] — split the index range evenly, the right
+//!   choice when the matrix indices have no geometry attached (or the
+//!   points are already sorted);
+//! * [`partition_points`] — recursive coordinate bisection of a point cloud
+//!   (a k-d-tree style ordering); it returns the permutation that reorders
+//!   the points so that every tree node owns a consecutive range, which is
+//!   what makes kernel matrices HODLR-compressible in the first place.
+
+pub mod points;
+pub mod tree;
+
+pub use points::{partition_points, uniform_cube_points, PointCloud, PointPartition};
+pub use tree::{ClusterTree, NodeId};

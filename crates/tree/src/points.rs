@@ -1,0 +1,307 @@
+//! Point clouds and geometry-aware cluster trees.
+//!
+//! Kernel matrices and discretized boundary integral operators are HODLR
+//! because *spatially separated* clusters of points interact through a
+//! numerically low-rank block.  To expose that structure the points must be
+//! ordered so that every tree node owns a geometrically compact, consecutive
+//! chunk; [`partition_points`] produces exactly that ordering by recursive
+//! coordinate bisection (a k-d tree built top-down, always splitting at the
+//! median of the widest coordinate).
+
+use crate::tree::ClusterTree;
+use std::ops::Range;
+
+/// A set of `len` points in `dim` dimensions, stored point-major
+/// (`coords[i * dim + d]` is coordinate `d` of point `i`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointCloud {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl PointCloud {
+    /// Build a cloud from point-major coordinates.
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn new(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "points must have at least one coordinate");
+        assert_eq!(
+            coords.len() % dim,
+            0,
+            "coordinate buffer length must be a multiple of dim"
+        );
+        PointCloud { dim, coords }
+    }
+
+    /// Build a cloud from a slice of fixed-dimension points.
+    pub fn from_points<const D: usize>(points: &[[f64; D]]) -> Self {
+        let mut coords = Vec::with_capacity(points.len() * D);
+        for p in points {
+            coords.extend_from_slice(p);
+        }
+        PointCloud::new(D, coords)
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// `true` when the cloud holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Spatial dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Euclidean distance between points `i` and `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.point(i)
+            .iter()
+            .zip(self.point(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Minimum pairwise distance (used by the RPY benchmark, where the
+    /// particle radius is set to half the minimum distance).  Quadratic in
+    /// the number of points over small subsamples; for large clouds the
+    /// caller should pass a subsample.
+    pub fn min_distance(&self) -> f64 {
+        let n = self.len();
+        let mut best = f64::INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.distance(i, j);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// Reorder the points by `perm` (`perm[new] = old`), returning a new
+    /// cloud.
+    pub fn permuted(&self, perm: &[usize]) -> PointCloud {
+        assert_eq!(perm.len(), self.len());
+        let mut coords = Vec::with_capacity(self.coords.len());
+        for &old in perm {
+            coords.extend_from_slice(self.point(old));
+        }
+        PointCloud::new(self.dim, coords)
+    }
+
+    /// Bounding-box extents `(min, max)` per coordinate of a subset of
+    /// points.
+    fn bounding_box(&self, idx: &[usize]) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![f64::INFINITY; self.dim];
+        let mut hi = vec![f64::NEG_INFINITY; self.dim];
+        for &i in idx {
+            for d in 0..self.dim {
+                let x = self.point(i)[d];
+                if x < lo[d] {
+                    lo[d] = x;
+                }
+                if x > hi[d] {
+                    hi[d] = x;
+                }
+            }
+        }
+        (lo, hi)
+    }
+}
+
+/// Result of [`partition_points`]: the cluster tree plus the permutation
+/// that maps tree ordering back to the caller's original point indices.
+#[derive(Clone, Debug)]
+pub struct PointPartition {
+    /// The geometry-aware cluster tree.
+    pub tree: ClusterTree,
+    /// `perm[new_index] = original_index`: position `new_index` in the tree
+    /// ordering holds the caller's point `original_index`.
+    pub perm: Vec<usize>,
+    /// The points reordered into tree order (row `i` of the matrix
+    /// corresponds to `points.point(i)`).
+    pub points: PointCloud,
+}
+
+/// Build a cluster tree over a point cloud by recursive coordinate
+/// bisection with `levels` levels chosen so that every leaf holds at least
+/// `min_leaf_size` points.
+///
+/// # Panics
+/// Panics if the cloud is empty.
+pub fn partition_points(cloud: &PointCloud, min_leaf_size: usize) -> PointPartition {
+    let n = cloud.len();
+    assert!(n > 0, "cannot partition an empty point cloud");
+    let min_leaf = min_leaf_size.max(1);
+    let mut levels = 0usize;
+    while n >> (levels + 1) >= min_leaf && (1usize << (levels + 1)) <= n {
+        levels += 1;
+    }
+
+    let num_nodes = (1usize << (levels + 1)) - 1;
+    let mut ranges: Vec<Range<usize>> = vec![0..0; num_nodes];
+    let mut perm: Vec<usize> = (0..n).collect();
+    ranges[0] = 0..n;
+
+    // Breadth-first split: for every internal node sort its slice of the
+    // permutation along the widest coordinate and cut at the median.
+    for id in 1..=num_nodes {
+        let range = ranges[id - 1].clone();
+        if 2 * id + 1 > num_nodes {
+            continue;
+        }
+        let slice = &mut perm[range.clone()];
+        let (lo, hi) = cloud.bounding_box(slice);
+        let split_dim = (0..cloud.dim())
+            .max_by(|&a, &b| {
+                (hi[a] - lo[a])
+                    .partial_cmp(&(hi[b] - lo[b]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0);
+        let mid_local = range.len().div_ceil(2);
+        slice.select_nth_unstable_by(mid_local.saturating_sub(1).min(range.len() - 1), |&a, &b| {
+            cloud.point(a)[split_dim]
+                .partial_cmp(&cloud.point(b)[split_dim])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // `select_nth_unstable_by` leaves everything <= pivot on the left,
+        // which is all we need for a median split.
+        let mid = range.start + mid_local;
+        ranges[2 * id - 1] = range.start..mid;
+        ranges[2 * id] = mid..range.end;
+    }
+
+    let tree = ClusterTree::from_ranges(n, levels, ranges);
+    let points = cloud.permuted(&perm);
+    PointPartition { tree, perm, points }
+}
+
+/// Generate `n` points distributed uniformly in the cube `[-1, 1]^dim`
+/// (the point distribution of the paper's kernel-matrix benchmark,
+/// Section IV-A).
+pub fn uniform_cube_points<R: rand::Rng + ?Sized>(rng: &mut R, n: usize, dim: usize) -> PointCloud {
+    let coords = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    PointCloud::new(dim, coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn point_cloud_accessors() {
+        let cloud = PointCloud::from_points(&[[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]]);
+        assert_eq!(cloud.len(), 3);
+        assert_eq!(cloud.dim(), 2);
+        assert_eq!(cloud.point(1), &[3.0, 4.0]);
+        assert!((cloud.distance(0, 1) - 5.0).abs() < 1e-15);
+        assert!((cloud.min_distance() - 2.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn permuted_reorders_points() {
+        let cloud = PointCloud::from_points(&[[1.0], [2.0], [3.0]]);
+        let p = cloud.permuted(&[2, 0, 1]);
+        assert_eq!(p.point(0), &[3.0]);
+        assert_eq!(p.point(1), &[1.0]);
+        assert_eq!(p.point(2), &[2.0]);
+    }
+
+    #[test]
+    fn partition_produces_valid_tree_and_permutation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cloud = uniform_cube_points(&mut rng, 500, 3);
+        let part = partition_points(&cloud, 32);
+        part.tree.check_invariants().unwrap();
+        assert!(part.tree.leaves().all(|id| part.tree.node_size(id) >= 32));
+        // perm is a permutation of 0..n.
+        let mut sorted = part.perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500).collect::<Vec<_>>());
+        // The reordered cloud holds the same points.
+        for (new, &old) in part.perm.iter().enumerate() {
+            assert_eq!(part.points.point(new), cloud.point(old));
+        }
+    }
+
+    #[test]
+    fn partition_separates_two_clusters() {
+        // Two well separated blobs on the x axis: the level-1 split must
+        // isolate them (all of one blob left, all of the other right).
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            pts.push([-10.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..40 {
+            pts.push([10.0 + 0.01 * i as f64, 0.0]);
+        }
+        let cloud = PointCloud::from_points(&pts);
+        let part = partition_points(&cloud, 10);
+        let left = part.tree.range(2);
+        let originals: Vec<usize> = left.map(|i| part.perm[i]).collect();
+        assert!(originals.iter().all(|&o| o < 40) || originals.iter().all(|&o| o >= 40));
+    }
+
+    #[test]
+    fn single_point_cloud() {
+        let cloud = PointCloud::from_points(&[[0.5, 0.5]]);
+        let part = partition_points(&cloud, 16);
+        assert_eq!(part.tree.levels(), 0);
+        assert_eq!(part.perm, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn mismatched_coordinate_buffer_panics() {
+        let _ = PointCloud::new(3, vec![1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn partition_is_always_a_permutation(n in 1usize..400, dim in 1usize..4, leaf in 1usize..64) {
+            let mut rng = StdRng::seed_from_u64(n as u64 * 31 + dim as u64);
+            let cloud = uniform_cube_points(&mut rng, n, dim);
+            let part = partition_points(&cloud, leaf);
+            let mut sorted = part.perm.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+            prop_assert!(part.tree.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn leaves_are_geometrically_tighter_than_root(n in 64usize..300) {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let cloud = uniform_cube_points(&mut rng, n, 2);
+            let part = partition_points(&cloud, 8);
+            prop_assume!(part.tree.levels() >= 1);
+            // Diameter of each level-1 cluster along the split axis is at
+            // most the root diameter (sanity of the bisection).
+            let idx_all: Vec<usize> = (0..n).collect();
+            let (root_lo, root_hi) = part.points.bounding_box(&idx_all);
+            let root_width: f64 = (0..2).map(|d| root_hi[d] - root_lo[d]).fold(0.0, f64::max);
+            for node in part.tree.level_nodes(1) {
+                let idx: Vec<usize> = part.tree.range(node).collect();
+                let (l, h) = part.points.bounding_box(&idx);
+                let w: f64 = (0..2).map(|d| h[d] - l[d]).fold(0.0, f64::max);
+                prop_assert!(w <= root_width + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! The [`ClusterTree`] data structure.
+
+use std::ops::Range;
+
+/// Identifier of a tree node.
+///
+/// Nodes are numbered in heap order starting at 1 for the root, exactly as
+/// in Fig. 1 of the paper: the children of node `i` are `2i` and `2i + 1`,
+/// the nodes at level `l` are `2^l ..= 2^{l+1} - 1`.
+pub type NodeId = usize;
+
+/// A complete binary cluster tree over the index set `0..n`.
+///
+/// Every node owns a non-empty consecutive range of indices; the ranges of a
+/// pair of siblings partition the range of their parent (Definition 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterTree {
+    /// Number of indices (matrix size `N`).
+    n: usize,
+    /// Number of levels below the root (`L`); leaves live at level `L`.
+    levels: usize,
+    /// `ranges[id - 1]` is the index range owned by node `id` (heap order).
+    ranges: Vec<Range<usize>>,
+}
+
+impl ClusterTree {
+    /// Build a tree over `0..n` with `levels` levels below the root by
+    /// splitting every range as evenly as possible.
+    ///
+    /// # Panics
+    /// Panics if `n < 2^levels` (a leaf would be empty).
+    pub fn uniform(n: usize, levels: usize) -> Self {
+        assert!(n > 0, "cluster tree over an empty index set");
+        assert!(
+            n >= (1usize << levels),
+            "cannot build {levels} levels over {n} indices: a leaf would be empty"
+        );
+        let num_nodes = (1usize << (levels + 1)) - 1;
+        let mut ranges = vec![0..0; num_nodes];
+        ranges[0] = 0..n;
+        for id in 1..=num_nodes {
+            let range = ranges[id - 1].clone();
+            let left = 2 * id;
+            let right = 2 * id + 1;
+            if right <= num_nodes {
+                let mid = range.start + range.len().div_ceil(2);
+                ranges[left - 1] = range.start..mid;
+                ranges[right - 1] = mid..range.end;
+            }
+        }
+        ClusterTree { n, levels, ranges }
+    }
+
+    /// Build a tree over `0..n` choosing the deepest number of levels such
+    /// that every leaf holds at least `min_leaf_size` indices (and at least
+    /// one level if possible).  This mirrors the paper's practice of fixing
+    /// a small leaf size (64 in Table III) and letting `L = O(log N)` grow
+    /// with the problem.
+    pub fn with_leaf_size(n: usize, min_leaf_size: usize) -> Self {
+        let min_leaf = min_leaf_size.max(1);
+        let mut levels = 0usize;
+        while n >> (levels + 1) >= min_leaf && (1usize << (levels + 1)) <= n {
+            levels += 1;
+        }
+        Self::uniform(n, levels)
+    }
+
+    /// Build a tree from explicit per-node ranges (used by
+    /// [`partition_points`](crate::partition_points)); `ranges` must be in
+    /// heap order and satisfy the cluster-tree invariants.
+    pub(crate) fn from_ranges(n: usize, levels: usize, ranges: Vec<Range<usize>>) -> Self {
+        let tree = ClusterTree { n, levels, ranges };
+        debug_assert!(tree.check_invariants().is_ok());
+        tree
+    }
+
+    /// Matrix size `N` covered by the tree.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels `L` below the root; leaves live at level `L`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Total number of nodes, `2^{L+1} - 1`.
+    pub fn num_nodes(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of leaves, `2^L`.
+    pub fn num_leaves(&self) -> usize {
+        1usize << self.levels
+    }
+
+    /// The root node id (always 1).
+    pub fn root(&self) -> NodeId {
+        1
+    }
+
+    /// The level of a node (root is level 0, leaves are level `L`).
+    pub fn level_of(&self, id: NodeId) -> usize {
+        debug_assert!(id >= 1 && id <= self.num_nodes());
+        usize::BITS as usize - 1 - id.leading_zeros() as usize
+    }
+
+    /// `true` when the node has no children.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        2 * id > self.num_nodes()
+    }
+
+    /// The children `(left, right)` of a node, if it has any.
+    pub fn children(&self, id: NodeId) -> Option<(NodeId, NodeId)> {
+        if self.is_leaf(id) {
+            None
+        } else {
+            Some((2 * id, 2 * id + 1))
+        }
+    }
+
+    /// The parent of a node (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        if id == 1 {
+            None
+        } else {
+            Some(id / 2)
+        }
+    }
+
+    /// The sibling of a node (`None` for the root).
+    pub fn sibling(&self, id: NodeId) -> Option<NodeId> {
+        if id == 1 {
+            None
+        } else {
+            Some(id ^ 1)
+        }
+    }
+
+    /// The consecutive index range owned by a node.
+    pub fn range(&self, id: NodeId) -> Range<usize> {
+        self.ranges[id - 1].clone()
+    }
+
+    /// Number of indices owned by a node.
+    pub fn node_size(&self, id: NodeId) -> usize {
+        self.ranges[id - 1].len()
+    }
+
+    /// Iterator over the node ids at level `l`, in left-to-right order.
+    pub fn level_nodes(&self, l: usize) -> impl Iterator<Item = NodeId> + '_ {
+        debug_assert!(l <= self.levels);
+        (1usize << l)..(1usize << (l + 1))
+    }
+
+    /// Iterator over the leaf node ids, left to right.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.level_nodes(self.levels)
+    }
+
+    /// Iterator over all non-leaf node ids, in breadth-first (top-down)
+    /// order.  These are the nodes that own a `K` coefficient matrix in the
+    /// factorization (Eq. 11).
+    pub fn internal_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        1..(1usize << self.levels)
+    }
+
+    /// Largest leaf size in the tree.
+    pub fn max_leaf_size(&self) -> usize {
+        self.leaves().map(|id| self.node_size(id)).max().unwrap_or(0)
+    }
+
+    /// Verify all cluster-tree invariants (Definition 1); used by tests and
+    /// debug assertions.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.num_nodes() != (1usize << (self.levels + 1)) - 1 {
+            return Err(format!(
+                "node count {} does not match a complete tree with {} levels",
+                self.num_nodes(),
+                self.levels
+            ));
+        }
+        if self.range(self.root()) != (0..self.n) {
+            return Err("root does not own the full index set".into());
+        }
+        for id in 1..=self.num_nodes() {
+            if self.range(id).is_empty() {
+                return Err(format!("node {id} owns an empty range"));
+            }
+            if let Some((l, r)) = self.children(id) {
+                let range = self.range(id);
+                let left = self.range(l);
+                let right = self.range(r);
+                if left.start != range.start || left.end != right.start || right.end != range.end {
+                    return Err(format!(
+                        "children of node {id} do not partition its range: {range:?} vs {left:?} + {right:?}"
+                    ));
+                }
+            }
+        }
+        for l in 0..=self.levels {
+            let total: usize = self.level_nodes(l).map(|id| self.node_size(id)).sum();
+            if total != self.n {
+                return Err(format!("level {l} does not cover the index set"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_figure_1() {
+        // Fig. 1: N = 400, two levels, I_4 = 0..100 (1-based 1:100), etc.
+        let tree = ClusterTree::uniform(400, 2);
+        assert_eq!(tree.num_nodes(), 7);
+        assert_eq!(tree.num_leaves(), 4);
+        assert_eq!(tree.range(1), 0..400);
+        assert_eq!(tree.range(2), 0..200);
+        assert_eq!(tree.range(3), 200..400);
+        assert_eq!(tree.range(4), 0..100);
+        assert_eq!(tree.range(5), 100..200);
+        assert_eq!(tree.range(7), 300..400);
+        assert_eq!(tree.children(2), Some((4, 5)));
+        assert_eq!(tree.parent(5), Some(2));
+        assert_eq!(tree.sibling(4), Some(5));
+        assert_eq!(tree.sibling(7), Some(6));
+        assert!(tree.is_leaf(4));
+        assert!(!tree.is_leaf(2));
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn levels_and_node_levels() {
+        let tree = ClusterTree::uniform(64, 3);
+        assert_eq!(tree.levels(), 3);
+        assert_eq!(tree.level_of(1), 0);
+        assert_eq!(tree.level_of(2), 1);
+        assert_eq!(tree.level_of(3), 1);
+        assert_eq!(tree.level_of(4), 2);
+        assert_eq!(tree.level_of(8), 3);
+        assert_eq!(tree.level_of(15), 3);
+        assert_eq!(tree.level_nodes(2).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(tree.leaves().count(), 8);
+        assert_eq!(tree.internal_nodes().collect::<Vec<_>>().len(), 7);
+    }
+
+    #[test]
+    fn uneven_sizes_stay_balanced() {
+        let tree = ClusterTree::uniform(10, 3);
+        tree.check_invariants().unwrap();
+        // 10 indices over 8 leaves: every leaf holds 1 or 2 indices.
+        for leaf in tree.leaves() {
+            let s = tree.node_size(leaf);
+            assert!(s == 1 || s == 2, "leaf size {s}");
+        }
+    }
+
+    #[test]
+    fn with_leaf_size_respects_minimum() {
+        let tree = ClusterTree::with_leaf_size(1000, 64);
+        assert!(tree.leaves().all(|id| tree.node_size(id) >= 64));
+        // One more level would push some leaf below 64.
+        assert!(1000 >> (tree.levels() + 1) < 64);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn with_leaf_size_small_n_gives_single_node() {
+        let tree = ClusterTree::with_leaf_size(50, 64);
+        assert_eq!(tree.levels(), 0);
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(tree.is_leaf(tree.root()));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf would be empty")]
+    fn too_many_levels_panics() {
+        let _ = ClusterTree::uniform(4, 3);
+    }
+
+    #[test]
+    fn root_has_no_parent_or_sibling() {
+        let tree = ClusterTree::uniform(16, 2);
+        assert_eq!(tree.parent(1), None);
+        assert_eq!(tree.sibling(1), None);
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_hold_for_random_shapes(n in 1usize..5000, levels in 0usize..8) {
+            prop_assume!(n >= (1usize << levels));
+            let tree = ClusterTree::uniform(n, levels);
+            prop_assert!(tree.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn sibling_ranges_are_disjoint_and_adjacent(n in 2usize..3000, levels in 1usize..7) {
+            prop_assume!(n >= (1usize << levels));
+            let tree = ClusterTree::uniform(n, levels);
+            for id in 2..=tree.num_nodes() {
+                let sib = tree.sibling(id).unwrap();
+                let (a, b) = if id < sib { (id, sib) } else { (sib, id) };
+                prop_assert_eq!(tree.range(a).end, tree.range(b).start);
+            }
+        }
+
+        #[test]
+        fn leaf_sizes_differ_by_at_most_one(n in 1usize..4096, levels in 0usize..8) {
+            prop_assume!(n >= (1usize << levels));
+            let tree = ClusterTree::uniform(n, levels);
+            let sizes: Vec<usize> = tree.leaves().map(|id| tree.node_size(id)).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared helpers for the example binaries: tiny argument parsing so every
+//! example can be scaled up from the command line.
+
+/// Read an integer argument of the form `--n 4096`, falling back to a
+/// default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// Read a float argument of the form `--tol 1e-8`, falling back to a
+/// default.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn defaults_are_returned_without_matching_arguments() {
+        assert_eq!(super::arg_usize("--does-not-exist", 7), 7);
+        assert_eq!(super::arg_f64("--does-not-exist", 0.5), 0.5);
+    }
+}

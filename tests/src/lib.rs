@@ -1,0 +1,4 @@
+//! Cross-crate integration helpers (the actual tests live in `tests/tests`).
+
+/// The compression tolerance used by most integration scenarios.
+pub const DEFAULT_TOL: f64 = 1e-9;

@@ -1,0 +1,229 @@
+//! End-to-end integration tests: kernel matrices and boundary integral
+//! equations solved through every solver in the workspace, cross-checked
+//! against each other and against dense references.
+
+use hodlr_baselines::{DenseLuSolver, HodlrlibStyleSolver};
+use hodlr_batch::Device;
+use hodlr_bie::laplace::potential_from_sources;
+use hodlr_bie::{HelmholtzExteriorBie, LaplaceExteriorBie, StarContour};
+use hodlr_compress::{CompressionConfig, CompressionMethod, MatrixEntrySource};
+use hodlr_core::{build_from_source, ComplexityReport, GpuSolver, solve_recursive};
+use hodlr_kernels::{GaussianKernel, RpyKernel, RpyMatrixSource, ScalarKernelSource};
+use hodlr_la::{Complex64, DenseMatrix, RealScalar};
+use hodlr_sparse::ExtendedSystem;
+use hodlr_tree::{partition_points, uniform_cube_points, ClusterTree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every solver on one Gaussian kernel matrix: all agree with each other and
+/// with the dense reference.
+#[test]
+fn all_solvers_agree_on_a_kernel_matrix() {
+    let n = 600;
+    let mut rng = StdRng::seed_from_u64(1);
+    let cloud = uniform_cube_points(&mut rng, n, 3);
+    let part = partition_points(&cloud, 48);
+    let source =
+        ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.8 }, &part.points, 2.0);
+    let matrix = build_from_source(&source, part.tree.clone(), &CompressionConfig::with_tol(1e-10));
+
+    let dense = source.to_dense();
+    let b: Vec<f64> = (0..n).map(|i| (0.1 * i as f64).cos()).collect();
+    let x_dense = DenseLuSolver::new(&dense).unwrap().solve(&b);
+
+    // Serial flattened solver.
+    let x_serial = matrix.factorize_serial().unwrap().solve(&b);
+    // Batched solver on the virtual device.
+    let device = Device::new();
+    let mut gpu = GpuSolver::new(&device, &matrix);
+    gpu.factorize().unwrap();
+    let x_gpu = gpu.solve(&b);
+    // Recursive oracle.
+    let x_rec = hodlr_core::recursive::solve_recursive_vec(&matrix, &b).unwrap();
+    // HODLRlib-style baseline.
+    let x_lib = HodlrlibStyleSolver::factorize(&matrix).unwrap().solve(&b);
+    // Block-sparse comparator.
+    let x_bs = ExtendedSystem::new(&matrix).factorize(true).unwrap().solve(&b);
+
+    for (label, x) in [
+        ("serial", &x_serial),
+        ("gpu", &x_gpu),
+        ("recursive", &x_rec),
+        ("hodlrlib", &x_lib),
+        ("block-sparse", &x_bs),
+    ] {
+        let err: f64 = x
+            .iter()
+            .zip(&x_dense)
+            .map(|(a, r)| (a - r).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-6, "{label}: max deviation from dense {err}");
+    }
+}
+
+/// The RPY kernel system of Table III at a reduced size: solve and verify
+/// the residual, and check that the off-diagonal ranks are modest.
+#[test]
+fn rpy_kernel_system_solves_accurately() {
+    let particles = 400;
+    let mut rng = StdRng::seed_from_u64(2);
+    let cloud = uniform_cube_points(&mut rng, particles, 3);
+    let part = partition_points(&cloud, 24);
+    let kernel = RpyKernel::paper_benchmark(part.points.min_distance());
+    let source = RpyMatrixSource::new(kernel, &part.points);
+    let n = 3 * particles;
+    let tree = ClusterTree::with_leaf_size(n, 64);
+    let matrix = build_from_source(&source, tree, &CompressionConfig::with_tol(1e-10));
+    // Off-diagonal blocks are compressible but, with weak admissibility in
+    // 3-D, not tiny: well below half the block size is what matters.
+    assert!(matrix.max_rank() < matrix.n() / 2, "max rank {}", matrix.max_rank());
+
+    let f = matrix.factorize_serial().unwrap();
+    let b = vec![1.0; n];
+    let x = f.solve(&b);
+    assert!(matrix.relative_residual(&x, &b) < 1e-7);
+}
+
+/// Laplace BIE end to end: HODLR-solve the discretized equation and verify
+/// the exterior field against the manufactured potential (the physics-level
+/// accuracy check, not just the linear-algebra residual).
+#[test]
+fn laplace_bie_reconstructs_the_exterior_field() {
+    let n = 1024;
+    let bie = LaplaceExteriorBie::new(StarContour::paper_contour(), n);
+    let tree = ClusterTree::with_leaf_size(n, 64);
+    let matrix = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-11));
+    let sources = vec![([0.2, 0.1], 1.0), ([-0.3, 0.2], -0.5)];
+    let f = bie.dirichlet_data_from_sources(&sources);
+
+    let device = Device::new();
+    let mut gpu = GpuSolver::new(&device, &matrix);
+    gpu.factorize().unwrap();
+    let sigma = gpu.solve(&f);
+
+    for x in [[3.0, 2.0], [-4.0, 0.5]] {
+        let u = bie.evaluate_exterior(x, &sigma);
+        let exact = potential_from_sources(x, &sources);
+        assert!((u - exact).abs() < 1e-6, "field error {}", (u - exact).abs());
+    }
+}
+
+/// Helmholtz BIE end to end with the complex-valued batched solver.
+#[test]
+fn helmholtz_bie_solves_with_complex_arithmetic() {
+    let n = 900;
+    let kappa = 8.0;
+    let bie = HelmholtzExteriorBie::with_paper_parameters(StarContour::paper_contour(), n, kappa);
+    let tree = ClusterTree::with_leaf_size(n, 64);
+    let matrix = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-9));
+
+    let sources = vec![([0.2, 0.0], 1.0)];
+    let f = bie.dirichlet_data_from_sources(&sources);
+    let device = Device::new();
+    let mut gpu = GpuSolver::new(&device, &matrix);
+    gpu.factorize().unwrap();
+    let sigma = gpu.solve(&f);
+    assert!(matrix.relative_residual(&sigma, &f) < 1e-6);
+
+    let x = [4.0, 1.0];
+    let u = bie.evaluate_exterior(x, &sigma);
+    let exact = bie.potential_from_sources(x, &sources);
+    assert!((u - exact).modulus() < 1e-3 * exact.modulus().max(1e-2));
+}
+
+/// Tunable accuracy (the paper's "fast direct solver vs robust
+/// preconditioner" trade-off): looser compression gives lower ranks, less
+/// memory and a worse but still useful residual.
+#[test]
+fn accuracy_is_tunable_through_the_compression_tolerance() {
+    let n = 800;
+    let bie = LaplaceExteriorBie::new(StarContour::paper_contour(), n);
+    let tree = ClusterTree::with_leaf_size(n, 64);
+    let tight = build_from_source(&bie, tree.clone(), &CompressionConfig::with_tol(1e-12));
+    let loose = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-4));
+    assert!(loose.max_rank() <= tight.max_rank());
+    assert!(loose.storage_entries() <= tight.storage_entries());
+
+    let b: Vec<f64> = (0..n).map(|i| (0.05 * i as f64).sin()).collect();
+    let x_tight = tight.factorize_serial().unwrap().solve(&b);
+    let x_loose = loose.factorize_serial().unwrap().solve(&b);
+    // Residuals are measured against the *discretized operator* (the dense
+    // Nystrom matrix), mirroring the paper's relres column.
+    let dense = bie.to_dense();
+    let res = |x: &[f64]| -> f64 {
+        let ax = dense.matvec(x);
+        let num: f64 = ax.iter().zip(&b).map(|(a, bi)| (a - bi) * (a - bi)).sum();
+        let den: f64 = b.iter().map(|bi| bi * bi).sum();
+        (num / den).sqrt()
+    };
+    assert!(res(&x_tight) < 1e-9);
+    assert!(res(&x_loose) > res(&x_tight));
+    assert!(res(&x_loose) < 1e-2);
+}
+
+/// Single precision works through the same generic code paths and roughly
+/// doubles neither accuracy nor memory (Table IV(b) runs in f32).
+#[test]
+fn single_precision_solver_runs_and_halves_memory() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let m64 = hodlr_core::matrix::random_hodlr::<f64, _>(&mut rng, 256, 3, 4);
+    let mut rng = StdRng::seed_from_u64(3);
+    let m32 = hodlr_core::matrix::random_hodlr::<f32, _>(&mut rng, 256, 3, 4);
+    assert_eq!(m32.storage_bytes() * 2, m64.storage_bytes());
+
+    let b32 = vec![1.0f32; 256];
+    let x32 = m32.factorize_serial().unwrap().solve(&b32);
+    assert!(m32.relative_residual(&x32, &b32) < 1e-4);
+}
+
+/// The analytic complexity model tracks the metered flops of the batched
+/// factorization across problem sizes (Theorem 3 vs the device counters).
+#[test]
+fn complexity_model_tracks_metered_flops_across_sizes() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for &n in &[256usize, 512, 1024] {
+        let matrix = hodlr_core::matrix::random_hodlr::<f64, _>(&mut rng, n, 3, 4);
+        let report = ComplexityReport::for_matrix(&matrix);
+        let device = Device::new();
+        let mut gpu = GpuSolver::new(&device, &matrix);
+        gpu.factorize().unwrap();
+        let measured = device.counters().flops as f64;
+        let ratio = measured / report.factorization_flops as f64;
+        assert!((0.2..5.0).contains(&ratio), "N = {n}: ratio {ratio}");
+    }
+}
+
+/// Multi-RHS solves through the recursive oracle and the batched solver give
+/// the same answer for a complex HODLR matrix.
+#[test]
+fn complex_multi_rhs_solvers_agree() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let matrix = hodlr_core::matrix::random_hodlr::<Complex64, _>(&mut rng, 192, 2, 3);
+    let b: DenseMatrix<Complex64> = hodlr_la::random::random_matrix(&mut rng, 192, 3);
+    let x_rec = solve_recursive(&matrix, &b).unwrap();
+    let device = Device::new();
+    let mut gpu = GpuSolver::new(&device, &matrix);
+    gpu.factorize().unwrap();
+    let x_gpu = gpu.solve_matrix(&b);
+    let diff = x_rec.sub(&x_gpu).norm_max();
+    assert!(diff.to_f64() < 1e-8, "max difference {diff}");
+}
+
+/// Failure injection: a kernel matrix without diagonal regularisation over
+/// coincident points produces a singular leaf, and every factorization path
+/// reports it instead of returning garbage.
+#[test]
+fn singular_systems_are_reported_by_every_path() {
+    // Two identical points give two identical rows -> singular leaf block.
+    let coords = vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.1, 0.2, 0.3, 0.9, 0.8, 0.7];
+    let cloud = hodlr_tree::PointCloud::new(3, coords);
+    let source = ScalarKernelSource::new(GaussianKernel { length_scale: 1.0 }, &cloud);
+    let tree = ClusterTree::uniform(4, 1);
+    let cfg = CompressionConfig::with_tol(1e-12).method(CompressionMethod::TruncatedSvd);
+    let matrix = build_from_source(&source, tree, &cfg);
+    assert!(matrix.factorize_serial().is_err());
+    let device = Device::new();
+    let mut gpu = GpuSolver::new(&device, &matrix);
+    assert!(gpu.factorize().is_err());
+    assert!(HodlrlibStyleSolver::factorize(&matrix).is_err());
+}
