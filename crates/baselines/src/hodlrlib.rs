@@ -133,19 +133,41 @@ impl<T: Scalar> HodlrlibFactorization<T> {
     /// already-computed `Y` bases.
     fn build_coupling(&self, gamma: NodeId) -> DenseMatrix<T> {
         let (alpha, beta) = self.tree.children(gamma).expect("internal node");
-        let y_a = self.node_y[alpha].as_ref().expect("child Y computed").clone();
-        let y_b = self.node_y[beta].as_ref().expect("child Y computed").clone();
+        let y_a = self.node_y[alpha]
+            .as_ref()
+            .expect("child Y computed")
+            .clone();
+        let y_b = self.node_y[beta]
+            .as_ref()
+            .expect("child Y computed")
+            .clone();
         let v_a = self.node_v[alpha].as_ref().expect("basis");
         let v_b = self.node_v[beta].as_ref().expect("basis");
         let w = y_a.cols();
         let mut k = DenseMatrix::<T>::zeros(2 * w, 2 * w);
         {
             let mut tl = k.block_mut(0, 0, w, w);
-            gemm(T::one(), v_a.as_ref(), Op::ConjTrans, y_a.as_ref(), Op::None, T::zero(), tl.reborrow());
+            gemm(
+                T::one(),
+                v_a.as_ref(),
+                Op::ConjTrans,
+                y_a.as_ref(),
+                Op::None,
+                T::zero(),
+                tl.reborrow(),
+            );
         }
         {
             let mut br = k.block_mut(w, w, w, w);
-            gemm(T::one(), v_b.as_ref(), Op::ConjTrans, y_b.as_ref(), Op::None, T::zero(), br.reborrow());
+            gemm(
+                T::one(),
+                v_b.as_ref(),
+                Op::ConjTrans,
+                y_b.as_ref(),
+                Op::None,
+                T::zero(),
+                br.reborrow(),
+            );
         }
         for i in 0..w {
             k[(i, w + i)] = T::one();
@@ -174,8 +196,14 @@ impl<T: Scalar> HodlrlibFactorization<T> {
             || self.apply_inverse(beta, &rhs_b),
         );
 
-        let y_a = self.node_y[alpha].as_ref().expect("child Y computed").clone();
-        let y_b = self.node_y[beta].as_ref().expect("child Y computed").clone();
+        let y_a = self.node_y[alpha]
+            .as_ref()
+            .expect("child Y computed")
+            .clone();
+        let y_b = self.node_y[beta]
+            .as_ref()
+            .expect("child Y computed")
+            .clone();
         let v_a = self.node_v[alpha].as_ref().expect("basis");
         let v_b = self.node_v[beta].as_ref().expect("basis");
         let w = y_a.cols();
@@ -187,13 +215,31 @@ impl<T: Scalar> HodlrlibFactorization<T> {
         let mut small_rhs = DenseMatrix::<T>::zeros(2 * w, nrhs);
         {
             let mut top = small_rhs.block_mut(0, 0, w, nrhs);
-            gemm(T::one(), v_a.as_ref(), Op::ConjTrans, z_a.as_ref(), Op::None, T::zero(), top.reborrow());
+            gemm(
+                T::one(),
+                v_a.as_ref(),
+                Op::ConjTrans,
+                z_a.as_ref(),
+                Op::None,
+                T::zero(),
+                top.reborrow(),
+            );
         }
         {
             let mut bottom = small_rhs.block_mut(w, 0, w, nrhs);
-            gemm(T::one(), v_b.as_ref(), Op::ConjTrans, z_b.as_ref(), Op::None, T::zero(), bottom.reborrow());
+            gemm(
+                T::one(),
+                v_b.as_ref(),
+                Op::ConjTrans,
+                z_b.as_ref(),
+                Op::None,
+                T::zero(),
+                bottom.reborrow(),
+            );
         }
-        let k_lu = self.node_k[node].as_ref().expect("internal node has K factors");
+        let k_lu = self.node_k[node]
+            .as_ref()
+            .expect("internal node has K factors");
         k_lu.solve_in_place(small_rhs.as_mut());
 
         // x = z - Y w.
@@ -201,11 +247,27 @@ impl<T: Scalar> HodlrlibFactorization<T> {
         let w_b = small_rhs.sub_matrix(w, 0, w, nrhs);
         let mut x_a = z_a;
         let mut corr = DenseMatrix::<T>::zeros(x_a.rows(), nrhs);
-        gemm(T::one(), y_a.as_ref(), Op::None, w_a.as_ref(), Op::None, T::zero(), corr.as_mut());
+        gemm(
+            T::one(),
+            y_a.as_ref(),
+            Op::None,
+            w_a.as_ref(),
+            Op::None,
+            T::zero(),
+            corr.as_mut(),
+        );
         x_a.axpy(-T::one(), &corr);
         let mut x_b = z_b;
         let mut corr_b = DenseMatrix::<T>::zeros(x_b.rows(), nrhs);
-        gemm(T::one(), y_b.as_ref(), Op::None, w_b.as_ref(), Op::None, T::zero(), corr_b.as_mut());
+        gemm(
+            T::one(),
+            y_b.as_ref(),
+            Op::None,
+            w_b.as_ref(),
+            Op::None,
+            T::zero(),
+            corr_b.as_mut(),
+        );
         x_b.axpy(-T::one(), &corr_b);
         x_a.vcat(&x_b)
     }
@@ -218,7 +280,11 @@ impl<T: Scalar> HodlrlibFactorization<T> {
 
     /// Solve for several right-hand sides.
     pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
-        assert_eq!(b.rows(), self.tree.n(), "right-hand side has the wrong row count");
+        assert_eq!(
+            b.rows(),
+            self.tree.n(),
+            "right-hand side has the wrong row count"
+        );
         self.apply_inverse(self.tree.root(), b)
     }
 

@@ -58,7 +58,7 @@ impl<'d, T: Scalar> DeviceBuffer<'d, T> {
         assert_eq!(host.len(), self.data.len(), "upload: length mismatch");
         self.device.record_transfer(
             TransferDirection::HostToDevice,
-            (host.len() * std::mem::size_of::<T>()) as u64,
+            std::mem::size_of_val(host) as u64,
         );
         self.data.copy_from_slice(host);
     }
@@ -71,7 +71,7 @@ impl<'d, T: Scalar> DeviceBuffer<'d, T> {
         );
         self.device.record_transfer(
             TransferDirection::HostToDevice,
-            (host.len() * std::mem::size_of::<T>()) as u64,
+            std::mem::size_of_val(host) as u64,
         );
         self.data[offset..offset + host.len()].copy_from_slice(host);
     }
@@ -87,7 +87,10 @@ impl<'d, T: Scalar> DeviceBuffer<'d, T> {
 
     /// Copy a sub-range back to the host (metered D2H copy).
     pub fn download_range(&self, offset: usize, len: usize) -> Vec<T> {
-        assert!(offset + len <= self.data.len(), "download_range: out of bounds");
+        assert!(
+            offset + len <= self.data.len(),
+            "download_range: out of bounds"
+        );
         self.device.record_transfer(
             TransferDirection::DeviceToHost,
             (len * std::mem::size_of::<T>()) as u64,

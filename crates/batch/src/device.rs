@@ -162,7 +162,8 @@ impl Device {
     /// `flops` floating-point operations.
     pub fn record_launch(&self, kernel: &'static str, batch: usize, flops: u64, stream: usize) {
         self.kernel_launches.fetch_add(1, Ordering::Relaxed);
-        self.batch_entries.fetch_add(batch as u64, Ordering::Relaxed);
+        self.batch_entries
+            .fetch_add(batch as u64, Ordering::Relaxed);
         self.flops.fetch_add(flops, Ordering::Relaxed);
         if self.log_launches {
             self.launch_log.lock().push(LaunchRecord {
@@ -221,8 +222,10 @@ impl Device {
         self.flops.store(0, Ordering::Relaxed);
         self.h2d_bytes.store(0, Ordering::Relaxed);
         self.d2h_bytes.store(0, Ordering::Relaxed);
-        self.peak_allocated_bytes
-            .store(self.allocated_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.peak_allocated_bytes.store(
+            self.allocated_bytes.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         self.launch_log.lock().clear();
     }
 

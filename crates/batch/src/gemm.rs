@@ -186,7 +186,12 @@ pub fn gemm_strided_batched<T: Scalar>(
     let a_data = a.data();
     let b_data = b.data();
     let windows: Vec<MatWindow> = (0..batch)
-        .map(|i| MatWindow { offset: i * stride_c, rows: m, cols: n, ld: ldc })
+        .map(|i| MatWindow {
+            offset: i * stride_c,
+            rows: m,
+            cols: n,
+            ld: ldc,
+        })
         .collect();
     process_windows_mut(c.data_mut(), &windows, device.is_parallel(), |i, c_view| {
         let a_off = i * stride_a;
@@ -217,9 +222,18 @@ pub fn gemm_batched_varied<T: Scalar>(
         return;
     }
     for d in descs {
-        assert!(d.a_offset + d.a_span() <= a.len(), "gemm_batched_varied: A out of bounds");
-        assert!(d.b_offset + d.b_span() <= b.len(), "gemm_batched_varied: B out of bounds");
-        assert!(d.c_offset + d.c_span() <= c.len(), "gemm_batched_varied: C out of bounds");
+        assert!(
+            d.a_offset + d.a_span() <= a.len(),
+            "gemm_batched_varied: A out of bounds"
+        );
+        assert!(
+            d.b_offset + d.b_span() <= b.len(),
+            "gemm_batched_varied: B out of bounds"
+        );
+        assert!(
+            d.c_offset + d.c_span() <= c.len(),
+            "gemm_batched_varied: C out of bounds"
+        );
     }
     let flops: u64 = descs.iter().map(|d| d.flops()).sum();
     device.record_launch("gemm_batched", descs.len(), flops, stream.id());
@@ -228,7 +242,12 @@ pub fn gemm_batched_varied<T: Scalar>(
     let b_data = b.data();
     let windows: Vec<MatWindow> = descs
         .iter()
-        .map(|d| MatWindow { offset: d.c_offset, rows: d.m, cols: d.n, ld: d.ldc })
+        .map(|d| MatWindow {
+            offset: d.c_offset,
+            rows: d.m,
+            cols: d.n,
+            ld: d.ldc,
+        })
         .collect();
     process_windows_mut(c.data_mut(), &windows, device.is_parallel(), |i, c_view| {
         let d = &descs[i];
@@ -259,9 +278,18 @@ pub fn gemm_batched_aliased<T: Scalar>(
         return;
     }
     for d in descs {
-        assert!(d.a_offset + d.a_span() <= ac.len(), "gemm_batched_aliased: A out of bounds");
-        assert!(d.b_offset + d.b_span() <= b.len(), "gemm_batched_aliased: B out of bounds");
-        assert!(d.c_offset + d.c_span() <= ac.len(), "gemm_batched_aliased: C out of bounds");
+        assert!(
+            d.a_offset + d.a_span() <= ac.len(),
+            "gemm_batched_aliased: A out of bounds"
+        );
+        assert!(
+            d.b_offset + d.b_span() <= b.len(),
+            "gemm_batched_aliased: B out of bounds"
+        );
+        assert!(
+            d.c_offset + d.c_span() <= ac.len(),
+            "gemm_batched_aliased: C out of bounds"
+        );
     }
     let flops: u64 = descs.iter().map(|d| d.flops()).sum();
     device.record_launch("gemm_batched_aliased", descs.len(), flops, stream.id());
@@ -277,17 +305,27 @@ pub fn gemm_batched_aliased<T: Scalar>(
 
     let windows: Vec<MatWindow> = descs
         .iter()
-        .map(|d| MatWindow { offset: d.c_offset, rows: d.m, cols: d.n, ld: d.ldc })
+        .map(|d| MatWindow {
+            offset: d.c_offset,
+            rows: d.m,
+            cols: d.n,
+            ld: d.ldc,
+        })
         .collect();
-    process_windows_mut(ac.data_mut(), &windows, device.is_parallel(), |i, c_view| {
-        let d = &descs[i];
-        gemm_into(
-            d,
-            &a_copies[i],
-            &b_data[d.b_offset..d.b_offset + d.b_span()],
-            c_view,
-        );
-    });
+    process_windows_mut(
+        ac.data_mut(),
+        &windows,
+        device.is_parallel(),
+        |i, c_view| {
+            let d = &descs[i];
+            gemm_into(
+                d,
+                &a_copies[i],
+                &b_data[d.b_offset..d.b_offset + d.b_span()],
+                c_view,
+            );
+        },
+    );
 }
 
 #[cfg(test)]
@@ -318,7 +356,11 @@ mod tests {
         let b_mats: Vec<DenseMatrix<T>> =
             (0..batch).map(|_| random_matrix(&mut rng, k, n)).collect();
 
-        let dev = if parallel { Device::new() } else { Device::sequential() };
+        let dev = if parallel {
+            Device::new()
+        } else {
+            Device::sequential()
+        };
         let (a_buf, stride_a) = upload_matrices(&dev, &a_mats);
         let (b_buf, stride_b) = upload_matrices(&dev, &b_mats);
         let mut c_buf = DeviceBuffer::<T>::zeros(&dev, m * n * batch);
@@ -348,7 +390,8 @@ mod tests {
         let c_host = c_buf.download();
         for i in 0..batch {
             let reference = a_mats[i].matmul(&b_mats[i]);
-            let got = DenseMatrix::from_col_major(m, n, c_host[i * m * n..(i + 1) * m * n].to_vec());
+            let got =
+                DenseMatrix::from_col_major(m, n, c_host[i * m * n..(i + 1) * m * n].to_vec());
             assert!(got.sub(&reference).norm_max().to_f64() < 1e-12);
         }
         assert_eq!(dev.counters().kernel_launches, 1);
@@ -511,8 +554,8 @@ mod tests {
     #[test]
     fn flop_counter_matches_formula() {
         let dev = Device::new();
-        let a_buf = DeviceBuffer::<f64>::from_host(&dev, &vec![1.0; 4 * 5]);
-        let b_buf = DeviceBuffer::<f64>::from_host(&dev, &vec![1.0; 5 * 3]);
+        let a_buf = DeviceBuffer::<f64>::from_host(&dev, &[1.0; 4 * 5]);
+        let b_buf = DeviceBuffer::<f64>::from_host(&dev, &[1.0; 5 * 3]);
         let mut c_buf = DeviceBuffer::<f64>::zeros(&dev, 4 * 3 * 2);
         gemm_strided_batched(
             &dev,

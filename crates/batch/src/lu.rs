@@ -116,17 +116,25 @@ pub fn getrf_batched_varied<T: Scalar>(
         return Ok(Vec::new());
     }
     for d in descs {
-        assert!(d.offset + d.span() <= a.len(), "getrf_batched: block out of bounds");
+        assert!(
+            d.offset + d.span() <= a.len(),
+            "getrf_batched: block out of bounds"
+        );
     }
     let flops: u64 = descs.iter().map(|d| d.flops::<T>()).sum();
     device.record_launch("getrf_batched", descs.len(), flops, stream.id());
 
     let windows: Vec<MatWindow> = descs
         .iter()
-        .map(|d| MatWindow { offset: d.offset, rows: d.n, cols: d.n, ld: d.ld })
+        .map(|d| MatWindow {
+            offset: d.offset,
+            rows: d.n,
+            cols: d.n,
+            ld: d.ld,
+        })
         .collect();
-    let results: Mutex<Vec<Option<Result<Vec<usize>, SingularError>>>> =
-        Mutex::new(vec![None; descs.len()]);
+    type BatchResults = Mutex<Vec<Option<Result<Vec<usize>, SingularError>>>>;
+    let results: BatchResults = Mutex::new(vec![None; descs.len()]);
     process_windows_mut(a.data_mut(), &windows, device.is_parallel(), |i, block| {
         let r = getrf_in_place(block);
         results.lock()[i] = Some(r);
@@ -194,8 +202,14 @@ pub fn getrs_batched_varied<T: Scalar>(
         "getrs_batched: one pivot vector per batch entry required"
     );
     for d in descs {
-        assert!(d.a_offset + d.a_span() <= a.len(), "getrs_batched: factors out of bounds");
-        assert!(d.b_offset + d.b_span() <= b.len(), "getrs_batched: rhs out of bounds");
+        assert!(
+            d.a_offset + d.a_span() <= a.len(),
+            "getrs_batched: factors out of bounds"
+        );
+        assert!(
+            d.b_offset + d.b_span() <= b.len(),
+            "getrs_batched: rhs out of bounds"
+        );
     }
     let flops: u64 = descs.iter().map(|d| d.flops::<T>()).sum();
     device.record_launch("getrs_batched", descs.len(), flops, stream.id());
@@ -203,7 +217,12 @@ pub fn getrs_batched_varied<T: Scalar>(
     let a_data = a.data();
     let windows: Vec<MatWindow> = descs
         .iter()
-        .map(|d| MatWindow { offset: d.b_offset, rows: d.n, cols: d.nrhs, ld: d.ldb })
+        .map(|d| MatWindow {
+            offset: d.b_offset,
+            rows: d.n,
+            cols: d.nrhs,
+            ld: d.ldb,
+        })
         .collect();
     process_windows_mut(b.data_mut(), &windows, device.is_parallel(), |i, rhs| {
         let d = &descs[i];
@@ -262,12 +281,18 @@ mod tests {
         let n = 12;
         let nrhs = 4;
         let batch = 5;
-        let mats: Vec<DenseMatrix<T>> =
-            (0..batch).map(|_| random_diag_dominant(&mut rng, n)).collect();
-        let rhs: Vec<DenseMatrix<T>> =
-            (0..batch).map(|_| random_matrix(&mut rng, n, nrhs)).collect();
+        let mats: Vec<DenseMatrix<T>> = (0..batch)
+            .map(|_| random_diag_dominant(&mut rng, n))
+            .collect();
+        let rhs: Vec<DenseMatrix<T>> = (0..batch)
+            .map(|_| random_matrix(&mut rng, n, nrhs))
+            .collect();
 
-        let dev = if parallel { Device::new() } else { Device::sequential() };
+        let dev = if parallel {
+            Device::new()
+        } else {
+            Device::sequential()
+        };
         let mut a_host = vec![T::zero(); n * n * batch];
         let mut b_host = vec![T::zero(); n * nrhs * batch];
         for i in 0..batch {
@@ -296,7 +321,11 @@ mod tests {
 
         let x_host = b_buf.download();
         for i in 0..batch {
-            let x = DenseMatrix::from_col_major(n, nrhs, x_host[i * n * nrhs..(i + 1) * n * nrhs].to_vec());
+            let x = DenseMatrix::from_col_major(
+                n,
+                nrhs,
+                x_host[i * n * nrhs..(i + 1) * n * nrhs].to_vec(),
+            );
             let ax = mats[i].matmul(&x);
             let err = ax.sub(&rhs[i]).norm_max().to_f64();
             assert!(err < 1e-9, "batch {i}: residual {err}");
@@ -357,7 +386,14 @@ mod tests {
             b_host.extend_from_slice(r);
         }
         let mut b_buf = DeviceBuffer::from_host(&dev, &b_host);
-        getrs_batched_varied(&dev, Stream::default(), &solve_descs, &a_buf, &pivots, &mut b_buf);
+        getrs_batched_varied(
+            &dev,
+            Stream::default(),
+            &solve_descs,
+            &a_buf,
+            &pivots,
+            &mut b_buf,
+        );
         let x_host = b_buf.download();
         for (i, d) in solve_descs.iter().enumerate() {
             let x = &x_host[d.b_offset..d.b_offset + sizes[i]];

@@ -46,7 +46,9 @@ pub fn disjoint_slices_mut<'a, T>(
         rest = tail2;
         consumed = off + len;
     }
-    out.into_iter().map(|o| o.expect("every range visited")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every range visited"))
+        .collect()
 }
 
 /// Check that a set of `(offset, len)` ranges is pairwise disjoint without

@@ -7,15 +7,9 @@
 //! "synchronise" no-op so that calling code reads like the GPU original.
 
 /// A launch queue label.  Stream 0 is the default stream.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Stream {
     id: usize,
-}
-
-impl Default for Stream {
-    fn default() -> Self {
-        Stream { id: 0 }
-    }
 }
 
 impl Stream {

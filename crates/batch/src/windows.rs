@@ -103,7 +103,8 @@ fn classify(windows: &[MatWindow]) -> Partition {
         if !cluster.iter().all(|w| (w.offset % ld) + w.rows <= ld) {
             return false;
         }
-        let mut rows: Vec<(usize, usize)> = cluster.iter().map(|w| (w.offset % ld, w.rows)).collect();
+        let mut rows: Vec<(usize, usize)> =
+            cluster.iter().map(|w| (w.offset % ld, w.rows)).collect();
         rows.sort_unstable();
         rows.windows(2).all(|p| p[0].0 + p[0].1 <= p[1].0)
     };
@@ -168,7 +169,8 @@ where
     }
     match classify(windows) {
         Partition::Contiguous => {
-            let ranges: Vec<(usize, usize)> = windows.iter().map(|w| (w.offset, w.span())).collect();
+            let ranges: Vec<(usize, usize)> =
+                windows.iter().map(|w| (w.offset, w.span())).collect();
             let slices = disjoint_slices_mut(data, &ranges);
             let run = |(i, slice): (usize, &mut [T])| {
                 let w = &windows[i];
@@ -178,9 +180,15 @@ where
                 kernel(i, MatMut::from_parts(slice, w.rows, w.cols, w.ld.max(1)));
             };
             if parallel && windows.len() > 1 {
-                slices.into_par_iter().enumerate().for_each(|(i, s)| run((i, s)));
+                slices
+                    .into_par_iter()
+                    .enumerate()
+                    .for_each(|(i, s)| run((i, s)));
             } else {
-                slices.into_iter().enumerate().for_each(|(i, s)| run((i, s)));
+                slices
+                    .into_iter()
+                    .enumerate()
+                    .for_each(|(i, s)| run((i, s)));
             }
         }
         Partition::RowBlocks => {
@@ -238,8 +246,18 @@ mod tests {
         // Two 2x2 blocks side by side in a buffer of 8 elements.
         let mut data = vec![1.0f64; 8];
         let windows = vec![
-            MatWindow { offset: 0, rows: 2, cols: 2, ld: 2 },
-            MatWindow { offset: 4, rows: 2, cols: 2, ld: 2 },
+            MatWindow {
+                offset: 0,
+                rows: 2,
+                cols: 2,
+                ld: 2,
+            },
+            MatWindow {
+                offset: 4,
+                rows: 2,
+                cols: 2,
+                ld: 2,
+            },
         ];
         process_windows_mut(&mut data, &windows, true, |i, mut m| {
             m.set(0, 0, 10.0 * (i + 1) as f64);
@@ -256,8 +274,18 @@ mod tests {
         let cols = 3;
         let mut data: Vec<f64> = (0..n * cols).map(|x| x as f64).collect();
         let windows = vec![
-            MatWindow { offset: 0, rows: 2, cols, ld: n },
-            MatWindow { offset: 2, rows: 4, cols, ld: n },
+            MatWindow {
+                offset: 0,
+                rows: 2,
+                cols,
+                ld: n,
+            },
+            MatWindow {
+                offset: 2,
+                rows: 4,
+                cols,
+                ld: n,
+            },
         ];
         let original = data.clone();
         process_windows_mut(&mut data, &windows, true, |i, mut m| {
@@ -287,8 +315,18 @@ mod tests {
     fn scratch_view_has_compact_leading_dimension() {
         let mut data = vec![0.0f64; 12];
         let windows = vec![
-            MatWindow { offset: 0, rows: 2, cols: 2, ld: 4 },
-            MatWindow { offset: 2, rows: 2, cols: 2, ld: 4 },
+            MatWindow {
+                offset: 0,
+                rows: 2,
+                cols: 2,
+                ld: 4,
+            },
+            MatWindow {
+                offset: 2,
+                rows: 2,
+                cols: 2,
+                ld: 4,
+            },
         ];
         process_windows_mut(&mut data, &windows, false, |_, m| {
             assert_eq!(m.rows(), 2);
@@ -300,8 +338,18 @@ mod tests {
     fn empty_windows_are_skipped() {
         let mut data = vec![0.0f64; 4];
         let windows = vec![
-            MatWindow { offset: 0, rows: 0, cols: 3, ld: 2 },
-            MatWindow { offset: 0, rows: 2, cols: 2, ld: 2 },
+            MatWindow {
+                offset: 0,
+                rows: 0,
+                cols: 3,
+                ld: 2,
+            },
+            MatWindow {
+                offset: 0,
+                rows: 2,
+                cols: 2,
+                ld: 2,
+            },
         ];
         process_windows_mut(&mut data, &windows, true, |_, mut m| m.fill(1.0));
         assert_eq!(data, vec![1.0; 4]);
@@ -312,8 +360,18 @@ mod tests {
     fn truly_overlapping_windows_panic() {
         let mut data = vec![0.0f64; 16];
         let windows = vec![
-            MatWindow { offset: 0, rows: 3, cols: 2, ld: 4 },
-            MatWindow { offset: 2, rows: 3, cols: 2, ld: 4 },
+            MatWindow {
+                offset: 0,
+                rows: 3,
+                cols: 2,
+                ld: 4,
+            },
+            MatWindow {
+                offset: 2,
+                rows: 3,
+                cols: 2,
+                ld: 4,
+            },
         ];
         process_windows_mut(&mut data, &windows, true, |_, _| {});
     }
@@ -326,7 +384,12 @@ mod tests {
         let cols = 4;
         let mut data = vec![0.0f64; n * cols];
         let windows: Vec<MatWindow> = (0..4)
-            .map(|i| MatWindow { offset: 2 * i, rows: 2, cols, ld: n })
+            .map(|i| MatWindow {
+                offset: 2 * i,
+                rows: 2,
+                cols,
+                ld: n,
+            })
             .collect();
         process_windows_mut(&mut data, &windows, true, |i, mut m| {
             for c in 0..cols {

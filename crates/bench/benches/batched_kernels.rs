@@ -17,15 +17,33 @@ fn bench(c: &mut Criterion) {
         bch.iter(|| {
             let mut c_buf = DeviceBuffer::<f64>::zeros(&device, m * m * batch);
             gemm_strided_batched(
-                &device, Stream::default(), Op::None, Op::None, m, m, m, 1.0,
-                &a, m, m * m, &b, m, m * m, 0.0, &mut c_buf, m, m * m, batch,
+                &device,
+                Stream::default(),
+                Op::None,
+                Op::None,
+                m,
+                m,
+                m,
+                1.0,
+                &a,
+                m,
+                m * m,
+                &b,
+                m,
+                m * m,
+                0.0,
+                &mut c_buf,
+                m,
+                m * m,
+                batch,
             );
         })
     });
     group.bench_function("getrf_strided_batched_64_batch64", |bch| {
         bch.iter(|| {
             let mut work = DeviceBuffer::<f64>::from_host(&device, &diag_dominant_host(m, batch));
-            getrf_strided_batched(&device, Stream::default(), m, &mut work, m, m * m, batch).unwrap()
+            getrf_strided_batched(&device, Stream::default(), m, &mut work, m, m * m, batch)
+                .unwrap()
         })
     });
     group.finish();

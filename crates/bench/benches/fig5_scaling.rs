@@ -11,13 +11,17 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [3 * 256usize, 3 * 512] {
         let matrix = rpy_hodlr(n, 1e-10);
-        group.bench_with_input(BenchmarkId::new("batched_factorize", n), &matrix, |bch, m| {
-            bch.iter(|| {
-                let device = Device::new();
-                let mut gpu = GpuSolver::new(&device, m);
-                gpu.factorize().unwrap();
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("batched_factorize", n),
+            &matrix,
+            |bch, m| {
+                bch.iter(|| {
+                    let device = Device::new();
+                    let mut gpu = GpuSolver::new(&device, m);
+                    gpu.factorize().unwrap();
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("batched_solve", |bch| bch.iter(|| gpu.solve(&b)));
 
     let block_sparse = ExtendedSystem::new(&matrix).factorize(true).unwrap();
-    group.bench_function("block_sparse_solve", |bch| bch.iter(|| block_sparse.solve(&b)));
+    group.bench_function("block_sparse_solve", |bch| {
+        bch.iter(|| block_sparse.solve(&b))
+    });
     group.finish();
 }
 

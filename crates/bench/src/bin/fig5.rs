@@ -24,7 +24,11 @@ fn main() {
         rows.extend(measure_solvers(&matrix, &config));
     }
     print_csv("Fig. 5 series (RPY kernel)", &rows);
-    for solver in ["Serial HODLR Solver", "HODLRlib-style Solver", "GPU HODLR Solver"] {
+    for solver in [
+        "Serial HODLR Solver",
+        "HODLRlib-style Solver",
+        "GPU HODLR Solver",
+    ] {
         let factor: Vec<(usize, f64)> = rows
             .iter()
             .filter(|r| r.solver == solver)

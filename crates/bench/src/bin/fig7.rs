@@ -23,14 +23,21 @@ fn main() {
             rows.extend(measure_solvers(&matrix, &config));
         }
         print_csv(&format!("Fig. 7 series, Laplace BIE, {label}"), &rows);
-        for solver in ["Serial Block-Sparse Solver", "Parallel Block-Sparse Solver", "GPU HODLR Solver"] {
+        for solver in [
+            "Serial Block-Sparse Solver",
+            "Parallel Block-Sparse Solver",
+            "GPU HODLR Solver",
+        ] {
             let factor: Vec<(usize, f64)> = rows
                 .iter()
                 .filter(|r| r.solver == solver)
                 .map(|r| (r.n, r.t_factor))
                 .collect();
             if factor.len() >= 2 {
-                println!("{label} / {solver}: factorization ~ N^{:.2}", fitted_exponent(&factor));
+                println!(
+                    "{label} / {solver}: factorization ~ N^{:.2}",
+                    fitted_exponent(&factor)
+                );
             }
         }
         println!();

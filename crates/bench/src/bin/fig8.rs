@@ -26,8 +26,12 @@ fn main() {
         }
         print_csv(&format!("Fig. 8 series, Helmholtz BIE, {label}"), &rows);
         for &n in &args.sizes {
-            let bs = rows.iter().find(|r| r.n == n && r.solver.starts_with("Parallel Block"));
-            let gpu = rows.iter().find(|r| r.n == n && r.solver.starts_with("GPU"));
+            let bs = rows
+                .iter()
+                .find(|r| r.n == n && r.solver.starts_with("Parallel Block"));
+            let gpu = rows
+                .iter()
+                .find(|r| r.n == n && r.solver.starts_with("GPU"));
             if let (Some(bs), Some(gpu)) = (bs, gpu) {
                 println!(
                     "{label}, N = {n}: factorization speedup {:.2}x, solve speedup {:.2}x",

@@ -6,7 +6,11 @@ use hodlr_bench::{helmholtz_hodlr, laplace_hodlr, rpy_hodlr};
 
 fn print_profile(label: &str, profile: &[usize]) {
     let formatted: Vec<String> = profile.iter().map(|r| r.to_string()).collect();
-    println!("{label} ({} tree levels):\n  {}", profile.len(), formatted.join(" "));
+    println!(
+        "{label} ({} tree levels):\n  {}",
+        profile.len(),
+        formatted.join(" ")
+    );
 }
 
 fn main() {
@@ -14,18 +18,33 @@ fn main() {
     let n = args.sizes[0];
 
     let rpy = rpy_hodlr(n, 1e-12);
-    print_profile("RPY kernel, tol 1e-12 (cf. Table III appendix entry)", &rpy.rank_profile());
+    print_profile(
+        "RPY kernel, tol 1e-12 (cf. Table III appendix entry)",
+        &rpy.rank_profile(),
+    );
 
     let (_bie, lap_hi) = laplace_hodlr(n, 1e-12);
-    print_profile("Laplace BIE, tol 1e-12 (cf. Table IVa appendix entry)", &lap_hi.rank_profile());
+    print_profile(
+        "Laplace BIE, tol 1e-12 (cf. Table IVa appendix entry)",
+        &lap_hi.rank_profile(),
+    );
 
     let (_bie, lap_lo) = laplace_hodlr(n, 1e-4);
-    print_profile("Laplace BIE, tol 1e-4 (cf. Table IVb appendix entry)", &lap_lo.rank_profile());
+    print_profile(
+        "Laplace BIE, tol 1e-4 (cf. Table IVb appendix entry)",
+        &lap_lo.rank_profile(),
+    );
 
     let kappa = if args.full { 100.0 } else { resolved_kappa(n) };
     let (_bie, helm_hi) = helmholtz_hodlr(n, kappa, 1e-10);
-    print_profile("Helmholtz BIE, high accuracy (cf. Table Va appendix entry)", &helm_hi.rank_profile());
+    print_profile(
+        "Helmholtz BIE, high accuracy (cf. Table Va appendix entry)",
+        &helm_hi.rank_profile(),
+    );
 
     let (_bie, helm_lo) = helmholtz_hodlr(n, kappa, 1e-4);
-    print_profile("Helmholtz BIE, low accuracy (cf. Table Vb appendix entry)", &helm_lo.rank_profile());
+    print_profile(
+        "Helmholtz BIE, low accuracy (cf. Table Vb appendix entry)",
+        &helm_lo.rank_profile(),
+    );
 }

@@ -8,7 +8,10 @@ fn main() {
         &[1 << 11, 1 << 12, 1 << 13],
         &[1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22],
     );
-    for (label, tol) in [("(a) high accuracy, tol 1e-12", 1e-12), ("(b) low accuracy, tol 1e-4", 1e-4)] {
+    for (label, tol) in [
+        ("(a) high accuracy, tol 1e-12", 1e-12),
+        ("(b) low accuracy, tol 1e-4", 1e-4),
+    ] {
         for &n in &args.sizes {
             let (_bie, matrix) = laplace_hodlr(n, tol);
             let config = MeasureConfig {

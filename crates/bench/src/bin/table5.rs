@@ -9,7 +9,10 @@ fn main() {
         &[1 << 10, 1 << 11, 1 << 12],
         &[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20],
     );
-    for (label, tol) in [("(a) high accuracy, tol 1e-10", 1e-10), ("(b) low accuracy, tol 1e-4", 1e-4)] {
+    for (label, tol) in [
+        ("(a) high accuracy, tol 1e-10", 1e-10),
+        ("(b) low accuracy, tol 1e-4", 1e-4),
+    ] {
         for &n in &args.sizes {
             let kappa = if args.full { 100.0 } else { resolved_kappa(n) };
             let (_bie, matrix) = helmholtz_hodlr(n, kappa, tol);

@@ -64,7 +64,10 @@ pub struct SolverRow {
 /// Measure every requested solver on one HODLR matrix; the right-hand side
 /// is random (as in the paper) and the residual is evaluated with the HODLR
 /// matrix-vector product.
-pub fn measure_solvers<T: Scalar>(matrix: &HodlrMatrix<T>, config: &MeasureConfig) -> Vec<SolverRow> {
+pub fn measure_solvers<T: Scalar>(
+    matrix: &HodlrMatrix<T>,
+    config: &MeasureConfig,
+) -> Vec<SolverRow> {
     let n = matrix.n();
     let mut rng = StdRng::seed_from_u64(n as u64 ^ 0x9e3779b9);
     let b: Vec<T> = hodlr_la::random::random_vector(&mut rng, n);
@@ -112,7 +115,11 @@ pub fn measure_solvers<T: Scalar>(matrix: &HodlrMatrix<T>, config: &MeasureConfi
 
     for (label, parallel, enabled) in [
         ("Serial Block-Sparse Solver", false, config.block_sparse_seq),
-        ("Parallel Block-Sparse Solver", true, config.block_sparse_par),
+        (
+            "Parallel Block-Sparse Solver",
+            true,
+            config.block_sparse_par,
+        ),
     ] {
         if !enabled {
             continue;
@@ -215,8 +222,10 @@ pub fn print_csv(title: &str, rows: &[SolverRow]) {
             row.t_solve,
             row.mem_gib,
             row.relres,
-            row.factor_gflops.map_or(String::new(), |v| format!("{v:.3}")),
-            row.solve_gflops.map_or(String::new(), |v| format!("{v:.3}")),
+            row.factor_gflops
+                .map_or(String::new(), |v| format!("{v:.3}")),
+            row.solve_gflops
+                .map_or(String::new(), |v| format!("{v:.3}")),
         );
     }
     println!();

@@ -12,6 +12,7 @@
 //! | `fig8` | Fig. 8 | speedups of the Table V runs |
 //! | `fig9` | Fig. 9 | GFlop/s of factorization and solve |
 //! | `ranks` | Appendix | per-level off-diagonal rank profiles |
+//! | `iterative` | Table V(b) extension | preconditioned GMRES/BiCGStab/mixed-precision over all three workloads |
 //!
 //! Every binary accepts `--full` to run the paper's original problem sizes
 //! (hours on a laptop; the defaults are scaled down so a full sweep finishes
@@ -28,9 +29,13 @@
 //! paper (see DESIGN.md for the substitution argument).
 
 pub mod harness;
+pub mod iterative;
 pub mod workloads;
 
 pub use harness::{measure_solvers, print_csv, print_table, MeasureConfig, SolverRow};
+pub use iterative::{
+    measure_block_direct, measure_iterative, print_iterative_table, IterativeConfig, IterativeRow,
+};
 pub use workloads::{
     helmholtz_hodlr, kernel_hodlr, laplace_hodlr, parse_args, rpy_hodlr, SweepArgs,
 };

@@ -1,13 +1,13 @@
 //! Workload generators: the three problem families of the evaluation.
 
+use hodlr_bie::{HelmholtzExteriorBie, LaplaceExteriorBie, StarContour};
 use hodlr_compress::{CompressionConfig, CompressionMethod, MatrixEntrySource};
 use hodlr_core::{build_from_source, HodlrMatrix};
 use hodlr_kernels::{GaussianKernel, RpyKernel, RpyMatrixSource, ScalarKernelSource};
 use hodlr_la::{Complex64, Scalar};
-use hodlr_tree::{partition_points, uniform_cube_points, ClusterTree};
 #[allow(unused_imports)]
 use hodlr_tree::PointCloud;
-use hodlr_bie::{HelmholtzExteriorBie, LaplaceExteriorBie, StarContour};
+use hodlr_tree::{partition_points, uniform_cube_points, ClusterTree};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -107,7 +107,8 @@ pub fn kernel_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
     let mut rng = StdRng::seed_from_u64(0xabcd + n as u64);
     let cloud = uniform_cube_points(&mut rng, n, 3);
     let part = partition_points(&cloud, LEAF_SIZE);
-    let source = ScalarKernelSource::with_shift(GaussianKernel { length_scale: 1.0 }, &part.points, 1.0);
+    let source =
+        ScalarKernelSource::with_shift(GaussianKernel { length_scale: 1.0 }, &part.points, 1.0);
     let tree = part.tree.clone();
     let config = CompressionConfig::with_tol(tol).method(CompressionMethod::AcaRook);
     build_from_source(&source, tree, &config)

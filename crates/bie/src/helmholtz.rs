@@ -57,6 +57,11 @@ impl<C: Contour> HelmholtzExteriorBie<C> {
         Self::new(contour, n, kappa, kappa)
     }
 
+    /// Contour parameter values of the discretization nodes.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
     /// Number of discretization nodes (the matrix size `N`).
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -123,12 +128,13 @@ impl<C: Contour> HelmholtzExteriorBie<C> {
     pub fn potential_from_sources(&self, x: [f64; 2], sources: &[([f64; 2], f64)]) -> Complex64 {
         let mut u = Complex64::new(0.0, 0.0);
         for &(s, q) in sources {
-            u = u + self.single_layer(x, s).scale_by(q);
+            u += self.single_layer(x, s).scale_by(q);
         }
         u
     }
 
     /// Evaluate the combined-field representation at an exterior point.
+    #[allow(clippy::needless_range_loop)] // j indexes several parallel arrays
     pub fn evaluate_exterior(&self, x: [f64; 2], sigma: &[Complex64]) -> Complex64 {
         let mut u = Complex64::new(0.0, 0.0);
         for j in 0..self.len() {
@@ -136,7 +142,7 @@ impl<C: Contour> HelmholtzExteriorBie<C> {
             let n = self.normals[j];
             let kernel =
                 self.double_layer(x, y, n) + self.single_layer(x, y).mul_i().scale_by(self.eta);
-            u = u + (kernel * sigma[j]).scale_by(self.weights[j]);
+            u += (kernel * sigma[j]).scale_by(self.weights[j]);
         }
         u
     }
@@ -175,6 +181,7 @@ mod tests {
     use hodlr_la::lu::solve_dense;
     use hodlr_la::Scalar;
 
+    #[allow(clippy::type_complexity)]
     fn solve_bie(
         n: usize,
         kappa: f64,
@@ -195,6 +202,9 @@ mod tests {
     #[test]
     fn exterior_solution_matches_the_manufactured_field() {
         let (bie, sigma, sources) = solve_bie(600, 10.0);
+        // One parameter value per node, equispaced on [0, 2 pi).
+        assert_eq!(bie.params().len(), bie.len());
+        assert!(bie.params().windows(2).all(|w| w[1] > w[0]));
         for &x in &[[3.5, 1.0], [0.0, 4.0], [-4.0, -1.5]] {
             let u = bie.evaluate_exterior(x, &sigma);
             let exact = bie.potential_from_sources(x, &sources);
@@ -218,7 +228,10 @@ mod tests {
         let coarse_err = (bie_c.evaluate_exterior(x, &sigma_c) - exact).abs();
         let (bie_f, sigma_f, _) = solve_bie(600, 10.0);
         let fine_err = (bie_f.evaluate_exterior(x, &sigma_f) - exact).abs();
-        assert!(fine_err <= coarse_err * 1.5 + 1e-10, "{coarse_err} -> {fine_err}");
+        assert!(
+            fine_err <= coarse_err * 1.5 + 1e-10,
+            "{coarse_err} -> {fine_err}"
+        );
         assert!(fine_err < 1e-4);
     }
 

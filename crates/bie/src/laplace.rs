@@ -112,6 +112,7 @@ impl<C: Contour> LaplaceExteriorBie<C> {
     /// Evaluate the representation
     /// `u(x) = INT ( d(x, y) - 1/(2 pi) log|x - z| ) sigma(y) ds(y)` at an
     /// exterior point `x` given the solved density `sigma`.
+    #[allow(clippy::needless_range_loop)] // j indexes several parallel arrays
     pub fn evaluate_exterior(&self, x: [f64; 2], sigma: &[f64]) -> f64 {
         let pi = std::f64::consts::PI;
         let mut u = 0.0;
@@ -163,7 +164,14 @@ mod tests {
     use crate::contour::StarContour;
     use hodlr_la::lu::solve_dense;
 
-    fn solve_bie(n: usize) -> (LaplaceExteriorBie<StarContour>, Vec<f64>, Vec<([f64; 2], f64)>) {
+    #[allow(clippy::type_complexity)]
+    fn solve_bie(
+        n: usize,
+    ) -> (
+        LaplaceExteriorBie<StarContour>,
+        Vec<f64>,
+        Vec<([f64; 2], f64)>,
+    ) {
         let bie = LaplaceExteriorBie::new(StarContour::paper_contour(), n);
         let sources = vec![([0.2, 0.1], 1.3), ([-0.4, 0.05], -0.4), ([0.1, -0.3], 0.7)];
         let f = bie.dirichlet_data_from_sources(&sources);

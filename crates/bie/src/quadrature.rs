@@ -37,11 +37,7 @@ pub const KAPUR_ROKHLIN_6: [f64; 6] = [
 /// # Panics
 /// Panics if the grid has fewer than 13 nodes (the correction stencils would
 /// wrap onto each other).
-pub fn kapur_rokhlin_weights<C: Contour>(
-    contour: &C,
-    params: &[f64],
-    target: usize,
-) -> Vec<f64> {
+pub fn kapur_rokhlin_weights<C: Contour>(contour: &C, params: &[f64], target: usize) -> Vec<f64> {
     let n = params.len();
     assert!(n >= 13, "Kapur-Rokhlin needs at least 13 quadrature nodes");
     let mut w = trapezoidal_weights(contour, params);

@@ -124,8 +124,16 @@ pub fn aca_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
         let v_norm_sq: T::Real = v.iter().map(|x| x.abs_sqr()).sum();
         let mut cross_terms = T::Real::zero();
         for l in 0..us.len() {
-            let uu: T = us[l].iter().zip(u.iter()).map(|(&a, &b)| a.conj() * b).sum();
-            let vv: T = v.iter().zip(vs[l].iter()).map(|(&a, &b)| a.conj() * b).sum();
+            let uu: T = us[l]
+                .iter()
+                .zip(u.iter())
+                .map(|(&a, &b)| a.conj() * b)
+                .sum();
+            let vv: T = v
+                .iter()
+                .zip(vs[l].iter())
+                .map(|(&a, &b)| a.conj() * b)
+                .sum();
             cross_terms += (uu * vv).real();
         }
         norm_sq += T::Real::from_f64_real(2.0) * cross_terms + u_norm_sq * v_norm_sq;
@@ -188,9 +196,7 @@ fn residual_col<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
 }
 
 fn next_unused(used: &[bool], start: usize) -> Option<usize> {
-    (start..used.len())
-        .chain(0..start)
-        .find(|&i| !used[i])
+    (start..used.len()).chain(0..start).find(|&i| !used[i])
 }
 
 fn argmax_abs<T: Scalar>(values: &[T], excluded: &[bool]) -> Option<usize> {
@@ -208,12 +214,7 @@ fn argmax_abs<T: Scalar>(values: &[T], excluded: &[bool]) -> Option<usize> {
     best.map(|(j, _)| j)
 }
 
-fn factors_from_crosses<T: Scalar>(
-    m: usize,
-    n: usize,
-    us: &[Vec<T>],
-    vs: &[Vec<T>],
-) -> LowRank<T> {
+fn factors_from_crosses<T: Scalar>(m: usize, n: usize, us: &[Vec<T>], vs: &[Vec<T>]) -> LowRank<T> {
     let r = us.len();
     let mut u = DenseMatrix::zeros(m, r);
     let mut v = DenseMatrix::zeros(n, r);
@@ -240,7 +241,11 @@ mod tests {
         let a: DenseMatrix<f64> = random_low_rank(&mut rng, 50, 35, 4);
         for piv in [AcaPivoting::Partial, AcaPivoting::Rook] {
             let lr = aca_compress(&DenseSource::new(&a), 1e-12, None, piv);
-            assert!(lr.rank() >= 4 && lr.rank() <= 6, "{piv:?}: rank {}", lr.rank());
+            assert!(
+                lr.rank() >= 4 && lr.rank() <= 6,
+                "{piv:?}: rank {}",
+                lr.rank()
+            );
             assert!(lr.reconstruction_error(&a) < 1e-10 * a.norm_fro());
         }
     }

@@ -92,8 +92,12 @@ pub fn compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
         CompressionMethod::AcaRook => {
             aca_compress(source, config.tol, config.max_rank, AcaPivoting::Rook)
         }
-        CompressionMethod::RandomizedSvd => randomized_compress(source, config.tol, config.max_rank),
-        CompressionMethod::TruncatedSvd => truncated_svd_compress(source, config.tol, config.max_rank),
+        CompressionMethod::RandomizedSvd => {
+            randomized_compress(source, config.tol, config.max_rank)
+        }
+        CompressionMethod::TruncatedSvd => {
+            truncated_svd_compress(source, config.tol, config.max_rank)
+        }
     }
 }
 
@@ -118,7 +122,11 @@ mod tests {
         ] {
             let cfg = CompressionConfig::with_tol(1e-10).method(method);
             let lr = compress(&src, &cfg);
-            assert!(lr.rank() >= 6 && lr.rank() <= 12, "{method:?}: rank {}", lr.rank());
+            assert!(
+                lr.rank() >= 6 && lr.rank() <= 12,
+                "{method:?}: rank {}",
+                lr.rank()
+            );
             let err = lr.reconstruction_error(&a);
             assert!(
                 err.to_f64() < 1e-8 * a.norm_fro(),
@@ -138,7 +146,9 @@ mod tests {
             CompressionMethod::RandomizedSvd,
             CompressionMethod::TruncatedSvd,
         ] {
-            let cfg = CompressionConfig::with_tol(1e-14).method(method).max_rank(3);
+            let cfg = CompressionConfig::with_tol(1e-14)
+                .method(method)
+                .max_rank(3);
             let lr = compress(&src, &cfg);
             assert!(lr.rank() <= 3, "{method:?}: rank {}", lr.rank());
         }

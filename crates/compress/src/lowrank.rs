@@ -72,7 +72,14 @@ impl<T: Scalar> LowRank<T> {
     /// `y <- U (V^* x)` for a single vector.
     pub fn apply(&self, x: &[T]) -> Vec<T> {
         let mut tmp = vec![T::zero(); self.rank()];
-        hodlr_la::gemv(T::one(), self.v.as_ref(), Op::ConjTrans, x, T::zero(), &mut tmp);
+        hodlr_la::gemv(
+            T::one(),
+            self.v.as_ref(),
+            Op::ConjTrans,
+            x,
+            T::zero(),
+            &mut tmp,
+        );
         let mut y = vec![T::zero(); self.nrows()];
         hodlr_la::gemv(T::one(), self.u.as_ref(), Op::None, &tmp, T::zero(), &mut y);
         y
@@ -112,8 +119,24 @@ impl<T: Scalar> LowRank<T> {
         let mut u = DenseMatrix::zeros(self.nrows(), k);
         let mut v = DenseMatrix::zeros(self.ncols(), k);
         if k > 0 {
-            gemm(T::one(), qu.as_ref(), Op::None, cu.as_ref(), Op::None, T::zero(), u.as_mut());
-            gemm(T::one(), qv.as_ref(), Op::None, cv.as_ref(), Op::None, T::zero(), v.as_mut());
+            gemm(
+                T::one(),
+                qu.as_ref(),
+                Op::None,
+                cu.as_ref(),
+                Op::None,
+                T::zero(),
+                u.as_mut(),
+            );
+            gemm(
+                T::one(),
+                qv.as_ref(),
+                Op::None,
+                cv.as_ref(),
+                Op::None,
+                T::zero(),
+                v.as_mut(),
+            );
         }
         LowRank { u, v }
     }
@@ -148,13 +171,15 @@ impl<T: Scalar> LowRank<T> {
         let mut den = T::Real::zero();
         let mut col = vec![T::zero(); m];
         for _ in 0..samples.max(1) {
-            let x: Vec<T> = (0..n).map(|_| hodlr_la::random::random_scalar(rng)).collect();
+            let x: Vec<T> = (0..n)
+                .map(|_| hodlr_la::random::random_scalar(rng))
+                .collect();
             // Exact product column by column.
             let mut ax = vec![T::zero(); m];
-            for j in 0..n {
+            for (j, &xj) in x.iter().enumerate() {
                 source.col(j, &mut col);
                 for i in 0..m {
-                    ax[i] += col[i] * x[j];
+                    ax[i] += col[i] * xj;
                 }
             }
             let approx = self.apply(&x);
@@ -188,7 +213,7 @@ mod tests {
         let lr = LowRank::<f64>::zero(5, 7);
         assert_eq!(lr.rank(), 0);
         assert_eq!(lr.to_dense(), DenseMatrix::zeros(5, 7));
-        assert_eq!(lr.apply(&vec![1.0; 7]), vec![0.0; 5]);
+        assert_eq!(lr.apply(&[1.0; 7]), vec![0.0; 5]);
         assert_eq!(lr.storage(), 0);
     }
 
@@ -213,8 +238,10 @@ mod tests {
         let base: DenseMatrix<f64> = random_low_rank(&mut rng, 30, 20, 4);
         let svd = hodlr_la::svd::jacobi_svd(&base);
         let (u4, v4) = svd.truncate(4);
-        let inflated = LowRank::new(u4.hcat(&u4).hcat(&u4.sub_matrix(0, 0, 30, 2)),
-                                    v4.hcat(&v4).hcat(&v4.sub_matrix(0, 0, 20, 2)));
+        let inflated = LowRank::new(
+            u4.hcat(&u4).hcat(&u4.sub_matrix(0, 0, 30, 2)),
+            v4.hcat(&v4).hcat(&v4.sub_matrix(0, 0, 20, 2)),
+        );
         assert_eq!(inflated.rank(), 10);
         let lr = inflated.recompress(1e-12);
         assert!(lr.rank() <= 5, "rank after recompression: {}", lr.rank());

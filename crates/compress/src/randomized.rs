@@ -56,14 +56,30 @@ pub fn randomized_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
         // Y = A * Omega, Q = orth(Y).
         let omega: DenseMatrix<T> = hodlr_la::random::gaussian_matrix(&mut rng, n, samples);
         let mut y = DenseMatrix::zeros(m, samples);
-        gemm(T::one(), a.as_ref(), Op::None, omega.as_ref(), Op::None, T::zero(), y.as_mut());
+        gemm(
+            T::one(),
+            a.as_ref(),
+            Op::None,
+            omega.as_ref(),
+            Op::None,
+            T::zero(),
+            y.as_mut(),
+        );
         let q = orthonormalize(&y, T::Real::EPSILON);
 
         // B = Q^* A  (k x n), then SVD(B) gives the final factors.
         let k = q.cols();
         let mut b = DenseMatrix::zeros(k, n);
         if k > 0 {
-            gemm(T::one(), q.as_ref(), Op::ConjTrans, a.as_ref(), Op::None, T::zero(), b.as_mut());
+            gemm(
+                T::one(),
+                q.as_ref(),
+                Op::ConjTrans,
+                a.as_ref(),
+                Op::None,
+                T::zero(),
+                b.as_mut(),
+            );
         }
         let svd = jacobi_svd(&b);
 
@@ -82,7 +98,15 @@ pub fn randomized_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
             // U = Q * U_b.
             let mut u = DenseMatrix::zeros(m, keep);
             if keep > 0 {
-                gemm(T::one(), q.as_ref(), Op::None, ub.as_ref(), Op::None, T::zero(), u.as_mut());
+                gemm(
+                    T::one(),
+                    q.as_ref(),
+                    Op::None,
+                    ub.as_ref(),
+                    Op::None,
+                    T::zero(),
+                    u.as_mut(),
+                );
             }
             return LowRank::new(u, v);
         }
@@ -142,9 +166,15 @@ mod tests {
     #[test]
     fn zero_and_empty_blocks() {
         let zero = DenseMatrix::<f64>::zeros(12, 7);
-        assert_eq!(randomized_compress(&DenseSource::new(&zero), 1e-10, None).rank(), 0);
+        assert_eq!(
+            randomized_compress(&DenseSource::new(&zero), 1e-10, None).rank(),
+            0
+        );
         let empty = DenseMatrix::<f64>::zeros(0, 7);
-        assert_eq!(randomized_compress(&DenseSource::new(&empty), 1e-10, None).rank(), 0);
+        assert_eq!(
+            randomized_compress(&DenseSource::new(&empty), 1e-10, None).rank(),
+            0
+        );
     }
 
     #[test]

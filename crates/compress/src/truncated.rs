@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn empty_and_zero_blocks() {
         let zero = DenseMatrix::<f64>::zeros(5, 5);
-        assert_eq!(truncated_svd_compress(&DenseSource::new(&zero), 1e-10, None).rank(), 0);
+        assert_eq!(
+            truncated_svd_compress(&DenseSource::new(&zero), 1e-10, None).rank(),
+            0
+        );
         let empty = DenseMatrix::<f64>::zeros(4, 0);
         let lr = truncated_svd_compress(&DenseSource::new(&empty), 1e-10, None);
         assert_eq!(lr.nrows(), 4);

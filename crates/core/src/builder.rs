@@ -155,7 +155,8 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
         .par_iter()
         .map(|&leaf| {
             let range = tree.range(leaf);
-            let block = BlockSource::new(source, range.start, range.start, range.len(), range.len());
+            let block =
+                BlockSource::new(source, range.start, range.start, range.len(), range.len());
             block.to_dense()
         })
         .collect();
@@ -245,10 +246,7 @@ mod tests {
             let cfg = CompressionConfig::with_tol(1e-8).method(method);
             let hodlr = build_from_source(&src, tree.clone(), &cfg);
             let err = dense.sub(&hodlr.to_dense()).norm_fro();
-            assert!(
-                err < 1e-6 * dense.norm_fro(),
-                "{method:?}: error {err}"
-            );
+            assert!(err < 1e-6 * dense.norm_fro(), "{method:?}: error {err}");
         }
     }
 

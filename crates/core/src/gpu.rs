@@ -221,7 +221,14 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
                 }
             }
             let stream = self.stream_for(batch);
-            gemm_batched_varied(self.device, stream, &t_descs, &self.vbig, &self.ybig, &mut k_buf);
+            gemm_batched_varied(
+                self.device,
+                stream,
+                &t_descs,
+                &self.vbig,
+                &self.ybig,
+                &mut k_buf,
+            );
 
             // Line 6: W = V^* ⊙ Ybig(:, 1:prefix), stacked child-over-child
             // per parent so each parent's right-hand side is contiguous.
@@ -250,7 +257,14 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
                     }
                 }
                 let stream = self.stream_for(batch);
-                gemm_batched_varied(self.device, stream, &w_descs, &self.vbig, &self.ybig, &mut w_buf);
+                gemm_batched_varied(
+                    self.device,
+                    stream,
+                    &w_descs,
+                    &self.vbig,
+                    &self.ybig,
+                    &mut w_buf,
+                );
             }
 
             // Line 8: batched LU of the coupling matrices.
@@ -277,7 +291,14 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
                     })
                     .collect();
                 let stream = self.stream_for(batch);
-                getrs_batched_varied(self.device, stream, &solve_descs, &k_buf, &pivots, &mut w_buf);
+                getrs_batched_varied(
+                    self.device,
+                    stream,
+                    &solve_descs,
+                    &k_buf,
+                    &pivots,
+                    &mut w_buf,
+                );
 
                 // Line 10: Ybig(:, 1:prefix) -= Y^{l+1} ⊙ W (A and C alias Ybig).
                 let mut update_descs = Vec::with_capacity(2 * batch);
@@ -331,6 +352,29 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
     pub fn solve_matrix(&mut self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
         let data = self.solve_matrix_host(b.data(), b.cols());
         DenseMatrix::from_col_major(b.rows(), b.cols(), data)
+    }
+
+    /// Blocked multi-RHS solve: pack `rhs` into one `N x k` device matrix
+    /// and run a single Algorithm-4 sweep.  Every level then issues one
+    /// batched gemm / batched LU-solve launch covering all `k` right-hand
+    /// sides, instead of the `k` separate launch sequences a per-RHS
+    /// [`GpuSolver::solve`] loop would issue — the difference is visible in
+    /// the [`Device`] launch counters.
+    ///
+    /// # Panics
+    /// Panics if the factorization has not been computed yet or any
+    /// right-hand side has the wrong length.
+    pub fn solve_block(&mut self, rhs: &[impl AsRef<[T]>]) -> Vec<Vec<T>> {
+        let n = self.n_rows();
+        let k = rhs.len();
+        let mut packed = Vec::with_capacity(n * k);
+        for (j, col) in rhs.iter().enumerate() {
+            let col = col.as_ref();
+            assert_eq!(col.len(), n, "right-hand side {j} has the wrong length");
+            packed.extend_from_slice(col);
+        }
+        let x = self.solve_matrix_host(&packed, k);
+        x.chunks(n).map(|c| c.to_vec()).collect()
     }
 
     fn solve_matrix_host(&mut self, b: &[T], nrhs: usize) -> Vec<T> {
@@ -402,7 +446,14 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
                 }
             }
             let stream = self.stream_for(batch);
-            gemm_batched_varied(self.device, stream, &w_descs, &self.vbig, &x_buf, &mut w_buf);
+            gemm_batched_varied(
+                self.device,
+                stream,
+                &w_descs,
+                &self.vbig,
+                &x_buf,
+                &mut w_buf,
+            );
 
             // w <- K^{-1} ⊙ w (line 5).
             let k_stride = 4 * w * w;
@@ -450,7 +501,14 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
                 }
             }
             let stream = self.stream_for(batch);
-            gemm_batched_varied(self.device, stream, &update_descs, &self.ybig, &w_buf, &mut x_buf);
+            gemm_batched_varied(
+                self.device,
+                stream,
+                &update_descs,
+                &self.ybig,
+                &w_buf,
+                &mut x_buf,
+            );
         }
 
         // Download the solution (metered D2H transfer).

@@ -51,13 +51,19 @@ impl LevelLayout {
 
     /// Column width of level `l` (`1 <= l <= L`).
     pub fn width(&self, level: usize) -> usize {
-        assert!(level >= 1 && level <= self.levels(), "level {level} out of range");
+        assert!(
+            level >= 1 && level <= self.levels(),
+            "level {level} out of range"
+        );
         self.widths[level - 1]
     }
 
     /// Column range of level `l`'s block in `Ubig` / `Vbig` / `Ybig`.
     pub fn col_range(&self, level: usize) -> Range<usize> {
-        assert!(level >= 1 && level <= self.levels(), "level {level} out of range");
+        assert!(
+            level >= 1 && level <= self.levels(),
+            "level {level} out of range"
+        );
         self.offsets[level - 1]..self.offsets[level]
     }
 

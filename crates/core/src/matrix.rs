@@ -44,17 +44,33 @@ impl<T: Scalar> HodlrMatrix<T> {
         diag: Vec<DenseMatrix<T>>,
     ) -> Self {
         let n = tree.n();
-        assert_eq!(layout.levels(), tree.levels(), "layout levels must match the tree");
+        assert_eq!(
+            layout.levels(),
+            tree.levels(),
+            "layout levels must match the tree"
+        );
         assert_eq!(ubig.rows(), n, "Ubig must have N rows");
         assert_eq!(vbig.rows(), n, "Vbig must have N rows");
         assert_eq!(ubig.cols(), layout.total_cols(), "Ubig has the wrong width");
         assert_eq!(vbig.cols(), layout.total_cols(), "Vbig has the wrong width");
-        assert_eq!(node_ranks.len(), tree.num_nodes() + 1, "one rank entry per node id");
+        assert_eq!(
+            node_ranks.len(),
+            tree.num_nodes() + 1,
+            "one rank entry per node id"
+        );
         assert_eq!(diag.len(), tree.num_leaves(), "one diagonal block per leaf");
         for (leaf_idx, leaf) in tree.leaves().enumerate() {
             let size = tree.node_size(leaf);
-            assert_eq!(diag[leaf_idx].rows(), size, "diagonal block {leaf_idx} has wrong size");
-            assert_eq!(diag[leaf_idx].cols(), size, "diagonal block {leaf_idx} has wrong size");
+            assert_eq!(
+                diag[leaf_idx].rows(),
+                size,
+                "diagonal block {leaf_idx} has wrong size"
+            );
+            assert_eq!(
+                diag[leaf_idx].cols(),
+                size,
+                "diagonal block {leaf_idx} has wrong size"
+            );
         }
         for level in 1..=tree.levels() {
             for node in tree.level_nodes(level) {
@@ -180,8 +196,17 @@ impl<T: Scalar> HodlrMatrix<T> {
     /// Matrix-vector product `y = A x` using the HODLR structure
     /// (`O(N log N)` work).
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.n(), "matvec: x has the wrong length");
         let mut y = vec![T::zero(); self.n()];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// In-place matrix-vector product `y = A x`, for callers (e.g. Krylov
+    /// hot loops) that reuse the output buffer.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n(), "matvec: x has the wrong length");
+        assert_eq!(y.len(), self.n(), "matvec: y has the wrong length");
+        y.fill(T::zero());
         // Leaf diagonal blocks.
         for (leaf_idx, leaf) in self.tree.leaves().enumerate() {
             let range = self.tree.range(leaf);
@@ -198,10 +223,9 @@ impl<T: Scalar> HodlrMatrix<T> {
         // Off-diagonal low-rank blocks, one sibling pair per internal node.
         for gamma in self.tree.internal_nodes() {
             let (alpha, beta) = self.tree.children(gamma).expect("internal node");
-            self.apply_off_diag(alpha, beta, x, &mut y);
-            self.apply_off_diag(beta, alpha, x, &mut y);
+            self.apply_off_diag(alpha, beta, x, y);
+            self.apply_off_diag(beta, alpha, x, y);
         }
-        y
     }
 
     /// `y[I_row] += U_row (V_col^* x[I_col])`.
@@ -212,7 +236,14 @@ impl<T: Scalar> HodlrMatrix<T> {
         let v = self.v_block(col_node);
         let width = u.cols();
         let mut tmp = vec![T::zero(); width];
-        hodlr_la::gemv(T::one(), v, Op::ConjTrans, &x[col_range], T::zero(), &mut tmp);
+        hodlr_la::gemv(
+            T::one(),
+            v,
+            Op::ConjTrans,
+            &x[col_range],
+            T::zero(),
+            &mut tmp,
+        );
         hodlr_la::gemv(T::one(), u, Op::None, &tmp, T::one(), &mut y[row_range]);
     }
 
@@ -249,7 +280,15 @@ impl<T: Scalar> HodlrMatrix<T> {
         let u = self.u_block(row_node);
         let v = self.v_block(col_node);
         let mut block = DenseMatrix::zeros(row_range.len(), col_range.len());
-        gemm(T::one(), u, Op::None, v, Op::ConjTrans, T::zero(), block.as_mut());
+        gemm(
+            T::one(),
+            u,
+            Op::None,
+            v,
+            Op::ConjTrans,
+            T::zero(),
+            block.as_mut(),
+        );
         a.set_block(row_range.start, col_range.start, &block);
     }
 

@@ -22,7 +22,11 @@ pub fn solve_recursive<T: Scalar>(
     matrix: &HodlrMatrix<T>,
     b: &DenseMatrix<T>,
 ) -> Result<DenseMatrix<T>, SingularError> {
-    assert_eq!(b.rows(), matrix.n(), "right-hand side has the wrong row count");
+    assert_eq!(
+        b.rows(),
+        matrix.n(),
+        "right-hand side has the wrong row count"
+    );
     solve_node(matrix, matrix.tree().root(), b)
 }
 
@@ -67,8 +71,12 @@ fn solve_node<T: Scalar>(
 
     // Augmented right-hand sides [b_alpha | U_alpha] and [b_beta | U_beta]
     // (Eq. 7, written compactly as in Example 1).
-    let b_a = b.sub_matrix(ra.start - offset, 0, ra.len(), nrhs).hcat(&u_a);
-    let b_b = b.sub_matrix(rb.start - offset, 0, rb.len(), nrhs).hcat(&u_b);
+    let b_a = b
+        .sub_matrix(ra.start - offset, 0, ra.len(), nrhs)
+        .hcat(&u_a);
+    let b_b = b
+        .sub_matrix(rb.start - offset, 0, rb.len(), nrhs)
+        .hcat(&u_b);
 
     let sol_a = solve_node(matrix, alpha, &b_a)?;
     let sol_b = solve_node(matrix, beta, &b_b)?;
@@ -82,9 +90,25 @@ fn solve_node<T: Scalar>(
     let mut k = DenseMatrix::<T>::zeros(2 * w, 2 * w);
     if w > 0 {
         let mut t_a = DenseMatrix::<T>::zeros(w, w);
-        gemm(T::one(), v_a.as_ref(), Op::ConjTrans, y_a.as_ref(), Op::None, T::zero(), t_a.as_mut());
+        gemm(
+            T::one(),
+            v_a.as_ref(),
+            Op::ConjTrans,
+            y_a.as_ref(),
+            Op::None,
+            T::zero(),
+            t_a.as_mut(),
+        );
         let mut t_b = DenseMatrix::<T>::zeros(w, w);
-        gemm(T::one(), v_b.as_ref(), Op::ConjTrans, y_b.as_ref(), Op::None, T::zero(), t_b.as_mut());
+        gemm(
+            T::one(),
+            v_b.as_ref(),
+            Op::ConjTrans,
+            y_b.as_ref(),
+            Op::None,
+            T::zero(),
+            t_b.as_mut(),
+        );
         k.set_block(0, 0, &t_a);
         k.set_block(w, w, &t_b);
         for i in 0..w {
@@ -96,11 +120,27 @@ fn solve_node<T: Scalar>(
         let mut rhs = DenseMatrix::<T>::zeros(2 * w, nrhs);
         {
             let mut top = rhs.block_mut(0, 0, w, nrhs);
-            gemm(T::one(), v_a.as_ref(), Op::ConjTrans, z_a.as_ref(), Op::None, T::zero(), top.reborrow());
+            gemm(
+                T::one(),
+                v_a.as_ref(),
+                Op::ConjTrans,
+                z_a.as_ref(),
+                Op::None,
+                T::zero(),
+                top.reborrow(),
+            );
         }
         {
             let mut bottom = rhs.block_mut(w, 0, w, nrhs);
-            gemm(T::one(), v_b.as_ref(), Op::ConjTrans, z_b.as_ref(), Op::None, T::zero(), bottom.reborrow());
+            gemm(
+                T::one(),
+                v_b.as_ref(),
+                Op::ConjTrans,
+                z_b.as_ref(),
+                Op::None,
+                T::zero(),
+                bottom.reborrow(),
+            );
         }
 
         let k_lu = LuFactor::from_matrix(k)?;
@@ -111,12 +151,28 @@ fn solve_node<T: Scalar>(
         // x = z - Y w (Eq. 8).
         let mut x_a = z_a.clone();
         let mut corr_a = DenseMatrix::<T>::zeros(ra.len(), nrhs);
-        gemm(T::one(), y_a.as_ref(), Op::None, w_a.as_ref(), Op::None, T::zero(), corr_a.as_mut());
+        gemm(
+            T::one(),
+            y_a.as_ref(),
+            Op::None,
+            w_a.as_ref(),
+            Op::None,
+            T::zero(),
+            corr_a.as_mut(),
+        );
         x_a.axpy(-T::one(), &corr_a);
 
         let mut x_b = z_b.clone();
         let mut corr_b = DenseMatrix::<T>::zeros(rb.len(), nrhs);
-        gemm(T::one(), y_b.as_ref(), Op::None, w_b.as_ref(), Op::None, T::zero(), corr_b.as_mut());
+        gemm(
+            T::one(),
+            y_b.as_ref(),
+            Op::None,
+            w_b.as_ref(),
+            Op::None,
+            T::zero(),
+            corr_b.as_mut(),
+        );
         x_b.axpy(-T::one(), &corr_b);
 
         Ok(x_a.vcat(&x_b))
@@ -198,7 +254,9 @@ mod tests {
         let rebuilt = HodlrMatrix::from_parts(
             m.tree().clone(),
             m.layout().clone(),
-            (0..=m.tree().num_nodes()).map(|id| if id == 0 { 0 } else { m.node_rank(id.max(1)) }).collect(),
+            (0..=m.tree().num_nodes())
+                .map(|id| if id == 0 { 0 } else { m.node_rank(id.max(1)) })
+                .collect(),
             m.ubig().clone(),
             m.vbig().clone(),
             diag,

@@ -136,7 +136,10 @@ mod tests {
         // Storage counting U only (as in Theorem 2): m N + r N L.
         let theorem2 = model.leaf_size as u64 * model.n as u64
             + model.rank as u64 * model.n as u64 * model.levels as u64;
-        assert_eq!(model.solve_flops(), 2 * theorem2 + 2 * model.rank as u64 * model.n as u64 * model.levels as u64);
+        assert_eq!(
+            model.solve_flops(),
+            2 * theorem2 + 2 * model.rank as u64 * model.n as u64 * model.levels as u64
+        );
     }
 
     #[test]

@@ -162,6 +162,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn rpy_block_is_symmetric_and_positive_on_diagonal() {
         let k = RpyKernel {
             kt: 1.0,
@@ -227,6 +228,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn rpy_entry_addresses_block_components() {
         let k = RpyKernel {
             kt: 1.0,

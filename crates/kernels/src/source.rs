@@ -139,16 +139,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let cloud = uniform_cube_points(&mut rng, 256, 3);
         let part = partition_points(&cloud, 32);
-        let src = ScalarKernelSource::with_shift(
-            GaussianKernel { length_scale: 3.0 },
-            &part.points,
-            1.0,
-        );
+        let src =
+            ScalarKernelSource::with_shift(GaussianKernel { length_scale: 3.0 }, &part.points, 1.0);
         // Compress the level-1 off-diagonal block (first half vs second half).
         let half = part.tree.range(2).len();
         let rest = 256 - half;
         let block = hodlr_compress::ClosureSource::new(half, rest, |i, j| src.entry(i, half + j));
-        let lr = hodlr_compress::aca_compress(&block, 1e-6, None, hodlr_compress::AcaPivoting::Rook);
+        let lr =
+            hodlr_compress::aca_compress(&block, 1e-6, None, hodlr_compress::AcaPivoting::Rook);
         assert!(lr.rank() < 64, "rank {} is not low", lr.rank());
     }
 

@@ -117,10 +117,12 @@ pub fn gemm<T: Scalar>(
         // to this scope.
         let c_ptr = SendPtr(c.col_mut(0).as_mut_ptr());
         c_cols.into_par_iter().for_each(|(j0, j1)| {
+            // Rebound by value so each worker captures its own copy of the
+            // pointer wrapper rather than a shared borrow.
+            #[allow(clippy::redundant_locals)]
             let c_ptr = c_ptr;
             for j in j0..j1 {
-                let c_col =
-                    unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(j * ld_c), m) };
+                let c_col = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(j * ld_c), m) };
                 gemm_col(alpha, &a_packed, m, k, &b, op_b, j, c_col);
             }
         });
@@ -171,6 +173,7 @@ fn pack<T: Scalar>(a: MatRef<'_, T>, op: Op) -> Vec<T> {
 /// Compute one column of C: `c_col += alpha * A_packed * op_b(B)[:, j]`,
 /// where `A_packed` is column-major `m x k`.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn gemm_col<T: Scalar>(
     alpha: T,
     a_packed: &[T],
@@ -243,14 +246,7 @@ pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
 }
 
 /// General matrix-vector multiply `y <- alpha * op(A) * x + beta * y`.
-pub fn gemv<T: Scalar>(
-    alpha: T,
-    a: MatRef<'_, T>,
-    op: Op,
-    x: &[T],
-    beta: T,
-    y: &mut [T],
-) {
+pub fn gemv<T: Scalar>(alpha: T, a: MatRef<'_, T>, op: Op, x: &[T], beta: T, y: &mut [T]) {
     let m = op.rows_of(&a);
     let k = op.cols_of(&a);
     assert_eq!(x.len(), k, "gemv: x has wrong length");
@@ -335,7 +331,9 @@ mod tests {
         // Simple deterministic LCG so this test has no rand dependency.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         DenseMatrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         })
     }
@@ -346,7 +344,15 @@ mod tests {
         let b = rand_mat(5, 6, 2);
         let mut c = rand_mat(7, 6, 3);
         let expect = naive_gemm(2.0, &a, Op::None, &b, Op::None, 0.5, &c);
-        gemm(2.0, a.as_ref(), Op::None, b.as_ref(), Op::None, 0.5, c.as_mut());
+        gemm(
+            2.0,
+            a.as_ref(),
+            Op::None,
+            b.as_ref(),
+            Op::None,
+            0.5,
+            c.as_mut(),
+        );
         assert!(c.sub(&expect).norm_max() < 1e-13);
 
         // Transposed operands.
@@ -354,7 +360,15 @@ mod tests {
         let b = rand_mat(6, 5, 5); // op_b = T -> 5x6
         let mut c = rand_mat(7, 6, 6);
         let expect = naive_gemm(1.0, &a, Op::Trans, &b, Op::Trans, -1.0, &c);
-        gemm(1.0, a.as_ref(), Op::Trans, b.as_ref(), Op::Trans, -1.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Op::Trans,
+            b.as_ref(),
+            Op::Trans,
+            -1.0,
+            c.as_mut(),
+        );
         assert!(c.sub(&expect).norm_max() < 1e-13);
     }
 
@@ -390,7 +404,15 @@ mod tests {
         let b = rand_mat(80, 112, 12);
         let mut c = DenseMatrix::<f64>::zeros(96, 112);
         let expect = naive_gemm(1.0, &a, Op::None, &b, Op::None, 0.0, &c);
-        gemm(1.0, a.as_ref(), Op::None, b.as_ref(), Op::None, 0.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Op::None,
+            b.as_ref(),
+            Op::None,
+            0.0,
+            c.as_mut(),
+        );
         assert!(c.sub(&expect).norm_max() < 1e-11);
     }
 
@@ -456,11 +478,27 @@ mod tests {
         let a = DenseMatrix::<f64>::zeros(0, 3);
         let b = DenseMatrix::<f64>::zeros(3, 0);
         let mut c = DenseMatrix::<f64>::zeros(0, 0);
-        gemm(1.0, a.as_ref(), Op::None, b.as_ref(), Op::None, 0.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Op::None,
+            b.as_ref(),
+            Op::None,
+            0.0,
+            c.as_mut(),
+        );
         let a = DenseMatrix::<f64>::zeros(2, 0);
         let b = DenseMatrix::<f64>::zeros(0, 2);
         let mut c = DenseMatrix::from_fn(2, 2, |_, _| 5.0);
-        gemm(1.0, a.as_ref(), Op::None, b.as_ref(), Op::None, 1.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Op::None,
+            b.as_ref(),
+            Op::None,
+            1.0,
+            c.as_mut(),
+        );
         assert_eq!(c[(0, 0)], 5.0);
     }
 }

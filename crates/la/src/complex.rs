@@ -138,6 +138,7 @@ impl<R: RealScalar> Mul for Complex<R> {
 impl<R: RealScalar> Div for Complex<R> {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via the reciprocal
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -241,7 +242,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0), (-5.0, 12.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (0.0, 2.0),
+            (-1.0, 0.0),
+            (3.0, -4.0),
+            (-5.0, 12.0),
+        ] {
             let z = C::new(re, im);
             let s = z.sqrt();
             assert!((s * s - z).modulus() < 1e-12, "sqrt failed for {z:?}");

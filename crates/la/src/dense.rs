@@ -292,7 +292,14 @@ impl<T: Scalar> DenseMatrix<T> {
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(self.cols, x.len());
         let mut y = vec![T::zero(); self.rows];
-        crate::blas::gemv(T::one(), self.as_ref(), crate::blas::Op::None, x, T::zero(), &mut y);
+        crate::blas::gemv(
+            T::one(),
+            self.as_ref(),
+            crate::blas::Op::None,
+            x,
+            T::zero(),
+            &mut y,
+        );
         y
     }
 
@@ -365,7 +372,12 @@ impl<'a, T: Scalar> MatRef<'a, T> {
                 "view window exceeds buffer"
             );
         }
-        Self { data, rows, cols, ld }
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+        }
     }
 
     /// Number of rows.
@@ -448,7 +460,12 @@ impl<'a, T: Scalar> MatMut<'a, T> {
                 "view window exceeds buffer"
             );
         }
-        Self { data, rows, cols, ld }
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+        }
     }
 
     /// Number of rows.
@@ -524,7 +541,13 @@ impl<'a, T: Scalar> MatMut<'a, T> {
     }
 
     /// Short-lived sub-view (borrows `self`).
-    pub fn block_mut(&mut self, row: usize, col: usize, nrows: usize, ncols: usize) -> MatMut<'_, T> {
+    pub fn block_mut(
+        &mut self,
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> MatMut<'_, T> {
         self.reborrow().into_block(row, col, nrows, ncols)
     }
 

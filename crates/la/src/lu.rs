@@ -19,7 +19,11 @@ pub struct SingularError {
 
 impl std::fmt::Display for SingularError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is singular: zero pivot at position {}", self.pivot)
+        write!(
+            f,
+            "matrix is singular: zero pivot at position {}",
+            self.pivot
+        )
     }
 }
 
@@ -158,7 +162,11 @@ impl<T: Scalar> LuFactor<T> {
         assert_eq!(b.len(), self.order());
         let mut x = b.to_vec();
         let n = x.len();
-        getrs_in_place(self.lu.as_ref(), &self.piv, MatMut::from_parts(&mut x, n, 1, n.max(1)));
+        getrs_in_place(
+            self.lu.as_ref(),
+            &self.piv,
+            MatMut::from_parts(&mut x, n, 1, n.max(1)),
+        );
         x
     }
 
@@ -259,7 +267,15 @@ pub fn multiply_lu<T: Scalar>(lu: &DenseMatrix<T>) -> DenseMatrix<T> {
     });
     let u = DenseMatrix::from_fn(k, m, |i, j| if i <= j { lu[(i, j)] } else { T::zero() });
     let mut c = DenseMatrix::zeros(n, m);
-    crate::blas::gemm(T::one(), l.as_ref(), Op::None, u.as_ref(), Op::None, T::zero(), c.as_mut());
+    crate::blas::gemm(
+        T::one(),
+        l.as_ref(),
+        Op::None,
+        u.as_ref(),
+        Op::None,
+        T::zero(),
+        c.as_mut(),
+    );
     c
 }
 

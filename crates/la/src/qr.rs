@@ -52,13 +52,7 @@ fn householder<T: Scalar>(x: &[T]) -> (Reflector<T>, T) {
     v[0] = T::one();
     if v0.abs() == T::Real::zero() {
         // x is already a multiple of e1 with the "wrong" sign handled above.
-        return (
-            Reflector {
-                v,
-                tau: T::zero(),
-            },
-            x0,
-        );
+        return (Reflector { v, tau: T::zero() }, x0);
     }
     let inv_v0 = v0.recip();
     for i in 1..n {
@@ -228,9 +222,7 @@ pub fn pivoted_qr<T: Scalar>(
 
     let mut work = a.clone();
     let mut perm: Vec<usize> = (0..n).collect();
-    let mut col_norms: Vec<T::Real> = (0..n)
-        .map(|j| crate::norms::norm2(work.col(j)))
-        .collect();
+    let mut col_norms: Vec<T::Real> = (0..n).map(|j| crate::norms::norm2(work.col(j))).collect();
     let norm_scale = col_norms
         .iter()
         .fold(T::Real::zero(), |acc, &x| acc.max_real(x));

@@ -106,7 +106,9 @@ mod tests {
     fn gaussian_moments_roughly_standard() {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20_000;
-        let v: Vec<f64> = (0..n).map(|_| gaussian_scalar::<f64, _>(&mut rng)).collect();
+        let v: Vec<f64> = (0..n)
+            .map(|_| gaussian_scalar::<f64, _>(&mut rng))
+            .collect();
         let mean = v.iter().sum::<f64>() / n as f64;
         let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");

@@ -14,9 +14,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 ///
 /// This is the type of norms, singular values, tolerances and absolute
 /// values.  It is itself a [`Scalar`] whose `Real` associated type is itself.
-pub trait RealScalar:
-    Scalar<Real = Self> + PartialOrd + Into<f64> + From<f32>
-{
+pub trait RealScalar: Scalar<Real = Self> + PartialOrd + Into<f64> + From<f32> {
     /// Machine epsilon of the floating-point format.
     const EPSILON: Self;
     /// The largest finite value.
@@ -400,8 +398,9 @@ mod tests {
         assert_eq!(2.0_f64.conj(), 2.0);
         assert_eq!((-3.0_f64).abs(), 3.0);
         assert_eq!(4.0_f64.abs_sqr(), 16.0);
-        assert!(!f64::IS_COMPLEX);
-        assert!(f32::EPSILON > f64::EPSILON as f32);
+        let is_complex = f64::IS_COMPLEX;
+        assert!(!is_complex);
+        assert!(<f32 as RealScalar>::EPSILON.to_f64() > <f64 as RealScalar>::EPSILON);
     }
 
     #[test]
@@ -410,7 +409,7 @@ mod tests {
         assert_eq!(3.0_f32.recip(), 1.0 / 3.0);
         assert_eq!(2.0_f32.scale(0.5), 1.0);
         assert!(2.0_f32.is_finite());
-        assert!(!(f32::INFINITY as f32).is_finite());
+        assert!(!Scalar::is_finite(<f32 as RealScalar>::INFINITY));
     }
 
     #[test]
@@ -421,7 +420,7 @@ mod tests {
         assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
         assert_eq!(z.real(), 3.0);
         assert_eq!(z.imag(), 4.0);
-        assert!(Complex64::IS_COMPLEX);
+        const { assert!(Complex64::IS_COMPLEX) };
         let w = z * z.recip();
         assert!((w - Complex64::new(1.0, 0.0)).abs() < 1e-14);
     }

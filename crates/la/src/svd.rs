@@ -177,7 +177,11 @@ pub fn jacobi_svd<T: Scalar>(a: &DenseMatrix<T>) -> Svd<T> {
     // Column norms are the singular values; normalised columns form U.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<T::Real> = (0..n).map(|j| crate::norms::norm2(w.col(j))).collect();
-    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        norms[b]
+            .partial_cmp(&norms[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut u = DenseMatrix::<T>::zeros(m, n);
     let mut vv = DenseMatrix::<T>::zeros(n, n);

@@ -47,6 +47,7 @@ pub fn solve_triangular_in_place<T: Scalar>(
     }
 }
 
+#[allow(clippy::needless_range_loop)] // k indexes both t and x
 fn solve_lower_col<T: Scalar>(t: MatRef<'_, T>, diag: Diag, x: &mut [T]) {
     let n = x.len();
     for i in 0..n {
@@ -61,6 +62,7 @@ fn solve_lower_col<T: Scalar>(t: MatRef<'_, T>, diag: Diag, x: &mut [T]) {
     }
 }
 
+#[allow(clippy::needless_range_loop)] // k indexes both t and x
 fn solve_upper_col<T: Scalar>(t: MatRef<'_, T>, diag: Diag, x: &mut [T]) {
     let n = x.len();
     for ii in 0..n {
@@ -91,7 +93,15 @@ mod tests {
         ]);
         let x_true = DenseMatrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0], vec![-1.5, 0.0]]);
         let mut b = DenseMatrix::zeros(3, 2);
-        gemm(1.0, l.as_ref(), Op::None, x_true.as_ref(), Op::None, 0.0, b.as_mut());
+        gemm(
+            1.0,
+            l.as_ref(),
+            Op::None,
+            x_true.as_ref(),
+            Op::None,
+            0.0,
+            b.as_mut(),
+        );
         solve_triangular_in_place(l.as_ref(), Triangle::Lower, Diag::NonUnit, b.as_mut());
         assert!(b.sub(&x_true).norm_max() < 1e-13);
     }
@@ -105,7 +115,15 @@ mod tests {
         ]);
         let x_true = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
         let mut b = DenseMatrix::zeros(3, 1);
-        gemm(1.0, u.as_ref(), Op::None, x_true.as_ref(), Op::None, 0.0, b.as_mut());
+        gemm(
+            1.0,
+            u.as_ref(),
+            Op::None,
+            x_true.as_ref(),
+            Op::None,
+            0.0,
+            b.as_mut(),
+        );
         solve_triangular_in_place(u.as_ref(), Triangle::Upper, Diag::NonUnit, b.as_mut());
         assert!(b.sub(&x_true).norm_max() < 1e-13);
     }

@@ -1,0 +1,71 @@
+//! # hodlr-solver — Krylov iterative solves with HODLR preconditioning
+//!
+//! The paper positions the GPU HODLR factorization not only as a fast
+//! direct solver but as a *robust preconditioner* for ill-conditioned
+//! boundary-integral systems (Table V(b)): factorize a loose-tolerance
+//! HODLR approximation once — cheap, because the off-diagonal ranks shrink
+//! with the tolerance — and amortize it over heavy solve traffic.  This
+//! crate is that subsystem:
+//!
+//! * [`LinearOperator`] — the matrix-free operator abstraction, with
+//!   implementations for [`HodlrMatrix`](hodlr_core::HodlrMatrix)
+//!   (`O(N log N)` apply), dense matrices, and arbitrary
+//!   [`MatrixEntrySource`](hodlr_compress::MatrixEntrySource)s via
+//!   [`SourceOperator`];
+//! * [`Gmres`] — restarted GMRES(m) with right preconditioning, generic
+//!   over real and complex [`Scalar`](hodlr_la::Scalar)s;
+//! * [`BiCgStab`] — the short-recurrence alternative;
+//! * [`iterative_refinement`] — preconditioned refinement sweeps;
+//! * [`SerialPreconditioner`] / [`GpuPreconditioner`] — the workspace's
+//!   HODLR factorizations (Algorithms 1–2 and 3–4) as `M^{-1}` operators;
+//!   the GPU adapter's applications are metered by the
+//!   [`Device`](hodlr_batch::Device) counters like any other batched work;
+//! * [`MixedPrecisionPreconditioner`] / [`mixed_precision_solve`] —
+//!   factorize the HODLR approximation in f32 (half the memory), refine to
+//!   f64 accuracy, with flop accounting for both phases.
+//!
+//! Multi-RHS *direct* traffic goes through the blocked `solve_block`
+//! entry points on [`GpuSolver`](hodlr_core::GpuSolver) and
+//! [`SerialFactorization`](hodlr_core::SerialFactorization), which sweep
+//! all right-hand sides through every tree level in one batched launch per
+//! kernel instead of a per-RHS loop.  The Krylov methods themselves solve
+//! one right-hand side per call (each RHS builds its own Krylov space);
+//! their preconditioner applications still land on the batched device and
+//! are metered there.
+//!
+//! ```
+//! use hodlr_batch::Device;
+//! use hodlr_core::matrix::random_hodlr;
+//! use hodlr_solver::{Gmres, GpuPreconditioner};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let matrix = random_hodlr::<f64, _>(&mut rng, 128, 3, 2);
+//! let b = vec![1.0; 128];
+//!
+//! let device = Device::new();
+//! let precond = GpuPreconditioner::from_matrix(&device, &matrix).unwrap();
+//! let out = Gmres::new()
+//!     .tol(1e-10)
+//!     .solve_preconditioned(&matrix, &precond, &b);
+//! assert!(out.converged);
+//! ```
+
+pub mod bicgstab;
+pub mod gmres;
+pub mod mixed;
+pub mod operator;
+pub mod precond;
+pub mod refine;
+pub mod report;
+
+pub use bicgstab::BiCgStab;
+pub use gmres::Gmres;
+pub use mixed::{
+    demote_hodlr, mixed_precision_solve, DemoteScalar, MixedPrecisionPreconditioner,
+    MixedPrecisionSolve,
+};
+pub use operator::{LinearOperator, SourceOperator};
+pub use precond::{GpuPreconditioner, IdentityPreconditioner, SerialPreconditioner};
+pub use refine::{iterative_refinement, RefinementOptions};
+pub use report::IterativeSolution;

@@ -1,0 +1,191 @@
+//! Preconditioner adapters: the HODLR factorizations of `hodlr-core`
+//! exposed as [`LinearOperator`]s applying `M^{-1}`.
+//!
+//! The paper's Table V(b) use case: factorize a *loose* HODLR approximation
+//! of an ill-conditioned operator (cheap, low ranks) and hand it to a
+//! Krylov method as a right preconditioner, amortizing the factorization
+//! over many solves.
+
+use crate::operator::LinearOperator;
+use hodlr_batch::{BatchSingularError, Device};
+use hodlr_core::{GpuSolver, HodlrMatrix, SerialFactorization};
+use hodlr_la::lu::SingularError;
+use hodlr_la::{DenseMatrix, Scalar};
+use std::cell::RefCell;
+
+/// The identity "preconditioner": turns a preconditioned method into its
+/// unpreconditioned variant without a second code path.
+pub struct IdentityPreconditioner {
+    n: usize,
+}
+
+impl IdentityPreconditioner {
+    /// Identity on vectors of length `n`.
+    pub fn new(n: usize) -> Self {
+        IdentityPreconditioner { n }
+    }
+}
+
+impl<T: Scalar> LinearOperator<T> for IdentityPreconditioner {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n);
+        y.copy_from_slice(x);
+    }
+
+    fn apply_to_block(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        x.clone()
+    }
+}
+
+/// A [`SerialFactorization`] (Algorithms 1–2) applying `M^{-1}`.
+pub struct SerialPreconditioner<T: Scalar> {
+    factor: SerialFactorization<T>,
+}
+
+impl<T: Scalar> SerialPreconditioner<T> {
+    /// Wrap an existing factorization.
+    pub fn new(factor: SerialFactorization<T>) -> Self {
+        SerialPreconditioner { factor }
+    }
+
+    /// Factorize `matrix` (typically a loose-tolerance HODLR approximation)
+    /// and wrap the result.
+    ///
+    /// # Errors
+    /// Propagates singular leaf / coupling blocks from the factorization.
+    pub fn from_matrix(matrix: &HodlrMatrix<T>) -> Result<Self, SingularError> {
+        Ok(Self::new(matrix.factorize_serial()?))
+    }
+
+    /// The wrapped factorization.
+    pub fn factor(&self) -> &SerialFactorization<T> {
+        &self.factor
+    }
+}
+
+impl<T: Scalar> LinearOperator<T> for SerialPreconditioner<T> {
+    fn dim(&self) -> usize {
+        self.factor.tree().n()
+    }
+
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(y.len(), self.dim(), "apply: y has the wrong length");
+        y.copy_from_slice(&self.factor.solve(x));
+    }
+
+    fn apply_to_block(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        self.factor.solve_matrix(x)
+    }
+}
+
+/// A factored [`GpuSolver`] (Algorithms 3–4 on the virtual batched device)
+/// applying `M^{-1}`.  Every application is metered by the solver's
+/// [`Device`] counters, so preconditioner traffic shows up in the same
+/// launch/flop accounting as direct solves.
+pub struct GpuPreconditioner<'d, T: Scalar> {
+    // The batched solve needs `&mut` for its stream round-robin; interior
+    // mutability keeps the operator trait's `&self` application signature.
+    solver: RefCell<GpuSolver<'d, T>>,
+    n: usize,
+}
+
+impl<'d, T: Scalar> GpuPreconditioner<'d, T> {
+    /// Wrap an already factored solver.
+    ///
+    /// # Panics
+    /// Panics if `solver` has not been factorized yet.
+    pub fn new(solver: GpuSolver<'d, T>) -> Self {
+        assert!(
+            solver.is_factored(),
+            "GpuPreconditioner requires a factored solver"
+        );
+        let n = solver.n();
+        GpuPreconditioner {
+            solver: RefCell::new(solver),
+            n,
+        }
+    }
+
+    /// Upload `matrix` to `device`, factorize it, and wrap the result.
+    ///
+    /// # Errors
+    /// Propagates singular batch entries from the factorization.
+    pub fn from_matrix(
+        device: &'d Device,
+        matrix: &HodlrMatrix<T>,
+    ) -> Result<Self, BatchSingularError> {
+        let mut solver = GpuSolver::new(device, matrix);
+        solver.factorize()?;
+        Ok(Self::new(solver))
+    }
+
+    /// Consume the adapter, returning the solver.
+    pub fn into_inner(self) -> GpuSolver<'d, T> {
+        self.solver.into_inner()
+    }
+}
+
+impl<T: Scalar> LinearOperator<T> for GpuPreconditioner<'_, T> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(y.len(), self.n, "apply: y has the wrong length");
+        y.copy_from_slice(&self.solver.borrow_mut().solve(x));
+    }
+
+    fn apply_to_block(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        self.solver.borrow_mut().solve_matrix(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr_core::matrix::random_hodlr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preconditioners_invert_an_exact_hodlr_matrix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_hodlr::<f64, _>(&mut rng, 64, 3, 2);
+        let x_true: Vec<f64> = (0..64).map(|i| (i as f64 * 0.11).cos()).collect();
+        let b = m.matvec(&x_true);
+
+        let serial = SerialPreconditioner::from_matrix(&m).unwrap();
+        let x = serial.apply_vec(&b);
+        for (a, e) in x.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-9);
+        }
+
+        let device = Device::new();
+        let gpu = GpuPreconditioner::from_matrix(&device, &m).unwrap();
+        let x = gpu.apply_vec(&b);
+        for (a, e) in x.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_preconditioner_is_a_copy() {
+        let id = IdentityPreconditioner::new(4);
+        let x = vec![1.0, -2.0, 3.0, -4.0];
+        assert_eq!(LinearOperator::<f64>::apply_vec(&id, &x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "factored")]
+    fn unfactored_gpu_solver_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = random_hodlr::<f64, _>(&mut rng, 32, 2, 1);
+        let device = Device::new();
+        let solver = GpuSolver::new(&device, &m);
+        let _ = GpuPreconditioner::new(solver);
+    }
+}

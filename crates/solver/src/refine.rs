@@ -1,0 +1,162 @@
+//! Preconditioned iterative refinement: the simplest way to turn an
+//! approximate factorization into full-accuracy solves,
+//! `x_{k+1} = x_k + M^{-1} (b - A x_k)`.
+//!
+//! Converges whenever `||I - A M^{-1}|| < 1`, i.e. whenever the HODLR
+//! approximation behind `M` is accurate enough; the contraction factor is
+//! the approximation error, so a 1e-3 preconditioner gains roughly three
+//! digits per sweep.  This is also the outer loop of the mixed-precision
+//! path (see [`crate::mixed`]).
+
+use crate::operator::LinearOperator;
+use crate::report::IterativeSolution;
+use hodlr_la::norms::norm2;
+use hodlr_la::{RealScalar, Scalar};
+
+/// Configuration for [`iterative_refinement`].
+#[derive(Copy, Clone, Debug)]
+pub struct RefinementOptions {
+    /// Relative-residual target.
+    pub tol: f64,
+    /// Sweep cap.
+    pub max_iters: usize,
+}
+
+impl Default for RefinementOptions {
+    fn default() -> Self {
+        RefinementOptions {
+            tol: 1e-12,
+            max_iters: 50,
+        }
+    }
+}
+
+/// Solve `A x = b` by refinement sweeps with `m` applying `M^{-1}`.
+///
+/// Each iteration costs one operator and one preconditioner application.
+pub fn iterative_refinement<T, A, M>(
+    a: &A,
+    m: &M,
+    b: &[T],
+    options: RefinementOptions,
+) -> IterativeSolution<T>
+where
+    T: Scalar,
+    A: LinearOperator<T>,
+    M: LinearOperator<T>,
+{
+    let n = b.len();
+    assert_eq!(a.dim(), n, "operator and right-hand side disagree");
+    assert_eq!(m.dim(), n, "preconditioner and right-hand side disagree");
+    let bnorm = norm2(b).to_f64();
+    let mut x = vec![T::zero(); n];
+    let mut history = Vec::new();
+    if bnorm == 0.0 {
+        return IterativeSolution::zero_rhs(n);
+    }
+
+    let mut iters = 0usize;
+    let mut relative_residual = 1.0;
+    // Best iterate seen so far, so a correction that made things worse (a
+    // non-contracting preconditioner) is rolled back instead of returned.
+    let mut best_x = x.clone();
+    let mut best_res = f64::INFINITY;
+    while iters < options.max_iters {
+        let ax = a.apply_vec(&x);
+        let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &ai)| bi - ai).collect();
+        let res = norm2(&r).to_f64() / bnorm;
+        relative_residual = res;
+        if res < best_res {
+            best_res = res;
+            best_x.copy_from_slice(&x);
+        }
+        if res <= options.tol {
+            break;
+        }
+        // Stop when the residual stopped improving at all (approximation
+        // error of M too large to gain further digits, or a
+        // non-contracting preconditioner).  Slow but genuine contraction
+        // is left to run against the iteration cap.
+        if let Some(&prev) = history.last() {
+            if res >= prev {
+                break;
+            }
+        }
+        history.push(res);
+        let correction = m.apply_vec(&r);
+        for (xi, ci) in x.iter_mut().zip(&correction) {
+            *xi += *ci;
+        }
+        iters += 1;
+    }
+
+    // `best_x` lags `x` by one correction when the loop exited on the
+    // iteration cap; its residual is the last one actually measured.
+    relative_residual = relative_residual.min(best_res);
+    IterativeSolution {
+        x: best_x,
+        iterations: iters,
+        converged: relative_residual <= options.tol,
+        relative_residual,
+        residual_history: history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::SerialPreconditioner;
+    use hodlr_core::matrix::random_hodlr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_preconditioner_converges_in_one_sweep() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let matrix = random_hodlr::<f64, _>(&mut rng, 64, 2, 2);
+        let b: Vec<f64> = hodlr_la::random::random_vector(&mut rng, 64);
+        let m = SerialPreconditioner::from_matrix(&matrix).unwrap();
+        let out = iterative_refinement(&matrix, &m, &b, RefinementOptions::default());
+        assert!(out.converged, "relres {}", out.relative_residual);
+        assert!(out.iterations <= 2);
+    }
+
+    #[test]
+    fn stalls_gracefully_when_the_preconditioner_does_not_contract() {
+        use crate::operator::LinearOperator;
+        use hodlr_la::DenseMatrix;
+
+        // M^{-1} = -2 I against A = I: the iteration matrix I - A M^{-1} =
+        // 3 I expands the residual, so refinement must stop early instead
+        // of burning its full iteration budget.
+        struct Expanding(usize);
+        impl LinearOperator<f64> for Expanding {
+            fn dim(&self) -> usize {
+                self.0
+            }
+            fn apply(&self, x: &[f64], y: &mut [f64]) {
+                for (yi, &xi) in y.iter_mut().zip(x) {
+                    *yi = -2.0 * xi;
+                }
+            }
+        }
+
+        let a = DenseMatrix::<f64>::identity(16);
+        let b = vec![1.0; 16];
+        let out = iterative_refinement(
+            &a,
+            &Expanding(16),
+            &b,
+            RefinementOptions {
+                tol: 1e-12,
+                max_iters: 50,
+            },
+        );
+        assert!(!out.converged);
+        assert!(out.iterations < 5, "stall detection did not trigger");
+        // The harmful correction is rolled back: the returned iterate is the
+        // best one measured (here the zero initial guess, residual 1).
+        assert!(out.relative_residual <= 1.0 + 1e-12);
+        assert!(out.x.iter().all(|&v| v == 0.0));
+    }
+}

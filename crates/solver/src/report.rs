@@ -1,0 +1,72 @@
+//! The solution-plus-convergence-report type shared by every iterative
+//! method in this crate.
+
+use crate::operator::LinearOperator;
+use hodlr_la::norms::norm2;
+use hodlr_la::{RealScalar, Scalar};
+
+/// The outcome of an iterative solve.
+#[derive(Clone, Debug)]
+pub struct IterativeSolution<T: Scalar> {
+    /// The computed solution.
+    pub x: Vec<T>,
+    /// Operator applications consumed (one per Krylov iteration; BiCGStab
+    /// counts its two applications per step as one iteration, as usual).
+    pub iterations: usize,
+    /// Whether the requested tolerance was reached within the iteration cap.
+    pub converged: bool,
+    /// Final relative residual `||b - A x|| / ||b||` of the *original*
+    /// (unpreconditioned) system.
+    pub relative_residual: f64,
+    /// Relative residual after every iteration, for convergence plots and
+    /// iteration-count tables.
+    pub residual_history: Vec<f64>,
+}
+
+impl<T: Scalar> IterativeSolution<T> {
+    /// Panic with `context` unless the solve converged; returns the
+    /// solution otherwise.  Convenience for examples and tests.
+    pub fn expect_converged(self, context: &str) -> Self {
+        assert!(
+            self.converged,
+            "{context}: no convergence in {} iterations (relres {:.3e})",
+            self.iterations, self.relative_residual
+        );
+        self
+    }
+
+    /// Assemble the report from a candidate solution, judging convergence
+    /// against the *true* residual `||b - A x|| / ||b||` (never the
+    /// method's recurrence).  Shared by every method in the crate.
+    pub(crate) fn from_candidate<A: LinearOperator<T>>(
+        a: &A,
+        b: &[T],
+        bnorm: f64,
+        tol: f64,
+        x: Vec<T>,
+        iterations: usize,
+        residual_history: Vec<f64>,
+    ) -> Self {
+        let ax = a.apply_vec(&x);
+        let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &ai)| bi - ai).collect();
+        let relative_residual = norm2(&r).to_f64() / bnorm;
+        IterativeSolution {
+            x,
+            iterations,
+            converged: relative_residual <= tol,
+            relative_residual,
+            residual_history,
+        }
+    }
+
+    /// The trivial report for a zero right-hand side.
+    pub(crate) fn zero_rhs(n: usize) -> Self {
+        IterativeSolution {
+            x: vec![T::zero(); n],
+            iterations: 0,
+            converged: true,
+            relative_residual: 0.0,
+            residual_history: Vec::new(),
+        }
+    }
+}

@@ -95,7 +95,11 @@ impl<T: Scalar> BlockSparseSystem<T> {
         order: &[usize],
         parallel: bool,
     ) -> Result<BlockSparseLu<T>, SingularError> {
-        assert_eq!(order.len(), self.num_blocks(), "order must list every block");
+        assert_eq!(
+            order.len(),
+            self.num_blocks(),
+            "order must list every block"
+        );
         let mut work = self.blocks.clone();
         let mut position = vec![0usize; order.len()];
         for (pos, &p) in order.iter().enumerate() {
@@ -185,7 +189,10 @@ impl<T: Scalar> BlockSparseSystem<T> {
             sizes: self.sizes.clone(),
             offsets: self.offsets.clone(),
             order: order.to_vec(),
-            pivot_lu: pivot_lu.into_iter().map(|p| p.expect("pivot factored")).collect(),
+            pivot_lu: pivot_lu
+                .into_iter()
+                .map(|p| p.expect("pivot factored"))
+                .collect(),
             lower,
             upper,
         })
@@ -225,7 +232,11 @@ impl<T: Scalar> BlockSparseLu<T> {
     /// Solve the factored system for a (block-partitioned) right-hand side
     /// of `nrhs` columns, given as a dense `dim x nrhs` matrix.
     pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
-        assert_eq!(b.rows(), self.dim(), "right-hand side has the wrong row count");
+        assert_eq!(
+            b.rows(),
+            self.dim(),
+            "right-hand side has the wrong row count"
+        );
         let nrhs = b.cols();
         let mut x = b.clone();
 

@@ -173,11 +173,14 @@ pub fn partition_points(cloud: &PointCloud, min_leaf_size: usize) -> PointPartit
             })
             .unwrap_or(0);
         let mid_local = range.len().div_ceil(2);
-        slice.select_nth_unstable_by(mid_local.saturating_sub(1).min(range.len() - 1), |&a, &b| {
-            cloud.point(a)[split_dim]
-                .partial_cmp(&cloud.point(b)[split_dim])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        slice.select_nth_unstable_by(
+            mid_local.saturating_sub(1).min(range.len() - 1),
+            |&a, &b| {
+                cloud.point(a)[split_dim]
+                    .partial_cmp(&cloud.point(b)[split_dim])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            },
+        );
         // `select_nth_unstable_by` leaves everything <= pivot on the left,
         // which is all we need for a median split.
         let mid = range.start + mid_local;

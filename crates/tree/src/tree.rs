@@ -167,7 +167,10 @@ impl ClusterTree {
 
     /// Largest leaf size in the tree.
     pub fn max_leaf_size(&self) -> usize {
-        self.leaves().map(|id| self.node_size(id)).max().unwrap_or(0)
+        self.leaves()
+            .map(|id| self.node_size(id))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Verify all cluster-tree invariants (Definition 1); used by tests and

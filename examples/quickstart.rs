@@ -24,7 +24,11 @@ fn main() {
 
     // 2. Compress every sibling off-diagonal block at the requested
     //    tolerance (rook-pivoted ACA by default).
-    let matrix = build_from_source(&source, part.tree.clone(), &CompressionConfig::with_tol(tol));
+    let matrix = build_from_source(
+        &source,
+        part.tree.clone(),
+        &CompressionConfig::with_tol(tol),
+    );
     println!(
         "HODLR approximation: N = {}, levels = {}, max off-diagonal rank = {}, storage = {:.3} GiB",
         matrix.n(),
@@ -42,7 +46,10 @@ fn main() {
     let x = solver.solve(&b);
 
     // 4. Verify.
-    println!("relative residual ||b - A x|| / ||b|| = {:.3e}", matrix.relative_residual(&x, &b));
+    println!(
+        "relative residual ||b - A x|| / ||b|| = {:.3e}",
+        matrix.relative_residual(&x, &b)
+    );
     let counters = device.counters();
     println!(
         "device counters: {} kernel launches, {:.2} GFlop executed, {:.1} MiB transferred",

@@ -7,7 +7,7 @@ use hodlr_batch::Device;
 use hodlr_bie::laplace::potential_from_sources;
 use hodlr_bie::{HelmholtzExteriorBie, LaplaceExteriorBie, StarContour};
 use hodlr_compress::{CompressionConfig, CompressionMethod, MatrixEntrySource};
-use hodlr_core::{build_from_source, ComplexityReport, GpuSolver, solve_recursive};
+use hodlr_core::{build_from_source, solve_recursive, ComplexityReport, GpuSolver};
 use hodlr_kernels::{GaussianKernel, RpyKernel, RpyMatrixSource, ScalarKernelSource};
 use hodlr_la::{Complex64, DenseMatrix, RealScalar};
 use hodlr_sparse::ExtendedSystem;
@@ -25,7 +25,11 @@ fn all_solvers_agree_on_a_kernel_matrix() {
     let part = partition_points(&cloud, 48);
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.8 }, &part.points, 2.0);
-    let matrix = build_from_source(&source, part.tree.clone(), &CompressionConfig::with_tol(1e-10));
+    let matrix = build_from_source(
+        &source,
+        part.tree.clone(),
+        &CompressionConfig::with_tol(1e-10),
+    );
 
     let dense = source.to_dense();
     let b: Vec<f64> = (0..n).map(|i| (0.1 * i as f64).cos()).collect();
@@ -43,7 +47,10 @@ fn all_solvers_agree_on_a_kernel_matrix() {
     // HODLRlib-style baseline.
     let x_lib = HodlrlibStyleSolver::factorize(&matrix).unwrap().solve(&b);
     // Block-sparse comparator.
-    let x_bs = ExtendedSystem::new(&matrix).factorize(true).unwrap().solve(&b);
+    let x_bs = ExtendedSystem::new(&matrix)
+        .factorize(true)
+        .unwrap()
+        .solve(&b);
 
     for (label, x) in [
         ("serial", &x_serial),
@@ -76,7 +83,11 @@ fn rpy_kernel_system_solves_accurately() {
     let matrix = build_from_source(&source, tree, &CompressionConfig::with_tol(1e-10));
     // Off-diagonal blocks are compressible but, with weak admissibility in
     // 3-D, not tiny: well below half the block size is what matters.
-    assert!(matrix.max_rank() < matrix.n() / 2, "max rank {}", matrix.max_rank());
+    assert!(
+        matrix.max_rank() < matrix.n() / 2,
+        "max rank {}",
+        matrix.max_rank()
+    );
 
     let f = matrix.factorize_serial().unwrap();
     let b = vec![1.0; n];
@@ -104,7 +115,11 @@ fn laplace_bie_reconstructs_the_exterior_field() {
     for x in [[3.0, 2.0], [-4.0, 0.5]] {
         let u = bie.evaluate_exterior(x, &sigma);
         let exact = potential_from_sources(x, &sources);
-        assert!((u - exact).abs() < 1e-6, "field error {}", (u - exact).abs());
+        assert!(
+            (u - exact).abs() < 1e-6,
+            "field error {}",
+            (u - exact).abs()
+        );
     }
 }
 

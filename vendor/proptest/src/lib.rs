@@ -1,0 +1,132 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the API this workspace's tests use: the
+//! [`proptest!`] macro with `arg in range` bindings, an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.  Each test
+//! runs `cases` iterations with arguments drawn from the given ranges by a
+//! generator seeded from the test name, so failures are reproducible.
+//! There is no shrinking; a failing case panics with its inputs printed by
+//! the assertion message.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Copy, Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream default is 256; 64 keeps the deterministic stand-in fast
+        // while still sweeping the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic seed derived from the test name (FNV-1a).
+#[doc(hidden)]
+pub fn __seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Mirror of proptest's `proptest!` macro over `arg in range` strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $range:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::__rand::{Rng as _, SeedableRng as _};
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::__rand::rngs::StdRng::seed_from_u64(
+                    $crate::__seed_from_name(stringify!($name)),
+                );
+                for _ in 0..config.cases {
+                    $(let $arg = rng.gen_range($range);)*
+                    // One closure per case so `prop_assume!`'s early return
+                    // rejects only that case.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+}
+
+/// Mirror of `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Mirror of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Mirror of `prop_assume!`: reject the current case when the condition
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` imports.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(n in 1usize..50, x in -1.0f64..1.0) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn assume_rejects_cases(n in 0usize..10) {
+            prop_assume!(n >= 5);
+            prop_assert!(n >= 5);
+            prop_assert_eq!(n, n);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace uses rayon only as a data-parallel executor for batched
+//! kernels and per-level node loops; every call site is correct under
+//! sequential execution (that is what `Device::sequential()` tests assert).
+//! With no crates.io access in the build container, this crate provides:
+//!
+//! * [`join`] — real fork-join parallelism on `std::thread::scope`, with a
+//!   global cap on concurrently spawned threads so recursive fork trees
+//!   stay bounded;
+//! * the parallel-iterator adapters mapped onto plain **sequential**
+//!   iterators.  Rows labelled "parallel" in the bench tables therefore
+//!   measure the same single-threaded execution as their serial
+//!   counterparts wherever the parallelism came from `par_iter` (the
+//!   README states this limitation).  The paper-facing metering (launch
+//!   counts, flop counters, batch sizes) is unaffected either way: it is
+//!   recorded by the virtual device, not by the execution strategy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Concurrently spawned [`join`] arms, bounded to keep recursive fork
+/// trees from exhausting OS threads.
+static ACTIVE_JOINS: AtomicUsize = AtomicUsize::new(0);
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let cap = 2 * current_num_threads();
+    if ACTIVE_JOINS.fetch_add(1, Ordering::Relaxed) < cap {
+        let out = std::thread::scope(|scope| {
+            let handle = scope.spawn(b);
+            let ra = a();
+            let rb = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            (ra, rb)
+        });
+        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
+        out
+    } else {
+        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
+        (a(), b())
+    }
+}
+
+/// Number of worker threads the pool would have; used only to pick panel
+/// sizes, so the machine's logical parallelism is a faithful answer.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub mod prelude {
+    //! The adapter traits, mirroring `rayon::prelude`.
+
+    /// `into_par_iter()` for owned collections and ranges; hands back the
+    /// plain sequential iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` for borrowed collections.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The sequential iterator type standing in for the parallel one.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` for mutably borrowed collections.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The sequential iterator type standing in for the parallel one.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_sequential_iterators() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let mut out = Vec::new();
+        v.into_par_iter()
+            .enumerate()
+            .for_each(|(i, x)| out.push((i, x)));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        let (a, b) = super::join(|| 1 + 1, || "ok");
+        assert_eq!(a, 2);
+        assert_eq!(b, "ok");
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn deeply_nested_joins_stay_bounded() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = super::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+}
