@@ -25,6 +25,33 @@
 //! large batched kernels, and that mapping — launch counts, batch sizes, flop
 //! counts, memory traffic — is preserved exactly here; only the absolute
 //! wall-clock constants differ.
+//!
+//! # Threading and metering under concurrency
+//!
+//! A batched kernel is *one* launch whose batch entries are sharded across
+//! the rayon work-stealing pool ([`windows::process_windows_mut`] proves the
+//! output windows disjoint first); `HODLR_NUM_THREADS` controls the pool
+//! size and [`Device::sequential`] forces a kernel's entries onto the
+//! calling thread regardless.  Every [`Device`] counter is an atomic, so
+//! entries executing on different workers meter their work without locking,
+//! and — because each entry's flop count is a pure function of its shape —
+//! the counter totals are **identical at every thread count**:
+//!
+//! ```
+//! use hodlr_batch::Device;
+//! use rayon::prelude::*;
+//!
+//! let device = Device::new();
+//! // Eight tasks on the worker pool record into the same counters
+//! // concurrently, as batched kernels do during a factorization.
+//! (0..8usize).into_par_iter().for_each(|stream| {
+//!     device.record_launch("gemm_batched", 4, 1_000, stream);
+//! });
+//! let counters = device.counters();
+//! assert_eq!(counters.kernel_launches, 8);
+//! assert_eq!(counters.batch_entries, 32);
+//! assert_eq!(counters.flops, 8_000);
+//! ```
 
 pub mod buffer;
 pub mod device;

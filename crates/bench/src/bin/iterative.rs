@@ -9,12 +9,14 @@ use hodlr_bench::iterative::{
     DEFAULT_PRECOND_TOLS,
 };
 use hodlr_bench::workloads::resolved_kappa;
-use hodlr_bench::{helmholtz_hodlr, laplace_hodlr, rpy_hodlr};
+use hodlr_bench::{helmholtz_hodlr, laplace_hodlr, rpy_hodlr, write_iterative_json};
+use std::path::PathBuf;
 
 fn main() {
     let args = hodlr_bench::parse_args(&[1 << 10], &[1 << 13]);
     let n = args.sizes[0];
     let config = IterativeConfig::default();
+    let mut all_rows = Vec::new();
 
     // Laplace exterior BIE.
     let (_bie, exact) = laplace_hodlr(n, 1e-10);
@@ -24,6 +26,7 @@ fn main() {
         rows.extend(measure_iterative("laplace", &exact, &rough, ptol, &config));
     }
     print_iterative_table(&format!("Iterative solves, Laplace BIE, N = {n}"), &rows);
+    all_rows.extend(rows);
 
     // Helmholtz combined-field BIE (complex arithmetic).
     let kappa = resolved_kappa(n);
@@ -43,6 +46,7 @@ fn main() {
         &format!("Iterative solves, Helmholtz BIE, N = {n}, kappa = {kappa:.1}"),
         &rows,
     );
+    all_rows.extend(rows);
 
     // RPY kernel matrix.
     let exact = rpy_hodlr(n, 1e-10);
@@ -53,4 +57,14 @@ fn main() {
         rows.extend(measure_iterative("rpy", &exact, &rough, ptol, &config));
     }
     print_iterative_table(&format!("Iterative solves, RPY kernel, N = {rpy_n}"), &rows);
+    all_rows.extend(rows);
+
+    // Machine-readable perf trajectory for cross-PR comparison.
+    let json_path = std::env::var_os("HODLR_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_iterative.json"));
+    match write_iterative_json(&json_path, &all_rows) {
+        Ok(()) => println!("wrote {} rows to {}", all_rows.len(), json_path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", json_path.display()),
+    }
 }

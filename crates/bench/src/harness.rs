@@ -59,6 +59,8 @@ pub struct SolverRow {
     pub factor_gflops: Option<f64>,
     /// Flops per second achieved during the solve, when metered.
     pub solve_gflops: Option<f64>,
+    /// Rayon pool size (participating threads) the row was measured with.
+    pub threads: usize,
 }
 
 /// Measure every requested solver on one HODLR matrix; the right-hand side
@@ -69,6 +71,7 @@ pub fn measure_solvers<T: Scalar>(
     config: &MeasureConfig,
 ) -> Vec<SolverRow> {
     let n = matrix.n();
+    let threads = rayon::current_num_threads();
     let mut rng = StdRng::seed_from_u64(n as u64 ^ 0x9e3779b9);
     let b: Vec<T> = hodlr_la::random::random_vector(&mut rng, n);
     let mut rows = Vec::new();
@@ -90,6 +93,7 @@ pub fn measure_solvers<T: Scalar>(
             relres: matrix.relative_residual(&x, &b).to_f64(),
             factor_gflops: Some(report.factorization_flops as f64 / t_factor / 1e9),
             solve_gflops: Some(report.solve_flops as f64 / t_solve / 1e9),
+            threads,
         });
     }
 
@@ -110,6 +114,7 @@ pub fn measure_solvers<T: Scalar>(
             relres: matrix.relative_residual(&x, &b).to_f64(),
             factor_gflops: Some(report.factorization_flops as f64 / t_factor / 1e9),
             solve_gflops: Some(report.solve_flops as f64 / t_solve / 1e9),
+            threads,
         });
     }
 
@@ -140,6 +145,7 @@ pub fn measure_solvers<T: Scalar>(
             relres: matrix.relative_residual(&x, &b).to_f64(),
             factor_gflops: None,
             solve_gflops: None,
+            threads,
         });
     }
 
@@ -165,6 +171,7 @@ pub fn measure_solvers<T: Scalar>(
             relres: matrix.relative_residual(&x, &b).to_f64(),
             factor_gflops: Some(factor_flops as f64 / t_factor / 1e9),
             solve_gflops: Some(solve_flops as f64 / t_solve / 1e9),
+            threads,
         });
     }
 
@@ -186,6 +193,7 @@ pub fn measure_solvers<T: Scalar>(
             relres: matrix.relative_residual(&x, &b).to_f64(),
             factor_gflops: Some(solver.factorization_flops() as f64 / t_factor / 1e9),
             solve_gflops: None,
+            threads,
         });
     }
 
@@ -196,13 +204,13 @@ pub fn measure_solvers<T: Scalar>(
 pub fn print_table(title: &str, rows: &[SolverRow]) {
     println!("== {title}");
     println!(
-        "{:<10} {:<28} {:>12} {:>12} {:>10} {:>12}",
-        "N", "solver", "t_f [s]", "t_s [s]", "mem [GiB]", "relres"
+        "{:<10} {:<28} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "N", "solver", "threads", "t_f [s]", "t_s [s]", "mem [GiB]", "relres"
     );
     for row in rows {
         println!(
-            "{:<10} {:<28} {:>12.4e} {:>12.4e} {:>10.4} {:>12.3e}",
-            row.n, row.solver, row.t_factor, row.t_solve, row.mem_gib, row.relres
+            "{:<10} {:<28} {:>8} {:>12.4e} {:>12.4e} {:>10.4} {:>12.3e}",
+            row.n, row.solver, row.threads, row.t_factor, row.t_solve, row.mem_gib, row.relres
         );
     }
     println!();
@@ -212,12 +220,13 @@ pub fn print_table(title: &str, rows: &[SolverRow]) {
 /// harnesses emit so the scaling plots can be regenerated.
 pub fn print_csv(title: &str, rows: &[SolverRow]) {
     println!("# {title}");
-    println!("solver,N,t_factor,t_solve,mem_gib,relres,factor_gflops,solve_gflops");
+    println!("solver,N,threads,t_factor,t_solve,mem_gib,relres,factor_gflops,solve_gflops");
     for row in rows {
         println!(
-            "{},{},{:.6e},{:.6e},{:.6e},{:.3e},{},{}",
+            "{},{},{},{:.6e},{:.6e},{:.6e},{:.3e},{},{}",
             row.solver,
             row.n,
+            row.threads,
             row.t_factor,
             row.t_solve,
             row.mem_gib,

@@ -42,6 +42,14 @@ pub struct IterativeRow {
     pub t_per_rhs: f64,
     /// Whether the requested tolerance was reached.
     pub converged: bool,
+    /// Rayon pool size (participating threads) the row was measured with.
+    pub threads: usize,
+    /// Batched-kernel launches metered on the [`Device`] during the solve
+    /// phase (0 for rows whose solve path is not device-metered, e.g. the
+    /// mixed-precision host refinement).
+    pub launches: u64,
+    /// Flops metered on the [`Device`] during the solve phase.
+    pub flops: u64,
 }
 
 /// The default preconditioner-tolerance sweep of the `iterative` binary.
@@ -93,6 +101,7 @@ pub fn measure_iterative<T: DemoteScalar>(
     config: &IterativeConfig,
 ) -> Vec<IterativeRow> {
     let n = exact.n();
+    let threads = rayon::current_num_threads();
     let rhs = bench_rhs::<T>(n, config.nrhs);
     let mut rows = Vec::new();
 
@@ -103,12 +112,14 @@ pub fn measure_iterative<T: DemoteScalar>(
     let t_factor = start.elapsed().as_secs_f64();
 
     let gmres = Gmres::new().tol(config.tol).max_iters(config.max_iters);
+    let before = device.counters();
     let start = Instant::now();
     let outs: Vec<_> = rhs
         .iter()
         .map(|b| gmres.solve_preconditioned(exact, &precond, b))
         .collect();
     let t_gmres = start.elapsed().as_secs_f64() / config.nrhs as f64;
+    let metered = device.counters().since(&before);
     rows.push(IterativeRow {
         workload: workload.into(),
         n,
@@ -119,15 +130,20 @@ pub fn measure_iterative<T: DemoteScalar>(
         t_factor,
         t_per_rhs: t_gmres,
         converged: outs.iter().all(|o| o.converged),
+        threads,
+        launches: metered.kernel_launches,
+        flops: metered.flops,
     });
 
     let bicgstab = BiCgStab::new().tol(config.tol).max_iters(config.max_iters);
+    let before = device.counters();
     let start = Instant::now();
     let outs: Vec<_> = rhs
         .iter()
         .map(|b| bicgstab.solve_preconditioned(exact, &precond, b))
         .collect();
     let t_bicg = start.elapsed().as_secs_f64() / config.nrhs as f64;
+    let metered = device.counters().since(&before);
     rows.push(IterativeRow {
         workload: workload.into(),
         n,
@@ -138,6 +154,9 @@ pub fn measure_iterative<T: DemoteScalar>(
         t_factor,
         t_per_rhs: t_bicg,
         converged: outs.iter().all(|o| o.converged),
+        threads,
+        launches: metered.kernel_launches,
+        flops: metered.flops,
     });
 
     if config.mixed_precision {
@@ -165,6 +184,11 @@ pub fn measure_iterative<T: DemoteScalar>(
             t_factor: t_factor_mixed,
             t_per_rhs: t_mixed,
             converged: outs.iter().all(|o| o.converged),
+            threads,
+            // The mixed-precision refinement runs on the host; its flop
+            // accounting lives in the refinement report, not the device.
+            launches: 0,
+            flops: 0,
         });
     }
 
@@ -180,15 +204,18 @@ pub fn measure_block_direct<T: Scalar>(
     nrhs: usize,
 ) -> IterativeRow {
     let n = exact.n();
+    let threads = rayon::current_num_threads();
     let rhs = bench_rhs::<T>(n, nrhs);
     let device = Device::new();
     let start = Instant::now();
     let mut solver = GpuSolver::new(&device, exact);
     solver.factorize().expect("direct factorization");
     let t_factor = start.elapsed().as_secs_f64();
+    let before = device.counters();
     let start = Instant::now();
     let xs = solver.solve_block(&rhs);
     let t_per_rhs = start.elapsed().as_secs_f64() / nrhs as f64;
+    let metered = device.counters().since(&before);
     let relres = exact.relative_residual(&xs[0], &rhs[0]).to_f64();
     IterativeRow {
         workload: workload.into(),
@@ -200,6 +227,9 @@ pub fn measure_block_direct<T: Scalar>(
         t_factor,
         t_per_rhs,
         converged: true,
+        threads,
+        launches: metered.kernel_launches,
+        flops: metered.flops,
     }
 }
 
@@ -207,20 +237,32 @@ pub fn measure_block_direct<T: Scalar>(
 pub fn print_iterative_table(title: &str, rows: &[IterativeRow]) {
     println!("== {title}");
     println!(
-        "{:<12} {:<8} {:<12} {:<14} {:>6} {:>12} {:>12} {:>12} {:>6}",
-        "workload", "N", "precond_tol", "method", "iters", "relres", "t_f [s]", "t/rhs [s]", "conv"
+        "{:<12} {:<8} {:<8} {:<12} {:<14} {:>6} {:>12} {:>12} {:>12} {:>10} {:>6}",
+        "workload",
+        "N",
+        "threads",
+        "precond_tol",
+        "method",
+        "iters",
+        "relres",
+        "t_f [s]",
+        "t/rhs [s]",
+        "launches",
+        "conv"
     );
     for row in rows {
         println!(
-            "{:<12} {:<8} {:<12.1e} {:<14} {:>6} {:>12.3e} {:>12.4e} {:>12.4e} {:>6}",
+            "{:<12} {:<8} {:<8} {:<12.1e} {:<14} {:>6} {:>12.3e} {:>12.4e} {:>12.4e} {:>10} {:>6}",
             row.workload,
             row.n,
+            row.threads,
             row.precond_tol,
             row.method,
             row.iterations,
             row.relres,
             row.t_factor,
             row.t_per_rhs,
+            row.launches,
             if row.converged { "yes" } else { "no" }
         );
     }

@@ -1,0 +1,131 @@
+//! Machine-readable bench output: a tiny hand-rolled JSON emitter (no
+//! serde in the offline container) for the iterative scenario family.
+//!
+//! The `iterative` binary writes `BENCH_iterative.json` next to its table
+//! output so successive PRs accumulate a perf trajectory that tooling can
+//! diff: each element records the scenario, problem size, thread count,
+//! wall-clock times, and the device-metered launch/flop totals.
+
+use crate::iterative::IterativeRow;
+use std::io::Write;
+use std::path::Path;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as JSON (finite values only; NaN/inf become `null`,
+/// which plain JSON cannot represent).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the iterative rows as a JSON array (pretty-printed, one object
+/// per row, stable key order).
+pub fn iterative_rows_to_json(rows: &[IterativeRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let scenario = format!("{}/{}", row.workload, row.method);
+        out.push_str("  {");
+        out.push_str(&format!("\"scenario\": \"{}\", ", escape(&scenario)));
+        out.push_str(&format!("\"workload\": \"{}\", ", escape(&row.workload)));
+        out.push_str(&format!("\"method\": \"{}\", ", escape(&row.method)));
+        out.push_str(&format!("\"n\": {}, ", row.n));
+        out.push_str(&format!("\"threads\": {}, ", row.threads));
+        out.push_str(&format!("\"precond_tol\": {}, ", number(row.precond_tol)));
+        out.push_str(&format!("\"iterations\": {}, ", row.iterations));
+        out.push_str(&format!("\"relres\": {}, ", number(row.relres)));
+        out.push_str(&format!("\"t_factor_s\": {}, ", number(row.t_factor)));
+        out.push_str(&format!("\"t_per_rhs_s\": {}, ", number(row.t_per_rhs)));
+        out.push_str(&format!("\"launches\": {}, ", row.launches));
+        out.push_str(&format!("\"flops\": {}, ", row.flops));
+        out.push_str(&format!("\"converged\": {}", row.converged));
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write the rows as JSON to `path` (the `iterative` binary points this at
+/// `BENCH_iterative.json`, overridable via `HODLR_BENCH_JSON`).
+pub fn write_iterative_json(path: &Path, rows: &[IterativeRow]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(iterative_rows_to_json(rows).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> IterativeRow {
+        IterativeRow {
+            workload: "laplace".into(),
+            n: 1024,
+            precond_tol: 1e-4,
+            method: "gmres".into(),
+            iterations: 7,
+            relres: 3.2e-9,
+            t_factor: 0.5,
+            t_per_rhs: 0.0125,
+            converged: true,
+            threads: 8,
+            launches: 42,
+            flops: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn rows_render_with_every_required_field() {
+        let json = iterative_rows_to_json(&[sample_row()]);
+        for key in [
+            "\"scenario\": \"laplace/gmres\"",
+            "\"n\": 1024",
+            "\"threads\": 8",
+            "\"launches\": 42",
+            "\"flops\": 1000000",
+            "\"converged\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn multiple_rows_are_comma_separated() {
+        let json = iterative_rows_to_json(&[sample_row(), sample_row()]);
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn strings_are_escaped_and_non_finite_numbers_become_null() {
+        let mut row = sample_row();
+        row.workload = "we\"ird\\label".into();
+        row.relres = f64::NAN;
+        let json = iterative_rows_to_json(&[row]);
+        assert!(json.contains("we\\\"ird\\\\label"));
+        assert!(json.contains("\"relres\": null"));
+    }
+}

@@ -27,15 +27,23 @@
 //! the *shape* — scaling slopes, memory footprints, residuals, who wins and
 //! where the crossovers are among the CPU solvers — is what reproduces the
 //! paper (see DESIGN.md for the substitution argument).
+//!
+//! Every row records the rayon pool size in a `threads` column (set
+//! `HODLR_NUM_THREADS` to sweep it), and the `iterative` binary
+//! additionally emits machine-readable `BENCH_iterative.json` (scenario,
+//! `n`, threads, wall-times, launches, flops — see [`json`]) so successive
+//! PRs accumulate a comparable perf trajectory.
 
 pub mod harness;
 pub mod iterative;
+pub mod json;
 pub mod workloads;
 
 pub use harness::{measure_solvers, print_csv, print_table, MeasureConfig, SolverRow};
 pub use iterative::{
     measure_block_direct, measure_iterative, print_iterative_table, IterativeConfig, IterativeRow,
 };
+pub use json::{iterative_rows_to_json, write_iterative_json};
 pub use workloads::{
     helmholtz_hodlr, kernel_hodlr, laplace_hodlr, parse_args, rpy_hodlr, SweepArgs,
 };

@@ -19,6 +19,7 @@ use hodlr_batch::{
 };
 use hodlr_la::{DenseMatrix, Op, Scalar};
 use hodlr_tree::ClusterTree;
+use rayon::prelude::*;
 use std::ops::Range;
 
 /// Below this many nodes in a level, independent kernels are cycled over a
@@ -364,17 +365,29 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
     /// # Panics
     /// Panics if the factorization has not been computed yet or any
     /// right-hand side has the wrong length.
-    pub fn solve_block(&mut self, rhs: &[impl AsRef<[T]>]) -> Vec<Vec<T>> {
+    pub fn solve_block(&mut self, rhs: &[impl AsRef<[T]> + Sync]) -> Vec<Vec<T>> {
         let n = self.n_rows();
         let k = rhs.len();
-        let mut packed = Vec::with_capacity(n * k);
         for (j, col) in rhs.iter().enumerate() {
-            let col = col.as_ref();
-            assert_eq!(col.len(), n, "right-hand side {j} has the wrong length");
-            packed.extend_from_slice(col);
+            assert_eq!(
+                col.as_ref().len(),
+                n,
+                "right-hand side {j} has the wrong length"
+            );
         }
+        // Pack the right-hand sides into one column-major N x k host matrix;
+        // the columns are disjoint, so the scatter runs on the worker pool.
+        let mut packed = vec![T::zero(); n * k];
+        packed
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(j, col)| col.copy_from_slice(rhs[j].as_ref()));
         let x = self.solve_matrix_host(&packed, k);
-        x.chunks(n).map(|c| c.to_vec()).collect()
+        let mut out = vec![Vec::new(); k];
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(j, col)| *col = x[j * n..(j + 1) * n].to_vec());
+        out
     }
 
     fn solve_matrix_host(&mut self, b: &[T], nrhs: usize) -> Vec<T> {

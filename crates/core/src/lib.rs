@@ -23,6 +23,21 @@
 //!
 //! Construction of the HODLR approximation itself (compressing every sibling
 //! off-diagonal block) lives in [`builder`], on top of `hodlr-compress`.
+//!
+//! # Where this crate parallelizes
+//!
+//! [`builder`] compresses the two off-diagonal blocks of every sibling pair
+//! and densifies every leaf diagonal block as independent tasks on the
+//! rayon work-stealing pool (`HODLR_NUM_THREADS` participants).  The
+//! batched solver ([`GpuSolver`]) inherits parallelism from `hodlr-batch`,
+//! whose kernels shard their batch entries across the same pool, and its
+//! blocked multi-RHS entry point [`GpuSolver::solve_block`] scatters and
+//! gathers the right-hand-side columns in parallel too.
+//! [`SerialFactorization`] is serial *by design* — it is the single-core
+//! baseline of the paper's evaluation.  Every parallel path writes each
+//! task's output to a task-private slot and runs each task's arithmetic
+//! sequentially inside, so factorizations and solves are bitwise
+//! reproducible at any thread count.
 
 pub mod builder;
 pub mod gpu;

@@ -60,6 +60,10 @@ pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
 /// Threshold (in multiply-adds) above which `gemm` parallelises over columns.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
+/// Upper bound on the number of column panels a parallel `gemm` splits `C`
+/// into (subject to the 8-column minimum panel width).
+const MAX_PANELS: usize = 64;
+
 /// General matrix-matrix multiply:
 /// `C <- alpha * op_a(A) * op_b(B) + beta * C`.
 ///
@@ -108,8 +112,12 @@ pub fn gemm<T: Scalar>(
 
     let work = m * n * k;
     if work >= PAR_THRESHOLD && n > 1 {
-        // Parallelise over disjoint column panels of C.
-        let panel = (n / rayon::current_num_threads().max(1)).max(8).min(n);
+        // Parallelise over disjoint column panels of C.  Panel boundaries
+        // are a function of `n` only — never of the thread count — so the
+        // work decomposition (and any future panel-level blocking) cannot
+        // introduce thread-count-dependent results; the work-stealing pool
+        // balances the fixed panels across however many workers exist.
+        let panel = n.div_ceil(MAX_PANELS).max(8).min(n);
         let ld_c = c.ld();
         let c_cols = collect_col_ranges(n, panel);
         // SAFETY: the panels index disjoint column ranges of C, so the raw

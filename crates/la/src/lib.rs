@@ -10,7 +10,7 @@
 //! * a column-major [`DenseMatrix`] with borrowed strided views
 //!   ([`MatRef`]/[`MatMut`]) so that sub-blocks of the big concatenated
 //!   `Ubig`/`Vbig`/`Dbig` matrices can be addressed without copies;
-//! * level-3 BLAS style kernels ([`gemm`](blas::gemm), triangular solves) with
+//! * level-3 BLAS style kernels ([`gemm`], triangular solves) with
 //!   cache blocking and optional rayon parallelism;
 //! * LAPACK-style factorizations: LU with partial pivoting ([`lu`]),
 //!   Householder QR and column-pivoted QR ([`qr`]), and a one-sided Jacobi

@@ -33,6 +33,18 @@
 //! their preconditioner applications still land on the batched device and
 //! are metered there.
 //!
+//! # Threading
+//!
+//! The Krylov iterations in this crate are sequential — a Krylov space is
+//! a serial recurrence — but every heavy operation they invoke lands on
+//! the rayon work-stealing pool: the HODLR matrix-vector product's gemms,
+//! the batched preconditioner applications of [`GpuPreconditioner`], and
+//! the blocked multi-RHS sweeps of `solve_block`.  The pool size comes
+//! from `HODLR_NUM_THREADS`; iteration counts, residuals, and the metered
+//! [`Device`](hodlr_batch::Device) counters are identical at every thread
+//! count because each parallel task computes into its own output slot in a
+//! fixed order.
+//!
 //! ```
 //! use hodlr_batch::Device;
 //! use hodlr_core::matrix::random_hodlr;

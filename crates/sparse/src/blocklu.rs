@@ -88,6 +88,12 @@ impl<T: Scalar> BlockSparseSystem<T> {
 
     /// Factorize with the given elimination order.
     ///
+    /// With `parallel`, the Schur-complement updates of each pivot step run
+    /// as independent tasks on the rayon work-stealing pool (the "Parallel
+    /// Block-Sparse Solver" rows of the bench tables); the updates are
+    /// *applied* in a fixed order afterwards, so parallel and sequential
+    /// factorizations agree bitwise.
+    ///
     /// # Errors
     /// Returns an error if a pivot block becomes singular.
     pub fn factorize(
@@ -118,16 +124,22 @@ impl<T: Scalar> BlockSparseSystem<T> {
 
             // Rows below and columns right of the pivot (in elimination
             // order) that currently hold a block coupled to `p`.
-            let rows: Vec<usize> = work
+            // Sorted so the elimination structure (and with it every
+            // floating-point accumulation order downstream) is independent
+            // of HashMap iteration order — a run-to-run determinism
+            // requirement, orthogonal to the thread count.
+            let mut rows: Vec<usize> = work
                 .keys()
                 .filter(|&&(i, j)| j == p && position[i] > position[p])
                 .map(|&(i, _)| i)
                 .collect();
-            let cols: Vec<usize> = work
+            rows.sort_unstable();
+            let mut cols: Vec<usize> = work
                 .keys()
                 .filter(|&&(i, j)| i == p && position[j] > position[p])
                 .map(|&(_, j)| j)
                 .collect();
+            cols.sort_unstable();
 
             // U_pj: the pivot row blocks as they are now.
             // L_ip: A_ip App^{-1}; also keep App^{-1} A_pj for the updates.
@@ -249,6 +261,15 @@ impl<T: Scalar> BlockSparseLu<T> {
         let mut upper_by_row: HashMap<usize, Vec<(usize, &DenseMatrix<T>)>> = HashMap::new();
         for (&(r, j), block) in &self.upper {
             upper_by_row.entry(r).or_default().push((j, block));
+        }
+        // The backward sweep accumulates several U_pj x_j terms into one
+        // row block; sort so the summation order does not depend on
+        // HashMap iteration order.
+        for list in lower_by_col.values_mut() {
+            list.sort_unstable_by_key(|&(i, _)| i);
+        }
+        for list in upper_by_row.values_mut() {
+            list.sort_unstable_by_key(|&(j, _)| j);
         }
 
         // Forward: for every pivot in elimination order, once its rows are

@@ -9,7 +9,8 @@
 //! substrate built from scratch:
 //!
 //! * [`ExtendedSystem`] — assembly of the extended block-sparse system from
-//!   a [`HodlrMatrix`]: leaf unknowns `x_lambda` plus, for every non-root
+//!   a [`HodlrMatrix`](hodlr_core::HodlrMatrix): leaf unknowns `x_lambda`
+//!   plus, for every non-root
 //!   node `alpha`, the auxiliary `w_alpha = V_sibling^* x_sibling`;
 //! * [`BlockSparseLu`] — a block-sparse LU factorization with the natural
 //!   elimination ordering (all leaf blocks first, then the auxiliary blocks

@@ -1,0 +1,498 @@
+//! Parallel iterators over indexable sources, executed on the work-stealing
+//! pool of [`crate::pool`].
+//!
+//! Everything this workspace parallelizes is *indexed*: slices, vectors,
+//! integer ranges, and chunkings thereof.  A [`ParallelIterator`] here is
+//! therefore a length plus a shared producer that materializes the item at
+//! a given index; adapters ([`map`](ParallelIterator::map),
+//! [`enumerate`](ParallelIterator::enumerate)) compose producers, and the
+//! terminal operations ([`for_each`](ParallelIterator::for_each),
+//! [`collect`](ParallelIterator::collect), [`sum`](ParallelIterator::sum))
+//! drive the composed producer over chunked index ranges on the pool.
+//!
+//! # Determinism
+//!
+//! Terminal operations preserve sequential semantics exactly:
+//!
+//! * `collect` writes the item for index `i` into slot `i` of the output,
+//!   so the collected order is the source order at every thread count;
+//! * `sum` materializes all items and reduces them **in index order** on
+//!   the calling thread, so floating-point reductions are bitwise identical
+//!   to the sequential result at every thread count (at the cost of one
+//!   intermediate buffer — acceptable for this workspace, where hot-path
+//!   reductions live inside the batched kernels, not in iterator sums).
+//!
+//! # Panics
+//!
+//! A panic in user code (a `map` closure, a `for_each` body) is caught on
+//! the executing thread and re-thrown on the calling thread after the whole
+//! batch has drained.  Items already produced into a `collect` buffer are
+//! leaked in that case (never dropped twice, never observed uninitialized).
+
+use crate::pool;
+
+/// A parallel iterator: a fixed-length, index-addressable item producer that
+/// can be shared across worker threads.
+///
+/// # Safety contract of `produce`
+///
+/// `produce(i)` must be called **at most once per index** across all
+/// threads; producers hand out owned items or disjoint `&mut` borrows under
+/// that contract.  The terminal operations in this module uphold it by
+/// partitioning `0..len` into disjoint chunks.
+pub trait ParallelIterator: Send + Sync + Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// `true` if the iterator has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the item at `index`.
+    ///
+    /// # Safety
+    /// Each index must be produced at most once across all threads, and
+    /// `index < self.len()`.
+    unsafe fn produce(&self, index: usize) -> Self::Item;
+
+    /// Transform every item with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Run `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let len = self.len();
+        let this = &self;
+        let f = &f;
+        pool::run_indexed(len, &|start, end| {
+            for i in start..end {
+                // SAFETY: chunks partition 0..len, so each index is
+                // produced exactly once.
+                f(unsafe { this.produce(i) });
+            }
+        });
+    }
+
+    /// Collect the items into a container, preserving source order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items in index order (bitwise deterministic for floats at
+    /// every thread count; see the module docs).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Parallel `map`; see [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn produce(&self, index: usize) -> R {
+        // SAFETY: forwarded contract.
+        (self.f)(unsafe { self.base.produce(index) })
+    }
+}
+
+/// Parallel `enumerate`; see [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn produce(&self, index: usize) -> (usize, P::Item) {
+        // SAFETY: forwarded contract.
+        (index, unsafe { self.base.produce(index) })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]` (the `par_iter` source).
+pub struct SliceParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for SliceParIter<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn produce(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (the `par_iter_mut` source).  Raw
+/// pointer based: distinct indices alias distinct elements, so handing out
+/// one `&mut` per index is sound under the produce-once contract.
+pub struct SliceParIterMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    marker: std::marker::PhantomData<&'data mut [T]>,
+}
+
+// SAFETY: access is partitioned per index by the produce-once contract.
+unsafe impl<T: Send> Send for SliceParIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceParIterMut<'_, T> {}
+
+impl<'data, T: Send + 'data> ParallelIterator for SliceParIterMut<'data, T> {
+    type Item = &'data mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn produce(&self, index: usize) -> &'data mut T {
+        assert!(index < self.len);
+        // SAFETY: in-bounds (asserted) and exclusive by the contract.
+        unsafe { &mut *self.ptr.add(index) }
+    }
+}
+
+/// Owning parallel iterator over a `Vec<T>` (the `into_par_iter` source).
+/// Items are moved out by raw reads; the allocation is freed on drop.  Items
+/// never produced (possible only if a sibling chunk panicked) are leaked —
+/// safe, and the price of not tracking per-item liveness.
+pub struct VecParIter<T> {
+    ptr: *mut T,
+    len: usize,
+    cap: usize,
+}
+
+// SAFETY: items are moved out at most once per index (produce contract).
+unsafe impl<T: Send> Send for VecParIter<T> {}
+unsafe impl<T: Send> Sync for VecParIter<T> {}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn produce(&self, index: usize) -> T {
+        assert!(index < self.len);
+        // SAFETY: in-bounds; each element is read (moved) at most once.
+        unsafe { std::ptr::read(self.ptr.add(index)) }
+    }
+}
+
+impl<T> Drop for VecParIter<T> {
+    fn drop(&mut self) {
+        // SAFETY: reconstitute the allocation with length 0: the buffer is
+        // freed without dropping elements (moved-out ones must not drop
+        // again; never-produced ones leak, which is safe).
+        unsafe {
+            drop(Vec::from_raw_parts(self.ptr, 0, self.cap));
+        }
+    }
+}
+
+/// Parallel iterator over an integer range (the `(a..b).into_par_iter()`
+/// source).
+pub struct RangeParIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            unsafe fn produce(&self, index: usize) -> $t {
+                assert!(index < self.len);
+                self.start + index as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeParIter<$t>;
+
+            fn into_par_iter(self) -> RangeParIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeParIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+/// Parallel iterator over disjoint mutable chunks of a slice (the
+/// `par_chunks_mut` source).
+pub struct ChunksParIterMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    marker: std::marker::PhantomData<&'data mut [T]>,
+}
+
+// SAFETY: chunks at distinct indices are disjoint element ranges.
+unsafe impl<T: Send> Send for ChunksParIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksParIterMut<'_, T> {}
+
+impl<'data, T: Send + 'data> ParallelIterator for ChunksParIterMut<'data, T> {
+    type Item = &'data mut [T];
+
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+
+    unsafe fn produce(&self, index: usize) -> &'data mut [T] {
+        let start = index * self.chunk;
+        assert!(start < self.len);
+        let size = self.chunk.min(self.len - start);
+        // SAFETY: [start, start + size) ranges of distinct indices are
+        // disjoint and in-bounds; exclusivity per the produce contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), size) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits (the `rayon::prelude` surface)
+// ---------------------------------------------------------------------------
+
+/// Types convertible into an owning parallel iterator
+/// (`vec.into_par_iter()`, `(0..n).into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        let mut vec = std::mem::ManuallyDrop::new(self);
+        VecParIter {
+            ptr: vec.as_mut_ptr(),
+            len: vec.len(),
+            cap: vec.capacity(),
+        }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn into_par_iter(self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn into_par_iter(self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `par_iter()` for borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a shared reference).
+    type Item: Send + 'data;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate over `&self` in parallel.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn par_iter(&'data self) -> SliceParIter<'data, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut()` for mutably borrowed collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type (an exclusive reference).
+    type Item: Send + 'data;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate over `&mut self` in parallel.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = SliceParIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> SliceParIterMut<'data, T> {
+        SliceParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = SliceParIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> SliceParIterMut<'data, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// `par_chunks_mut()` for slices: disjoint mutable chunks processed in
+/// parallel (used e.g. to scatter multi-RHS columns into a packed buffer).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into chunks of `chunk_size` (last one possibly shorter).
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParIterMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ChunksParIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: chunk_size,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection
+// ---------------------------------------------------------------------------
+
+/// A raw pointer wrapper shareable across workers; each worker writes a
+/// disjoint index range.
+struct SendPtr<T>(*mut T);
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Containers buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the container, preserving source order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Vec<T> {
+        let len = par.len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let base = SendPtr(out.as_mut_ptr());
+        let par_ref = &par;
+        pool::run_indexed(len, &move |start, end| {
+            let base = base;
+            for i in start..end {
+                // SAFETY: chunks partition 0..len (produce-once), slot `i`
+                // is within the reserved capacity and written exactly once.
+                unsafe { base.0.add(i).write(par_ref.produce(i)) };
+            }
+        });
+        // SAFETY: all `len` slots were initialized (a panic would have
+        // propagated out of `run_indexed` before this point, leaving the
+        // vector at length 0 and leaking the initialized items).
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<P: ParallelIterator<Item = Result<T, E>>>(par: P) -> Self {
+        let results: Vec<Result<T, E>> = Vec::from_par_iter(par);
+        // Sequential fold in index order: the error returned is the one at
+        // the smallest index, matching the sequential short-circuit.
+        results.into_iter().collect()
+    }
+}

@@ -1,136 +1,244 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, with a **real work-stealing
+//! thread pool** behind the same API surface.
 //!
-//! The workspace uses rayon only as a data-parallel executor for batched
-//! kernels and per-level node loops; every call site is correct under
-//! sequential execution (that is what `Device::sequential()` tests assert).
-//! With no crates.io access in the build container, this crate provides:
+//! The build container has no crates.io access, so this vendored crate
+//! provides the subset of rayon the workspace uses — but, unlike the
+//! early sequential shim, the parallel operations now actually execute in
+//! parallel:
 //!
-//! * [`join`] — real fork-join parallelism on `std::thread::scope`, with a
-//!   global cap on concurrently spawned threads so recursive fork trees
-//!   stay bounded;
-//! * the parallel-iterator adapters mapped onto plain **sequential**
-//!   iterators.  Rows labelled "parallel" in the bench tables therefore
-//!   measure the same single-threaded execution as their serial
-//!   counterparts wherever the parallelism came from `par_iter` (the
-//!   README states this limitation).  The paper-facing metering (launch
-//!   counts, flop counters, batch sizes) is unaffected either way: it is
-//!   recorded by the virtual device, not by the execution strategy.
+//! * [`join`] — fork-join on the pool, with the second arm stealable by
+//!   idle workers and taken back by the caller when it finishes first;
+//! * the parallel iterators of [`prelude`] (`par_iter`, `par_iter_mut`,
+//!   `into_par_iter` over slices/vectors/ranges, `par_chunks_mut`, with
+//!   `map` / `enumerate` / `for_each` / `collect` / `sum`), driven over
+//!   chunked index ranges by the work-stealing pool in the private `pool`
+//!   module;
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] — explicit pools with a chosen
+//!   thread count, and a process-global pool configured by the
+//!   `HODLR_NUM_THREADS` environment variable (falling back to
+//!   `RAYON_NUM_THREADS`, then to the machine's logical parallelism).
+//!
+//! # Thread count
+//!
+//! `num_threads` counts *participants*: the pool spawns `num_threads - 1`
+//! workers and the submitting thread always takes part, so
+//! `HODLR_NUM_THREADS=1` runs strictly on the calling thread (no worker
+//! threads are spawned at all) and `HODLR_NUM_THREADS=8` uses at most 8
+//! threads of compute.
+//!
+//! # Determinism
+//!
+//! Parallel loops split `0..len` into chunks whose boundaries depend only
+//! on `len`, `collect` writes item `i` into slot `i`, and `sum` reduces in
+//! index order — so every operation built on this crate returns bitwise
+//! identical results at 1, 2 or 64 threads (the workspace's determinism
+//! tests assert this end to end).  Panics in parallel bodies are caught,
+//! the batch is drained, and the first panic is re-thrown on the caller.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod iter;
+mod pool;
 
-/// Concurrently spawned [`join`] arms, bounded to keep recursive fork
-/// trees from exhausting OS threads.
-static ACTIVE_JOINS: AtomicUsize = AtomicUsize::new(0);
+pub use iter::{
+    ChunksParIterMut, Enumerate, FromParallelIterator, IntoParallelIterator,
+    IntoParallelRefIterator, IntoParallelRefMutIterator, Map, ParallelIterator, ParallelSliceMut,
+    RangeParIter, SliceParIter, SliceParIterMut, VecParIter,
+};
+
+use std::sync::Arc;
 
 /// Run two closures, potentially in parallel, and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+///
+/// The second closure is published to the pool where an idle worker may
+/// steal it; if none does by the time the first closure finishes, the
+/// calling thread runs it inline (so `join` never waits on a busy pool to
+/// make progress).  If either closure panics, the other still runs to
+/// completion before the panic is propagated.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
     RA: Send,
     RB: Send,
 {
-    let cap = 2 * current_num_threads();
-    if ACTIVE_JOINS.fetch_add(1, Ordering::Relaxed) < cap {
-        let out = std::thread::scope(|scope| {
-            let handle = scope.spawn(b);
-            let ra = a();
-            let rb = handle
-                .join()
-                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-            (ra, rb)
-        });
-        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
-        out
-    } else {
-        ACTIVE_JOINS.fetch_sub(1, Ordering::Relaxed);
-        (a(), b())
+    pool::join(oper_a, oper_b)
+}
+
+/// Number of threads (participants) of the current pool: the innermost
+/// [`ThreadPool::install`] scope, the worker's own pool, or the global pool.
+pub fn current_num_threads() -> usize {
+    pool::current_registry().num_threads()
+}
+
+/// Error returned when a pool cannot be built (currently only when the
+/// global pool is initialized twice).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message)
     }
 }
 
-/// Number of worker threads the pool would have; used only to pick panel
-/// sizes, so the machine's logical parallelism is a faithful answer.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`]s (and for the global pool).
+///
+/// ```
+/// use rayon::prelude::*;
+///
+/// let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+/// let squares: Vec<u64> = pool.install(|| (0u64..64).into_par_iter().map(|i| i * i).collect());
+/// assert_eq!(squares[63], 63 * 63);
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (thread count from the environment:
+    /// `HODLR_NUM_THREADS`, then `RAYON_NUM_THREADS`, then the machine).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the number of participating threads (0 = use the default).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = if num_threads == 0 {
+            None
+        } else {
+            Some(num_threads)
+        };
+        self
+    }
+
+    fn resolved_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(pool::default_num_threads)
+    }
+
+    /// Build an explicit pool.  Dropping the returned [`ThreadPool`] shuts
+    /// its workers down.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let (registry, handles) = pool::Registry::new(self.resolved_num_threads());
+        Ok(ThreadPool { registry, handles })
+    }
+
+    /// Initialize the process-global pool with this configuration.
+    ///
+    /// # Errors
+    /// Fails if the global pool has already been created (explicitly or by
+    /// first use).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        pool::set_global_registry(self.resolved_num_threads()).map_err(|()| ThreadPoolBuildError {
+            message: "the global thread pool has already been initialized",
+        })
+    }
+}
+
+/// An explicit work-stealing thread pool; see [`ThreadPoolBuilder`].
+///
+/// Parallel operations run inside [`install`](ThreadPool::install) execute
+/// on this pool instead of the global one — the workspace's determinism
+/// tests use this to compare runs at 1, 2 and 8 threads within a single
+/// process.
+pub struct ThreadPool {
+    registry: Arc<pool::Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool as the current thread's submission target.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        pool::with_registry(&self.registry, op)
+    }
+
+    /// Number of participating threads of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 pub mod prelude {
     //! The adapter traits, mirroring `rayon::prelude`.
-
-    /// `into_par_iter()` for owned collections and ranges; hands back the
-    /// plain sequential iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for rayon's `into_par_iter`.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
-
-    /// `par_iter()` for borrowed collections.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The sequential iterator type standing in for the parallel one.
-        type Iter: Iterator;
-
-        /// Sequential stand-in for rayon's `par_iter`.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    /// `par_iter_mut()` for mutably borrowed collections.
-    pub trait IntoParallelRefMutIterator<'data> {
-        /// The sequential iterator type standing in for the parallel one.
-        type Iter: Iterator;
-
-        /// Sequential stand-in for rayon's `par_iter_mut`.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
-        }
-    }
-
-    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
-        type Iter = std::slice::IterMut<'data, T>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
-    fn adapters_behave_like_sequential_iterators() {
+    fn adapters_match_sequential_semantics() {
         let v = vec![1, 2, 3, 4];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
-        let sum: i32 = (0..5).into_par_iter().sum();
+        let sum: i32 = (0i32..5).into_par_iter().sum();
         assert_eq!(sum, 10);
-        let mut out = Vec::new();
-        v.into_par_iter()
-            .enumerate()
-            .for_each(|(i, x)| out.push((i, x)));
-        assert_eq!(out.len(), 4);
+        let indexed: Vec<(usize, i32)> = v.into_par_iter().enumerate().collect();
+        assert_eq!(indexed, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn collect_preserves_order_at_scale() {
+        let n = 10_000usize;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3).collect();
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i * 3);
+        }
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_first_error() {
+        let ok: Result<Vec<usize>, String> = (0..100usize).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<usize>, usize> = (0..100usize)
+            .into_par_iter()
+            .map(|i| if i >= 40 { Err(i) } else { Ok(i) })
+            .collect();
+        // Index order: the smallest failing index wins, as in a sequential
+        // short-circuiting collect.
+        assert_eq!(err.unwrap_err(), 40);
+    }
+
+    #[test]
+    fn par_iter_mut_hands_out_disjoint_elements() {
+        let mut v = vec![0usize; 257];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_the_slice() {
+        let mut v = vec![0u32; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = c as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[63], 0);
+        assert_eq!(v[64], 1);
+        assert_eq!(v[999], (999 / 64) as u32);
     }
 
     #[test]
@@ -151,5 +259,125 @@ mod tests {
             a + b
         }
         assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_arm() {
+        let r = std::panic::catch_unwind(|| super::join(|| panic!("arm a"), || 2));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| super::join(|| 1, || panic!("arm b")));
+        assert!(r.is_err());
+        // Pool remains usable.
+        assert_eq!(super::join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn for_each_panic_propagates_and_pool_survives() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..100usize).into_par_iter().for_each(|i| {
+                    if i == 13 {
+                        panic!("boom");
+                    }
+                });
+            })
+        }));
+        assert!(r.is_err());
+        let total: usize = pool.install(|| (0..100usize).into_par_iter().sum());
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn explicit_pools_control_thread_count() {
+        let pool1 = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(pool1.current_num_threads(), 1);
+        assert_eq!(pool1.install(super::current_num_threads), 1);
+        let pool3 = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool3.install(super::current_num_threads), 3);
+        // Nested installs: innermost wins, outer is restored afterwards.
+        let nested = pool3.install(|| pool1.install(super::current_num_threads));
+        assert_eq!(nested, 1);
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        // With 8 participants and 64 sleepy items, at least one worker
+        // thread (distinct from the caller) must execute something.  This
+        // holds even on a single-core machine: workers are real OS threads.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        });
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct > 1,
+            "only {distinct} distinct threads participated"
+        );
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_no_workers_and_stays_on_caller() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let caller = std::thread::current().id();
+        pool.install(|| {
+            (0..32usize).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+        });
+    }
+
+    #[test]
+    fn float_sums_are_bitwise_identical_across_thread_counts() {
+        let values: Vec<f64> = (0..4097).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sequential: f64 = values.iter().sum();
+        for threads in [1, 2, 8] {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let parallel: f64 = pool.install(|| values.par_iter().map(|&x| x).sum::<f64>());
+            assert_eq!(
+                parallel.to_bits(),
+                sequential.to_bits(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let count = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..8usize).into_par_iter().for_each(|_| {
+                (0..8usize).into_par_iter().for_each(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
     }
 }

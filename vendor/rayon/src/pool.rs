@@ -1,0 +1,724 @@
+//! The work-stealing execution engine behind [`join`](crate::join) and the
+//! parallel iterators.
+//!
+//! # Architecture
+//!
+//! A [`Registry`] owns `num_threads - 1` worker threads (the thread that
+//! submits work is always the `num_threads`-th participant).  Each worker
+//! owns a double-ended job queue; work it pushes itself is popped LIFO from
+//! the back (cache-warm, depth-first), while other workers *steal* FIFO from
+//! the front (breadth-first, the classic work-stealing discipline).  Threads
+//! that are not workers submit through a shared injector queue.
+//!
+//! Two kinds of jobs exist:
+//!
+//! * [`IndexedBatch`] — a parallel loop over `0..len`, split into chunks
+//!   whose size depends **only on `len`** (never on the thread count), so
+//!   that order-sensitive reductions built on top of it are bitwise
+//!   deterministic at every thread count.  The batch is driven by an atomic
+//!   claim counter: every participating thread (the submitter plus any
+//!   worker that picked the batch up) grabs the next unclaimed chunk until
+//!   none remain, which load-balances without per-chunk allocations.
+//! * [`JoinJob`] — the second arm of a `join`, claimed either by a thief or
+//!   by the submitting thread itself when it finishes the first arm first.
+//!
+//! # Blocking and deadlock freedom
+//!
+//! A thread that waits for a batch or a join arm never sleeps: it first
+//! claims chunks of its own batch, then *helps* — pops or steals unrelated
+//! jobs and executes them — and only yields when every queue is empty.
+//! Because a blocked thread can always execute the work it is waiting for
+//! (or the work that work is waiting for, recursively), nested parallelism
+//! cannot deadlock.
+//!
+//! # Panic propagation
+//!
+//! Panics inside a chunk or a join arm are caught on the executing thread,
+//! stored, and re-thrown on the submitting thread once the whole batch has
+//! completed (the remaining chunks still run, so buffers shared with the
+//! batch are never left with outstanding writers).
+//!
+//! # Safety
+//!
+//! Jobs are reference-counted ([`Arc`]) and type-erased into [`JobRef`]s.
+//! A job may be executed *stale* — popped from a queue after its batch has
+//! logically completed — in which case it must not touch borrowed caller
+//! state.  `IndexedBatch` guarantees this by re-checking the claim counter
+//! (a completed batch has no unclaimed chunks, and the borrowed `body` is
+//! only reachable through a successful claim); `JoinJob` by an atomic
+//! state machine whose closure slot is emptied by whichever side wins the
+//! claim.  The submitting thread never returns before every chunk / the
+//! join arm has finished executing, so borrowed state outlives every access.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Job representation
+// ---------------------------------------------------------------------------
+
+/// A unit of schedulable work.  `run` must tolerate being called at any time
+/// between enqueue and pool shutdown, including after the logical completion
+/// of the operation it belongs to (see the module docs on stale execution).
+trait Job: Send + Sync {
+    fn run(&self);
+}
+
+/// A type-erased, reference-counted job pointer (an `Arc<J>` turned into a
+/// raw pointer plus a monomorphized trampoline).  Executing it reconstitutes
+/// and consumes the `Arc`.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is an `Arc<J>` with `J: Job` (`Send + Sync`).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    fn new<J: Job>(job: Arc<J>) -> JobRef {
+        JobRef {
+            data: Arc::into_raw(job) as *const (),
+            execute_fn: execute_job::<J>,
+        }
+    }
+
+    fn execute(self) {
+        // SAFETY: `data`/`execute_fn` were paired by `new`.
+        unsafe { (self.execute_fn)(self.data) }
+    }
+}
+
+unsafe fn execute_job<J: Job>(data: *const ()) {
+    // SAFETY: reverses the `Arc::into_raw` in `JobRef::new`; called once.
+    let job = unsafe { Arc::from_raw(data as *const J) };
+    job.run();
+}
+
+// ---------------------------------------------------------------------------
+// Registry: worker threads, queues, sleeping
+// ---------------------------------------------------------------------------
+
+/// One worker's double-ended job queue.
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+/// Wake/sleep coordination: a generation counter bumped on every job push
+/// (so a worker that finds all queues empty can re-check that nothing
+/// arrived between its scan and its decision to sleep) plus the shutdown
+/// flag consulted by the worker loop.
+struct Sleep {
+    state: Mutex<SleepState>,
+    condvar: Condvar,
+}
+
+struct SleepState {
+    generation: u64,
+    shutdown: bool,
+}
+
+/// The shared state of one thread pool: worker queues, the injector used by
+/// non-worker threads, and the sleep machinery.
+pub(crate) struct Registry {
+    workers: Vec<WorkerQueue>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Sleep,
+    /// Configured parallelism, *including* the submitting thread; the pool
+    /// spawns `num_threads - 1` workers.
+    num_threads: usize,
+}
+
+thread_local! {
+    /// Stack of (registry, worker index) contexts for the current thread.
+    /// Workers push their own registry permanently; `ThreadPool::install`
+    /// pushes a temporary entry.  Empty means "use the global pool".
+    static CURRENT: std::cell::RefCell<Vec<(Arc<Registry>, Option<usize>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+static GLOBAL_HANDLES: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+
+/// Parse a thread-count environment value: positive integers pass through,
+/// anything else (absent, empty, junk, zero) yields `None`.
+pub(crate) fn parse_thread_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The default thread count of the global pool: `HODLR_NUM_THREADS`, then
+/// `RAYON_NUM_THREADS`, then the machine's logical parallelism.
+pub(crate) fn default_num_threads() -> usize {
+    parse_thread_env(std::env::var("HODLR_NUM_THREADS").ok().as_deref())
+        .or_else(|| parse_thread_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .clamp(1, MAX_THREADS)
+}
+
+/// Hard cap on configured parallelism, guarding against absurd env values.
+const MAX_THREADS: usize = 1024;
+
+/// The registry the current thread submits to: the innermost installed pool
+/// (or the worker's own pool), else the lazily created global pool.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    CURRENT
+        .with(|c| c.borrow().last().map(|(r, _)| r.clone()))
+        .unwrap_or_else(global_registry)
+}
+
+/// The global pool, created on first use with [`default_num_threads`] (or
+/// earlier by `ThreadPoolBuilder::build_global`).
+pub(crate) fn global_registry() -> Arc<Registry> {
+    GLOBAL
+        .get_or_init(|| {
+            let (registry, handles) = Registry::new(default_num_threads());
+            GLOBAL_HANDLES.lock().unwrap().extend(handles);
+            registry
+        })
+        .clone()
+}
+
+/// Install the global registry explicitly; fails if it already exists.
+pub(crate) fn set_global_registry(num_threads: usize) -> Result<(), ()> {
+    let mut installed = false;
+    GLOBAL.get_or_init(|| {
+        installed = true;
+        let (registry, handles) = Registry::new(num_threads);
+        GLOBAL_HANDLES.lock().unwrap().extend(handles);
+        registry
+    });
+    if installed {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+/// If the current thread is a worker of `registry`, its worker index.
+fn current_worker_index(registry: &Arc<Registry>) -> Option<usize> {
+    CURRENT.with(|c| {
+        c.borrow().last().and_then(
+            |(r, idx)| {
+                if Arc::ptr_eq(r, registry) {
+                    *idx
+                } else {
+                    None
+                }
+            },
+        )
+    })
+}
+
+impl Registry {
+    /// Create a registry with `num_threads` logical participants, spawning
+    /// `num_threads - 1` OS worker threads.
+    pub(crate) fn new(num_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let num_threads = num_threads.clamp(1, MAX_THREADS);
+        let workers = (0..num_threads.saturating_sub(1))
+            .map(|_| WorkerQueue {
+                jobs: Mutex::new(VecDeque::new()),
+            })
+            .collect();
+        let registry = Arc::new(Registry {
+            workers,
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Sleep {
+                state: Mutex::new(SleepState {
+                    generation: 0,
+                    shutdown: false,
+                }),
+                condvar: Condvar::new(),
+            },
+            num_threads,
+        });
+        let handles = (0..registry.workers.len())
+            .map(|index| {
+                let registry = registry.clone();
+                std::thread::Builder::new()
+                    .name(format!("hodlr-worker-{index}"))
+                    .spawn(move || worker_loop(registry, index))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Enqueue a job: onto the current worker's own queue when submitting
+    /// from inside this pool (stealable LIFO locality), else the injector.
+    /// One job became available, so one sleeper is woken — waking the whole
+    /// pool per push would stampede the queue mutexes on join-heavy paths.
+    fn push_job(self: &Arc<Self>, job: JobRef) {
+        match current_worker_index(self) {
+            Some(idx) => self.workers[idx].jobs.lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.bump_generation();
+        self.sleep.condvar.notify_one();
+    }
+
+    /// Record an event (job pushed / batch completed) so that threads about
+    /// to sleep re-scan instead; see [`Registry::sleep_unless_event`].
+    fn bump_generation(&self) {
+        let mut state = self.sleep.state.lock().unwrap();
+        state.generation = state.generation.wrapping_add(1);
+    }
+
+    /// Wake *every* sleeping thread: used when a batch or join arm
+    /// completes (several threads may be blocked on that one event).
+    pub(crate) fn notify_all(&self) {
+        self.bump_generation();
+        self.sleep.condvar.notify_all();
+    }
+
+    /// Current event generation; pass to [`Registry::sleep_unless_event`].
+    fn generation(&self) -> u64 {
+        self.sleep.state.lock().unwrap().generation
+    }
+
+    /// Whether [`Registry::terminate`] has been called.
+    fn is_shutdown(&self) -> bool {
+        self.sleep.state.lock().unwrap().shutdown
+    }
+
+    /// Sleep until the next event, unless one happened since `snapshot` was
+    /// taken (then return immediately).  Every event — job push, batch or
+    /// join-arm completion, shutdown — bumps the generation under the same
+    /// lock before signalling, so the snapshot re-check makes a lost wakeup
+    /// impossible and the wait needs no timeout; spurious wake-ups are
+    /// harmless because every caller loops on its own completion condition.
+    fn sleep_unless_event(&self, snapshot: u64) {
+        let guard = self.sleep.state.lock().unwrap();
+        if guard.shutdown || guard.generation != snapshot {
+            return;
+        }
+        let _unused = self.sleep.condvar.wait(guard).unwrap();
+    }
+
+    /// Find a job from worker `idx`'s perspective: own queue LIFO, then the
+    /// injector, then steal FIFO from the other workers.
+    fn find_job(&self, idx: usize) -> Option<JobRef> {
+        if let Some(job) = self.workers[idx].jobs.lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let w = self.workers.len();
+        for k in 1..w {
+            let victim = (idx + k) % w;
+            if let Some(job) = self.workers[victim].jobs.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Find a job from a non-worker thread's perspective (the submitting
+    /// thread helping while it waits): injector first, then steal.
+    fn find_job_external(&self) -> Option<JobRef> {
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        for worker in &self.workers {
+            if let Some(job) = worker.jobs.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Execute one queued job on the calling thread, if any is available.
+    /// Used by waiting threads so that blocking always makes progress.
+    fn help_one(self: &Arc<Self>) -> bool {
+        let job = match current_worker_index(self) {
+            Some(idx) => self.find_job(idx),
+            None => self.find_job_external(),
+        };
+        match job {
+            Some(job) => {
+                job.execute();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Signal shutdown; workers drain their queues and exit.
+    pub(crate) fn terminate(&self) {
+        self.sleep.state.lock().unwrap().shutdown = true;
+        self.sleep.condvar.notify_all();
+    }
+}
+
+/// `ThreadPool::install` support: run `op` with `registry` as the current
+/// thread's submission target, restoring the previous target afterwards
+/// (also on panic).
+pub(crate) fn with_registry<R>(registry: &Arc<Registry>, op: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CURRENT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    CURRENT.with(|c| c.borrow_mut().push((registry.clone(), None)));
+    let _guard = Guard;
+    op()
+}
+
+fn worker_loop(registry: Arc<Registry>, index: usize) {
+    CURRENT.with(|c| c.borrow_mut().push((registry.clone(), Some(index))));
+    loop {
+        // Snapshot the generation *before* scanning, so a push that races
+        // with the scan is caught by the sleep helper's re-check.
+        let snapshot = registry.generation();
+        if let Some(job) = registry.find_job(index) {
+            // Jobs catch panics from user code internally; this outer guard
+            // only keeps a worker alive should that invariant ever break.
+            let _ = catch_unwind(AssertUnwindSafe(|| job.execute()));
+            continue;
+        }
+        if registry.is_shutdown() {
+            return;
+        }
+        registry.sleep_unless_event(snapshot);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Indexed batches (parallel loops)
+// ---------------------------------------------------------------------------
+
+/// Upper bound on the number of chunks an indexed batch is split into.  The
+/// chunk size is a function of `len` **only** — never of the thread count —
+/// so chunk boundaries (and therefore any chunk-ordered reduction) are
+/// identical at 1, 2 or 64 threads.
+const MAX_CHUNKS: usize = 256;
+
+struct IndexedBatch {
+    /// The pool the batch runs on; used to broadcast completion so blocked
+    /// waiters can sleep instead of busy-spinning.
+    registry: Arc<Registry>,
+    /// The loop body, called as `body(chunk_start, chunk_end)`.  Lifetime is
+    /// erased; see the module safety notes — the body is only dereferenced
+    /// through a successful chunk claim, which cannot happen after the
+    /// submitting thread (which owns the referent) has returned.
+    body: *const (dyn Fn(usize, usize) + Sync),
+    len: usize,
+    chunk: usize,
+    /// Next unclaimed index (claims advance in `chunk` steps).
+    next: AtomicUsize,
+    /// Completed item count; the batch is done when this reaches `len`.
+    finished: AtomicUsize,
+    /// First panic payload raised by any chunk.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: the body pointer is only dereferenced while the submitting thread
+// is blocked in `run_indexed` (argued above); everything else is atomics.
+unsafe impl Send for IndexedBatch {}
+unsafe impl Sync for IndexedBatch {}
+
+impl Job for IndexedBatch {
+    fn run(&self) {
+        self.work();
+    }
+}
+
+impl IndexedBatch {
+    /// Claim and execute chunks until none remain.
+    fn work(&self) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.len {
+                return;
+            }
+            let end = (start + self.chunk).min(self.len);
+            // SAFETY: a successful claim implies the submitter is still
+            // blocked in `run_indexed`, so the referent is alive.
+            let body = unsafe { &*self.body };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(start, end))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            // Release pairs with the Acquire load in the submitter's wait
+            // loop, publishing the chunk's writes before completion is seen.
+            let done = self.finished.fetch_add(end - start, Ordering::Release) + (end - start);
+            if done == self.len {
+                // Last chunk: wake every thread blocked on this batch.
+                self.registry.notify_all();
+            }
+        }
+    }
+}
+
+/// Execute `body(start, end)` over disjoint chunks covering `0..len`, in
+/// parallel on the current pool.  Returns when every chunk has completed;
+/// re-throws the first panic any chunk raised.
+pub(crate) fn run_indexed(len: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let registry = current_registry();
+    if registry.num_threads() <= 1 || len == 1 {
+        body(0, len);
+        return;
+    }
+
+    let chunk = len.div_ceil(len.min(MAX_CHUNKS));
+    let num_chunks = len.div_ceil(chunk);
+
+    // Erase the body's lifetime so it can be stored in the Arc-owned batch;
+    // validity is enforced by blocking below until `finished == len`.
+    let body_ptr: *const (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(body) };
+    let batch = Arc::new(IndexedBatch {
+        registry: registry.clone(),
+        body: body_ptr,
+        len,
+        chunk,
+        next: AtomicUsize::new(0),
+        finished: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    });
+
+    // One stealable handle per potential helper; the submitting thread is
+    // the remaining participant.
+    let helpers = (registry.num_threads() - 1).min(num_chunks.saturating_sub(1));
+    for _ in 0..helpers {
+        registry.push_job(JobRef::new(batch.clone()));
+    }
+
+    // Claim chunks on this thread too, then help with unrelated work until
+    // stragglers (chunks claimed by other threads) have finished.
+    batch.work();
+    while batch.finished.load(Ordering::Acquire) < len {
+        // Snapshot before re-checking: if the last straggler broadcasts
+        // completion after this point, the sleep helper will not block.
+        let snapshot = registry.generation();
+        if batch.finished.load(Ordering::Acquire) >= len {
+            break;
+        }
+        if !registry.help_one() {
+            registry.sleep_unless_event(snapshot);
+        }
+    }
+
+    let payload = batch.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+const PENDING: u8 = 0;
+const TAKEN: u8 = 1;
+const DONE: u8 = 2;
+
+/// The second arm of a `join`, claimable exactly once: by a thief worker or
+/// by the submitting thread taking it back.
+struct JoinJob<B, RB> {
+    registry: Arc<Registry>,
+    state: AtomicU8,
+    task: Mutex<Option<B>>,
+    result: Mutex<Option<std::thread::Result<RB>>>,
+}
+
+impl<B, RB> JoinJob<B, RB>
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    fn new(registry: Arc<Registry>, task: B) -> Self {
+        JoinJob {
+            registry,
+            state: AtomicU8::new(PENDING),
+            task: Mutex::new(Some(task)),
+            result: Mutex::new(None),
+        }
+    }
+
+    /// Run the arm if nobody has claimed it yet.
+    fn try_run(&self) {
+        if self
+            .state
+            .compare_exchange(PENDING, TAKEN, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            let task = self.task.lock().unwrap().take().expect("join arm present");
+            let result = catch_unwind(AssertUnwindSafe(task));
+            *self.result.lock().unwrap() = Some(result);
+            self.state.store(DONE, Ordering::Release);
+            // Wake the submitter if it went to sleep waiting for this arm.
+            self.registry.notify_all();
+        }
+    }
+
+    /// Wait (helping with other pool work) until the arm has run, and return
+    /// its result.
+    fn wait(&self, registry: &Arc<Registry>) -> std::thread::Result<RB> {
+        self.try_run();
+        while self.state.load(Ordering::Acquire) != DONE {
+            let snapshot = registry.generation();
+            if self.state.load(Ordering::Acquire) == DONE {
+                break;
+            }
+            if !registry.help_one() {
+                registry.sleep_unless_event(snapshot);
+            }
+        }
+        self.result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("join result present")
+    }
+}
+
+impl<B, RB> Job for JoinJob<B, RB>
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    fn run(&self) {
+        self.try_run();
+    }
+}
+
+/// Run two closures, potentially in parallel, and return both results.  See
+/// [`crate::join`] for the public documentation.
+pub(crate) fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = current_registry();
+    if registry.num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+
+    let job = Arc::new(JoinJob::new(registry.clone(), oper_b));
+    registry.push_job(JobRef::new(job.clone()));
+
+    // Even if the first arm panics we must wait for the second: it may
+    // borrow state from our caller's frame.
+    let ra = catch_unwind(AssertUnwindSafe(oper_a));
+    let rb = job.wait(&registry);
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => std::panic::resume_unwind(payload),
+        (_, Err(payload)) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_accepts_only_positive_integers() {
+        assert_eq!(parse_thread_env(None), None);
+        assert_eq!(parse_thread_env(Some("")), None);
+        assert_eq!(parse_thread_env(Some("zero")), None);
+        assert_eq!(parse_thread_env(Some("0")), None);
+        assert_eq!(parse_thread_env(Some("-3")), None);
+        assert_eq!(parse_thread_env(Some("8")), Some(8));
+        assert_eq!(parse_thread_env(Some(" 12 ")), Some(12));
+    }
+
+    #[test]
+    fn chunking_depends_only_on_len() {
+        // For a given len, the chunk size must be the same whatever the
+        // thread count, so chunk-ordered reductions stay deterministic.
+        for len in [1usize, 2, 7, 255, 256, 257, 1000, 1 << 20] {
+            let chunk = len.div_ceil(len.min(MAX_CHUNKS));
+            assert!(chunk >= 1);
+            assert!(len.div_ceil(chunk) <= MAX_CHUNKS);
+        }
+    }
+
+    #[test]
+    fn run_indexed_covers_every_index_exactly_once() {
+        let (registry, handles) = Registry::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        with_registry(&registry, || {
+            run_indexed(hits.len(), &|start, end| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        registry.terminate();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn run_indexed_propagates_panics_after_completion() {
+        let (registry, handles) = Registry::new(3);
+        let completed = AtomicUsize::new(0);
+        let result = with_registry(&registry, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_indexed(100, &|start, end| {
+                    for i in start..end {
+                        if i == 37 {
+                            panic!("chunk failure");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }))
+        });
+        assert!(result.is_err());
+        // Every non-panicking index still ran: the pool drains the batch
+        // before re-throwing, so no chunk is abandoned mid-buffer.
+        assert_eq!(completed.load(Ordering::Relaxed), 99);
+        // The pool stays usable after a panic.
+        let ok = AtomicUsize::new(0);
+        with_registry(&registry, || {
+            run_indexed(10, &|s, e| {
+                ok.fetch_add(e - s, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 10);
+        registry.terminate();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_thread_registry_runs_inline() {
+        let (registry, handles) = Registry::new(1);
+        assert!(handles.is_empty());
+        let count = AtomicUsize::new(0);
+        with_registry(&registry, || {
+            run_indexed(17, &|s, e| {
+                count.fetch_add(e - s, Ordering::Relaxed);
+            });
+            let (a, b) = join(|| 1, || 2);
+            assert_eq!((a, b), (1, 2));
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+    }
+}
