@@ -3,7 +3,9 @@
 //! O(N log^2 N) and O(N) guide lines.
 
 use hodlr_bench::harness::fitted_exponent;
-use hodlr_bench::{measure_solvers, print_csv, rpy_hodlr, MeasureConfig, SolverRow};
+use hodlr_bench::{
+    measure_solvers, print_csv, rpy_hodlr, write_solver_json, MeasureConfig, SolverRow,
+};
 
 fn main() {
     let args = hodlr_bench::parse_args(
@@ -47,4 +49,5 @@ fn main() {
             );
         }
     }
+    write_solver_json("fig5", &rows);
 }

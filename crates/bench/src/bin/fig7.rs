@@ -1,13 +1,16 @@
 //! Fig. 7: scaling of the Table IV solvers (CSV series + fitted exponents).
 
 use hodlr_bench::harness::fitted_exponent;
-use hodlr_bench::{laplace_hodlr, measure_solvers, print_csv, MeasureConfig, SolverRow};
+use hodlr_bench::{
+    laplace_hodlr, measure_solvers, print_csv, write_solver_json, MeasureConfig, SolverRow,
+};
 
 fn main() {
     let args = hodlr_bench::parse_args(
         &[1 << 10, 1 << 11, 1 << 12, 1 << 13],
         &[1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22],
     );
+    let mut all_rows: Vec<SolverRow> = Vec::new();
     for (label, tol) in [("high accuracy", 1e-12), ("low accuracy", 1e-4)] {
         let mut rows: Vec<SolverRow> = Vec::new();
         for &n in &args.sizes {
@@ -41,5 +44,7 @@ fn main() {
             }
         }
         println!();
+        all_rows.extend(rows);
     }
+    write_solver_json("fig7", &all_rows);
 }

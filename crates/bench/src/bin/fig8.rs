@@ -2,13 +2,16 @@
 //! solver on the Helmholtz workload.
 
 use hodlr_bench::workloads::resolved_kappa;
-use hodlr_bench::{helmholtz_hodlr, measure_solvers, print_csv, MeasureConfig, SolverRow};
+use hodlr_bench::{
+    helmholtz_hodlr, measure_solvers, print_csv, write_solver_json, MeasureConfig, SolverRow,
+};
 
 fn main() {
     let args = hodlr_bench::parse_args(
         &[1 << 10, 1 << 11, 1 << 12],
         &[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19],
     );
+    let mut all_rows: Vec<SolverRow> = Vec::new();
     for (label, tol) in [("high accuracy", 1e-10), ("low accuracy", 1e-4)] {
         let mut rows: Vec<SolverRow> = Vec::new();
         for &n in &args.sizes {
@@ -41,5 +44,7 @@ fn main() {
             }
         }
         println!();
+        all_rows.extend(rows);
     }
+    write_solver_json("fig8", &all_rows);
 }

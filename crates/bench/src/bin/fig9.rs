@@ -3,13 +3,14 @@
 //! solver, analytic Theorem-3/4 counts for the others).
 
 use hodlr_bench::workloads::resolved_kappa;
-use hodlr_bench::{helmholtz_hodlr, measure_solvers, MeasureConfig};
+use hodlr_bench::{helmholtz_hodlr, measure_solvers, write_solver_json, MeasureConfig, SolverRow};
 
 fn main() {
     let args = hodlr_bench::parse_args(
         &[1 << 10, 1 << 11, 1 << 12],
         &[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19],
     );
+    let mut all_rows: Vec<SolverRow> = Vec::new();
     println!("# Fig. 9: GFlop/s for the Helmholtz workload (high accuracy)");
     println!("solver,N,factor_gflops,solve_gflops");
     for &n in &args.sizes {
@@ -31,6 +32,8 @@ fn main() {
                 row.factor_gflops.unwrap_or(f64::NAN),
                 row.solve_gflops.unwrap_or(f64::NAN)
             );
+            all_rows.push(row);
         }
     }
+    write_solver_json("fig9", &all_rows);
 }

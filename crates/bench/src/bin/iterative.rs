@@ -10,7 +10,6 @@ use hodlr_bench::iterative::{
 };
 use hodlr_bench::workloads::resolved_kappa;
 use hodlr_bench::{helmholtz_hodlr, laplace_hodlr, rpy_hodlr, write_iterative_json};
-use std::path::PathBuf;
 
 fn main() {
     let args = hodlr_bench::parse_args(&[1 << 10], &[1 << 13]);
@@ -60,9 +59,7 @@ fn main() {
     all_rows.extend(rows);
 
     // Machine-readable perf trajectory for cross-PR comparison.
-    let json_path = std::env::var_os("HODLR_BENCH_JSON")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_iterative.json"));
+    let json_path = hodlr_bench::json::bench_json_path("iterative");
     match write_iterative_json(&json_path, &all_rows) {
         Ok(()) => println!("wrote {} rows to {}", all_rows.len(), json_path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", json_path.display()),

@@ -1,7 +1,9 @@
 //! Table III: RPY kernel matrices — HODLRlib-style CPU solver vs the
 //! batched (GPU-style) solver, plus the serial flattened solver.
 
-use hodlr_bench::{measure_solvers, print_table, rpy_hodlr, MeasureConfig, SolverRow};
+use hodlr_bench::{
+    measure_solvers, print_table, rpy_hodlr, write_solver_json, MeasureConfig, SolverRow,
+};
 
 fn main() {
     let args = hodlr_bench::parse_args(
@@ -45,4 +47,5 @@ fn main() {
             );
         }
     }
+    write_solver_json("table3", &all_rows);
 }

@@ -1,13 +1,16 @@
 //! Table IV: Laplace exterior BIE (Eq. 21), high-accuracy (a) and
 //! low-accuracy (b) solvers, four-solver comparison.
 
-use hodlr_bench::{laplace_hodlr, measure_solvers, print_table, MeasureConfig};
+use hodlr_bench::{
+    laplace_hodlr, measure_solvers, print_table, write_solver_json, MeasureConfig, SolverRow,
+};
 
 fn main() {
     let args = hodlr_bench::parse_args(
         &[1 << 11, 1 << 12, 1 << 13],
         &[1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22],
     );
+    let mut all_rows: Vec<SolverRow> = Vec::new();
     for (label, tol) in [
         ("(a) high accuracy, tol 1e-12", 1e-12),
         ("(b) low accuracy, tol 1e-4", 1e-4),
@@ -24,6 +27,8 @@ fn main() {
             };
             let rows = measure_solvers(&matrix, &config);
             print_table(&format!("Table IV {label}, N = {n}"), &rows);
+            all_rows.extend(rows);
         }
     }
+    write_solver_json("table4", &all_rows);
 }

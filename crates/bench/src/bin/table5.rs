@@ -2,13 +2,16 @@
 //! direct solver (a) and low-accuracy preconditioner (b).
 
 use hodlr_bench::workloads::resolved_kappa;
-use hodlr_bench::{helmholtz_hodlr, measure_solvers, print_table, MeasureConfig};
+use hodlr_bench::{
+    helmholtz_hodlr, measure_solvers, print_table, write_solver_json, MeasureConfig, SolverRow,
+};
 
 fn main() {
     let args = hodlr_bench::parse_args(
         &[1 << 10, 1 << 11, 1 << 12],
         &[1 << 15, 1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20],
     );
+    let mut all_rows: Vec<SolverRow> = Vec::new();
     for (label, tol) in [
         ("(a) high accuracy, tol 1e-10", 1e-10),
         ("(b) low accuracy, tol 1e-4", 1e-4),
@@ -29,6 +32,8 @@ fn main() {
                 &format!("Table V {label}, kappa = eta = {kappa:.1}, N = {n}"),
                 &rows,
             );
+            all_rows.extend(rows);
         }
     }
+    write_solver_json("table5", &all_rows);
 }

@@ -1,14 +1,27 @@
 //! Machine-readable bench output: a tiny hand-rolled JSON emitter (no
-//! serde in the offline container) for the iterative scenario family.
+//! serde in the offline container) for every bench family.
 //!
-//! The `iterative` binary writes `BENCH_iterative.json` next to its table
-//! output so successive PRs accumulate a perf trajectory that tooling can
-//! diff: each element records the scenario, problem size, thread count,
-//! wall-clock times, and the device-metered launch/flop totals.
+//! Each bench binary writes a `BENCH_<name>.json` next to its table output
+//! so successive PRs accumulate a perf trajectory that tooling can diff:
+//!
+//! * the `iterative` binary emits [`IterativeRow`]s (scenario, problem
+//!   size, thread count, wall-clock times, device-metered launch/flop
+//!   totals);
+//! * the fig/table binaries emit [`SolverRow`]s (solver, size, threads,
+//!   factor/solve times, memory, residual, metered GFLOP/s);
+//! * the `kernels` binary emits [`KernelRow`]s (kernel, scalar type, dims,
+//!   threads, GFLOP/s, blocked-vs-reference speedup, bitwise-determinism
+//!   verdict).
+//!
+//! [`write_solver_json`] resolves the output path like the `iterative`
+//! binary does: `HODLR_BENCH_JSON` overrides the default
+//! `BENCH_<name>.json` in the working directory.
 
+use crate::harness::SolverRow;
 use crate::iterative::IterativeRow;
+use crate::kernels::KernelRow;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Escape a string for inclusion in a JSON string literal.
 fn escape(s: &str) -> String {
@@ -74,6 +87,106 @@ pub fn write_iterative_json(path: &Path, rows: &[IterativeRow]) -> std::io::Resu
     file.write_all(iterative_rows_to_json(rows).as_bytes())
 }
 
+/// An optional float as JSON (`null` when absent or non-finite).
+fn opt_number(v: Option<f64>) -> String {
+    match v {
+        Some(v) => number(v),
+        None => "null".to_string(),
+    }
+}
+
+/// Render solver-table rows (the fig/table binaries) as a JSON array.
+pub fn solver_rows_to_json(rows: &[SolverRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"solver\": \"{}\", ", escape(&row.solver)));
+        out.push_str(&format!("\"n\": {}, ", row.n));
+        out.push_str(&format!("\"threads\": {}, ", row.threads));
+        out.push_str(&format!("\"t_factor_s\": {}, ", number(row.t_factor)));
+        out.push_str(&format!("\"t_solve_s\": {}, ", number(row.t_solve)));
+        out.push_str(&format!("\"mem_gib\": {}, ", number(row.mem_gib)));
+        out.push_str(&format!("\"relres\": {}, ", number(row.relres)));
+        out.push_str(&format!(
+            "\"factor_gflops\": {}, ",
+            opt_number(row.factor_gflops)
+        ));
+        out.push_str(&format!(
+            "\"solve_gflops\": {}",
+            opt_number(row.solve_gflops)
+        ));
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Resolve the output path for a bench family: `HODLR_BENCH_JSON` wins,
+/// otherwise `BENCH_<name>.json` in the working directory.
+pub fn bench_json_path(name: &str) -> PathBuf {
+    std::env::var_os("HODLR_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{name}.json")))
+}
+
+/// Write rendered JSON to the family's path, reporting the outcome on
+/// stdout/stderr (bench bins must not fail the run on an unwritable path).
+fn write_bench_json(name: &str, rendered: &str, row_count: usize) {
+    let path = bench_json_path(name);
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(rendered.as_bytes())) {
+        Ok(()) => println!("wrote {row_count} rows to {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Write fig/table solver rows to the family's JSON path.
+pub fn write_solver_json(name: &str, rows: &[SolverRow]) {
+    write_bench_json(name, &solver_rows_to_json(rows), rows.len());
+}
+
+/// Render kernel-bench rows as a JSON array.
+pub fn kernel_rows_to_json(rows: &[KernelRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"kernel\": \"{}\", ", escape(&row.kernel)));
+        out.push_str(&format!("\"scalar\": \"{}\", ", escape(&row.scalar)));
+        out.push_str(&format!("\"m\": {}, ", row.m));
+        out.push_str(&format!("\"n\": {}, ", row.n));
+        out.push_str(&format!("\"k\": {}, ", row.k));
+        out.push_str(&format!("\"threads\": {}, ", row.threads));
+        out.push_str(&format!("\"time_s\": {}, ", number(row.time_s)));
+        out.push_str(&format!("\"gflops\": {}, ", number(row.gflops)));
+        out.push_str(&format!(
+            "\"speedup_vs_reference\": {}, ",
+            opt_number(row.speedup_vs_reference)
+        ));
+        out.push_str(&format!(
+            "\"bitwise_vs_1thread\": {}",
+            match row.bitwise_vs_1thread {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            }
+        ));
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write kernel rows to the family's JSON path (see [`bench_json_path`]).
+pub fn write_kernel_json(name: &str, rows: &[KernelRow]) {
+    write_bench_json(name, &kernel_rows_to_json(rows), rows.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +230,58 @@ mod tests {
     fn multiple_rows_are_comma_separated() {
         let json = iterative_rows_to_json(&[sample_row(), sample_row()]);
         assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn solver_rows_render_required_fields() {
+        let row = SolverRow {
+            solver: "GPU HODLR Solver".into(),
+            n: 4096,
+            t_factor: 1.25,
+            t_solve: 0.03,
+            mem_gib: 0.5,
+            relres: 2e-11,
+            factor_gflops: Some(3.5),
+            solve_gflops: None,
+            threads: 2,
+        };
+        let json = solver_rows_to_json(&[row]);
+        for key in [
+            "\"solver\": \"GPU HODLR Solver\"",
+            "\"n\": 4096",
+            "\"threads\": 2",
+            "\"solve_gflops\": null",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn kernel_rows_render_required_fields() {
+        let row = KernelRow {
+            kernel: "gemm".into(),
+            scalar: "f64".into(),
+            m: 1024,
+            n: 1024,
+            k: 1024,
+            threads: 8,
+            time_s: 0.25,
+            gflops: 8.6,
+            speedup_vs_reference: Some(5.0),
+            bitwise_vs_1thread: Some(true),
+        };
+        let json = kernel_rows_to_json(&[row]);
+        for key in [
+            "\"kernel\": \"gemm\"",
+            "\"scalar\": \"f64\"",
+            "\"m\": 1024",
+            "\"threads\": 8",
+            "\"speedup_vs_reference\": 5e0",
+            "\"bitwise_vs_1thread\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | `fig9` | Fig. 9 | GFlop/s of factorization and solve |
 //! | `ranks` | Appendix | per-level off-diagonal rank profiles |
 //! | `iterative` | Table V(b) extension | preconditioned GMRES/BiCGStab/mixed-precision over all three workloads |
+//! | `kernels` | (infrastructure) | gemm/LU/QR GFLOP/s by size, scalar and thread count vs the naive reference kernel |
 //!
 //! Every binary accepts `--full` to run the paper's original problem sizes
 //! (hours on a laptop; the defaults are scaled down so a full sweep finishes
@@ -29,21 +30,28 @@
 //! paper (see DESIGN.md for the substitution argument).
 //!
 //! Every row records the rayon pool size in a `threads` column (set
-//! `HODLR_NUM_THREADS` to sweep it), and the `iterative` binary
-//! additionally emits machine-readable `BENCH_iterative.json` (scenario,
-//! `n`, threads, wall-times, launches, flops — see [`json`]) so successive
-//! PRs accumulate a comparable perf trajectory.
+//! `HODLR_NUM_THREADS` to sweep it), and every binary additionally emits a
+//! machine-readable `BENCH_<name>.json` (see [`json`]; override the path
+//! with `HODLR_BENCH_JSON`) so successive PRs accumulate a comparable perf
+//! trajectory.  The `kernels` binary (`--smoke` for the CI-sized sweep) is
+//! the dense-kernel trajectory: gemm/LU/QR GFLOP/s, blocked-vs-reference
+//! speedup, and bitwise-determinism verdicts across 1/2/8-thread pools.
 
 pub mod harness;
 pub mod iterative;
 pub mod json;
+pub mod kernels;
 pub mod workloads;
 
 pub use harness::{measure_solvers, print_csv, print_table, MeasureConfig, SolverRow};
 pub use iterative::{
     measure_block_direct, measure_iterative, print_iterative_table, IterativeConfig, IterativeRow,
 };
-pub use json::{iterative_rows_to_json, write_iterative_json};
+pub use json::{
+    iterative_rows_to_json, kernel_rows_to_json, solver_rows_to_json, write_iterative_json,
+    write_kernel_json, write_solver_json,
+};
+pub use kernels::{print_kernel_table, run_kernel_bench, KernelBenchConfig, KernelRow};
 pub use workloads::{
     helmholtz_hodlr, kernel_hodlr, laplace_hodlr, parse_args, rpy_hodlr, SweepArgs,
 };

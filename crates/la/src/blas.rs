@@ -1,9 +1,60 @@
 //! Level-2/3 BLAS style kernels: `gemm`, `gemv` and friends.
 //!
-//! The GEMM kernel is a cache-blocked, register-tiled triple loop with an
-//! optional rayon-parallel outer loop over column panels.  It supports the
-//! `N`/`T`/`C` operation codes of BLAS through [`Op`], which is what the
-//! HODLR factorization needs (`V^H * Y` products use `Op::ConjTrans`).
+//! # Kernel design
+//!
+//! [`gemm`] is a packed, register-tiled, cache-blocked BLAS-3 kernel in the
+//! GotoBLAS/BLIS/faer style.  Large products run through three layers:
+//!
+//! 1. **Register microkernel** — an [`GEMM_MR`]`x`[`GEMM_NR`] tile of `C` is
+//!    held in unrolled accumulators (`[[T; MR]; NR]` locals) while streaming
+//!    one column of packed `A` and one row of packed `B` per `k` step.  The
+//!    fixed-size inner loops autovectorize for `f32`/`f64` and stay correct
+//!    (scalar) for complex fields.
+//! 2. **Packing** — `op_a(A)` is repacked into column-major micro-panels of
+//!    [`GEMM_MR`] rows and `op_b(B)` into row-major micro-panels of
+//!    [`GEMM_NR`] columns, so the microkernel reads both operands
+//!    contiguously regardless of the requested [`Op`] or the view strides.
+//!    Conjugation is folded into the pack.  The pack buffers are allocated
+//!    once per parallel tile task and reused across every `k` block of that
+//!    tile (the previous kernel copied all of `op_a(A)` on every call).
+//! 3. **Cache blocking** — the `k` dimension is processed in slabs of
+//!    [`GEMM_KC`], each tile packs at most [`GEMM_MC`]`x`[`GEMM_KC`] of `A`
+//!    (sized for L2) and [`GEMM_KC`]`x`[`GEMM_NC`] of `B` (sized for L3).
+//!
+//! **Tuning:** `GEMM_MR`/`GEMM_NR` set the register footprint of the
+//! microkernel (`MR*NR` accumulators; 8x4 fills a 16-register SIMD file at
+//! f64x2 and still fits when the compiler promotes to wider vectors);
+//! `GEMM_KC` bounds the packed panel depth so an `MR x KC` A-strip plus an
+//! `NR x KC` B-strip stay L1-resident; `GEMM_MC` (a multiple of `MR`) sizes
+//! the packed A panel for L2; `GEMM_NC` (a multiple of `NR`) sets the width
+//! of a parallel column tile.  Raise `GEMM_MC`/`GEMM_KC` on machines with
+//! larger private caches; shrink `GEMM_NC` to expose more parallel tiles for
+//! wide products.
+//!
+//! # Parallelism and determinism
+//!
+//! Products above [`GEMM_DIRECT_THRESHOLD`] multiply-adds are split over a
+//! fixed grid of `GEMM_MC x GEMM_NC` tiles of `C`.  Tile boundaries depend
+//! only on `(m, n)` — never on the thread count — and each tile accumulates
+//! its `k` slabs sequentially in ascending order, so every entry of `C` sees
+//! the same floating-point operation order at any pool size: results are
+//! **bitwise identical at any thread count**, preserving the repo-wide
+//! determinism contract (see ARCHITECTURE.md).  Because the grid covers rows
+//! as well as columns, tall-skinny products (the rank-width `V^H * Y`
+//! updates that dominate HODLR factorization) parallelize too.
+//!
+//! # Small products
+//!
+//! Below [`GEMM_DIRECT_THRESHOLD`] the kernel uses an unpacked direct path:
+//! when `op_a == Op::None` the columns of `A` are read in place (columns of
+//! a strided view are always contiguous), so small products do **no**
+//! repacking at all; transposed operands use dot-product form on contiguous
+//! columns.  The previous implementation copied all of `op_a(A)` even when
+//! it was already stored exactly as needed.
+//!
+//! The old axpy-per-column kernel is retained as [`gemm_reference`]: it is
+//! the oracle for property tests and the baseline the `kernels` bench bin
+//! (BENCH_kernels.json) measures speedups against.
 
 use crate::dense::{MatMut, MatRef};
 use crate::scalar::Scalar;
@@ -57,17 +108,32 @@ pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
     2 * m as u64 * n as u64 * k as u64
 }
 
-/// Threshold (in multiply-adds) above which `gemm` parallelises over columns.
-const PAR_THRESHOLD: usize = 64 * 64 * 64;
+/// Rows of one register microtile for real scalars (the unit of A packing).
+pub const GEMM_MR: usize = 8;
+/// Columns of one register microtile for real scalars (the unit of B
+/// packing).
+pub const GEMM_NR: usize = 4;
+/// Microtile rows for complex scalars (half-size: a complex accumulator is
+/// two reals wide, and an 8x4 complex tile would spill to the stack).
+pub const GEMM_MR_COMPLEX: usize = 4;
+/// Microtile columns for complex scalars.
+pub const GEMM_NR_COMPLEX: usize = 2;
+/// Depth of one cache slab: an `MR x KC` A-strip + `NR x KC` B-strip fit L1.
+pub const GEMM_KC: usize = 256;
+/// Rows of one packed A panel (multiple of [`GEMM_MR`]; sized for L2).
+pub const GEMM_MC: usize = 96;
+/// Columns of one parallel tile (multiple of [`GEMM_NR`]; sized for L3).
+pub const GEMM_NC: usize = 512;
 
-/// Upper bound on the number of column panels a parallel `gemm` splits `C`
-/// into (subject to the 8-column minimum panel width).
-const MAX_PANELS: usize = 64;
+/// Multiply-add count below which [`gemm`] runs the unpacked direct path.
+pub const GEMM_DIRECT_THRESHOLD: usize = 64 * 64 * 64;
 
 /// General matrix-matrix multiply:
 /// `C <- alpha * op_a(A) * op_b(B) + beta * C`.
 ///
 /// Shapes must satisfy `op_a(A): m x k`, `op_b(B): k x n`, `C: m x n`.
+///
+/// Results are bitwise identical at any thread count (see the module docs).
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -106,41 +172,83 @@ pub fn gemm<T: Scalar>(
         return;
     }
 
-    // Pack op_a(A) once into a column-major m x k buffer: every inner kernel
-    // then streams contiguous columns regardless of the requested op.
-    let a_packed = pack(a, op_a);
-
-    let work = m * n * k;
-    if work >= PAR_THRESHOLD && n > 1 {
-        // Parallelise over disjoint column panels of C.  Panel boundaries
-        // are a function of `n` only — never of the thread count — so the
-        // work decomposition (and any future panel-level blocking) cannot
-        // introduce thread-count-dependent results; the work-stealing pool
-        // balances the fixed panels across however many workers exist.
-        let panel = n.div_ceil(MAX_PANELS).max(8).min(n);
-        let ld_c = c.ld();
-        let c_cols = collect_col_ranges(n, panel);
-        // SAFETY: the panels index disjoint column ranges of C, so the raw
-        // pointer writes below never alias.  The pointer wrapper is confined
-        // to this scope.
-        let c_ptr = SendPtr(c.col_mut(0).as_mut_ptr());
-        c_cols.into_par_iter().for_each(|(j0, j1)| {
-            // Rebound by value so each worker captures its own copy of the
-            // pointer wrapper rather than a shared borrow.
-            #[allow(clippy::redundant_locals)]
-            let c_ptr = c_ptr;
-            for j in j0..j1 {
-                let c_col = unsafe { std::slice::from_raw_parts_mut(c_ptr.0.add(j * ld_c), m) };
-                gemm_col(alpha, &a_packed, m, k, &b, op_b, j, c_col);
-            }
-        });
+    if m * n * k < GEMM_DIRECT_THRESHOLD {
+        gemm_direct(alpha, &a, op_a, &b, op_b, &mut c, m, n, k);
+    } else if T::IS_COMPLEX {
+        // Complex accumulators are twice as wide; a smaller register tile
+        // avoids spilling the accumulator block to the stack.
+        gemm_blocked::<T, GEMM_MR_COMPLEX, GEMM_NR_COMPLEX>(
+            alpha, &a, op_a, &b, op_b, &mut c, m, n, k,
+        );
     } else {
-        for j in 0..n {
-            let c_col = c.col_mut(j);
-            gemm_col(alpha, &a_packed, m, k, &b, op_b, j, c_col);
+        gemm_blocked::<T, GEMM_MR, GEMM_NR>(alpha, &a, op_a, &b, op_b, &mut c, m, n, k);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Direct path: small products, no packing.
+// ---------------------------------------------------------------------------
+
+/// Unpacked kernel for small products (C already beta-scaled).
+///
+/// For `op_a == Op::None` the columns of `A` are used in place — no repack.
+/// For transposed `A` the product is computed in dot form over the
+/// contiguous columns of `A` as stored.
+#[allow(clippy::too_many_arguments)]
+fn gemm_direct<T: Scalar>(
+    alpha: T,
+    a: &MatRef<'_, T>,
+    op_a: Op,
+    b: &MatRef<'_, T>,
+    op_b: Op,
+    c: &mut MatMut<'_, T>,
+    _m: usize,
+    n: usize,
+    k: usize,
+) {
+    match op_a {
+        Op::None => {
+            for j in 0..n {
+                let c_col = c.col_mut(j);
+                for p in 0..k {
+                    let scale = alpha * op_b.at(b, p, j);
+                    if scale == T::zero() {
+                        continue;
+                    }
+                    axpy_slice(scale, a.col(p), c_col);
+                }
+            }
+        }
+        Op::Trans | Op::ConjTrans => {
+            // op_a(A)[i, p] = (conj?) a[p, i]: row i of op_a(A) is the
+            // contiguous stored column i of A.
+            let conj_a = op_a == Op::ConjTrans;
+            let mut b_col: Vec<T> = Vec::new();
+            for j in 0..n {
+                let b_slice: &[T] = if op_b == Op::None {
+                    b.col(j)
+                } else {
+                    b_col.clear();
+                    b_col.extend((0..k).map(|p| op_b.at(b, p, j)));
+                    &b_col
+                };
+                let c_col = c.col_mut(j);
+                for (i, ci) in c_col.iter_mut().enumerate() {
+                    let acc = if conj_a {
+                        dot_conj(a.col(i), b_slice)
+                    } else {
+                        dot(a.col(i), b_slice)
+                    };
+                    *ci += alpha * acc;
+                }
+            }
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Blocked path: packed panels + register microkernel.
+// ---------------------------------------------------------------------------
 
 /// A raw pointer that may be sent across rayon worker threads.  Safety is
 /// established at the use site: each task writes a disjoint region.
@@ -149,75 +257,277 @@ struct SendPtr<T>(*mut T);
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 
-/// Pack `op(A)` into a contiguous column-major buffer.
-fn pack<T: Scalar>(a: MatRef<'_, T>, op: Op) -> Vec<T> {
-    let m = op.rows_of(&a);
-    let k = op.cols_of(&a);
-    let mut buf = Vec::with_capacity(m * k);
-    match op {
-        Op::None => {
-            for p in 0..k {
-                buf.extend_from_slice(a.col(p));
-            }
+#[inline]
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// Blocked kernel (C already beta-scaled, `alpha != 0`, `k > 0`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked<T: Scalar, const MR: usize, const NR: usize>(
+    alpha: T,
+    a: &MatRef<'_, T>,
+    op_a: Op,
+    b: &MatRef<'_, T>,
+    op_b: Op,
+    c: &mut MatMut<'_, T>,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    // Fixed tile grid over C: boundaries depend only on (m, n), never on the
+    // thread count, so the floating-point accumulation order per entry of C
+    // is invariant under the pool size.
+    let mut tiles: Vec<(usize, usize, usize, usize)> = Vec::new();
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = GEMM_MC.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = GEMM_NC.min(n - j0);
+            tiles.push((i0, ib, j0, jb));
+            j0 += jb;
         }
-        Op::Trans => {
-            for p in 0..k {
-                for i in 0..m {
-                    buf.push(a.get(p, i));
+        i0 += ib;
+    }
+
+    let ld_c = c.ld();
+    // SAFETY: the tiles index disjoint (row, column) windows of C, so the
+    // raw pointer writes in `run_tile` never alias.  The pointer wrapper is
+    // confined to this scope.
+    let c_ptr = SendPtr(c.col_mut(0).as_mut_ptr());
+
+    let run_tile = move |&(i0, ib, j0, jb): &(usize, usize, usize, usize)| {
+        // Rebound by value so each worker captures its own copy of the
+        // pointer wrapper rather than a shared borrow.
+        #[allow(clippy::redundant_locals)]
+        let c_ptr = c_ptr;
+        let kc = GEMM_KC.min(k);
+        // Per-task pack workspaces, reused across every k slab of the tile.
+        let mut a_buf = vec![T::zero(); round_up(ib, MR) * kc];
+        let mut b_buf = vec![T::zero(); round_up(jb, NR) * kc];
+
+        let mut p0 = 0;
+        while p0 < k {
+            let pb = GEMM_KC.min(k - p0);
+            pack_a::<T, MR>(a, op_a, i0, ib, p0, pb, &mut a_buf);
+            pack_b::<T, NR>(b, op_b, p0, pb, j0, jb, &mut b_buf);
+
+            let mut jr = 0;
+            while jr < jb {
+                let nrv = NR.min(jb - jr);
+                let bp = &b_buf[(jr / NR) * pb * NR..][..pb * NR];
+                let mut ir = 0;
+                while ir < ib {
+                    let mrv = MR.min(ib - ir);
+                    let ap = &a_buf[(ir / MR) * pb * MR..][..pb * MR];
+                    let acc = microkernel::<T, MR, NR>(pb, ap, bp);
+                    // C[i0+ir.., j0+jr..] += alpha * acc (valid region only).
+                    for (jj, acc_col) in acc.iter().enumerate().take(nrv) {
+                        // SAFETY: this column segment lies inside the tile's
+                        // disjoint window of C.
+                        let col = unsafe {
+                            std::slice::from_raw_parts_mut(
+                                c_ptr.0.add((j0 + jr + jj) * ld_c + i0 + ir),
+                                mrv,
+                            )
+                        };
+                        for (ci, &v) in col.iter_mut().zip(acc_col) {
+                            *ci += alpha * v;
+                        }
+                    }
+                    ir += MR;
                 }
+                jr += NR;
             }
+            p0 += pb;
         }
-        Op::ConjTrans => {
-            for p in 0..k {
-                for i in 0..m {
-                    buf.push(a.get(p, i).conj());
-                }
+    };
+
+    if tiles.len() > 1 {
+        tiles.par_iter().for_each(run_tile);
+    } else {
+        tiles.iter().for_each(run_tile);
+    }
+}
+
+/// The register microkernel: accumulate
+/// `acc[j][i] = sum_p ap[p*MR + i] * bp[p*NR + j]` over one packed k slab.
+///
+/// The fixed-size accumulator array lives in registers; the `MR`-wide inner
+/// loop reads packed A contiguously and autovectorizes for real scalars.
+#[inline(always)]
+fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
+    pb: usize,
+    ap: &[T],
+    bp: &[T],
+) -> [[T; MR]; NR] {
+    let mut acc = [[T::zero(); MR]; NR];
+    for p in 0..pb {
+        let av: &[T; MR] = ap[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[T; NR] = bp[p * NR..p * NR + NR].try_into().unwrap();
+        for (acc_col, &bj) in acc.iter_mut().zip(bv.iter()) {
+            for (acc_ij, &ai) in acc_col.iter_mut().zip(av.iter()) {
+                *acc_ij += ai * bj;
             }
         }
     }
-    buf
+    acc
 }
 
-/// Compute one column of C: `c_col += alpha * A_packed * op_b(B)[:, j]`,
-/// where `A_packed` is column-major `m x k`.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn gemm_col<T: Scalar>(
-    alpha: T,
-    a_packed: &[T],
-    m: usize,
-    k: usize,
-    b: &MatRef<'_, T>,
-    op_b: Op,
-    j: usize,
-    c_col: &mut [T],
+/// Pack `op(A)[i0..i0+ib, p0..p0+pb]` into micro-panels of [`GEMM_MR`] rows:
+/// panel `ir/MR` stores, for each `p`, `MR` consecutive rows (zero-padded at
+/// the ragged edge).  Conjugation is applied here so the microkernel never
+/// branches on the op.
+fn pack_a<T: Scalar, const MR: usize>(
+    a: &MatRef<'_, T>,
+    op: Op,
+    i0: usize,
+    ib: usize,
+    p0: usize,
+    pb: usize,
+    buf: &mut [T],
 ) {
-    match op_b {
-        Op::None => {
-            let b_col = b.col(j);
-            for (p, &bpj) in b_col.iter().enumerate().take(k) {
-                let scale = alpha * bpj;
-                if scale == T::zero() {
-                    continue;
+    let mut off = 0;
+    let mut ir = 0;
+    while ir < ib {
+        let mrv = MR.min(ib - ir);
+        match op {
+            Op::None => {
+                for p in 0..pb {
+                    let src = &a.col(p0 + p)[i0 + ir..i0 + ir + mrv];
+                    let dst = &mut buf[off + p * MR..off + p * MR + MR];
+                    dst[..mrv].copy_from_slice(src);
+                    dst[mrv..].fill(T::zero());
                 }
-                let a_col = &a_packed[p * m..(p + 1) * m];
-                axpy_slice(scale, a_col, c_col);
+            }
+            Op::Trans | Op::ConjTrans => {
+                let conj = op == Op::ConjTrans;
+                // op(A)[i0+ir+i, p0+p] = a[p0+p, i0+ir+i]: row `i` of the
+                // panel is the contiguous stored column `i0+ir+i` of A.
+                for i in 0..mrv {
+                    let src = &a.col(i0 + ir + i)[p0..p0 + pb];
+                    for (p, &v) in src.iter().enumerate() {
+                        buf[off + p * MR + i] = if conj { v.conj() } else { v };
+                    }
+                }
+                for i in mrv..MR {
+                    for p in 0..pb {
+                        buf[off + p * MR + i] = T::zero();
+                    }
+                }
             }
         }
-        _ => {
-            for p in 0..k {
-                let bpj = match op_b {
-                    Op::Trans => b.get(j, p),
-                    Op::ConjTrans => b.get(j, p).conj(),
-                    Op::None => unreachable!(),
-                };
-                let scale = alpha * bpj;
-                if scale == T::zero() {
-                    continue;
+        off += pb * MR;
+        ir += MR;
+    }
+}
+
+/// Pack `op(B)[p0..p0+pb, j0..j0+jb]` into micro-panels of [`GEMM_NR`]
+/// columns: panel `jr/NR` stores, for each `p`, `NR` consecutive columns
+/// (zero-padded at the ragged edge), conjugated as requested.
+fn pack_b<T: Scalar, const NR: usize>(
+    b: &MatRef<'_, T>,
+    op: Op,
+    p0: usize,
+    pb: usize,
+    j0: usize,
+    jb: usize,
+    buf: &mut [T],
+) {
+    let mut off = 0;
+    let mut jr = 0;
+    while jr < jb {
+        let nrv = NR.min(jb - jr);
+        match op {
+            Op::None => {
+                for j in 0..nrv {
+                    let src = &b.col(j0 + jr + j)[p0..p0 + pb];
+                    for (p, &v) in src.iter().enumerate() {
+                        buf[off + p * NR + j] = v;
+                    }
                 }
-                let a_col = &a_packed[p * m..(p + 1) * m];
-                axpy_slice(scale, a_col, c_col);
+                for j in nrv..NR {
+                    for p in 0..pb {
+                        buf[off + p * NR + j] = T::zero();
+                    }
+                }
             }
+            Op::Trans | Op::ConjTrans => {
+                let conj = op == Op::ConjTrans;
+                // op(B)[p0+p, j0+jr+j] = b[j0+jr+j, p0+p]: column `p` of the
+                // packed slab is the contiguous stored column `p0+p` of B.
+                for p in 0..pb {
+                    let src = &b.col(p0 + p)[j0 + jr..j0 + jr + nrv];
+                    let dst = &mut buf[off + p * NR..off + p * NR + NR];
+                    for (d, &v) in dst[..nrv].iter_mut().zip(src) {
+                        *d = if conj { v.conj() } else { v };
+                    }
+                    dst[nrv..].fill(T::zero());
+                }
+            }
+        }
+        off += pb * NR;
+        jr += NR;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernel (retained) and level-1/2 helpers.
+// ---------------------------------------------------------------------------
+
+/// The retained naive reference kernel: the axpy-per-column loop that used
+/// to be `gemm`.  Sequential, packs all of `op_a(A)` per call, no register
+/// or cache blocking.  It is the oracle for the blocked-vs-reference
+/// property tests and the baseline of the `kernels` bench bin.
+pub fn gemm_reference<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    op_a: Op,
+    b: MatRef<'_, T>,
+    op_b: Op,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let m = op_a.rows_of(&a);
+    let k = op_a.cols_of(&a);
+    let k2 = op_b.rows_of(&b);
+    let n = op_b.cols_of(&b);
+    assert_eq!(k, k2, "gemm_reference: inner dimensions differ");
+    assert_eq!(c.rows(), m, "gemm_reference: C has wrong row count");
+    assert_eq!(c.cols(), n, "gemm_reference: C has wrong column count");
+
+    if m == 0 || n == 0 {
+        return;
+    }
+    if beta == T::zero() {
+        c.fill(T::zero());
+    } else if beta != T::one() {
+        for j in 0..n {
+            for x in c.col_mut(j) {
+                *x *= beta;
+            }
+        }
+    }
+    if k == 0 || alpha == T::zero() {
+        return;
+    }
+
+    // Pack op_a(A) once into a column-major m x k buffer.
+    let mut a_packed = Vec::with_capacity(m * k);
+    for p in 0..k {
+        for i in 0..m {
+            a_packed.push(op_a.at(&a, i, p));
+        }
+    }
+    for j in 0..n {
+        let c_col = c.col_mut(j);
+        for p in 0..k {
+            let scale = alpha * op_b.at(&b, p, j);
+            if scale == T::zero() {
+                continue;
+            }
+            axpy_slice(scale, &a_packed[p * m..(p + 1) * m], c_col);
         }
     }
 }
@@ -292,18 +602,6 @@ pub fn gemv<T: Scalar>(alpha: T, a: MatRef<'_, T>, op: Op, x: &[T], beta: T, y: 
             }
         }
     }
-}
-
-/// Collect `(start, end)` pairs that partition `0..n` into chunks of `panel`.
-fn collect_col_ranges(n: usize, panel: usize) -> Vec<(usize, usize)> {
-    let mut out = Vec::with_capacity(n / panel + 1);
-    let mut j = 0;
-    while j < n {
-        let end = (j + panel).min(n);
-        out.push((j, end));
-        j = end;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -407,7 +705,9 @@ mod tests {
     }
 
     #[test]
-    fn gemm_large_parallel_path() {
+    fn gemm_large_blocked_path() {
+        // 96 * 80 * 112 exceeds GEMM_DIRECT_THRESHOLD: exercises packing,
+        // the microkernel, ragged edge tiles and the parallel tile grid.
         let a = rand_mat(96, 80, 11);
         let b = rand_mat(80, 112, 12);
         let mut c = DenseMatrix::<f64>::zeros(96, 112);
@@ -422,6 +722,37 @@ mod tests {
             c.as_mut(),
         );
         assert!(c.sub(&expect).norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn gemm_blocked_all_ops_match_reference() {
+        // Odd dims straddling the blocking boundaries, every op combo, both
+        // alpha/beta non-trivial.
+        let (m, n, k) = (101, 67, 129);
+        for op_a in [Op::None, Op::Trans, Op::ConjTrans] {
+            for op_b in [Op::None, Op::Trans, Op::ConjTrans] {
+                let (ar, ac) = if op_a == Op::None { (m, k) } else { (k, m) };
+                let (br, bc) = if op_b == Op::None { (k, n) } else { (n, k) };
+                let a = rand_mat(ar, ac, 101);
+                let b = rand_mat(br, bc, 202);
+                let mut c = rand_mat(m, n, 303);
+                let mut c_ref = c.clone();
+                gemm(1.5, a.as_ref(), op_a, b.as_ref(), op_b, -0.5, c.as_mut());
+                gemm_reference(
+                    1.5,
+                    a.as_ref(),
+                    op_a,
+                    b.as_ref(),
+                    op_b,
+                    -0.5,
+                    c_ref.as_mut(),
+                );
+                assert!(
+                    c.sub(&c_ref).norm_max() < 1e-11,
+                    "blocked vs reference mismatch for {op_a:?}/{op_b:?}"
+                );
+            }
+        }
     }
 
     #[test]

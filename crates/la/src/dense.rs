@@ -551,6 +551,38 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         self.reborrow().into_block(row, col, nrows, ncols)
     }
 
+    /// Split the view into two mutable views at column `at`: columns
+    /// `[0, at)` and `[at, cols)`.  Both halves keep the leading dimension,
+    /// so this is a safe split (each column lives entirely on one side).
+    ///
+    /// The blocked LU factorization uses this to read the already-factored
+    /// panel while updating the trailing submatrix in place.
+    pub fn split_at_col_mut(self, at: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(at <= self.cols, "split_at_col_mut: column out of range");
+        // The final column may be shorter than `ld` in the backing buffer, so
+        // splitting at `cols * ld` could reach past the end.
+        let split = if at == self.cols {
+            self.data.len()
+        } else {
+            at * self.ld
+        };
+        let (left, right) = self.data.split_at_mut(split);
+        (
+            MatMut {
+                data: left,
+                rows: self.rows,
+                cols: at,
+                ld: self.ld,
+            },
+            MatMut {
+                data: right,
+                rows: self.rows,
+                cols: self.cols - at,
+                ld: self.ld,
+            },
+        )
+    }
+
     /// Copy entries from a view of the same shape.
     pub fn copy_from(&mut self, src: MatRef<'_, T>) {
         assert_eq!(self.rows, src.rows());

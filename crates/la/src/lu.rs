@@ -29,7 +29,21 @@ impl std::fmt::Display for SingularError {
 
 impl std::error::Error for SingularError {}
 
+/// Panel width of the blocked factorization (LAPACK's `NB`).
+const GETRF_NB: usize = 64;
+
+/// Below this order the unblocked kernel runs directly (the blocked
+/// bookkeeping does not pay off on the small `2r x 2r` HODLR blocks).
+const GETRF_BLOCK_MIN: usize = 128;
+
 /// In-place LU factorization with partial pivoting (LAPACK `getrf`).
+///
+/// Blocked right-looking algorithm: panels of `GETRF_NB` columns are
+/// factorized with the unblocked kernel, then the trailing submatrix is
+/// updated with one triangular solve and one [`crate::blas::gemm`] — so the
+/// bulk of the flops run through the BLAS-3 microkernel and inherit its
+/// thread-count-independent determinism.  Matrices below
+/// `GETRF_BLOCK_MIN` use the unblocked kernel directly.
 ///
 /// On success the strictly lower triangle of `a` holds `L` (unit diagonal
 /// implicit), the upper triangle holds `U`, and the returned vector holds the
@@ -38,15 +52,92 @@ impl std::error::Error for SingularError {}
 /// Returns [`SingularError`] when a pivot is exactly zero; the factorization
 /// is left in a partially updated state in that case.
 pub fn getrf_in_place<T: Scalar>(mut a: MatMut<'_, T>) -> Result<Vec<usize>, SingularError> {
-    let n = a.rows().min(a.cols());
+    let m = a.rows();
+    let n_cols = a.cols();
+    let n = m.min(n_cols);
+    if n <= GETRF_BLOCK_MIN {
+        return getrf_unblocked(a);
+    }
+
     let mut piv = Vec::with_capacity(n);
+    let mut k = 0;
+    while k < n {
+        let ib = GETRF_NB.min(n - k);
+
+        // Factor the current panel (full remaining height) unblocked.
+        let panel_piv = match getrf_unblocked(a.block_mut(k, k, m - k, ib)) {
+            Ok(p) => p,
+            Err(e) => {
+                return Err(SingularError { pivot: k + e.pivot });
+            }
+        };
+        // Replay the panel's row interchanges on the columns outside it and
+        // record them globally.
+        for (j, &p) in panel_piv.iter().enumerate() {
+            piv.push(k + p);
+            if p != j {
+                let mut left = a.block_mut(k, 0, m - k, k);
+                swap_rows(&mut left, j, p);
+                if k + ib < n_cols {
+                    let mut right = a.block_mut(k, k + ib, m - k, n_cols - k - ib);
+                    swap_rows(&mut right, j, p);
+                }
+            }
+        }
+
+        if k + ib < n_cols {
+            let nt = n_cols - k - ib;
+            // Split so the factored panel (left) can be read while the
+            // trailing columns (right) are updated in place.
+            let (left, mut right) = a.reborrow().split_at_col_mut(k + ib);
+            let left = left.as_ref();
+
+            // U12 <- L11^{-1} A12 (unit lower triangular solve).
+            crate::triangular::solve_triangular_in_place(
+                left.block(k, k, ib, ib),
+                crate::triangular::Triangle::Lower,
+                crate::triangular::Diag::Unit,
+                right.block_mut(k, 0, ib, nt),
+            );
+
+            if k + ib < m {
+                // A22 -= L21 * U12.  U12 is copied out so the trailing block
+                // can be borrowed mutably; the copy is one panel row-slab
+                // (ib x nt) and gemm would repack it anyway.
+                let u12 = right.as_ref().block(k, 0, ib, nt).to_owned();
+                crate::blas::gemm(
+                    -T::one(),
+                    left.block(k + ib, k, m - k - ib, ib),
+                    Op::None,
+                    u12.as_ref(),
+                    Op::None,
+                    T::one(),
+                    right.block_mut(k + ib, 0, m - k - ib, nt),
+                );
+            }
+        }
+        k += ib;
+    }
+    Ok(piv)
+}
+
+/// The unblocked right-looking kernel (also the panel factorization of the
+/// blocked path).  Pivot rows are local to the view.
+fn getrf_unblocked<T: Scalar>(mut a: MatMut<'_, T>) -> Result<Vec<usize>, SingularError> {
+    let m = a.rows();
+    let n = m.min(a.cols());
+    let mut piv = Vec::with_capacity(n);
+    // Scratch for the pivot column, so the rank-1 trailing update can run on
+    // contiguous column slices.
+    let mut lcol: Vec<T> = Vec::with_capacity(m);
 
     for k in 0..n {
         // Pivot search: largest modulus in column k at or below the diagonal.
+        let col_k = a.col_mut(k);
         let mut p = k;
-        let mut best = a.get(k, k).abs();
-        for i in (k + 1)..a.rows() {
-            let v = a.get(i, k).abs();
+        let mut best = col_k[k].abs();
+        for (i, v) in col_k.iter().enumerate().skip(k + 1) {
+            let v = v.abs();
             if v > best {
                 best = v;
                 p = i;
@@ -59,23 +150,22 @@ pub fn getrf_in_place<T: Scalar>(mut a: MatMut<'_, T>) -> Result<Vec<usize>, Sin
         if p != k {
             swap_rows(&mut a, k, p);
         }
-        let pivot = a.get(k, k);
-        let pivot_inv = pivot.recip();
-        for i in (k + 1)..a.rows() {
-            let lik = a.get(i, k) * pivot_inv;
-            a.set(i, k, lik);
+        // Scale the subdiagonal of column k and stash it for the update.
+        let col_k = a.col_mut(k);
+        let pivot_inv = col_k[k].recip();
+        for v in col_k[k + 1..].iter_mut() {
+            *v *= pivot_inv;
         }
-        // Trailing update: A[k+1.., k+1..] -= L[k+1.., k] * U[k, k+1..].
+        lcol.clear();
+        lcol.extend_from_slice(&col_k[k + 1..]);
+        // Rank-1 trailing update: A[k+1.., j] -= U[k, j] * L[k+1.., k].
         for j in (k + 1)..a.cols() {
-            let ukj = a.get(k, j);
+            let col_j = a.col_mut(j);
+            let ukj = col_j[k];
             if ukj == T::zero() {
                 continue;
             }
-            for i in (k + 1)..a.rows() {
-                let lik = a.get(i, k);
-                let v = a.get(i, j) - lik * ukj;
-                a.set(i, j, v);
-            }
+            crate::blas::axpy_slice(-ukj, &lcol, &mut col_j[k + 1..]);
         }
     }
     Ok(piv)

@@ -64,27 +64,125 @@ fn householder<T: Scalar>(x: &[T]) -> (Reflector<T>, T) {
 }
 
 /// Apply `H = I - tau v v^*` to the sub-block `a` from the left: `A <- H A`.
+///
+/// Runs on contiguous column slices (`v^* a_j` as a dot product, the update
+/// as an axpy) so the rank-1 apply autovectorizes.
 fn apply_reflector_left<T: Scalar>(r: &Reflector<T>, mut a: MatMut<'_, T>) {
     if r.tau == T::zero() {
         return;
     }
-    let m = a.rows();
     let n = a.cols();
-    debug_assert_eq!(r.v.len(), m);
+    debug_assert_eq!(r.v.len(), a.rows());
     for j in 0..n {
-        // w = v^* a_j
-        let mut w = T::zero();
-        for i in 0..m {
-            w += r.v[i].conj() * a.get(i, j);
-        }
-        w *= r.tau;
+        let col = a.col_mut(j);
+        let w = r.tau * crate::blas::dot_conj(&r.v, col);
         if w == T::zero() {
             continue;
         }
-        for i in 0..m {
-            let val = a.get(i, j) - w * r.v[i];
-            a.set(i, j, val);
+        crate::blas::axpy_slice(-w, &r.v, col);
+    }
+}
+
+/// Panel width of the blocked (compact-WY) QR.
+const QR_NB: usize = 32;
+
+/// Minimum size at which `thin_qr` switches to the blocked algorithm.
+const QR_BLOCK_MIN: usize = 96;
+
+/// A compact-WY panel: `H_1 H_2 ... H_ib = I - V T V^*` where `V` is
+/// `m_p x ib` unit-lower-trapezoidal (stored explicitly with the unit
+/// diagonal and zeros above) and `T` is `ib x ib` upper triangular.
+struct WyPanel<T: Scalar> {
+    /// Row offset of the panel inside the factored matrix.
+    row: usize,
+    v: DenseMatrix<T>,
+    t: DenseMatrix<T>,
+}
+
+impl<T: Scalar> WyPanel<T> {
+    /// Build `V`/`T` from the panel's reflectors (LAPACK `larft`, forward
+    /// columnwise):  `T[0..j, j] = -tau_j * T[0..j, 0..j] * (V^* v_j)`.
+    ///
+    /// Each reflector vector must already be padded to the panel height
+    /// `m_p` (zeros above its diagonal, unit at it).
+    fn new(row: usize, m_p: usize, reflectors: &[Reflector<T>]) -> Self {
+        let ib = reflectors.len();
+        let mut v = DenseMatrix::<T>::zeros(m_p, ib);
+        for (j, r) in reflectors.iter().enumerate() {
+            debug_assert_eq!(r.v.len(), m_p);
+            v.col_mut(j).copy_from_slice(&r.v);
         }
+        let mut t = DenseMatrix::<T>::zeros(ib, ib);
+        for (j, r) in reflectors.iter().enumerate() {
+            t[(j, j)] = r.tau;
+            if j == 0 || r.tau == T::zero() {
+                continue;
+            }
+            // w = V[:, 0..j]^* v_j  (v_j is column j of V, zero above row j).
+            let mut w = vec![T::zero(); j];
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi = crate::blas::dot_conj(&v.col(i)[j..], &v.col(j)[j..]);
+            }
+            // t[0..j, j] = -tau_j * T[0..j, 0..j] * w  (T upper triangular).
+            for i in 0..j {
+                let mut acc = T::zero();
+                for (p, &wp) in w.iter().enumerate().skip(i) {
+                    acc += t[(i, p)] * wp;
+                }
+                t[(i, j)] = -r.tau * acc;
+            }
+        }
+        WyPanel { row, v, t }
+    }
+
+    /// Apply the block reflector to `a` from the left.
+    ///
+    /// `forward == false` applies `(I - V T V^*)^* = I - V T^* V^*`, i.e.
+    /// `Q_panel^*` — the trailing update during factorization.
+    /// `forward == true` applies `I - V T V^*`, i.e. `Q_panel` — used when
+    /// accumulating `Q` back-to-front.
+    ///
+    /// Either way the work is two big `gemm`s (`W = V^* A`, `A -= V W`) plus
+    /// one `ib x ib` triangular product, so the update is BLAS-3.
+    fn apply_left(&self, mut a: MatMut<'_, T>, forward: bool) {
+        let ib = self.t.rows();
+        if ib == 0 || a.cols() == 0 {
+            return;
+        }
+        let n = a.cols();
+        // W = V^* A  (ib x n).
+        let mut w = DenseMatrix::<T>::zeros(ib, n);
+        gemm(
+            T::one(),
+            self.v.as_ref(),
+            Op::ConjTrans,
+            a.as_ref(),
+            Op::None,
+            T::zero(),
+            w.as_mut(),
+        );
+        // W <- T W (forward) or T^* W (backward).  T is upper triangular
+        // with exact zeros below the diagonal, so a dense product is exact.
+        let mut tw = DenseMatrix::<T>::zeros(ib, n);
+        gemm(
+            T::one(),
+            self.t.as_ref(),
+            if forward { Op::None } else { Op::ConjTrans },
+            w.as_ref(),
+            Op::None,
+            T::zero(),
+            tw.as_mut(),
+        );
+        // A -= V (T W).
+        gemm(
+            -T::one(),
+            self.v.as_ref(),
+            Op::None,
+            tw.as_ref(),
+            Op::None,
+            T::one(),
+            a.reborrow(),
+        );
     }
 }
 
@@ -113,10 +211,14 @@ pub fn thin_qr<T: Scalar>(a: &DenseMatrix<T>) -> (DenseMatrix<T>, DenseMatrix<T>
     assert!(m > 0 && n > 0, "thin_qr: empty matrix");
     let k = m.min(n);
 
+    if m >= QR_BLOCK_MIN && n >= QR_BLOCK_MIN {
+        return thin_qr_blocked(a);
+    }
+
     let mut work = a.clone();
     let mut reflectors = Vec::with_capacity(k);
     for col in 0..k {
-        let x: Vec<T> = (col..m).map(|i| work[(i, col)]).collect();
+        let x: Vec<T> = work.col(col)[col..].to_vec();
         let (refl, beta) = householder(&x);
         // Update trailing block [col.., col..].
         apply_reflector_left(&refl, work.block_mut(col, col, m - col, n - col));
@@ -140,6 +242,73 @@ pub fn thin_qr<T: Scalar>(a: &DenseMatrix<T>) -> (DenseMatrix<T>, DenseMatrix<T>
         apply_reflector_left(&reflectors[col], q.block_mut(col, col, m - col, k - col));
     }
     (q, r)
+}
+
+/// Blocked compact-WY thin QR (LAPACK `geqrt`-style): panels of [`QR_NB`]
+/// columns are reduced with rank-1 reflector applies, then each trailing
+/// update and the accumulation of `Q` run as block reflector applies —
+/// two `gemm`s per panel — so the dominant cost is BLAS-3.
+fn thin_qr_blocked<T: Scalar>(a: &DenseMatrix<T>) -> (DenseMatrix<T>, DenseMatrix<T>) {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut work = a.clone();
+    let mut panels: Vec<WyPanel<T>> = Vec::with_capacity(k.div_ceil(QR_NB));
+
+    let mut k0 = 0;
+    while k0 < k {
+        let ib = QR_NB.min(k - k0);
+        // Reduce the panel columns with rank-1 applies (panel is narrow).
+        let mut reflectors: Vec<Reflector<T>> = Vec::with_capacity(ib);
+        for j in 0..ib {
+            let col = k0 + j;
+            let x: Vec<T> = work.col(col)[col..].to_vec();
+            let (refl, beta) = householder(&x);
+            apply_reflector_left(&refl, work.block_mut(col, col, m - col, k0 + ib - col));
+            work[(col, col)] = beta;
+            for i in (col + 1)..m {
+                work[(i, col)] = T::zero();
+            }
+            // Re-anchor the reflector to the panel's top row so the panel's
+            // V matrix is (m - k0) x ib.
+            let mut v_full = vec![T::zero(); m - k0];
+            v_full[j..].copy_from_slice(&refl.v);
+            reflectors.push(Reflector {
+                v: v_full,
+                tau: refl.tau,
+            });
+        }
+        let panel = WyPanel::new(k0, m - k0, &reflectors);
+        // Block trailing update: A2 <- (I - V T^* V^*) A2.
+        if k0 + ib < n {
+            panel.apply_left(work.block_mut(k0, k0 + ib, m - k0, n - k0 - ib), false);
+        }
+        panels.push(panel);
+        k0 += ib;
+    }
+
+    let r = work.sub_matrix(0, 0, k, n);
+
+    // Accumulate the thin Q back-to-front: Q = (I - V1 T1 V1^*) ... I.
+    let mut q = DenseMatrix::<T>::zeros(m, k);
+    for j in 0..k {
+        q[(j, j)] = T::one();
+    }
+    for panel in panels.iter().rev() {
+        let row = panel.row;
+        q_apply_panel(panel, &mut q, row, k);
+    }
+    (q, r)
+}
+
+/// Apply one WY panel to rows `row..` of the accumulating `Q` factor.
+///
+/// Columns `j < row` are skipped: panels are applied back-to-front, so at
+/// this point those columns are still `e_j` with a zero tail below `row`
+/// and the block reflector would compute an exact no-op on them.
+fn q_apply_panel<T: Scalar>(panel: &WyPanel<T>, q: &mut DenseMatrix<T>, row: usize, k: usize) {
+    let m = q.rows();
+    panel.apply_left(q.block_mut(row, row, m - row, k - row), true);
 }
 
 /// Orthonormalise the columns of `a` in place (thin Q), returning the number
@@ -247,7 +416,7 @@ pub fn pivoted_qr<T: Scalar>(
             col_norms.swap(rank, pivot);
         }
 
-        let x: Vec<T> = (rank..m).map(|i| work[(i, rank)]).collect();
+        let x: Vec<T> = work.col(rank)[rank..].to_vec();
         let (refl, beta) = householder(&x);
         apply_reflector_left(&refl, work.block_mut(rank, rank, m - rank, n - rank));
         work[(rank, rank)] = beta;
@@ -260,9 +429,8 @@ pub fn pivoted_qr<T: Scalar>(
         // Recompute the trailing column norms (exact recomputation is O(mn)
         // per step; fine for the small blocks compressed in HODLR builds and
         // avoids the classical downdating cancellation issue).
-        for j in rank..n {
-            let tail: Vec<T> = (rank..m).map(|i| work[(i, j)]).collect();
-            col_norms[j] = crate::norms::norm2(&tail);
+        for (j, norm) in col_norms.iter_mut().enumerate().skip(rank) {
+            *norm = crate::norms::norm2(&work.col(j)[rank..]);
         }
     }
 

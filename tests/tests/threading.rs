@@ -173,6 +173,77 @@ fn panics_in_parallel_tasks_propagate_and_pool_survives() {
     assert_eq!(matrix.n(), N);
 }
 
+/// The dense kernel layer itself is bitwise deterministic across pool
+/// sizes: the blocked `gemm` splits `C` into tiles whose boundaries depend
+/// only on the problem dims, and the blocked LU / compact-WY QR inherit
+/// that by routing their trailing updates through `gemm`.  This pins the
+/// contract at the layer below the solver pipeline.
+#[test]
+fn dense_kernels_bitwise_deterministic_across_thread_counts() {
+    use hodlr_la::blas::Op;
+    use hodlr_la::lu::getrf_in_place;
+    use hodlr_la::qr::thin_qr;
+    use hodlr_la::random::random_matrix;
+    use hodlr_la::DenseMatrix;
+
+    // Big enough to cross the blocked/parallel thresholds in every kernel.
+    let (m, n, k) = (260, 200, 300);
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut rng = StdRng::seed_from_u64(99);
+            let a: DenseMatrix<f64> = random_matrix(&mut rng, m, k);
+            let b: DenseMatrix<f64> = random_matrix(&mut rng, k, n);
+            let mut c = DenseMatrix::<f64>::zeros(m, n);
+            hodlr_la::gemm(
+                1.0,
+                a.as_ref(),
+                Op::None,
+                b.as_ref(),
+                Op::None,
+                0.0,
+                c.as_mut(),
+            );
+            // A^T * B exercises the packed transpose path.
+            let mut ct = DenseMatrix::<f64>::zeros(k, k);
+            hodlr_la::gemm(
+                1.0,
+                a.as_ref(),
+                Op::Trans,
+                a.as_ref(),
+                Op::None,
+                0.0,
+                ct.as_mut(),
+            );
+            let square: DenseMatrix<f64> = random_matrix(&mut rng, m, m);
+            let mut lu = square.clone();
+            let piv = getrf_in_place(lu.as_mut()).expect("nonsingular");
+            let (q, r) = thin_qr(&a);
+            (
+                c.into_data(),
+                ct.into_data(),
+                lu.into_data(),
+                piv,
+                q.into_data(),
+                r.into_data(),
+            )
+        })
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        let other = run(threads);
+        assert_eq!(base.0, other.0, "{threads}-thread gemm");
+        assert_eq!(base.1, other.1, "{threads}-thread gemm (trans)");
+        assert_eq!(base.2, other.2, "{threads}-thread LU factors");
+        assert_eq!(base.3, other.3, "{threads}-thread LU pivots");
+        assert_eq!(base.4, other.4, "{threads}-thread QR Q factor");
+        assert_eq!(base.5, other.5, "{threads}-thread QR R factor");
+    }
+}
+
 /// Wall-clock speedup of the batched factorization at 1 vs. many threads.
 /// Only meaningful on a multi-core runner, hence ignored by default; run
 /// with `cargo test -p hodlr-tests -- --ignored threading_speedup`.
