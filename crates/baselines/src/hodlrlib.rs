@@ -385,7 +385,8 @@ mod tests {
             m.ubig().clone(),
             m.vbig().clone(),
             diag,
-        );
+        )
+        .unwrap();
         assert!(HodlrlibStyleSolver::factorize(&singular).is_err());
     }
 }

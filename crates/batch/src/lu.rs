@@ -98,6 +98,28 @@ impl fmt::Display for BatchSingularError {
 
 impl std::error::Error for BatchSingularError {}
 
+impl From<BatchSingularError> for hodlr_la::HodlrError {
+    fn from(e: BatchSingularError) -> Self {
+        hodlr_la::HodlrError::SingularPivot {
+            context: "batched block".to_string(),
+            pivot: e.inner.pivot,
+            batch_index: Some(e.batch_index),
+        }
+    }
+}
+
+impl BatchSingularError {
+    /// Promote to a [`HodlrError`](hodlr_la::HodlrError) naming the failing
+    /// batch (e.g. `"leaf diagonal block"`, `"coupling matrix at level 2"`).
+    pub fn into_hodlr(self, context: impl Into<String>) -> hodlr_la::HodlrError {
+        hodlr_la::HodlrError::SingularPivot {
+            context: context.into(),
+            pivot: self.inner.pivot,
+            batch_index: Some(self.batch_index),
+        }
+    }
+}
+
 /// Factorize every block described by `descs` in place and return one pivot
 /// vector per block (`getrfBatched`).
 ///

@@ -37,10 +37,25 @@ impl Stream {
 /// A small pool of streams, handed out round-robin; mirrors the way the
 /// paper cycles independent gemms over a fixed set of CUDA streams at the
 /// top levels of the tree.
-#[derive(Clone, Debug)]
+///
+/// The round-robin cursor uses interior mutability so that a solver holding
+/// a pool can hand out streams from `&self` solve paths (post-factorization
+/// solves are logically read-only).
+#[derive(Debug)]
 pub struct StreamPool {
     streams: Vec<Stream>,
-    next: usize,
+    next: std::sync::atomic::AtomicUsize,
+}
+
+impl Clone for StreamPool {
+    fn clone(&self) -> Self {
+        StreamPool {
+            streams: self.streams.clone(),
+            next: std::sync::atomic::AtomicUsize::new(
+                self.next.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl StreamPool {
@@ -49,7 +64,7 @@ impl StreamPool {
     pub fn new(n: usize) -> Self {
         StreamPool {
             streams: (1..=n).map(Stream::with_id).collect(),
-            next: 0,
+            next: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -64,13 +79,12 @@ impl StreamPool {
     }
 
     /// Hand out the next stream, cycling through the pool.
-    pub fn next_stream(&mut self) -> Stream {
+    pub fn next_stream(&self) -> Stream {
         if self.streams.is_empty() {
             return Stream::default();
         }
-        let s = self.streams[self.next % self.streams.len()];
-        self.next += 1;
-        s
+        let slot = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.streams[slot % self.streams.len()]
     }
 
     /// Synchronise every stream in the pool.
@@ -92,7 +106,7 @@ mod tests {
 
     #[test]
     fn pool_hands_out_streams_round_robin() {
-        let mut pool = StreamPool::new(3);
+        let pool = StreamPool::new(3);
         let ids: Vec<usize> = (0..7).map(|_| pool.next_stream().id()).collect();
         assert_eq!(ids, vec![1, 2, 3, 1, 2, 3, 1]);
         pool.synchronize_all();
@@ -100,7 +114,7 @@ mod tests {
 
     #[test]
     fn empty_pool_falls_back_to_default_stream() {
-        let mut pool = StreamPool::new(0);
+        let pool = StreamPool::new(0);
         assert!(pool.is_empty());
         assert_eq!(pool.next_stream().id(), 0);
     }

@@ -116,7 +116,11 @@ pub fn measure_iterative<T: DemoteScalar>(
     let start = Instant::now();
     let outs: Vec<_> = rhs
         .iter()
-        .map(|b| gmres.solve_preconditioned(exact, &precond, b))
+        .map(|b| {
+            gmres
+                .solve_preconditioned(exact, &precond, b)
+                .expect("gmres dimensions agree by construction")
+        })
         .collect();
     let t_gmres = start.elapsed().as_secs_f64() / config.nrhs as f64;
     let metered = device.counters().since(&before);
@@ -140,7 +144,11 @@ pub fn measure_iterative<T: DemoteScalar>(
     let start = Instant::now();
     let outs: Vec<_> = rhs
         .iter()
-        .map(|b| bicgstab.solve_preconditioned(exact, &precond, b))
+        .map(|b| {
+            bicgstab
+                .solve_preconditioned(exact, &precond, b)
+                .expect("bicgstab dimensions agree by construction")
+        })
         .collect();
     let t_bicg = start.elapsed().as_secs_f64() / config.nrhs as f64;
     let metered = device.counters().since(&before);
@@ -171,7 +179,10 @@ pub fn measure_iterative<T: DemoteScalar>(
         let start = Instant::now();
         let outs: Vec<_> = rhs
             .iter()
-            .map(|b| iterative_refinement(exact, &mixed, b, opts))
+            .map(|b| {
+                iterative_refinement(exact, &mixed, b, opts)
+                    .expect("refinement dimensions agree by construction")
+            })
             .collect();
         let t_mixed = start.elapsed().as_secs_f64() / config.nrhs as f64;
         rows.push(IterativeRow {

@@ -1,8 +1,9 @@
 //! Workload generators: the three problem families of the evaluation.
 
+use hodlr::Hodlr;
 use hodlr_bie::{HelmholtzExteriorBie, LaplaceExteriorBie, StarContour};
-use hodlr_compress::{CompressionConfig, CompressionMethod, MatrixEntrySource};
-use hodlr_core::{build_from_source, HodlrMatrix};
+use hodlr_compress::{CompressionMethod, MatrixEntrySource};
+use hodlr_core::HodlrMatrix;
 use hodlr_kernels::{GaussianKernel, RpyKernel, RpyMatrixSource, ScalarKernelSource};
 use hodlr_la::{Complex64, Scalar};
 #[allow(unused_imports)]
@@ -96,8 +97,14 @@ pub fn rpy_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
     // three components of one particle in the same leaf.
     let matrix_size = 3 * particles;
     let tree = ClusterTree::with_leaf_size(matrix_size, LEAF_SIZE);
-    let config = CompressionConfig::with_tol(tol).method(CompressionMethod::AcaRook);
-    build_from_source(&source, tree, &config)
+    Hodlr::builder()
+        .source(&source)
+        .tree(tree)
+        .tolerance(tol)
+        .method(CompressionMethod::AcaRook)
+        .build()
+        .expect("RPY workload construction")
+        .into_matrix()
 }
 
 /// Build a scalar Gaussian kernel matrix workload (used by the quickstart
@@ -109,9 +116,14 @@ pub fn kernel_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
     let part = partition_points(&cloud, LEAF_SIZE);
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 1.0 }, &part.points, 1.0);
-    let tree = part.tree.clone();
-    let config = CompressionConfig::with_tol(tol).method(CompressionMethod::AcaRook);
-    build_from_source(&source, tree, &config)
+    Hodlr::builder()
+        .source(&source)
+        .tree(part.tree.clone())
+        .tolerance(tol)
+        .method(CompressionMethod::AcaRook)
+        .build()
+        .expect("Gaussian kernel workload construction")
+        .into_matrix()
 }
 
 /// Build the Table IV workload: the Laplace exterior BIE (Eq. 21) on the
@@ -119,9 +131,14 @@ pub fn kernel_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
 /// compressed at `tol` (`1e-12` for Table IV(a), `1e-4` for Table IV(b)).
 pub fn laplace_hodlr(n: usize, tol: f64) -> (LaplaceExteriorBie<StarContour>, HodlrMatrix<f64>) {
     let bie = LaplaceExteriorBie::new(StarContour::paper_contour(), n);
-    let tree = ClusterTree::with_leaf_size(n, LEAF_SIZE);
-    let config = CompressionConfig::with_tol(tol).method(CompressionMethod::AcaRook);
-    let matrix = build_from_source(&bie, tree, &config);
+    let matrix = Hodlr::builder()
+        .source(&bie)
+        .leaf_size(LEAF_SIZE)
+        .tolerance(tol)
+        .method(CompressionMethod::AcaRook)
+        .build()
+        .expect("Laplace BIE workload construction")
+        .into_matrix();
     (bie, matrix)
 }
 
@@ -139,9 +156,14 @@ pub fn helmholtz_hodlr(
     tol: f64,
 ) -> (HelmholtzExteriorBie<StarContour>, HodlrMatrix<Complex64>) {
     let bie = HelmholtzExteriorBie::with_paper_parameters(StarContour::paper_contour(), n, kappa);
-    let tree = ClusterTree::with_leaf_size(n, LEAF_SIZE);
-    let config = CompressionConfig::with_tol(tol).method(CompressionMethod::AcaRook);
-    let matrix = build_from_source(&bie, tree, &config);
+    let matrix = Hodlr::builder()
+        .source(&bie)
+        .leaf_size(LEAF_SIZE)
+        .tolerance(tol)
+        .method(CompressionMethod::AcaRook)
+        .build()
+        .expect("Helmholtz BIE workload construction")
+        .into_matrix();
     (bie, matrix)
 }
 

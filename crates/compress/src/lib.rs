@@ -30,7 +30,7 @@ pub use randomized::randomized_compress;
 pub use source::{ClosureSource, DenseSource, MatrixEntrySource};
 pub use truncated::truncated_svd_compress;
 
-use hodlr_la::Scalar;
+use hodlr_la::{HodlrError, RealScalar, Scalar};
 
 /// How an off-diagonal block should be compressed into `U V^*`.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -41,6 +41,10 @@ pub struct CompressionConfig<R> {
     pub max_rank: Option<usize>,
     /// The algorithm used to build the factors.
     pub method: CompressionMethod,
+    /// When `true`, hitting `max_rank` before the tolerance is certified is
+    /// reported as [`HodlrError::CompressionRankOverflow`] instead of
+    /// silently returning the capped factors.
+    pub strict_rank: bool,
 }
 
 /// The compression algorithm.
@@ -64,6 +68,7 @@ impl<R: hodlr_la::RealScalar> CompressionConfig<R> {
             tol,
             max_rank: None,
             method: CompressionMethod::AcaRook,
+            strict_rank: false,
         }
     }
 
@@ -78,14 +83,46 @@ impl<R: hodlr_la::RealScalar> CompressionConfig<R> {
         self.max_rank = Some(max_rank);
         self
     }
+
+    /// Make the rank cap strict: hitting it before the tolerance is
+    /// certified becomes a [`HodlrError::CompressionRankOverflow`].
+    pub fn strict_rank(mut self) -> Self {
+        self.strict_rank = true;
+        self
+    }
+
+    /// Validate the configuration (positive finite tolerance, non-zero rank
+    /// cap).
+    pub fn validate(&self) -> Result<(), HodlrError> {
+        let tol = self.tol.to_f64();
+        if tol <= 0.0 || !tol.is_finite() {
+            return Err(HodlrError::config(format!(
+                "compression tolerance must be positive and finite, got {tol:e}"
+            )));
+        }
+        if self.max_rank == Some(0) {
+            return Err(HodlrError::config(
+                "compression rank cap must be at least 1 (use tolerance-only \
+                 compression by leaving the cap unset)",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Compress a block with the requested configuration.
+///
+/// # Errors
+/// Returns [`HodlrError::InvalidConfig`] for a non-positive or non-finite
+/// tolerance or a zero rank cap, and — when the configuration marks the cap
+/// as strict — [`HodlrError::CompressionRankOverflow`] when the compressor
+/// stops at `max_rank` without having certified the tolerance first.
 pub fn compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
     source: &S,
     config: &CompressionConfig<T::Real>,
-) -> LowRank<T> {
-    match config.method {
+) -> Result<LowRank<T>, HodlrError> {
+    config.validate()?;
+    let lr = match config.method {
         CompressionMethod::AcaPartial => {
             aca_compress(source, config.tol, config.max_rank, AcaPivoting::Partial)
         }
@@ -98,7 +135,24 @@ pub fn compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
         CompressionMethod::TruncatedSvd => {
             truncated_svd_compress(source, config.tol, config.max_rank)
         }
+    };
+    if config.strict_rank {
+        if let Some(cap) = config.max_rank {
+            // Every compressor certifies the tolerance *before* testing the
+            // cap, so a result at exactly the cap means the cap bound the
+            // rank (or coincided with the tolerance rank — conservatively
+            // reported as overflow; raise the cap by one to disambiguate).
+            // A cap at or above full rank can never overflow.
+            if lr.rank() == cap && cap < source.nrows().min(source.ncols()) {
+                return Err(HodlrError::CompressionRankOverflow {
+                    max_rank: cap,
+                    tol: config.tol.to_f64(),
+                    context: format!("{} x {} block", source.nrows(), source.ncols()),
+                });
+            }
+        }
     }
+    Ok(lr)
 }
 
 #[cfg(test)]
@@ -121,7 +175,7 @@ mod tests {
             CompressionMethod::TruncatedSvd,
         ] {
             let cfg = CompressionConfig::with_tol(1e-10).method(method);
-            let lr = compress(&src, &cfg);
+            let lr = compress(&src, &cfg).unwrap();
             assert!(
                 lr.rank() >= 6 && lr.rank() <= 12,
                 "{method:?}: rank {}",
@@ -149,8 +203,50 @@ mod tests {
             let cfg = CompressionConfig::with_tol(1e-14)
                 .method(method)
                 .max_rank(3);
-            let lr = compress(&src, &cfg);
+            let lr = compress(&src, &cfg).unwrap();
             assert!(lr.rank() <= 3, "{method:?}: rank {}", lr.rank());
         }
+    }
+
+    #[test]
+    fn strict_rank_cap_reports_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: DenseMatrix<f64> = random_low_rank(&mut rng, 40, 40, 10);
+        let src = DenseSource::new(&a);
+        for method in [
+            CompressionMethod::AcaPartial,
+            CompressionMethod::AcaRook,
+            CompressionMethod::RandomizedSvd,
+            CompressionMethod::TruncatedSvd,
+        ] {
+            let cfg = CompressionConfig::with_tol(1e-14)
+                .method(method)
+                .max_rank(3)
+                .strict_rank();
+            let err = compress(&src, &cfg).unwrap_err();
+            assert!(
+                matches!(err, HodlrError::CompressionRankOverflow { max_rank: 3, .. }),
+                "{method:?}: {err}"
+            );
+            // A cap the tolerance rank fits under passes strict mode.
+            let cfg = CompressionConfig::with_tol(1e-10)
+                .method(method)
+                .max_rank(25)
+                .strict_rank();
+            assert!(compress(&src, &cfg).is_ok(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_tolerances_are_rejected() {
+        let a: DenseMatrix<f64> = DenseMatrix::zeros(4, 4);
+        let src = DenseSource::new(&a);
+        for bad in [0.0, -1e-8, f64::NAN, f64::INFINITY] {
+            let cfg = CompressionConfig::with_tol(bad);
+            let err = compress(&src, &cfg).unwrap_err();
+            assert!(matches!(err, HodlrError::InvalidConfig { .. }), "tol {bad}");
+        }
+        let cfg = CompressionConfig::with_tol(1e-8).max_rank(0);
+        assert!(compress(&src, &cfg).is_err());
     }
 }

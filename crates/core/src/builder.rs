@@ -11,7 +11,7 @@
 use crate::layout::LevelLayout;
 use crate::matrix::HodlrMatrix;
 use hodlr_compress::{compress, CompressionConfig, DenseSource, LowRank, MatrixEntrySource};
-use hodlr_la::{DenseMatrix, Scalar};
+use hodlr_la::{DenseMatrix, HodlrError, Scalar};
 use hodlr_tree::{ClusterTree, NodeId};
 use rayon::prelude::*;
 
@@ -29,17 +29,47 @@ pub struct BlockSource<'a, T: Scalar, S: MatrixEntrySource<T> + ?Sized> {
 
 impl<'a, T: Scalar, S: MatrixEntrySource<T> + ?Sized> BlockSource<'a, T, S> {
     /// The sub-block `inner[row..row+nrows, col..col+ncols]`.
-    pub fn new(inner: &'a S, row: usize, col: usize, nrows: usize, ncols: usize) -> Self {
-        assert!(row + nrows <= inner.nrows(), "block rows out of bounds");
-        assert!(col + ncols <= inner.ncols(), "block columns out of bounds");
-        BlockSource {
+    ///
+    /// # Errors
+    /// Returns [`HodlrError::DimensionMismatch`] naming the offending block
+    /// when the requested window reaches past the underlying source.
+    pub fn new(
+        inner: &'a S,
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> Result<Self, HodlrError> {
+        if row + nrows > inner.nrows() {
+            return Err(HodlrError::dims(
+                format!(
+                    "rows of block [{row}..{}, {col}..{}]",
+                    row + nrows,
+                    col + ncols
+                ),
+                inner.nrows(),
+                row + nrows,
+            ));
+        }
+        if col + ncols > inner.ncols() {
+            return Err(HodlrError::dims(
+                format!(
+                    "columns of block [{row}..{}, {col}..{}]",
+                    row + nrows,
+                    col + ncols
+                ),
+                inner.ncols(),
+                col + ncols,
+            ));
+        }
+        Ok(BlockSource {
             inner,
             row_offset: row,
             col_offset: col,
             nrows,
             ncols,
             _marker: std::marker::PhantomData,
-        }
+        })
     }
 }
 
@@ -60,16 +90,25 @@ impl<T: Scalar, S: MatrixEntrySource<T> + ?Sized> MatrixEntrySource<T> for Block
 /// Build a HODLR approximation of `source` over the given cluster tree,
 /// compressing every sibling off-diagonal block with `config`.
 ///
-/// # Panics
-/// Panics if `source` is not square or does not match the tree size.
+/// # Errors
+/// Returns [`HodlrError::DimensionMismatch`] when `source` is not square or
+/// does not match the tree size, [`HodlrError::InvalidConfig`] for an empty
+/// tree or invalid compression settings, and propagates compression errors
+/// (e.g. a strict rank-cap overflow).
 pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
     source: &S,
     tree: ClusterTree,
     config: &CompressionConfig<T::Real>,
-) -> HodlrMatrix<T> {
+) -> Result<HodlrMatrix<T>, HodlrError> {
     let n = tree.n();
-    assert_eq!(source.nrows(), n, "source must be N x N");
-    assert_eq!(source.ncols(), n, "source must be N x N");
+    if n == 0 {
+        return Err(HodlrError::config(
+            "cannot build a HODLR matrix over a zero-size tree",
+        ));
+    }
+    config.validate()?;
+    HodlrError::check_dims("source rows (must be N x N)", n, source.nrows())?;
+    HodlrError::check_dims("source columns (must be N x N)", n, source.ncols())?;
 
     // Compress the two off-diagonal blocks of every sibling pair in parallel.
     // Each internal node gamma produces (U_alpha, V_beta) and (U_beta,
@@ -81,29 +120,28 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
             let (alpha, beta) = tree.children(gamma).expect("internal node");
             let ra = tree.range(alpha);
             let rb = tree.range(beta);
-            let ab = BlockSource::new(source, ra.start, rb.start, ra.len(), rb.len());
-            let ba = BlockSource::new(source, rb.start, ra.start, rb.len(), ra.len());
-            let lr_ab = compress(&ab, config);
-            let lr_ba = compress(&ba, config);
-            (gamma, lr_ab, lr_ba)
+            let ab = BlockSource::new(source, ra.start, rb.start, ra.len(), rb.len())?;
+            let ba = BlockSource::new(source, rb.start, ra.start, rb.len(), ra.len())?;
+            let lr_ab = compress(&ab, config).map_err(|e| annotate_block(e, alpha, beta))?;
+            let lr_ba = compress(&ba, config).map_err(|e| annotate_block(e, beta, alpha))?;
+            Ok((gamma, lr_ab, lr_ba))
         })
-        .collect();
+        .collect::<Result<Vec<_>, HodlrError>>()?;
 
     // Per-node factors: U_alpha from the (alpha, beta) block, V_alpha from
-    // the (beta, alpha) block.
+    // the (beta, alpha) block.  The rank of the (alpha, beta) block and of
+    // the (beta, alpha) block may differ; a node's bookkeeping rank is the
+    // wider of its U and V factors (both are zero-padded to the level width
+    // when written into Ubig/Vbig).
     let num_nodes = tree.num_nodes();
     let mut u_of: Vec<Option<DenseMatrix<T>>> = vec![None; num_nodes + 1];
     let mut v_of: Vec<Option<DenseMatrix<T>>> = vec![None; num_nodes + 1];
     let mut node_ranks = vec![0usize; num_nodes + 1];
     for (gamma, lr_ab, lr_ba) in compressed {
         let (alpha, beta) = tree.children(gamma).expect("internal node");
-        node_ranks[alpha] = lr_ab.rank().max(lr_ba.rank());
-        node_ranks[beta] = node_ranks[alpha].max(lr_ab.rank()).max(lr_ba.rank());
-        // Rank of the (alpha,beta) block and of the (beta,alpha) block may
-        // differ; each node's U and V widths are set independently below and
-        // padded to the level width when written into Ubig/Vbig.
-        node_ranks[alpha] = lr_ab.rank().max(lr_ba.rank());
-        node_ranks[beta] = lr_ab.rank().max(lr_ba.rank());
+        let pair_rank = lr_ab.rank().max(lr_ba.rank());
+        node_ranks[alpha] = pair_rank;
+        node_ranks[beta] = pair_rank;
         u_of[alpha] = Some(lr_ab.u);
         v_of[beta] = Some(lr_ab.v);
         u_of[beta] = Some(lr_ba.u);
@@ -156,22 +194,46 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
         .map(|&leaf| {
             let range = tree.range(leaf);
             let block =
-                BlockSource::new(source, range.start, range.start, range.len(), range.len());
-            block.to_dense()
+                BlockSource::new(source, range.start, range.start, range.len(), range.len())?;
+            Ok(block.to_dense())
         })
-        .collect();
+        .collect::<Result<Vec<_>, HodlrError>>()?;
 
     HodlrMatrix::from_parts(tree, layout, node_ranks, ubig, vbig, diag)
 }
 
+/// Attribute a compression error to the off-diagonal block it came from.
+fn annotate_block(e: HodlrError, row_node: NodeId, col_node: NodeId) -> HodlrError {
+    match e {
+        HodlrError::CompressionRankOverflow {
+            max_rank,
+            tol,
+            context,
+        } => HodlrError::CompressionRankOverflow {
+            max_rank,
+            tol,
+            context: format!("off-diagonal block (node {row_node}, node {col_node}): {context}"),
+        },
+        other => other,
+    }
+}
+
 /// Build a HODLR approximation of a dense matrix (used by tests and by
 /// problems small enough to materialise).
+///
+/// # Errors
+/// Returns [`HodlrError::DimensionMismatch`] when `a` is not square, and
+/// everything [`build_from_source`] can return.
 pub fn build_from_dense<T: Scalar>(
     a: &DenseMatrix<T>,
     tree: ClusterTree,
     config: &CompressionConfig<T::Real>,
-) -> HodlrMatrix<T> {
-    assert_eq!(a.rows(), a.cols(), "HODLR matrices are square");
+) -> Result<HodlrMatrix<T>, HodlrError> {
+    HodlrError::check_dims(
+        "dense input (HODLR matrices are square)",
+        a.rows(),
+        a.cols(),
+    )?;
     let source = DenseSource::new(a);
     build_from_source(&source, tree, config)
 }
@@ -206,7 +268,7 @@ mod tests {
         let src = kernel_source(n);
         let tree = ClusterTree::with_leaf_size(n, 16);
         let config = CompressionConfig::with_tol(1e-9);
-        let hodlr = build_from_source(&src, tree, &config);
+        let hodlr = build_from_source(&src, tree, &config).unwrap();
 
         let dense = src.to_dense();
         let approx = hodlr.to_dense();
@@ -221,8 +283,9 @@ mod tests {
         let n = 96;
         let src = kernel_source(n);
         let tree = ClusterTree::with_leaf_size(n, 12);
-        let loose = build_from_source(&src, tree.clone(), &CompressionConfig::with_tol(1e-3));
-        let tight = build_from_source(&src, tree, &CompressionConfig::with_tol(1e-11));
+        let loose =
+            build_from_source(&src, tree.clone(), &CompressionConfig::with_tol(1e-3)).unwrap();
+        let tight = build_from_source(&src, tree, &CompressionConfig::with_tol(1e-11)).unwrap();
         assert!(loose.max_rank() <= tight.max_rank());
         let dense = src.to_dense();
         let err_loose = dense.sub(&loose.to_dense()).norm_fro() / dense.norm_fro();
@@ -244,7 +307,7 @@ mod tests {
             CompressionMethod::TruncatedSvd,
         ] {
             let cfg = CompressionConfig::with_tol(1e-8).method(method);
-            let hodlr = build_from_source(&src, tree.clone(), &cfg);
+            let hodlr = build_from_source(&src, tree.clone(), &cfg).unwrap();
             let err = dense.sub(&hodlr.to_dense()).norm_fro();
             assert!(err < 1e-6 * dense.norm_fro(), "{method:?}: error {err}");
         }
@@ -259,7 +322,7 @@ mod tests {
         let dense = exact.to_dense();
         let tree = ClusterTree::uniform(n, 2);
         let cfg = CompressionConfig::with_tol(1e-11);
-        let rebuilt = build_from_dense(&dense, tree, &cfg);
+        let rebuilt = build_from_dense(&dense, tree, &cfg).unwrap();
         assert!(rebuilt.max_rank() <= 3);
         let err = dense.sub(&rebuilt.to_dense()).norm_fro();
         assert!(err < 1e-8 * dense.norm_fro().to_f64());
@@ -269,7 +332,7 @@ mod tests {
     fn zero_level_tree_stores_one_dense_block() {
         let src = kernel_source(10);
         let tree = ClusterTree::uniform(10, 0);
-        let hodlr = build_from_source(&src, tree, &CompressionConfig::with_tol(1e-10));
+        let hodlr = build_from_source(&src, tree, &CompressionConfig::with_tol(1e-10)).unwrap();
         assert_eq!(hodlr.levels(), 0);
         assert_eq!(hodlr.diag_blocks().len(), 1);
         let err = src.to_dense().sub(&hodlr.to_dense()).norm_fro();
@@ -279,10 +342,60 @@ mod tests {
     #[test]
     fn block_source_delegates_entries() {
         let src = ClosureSource::new(6, 6, |i, j| (10 * i + j) as f64);
-        let block = BlockSource::new(&src, 2, 3, 3, 2);
+        let block = BlockSource::new(&src, 2, 3, 3, 2).unwrap();
         assert_eq!(block.nrows(), 3);
         assert_eq!(block.ncols(), 2);
         assert_eq!(block.entry(0, 0), 23.0);
         assert_eq!(block.entry(2, 1), 44.0);
+    }
+
+    #[test]
+    fn block_source_out_of_bounds_is_a_dimension_mismatch() {
+        let src = ClosureSource::new(6, 6, |i, j| (10 * i + j) as f64);
+        let err = BlockSource::new(&src, 4, 0, 3, 2).err().unwrap();
+        assert!(err.to_string().contains("rows of block"), "{err}");
+        let err = BlockSource::new(&src, 0, 5, 2, 3).err().unwrap();
+        assert!(err.to_string().contains("columns of block"), "{err}");
+    }
+
+    /// Regression test for the duplicated `node_ranks` assignment block: with
+    /// *asymmetric* sibling blocks — `A(I_alpha, I_beta)` of rank 1 but
+    /// `A(I_beta, I_alpha)` of rank 3 — both siblings must report the wider
+    /// rank, and the reconstruction must still match the source.
+    #[test]
+    fn asymmetric_rank_sibling_blocks_report_the_max_rank() {
+        let n = 16;
+        let mut a: DenseMatrix<f64> = DenseMatrix::zeros(n, n);
+        let h = n / 2;
+        for i in 0..n {
+            a[(i, i)] = 10.0 + i as f64;
+        }
+        // Upper-right block (alpha, beta): exactly rank 1.
+        for i in 0..h {
+            for j in 0..h {
+                a[(i, h + j)] = (1.0 + i as f64) * (2.0 + j as f64) / 16.0;
+            }
+        }
+        // Lower-left block (beta, alpha): exactly rank 3 — the outer
+        // products x ⊗ y, x² ⊗ y² and 1 ⊗ 1 have independent factors.
+        for i in 0..h {
+            for j in 0..h {
+                let (x, y) = (i as f64, j as f64);
+                a[(h + i, j)] = (x * y + (x * x) * (y * y) / 8.0 + 1.0) / 32.0;
+            }
+        }
+        let tree = ClusterTree::uniform(n, 1);
+        // Truncated SVD so the recovered ranks are exactly the block ranks.
+        let cfg = CompressionConfig::with_tol(1e-12).method(CompressionMethod::TruncatedSvd);
+        let hodlr = build_from_dense(&a, tree, &cfg).unwrap();
+
+        let (alpha, beta) = hodlr.tree().children(hodlr.tree().root()).unwrap();
+        assert_eq!(hodlr.node_rank(alpha), 3, "alpha must carry the max rank");
+        assert_eq!(hodlr.node_rank(beta), 3, "beta must carry the max rank");
+        assert_eq!(hodlr.max_rank(), 3);
+        assert_eq!(hodlr.rank_profile(), vec![3]);
+
+        let err = a.sub(&hodlr.to_dense()).norm_fro();
+        assert!(err < 1e-10 * a.norm_fro(), "reconstruction error {err}");
     }
 }

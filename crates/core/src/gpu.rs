@@ -14,10 +14,10 @@
 use crate::layout::LevelLayout;
 use crate::matrix::HodlrMatrix;
 use hodlr_batch::{
-    gemm_batched_aliased, gemm_batched_varied, getrf_batched_varied, getrs_batched_varied,
-    BatchSingularError, Device, DeviceBuffer, GemmDesc, LuDesc, LuSolveDesc, Stream, StreamPool,
+    gemm_batched_aliased, gemm_batched_varied, getrf_batched_varied, getrs_batched_varied, Device,
+    DeviceBuffer, GemmDesc, LuDesc, LuSolveDesc, Stream, StreamPool,
 };
-use hodlr_la::{DenseMatrix, Op, Scalar};
+use hodlr_la::{DenseMatrix, HodlrError, Op, Scalar};
 use hodlr_tree::ClusterTree;
 use rayon::prelude::*;
 use std::ops::Range;
@@ -114,7 +114,7 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
 
     /// Stream to issue a launch of `batch` problems on: the default stream
     /// for large batches, a pooled stream for the tiny top-level batches.
-    fn stream_for(&mut self, batch: usize) -> Stream {
+    fn stream_for(&self, batch: usize) -> Stream {
         if batch < STREAM_THRESHOLD {
             self.streams.next_stream()
         } else {
@@ -125,8 +125,9 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
     /// Algorithm 3: batched factorization.
     ///
     /// # Errors
-    /// Returns an error naming the batch entry whose block was singular.
-    pub fn factorize(&mut self) -> Result<(), BatchSingularError> {
+    /// Returns [`HodlrError::SingularPivot`] naming the batch entry whose
+    /// block was singular.
+    pub fn factorize(&mut self) -> Result<(), HodlrError> {
         let n = self.n_rows();
         let levels = self.tree.levels();
         let total_cols = self.layout.total_cols();
@@ -143,7 +144,8 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
             })
             .collect();
         let stream = self.stream_for(leaf_descs.len());
-        self.diag_pivots = getrf_batched_varied(self.device, stream, &leaf_descs, &mut self.dbig)?;
+        self.diag_pivots = getrf_batched_varied(self.device, stream, &leaf_descs, &mut self.dbig)
+            .map_err(|e| e.into_hodlr("leaf diagonal block"))?;
 
         if total_cols > 0 {
             let solve_descs: Vec<LuSolveDesc> = self
@@ -277,7 +279,8 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
                 })
                 .collect();
             let stream = self.stream_for(batch);
-            let pivots = getrf_batched_varied(self.device, stream, &k_descs, &mut k_buf)?;
+            let pivots = getrf_batched_varied(self.device, stream, &k_descs, &mut k_buf)
+                .map_err(|e| e.into_hodlr(format!("coupling matrix at level {level}")))?;
 
             if prefix > 0 {
                 // Line 9: W <- K^{-1} ⊙ W.
@@ -345,12 +348,12 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
     ///
     /// # Panics
     /// Panics if the factorization has not been computed yet.
-    pub fn solve(&mut self, b: &[T]) -> Vec<T> {
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
         self.solve_matrix_host(b, 1)
     }
 
     /// Algorithm 4 with multiple right-hand sides given as an `N x k` matrix.
-    pub fn solve_matrix(&mut self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+    pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
         let data = self.solve_matrix_host(b.data(), b.cols());
         DenseMatrix::from_col_major(b.rows(), b.cols(), data)
     }
@@ -365,7 +368,7 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
     /// # Panics
     /// Panics if the factorization has not been computed yet or any
     /// right-hand side has the wrong length.
-    pub fn solve_block(&mut self, rhs: &[impl AsRef<[T]> + Sync]) -> Vec<Vec<T>> {
+    pub fn solve_block(&self, rhs: &[impl AsRef<[T]> + Sync]) -> Vec<Vec<T>> {
         let n = self.n_rows();
         let k = rhs.len();
         for (j, col) in rhs.iter().enumerate() {
@@ -390,7 +393,7 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
         out
     }
 
-    fn solve_matrix_host(&mut self, b: &[T], nrhs: usize) -> Vec<T> {
+    fn solve_matrix_host(&self, b: &[T], nrhs: usize) -> Vec<T> {
         assert!(self.factored, "factorize() must be called before solve()");
         let n = self.n_rows();
         assert_eq!(b.len(), n * nrhs, "right-hand side has the wrong size");
@@ -668,7 +671,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(79);
         let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 32, 2, 1);
         let device = Device::new();
-        let mut gpu = GpuSolver::new(&device, &m);
+        let gpu = GpuSolver::new(&device, &m);
         let _ = gpu.solve(&vec![1.0; 32]);
     }
 
@@ -684,10 +687,21 @@ mod tests {
             m.ubig().clone(),
             m.vbig().clone(),
             diag,
-        );
+        )
+        .unwrap();
         let device = Device::new();
         let mut gpu = GpuSolver::new(&device, &singular);
         let err = gpu.factorize().expect_err("second leaf is singular");
-        assert_eq!(err.batch_index, 1);
+        match err {
+            HodlrError::SingularPivot {
+                batch_index: Some(b),
+                ref context,
+                ..
+            } => {
+                assert_eq!(b, 1);
+                assert!(context.contains("leaf diagonal block"), "{context}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
     }
 }

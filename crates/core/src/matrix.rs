@@ -2,7 +2,7 @@
 //! blocks (Figs. 3–4 of the paper).
 
 use crate::layout::LevelLayout;
-use hodlr_la::{gemm, norms, DenseMatrix, MatRef, Op, RealScalar, Scalar};
+use hodlr_la::{gemm, norms, DenseMatrix, HodlrError, MatRef, Op, RealScalar, Scalar};
 use hodlr_tree::{ClusterTree, NodeId};
 
 /// A HODLR matrix stored in the paper's flattened format.
@@ -30,11 +30,12 @@ pub struct HodlrMatrix<T: Scalar> {
 impl<T: Scalar> HodlrMatrix<T> {
     /// Assemble a HODLR matrix from its parts.  Intended for the builder and
     /// for tests that construct exactly-representable matrices; most users
-    /// should go through [`crate::build_from_source`].
+    /// should go through [`crate::build_from_source`] or the `hodlr` façade.
     ///
-    /// # Panics
-    /// Panics if the shapes of the parts are inconsistent with the tree and
-    /// layout.
+    /// # Errors
+    /// Returns [`HodlrError::DimensionMismatch`] naming the offending part
+    /// (big basis, per-leaf diagonal block, or rank table entry) when the
+    /// shapes are inconsistent with the tree and layout.
     pub fn from_parts(
         tree: ClusterTree,
         layout: LevelLayout,
@@ -42,52 +43,55 @@ impl<T: Scalar> HodlrMatrix<T> {
         ubig: DenseMatrix<T>,
         vbig: DenseMatrix<T>,
         diag: Vec<DenseMatrix<T>>,
-    ) -> Self {
+    ) -> Result<Self, HodlrError> {
         let n = tree.n();
-        assert_eq!(
-            layout.levels(),
-            tree.levels(),
-            "layout levels must match the tree"
-        );
-        assert_eq!(ubig.rows(), n, "Ubig must have N rows");
-        assert_eq!(vbig.rows(), n, "Vbig must have N rows");
-        assert_eq!(ubig.cols(), layout.total_cols(), "Ubig has the wrong width");
-        assert_eq!(vbig.cols(), layout.total_cols(), "Vbig has the wrong width");
-        assert_eq!(
-            node_ranks.len(),
+        HodlrError::check_dims("layout levels", tree.levels(), layout.levels())?;
+        HodlrError::check_dims("Ubig rows", n, ubig.rows())?;
+        HodlrError::check_dims("Vbig rows", n, vbig.rows())?;
+        HodlrError::check_dims("Ubig columns", layout.total_cols(), ubig.cols())?;
+        HodlrError::check_dims("Vbig columns", layout.total_cols(), vbig.cols())?;
+        HodlrError::check_dims(
+            "node rank table (one entry per node id)",
             tree.num_nodes() + 1,
-            "one rank entry per node id"
-        );
-        assert_eq!(diag.len(), tree.num_leaves(), "one diagonal block per leaf");
+            node_ranks.len(),
+        )?;
+        HodlrError::check_dims(
+            "diagonal blocks (one per leaf)",
+            tree.num_leaves(),
+            diag.len(),
+        )?;
         for (leaf_idx, leaf) in tree.leaves().enumerate() {
             let size = tree.node_size(leaf);
-            assert_eq!(
+            HodlrError::check_dims(
+                format!("rows of diagonal block of leaf {leaf_idx} (node {leaf})"),
+                size,
                 diag[leaf_idx].rows(),
+            )?;
+            HodlrError::check_dims(
+                format!("columns of diagonal block of leaf {leaf_idx} (node {leaf})"),
                 size,
-                "diagonal block {leaf_idx} has wrong size"
-            );
-            assert_eq!(
                 diag[leaf_idx].cols(),
-                size,
-                "diagonal block {leaf_idx} has wrong size"
-            );
+            )?;
         }
         for level in 1..=tree.levels() {
             for node in tree.level_nodes(level) {
-                assert!(
-                    node_ranks[node] <= layout.width(level),
-                    "rank of node {node} exceeds its level width"
-                );
+                if node_ranks[node] > layout.width(level) {
+                    return Err(HodlrError::dims(
+                        format!("rank of node {node} vs its level-{level} width"),
+                        layout.width(level),
+                        node_ranks[node],
+                    ));
+                }
             }
         }
-        HodlrMatrix {
+        Ok(HodlrMatrix {
             tree,
             layout,
             node_ranks,
             ubig,
             vbig,
             diag,
-        }
+        })
     }
 
     /// Matrix size `N`.
@@ -354,6 +358,7 @@ pub fn random_hodlr<T: Scalar, R: rand::Rng + ?Sized>(
         .collect();
 
     HodlrMatrix::from_parts(tree, layout, node_ranks, ubig, vbig, diag)
+        .expect("random_hodlr assembles consistent parts")
 }
 
 #[cfg(test)]
@@ -451,17 +456,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one diagonal block per leaf")]
     fn from_parts_validates_diag_count() {
         let tree = ClusterTree::uniform(8, 1);
         let layout = LevelLayout::uniform(1, 1);
-        let _ = HodlrMatrix::<f64>::from_parts(
+        let err = HodlrMatrix::<f64>::from_parts(
             tree,
             layout,
             vec![0; 4],
             DenseMatrix::zeros(8, 1),
             DenseMatrix::zeros(8, 1),
             vec![DenseMatrix::zeros(4, 4)],
-        );
+        )
+        .unwrap_err();
+        match err {
+            HodlrError::DimensionMismatch {
+                context,
+                expected: 2,
+                found: 1,
+            } => assert!(context.contains("diagonal blocks"), "{context}"),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn from_parts_names_the_offending_leaf_block() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 16, 1, 1);
+        let bad_diag = vec![m.diag_block(0).clone(), DenseMatrix::zeros(5, 5)];
+        let err = HodlrMatrix::from_parts(
+            m.tree().clone(),
+            m.layout().clone(),
+            (0..=m.tree().num_nodes()).map(|_| 1).collect(),
+            m.ubig().clone(),
+            m.vbig().clone(),
+            bad_diag,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("leaf 1"), "{msg}");
+        assert!(msg.contains("expected 8, found 5"), "{msg}");
     }
 }

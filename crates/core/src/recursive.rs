@@ -260,7 +260,8 @@ mod tests {
             m.ubig().clone(),
             m.vbig().clone(),
             diag,
-        );
+        )
+        .unwrap();
         m = rebuilt;
         let b = vec![1.0; 16];
         assert!(solve_recursive_vec(&m, &b).is_err());

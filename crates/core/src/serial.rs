@@ -12,8 +12,7 @@
 
 use crate::layout::LevelLayout;
 use crate::matrix::HodlrMatrix;
-use hodlr_la::lu::SingularError;
-use hodlr_la::{gemm, DenseMatrix, LuFactor, MatRef, Op, Scalar};
+use hodlr_la::{gemm, DenseMatrix, HodlrError, LuFactor, MatRef, Op, Scalar};
 use hodlr_tree::ClusterTree;
 
 /// The output of Algorithm 1: the transformed bases `Ybig`, the (copied)
@@ -35,9 +34,10 @@ impl<T: Scalar> HodlrMatrix<T> {
     /// Factorize the matrix with Algorithm 1 (sequential).
     ///
     /// # Errors
-    /// Returns an error if a leaf diagonal block or a coupling matrix is
-    /// numerically singular (the invertibility assumptions of Theorem 1).
-    pub fn factorize_serial(&self) -> Result<SerialFactorization<T>, SingularError> {
+    /// Returns [`HodlrError::SingularPivot`] naming the leaf diagonal block
+    /// or coupling matrix that is numerically singular (the invertibility
+    /// assumptions of Theorem 1).
+    pub fn factorize_serial(&self) -> Result<SerialFactorization<T>, HodlrError> {
         let tree = self.tree().clone();
         let layout = self.layout().clone();
         let n = self.n();
@@ -53,7 +53,8 @@ impl<T: Scalar> HodlrMatrix<T> {
         let mut diag_lu = Vec::with_capacity(tree.num_leaves());
         for (leaf_idx, leaf) in tree.leaves().enumerate() {
             let range = tree.range(leaf);
-            let lu = LuFactor::new(self.diag_block(leaf_idx))?;
+            let lu = LuFactor::new(self.diag_block(leaf_idx))
+                .map_err(|e| e.into_hodlr(format!("diagonal block of leaf {leaf_idx}")))?;
             if total_cols > 0 {
                 let block = ybig.block_mut(range.start, 0, range.len(), total_cols);
                 lu.solve_in_place(block);
@@ -78,7 +79,9 @@ impl<T: Scalar> HodlrMatrix<T> {
                 if w == 0 {
                     // Zero-rank level: the coupling matrix is empty and the
                     // update is a no-op; store a trivial factorization.
-                    level_factors.push(LuFactor::new(&DenseMatrix::identity(0))?);
+                    let empty = LuFactor::new(&DenseMatrix::identity(0))
+                        .expect("empty factorization cannot fail");
+                    level_factors.push(empty);
                     continue;
                 }
 
@@ -93,7 +96,8 @@ impl<T: Scalar> HodlrMatrix<T> {
                     .to_owned();
 
                 let k = build_coupling_matrix(&v_a, &v_b, &y_a, &y_b);
-                let k_fact = LuFactor::from_matrix(k)?;
+                let k_fact = LuFactor::from_matrix(k)
+                    .map_err(|e| e.into_hodlr(format!("coupling matrix of node {gamma}")))?;
 
                 if prefix > 0 {
                     // Right-hand sides (13): stack V_alpha^* Ybig(I_alpha, 1:prefix)
@@ -506,8 +510,13 @@ mod tests {
             m.ubig().clone(),
             m.vbig().clone(),
             diag,
+        )
+        .unwrap();
+        let err = singular.factorize_serial().unwrap_err();
+        assert!(
+            err.to_string().contains("diagonal block of leaf 0"),
+            "{err}"
         );
-        assert!(singular.factorize_serial().is_err());
     }
 
     #[test]

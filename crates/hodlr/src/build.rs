@@ -1,0 +1,455 @@
+//! The [`Hodlr`] handle and its fluent [`HodlrBuilder`].
+//!
+//! ```
+//! use hodlr::prelude::*;
+//!
+//! let a = DenseMatrix::from_col_major(4, 4, vec![
+//!     5.0, 1.0, 0.5, 0.2,
+//!     1.0, 5.0, 1.0, 0.5,
+//!     0.5, 1.0, 5.0, 1.0,
+//!     0.2, 0.5, 1.0, 5.0,
+//! ]);
+//! let hodlr = Hodlr::builder()
+//!     .dense(&a)
+//!     .leaf_size(2)
+//!     .tolerance(1e-12)
+//!     .backend(Backend::Serial)
+//!     .build()
+//!     .unwrap();
+//! let x = hodlr.factorize().unwrap().solve(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+//! assert!(hodlr.relative_residual(&x, &[1.0, 2.0, 3.0, 4.0]) < 1e-10);
+//! ```
+
+use crate::scalar::SolveScalar;
+use crate::solve::{Factorization, Factorize};
+use hodlr_batch::Device;
+use hodlr_compress::{CompressionConfig, CompressionMethod, MatrixEntrySource};
+use hodlr_core::{build_from_dense, build_from_source, GpuSolver, HodlrMatrix};
+use hodlr_la::{DenseMatrix, HodlrError, RealScalar, Scalar};
+use hodlr_tree::ClusterTree;
+
+/// Which factorization backend serves this matrix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The level-by-level serial factorization (Algorithms 1–2), the
+    /// paper's single-core baseline.
+    Serial,
+    /// The batched factorization on the virtual batched-BLAS device
+    /// (Algorithms 3–4), the paper's "GPU HODLR solver".
+    Batched,
+}
+
+/// The arithmetic policy of the factorization.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Precision {
+    /// Factorize and solve in the working precision.
+    Full,
+    /// Factorize in the companion lower precision (`f64 -> f32`,
+    /// `Complex64 -> Complex32`; half the memory and flop width) and
+    /// recover working-precision accuracy by iterative refinement — the
+    /// paper's Table IV(b) regime.
+    MixedRefine,
+}
+
+/// How the cluster tree over `0..n` is chosen.
+#[derive(Clone, Debug)]
+pub enum TreePolicy {
+    /// Deepest tree whose leaves hold at least this many indices (the
+    /// paper fixes 64 and lets `L = O(log N)` grow).
+    LeafSize(usize),
+    /// Exactly this many levels, splitting every range as evenly as
+    /// possible.
+    Levels(usize),
+    /// An explicit tree (e.g. from
+    /// [`partition_points`](hodlr_tree::partition_points), which reorders
+    /// a point cloud by recursive bisection first).
+    Explicit(ClusterTree),
+}
+
+enum BuilderInput<'a, T: Scalar> {
+    Dense(&'a DenseMatrix<T>),
+    Source(&'a dyn MatrixEntrySource<T>),
+    Matrix(HodlrMatrix<T>),
+}
+
+/// Fluent configuration for [`Hodlr`]; see [`Hodlr::builder`].
+pub struct HodlrBuilder<'a, T: Scalar> {
+    input: Option<BuilderInput<'a, T>>,
+    tree: TreePolicy,
+    method: CompressionMethod,
+    tol: f64,
+    max_rank: Option<usize>,
+    strict_rank: bool,
+    backend: Backend,
+    precision: Precision,
+    threads: Option<usize>,
+    refine_tol: f64,
+    refine_max_iters: usize,
+}
+
+impl<T: Scalar> Default for HodlrBuilder<'_, T> {
+    fn default() -> Self {
+        HodlrBuilder {
+            input: None,
+            tree: TreePolicy::LeafSize(64),
+            method: CompressionMethod::AcaRook,
+            tol: 1e-8,
+            max_rank: None,
+            strict_rank: false,
+            backend: Backend::Serial,
+            precision: Precision::Full,
+            threads: None,
+            refine_tol: 1e-12,
+            refine_max_iters: 50,
+        }
+    }
+}
+
+impl<'a, T: Scalar> HodlrBuilder<'a, T> {
+    /// Compress this lazily evaluated entry source (kernel matrix,
+    /// discretized integral operator, ...); the matrix is never formed
+    /// densely.
+    pub fn source(mut self, source: &'a (impl MatrixEntrySource<T> + 'a)) -> Self {
+        self.input = Some(BuilderInput::Source(source));
+        self
+    }
+
+    /// Compress this dense matrix (tests and problems small enough to
+    /// materialise).
+    pub fn dense(mut self, a: &'a DenseMatrix<T>) -> Self {
+        self.input = Some(BuilderInput::Dense(a));
+        self
+    }
+
+    /// Adopt an already built [`HodlrMatrix`] (migration path from the
+    /// low-level API); the tree policy and compression settings are
+    /// ignored.
+    pub fn matrix(mut self, matrix: HodlrMatrix<T>) -> Self {
+        self.input = Some(BuilderInput::Matrix(matrix));
+        self
+    }
+
+    /// Tree policy: deepest tree with at least this leaf size (default 64,
+    /// the paper's choice).
+    pub fn leaf_size(mut self, leaf_size: usize) -> Self {
+        self.tree = TreePolicy::LeafSize(leaf_size);
+        self
+    }
+
+    /// Tree policy: exactly this many levels.
+    pub fn levels(mut self, levels: usize) -> Self {
+        self.tree = TreePolicy::Levels(levels);
+        self
+    }
+
+    /// Tree policy: an explicit cluster tree.
+    pub fn tree(mut self, tree: ClusterTree) -> Self {
+        self.tree = TreePolicy::Explicit(tree);
+        self
+    }
+
+    /// Compression algorithm (default rook-pivoted ACA, the scheme of the
+    /// paper's kernel benchmarks).
+    pub fn method(mut self, method: CompressionMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Relative compression tolerance (default `1e-8`).
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Hard cap on the off-diagonal rank.
+    pub fn max_rank(mut self, max_rank: usize) -> Self {
+        self.max_rank = Some(max_rank);
+        self
+    }
+
+    /// Make the rank cap strict: hitting it before the tolerance is
+    /// certified fails the build with
+    /// [`HodlrError::CompressionRankOverflow`].
+    pub fn strict_rank(mut self) -> Self {
+        self.strict_rank = true;
+        self
+    }
+
+    /// Factorization backend (default [`Backend::Serial`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Precision policy (default [`Precision::Full`]).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Run construction, factorization and solves on a dedicated
+    /// work-stealing pool with this many participants instead of the
+    /// global pool (which honours `HODLR_NUM_THREADS`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Target relative residual of [`Precision::MixedRefine`] refinement
+    /// sweeps (default `1e-12`).
+    pub fn refine_tolerance(mut self, tol: f64) -> Self {
+        self.refine_tol = tol;
+        self
+    }
+
+    /// Sweep cap of [`Precision::MixedRefine`] refinement (default 50).
+    pub fn refine_max_iters(mut self, max_iters: usize) -> Self {
+        self.refine_max_iters = max_iters;
+        self
+    }
+
+    /// Build the HODLR approximation.
+    ///
+    /// # Errors
+    /// [`HodlrError::InvalidConfig`] for a missing input, a zero-size
+    /// problem, a non-positive tolerance, a zero leaf size or thread
+    /// count, or a level count deeper than the index set;
+    /// [`HodlrError::DimensionMismatch`] for a non-square input or a tree
+    /// that does not match it; compression errors (e.g.
+    /// [`HodlrError::CompressionRankOverflow`] under a strict rank cap)
+    /// propagate.
+    pub fn build(self) -> Result<Hodlr<T>, HodlrError> {
+        let input = self.input.ok_or_else(|| {
+            HodlrError::config(
+                "no input given: call .source(..), .dense(..) or .matrix(..) before .build()",
+            )
+        })?;
+        let n = match &input {
+            BuilderInput::Dense(a) => a.rows(),
+            BuilderInput::Source(s) => s.nrows(),
+            BuilderInput::Matrix(m) => m.n(),
+        };
+        if n == 0 {
+            return Err(HodlrError::config(
+                "cannot build a HODLR matrix over a zero-size tree",
+            ));
+        }
+
+        if self.refine_tol <= 0.0 || !self.refine_tol.is_finite() {
+            return Err(HodlrError::config(format!(
+                "refinement tolerance must be positive and finite, got {:e}",
+                self.refine_tol
+            )));
+        }
+        if self.refine_max_iters == 0 {
+            return Err(HodlrError::config(
+                "refinement sweep cap must be at least 1",
+            ));
+        }
+
+        let pool = match self.threads {
+            None => None,
+            Some(0) => {
+                return Err(HodlrError::config("thread count must be at least 1"));
+            }
+            Some(t) => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .map_err(|e| HodlrError::config(format!("cannot build thread pool: {e}")))?,
+            ),
+        };
+
+        let matrix = match input {
+            BuilderInput::Matrix(m) => m,
+            dense_or_source => {
+                let tree = match &self.tree {
+                    TreePolicy::LeafSize(0) => {
+                        return Err(HodlrError::config("leaf size must be at least 1"));
+                    }
+                    TreePolicy::LeafSize(s) => ClusterTree::with_leaf_size(n, *s),
+                    TreePolicy::Levels(l) => {
+                        // The shift below is UB-guarded: l >= usize::BITS can
+                        // never fit n >= 2^l indices either.
+                        if *l >= usize::BITS as usize || n < (1usize << l) {
+                            return Err(HodlrError::config(format!(
+                                "cannot build {l} levels over {n} indices: a leaf would be empty"
+                            )));
+                        }
+                        ClusterTree::uniform(n, *l)
+                    }
+                    TreePolicy::Explicit(t) => {
+                        HodlrError::check_dims("explicit tree vs input", n, t.n())?;
+                        t.clone()
+                    }
+                };
+                let mut config = CompressionConfig::with_tol(T::Real::from_f64_real(self.tol))
+                    .method(self.method);
+                if let Some(cap) = self.max_rank {
+                    config = config.max_rank(cap);
+                }
+                if self.strict_rank {
+                    config = config.strict_rank();
+                }
+                let build = || match dense_or_source {
+                    BuilderInput::Dense(a) => build_from_dense(a, tree, &config),
+                    BuilderInput::Source(s) => build_from_source(s, tree, &config),
+                    BuilderInput::Matrix(_) => unreachable!("handled above"),
+                };
+                match &pool {
+                    Some(pool) => pool.install(build)?,
+                    None => build()?,
+                }
+            }
+        };
+
+        Ok(Hodlr {
+            matrix,
+            backend: self.backend,
+            precision: self.precision,
+            device: Device::new(),
+            pool,
+            refine_tol: self.refine_tol,
+            refine_max_iters: self.refine_max_iters,
+        })
+    }
+}
+
+/// A HODLR approximation plus its backend configuration: the one front
+/// door of the workspace.
+///
+/// Built with [`Hodlr::builder`]; factorized through the
+/// [`Factorize`] trait; solved through the [`Solve`](crate::Solve) trait.
+/// The handle owns the virtual batched device, so
+/// [`Backend::Batched`] factorizations and their launch/flop counters live
+/// entirely behind it.
+pub struct Hodlr<T: Scalar> {
+    matrix: HodlrMatrix<T>,
+    backend: Backend,
+    precision: Precision,
+    device: Device,
+    pool: Option<rayon::ThreadPool>,
+    refine_tol: f64,
+    refine_max_iters: usize,
+}
+
+impl<T: Scalar> Hodlr<T> {
+    /// Start configuring a HODLR approximation.
+    ///
+    /// ```
+    /// use hodlr::prelude::*;
+    ///
+    /// let source = ClosureSource::new(64, 64, |i, j| {
+    ///     1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 3.0 } else { 0.0 }
+    /// });
+    /// let hodlr = Hodlr::builder()
+    ///     .source(&source)
+    ///     .leaf_size(16)
+    ///     .tolerance(1e-10)
+    ///     .method(CompressionMethod::AcaRook)
+    ///     .backend(Backend::Batched)
+    ///     .precision(Precision::Full)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(hodlr.n(), 64);
+    /// assert!(hodlr.max_rank() < 16);
+    /// ```
+    pub fn builder<'a>() -> HodlrBuilder<'a, T> {
+        HodlrBuilder::default()
+    }
+
+    /// The underlying flattened HODLR matrix.
+    pub fn matrix(&self) -> &HodlrMatrix<T> {
+        &self.matrix
+    }
+
+    /// Consume the handle, returning the matrix (migration path to the
+    /// low-level API).
+    pub fn into_matrix(self) -> HodlrMatrix<T> {
+        self.matrix
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The configured precision policy.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The virtual batched device this handle owns (its counters meter all
+    /// [`Backend::Batched`] work done through this handle).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Matrix size `N`.
+    pub fn n(&self) -> usize {
+        self.matrix.n()
+    }
+
+    /// Number of tree levels.
+    pub fn levels(&self) -> usize {
+        self.matrix.levels()
+    }
+
+    /// Maximum off-diagonal rank.
+    pub fn max_rank(&self) -> usize {
+        self.matrix.max_rank()
+    }
+
+    /// Storage in GiB.
+    pub fn memory_gib(&self) -> f64 {
+        self.matrix.memory_gib()
+    }
+
+    /// `y = A x` in `O(N log N)`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        self.run_in_pool(|| self.matrix.matvec(x))
+    }
+
+    /// Relative residual `||b - A x|| / ||b||` of a candidate solution.
+    pub fn relative_residual(&self, x: &[T], b: &[T]) -> T::Real {
+        self.run_in_pool(|| self.matrix.relative_residual(x, b))
+    }
+
+    pub(crate) fn refine_tol(&self) -> f64 {
+        self.refine_tol
+    }
+
+    pub(crate) fn refine_max_iters(&self) -> usize {
+        self.refine_max_iters
+    }
+
+    fn run_in_pool<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+}
+
+impl<T: SolveScalar> Factorize<T> for Hodlr<T> {
+    /// Factorize with the configured backend and precision policy.
+    fn factorize(&self) -> Result<Factorization<'_, T>, HodlrError> {
+        let inner: Box<dyn crate::Solve<T> + '_> = match (self.precision, self.backend) {
+            (Precision::Full, Backend::Serial) => {
+                Box::new(self.run_in_pool(|| self.matrix.factorize_serial())?)
+            }
+            (Precision::Full, Backend::Batched) => {
+                let mut solver = GpuSolver::new(&self.device, &self.matrix);
+                self.run_in_pool(|| solver.factorize())?;
+                Box::new(solver)
+            }
+            (Precision::MixedRefine, _) => self.run_in_pool(|| T::mixed_factorization(self))?,
+        };
+        Ok(Factorization {
+            inner,
+            backend: self.backend,
+            precision: self.precision,
+            pool: self.pool.as_ref(),
+        })
+    }
+}

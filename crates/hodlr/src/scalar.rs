@@ -1,0 +1,177 @@
+//! The sealed [`SolveScalar`] extension trait: per-scalar dispatch of the
+//! [`Precision::MixedRefine`](crate::Precision) policy.
+//!
+//! Mixed-precision refinement factorizes the HODLR approximation in the
+//! *companion lower precision* (`f64 -> f32`, `Complex64 -> Complex32`) and
+//! recovers working-precision accuracy by iterative refinement.  The demoted
+//! factorization itself runs on whichever [`Backend`] the
+//! builder selected, so `Backend::Batched` + `Precision::MixedRefine`
+//! demotes, uploads and factorizes on the virtual device in `f32`.  For the
+//! scalars that *are* the lower precision (`f32`, `Complex32`) the policy is
+//! rejected with a typed error instead of a compile failure, keeping
+//! [`Hodlr`] generic over every [`Scalar`].
+
+use crate::build::{Backend, Hodlr};
+use crate::solve::Solve;
+use hodlr_core::GpuSolver;
+use hodlr_la::{Complex32, Complex64, DenseMatrix, HodlrError, Scalar};
+use hodlr_solver::{demote_hodlr, iterative_refinement, DemoteScalar, LinearOperator};
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for super::Complex32 {}
+    impl Sealed for super::Complex64 {}
+}
+
+/// A [`Scalar`] the façade can factorize under every precision policy.
+///
+/// Sealed: implemented for exactly `f32`, `f64`, `Complex32` and
+/// `Complex64`.  The single method is an implementation detail of
+/// [`Factorize`](crate::Factorize) for [`Hodlr`].
+pub trait SolveScalar: Scalar + sealed::Sealed {
+    /// Build the mixed-precision solver for `hodlr`, or explain why the
+    /// scalar cannot be demoted.
+    #[doc(hidden)]
+    fn mixed_factorization(hodlr: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError>;
+}
+
+impl SolveScalar for f64 {
+    fn mixed_factorization(hodlr: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError> {
+        mixed_factorization_impl(hodlr)
+    }
+}
+
+impl SolveScalar for Complex64 {
+    fn mixed_factorization(hodlr: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError> {
+        mixed_factorization_impl(hodlr)
+    }
+}
+
+impl SolveScalar for f32 {
+    fn mixed_factorization(_: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError> {
+        Err(HodlrError::config(
+            "Precision::MixedRefine requires a double-precision scalar (f64 or \
+             Complex64); f32 has no lower companion precision",
+        ))
+    }
+}
+
+impl SolveScalar for Complex32 {
+    fn mixed_factorization(_: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError> {
+        Err(HodlrError::config(
+            "Precision::MixedRefine requires a double-precision scalar (f64 or \
+             Complex64); Complex32 has no lower companion precision",
+        ))
+    }
+}
+
+/// Demote, factorize with the configured backend, and wrap in the
+/// refinement loop.
+fn mixed_factorization_impl<T>(hodlr: &Hodlr<T>) -> Result<Box<dyn Solve<T> + '_>, HodlrError>
+where
+    T: DemoteScalar + SolveScalar,
+{
+    let demoted = demote_hodlr(hodlr.matrix());
+    let inner: Box<dyn Solve<T::Lower> + '_> = match hodlr.backend() {
+        Backend::Serial => Box::new(demoted.factorize_serial()?),
+        Backend::Batched => {
+            let mut solver = GpuSolver::new(hodlr.device(), &demoted);
+            solver.factorize()?;
+            Box::new(solver)
+        }
+    };
+    Ok(Box::new(MixedSolver {
+        hodlr,
+        inner,
+        tol: hodlr.refine_tol(),
+        max_iters: hodlr.refine_max_iters(),
+    }))
+}
+
+/// The [`Precision::MixedRefine`](crate::Precision) backend: a
+/// lower-precision factorization (serial or batched) plus working-precision
+/// iterative refinement to the configured tolerance.
+struct MixedSolver<'m, T: DemoteScalar> {
+    hodlr: &'m Hodlr<T>,
+    inner: Box<dyn Solve<T::Lower> + 'm>,
+    tol: f64,
+    max_iters: usize,
+}
+
+/// The lower-precision factorization exposed as a working-precision
+/// `M^{-1}` operator: residuals are demoted, solved, and the correction
+/// promoted back.
+struct DemotedPrecondOp<'a, T: DemoteScalar> {
+    inner: &'a dyn Solve<T::Lower>,
+}
+
+impl<T: DemoteScalar> LinearOperator<T> for DemotedPrecondOp<'_, T> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        let demoted: Vec<T::Lower> = x.iter().map(|&v| v.demote()).collect();
+        let solved = self
+            .inner
+            .solve(&demoted)
+            .expect("refinement residual has the factorization's dimension");
+        for (yi, lo) in y.iter_mut().zip(solved) {
+            *yi = T::promote(lo);
+        }
+    }
+}
+
+impl<T: DemoteScalar> Solve<T> for MixedSolver<'_, T> {
+    fn dim(&self) -> usize {
+        self.hodlr.n()
+    }
+
+    fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {
+        HodlrError::check_dims("right-hand side", self.dim(), x.len())?;
+        let m = DemotedPrecondOp::<T> {
+            inner: self.inner.as_ref(),
+        };
+        let out = iterative_refinement(
+            self.hodlr.matrix(),
+            &m,
+            x,
+            hodlr_solver::RefinementOptions {
+                tol: self.tol,
+                max_iters: self.max_iters,
+            },
+        )?;
+        // The best iterate is written back even when refinement stalls, so
+        // callers that can live with a best-effort answer (e.g. a Krylov
+        // method applying this as a preconditioner) still get one alongside
+        // the typed error.
+        x.copy_from_slice(&out.x);
+        if !out.converged {
+            return Err(HodlrError::NonConvergence {
+                iterations: out.iterations,
+                relative_residual: out.relative_residual,
+                context: "mixed-precision iterative refinement".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn solve_block_in_place(&self, x: &mut DenseMatrix<T>) -> Result<(), HodlrError> {
+        HodlrError::check_dims("right-hand side block rows", self.dim(), x.rows())?;
+        // Refinement tracks one residual per right-hand side; sweep columns.
+        // Every column is refined (best effort) before the first
+        // non-convergence is reported.
+        let mut first_err = None;
+        for j in 0..x.cols() {
+            if let Err(e) = self.solve_in_place(x.col_mut(j)) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}

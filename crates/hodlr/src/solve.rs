@@ -1,0 +1,213 @@
+//! The backend-agnostic [`Factorize`] / [`Solve`] traits and the
+//! [`Factorization`] handle that erases the backend type.
+//!
+//! Every solver in the workspace speaks the same four-method [`Solve`]
+//! vocabulary — single right-hand side, blocked multi-RHS, and in-place
+//! variants of both — and every fallible path returns
+//! [`HodlrError`] instead of panicking.  Callers pick a backend with
+//! [`Backend`](crate::Backend) on the builder and never name a concrete
+//! solver type again.
+
+use hodlr_core::{GpuSolver, SerialFactorization};
+use hodlr_la::{DenseMatrix, HodlrError, Scalar};
+
+/// Backend-agnostic solving against a completed factorization.
+///
+/// Implemented by [`SerialFactorization`] (Algorithms 1–2),
+/// [`GpuSolver`] (Algorithms 3–4 on the virtual batched device), the
+/// [`IterativeSolver`](crate::IterativeSolver) Krylov adapter, and the
+/// type-erased [`Factorization`] handle.
+///
+/// The in-place variants are the primitive operations; the allocating
+/// variants have default implementations on top of them.
+pub trait Solve<T: Scalar> {
+    /// The dimension `n` of the (square) factorized operator.
+    fn dim(&self) -> usize;
+
+    /// Solve `A x = b` in place: on entry `x` holds `b`, on exit the
+    /// solution.
+    ///
+    /// # Errors
+    /// [`HodlrError::DimensionMismatch`] when `x` has length `!= dim()`,
+    /// [`HodlrError::NotFactorized`] when no factorization is available,
+    /// and [`HodlrError::NonConvergence`] from iterative backends.
+    fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError>;
+
+    /// Blocked multi-RHS solve in place: every column of `x` is a
+    /// right-hand side on entry and a solution on exit.  One sweep
+    /// processes all columns (one gemm / one batched launch per tree node
+    /// instead of one sweep per column).
+    ///
+    /// # Errors
+    /// As [`Solve::solve_in_place`], judged against the row count of `x`.
+    fn solve_block_in_place(&self, x: &mut DenseMatrix<T>) -> Result<(), HodlrError>;
+
+    /// Solve `A x = b` into a fresh vector.
+    ///
+    /// # Errors
+    /// As [`Solve::solve_in_place`].
+    fn solve(&self, b: &[T]) -> Result<Vec<T>, HodlrError> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Blocked multi-RHS solve `A X = B` into a fresh matrix.
+    ///
+    /// # Errors
+    /// As [`Solve::solve_block_in_place`].
+    fn solve_block(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>, HodlrError> {
+        let mut x = b.clone();
+        self.solve_block_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Convenience multi-RHS entry point over a slice of right-hand-side
+    /// vectors; packs them into one block, runs a single blocked sweep,
+    /// and unpacks.
+    ///
+    /// # Errors
+    /// As [`Solve::solve_block_in_place`]; additionally names the first
+    /// right-hand side whose length is wrong.
+    fn solve_many(&self, rhs: &[Vec<T>]) -> Result<Vec<Vec<T>>, HodlrError> {
+        let n = self.dim();
+        let k = rhs.len();
+        let mut b = DenseMatrix::<T>::zeros(n, k);
+        for (j, col) in rhs.iter().enumerate() {
+            HodlrError::check_dims(format!("right-hand side {j}"), n, col.len())?;
+            b.col_mut(j).copy_from_slice(col);
+        }
+        let x = self.solve_block(&b)?;
+        Ok((0..k).map(|j| x.col(j).to_vec()).collect())
+    }
+}
+
+impl<T: Scalar> Solve<T> for SerialFactorization<T> {
+    fn dim(&self) -> usize {
+        self.tree().n()
+    }
+
+    fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {
+        HodlrError::check_dims("right-hand side", self.dim(), x.len())?;
+        let out = SerialFactorization::solve(self, x);
+        x.copy_from_slice(&out);
+        Ok(())
+    }
+
+    fn solve_block_in_place(&self, x: &mut DenseMatrix<T>) -> Result<(), HodlrError> {
+        HodlrError::check_dims("right-hand side block rows", self.dim(), x.rows())?;
+        *x = self.solve_matrix(x);
+        Ok(())
+    }
+}
+
+impl<T: Scalar> Solve<T> for GpuSolver<'_, T> {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+
+    fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {
+        if !self.is_factored() {
+            return Err(HodlrError::NotFactorized);
+        }
+        HodlrError::check_dims("right-hand side", self.dim(), x.len())?;
+        let out = GpuSolver::solve(self, x);
+        x.copy_from_slice(&out);
+        Ok(())
+    }
+
+    fn solve_block_in_place(&self, x: &mut DenseMatrix<T>) -> Result<(), HodlrError> {
+        if !self.is_factored() {
+            return Err(HodlrError::NotFactorized);
+        }
+        HodlrError::check_dims("right-hand side block rows", self.dim(), x.rows())?;
+        *x = self.solve_matrix(x);
+        Ok(())
+    }
+}
+
+/// Anything that can be factorized into a backend-agnostic
+/// [`Factorization`].
+///
+/// Implemented by [`Hodlr`](crate::Hodlr) (dispatching on the configured
+/// [`Backend`](crate::Backend) and [`Precision`](crate::Precision)) and by
+/// a bare [`HodlrMatrix`](hodlr_core::HodlrMatrix) (always the serial
+/// full-precision backend).
+pub trait Factorize<T: Scalar> {
+    /// Factorize, producing a handle that solves through the [`Solve`]
+    /// trait.
+    ///
+    /// # Errors
+    /// [`HodlrError::SingularPivot`] when a diagonal or coupling block is
+    /// singular, plus configuration errors from exotic backend /
+    /// precision combinations.
+    fn factorize(&self) -> Result<Factorization<'_, T>, HodlrError>;
+}
+
+impl<T: Scalar> Factorize<T> for hodlr_core::HodlrMatrix<T> {
+    fn factorize(&self) -> Result<Factorization<'_, T>, HodlrError> {
+        Ok(Factorization {
+            inner: Box::new(self.factorize_serial()?),
+            backend: crate::Backend::Serial,
+            precision: crate::Precision::Full,
+            pool: None,
+        })
+    }
+}
+
+/// A completed factorization with the backend erased: solve through the
+/// [`Solve`] trait without knowing whether Algorithms 1–2, Algorithms 3–4,
+/// or a mixed-precision refinement loop run underneath.
+pub struct Factorization<'m, T: Scalar> {
+    pub(crate) inner: Box<dyn Solve<T> + 'm>,
+    pub(crate) backend: crate::Backend,
+    pub(crate) precision: crate::Precision,
+    /// Dedicated worker pool of the owning [`Hodlr`](crate::Hodlr), when
+    /// one was configured with `threads(..)`.
+    pub(crate) pool: Option<&'m rayon::ThreadPool>,
+}
+
+impl<T: Scalar> Factorization<'_, T> {
+    /// The backend that produced this factorization.
+    pub fn backend(&self) -> crate::Backend {
+        self.backend
+    }
+
+    /// The precision policy of this factorization.
+    pub fn precision(&self) -> crate::Precision {
+        self.precision
+    }
+
+    pub(crate) fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+}
+
+impl<T: Scalar> Solve<T> for Factorization<'_, T> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {
+        self.run(|| self.inner.solve_in_place(x))
+    }
+
+    fn solve_block_in_place(&self, x: &mut DenseMatrix<T>) -> Result<(), HodlrError> {
+        self.run(|| self.inner.solve_block_in_place(x))
+    }
+
+    fn solve(&self, b: &[T]) -> Result<Vec<T>, HodlrError> {
+        self.run(|| self.inner.solve(b))
+    }
+
+    fn solve_block(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>, HodlrError> {
+        self.run(|| self.inner.solve_block(b))
+    }
+
+    fn solve_many(&self, rhs: &[Vec<T>]) -> Result<Vec<Vec<T>>, HodlrError> {
+        self.run(|| self.inner.solve_many(rhs))
+    }
+}

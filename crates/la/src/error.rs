@@ -1,0 +1,210 @@
+//! [`HodlrError`] — the one typed error enum shared by every crate in the
+//! workspace.
+//!
+//! Every fallible public entry point (HODLR construction, compression,
+//! factorization, direct and iterative solves) returns `Result<_,
+//! HodlrError>` instead of panicking on bad input.  The enum lives in the
+//! bottom crate of the dependency graph so that `hodlr-compress`,
+//! `hodlr-core`, `hodlr-solver` and the `hodlr` façade can all speak the
+//! same error language without conversion boilerplate at crate boundaries.
+
+use crate::lu::SingularError;
+use std::fmt;
+
+/// The workspace-wide error type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HodlrError {
+    /// Two shapes that must agree do not.  `context` names the offending
+    /// object (a node, a block, a right-hand side, ...).
+    DimensionMismatch {
+        /// What was being checked (e.g. `"right-hand side 2"`,
+        /// `"diagonal block of leaf 3"`).
+        context: String,
+        /// The size the shape had to have.
+        expected: usize,
+        /// The size that was actually supplied.
+        found: usize,
+    },
+    /// A pivot of an LU factorization was exactly zero (LAPACK `info`
+    /// convention: the position is 0-based within the failing block).
+    SingularPivot {
+        /// Which factorization failed (e.g. `"leaf diagonal block"`,
+        /// `"coupling matrix"`).
+        context: String,
+        /// Zero-pivot position within the block.
+        pivot: usize,
+        /// For batched factorizations, the batch entry that failed.
+        batch_index: Option<usize>,
+    },
+    /// A compression hit its hard rank cap before reaching the requested
+    /// tolerance (only reported when the cap is marked strict).
+    CompressionRankOverflow {
+        /// The hard cap that was hit.
+        max_rank: usize,
+        /// The tolerance that could not be certified within the cap.
+        tol: f64,
+        /// Which block was being compressed.
+        context: String,
+    },
+    /// An iterative method ran out of iterations before reaching its
+    /// tolerance.  Carries the iteration report so callers can decide
+    /// whether the partial answer is still useful.
+    NonConvergence {
+        /// Iterations actually performed.
+        iterations: usize,
+        /// Final relative residual `||b - A x|| / ||b||`.
+        relative_residual: f64,
+        /// Which method / system did not converge.
+        context: String,
+    },
+    /// A solve was requested before the factorization was computed.
+    NotFactorized,
+    /// A configuration value is out of its legal range (non-positive
+    /// tolerance, zero-size tree, zero threads, missing input, ...).
+    InvalidConfig {
+        /// Human-readable description of the offending setting.
+        message: String,
+    },
+}
+
+impl HodlrError {
+    /// Shorthand for a [`HodlrError::DimensionMismatch`].
+    pub fn dims(context: impl Into<String>, expected: usize, found: usize) -> Self {
+        HodlrError::DimensionMismatch {
+            context: context.into(),
+            expected,
+            found,
+        }
+    }
+
+    /// Shorthand for an [`HodlrError::InvalidConfig`].
+    pub fn config(message: impl Into<String>) -> Self {
+        HodlrError::InvalidConfig {
+            message: message.into(),
+        }
+    }
+
+    /// Check that `found == expected`, attributing a failure to `context`.
+    pub fn check_dims(
+        context: impl Into<String>,
+        expected: usize,
+        found: usize,
+    ) -> Result<(), HodlrError> {
+        if expected == found {
+            Ok(())
+        } else {
+            Err(HodlrError::dims(context, expected, found))
+        }
+    }
+}
+
+impl fmt::Display for HodlrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HodlrError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, found {found}"
+            ),
+            HodlrError::SingularPivot {
+                context,
+                pivot,
+                batch_index,
+            } => match batch_index {
+                Some(b) => write!(
+                    f,
+                    "singular {context} (batch entry {b}): zero pivot at position {pivot}"
+                ),
+                None => write!(f, "singular {context}: zero pivot at position {pivot}"),
+            },
+            HodlrError::CompressionRankOverflow {
+                max_rank,
+                tol,
+                context,
+            } => write!(
+                f,
+                "compression of {context} hit the hard rank cap {max_rank} before \
+                 certifying tolerance {tol:.3e}"
+            ),
+            HodlrError::NonConvergence {
+                iterations,
+                relative_residual,
+                context,
+            } => write!(
+                f,
+                "{context} did not converge: relative residual {relative_residual:.3e} \
+                 after {iterations} iterations"
+            ),
+            HodlrError::NotFactorized => {
+                write!(f, "solve requested before factorize() was called")
+            }
+            HodlrError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for HodlrError {}
+
+impl From<SingularError> for HodlrError {
+    fn from(e: SingularError) -> Self {
+        HodlrError::SingularPivot {
+            context: "matrix".to_string(),
+            pivot: e.pivot,
+            batch_index: None,
+        }
+    }
+}
+
+impl SingularError {
+    /// Promote to a [`HodlrError::SingularPivot`] naming the failing block.
+    pub fn into_hodlr(self, context: impl Into<String>) -> HodlrError {
+        HodlrError::SingularPivot {
+            context: context.into(),
+            pivot: self.pivot,
+            batch_index: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = HodlrError::dims("right-hand side 2", 64, 63);
+        assert!(e.to_string().contains("right-hand side 2"));
+        assert!(e.to_string().contains("64"));
+
+        let e = HodlrError::SingularPivot {
+            context: "leaf diagonal block".into(),
+            pivot: 7,
+            batch_index: Some(3),
+        };
+        assert!(e.to_string().contains("batch entry 3"));
+        assert!(e.to_string().contains("position 7"));
+    }
+
+    #[test]
+    fn check_dims_passes_and_fails() {
+        assert!(HodlrError::check_dims("x", 4, 4).is_ok());
+        let err = HodlrError::check_dims("x", 4, 5).unwrap_err();
+        assert_eq!(
+            err,
+            HodlrError::DimensionMismatch {
+                context: "x".into(),
+                expected: 4,
+                found: 5
+            }
+        );
+    }
+
+    #[test]
+    fn singular_error_promotes_with_context() {
+        let e = SingularError { pivot: 2 }.into_hodlr("coupling matrix of node 5");
+        assert!(e.to_string().contains("coupling matrix of node 5"));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod blas;
 pub mod complex;
 pub mod dense;
+pub mod error;
 pub mod lu;
 pub mod norms;
 pub mod qr;
@@ -33,6 +34,7 @@ pub mod triangular;
 pub use blas::{gemm, gemv, Op};
 pub use complex::Complex;
 pub use dense::{DenseMatrix, MatMut, MatRef};
+pub use error::HodlrError;
 pub use lu::LuFactor;
 pub use scalar::{RealScalar, Scalar};
 

@@ -8,6 +8,7 @@ use crate::precond::IdentityPreconditioner;
 use crate::report::IterativeSolution;
 use hodlr_la::blas::{axpy_slice, dot_conj};
 use hodlr_la::norms::norm2;
+use hodlr_la::HodlrError;
 use hodlr_la::{RealScalar, Scalar};
 
 /// The BiCGStab method.
@@ -46,7 +47,12 @@ impl BiCgStab {
     }
 
     /// Solve `A x = b` without preconditioning.
-    pub fn solve<T, A>(&self, a: &A, b: &[T]) -> IterativeSolution<T>
+    ///
+    /// # Errors
+    /// Returns [`HodlrError::DimensionMismatch`] when `b` and the operator
+    /// disagree.  Non-convergence is reported in the returned
+    /// [`IterativeSolution`], not as an error.
+    pub fn solve<T, A>(&self, a: &A, b: &[T]) -> Result<IterativeSolution<T>, HodlrError>
     where
         T: Scalar,
         A: LinearOperator<T>,
@@ -57,20 +63,33 @@ impl BiCgStab {
     /// Solve `A x = b` with `m` applying `M^{-1}` as a right
     /// preconditioner.  One iteration performs two operator and two
     /// preconditioner applications.
-    pub fn solve_preconditioned<T, A, M>(&self, a: &A, m: &M, b: &[T]) -> IterativeSolution<T>
+    /// # Errors
+    /// See [`BiCgStab::solve`].
+    pub fn solve_preconditioned<T, A, M>(
+        &self,
+        a: &A,
+        m: &M,
+        b: &[T],
+    ) -> Result<IterativeSolution<T>, HodlrError>
     where
         T: Scalar,
         A: LinearOperator<T>,
         M: LinearOperator<T>,
     {
         let n = b.len();
-        assert_eq!(a.dim(), n, "operator and right-hand side disagree");
-        assert_eq!(m.dim(), n, "preconditioner and right-hand side disagree");
+        HodlrError::check_dims("bicgstab operator vs right-hand side", a.dim(), n)?;
+        HodlrError::check_dims("bicgstab preconditioner vs right-hand side", m.dim(), n)?;
+        if self.tol <= 0.0 || !self.tol.is_finite() {
+            return Err(HodlrError::config(format!(
+                "bicgstab tolerance must be positive and finite, got {:e}",
+                self.tol
+            )));
+        }
         let bnorm = norm2(b).to_f64();
         let mut x = vec![T::zero(); n];
         let mut history = Vec::new();
         if bnorm == 0.0 {
-            return IterativeSolution::zero_rhs(n);
+            return Ok(IterativeSolution::zero_rhs(n));
         }
 
         let mut r: Vec<T> = b.to_vec();
@@ -137,7 +156,9 @@ impl BiCgStab {
         }
 
         // Report against the true residual, not the recurrence.
-        IterativeSolution::from_candidate(a, b, bnorm, self.tol, x, iters, history)
+        Ok(IterativeSolution::from_candidate(
+            a, b, bnorm, self.tol, x, iters, history,
+        ))
     }
 }
 
@@ -159,6 +180,7 @@ mod tests {
         let out = BiCgStab::new()
             .tol(1e-12)
             .solve(&a, &b)
+            .unwrap()
             .expect_converged("bicgstab");
         for (xi, ei) in out.x.iter().zip(&x_true) {
             assert!((xi - ei).abs() < 1e-8);
@@ -173,6 +195,7 @@ mod tests {
         let out = BiCgStab::new()
             .tol(1e-11)
             .solve(&a, &b)
+            .unwrap()
             .expect_converged("complex bicgstab");
         assert!(out.relative_residual < 1e-11);
     }
@@ -186,6 +209,7 @@ mod tests {
         let out = BiCgStab::new()
             .tol(1e-10)
             .solve_preconditioned(&matrix, &precond, &b)
+            .unwrap()
             .expect_converged("preconditioned bicgstab");
         assert!(out.iterations <= 2, "took {} iterations", out.iterations);
     }
@@ -194,7 +218,7 @@ mod tests {
     fn zero_rhs_is_trivial() {
         let mut rng = StdRng::seed_from_u64(23);
         let a: DenseMatrix<f64> = hodlr_la::random::random_diag_dominant(&mut rng, 8);
-        let out = BiCgStab::new().solve(&a, &[0.0; 8]);
+        let out = BiCgStab::new().solve(&a, &[0.0; 8]).unwrap();
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
     }

@@ -11,7 +11,7 @@ use crate::precond::IdentityPreconditioner;
 use crate::report::IterativeSolution;
 use hodlr_la::blas::{axpy_slice, dot_conj};
 use hodlr_la::norms::norm2;
-use hodlr_la::{RealScalar, Scalar};
+use hodlr_la::{HodlrError, RealScalar, Scalar};
 
 /// Restarted GMRES(m).
 #[derive(Copy, Clone, Debug)]
@@ -38,9 +38,9 @@ impl Gmres {
         Self::default()
     }
 
-    /// Set the restart length `m`.
+    /// Set the restart length `m` (a zero restart is reported as
+    /// [`HodlrError::InvalidConfig`] at solve time).
     pub fn restart(mut self, m: usize) -> Self {
-        assert!(m > 0, "restart length must be positive");
         self.restart = m;
         self
     }
@@ -58,7 +58,14 @@ impl Gmres {
     }
 
     /// Solve `A x = b` without preconditioning.
-    pub fn solve<T, A>(&self, a: &A, b: &[T]) -> IterativeSolution<T>
+    ///
+    /// # Errors
+    /// Returns [`HodlrError::DimensionMismatch`] when `b` and the operator
+    /// disagree, or [`HodlrError::InvalidConfig`] for a bad configuration.
+    /// Non-convergence is *not* an error at this layer: the returned
+    /// [`IterativeSolution`] reports it (the `hodlr` façade's `Solve`
+    /// implementation converts it into [`HodlrError::NonConvergence`]).
+    pub fn solve<T, A>(&self, a: &A, b: &[T]) -> Result<IterativeSolution<T>, HodlrError>
     where
         T: Scalar,
         A: LinearOperator<T>,
@@ -69,21 +76,37 @@ impl Gmres {
     /// Solve `A x = b` with `m` as a right preconditioner (`m` applies
     /// `M^{-1}`, e.g. a [`GpuPreconditioner`](crate::GpuPreconditioner)
     /// over a loose HODLR factorization).
-    pub fn solve_preconditioned<T, A, M>(&self, a: &A, m: &M, b: &[T]) -> IterativeSolution<T>
+    /// # Errors
+    /// See [`Gmres::solve`].
+    pub fn solve_preconditioned<T, A, M>(
+        &self,
+        a: &A,
+        m: &M,
+        b: &[T],
+    ) -> Result<IterativeSolution<T>, HodlrError>
     where
         T: Scalar,
         A: LinearOperator<T>,
         M: LinearOperator<T>,
     {
         let n = b.len();
-        assert_eq!(a.dim(), n, "operator and right-hand side disagree");
-        assert_eq!(m.dim(), n, "preconditioner and right-hand side disagree");
+        HodlrError::check_dims("gmres operator vs right-hand side", a.dim(), n)?;
+        HodlrError::check_dims("gmres preconditioner vs right-hand side", m.dim(), n)?;
+        if self.restart == 0 {
+            return Err(HodlrError::config("gmres restart length must be positive"));
+        }
+        if self.tol <= 0.0 || !self.tol.is_finite() {
+            return Err(HodlrError::config(format!(
+                "gmres tolerance must be positive and finite, got {:e}",
+                self.tol
+            )));
+        }
         let bnorm = norm2(b).to_f64();
         let mut x = vec![T::zero(); n];
         let mut history = Vec::new();
         let mut iters = 0usize;
         if bnorm == 0.0 {
-            return IterativeSolution::zero_rhs(n);
+            return Ok(IterativeSolution::zero_rhs(n));
         }
 
         'outer: while iters < self.max_iters {
@@ -187,7 +210,9 @@ impl Gmres {
         }
 
         // Report against the true residual, not the recurrence.
-        IterativeSolution::from_candidate(a, b, bnorm, self.tol, x, iters, history)
+        Ok(IterativeSolution::from_candidate(
+            a, b, bnorm, self.tol, x, iters, history,
+        ))
     }
 }
 
@@ -210,6 +235,7 @@ mod tests {
         let out = Gmres::new()
             .tol(1e-12)
             .solve(&a, &b)
+            .unwrap()
             .expect_converged("dense gmres");
         for (xi, ei) in out.x.iter().zip(&x_true) {
             assert!((xi - ei).abs() < 1e-8, "{xi} vs {ei}");
@@ -229,6 +255,7 @@ mod tests {
         let out = Gmres::new()
             .tol(1e-12)
             .solve(&a, &b)
+            .unwrap()
             .expect_converged("complex gmres");
         for (xi, ei) in out.x.iter().zip(&x_true) {
             assert!((*xi - *ei).abs() < 1e-8);
@@ -246,6 +273,7 @@ mod tests {
         let out = Gmres::new()
             .tol(1e-10)
             .solve_preconditioned(&matrix, &precond, &b)
+            .unwrap()
             .expect_converged("exactly preconditioned gmres");
         assert!(out.iterations <= 2, "took {} iterations", out.iterations);
     }
@@ -260,6 +288,7 @@ mod tests {
             .max_iters(400)
             .tol(1e-10)
             .solve(&a, &b)
+            .unwrap()
             .expect_converged("restarted gmres");
         assert!(out.relative_residual < 1e-10);
     }
@@ -268,7 +297,7 @@ mod tests {
     fn zero_rhs_returns_zero_immediately() {
         let mut rng = StdRng::seed_from_u64(14);
         let a: DenseMatrix<f64> = hodlr_la::random::random_diag_dominant(&mut rng, 8);
-        let out = Gmres::new().solve(&a, &[0.0; 8]);
+        let out = Gmres::new().solve(&a, &[0.0; 8]).unwrap();
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
         assert!(out.x.iter().all(|&v| v == 0.0));
@@ -280,7 +309,7 @@ mod tests {
         // An ill-conditioned random matrix that will not converge in 3 steps.
         let a: DenseMatrix<f64> = hodlr_la::random::random_matrix(&mut rng, 50, 50);
         let b: Vec<f64> = hodlr_la::random::random_vector(&mut rng, 50);
-        let out = Gmres::new().max_iters(3).tol(1e-14).solve(&a, &b);
+        let out = Gmres::new().max_iters(3).tol(1e-14).solve(&a, &b).unwrap();
         assert!(!out.converged);
         assert_eq!(out.iterations, 3);
     }

@@ -59,7 +59,8 @@
 //! let precond = GpuPreconditioner::from_matrix(&device, &matrix).unwrap();
 //! let out = Gmres::new()
 //!     .tol(1e-10)
-//!     .solve_preconditioned(&matrix, &precond, &b);
+//!     .solve_preconditioned(&matrix, &precond, &b)
+//!     .unwrap();
 //! assert!(out.converged);
 //! ```
 

@@ -10,8 +10,7 @@ use crate::operator::LinearOperator;
 use crate::refine::{iterative_refinement, RefinementOptions};
 use crate::report::IterativeSolution;
 use hodlr_core::{ComplexityReport, HodlrMatrix, SerialFactorization};
-use hodlr_la::lu::SingularError;
-use hodlr_la::{Complex32, Complex64, DenseMatrix, Scalar};
+use hodlr_la::{Complex32, Complex64, DenseMatrix, HodlrError, Scalar};
 
 /// A scalar with a companion lower-precision format (`f64 -> f32`,
 /// `Complex64 -> Complex32`).
@@ -70,6 +69,7 @@ pub fn demote_hodlr<T: DemoteScalar>(matrix: &HodlrMatrix<T>) -> HodlrMatrix<T::
         demote_dense(matrix.vbig()),
         matrix.diag_blocks().iter().map(demote_dense).collect(),
     )
+    .expect("demotion preserves the shapes of every part")
 }
 
 /// A lower-precision serial HODLR factorization applying `M^{-1}` in the
@@ -87,7 +87,7 @@ impl<T: DemoteScalar> MixedPrecisionPreconditioner<T> {
     ///
     /// # Errors
     /// Propagates singular blocks from the lower-precision factorization.
-    pub fn factorize(matrix: &HodlrMatrix<T>) -> Result<Self, SingularError> {
+    pub fn factorize(matrix: &HodlrMatrix<T>) -> Result<Self, HodlrError> {
         let demoted = demote_hodlr(matrix);
         let report = ComplexityReport::for_matrix(&demoted);
         let factor = demoted.factorize_serial()?;
@@ -152,13 +152,13 @@ pub fn mixed_precision_solve<T, A>(
     matrix: &HodlrMatrix<T>,
     b: &[T],
     options: RefinementOptions,
-) -> Result<MixedPrecisionSolve<T>, SingularError>
+) -> Result<MixedPrecisionSolve<T>, HodlrError>
 where
     T: DemoteScalar,
     A: LinearOperator<T>,
 {
     let precond = MixedPrecisionPreconditioner::factorize(matrix)?;
-    let solution = iterative_refinement(a, &precond, b, options);
+    let solution = iterative_refinement(a, &precond, b, options)?;
     let model = precond.complexity();
     // Each sweep: one lower-precision HODLR solve plus one apply of A,
     // approximated by two flops per stored entry of the HODLR operand.

@@ -7,11 +7,9 @@
 //! over many solves.
 
 use crate::operator::LinearOperator;
-use hodlr_batch::{BatchSingularError, Device};
+use hodlr_batch::Device;
 use hodlr_core::{GpuSolver, HodlrMatrix, SerialFactorization};
-use hodlr_la::lu::SingularError;
-use hodlr_la::{DenseMatrix, Scalar};
-use std::cell::RefCell;
+use hodlr_la::{DenseMatrix, HodlrError, Scalar};
 
 /// The identity "preconditioner": turns a preconditioned method into its
 /// unpreconditioned variant without a second code path.
@@ -57,7 +55,7 @@ impl<T: Scalar> SerialPreconditioner<T> {
     ///
     /// # Errors
     /// Propagates singular leaf / coupling blocks from the factorization.
-    pub fn from_matrix(matrix: &HodlrMatrix<T>) -> Result<Self, SingularError> {
+    pub fn from_matrix(matrix: &HodlrMatrix<T>) -> Result<Self, HodlrError> {
         Ok(Self::new(matrix.factorize_serial()?))
     }
 
@@ -87,9 +85,7 @@ impl<T: Scalar> LinearOperator<T> for SerialPreconditioner<T> {
 /// [`Device`] counters, so preconditioner traffic shows up in the same
 /// launch/flop accounting as direct solves.
 pub struct GpuPreconditioner<'d, T: Scalar> {
-    // The batched solve needs `&mut` for its stream round-robin; interior
-    // mutability keeps the operator trait's `&self` application signature.
-    solver: RefCell<GpuSolver<'d, T>>,
+    solver: GpuSolver<'d, T>,
     n: usize,
 }
 
@@ -104,20 +100,14 @@ impl<'d, T: Scalar> GpuPreconditioner<'d, T> {
             "GpuPreconditioner requires a factored solver"
         );
         let n = solver.n();
-        GpuPreconditioner {
-            solver: RefCell::new(solver),
-            n,
-        }
+        GpuPreconditioner { solver, n }
     }
 
     /// Upload `matrix` to `device`, factorize it, and wrap the result.
     ///
     /// # Errors
     /// Propagates singular batch entries from the factorization.
-    pub fn from_matrix(
-        device: &'d Device,
-        matrix: &HodlrMatrix<T>,
-    ) -> Result<Self, BatchSingularError> {
+    pub fn from_matrix(device: &'d Device, matrix: &HodlrMatrix<T>) -> Result<Self, HodlrError> {
         let mut solver = GpuSolver::new(device, matrix);
         solver.factorize()?;
         Ok(Self::new(solver))
@@ -125,7 +115,7 @@ impl<'d, T: Scalar> GpuPreconditioner<'d, T> {
 
     /// Consume the adapter, returning the solver.
     pub fn into_inner(self) -> GpuSolver<'d, T> {
-        self.solver.into_inner()
+        self.solver
     }
 }
 
@@ -136,11 +126,11 @@ impl<T: Scalar> LinearOperator<T> for GpuPreconditioner<'_, T> {
 
     fn apply(&self, x: &[T], y: &mut [T]) {
         assert_eq!(y.len(), self.n, "apply: y has the wrong length");
-        y.copy_from_slice(&self.solver.borrow_mut().solve(x));
+        y.copy_from_slice(&self.solver.solve(x));
     }
 
     fn apply_to_block(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
-        self.solver.borrow_mut().solve_matrix(x)
+        self.solver.solve_matrix(x)
     }
 }
 

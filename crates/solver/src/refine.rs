@@ -11,7 +11,7 @@
 use crate::operator::LinearOperator;
 use crate::report::IterativeSolution;
 use hodlr_la::norms::norm2;
-use hodlr_la::{RealScalar, Scalar};
+use hodlr_la::{HodlrError, RealScalar, Scalar};
 
 /// Configuration for [`iterative_refinement`].
 #[derive(Copy, Clone, Debug)]
@@ -34,25 +34,30 @@ impl Default for RefinementOptions {
 /// Solve `A x = b` by refinement sweeps with `m` applying `M^{-1}`.
 ///
 /// Each iteration costs one operator and one preconditioner application.
+///
+/// # Errors
+/// Returns [`HodlrError::DimensionMismatch`] when the operator, the
+/// preconditioner and `b` disagree on their dimension.  Non-convergence is
+/// reported in the returned [`IterativeSolution`], not as an error.
 pub fn iterative_refinement<T, A, M>(
     a: &A,
     m: &M,
     b: &[T],
     options: RefinementOptions,
-) -> IterativeSolution<T>
+) -> Result<IterativeSolution<T>, HodlrError>
 where
     T: Scalar,
     A: LinearOperator<T>,
     M: LinearOperator<T>,
 {
     let n = b.len();
-    assert_eq!(a.dim(), n, "operator and right-hand side disagree");
-    assert_eq!(m.dim(), n, "preconditioner and right-hand side disagree");
+    HodlrError::check_dims("refinement operator vs right-hand side", a.dim(), n)?;
+    HodlrError::check_dims("refinement preconditioner vs right-hand side", m.dim(), n)?;
     let bnorm = norm2(b).to_f64();
     let mut x = vec![T::zero(); n];
     let mut history = Vec::new();
     if bnorm == 0.0 {
-        return IterativeSolution::zero_rhs(n);
+        return Ok(IterativeSolution::zero_rhs(n));
     }
 
     let mut iters = 0usize;
@@ -93,13 +98,13 @@ where
     // `best_x` lags `x` by one correction when the loop exited on the
     // iteration cap; its residual is the last one actually measured.
     relative_residual = relative_residual.min(best_res);
-    IterativeSolution {
+    Ok(IterativeSolution {
         x: best_x,
         iterations: iters,
         converged: relative_residual <= options.tol,
         relative_residual,
         residual_history: history,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -116,7 +121,7 @@ mod tests {
         let matrix = random_hodlr::<f64, _>(&mut rng, 64, 2, 2);
         let b: Vec<f64> = hodlr_la::random::random_vector(&mut rng, 64);
         let m = SerialPreconditioner::from_matrix(&matrix).unwrap();
-        let out = iterative_refinement(&matrix, &m, &b, RefinementOptions::default());
+        let out = iterative_refinement(&matrix, &m, &b, RefinementOptions::default()).unwrap();
         assert!(out.converged, "relres {}", out.relative_residual);
         assert!(out.iterations <= 2);
     }
@@ -151,7 +156,8 @@ mod tests {
                 tol: 1e-12,
                 max_iters: 50,
             },
-        );
+        )
+        .unwrap();
         assert!(!out.converged);
         assert!(out.iterations < 5, "stall detection did not trigger");
         // The harmful correction is rolled back: the returned iterate is the

@@ -1,14 +1,11 @@
 //! Helmholtz scattering example (Section IV-C): build a low-accuracy HODLR
 //! factorization of the combined-field operator and use it as a right
 //! preconditioner for restarted GMRES — the "robust preconditioner" use
-//! case of Table V(b), on the real Krylov method instead of a hand-rolled
-//! Richardson loop.
+//! case of Table V(b), through the façade's [`IterativeSolver`] adapter.
 
-use hodlr_batch::Device;
+use hodlr::prelude::*;
 use hodlr_bench::helmholtz_hodlr;
 use hodlr_bench::workloads::resolved_kappa;
-use hodlr_la::Complex64;
-use hodlr_solver::{Gmres, GpuPreconditioner};
 
 fn main() {
     let n = hodlr_examples::arg_usize("--n", 2048);
@@ -18,25 +15,37 @@ fn main() {
 
     // The "exact" operator is compressed tightly; the preconditioner loosely.
     let (_bie, exact) = helmholtz_hodlr(n, kappa, 1e-10);
-    let (_bie2, rough) = helmholtz_hodlr(n, kappa, 1e-3);
+    let (_bie2, rough_matrix) = helmholtz_hodlr(n, kappa, 1e-3);
     println!(
         "operator ranks: accurate {:?} / preconditioner {:?}",
         exact.max_rank(),
-        rough.max_rank()
+        rough_matrix.max_rank()
     );
 
-    let device = Device::new();
-    let precond = GpuPreconditioner::from_matrix(&device, &rough).expect("factorization");
+    // The loose approximation becomes the preconditioner: adopt it into the
+    // façade with the batched backend and bundle it with the accurate
+    // operator behind one `Solve` implementation.
+    let rough = Hodlr::builder()
+        .matrix(rough_matrix)
+        .backend(Backend::Batched)
+        .build()
+        .expect("adopting the preconditioner matrix");
+    let solver = rough
+        .iterative(KrylovMethod::Gmres { restart: 50 })
+        .expect("preconditioner factorization")
+        .with_operator(&exact)
+        .expect("operator dimensions")
+        .tol(tol)
+        .max_iters(100);
 
     // Right-hand side: a plane wave sampled on the contour.
     let b: Vec<Complex64> = (0..n)
         .map(|i| Complex64::cis(kappa * (i as f64 / n as f64)))
         .collect();
 
-    let out = Gmres::new()
-        .tol(tol)
-        .max_iters(100)
-        .solve_preconditioned(&exact, &precond, &b);
+    // `run` exposes the full iteration report; `solve` would return the
+    // typed NonConvergence error instead of a flag.
+    let out = solver.run(&b).expect("gmres dimensions");
     for (iter, res) in out.residual_history.iter().enumerate() {
         println!("iteration {iter}: relative residual {res:.3e}");
     }
@@ -64,8 +73,8 @@ fn main() {
         "recomputed residual {checked:.3e} inconsistent with the reported one"
     );
 
-    // Metered preconditioner traffic on the virtual device.
-    let counters = device.counters();
+    // Metered preconditioner traffic on the handle's virtual device.
+    let counters = rough.device().counters();
     println!(
         "device counters: {} kernel launches, {:.2} Gflop, {:.1} MiB peak device memory",
         counters.kernel_launches,

@@ -1,12 +1,11 @@
 //! Laplace exterior Dirichlet problem (Section IV-B): discretize the
 //! boundary integral equation (21) on the star contour, solve it with the
-//! HODLR direct solver, and verify the reconstructed exterior field against
-//! a manufactured exact solution.
+//! HODLR direct solver through the façade, and verify the reconstructed
+//! exterior field against a manufactured exact solution.
 
-use hodlr_batch::Device;
+use hodlr::prelude::*;
 use hodlr_bench::laplace_hodlr;
 use hodlr_bie::laplace::potential_from_sources;
-use hodlr_core::GpuSolver;
 
 fn main() {
     let n = hodlr_examples::arg_usize("--n", 4096);
@@ -20,13 +19,19 @@ fn main() {
     let sources = vec![([0.2, 0.1], 1.0), ([-0.4, 0.0], -0.3), ([0.1, -0.25], 0.6)];
     let f = bie.dirichlet_data_from_sources(&sources);
 
-    let device = Device::new();
-    let mut solver = GpuSolver::new(&device, &matrix);
-    solver.factorize().expect("factorization");
-    let sigma = solver.solve(&f);
+    let hodlr = Hodlr::builder()
+        .matrix(matrix)
+        .backend(Backend::Batched)
+        .build()
+        .expect("adopting the BIE matrix");
+    let sigma = hodlr
+        .factorize()
+        .expect("factorization")
+        .solve(&f)
+        .expect("solve");
     println!(
         "linear-system residual: {:.2e}",
-        matrix.relative_residual(&sigma, &f)
+        hodlr.relative_residual(&sigma, &f)
     );
 
     // Evaluate the exterior field and compare with the exact potential.

@@ -1,18 +1,26 @@
-//! Quickstart: build a HODLR approximation of a kernel matrix, factorize it
-//! on the virtual batched device, solve a linear system, and check the
-//! residual.  This is the 60-second tour of the public API.
+//! Quickstart: build a HODLR approximation of a kernel matrix with the
+//! fluent builder, factorize it on both backends through the `Factorize` /
+//! `Solve` traits, and check the residuals.  This is the 60-second tour of
+//! the public API — everything comes from `hodlr::prelude`.
 
-use hodlr_batch::Device;
-use hodlr_compress::CompressionConfig;
-use hodlr_core::{build_from_source, GpuSolver};
-use hodlr_kernels::{GaussianKernel, ScalarKernelSource};
-use hodlr_tree::{partition_points, uniform_cube_points};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hodlr::prelude::*;
+
+/// `--n 4096`-style argument parsing.  Local and std-only on purpose:
+/// this example demonstrates that `hodlr::prelude` is the only library
+/// import an application needs (the other examples share
+/// `hodlr_examples::arg_usize` / `arg_f64` instead).
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
-    let n = hodlr_examples::arg_usize("--n", 4096);
-    let tol = hodlr_examples::arg_f64("--tol", 1e-8);
+    let n: usize = arg("--n", 4096);
+    let tol: f64 = arg("--tol", 1e-8);
 
     // 1. A kernel matrix over random points in the unit cube, reordered by
     //    recursive bisection so off-diagonal blocks are low rank.
@@ -22,35 +30,54 @@ fn main() {
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 1.0 }, &part.points, 1.0);
 
-    // 2. Compress every sibling off-diagonal block at the requested
-    //    tolerance (rook-pivoted ACA by default).
-    let matrix = build_from_source(
-        &source,
-        part.tree.clone(),
-        &CompressionConfig::with_tol(tol),
-    );
+    // 2. One fluent builder call: compression settings, tree, and backend.
+    let hodlr = Hodlr::builder()
+        .source(&source)
+        .tree(part.tree.clone())
+        .tolerance(tol)
+        .method(CompressionMethod::AcaRook)
+        .backend(Backend::Batched)
+        .precision(Precision::Full)
+        .build()
+        .expect("HODLR construction");
     println!(
         "HODLR approximation: N = {}, levels = {}, max off-diagonal rank = {}, storage = {:.3} GiB",
-        matrix.n(),
-        matrix.levels(),
-        matrix.max_rank(),
-        matrix.memory_gib()
+        hodlr.n(),
+        hodlr.levels(),
+        hodlr.max_rank(),
+        hodlr.memory_gib()
     );
 
-    // 3. Upload to the virtual batched-BLAS device, factorize (Algorithm 3)
-    //    and solve (Algorithm 4).
-    let device = Device::new();
-    let mut solver = GpuSolver::new(&device, &matrix);
-    solver.factorize().expect("factorization");
+    // 3. Factorize (Algorithm 3 on the virtual batched device) and solve
+    //    (Algorithm 4) through the backend-agnostic traits.
+    let factorization = hodlr.factorize().expect("factorization");
     let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
-    let x = solver.solve(&b);
+    let x = factorization.solve(&b).expect("solve");
 
-    // 4. Verify.
-    println!(
-        "relative residual ||b - A x|| / ||b|| = {:.3e}",
-        matrix.relative_residual(&x, &b)
-    );
-    let counters = device.counters();
+    // 4. Verify, and compare against the serial backend (Algorithms 1-2):
+    //    same matrix, same traits, different enum value.
+    let residual = hodlr.relative_residual(&x, &b);
+    println!("batched backend: relative residual ||b - A x|| / ||b|| = {residual:.3e}");
+    assert!(residual < 1e-6, "batched residual {residual:.3e}");
+
+    let serial = Hodlr::builder()
+        .source(&source)
+        .tree(part.tree.clone())
+        .tolerance(tol)
+        .backend(Backend::Serial)
+        .build()
+        .expect("HODLR construction (serial)");
+    let x_serial = serial
+        .factorize()
+        .expect("serial factorization")
+        .solve(&b)
+        .expect("serial solve");
+    let residual_serial = serial.relative_residual(&x_serial, &b);
+    println!("serial backend:  relative residual ||b - A x|| / ||b|| = {residual_serial:.3e}");
+    assert!(residual_serial < 1e-6);
+
+    // 5. The batched work was metered on the handle's virtual device.
+    let counters = hodlr.device().counters();
     println!(
         "device counters: {} kernel launches, {:.2} GFlop executed, {:.1} MiB transferred",
         counters.kernel_launches,

@@ -1,12 +1,11 @@
 //! Brownian-dynamics style example (Section IV-A): solve mobility systems
 //! with the Rotne-Prager-Yamakawa kernel over a cloud of particles, the
-//! workload of Table III, and compare the direct solve against the
-//! HODLRlib-style baseline.
+//! workload of Table III, and compare the façade's batched backend against
+//! the HODLRlib-style baseline.
 
+use hodlr::prelude::*;
 use hodlr_baselines::HodlrlibStyleSolver;
-use hodlr_batch::Device;
 use hodlr_bench::rpy_hodlr;
-use hodlr_core::GpuSolver;
 use std::time::Instant;
 
 fn main() {
@@ -15,39 +14,41 @@ fn main() {
     let n = 3 * particles;
     println!("RPY mobility problem: {particles} particles, matrix size N = {n}, tol = {tol:.1e}");
 
-    let matrix = rpy_hodlr(n, tol);
+    let hodlr = Hodlr::builder()
+        .matrix(rpy_hodlr(n, tol))
+        .backend(Backend::Batched)
+        .build()
+        .expect("adopting the RPY matrix");
     println!(
         "rank profile (level 1 -> leaves): {:?}",
-        matrix.rank_profile()
+        hodlr.matrix().rank_profile()
     );
 
     // Force vector: unit force in x on every particle.
-    let mut b = vec![0.0; matrix.n()];
-    for i in (0..matrix.n()).step_by(3) {
+    let mut b = vec![0.0; hodlr.n()];
+    for i in (0..hodlr.n()).step_by(3) {
         b[i] = 1.0;
     }
 
-    let device = Device::new();
-    let mut gpu = GpuSolver::new(&device, &matrix);
     let start = Instant::now();
-    gpu.factorize().expect("factorization");
+    let factorization = hodlr.factorize().expect("factorization");
     let t_factor = start.elapsed().as_secs_f64();
     let start = Instant::now();
-    let x = gpu.solve(&b);
+    let x = factorization.solve(&b).expect("solve");
     let t_solve = start.elapsed().as_secs_f64();
     println!(
         "batched solver: factorization {t_factor:.3} s, solve {t_solve:.4} s, relres {:.2e}",
-        matrix.relative_residual(&x, &b)
+        hodlr.relative_residual(&x, &b)
     );
 
     let start = Instant::now();
-    let lib = HodlrlibStyleSolver::factorize(&matrix).expect("factorization");
+    let lib = HodlrlibStyleSolver::factorize(hodlr.matrix()).expect("factorization");
     let t_factor_lib = start.elapsed().as_secs_f64();
     let start = Instant::now();
     let x_lib = lib.solve(&b);
     let t_solve_lib = start.elapsed().as_secs_f64();
     println!(
         "HODLRlib-style: factorization {t_factor_lib:.3} s, solve {t_solve_lib:.4} s, relres {:.2e}",
-        matrix.relative_residual(&x_lib, &b)
+        hodlr.relative_residual(&x_lib, &b)
     );
 }

@@ -2,6 +2,7 @@
 //! equations solved through every solver in the workspace, cross-checked
 //! against each other and against dense references.
 
+use hodlr::prelude::{Backend, Factorize, Hodlr, Solve};
 use hodlr_baselines::{DenseLuSolver, HodlrlibStyleSolver};
 use hodlr_batch::Device;
 use hodlr_bie::laplace::potential_from_sources;
@@ -25,29 +26,36 @@ fn all_solvers_agree_on_a_kernel_matrix() {
     let part = partition_points(&cloud, 48);
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.8 }, &part.points, 2.0);
-    let matrix = build_from_source(
-        &source,
-        part.tree.clone(),
-        &CompressionConfig::with_tol(1e-10),
-    );
+    // The façade is the front door: one builder, backends by enum value.
+    let hodlr = Hodlr::builder()
+        .source(&source)
+        .tree(part.tree.clone())
+        .tolerance(1e-10)
+        .build()
+        .unwrap();
+    let matrix = hodlr.matrix();
 
     let dense = source.to_dense();
     let b: Vec<f64> = (0..n).map(|i| (0.1 * i as f64).cos()).collect();
     let x_dense = DenseLuSolver::new(&dense).unwrap().solve(&b);
 
-    // Serial flattened solver.
-    let x_serial = matrix.factorize_serial().unwrap().solve(&b);
-    // Batched solver on the virtual device.
-    let device = Device::new();
-    let mut gpu = GpuSolver::new(&device, &matrix);
-    gpu.factorize().unwrap();
-    let x_gpu = gpu.solve(&b);
+    // Serial flattened solver, through the Solve trait.
+    let x_serial = hodlr.factorize().unwrap().solve(&b).unwrap();
+    // Batched solver on the virtual device, same trait, other enum value.
+    let batched = Hodlr::builder()
+        .source(&source)
+        .tree(part.tree.clone())
+        .tolerance(1e-10)
+        .backend(Backend::Batched)
+        .build()
+        .unwrap();
+    let x_gpu = batched.factorize().unwrap().solve(&b).unwrap();
     // Recursive oracle.
-    let x_rec = hodlr_core::recursive::solve_recursive_vec(&matrix, &b).unwrap();
+    let x_rec = hodlr_core::recursive::solve_recursive_vec(matrix, &b).unwrap();
     // HODLRlib-style baseline.
-    let x_lib = HodlrlibStyleSolver::factorize(&matrix).unwrap().solve(&b);
+    let x_lib = HodlrlibStyleSolver::factorize(matrix).unwrap().solve(&b);
     // Block-sparse comparator.
-    let x_bs = ExtendedSystem::new(&matrix)
+    let x_bs = ExtendedSystem::new(matrix)
         .factorize(true)
         .unwrap()
         .solve(&b);
@@ -80,7 +88,7 @@ fn rpy_kernel_system_solves_accurately() {
     let source = RpyMatrixSource::new(kernel, &part.points);
     let n = 3 * particles;
     let tree = ClusterTree::with_leaf_size(n, 64);
-    let matrix = build_from_source(&source, tree, &CompressionConfig::with_tol(1e-10));
+    let matrix = build_from_source(&source, tree, &CompressionConfig::with_tol(1e-10)).unwrap();
     // Off-diagonal blocks are compressible but, with weak admissibility in
     // 3-D, not tiny: well below half the block size is what matters.
     assert!(
@@ -103,7 +111,7 @@ fn laplace_bie_reconstructs_the_exterior_field() {
     let n = 1024;
     let bie = LaplaceExteriorBie::new(StarContour::paper_contour(), n);
     let tree = ClusterTree::with_leaf_size(n, 64);
-    let matrix = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-11));
+    let matrix = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-11)).unwrap();
     let sources = vec![([0.2, 0.1], 1.0), ([-0.3, 0.2], -0.5)];
     let f = bie.dirichlet_data_from_sources(&sources);
 
@@ -130,7 +138,7 @@ fn helmholtz_bie_solves_with_complex_arithmetic() {
     let kappa = 8.0;
     let bie = HelmholtzExteriorBie::with_paper_parameters(StarContour::paper_contour(), n, kappa);
     let tree = ClusterTree::with_leaf_size(n, 64);
-    let matrix = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-9));
+    let matrix = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-9)).unwrap();
 
     let sources = vec![([0.2, 0.0], 1.0)];
     let f = bie.dirichlet_data_from_sources(&sources);
@@ -154,8 +162,8 @@ fn accuracy_is_tunable_through_the_compression_tolerance() {
     let n = 800;
     let bie = LaplaceExteriorBie::new(StarContour::paper_contour(), n);
     let tree = ClusterTree::with_leaf_size(n, 64);
-    let tight = build_from_source(&bie, tree.clone(), &CompressionConfig::with_tol(1e-12));
-    let loose = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-4));
+    let tight = build_from_source(&bie, tree.clone(), &CompressionConfig::with_tol(1e-12)).unwrap();
+    let loose = build_from_source(&bie, tree, &CompressionConfig::with_tol(1e-4)).unwrap();
     assert!(loose.max_rank() <= tight.max_rank());
     assert!(loose.storage_entries() <= tight.storage_entries());
 
@@ -235,7 +243,7 @@ fn singular_systems_are_reported_by_every_path() {
     let source = ScalarKernelSource::new(GaussianKernel { length_scale: 1.0 }, &cloud);
     let tree = ClusterTree::uniform(4, 1);
     let cfg = CompressionConfig::with_tol(1e-12).method(CompressionMethod::TruncatedSvd);
-    let matrix = build_from_source(&source, tree, &cfg);
+    let matrix = build_from_source(&source, tree, &cfg).unwrap();
     assert!(matrix.factorize_serial().is_err());
     let device = Device::new();
     let mut gpu = GpuSolver::new(&device, &matrix);

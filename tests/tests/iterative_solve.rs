@@ -29,6 +29,7 @@ fn gmres_matches_the_recursive_oracle_on_laplace() {
     let out = Gmres::new()
         .tol(1e-10)
         .solve_preconditioned(&exact, &precond, &b)
+        .unwrap()
         .expect_converged("laplace gmres");
 
     let b_mat = DenseMatrix::from_col_major(n, 1, b.clone());
@@ -55,6 +56,7 @@ fn bicgstab_converges_on_laplace() {
     let out = BiCgStab::new()
         .tol(1e-10)
         .solve_preconditioned(&exact, &precond, &b)
+        .unwrap()
         .expect_converged("laplace bicgstab");
     assert!(out.relative_residual < 1e-10);
 
@@ -184,6 +186,7 @@ fn helmholtz_2048_converges_within_25_iterations() {
         .tol(1e-8)
         .max_iters(100)
         .solve_preconditioned(&exact, &precond, &b)
+        .unwrap()
         .expect_converged("helmholtz 2048 gmres");
     assert!(
         out.iterations <= 25,
@@ -210,6 +213,7 @@ fn helmholtz_bicgstab_and_refinement_converge() {
     let out = BiCgStab::new()
         .tol(1e-9)
         .solve_preconditioned(&exact, &precond, &b)
+        .unwrap()
         .expect_converged("helmholtz bicgstab");
     assert!(out.relative_residual < 1e-9);
 
@@ -221,7 +225,8 @@ fn helmholtz_bicgstab_and_refinement_converge() {
             tol: 1e-9,
             max_iters: 50,
         },
-    );
+    )
+    .unwrap();
     assert!(
         refined.converged,
         "refinement relres {}",

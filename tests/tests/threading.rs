@@ -29,7 +29,7 @@ fn test_matrix() -> HodlrMatrix<f64> {
     let part = partition_points(&cloud, 48);
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.8 }, &part.points, 2.0);
-    build_from_source(&source, part.tree, &CompressionConfig::with_tol(1e-10))
+    build_from_source(&source, part.tree, &CompressionConfig::with_tol(1e-10)).unwrap()
 }
 
 fn rhs_block() -> Vec<Vec<f64>> {
@@ -267,7 +267,8 @@ fn threading_speedup_on_multicore() {
                 2.0,
             );
             let start = std::time::Instant::now();
-            let matrix = build_from_source(&source, part.tree, &CompressionConfig::with_tol(1e-8));
+            let matrix =
+                build_from_source(&source, part.tree, &CompressionConfig::with_tol(1e-8)).unwrap();
             let device = Device::new();
             let mut gpu = GpuSolver::new(&device, &matrix);
             gpu.factorize().expect("factorization");
