@@ -65,8 +65,8 @@ pub use buffer::DeviceBuffer;
 pub use device::{CounterSnapshot, Device, TransferDirection};
 pub use gemm::{gemm_batched_aliased, gemm_batched_varied, gemm_strided_batched, GemmDesc};
 pub use lu::{
-    getrf_batched_varied, getrf_strided_batched, getrs_batched_varied, getrs_strided_batched,
-    BatchSingularError, LuDesc, LuSolveDesc,
+    extract_diagonals_batched, getrf_batched_varied, getrf_strided_batched, getrs_batched_varied,
+    getrs_strided_batched, BatchSingularError, LuDesc, LuSolveDesc,
 };
 pub use stream::{Stream, StreamPool};
 pub use windows::{process_windows_mut, MatWindow};

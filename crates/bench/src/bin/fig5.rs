@@ -23,7 +23,7 @@ fn main() {
             gpu_hodlr: true,
             dense: false,
         };
-        rows.extend(measure_solvers(&matrix, &config));
+        rows.extend(measure_solvers("rpy/tol=1e-12", &matrix, &config));
     }
     print_csv("Fig. 5 series (RPY kernel)", &rows);
     for solver in [

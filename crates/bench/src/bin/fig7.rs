@@ -23,7 +23,11 @@ fn main() {
                 gpu_hodlr: true,
                 dense: false,
             };
-            rows.extend(measure_solvers(&matrix, &config));
+            rows.extend(measure_solvers(
+                &format!("laplace/tol={tol:.0e}"),
+                &matrix,
+                &config,
+            ));
         }
         print_csv(&format!("Fig. 7 series, Laplace BIE, {label}"), &rows);
         for solver in [

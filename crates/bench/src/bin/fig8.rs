@@ -25,7 +25,11 @@ fn main() {
                 gpu_hodlr: true,
                 dense: false,
             };
-            rows.extend(measure_solvers(&matrix, &config));
+            rows.extend(measure_solvers(
+                &format!("helmholtz/tol={tol:.0e}"),
+                &matrix,
+                &config,
+            ));
         }
         print_csv(&format!("Fig. 8 series, Helmholtz BIE, {label}"), &rows);
         for &n in &args.sizes {

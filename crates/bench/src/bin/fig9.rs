@@ -24,7 +24,7 @@ fn main() {
             gpu_hodlr: true,
             dense: false,
         };
-        for row in measure_solvers(&matrix, &config) {
+        for row in measure_solvers("helmholtz/tol=1e-10", &matrix, &config) {
             println!(
                 "{},{},{:.3},{:.3}",
                 row.solver,

@@ -1,0 +1,55 @@
+//! Gaussian-process log-likelihood trajectory: `n x kernel x backend x
+//! tolerance` rows (factorization / log-det / likelihood times, likelihood
+//! error against the dense Cholesky oracle, launch/flop metering), written
+//! to `BENCH_gp.json`.
+//!
+//! Usage: `gp [--smoke]` — `--smoke` runs the seconds-scale CI sweep.
+//! Exits non-zero if any row carries a non-finite likelihood, a zero flop
+//! count, or an oracle error out of proportion to its compression
+//! tolerance at the oracle-checked sizes.
+
+use hodlr_bench::{print_gp_table, run_gp_bench, write_gp_json, GpBenchConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        GpBenchConfig::smoke()
+    } else {
+        GpBenchConfig::full()
+    };
+    let rows = run_gp_bench(&config);
+    print_gp_table(
+        "GP log-marginal likelihood (solve + product-form log_det)",
+        &rows,
+    );
+    write_gp_json("gp", &rows);
+
+    let mut broken = false;
+    for row in &rows {
+        if !row.log_likelihood.is_finite() {
+            eprintln!(
+                "NON-FINITE LIKELIHOOD: {} {} n={}",
+                row.kernel, row.backend, row.n
+            );
+            broken = true;
+        }
+        if row.flops == 0 {
+            eprintln!("ZERO FLOPS: {} {} n={}", row.kernel, row.backend, row.n);
+            broken = true;
+        }
+        if let Some(err) = row.loglik_err_vs_dense {
+            // The likelihood inherits the compression error; gate at a
+            // comfortable multiple of tol * n.
+            if err > (row.tol * row.n as f64 * 100.0).max(1e-8) {
+                eprintln!(
+                    "ORACLE MISMATCH: {} {} n={} err={err:.3e}",
+                    row.kernel, row.backend, row.n
+                );
+                broken = true;
+            }
+        }
+    }
+    if broken {
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,7 @@ fn main() {
             gpu_hodlr: true,
             dense: false,
         };
-        let rows = measure_solvers(&matrix, &config);
+        let rows = measure_solvers("rpy/tol=1e-12", &matrix, &config);
         print_table(
             &format!("Table III (RPY kernel, tol 1e-12), N = {}", matrix.n()),
             &rows,

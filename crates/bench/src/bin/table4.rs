@@ -25,7 +25,7 @@ fn main() {
                 gpu_hodlr: true,
                 dense: false,
             };
-            let rows = measure_solvers(&matrix, &config);
+            let rows = measure_solvers(&format!("laplace/tol={tol:.0e}"), &matrix, &config);
             print_table(&format!("Table IV {label}, N = {n}"), &rows);
             all_rows.extend(rows);
         }

@@ -27,7 +27,7 @@ fn main() {
                 gpu_hodlr: true,
                 dense: false,
             };
-            let rows = measure_solvers(&matrix, &config);
+            let rows = measure_solvers(&format!("helmholtz/tol={tol:.0e}"), &matrix, &config);
             print_table(
                 &format!("Table V {label}, kappa = eta = {kappa:.1}, N = {n}"),
                 &rows,

@@ -1,0 +1,272 @@
+//! The Gaussian-process scenario family: log-marginal likelihood via
+//! HODLR `solve` + `log_det` across kernel families, backends and
+//! compression tolerances, validated against the dense Cholesky oracle
+//! where that is affordable.
+//!
+//! This is the workload the product-form determinant of Section III-E (a)
+//! exists for: one factorization yields both `y^T K^{-1} y` and `log|K|`
+//! in `O(N log^2 N)`, on the serial backend or the batched device (the
+//! `log_det` of the two agrees bitwise).  Every row reports the
+//! factorization, log-det and full-likelihood wall-clock times plus
+//! launch/flop metering: real device counters for the batched backend,
+//! the analytic Theorem 2–4 flop model for the serial one — so no row
+//! ever carries a zero flop count.
+
+use hodlr::Backend;
+use hodlr_core::ComplexityReport;
+use hodlr_gp::{
+    covariance_source, dense_log_likelihood, regular_grid_1d, GpConfig, GpModel, KernelFamily,
+};
+use std::time::Instant;
+
+/// One row of the GP likelihood table.
+#[derive(Clone, Debug)]
+pub struct GpRow {
+    /// Kernel family label (`squared-exponential`, `matern-3/2`, ...).
+    pub kernel: String,
+    /// Backend label (`serial`, `batched`).
+    pub backend: String,
+    /// Number of observations `n`.
+    pub n: usize,
+    /// Compression tolerance of the covariance approximation.
+    pub tol: f64,
+    /// Wall-clock seconds compressing the covariance into HODLR form.
+    pub t_build: f64,
+    /// Wall-clock seconds factorizing (`t_factor`).
+    pub t_factor: f64,
+    /// Wall-clock seconds for the product-form `log_det` (`t_logdet`).
+    pub t_logdet: f64,
+    /// Wall-clock seconds scoring one observation vector (one solve +
+    /// assembly against the precomputed determinant term).
+    pub t_loglik: f64,
+    /// The evaluated log-marginal likelihood.
+    pub log_likelihood: f64,
+    /// `|loglik_hodlr - loglik_dense_cholesky|`, when the dense oracle was
+    /// affordable at this size.
+    pub loglik_err_vs_dense: Option<f64>,
+    /// Device kernel launches metered across factorize + likelihood
+    /// (0 on the serial backend, which launches nothing).
+    pub launches: u64,
+    /// Flops: device-metered for the batched backend, the analytic
+    /// factorization + solve model for the serial one.  Non-zero for every
+    /// row.
+    pub flops: u64,
+    /// Rayon pool size the row was measured with.
+    pub threads: usize,
+}
+
+/// Sweep configuration of the `gp` binary.
+#[derive(Clone, Debug)]
+pub struct GpBenchConfig {
+    /// Observation counts to sweep.
+    pub sizes: Vec<usize>,
+    /// Compression tolerances to sweep.
+    pub tols: Vec<f64>,
+    /// Run the dense `O(n^3)` Cholesky oracle up to this size.
+    pub dense_oracle_cap: usize,
+}
+
+impl GpBenchConfig {
+    /// The seconds-scale CI sweep (`--smoke`).
+    pub fn smoke() -> Self {
+        GpBenchConfig {
+            sizes: vec![256],
+            tols: vec![1e-6, 1e-10],
+            dense_oracle_cap: 512,
+        }
+    }
+
+    /// The default laptop-scale sweep.
+    pub fn full() -> Self {
+        GpBenchConfig {
+            sizes: vec![1 << 10, 1 << 12, 1 << 14],
+            tols: vec![1e-6, 1e-10],
+            dense_oracle_cap: 1 << 11,
+        }
+    }
+}
+
+/// The kernel families every sweep visits.
+pub const GP_BENCH_FAMILIES: [KernelFamily; 5] = [
+    KernelFamily::SquaredExponential,
+    KernelFamily::MaternHalf,
+    KernelFamily::MaternThreeHalves,
+    KernelFamily::MaternFiveHalves,
+    KernelFamily::RationalQuadratic { alpha: 2.0 },
+];
+
+/// Deterministic synthetic observations: a two-scale smooth signal.
+fn bench_observations(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = 4.0 * i as f64 / (n - 1).max(1) as f64;
+            (2.0 * x).sin() + 0.3 * (7.0 * x).cos()
+        })
+        .collect()
+}
+
+/// Run the sweep: `n x kernel x backend x tolerance`.
+pub fn run_gp_bench(config: &GpBenchConfig) -> Vec<GpRow> {
+    let threads = rayon::current_num_threads();
+    let noise = 1e-2;
+    let mut rows = Vec::new();
+    for &n in &config.sizes {
+        let points = regular_grid_1d(n, 0.0, 4.0);
+        let y = bench_observations(n);
+        for family in GP_BENCH_FAMILIES {
+            let kernel = family.kernel(1.0, 0.5);
+            // The dense oracle depends only on (kernel, n): evaluate it
+            // once and compare every (backend, tol) row against it.
+            let oracle = if n <= config.dense_oracle_cap {
+                let source = covariance_source(&kernel, &points, noise);
+                let dense = hodlr_compress::MatrixEntrySource::to_dense(&source);
+                Some(dense_log_likelihood(&dense, &y).expect("oracle covariance is SPD"))
+            } else {
+                None
+            };
+            for &tol in &config.tols {
+                // Compression is backend-independent: build once per
+                // (kernel, tol) and hand the same compressed covariance
+                // to the batched backend via `with_backend`.
+                let gp_config = GpConfig {
+                    backend: Backend::Serial,
+                    tolerance: tol,
+                    ..GpConfig::default()
+                };
+                let start = Instant::now();
+                let base = GpModel::build(&kernel, &points, noise, &gp_config)
+                    .expect("GP covariance construction");
+                let t_compress = start.elapsed().as_secs_f64();
+                for backend in [Backend::Serial, Backend::Batched] {
+                    let (model, t_build) = match backend {
+                        Backend::Serial => (None, t_compress),
+                        Backend::Batched => {
+                            let start = Instant::now();
+                            let m = base.with_backend(backend).expect("backend rewrap");
+                            (Some(m), t_compress + start.elapsed().as_secs_f64())
+                        }
+                    };
+                    let model = model.as_ref().unwrap_or(&base);
+
+                    // The metered window is exactly one likelihood
+                    // evaluation: factorize, one determinant term, one
+                    // solve — nothing is evaluated twice for timing.
+                    let device = model.hodlr().device();
+                    let before = device.counters();
+                    let start = Instant::now();
+                    let factorization = model.factorize().expect("GP covariance is SPD");
+                    let t_factor = start.elapsed().as_secs_f64();
+
+                    let start = Instant::now();
+                    let log_det = model
+                        .log_det_term(&factorization)
+                        .expect("covariance is SPD");
+                    let t_logdet = start.elapsed().as_secs_f64();
+
+                    let start = Instant::now();
+                    let ll = model
+                        .log_likelihood_terms(&factorization, log_det, &y)
+                        .expect("GP likelihood");
+                    let t_loglik = start.elapsed().as_secs_f64();
+                    let metered = device.counters().since(&before);
+
+                    let flops = match backend {
+                        Backend::Batched => metered.flops,
+                        // The serial backend launches nothing on the
+                        // device; report the analytic Theorem 2-4 model
+                        // (one factorization + one solve's worth).
+                        Backend::Serial => {
+                            let report = ComplexityReport::for_matrix(model.hodlr().matrix());
+                            report.factorization_flops + report.solve_flops
+                        }
+                    };
+                    rows.push(GpRow {
+                        kernel: family.name().to_string(),
+                        backend: match backend {
+                            Backend::Serial => "serial".to_string(),
+                            Backend::Batched => "batched".to_string(),
+                        },
+                        n,
+                        tol,
+                        t_build,
+                        t_factor,
+                        t_logdet,
+                        t_loglik,
+                        log_likelihood: ll.value,
+                        loglik_err_vs_dense: oracle.as_ref().map(|o| (ll.value - o.value).abs()),
+                        launches: metered.kernel_launches,
+                        flops,
+                        threads,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Print rows in the aligned table layout of the other harnesses.
+pub fn print_gp_table(title: &str, rows: &[GpRow]) {
+    println!("== {title}");
+    println!(
+        "{:<22} {:<8} {:<8} {:<10} {:>12} {:>12} {:>12} {:>16} {:>14} {:>10}",
+        "kernel",
+        "N",
+        "backend",
+        "tol",
+        "t_f [s]",
+        "t_logdet [s]",
+        "t_loglik [s]",
+        "loglik",
+        "err vs dense",
+        "launches"
+    );
+    for row in rows {
+        println!(
+            "{:<22} {:<8} {:<8} {:<10.1e} {:>12.4e} {:>12.4e} {:>12.4e} {:>16.6} {:>14} {:>10}",
+            row.kernel,
+            row.n,
+            row.backend,
+            row.tol,
+            row.t_factor,
+            row.t_logdet,
+            row.t_loglik,
+            row.log_likelihood,
+            row.loglik_err_vs_dense
+                .map_or("-".to_string(), |e| format!("{e:.3e}")),
+            row.launches
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_produces_metered_accurate_rows() {
+        let config = GpBenchConfig {
+            sizes: vec![192],
+            tols: vec![1e-10],
+            dense_oracle_cap: 256,
+        };
+        let rows = run_gp_bench(&config);
+        // 5 kernels x 2 backends x 1 tolerance.
+        assert_eq!(rows.len(), 10);
+        for row in &rows {
+            assert!(row.flops > 0, "{} {}: zero flops", row.kernel, row.backend);
+            assert!(row.log_likelihood.is_finite());
+            let err = row.loglik_err_vs_dense.expect("oracle runs at n=192");
+            assert!(err < 1e-6, "{} {}: err {err}", row.kernel, row.backend);
+            if row.backend == "batched" {
+                assert!(row.launches > 0);
+            }
+        }
+        // Serial and batched likelihoods agree far below the oracle error.
+        for pair in rows.chunks(2) {
+            assert!((pair[0].log_likelihood - pair[1].log_likelihood).abs() < 1e-8);
+        }
+        print_gp_table("smoke", &rows);
+    }
+}

@@ -43,6 +43,11 @@ impl Default for MeasureConfig {
 /// at one problem size.
 #[derive(Clone, Debug)]
 pub struct SolverRow {
+    /// Workload label distinguishing row sets that share a problem size —
+    /// the problem family plus whatever the binary sweeps besides `n`
+    /// (e.g. `"laplace/tol=1e-12"` vs `"laplace/tol=1e-4"` in the Table IV
+    /// output, which previously emitted two indistinguishable row sets).
+    pub workload: String,
     /// Solver label, e.g. `"GPU HODLR Solver"`.
     pub solver: String,
     /// Problem size `N`.
@@ -67,6 +72,7 @@ pub struct SolverRow {
 /// is random (as in the paper) and the residual is evaluated with the HODLR
 /// matrix-vector product.
 pub fn measure_solvers<T: Scalar>(
+    workload: &str,
     matrix: &HodlrMatrix<T>,
     config: &MeasureConfig,
 ) -> Vec<SolverRow> {
@@ -85,6 +91,7 @@ pub fn measure_solvers<T: Scalar>(
         let x = factor.solve(&b);
         let t_solve = start.elapsed().as_secs_f64();
         rows.push(SolverRow {
+            workload: workload.into(),
             solver: "Serial HODLR Solver".into(),
             n,
             t_factor,
@@ -105,6 +112,7 @@ pub fn measure_solvers<T: Scalar>(
         let x = factor.solve(&b);
         let t_solve = start.elapsed().as_secs_f64();
         rows.push(SolverRow {
+            workload: workload.into(),
             solver: "HODLRlib-style Solver".into(),
             n,
             t_factor,
@@ -137,6 +145,7 @@ pub fn measure_solvers<T: Scalar>(
         let x = factor.solve(&b);
         let t_solve = start.elapsed().as_secs_f64();
         rows.push(SolverRow {
+            workload: workload.into(),
             solver: label.into(),
             n,
             t_factor,
@@ -159,10 +168,11 @@ pub fn measure_solvers<T: Scalar>(
         let factor_flops = device.counters().since(&before_factor).flops;
         let before_solve = device.counters();
         let start = Instant::now();
-        let x = gpu.solve(&b);
+        let x = gpu.solve(&b).expect("batched solve");
         let t_solve = start.elapsed().as_secs_f64();
         let solve_flops = device.counters().since(&before_solve).flops;
         rows.push(SolverRow {
+            workload: workload.into(),
             solver: "GPU HODLR Solver".into(),
             n,
             t_factor,
@@ -184,6 +194,7 @@ pub fn measure_solvers<T: Scalar>(
         let x = solver.solve(&b);
         let t_solve = start.elapsed().as_secs_f64();
         rows.push(SolverRow {
+            workload: workload.into(),
             solver: "Dense LU".into(),
             n,
             t_factor,
@@ -204,13 +215,20 @@ pub fn measure_solvers<T: Scalar>(
 pub fn print_table(title: &str, rows: &[SolverRow]) {
     println!("== {title}");
     println!(
-        "{:<10} {:<28} {:>8} {:>12} {:>12} {:>10} {:>12}",
-        "N", "solver", "threads", "t_f [s]", "t_s [s]", "mem [GiB]", "relres"
+        "{:<22} {:<10} {:<28} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "workload", "N", "solver", "threads", "t_f [s]", "t_s [s]", "mem [GiB]", "relres"
     );
     for row in rows {
         println!(
-            "{:<10} {:<28} {:>8} {:>12.4e} {:>12.4e} {:>10.4} {:>12.3e}",
-            row.n, row.solver, row.threads, row.t_factor, row.t_solve, row.mem_gib, row.relres
+            "{:<22} {:<10} {:<28} {:>8} {:>12.4e} {:>12.4e} {:>10.4} {:>12.3e}",
+            row.workload,
+            row.n,
+            row.solver,
+            row.threads,
+            row.t_factor,
+            row.t_solve,
+            row.mem_gib,
+            row.relres
         );
     }
     println!();
@@ -220,10 +238,13 @@ pub fn print_table(title: &str, rows: &[SolverRow]) {
 /// harnesses emit so the scaling plots can be regenerated.
 pub fn print_csv(title: &str, rows: &[SolverRow]) {
     println!("# {title}");
-    println!("solver,N,threads,t_factor,t_solve,mem_gib,relres,factor_gflops,solve_gflops");
+    println!(
+        "workload,solver,N,threads,t_factor,t_solve,mem_gib,relres,factor_gflops,solve_gflops"
+    );
     for row in rows {
         println!(
-            "{},{},{},{:.6e},{:.6e},{:.6e},{:.3e},{},{}",
+            "{},{},{},{},{:.6e},{:.6e},{:.6e},{:.3e},{},{}",
+            row.workload,
             row.solver,
             row.n,
             row.threads,
@@ -276,12 +297,13 @@ mod tests {
             gpu_hodlr: true,
             dense: true,
         };
-        let rows = measure_solvers(&matrix, &config);
+        let rows = measure_solvers("gaussian-kernel", &matrix, &config);
         assert_eq!(rows.len(), 6);
         for row in &rows {
             assert!(row.relres < 1e-6, "{}: relres {}", row.solver, row.relres);
             assert!(row.t_factor > 0.0 && row.t_solve >= 0.0);
             assert!(row.mem_gib > 0.0);
+            assert_eq!(row.workload, "gaussian-kernel");
         }
         print_table("smoke", &rows);
         print_csv("smoke", &rows);

@@ -4,19 +4,27 @@
 //! Each bench binary writes a `BENCH_<name>.json` next to its table output
 //! so successive PRs accumulate a perf trajectory that tooling can diff:
 //!
-//! * the `iterative` binary emits [`IterativeRow`]s (scenario, problem
-//!   size, thread count, wall-clock times, device-metered launch/flop
-//!   totals);
-//! * the fig/table binaries emit [`SolverRow`]s (solver, size, threads,
+//! * the `iterative` binary emits [`IterativeRow`]s (workload, method,
+//!   problem size, thread count, wall-clock times, device-metered
+//!   launch/flop totals — every method row carries real metering,
+//!   including the mixed-refine rows);
+//! * the fig/table binaries emit [`SolverRow`]s (**workload** — the
+//!   problem family plus whatever the binary sweeps besides `n`, so row
+//!   sets sharing a size stay distinguishable —, solver, size, threads,
 //!   factor/solve times, memory, residual, metered GFLOP/s);
 //! * the `kernels` binary emits [`KernelRow`]s (kernel, scalar type, dims,
 //!   threads, GFLOP/s, blocked-vs-reference speedup, bitwise-determinism
-//!   verdict).
+//!   verdict);
+//! * the `gp` binary emits [`GpRow`]s (kernel family, backend, size,
+//!   compression tolerance, factor/log-det/log-likelihood times, the
+//!   likelihood value, its error against the dense Cholesky oracle, and
+//!   launch/flop metering).
 //!
 //! [`write_solver_json`] resolves the output path like the `iterative`
 //! binary does: `HODLR_BENCH_JSON` overrides the default
 //! `BENCH_<name>.json` in the working directory.
 
+use crate::gp::GpRow;
 use crate::harness::SolverRow;
 use crate::iterative::IterativeRow;
 use crate::kernels::KernelRow;
@@ -100,6 +108,7 @@ pub fn solver_rows_to_json(rows: &[SolverRow]) -> String {
     let mut out = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str("  {");
+        out.push_str(&format!("\"workload\": \"{}\", ", escape(&row.workload)));
         out.push_str(&format!("\"solver\": \"{}\", ", escape(&row.solver)));
         out.push_str(&format!("\"n\": {}, ", row.n));
         out.push_str(&format!("\"threads\": {}, ", row.threads));
@@ -187,6 +196,45 @@ pub fn write_kernel_json(name: &str, rows: &[KernelRow]) {
     write_bench_json(name, &kernel_rows_to_json(rows), rows.len());
 }
 
+/// Render GP log-likelihood rows (the `gp` binary) as a JSON array.
+pub fn gp_rows_to_json(rows: &[GpRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"kernel\": \"{}\", ", escape(&row.kernel)));
+        out.push_str(&format!("\"backend\": \"{}\", ", escape(&row.backend)));
+        out.push_str(&format!("\"n\": {}, ", row.n));
+        out.push_str(&format!("\"threads\": {}, ", row.threads));
+        out.push_str(&format!("\"tol\": {}, ", number(row.tol)));
+        out.push_str(&format!("\"t_build_s\": {}, ", number(row.t_build)));
+        out.push_str(&format!("\"t_factor_s\": {}, ", number(row.t_factor)));
+        out.push_str(&format!("\"t_logdet_s\": {}, ", number(row.t_logdet)));
+        out.push_str(&format!("\"t_loglik_s\": {}, ", number(row.t_loglik)));
+        out.push_str(&format!(
+            "\"log_likelihood\": {}, ",
+            number(row.log_likelihood)
+        ));
+        out.push_str(&format!(
+            "\"loglik_err_vs_dense\": {}, ",
+            opt_number(row.loglik_err_vs_dense)
+        ));
+        out.push_str(&format!("\"launches\": {}, ", row.launches));
+        out.push_str(&format!("\"flops\": {}", row.flops));
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write GP rows to the family's JSON path (see [`bench_json_path`]).
+pub fn write_gp_json(name: &str, rows: &[GpRow]) {
+    write_bench_json(name, &gp_rows_to_json(rows), rows.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +283,7 @@ mod tests {
     #[test]
     fn solver_rows_render_required_fields() {
         let row = SolverRow {
+            workload: "laplace/tol=1e-12".into(),
             solver: "GPU HODLR Solver".into(),
             n: 4096,
             t_factor: 1.25,
@@ -247,6 +296,7 @@ mod tests {
         };
         let json = solver_rows_to_json(&[row]);
         for key in [
+            "\"workload\": \"laplace/tol=1e-12\"",
             "\"solver\": \"GPU HODLR Solver\"",
             "\"n\": 4096",
             "\"threads\": 2",
@@ -254,6 +304,38 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn gp_rows_render_required_fields() {
+        let row = GpRow {
+            kernel: "matern-3/2".into(),
+            backend: "batched".into(),
+            n: 512,
+            tol: 1e-10,
+            t_build: 0.2,
+            t_factor: 0.05,
+            t_logdet: 0.001,
+            t_loglik: 0.01,
+            log_likelihood: -312.5,
+            loglik_err_vs_dense: Some(3e-10),
+            launches: 17,
+            flops: 123456,
+            threads: 1,
+        };
+        let json = gp_rows_to_json(&[row]);
+        for key in [
+            "\"kernel\": \"matern-3/2\"",
+            "\"backend\": \"batched\"",
+            "\"n\": 512",
+            "\"t_logdet_s\": 1e-3",
+            "\"loglik_err_vs_dense\": 3e-10",
+            "\"launches\": 17",
+            "\"flops\": 123456",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

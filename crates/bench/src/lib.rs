@@ -14,6 +14,7 @@
 //! | `ranks` | Appendix | per-level off-diagonal rank profiles |
 //! | `iterative` | Table V(b) extension | preconditioned GMRES/BiCGStab/mixed-precision over all three workloads |
 //! | `kernels` | (infrastructure) | gemm/LU/QR GFLOP/s by size, scalar and thread count vs the naive reference kernel |
+//! | `gp` | Section III-E(a) application | GP log-marginal likelihood (solve + product-form `log_det`) by kernel family, backend and tolerance, vs the dense Cholesky oracle |
 //!
 //! Every binary accepts `--full` to run the paper's original problem sizes
 //! (hours on a laptop; the defaults are scaled down so a full sweep finishes
@@ -37,19 +38,21 @@
 //! the dense-kernel trajectory: gemm/LU/QR GFLOP/s, blocked-vs-reference
 //! speedup, and bitwise-determinism verdicts across 1/2/8-thread pools.
 
+pub mod gp;
 pub mod harness;
 pub mod iterative;
 pub mod json;
 pub mod kernels;
 pub mod workloads;
 
+pub use gp::{print_gp_table, run_gp_bench, GpBenchConfig, GpRow};
 pub use harness::{measure_solvers, print_csv, print_table, MeasureConfig, SolverRow};
 pub use iterative::{
     measure_block_direct, measure_iterative, print_iterative_table, IterativeConfig, IterativeRow,
 };
 pub use json::{
-    iterative_rows_to_json, kernel_rows_to_json, solver_rows_to_json, write_iterative_json,
-    write_kernel_json, write_solver_json,
+    gp_rows_to_json, iterative_rows_to_json, kernel_rows_to_json, solver_rows_to_json,
+    write_gp_json, write_iterative_json, write_kernel_json, write_solver_json,
 };
 pub use kernels::{print_kernel_table, run_kernel_bench, KernelBenchConfig, KernelRow};
 pub use workloads::{

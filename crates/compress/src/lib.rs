@@ -27,7 +27,7 @@ pub mod truncated;
 pub use aca::{aca_compress, AcaPivoting};
 pub use lowrank::LowRank;
 pub use randomized::randomized_compress;
-pub use source::{ClosureSource, DenseSource, MatrixEntrySource};
+pub use source::{ClosureSource, DenseSource, MatrixEntrySource, ShiftedSource};
 pub use truncated::truncated_svd_compress;
 
 use hodlr_la::{HodlrError, RealScalar, Scalar};

@@ -137,9 +137,91 @@ impl<T: Scalar, F: Fn(usize, usize) -> T + Sync> MatrixEntrySource<T> for Closur
     }
 }
 
+/// A diagonal-shift adapter: `entry(i, j) = inner(i, j) + shift * delta_ij`.
+///
+/// This is the "nugget" / regularisation term every kernel method adds to
+/// its covariance or system matrix (`K + sigma_n^2 I`); wrapping the shift
+/// around an arbitrary inner source keeps the inner kernel source pure and
+/// reusable.  The adapter owns its inner source so composed sources can be
+/// returned by value.
+pub struct ShiftedSource<T: Scalar, S: MatrixEntrySource<T>> {
+    inner: S,
+    shift: T,
+}
+
+impl<T: Scalar, S: MatrixEntrySource<T>> ShiftedSource<T, S> {
+    /// Shift the diagonal of `inner` by `shift`.
+    ///
+    /// # Panics
+    /// Panics if `inner` is not square (a diagonal shift of a rectangular
+    /// block is not defined).
+    pub fn new(inner: S, shift: T) -> Self {
+        assert_eq!(
+            inner.nrows(),
+            inner.ncols(),
+            "ShiftedSource requires a square inner source"
+        );
+        ShiftedSource { inner, shift }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The diagonal shift.
+    pub fn shift(&self) -> T {
+        self.shift
+    }
+}
+
+impl<T: Scalar, S: MatrixEntrySource<T>> MatrixEntrySource<T> for ShiftedSource<T, S> {
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn entry(&self, i: usize, j: usize) -> T {
+        let v = self.inner.entry(i, j);
+        if i == j {
+            v + self.shift
+        } else {
+            v
+        }
+    }
+
+    fn col(&self, j: usize, out: &mut [T]) {
+        self.inner.col(j, out);
+        out[j] += self.shift;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shifted_source_adds_to_the_diagonal_only() {
+        let a = DenseMatrix::<f64>::from_fn(3, 3, |i, j| (i + 10 * j) as f64);
+        let shifted = ShiftedSource::new(DenseSource::new(&a), 5.0);
+        assert_eq!(shifted.nrows(), 3);
+        assert_eq!(shifted.entry(1, 1), 16.0);
+        assert_eq!(shifted.entry(1, 2), 21.0);
+        let mut col = vec![0.0; 3];
+        shifted.col(2, &mut col);
+        assert_eq!(col, vec![20.0, 21.0, 27.0]);
+        assert_eq!(shifted.shift(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn shifted_source_rejects_rectangular_blocks() {
+        let a = DenseMatrix::<f64>::zeros(3, 4);
+        let _ = ShiftedSource::new(DenseSource::new(&a), 1.0);
+    }
 
     #[test]
     fn dense_source_full_and_block() {

@@ -14,10 +14,10 @@
 use crate::layout::LevelLayout;
 use crate::matrix::HodlrMatrix;
 use hodlr_batch::{
-    gemm_batched_aliased, gemm_batched_varied, getrf_batched_varied, getrs_batched_varied, Device,
-    DeviceBuffer, GemmDesc, LuDesc, LuSolveDesc, Stream, StreamPool,
+    extract_diagonals_batched, gemm_batched_aliased, gemm_batched_varied, getrf_batched_varied,
+    getrs_batched_varied, Device, DeviceBuffer, GemmDesc, LuDesc, LuSolveDesc, Stream, StreamPool,
 };
-use hodlr_la::{DenseMatrix, HodlrError, Op, Scalar};
+use hodlr_la::{log_det_from_parts, DenseMatrix, HodlrError, Op, Scalar};
 use hodlr_tree::ClusterTree;
 use rayon::prelude::*;
 use std::ops::Range;
@@ -344,18 +344,105 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
         Ok(())
     }
 
+    /// Log-determinant of the factorized matrix via the product form of
+    /// Section III-E (a), evaluated from the batched LU factors: the `U`
+    /// diagonals of every leaf block and coupling matrix are gathered with
+    /// one [`extract_diagonals_batched`] launch per buffer, then folded with
+    /// the *same* per-factor recursion as
+    /// [`SerialFactorization::log_det`](crate::SerialFactorization::log_det)
+    /// — same factor order (leaves first, then coupling levels from the top
+    /// of the tree down), same pivot-parity handling, same `(-1)^w`
+    /// Sylvester correction — so the two backends agree **bitwise**.
+    ///
+    /// Returns `(log|det(A)|, sign)` where `sign` is a unit-modulus scalar.
+    ///
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] when [`GpuSolver::factorize`] has not
+    /// completed yet.
+    pub fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        if !self.factored {
+            return Err(HodlrError::NotFactorized);
+        }
+        let mut log_abs = <T::Real as Scalar>::zero();
+        let mut sign = T::one();
+
+        // Leaf diagonal blocks, in leaf order.
+        let leaf_descs: Vec<LuDesc> = self
+            .leaf_ranges
+            .iter()
+            .zip(self.diag_offsets.iter())
+            .map(|(range, &offset)| LuDesc {
+                n: range.len(),
+                offset,
+                ld: range.len(),
+            })
+            .collect();
+        let stream = self.stream_for(leaf_descs.len());
+        let leaf_diags = extract_diagonals_batched(self.device, stream, &leaf_descs, &self.dbig);
+        for (diag, piv) in leaf_diags.iter().zip(&self.diag_pivots) {
+            let (la, s) = log_det_from_parts(diag.iter().copied(), piv);
+            log_abs += la;
+            sign *= s;
+        }
+
+        // Coupling matrices, level 0 (top split) downwards, node order
+        // within a level — the iteration order of the serial recursion.
+        for level in 0..self.tree.levels() {
+            let w = self.layout.width(level + 1);
+            if w == 0 {
+                continue;
+            }
+            let batch = self.k_pivots[level].len();
+            let k_stride = 4 * w * w;
+            let descs: Vec<LuDesc> = (0..batch)
+                .map(|p| LuDesc {
+                    n: 2 * w,
+                    offset: p * k_stride,
+                    ld: 2 * w,
+                })
+                .collect();
+            let stream = self.stream_for(batch);
+            let diags = extract_diagonals_batched(self.device, stream, &descs, &self.k_bufs[level]);
+            for (diag, piv) in diags.iter().zip(&self.k_pivots[level]) {
+                let (la, s) = log_det_from_parts(diag.iter().copied(), piv);
+                log_abs += la;
+                sign *= s;
+                // det([[A, I], [I, B]]) = (-1)^w det(K): the 2x2 coupling
+                // block's determinant differs from det(K_gamma) by the
+                // permutation that swaps the two identity blocks.
+                if w % 2 == 1 {
+                    sign = -sign;
+                }
+            }
+        }
+        Ok((log_abs, sign))
+    }
+
     /// Algorithm 4: batched solve of `A x = b` for one right-hand side.
     ///
-    /// # Panics
-    /// Panics if the factorization has not been computed yet.
-    pub fn solve(&self, b: &[T]) -> Vec<T> {
-        self.solve_matrix_host(b, 1)
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] before [`GpuSolver::factorize`], and
+    /// [`HodlrError::DimensionMismatch`] when `b` has length `!= n`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, HodlrError> {
+        if !self.factored {
+            return Err(HodlrError::NotFactorized);
+        }
+        HodlrError::check_dims("right-hand side", self.n_rows(), b.len())?;
+        Ok(self.solve_matrix_host(b, 1))
     }
 
     /// Algorithm 4 with multiple right-hand sides given as an `N x k` matrix.
-    pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+    ///
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] before [`GpuSolver::factorize`], and
+    /// [`HodlrError::DimensionMismatch`] when `b` has `!= n` rows.
+    pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>, HodlrError> {
+        if !self.factored {
+            return Err(HodlrError::NotFactorized);
+        }
+        HodlrError::check_dims("right-hand side block rows", self.n_rows(), b.rows())?;
         let data = self.solve_matrix_host(b.data(), b.cols());
-        DenseMatrix::from_col_major(b.rows(), b.cols(), data)
+        Ok(DenseMatrix::from_col_major(b.rows(), b.cols(), data))
     }
 
     /// Blocked multi-RHS solve: pack `rhs` into one `N x k` device matrix
@@ -365,18 +452,18 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
     /// [`GpuSolver::solve`] loop would issue — the difference is visible in
     /// the [`Device`] launch counters.
     ///
-    /// # Panics
-    /// Panics if the factorization has not been computed yet or any
-    /// right-hand side has the wrong length.
-    pub fn solve_block(&self, rhs: &[impl AsRef<[T]> + Sync]) -> Vec<Vec<T>> {
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] before [`GpuSolver::factorize`], and
+    /// [`HodlrError::DimensionMismatch`] naming the first right-hand side
+    /// whose length is `!= n`.
+    pub fn solve_block(&self, rhs: &[impl AsRef<[T]> + Sync]) -> Result<Vec<Vec<T>>, HodlrError> {
+        if !self.factored {
+            return Err(HodlrError::NotFactorized);
+        }
         let n = self.n_rows();
         let k = rhs.len();
         for (j, col) in rhs.iter().enumerate() {
-            assert_eq!(
-                col.as_ref().len(),
-                n,
-                "right-hand side {j} has the wrong length"
-            );
+            HodlrError::check_dims(format!("right-hand side {j}"), n, col.as_ref().len())?;
         }
         // Pack the right-hand sides into one column-major N x k host matrix;
         // the columns are disjoint, so the scatter runs on the worker pool.
@@ -390,13 +477,15 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
         out.par_iter_mut()
             .enumerate()
             .for_each(|(j, col)| *col = x[j * n..(j + 1) * n].to_vec());
-        out
+        Ok(out)
     }
 
+    /// The shared Algorithm-4 sweep; the public entry points have already
+    /// validated the factorization state and the right-hand-side shape.
     fn solve_matrix_host(&self, b: &[T], nrhs: usize) -> Vec<T> {
-        assert!(self.factored, "factorize() must be called before solve()");
+        debug_assert!(self.factored);
         let n = self.n_rows();
-        assert_eq!(b.len(), n * nrhs, "right-hand side has the wrong size");
+        debug_assert_eq!(b.len(), n * nrhs);
         let levels = self.tree.levels();
 
         // Upload the right-hand side (metered H2D transfer).
@@ -571,7 +660,7 @@ mod tests {
         let mut gpu = GpuSolver::new(&device, &m);
         gpu.factorize().expect("diag dominant HODLR is invertible");
         let b: Vec<T> = hodlr_la::random::random_vector(&mut rng, n);
-        let x = gpu.solve(&b);
+        let x = gpu.solve(&b).unwrap();
         assert!(
             m.relative_residual(&x, &b).to_f64() < tol,
             "residual {}",
@@ -611,12 +700,12 @@ mod tests {
         let dev_par = Device::new();
         let mut gpu_par = GpuSolver::new(&dev_par, &m);
         gpu_par.factorize().unwrap();
-        let x_par = gpu_par.solve(&b);
+        let x_par = gpu_par.solve(&b).unwrap();
 
         let dev_seq = Device::sequential();
         let mut gpu_seq = GpuSolver::new(&dev_seq, &m);
         gpu_seq.factorize().unwrap();
-        let x_seq = gpu_seq.solve(&b);
+        let x_seq = gpu_seq.solve(&b).unwrap();
 
         for (a, s) in x_par.iter().zip(x_seq.iter()) {
             assert!((a - s).abs() < 1e-12);
@@ -631,7 +720,7 @@ mod tests {
         let mut gpu = GpuSolver::new(&device, &m);
         gpu.factorize().unwrap();
         let b: DenseMatrix<f64> = hodlr_la::random::random_matrix(&mut rng, 48, 3);
-        let x = gpu.solve_matrix(&b);
+        let x = gpu.solve_matrix(&b).unwrap();
         let residual = m.matmat(&x).sub(&b).norm_max();
         assert!(residual < 1e-9, "residual {residual}");
     }
@@ -658,7 +747,7 @@ mod tests {
 
         let before_solve = device.counters();
         let b = vec![1.0; 64];
-        let _ = gpu.solve(&b);
+        let _ = gpu.solve(&b).unwrap();
         let solve_counters = device.counters().since(&before_solve);
         // b up, x down.
         assert_eq!(solve_counters.h2d_bytes, 64 * 8);
@@ -666,13 +755,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "factorize")]
-    fn solving_before_factorizing_panics() {
+    fn solving_before_factorizing_is_a_typed_error() {
         let mut rng = StdRng::seed_from_u64(79);
         let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 32, 2, 1);
         let device = Device::new();
-        let gpu = GpuSolver::new(&device, &m);
-        let _ = gpu.solve(&vec![1.0; 32]);
+        let mut gpu = GpuSolver::new(&device, &m);
+        assert_eq!(
+            gpu.solve(&vec![1.0; 32]).unwrap_err(),
+            HodlrError::NotFactorized
+        );
+        assert_eq!(
+            gpu.solve_matrix(&DenseMatrix::zeros(32, 2)).unwrap_err(),
+            HodlrError::NotFactorized
+        );
+        assert_eq!(
+            gpu.solve_block(&[vec![1.0; 32]]).unwrap_err(),
+            HodlrError::NotFactorized
+        );
+        assert_eq!(gpu.log_det().unwrap_err(), HodlrError::NotFactorized);
+
+        // After factorizing, wrong-size right-hand sides are named.
+        gpu.factorize().unwrap();
+        let err = gpu.solve(&vec![1.0; 31]).unwrap_err();
+        assert_eq!(err, HodlrError::dims("right-hand side", 32, 31));
+        let err = gpu
+            .solve_matrix(&DenseMatrix::<f64>::zeros(30, 2))
+            .unwrap_err();
+        assert_eq!(err, HodlrError::dims("right-hand side block rows", 32, 30));
+        let err = gpu.solve_block(&[vec![1.0; 32], vec![1.0; 3]]).unwrap_err();
+        assert_eq!(err, HodlrError::dims("right-hand side 1", 32, 3));
+    }
+
+    #[test]
+    fn log_det_matches_serial_bitwise() {
+        fn check<T: Scalar>(n: usize, levels: usize, rank: usize, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m: HodlrMatrix<T> = random_hodlr(&mut rng, n, levels, rank);
+            let serial = m.factorize_serial().unwrap();
+            let (log_serial, sign_serial) = serial.log_det();
+            let device = Device::new();
+            let mut gpu = GpuSolver::new(&device, &m);
+            gpu.factorize().unwrap();
+            let (log_gpu, sign_gpu) = gpu.log_det().unwrap();
+            assert_eq!(
+                log_serial.to_f64().to_bits(),
+                log_gpu.to_f64().to_bits(),
+                "{log_serial:?} vs {log_gpu:?}"
+            );
+            assert_eq!(sign_serial, sign_gpu);
+        }
+        check::<f64>(64, 3, 3, 81);
+        check::<f64>(101, 3, 2, 82);
+        check::<Complex64>(48, 2, 2, 83);
+    }
+
+    #[test]
+    fn log_det_extraction_is_metered() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 64, 2, 2);
+        let device = Device::new();
+        let mut gpu = GpuSolver::new(&device, &m);
+        gpu.factorize().unwrap();
+        let before = device.counters();
+        let _ = gpu.log_det().unwrap();
+        let metered = device.counters().since(&before);
+        // One gather launch for the leaves plus one per coupling level.
+        assert_eq!(metered.kernel_launches, 1 + 2);
+        assert!(metered.d2h_bytes > 0);
+        assert_eq!(metered.h2d_bytes, 0);
     }
 
     #[test]

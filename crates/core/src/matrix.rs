@@ -139,6 +139,22 @@ impl<T: Scalar> HodlrMatrix<T> {
         &self.diag[idx]
     }
 
+    /// Add `shift` to every entry of the main diagonal, in place.
+    ///
+    /// The main diagonal lives entirely inside the leaf diagonal blocks,
+    /// so the off-diagonal low-rank factors are untouched — callers that
+    /// sweep a diagonal regularisation (a GP noise nugget, a Tikhonov
+    /// term) can reuse one compression across candidates instead of
+    /// recompressing per shift.
+    pub fn shift_diagonal(&mut self, shift: T) {
+        for block in &mut self.diag {
+            let n = block.rows();
+            for i in 0..n {
+                block[(i, i)] += shift;
+            }
+        }
+    }
+
     /// View of `U_alpha` (padded to the level width) inside `Ubig`.
     pub fn u_block(&self, node: NodeId) -> MatRef<'_, T> {
         self.basis_block(&self.ubig, node)

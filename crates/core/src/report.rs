@@ -185,7 +185,7 @@ mod tests {
         gpu.factorize().unwrap();
         let b = vec![1.0; 512];
         let before = device.counters();
-        let _ = gpu.solve(&b);
+        let _ = gpu.solve(&b).unwrap();
         let measured = device.counters().since(&before).flops;
         let predicted = report.solve_flops;
         let ratio = measured as f64 / predicted as f64;

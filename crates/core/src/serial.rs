@@ -357,6 +357,12 @@ impl<T: Scalar> SerialFactorization<T> {
     /// Schur-complement identity).
     ///
     /// Returns `(log|det(A)|, sign)` where `sign` is a unit-modulus scalar.
+    /// The per-factor accumulation is the shared
+    /// [`log_det_from_parts`](hodlr_la::log_det_from_parts), and the factor
+    /// order here (leaves first, then coupling levels from the top split
+    /// down) is mirrored exactly by
+    /// [`GpuSolver::log_det`](crate::GpuSolver::log_det) — the two backends
+    /// agree bitwise.
     pub fn log_det(&self) -> (T::Real, T) {
         let mut log_abs = T::Real::zero();
         let mut sign = T::one();

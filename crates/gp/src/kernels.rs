@@ -1,0 +1,277 @@
+//! Stationary covariance kernels: the standard Gaussian-process families.
+//!
+//! Every kernel here is *stationary* — the covariance between two
+//! observations depends only on the distance `r = |x - y|` — which is what
+//! makes the covariance matrix over a spatially ordered point set HODLR:
+//! well-separated clusters interact through a smooth, numerically low-rank
+//! block.  Each kernel carries a signal variance `sigma_f^2` (its value at
+//! `r = 0`); the noise nugget `sigma_n^2 I` is added by
+//! [`covariance_source`](crate::covariance_source), not by the kernel.
+
+use hodlr_kernels::ScalarKernel;
+
+/// A stationary covariance kernel `k(r)` over distances `r >= 0`.
+///
+/// Object safe, so hyperparameter drivers can hold `Box<dyn
+/// StationaryKernel>` candidates built from a
+/// [`KernelFamily`](crate::KernelFamily).
+pub trait StationaryKernel: Sync {
+    /// Covariance at distance `r` (includes the signal variance:
+    /// `eval(0) == variance`).
+    fn eval(&self, r: f64) -> f64;
+
+    /// Kernel family name, for table labels.
+    fn name(&self) -> &'static str;
+
+    /// Signal variance `sigma_f^2 = eval(0)`.
+    fn variance(&self) -> f64 {
+        self.eval(0.0)
+    }
+}
+
+impl<K: StationaryKernel + ?Sized> StationaryKernel for &K {
+    fn eval(&self, r: f64) -> f64 {
+        (**self).eval(r)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl StationaryKernel for Box<dyn StationaryKernel> {
+    fn eval(&self, r: f64) -> f64 {
+        (**self).eval(r)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+fn dist(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// The squared-exponential (Gaussian / RBF) kernel
+/// `k(r) = sigma_f^2 exp(-r^2 / (2 l^2))`: infinitely smooth sample paths,
+/// the default prior of most GP software.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SquaredExponential {
+    /// Signal variance `sigma_f^2`.
+    pub variance: f64,
+    /// Length scale `l`.
+    pub length_scale: f64,
+}
+
+impl StationaryKernel for SquaredExponential {
+    fn eval(&self, r: f64) -> f64 {
+        let s = r / self.length_scale;
+        self.variance * (-0.5 * s * s).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "squared-exponential"
+    }
+}
+
+/// The smoothness parameter `nu` of a [`Matern`] kernel, restricted to the
+/// three half-integer values with closed forms.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MaternSmoothness {
+    /// `nu = 1/2`: the exponential kernel, continuous but not
+    /// differentiable sample paths (an Ornstein–Uhlenbeck process in 1-D).
+    Half,
+    /// `nu = 3/2`: once-differentiable sample paths, the covariance model
+    /// of the data-assimilation applications the paper cites.
+    ThreeHalves,
+    /// `nu = 5/2`: twice-differentiable sample paths.
+    FiveHalves,
+}
+
+/// The Matérn kernel at a half-integer smoothness:
+///
+/// * `nu = 1/2`: `sigma_f^2 exp(-r/l)`
+/// * `nu = 3/2`: `sigma_f^2 (1 + sqrt(3) r/l) exp(-sqrt(3) r/l)`
+/// * `nu = 5/2`: `sigma_f^2 (1 + sqrt(5) r/l + 5 r^2/(3 l^2)) exp(-sqrt(5) r/l)`
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Matern {
+    /// Smoothness `nu`.
+    pub nu: MaternSmoothness,
+    /// Signal variance `sigma_f^2`.
+    pub variance: f64,
+    /// Length scale `l`.
+    pub length_scale: f64,
+}
+
+impl Matern {
+    /// Matérn-1/2 (exponential).
+    pub fn half(variance: f64, length_scale: f64) -> Self {
+        Matern {
+            nu: MaternSmoothness::Half,
+            variance,
+            length_scale,
+        }
+    }
+
+    /// Matérn-3/2.
+    pub fn three_halves(variance: f64, length_scale: f64) -> Self {
+        Matern {
+            nu: MaternSmoothness::ThreeHalves,
+            variance,
+            length_scale,
+        }
+    }
+
+    /// Matérn-5/2.
+    pub fn five_halves(variance: f64, length_scale: f64) -> Self {
+        Matern {
+            nu: MaternSmoothness::FiveHalves,
+            variance,
+            length_scale,
+        }
+    }
+}
+
+impl StationaryKernel for Matern {
+    fn eval(&self, r: f64) -> f64 {
+        let s = r / self.length_scale;
+        self.variance
+            * match self.nu {
+                MaternSmoothness::Half => (-s).exp(),
+                MaternSmoothness::ThreeHalves => {
+                    let t = 3.0_f64.sqrt() * s;
+                    (1.0 + t) * (-t).exp()
+                }
+                MaternSmoothness::FiveHalves => {
+                    let t = 5.0_f64.sqrt() * s;
+                    (1.0 + t + t * t / 3.0) * (-t).exp()
+                }
+            }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.nu {
+            MaternSmoothness::Half => "matern-1/2",
+            MaternSmoothness::ThreeHalves => "matern-3/2",
+            MaternSmoothness::FiveHalves => "matern-5/2",
+        }
+    }
+}
+
+/// The rational-quadratic kernel
+/// `k(r) = sigma_f^2 (1 + r^2 / (2 alpha l^2))^{-alpha}`, a scale mixture
+/// of squared-exponential kernels (`alpha -> inf` recovers one).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RationalQuadratic {
+    /// Signal variance `sigma_f^2`.
+    pub variance: f64,
+    /// Length scale `l`.
+    pub length_scale: f64,
+    /// Scale-mixture parameter `alpha > 0`.
+    pub alpha: f64,
+}
+
+impl StationaryKernel for RationalQuadratic {
+    fn eval(&self, r: f64) -> f64 {
+        let s = r / self.length_scale;
+        self.variance * (1.0 + s * s / (2.0 * self.alpha)).powf(-self.alpha)
+    }
+
+    fn name(&self) -> &'static str {
+        "rational-quadratic"
+    }
+}
+
+// Interop with the workspace's point-pair kernel vocabulary: every GP
+// kernel is also a `hodlr_kernels::ScalarKernel`, so the existing
+// `ScalarKernelSource` machinery accepts it directly.
+macro_rules! impl_scalar_kernel {
+    ($t:ty) => {
+        impl ScalarKernel for $t {
+            fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+                StationaryKernel::eval(self, dist(x, y))
+            }
+        }
+    };
+}
+impl_scalar_kernel!(SquaredExponential);
+impl_scalar_kernel!(Matern);
+impl_scalar_kernel!(RationalQuadratic);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Disambiguates from the `ScalarKernel::eval` interop impl.
+    fn ev(k: &(impl StationaryKernel + ?Sized), r: f64) -> f64 {
+        StationaryKernel::eval(k, r)
+    }
+
+    #[test]
+    fn kernels_equal_their_variance_at_zero_and_decay() {
+        let kernels: Vec<Box<dyn StationaryKernel>> = vec![
+            Box::new(SquaredExponential {
+                variance: 2.0,
+                length_scale: 0.7,
+            }),
+            Box::new(Matern::half(2.0, 0.7)),
+            Box::new(Matern::three_halves(2.0, 0.7)),
+            Box::new(Matern::five_halves(2.0, 0.7)),
+            Box::new(RationalQuadratic {
+                variance: 2.0,
+                length_scale: 0.7,
+                alpha: 1.5,
+            }),
+        ];
+        for k in &kernels {
+            assert!((ev(k.as_ref(), 0.0) - 2.0).abs() < 1e-15, "{}", k.name());
+            assert!((k.variance() - 2.0).abs() < 1e-15);
+            let near = ev(k.as_ref(), 0.3);
+            let far = ev(k.as_ref(), 3.0);
+            assert!(near > far && far > 0.0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn matern_smoothness_orders_by_tail_mass() {
+        // At the same (variance, l), higher smoothness decays *slower* at
+        // moderate distances (more mass near the SE limit).
+        let r = 1.0;
+        let m12 = ev(&Matern::half(1.0, 1.0), r);
+        let m32 = ev(&Matern::three_halves(1.0, 1.0), r);
+        let m52 = ev(&Matern::five_halves(1.0, 1.0), r);
+        assert!(m12 < m32 && m32 < m52, "{m12} {m32} {m52}");
+    }
+
+    #[test]
+    fn rational_quadratic_approaches_squared_exponential() {
+        let se = SquaredExponential {
+            variance: 1.0,
+            length_scale: 1.0,
+        };
+        let rq = RationalQuadratic {
+            variance: 1.0,
+            length_scale: 1.0,
+            alpha: 1e6,
+        };
+        for r in [0.1, 0.5, 1.0, 2.0] {
+            assert!((ev(&se, r) - ev(&rq, r)).abs() < 1e-5, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn scalar_kernel_interop_uses_euclidean_distance() {
+        let k = Matern::three_halves(1.0, 0.5);
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(
+            ScalarKernel::eval(&k, &a, &b),
+            StationaryKernel::eval(&k, 5.0)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # hodlr-gp — Gaussian-process regression on HODLR covariance matrices
+//!
+//! The flagship *statistical* application of the HODLR factorization: the
+//! GP log-marginal likelihood
+//!
+//! ```text
+//! log p(y) = -1/2 y^T K^{-1} y - 1/2 log|K| - n/2 log(2 pi)
+//! ```
+//!
+//! needs a `solve` **and** a `log|K|` against the same covariance matrix
+//! `K = K_f + sigma_n^2 I` — the exact pair the workspace's factorization
+//! backends provide in `O(N log^2 N)`: the quadratic form through
+//! [`Solve::solve`](hodlr::Solve::solve) and the log-determinant through
+//! the product form of the paper's Section III-E (a)
+//! ([`Solve::log_det`](hodlr::Solve::log_det)), on either the serial or
+//! the batched backend (whose results agree bitwise).
+//!
+//! * [`kernels`] — the stationary families: [`SquaredExponential`],
+//!   [`Matern`] (`nu = 1/2, 3/2, 5/2`), [`RationalQuadratic`]; each also
+//!   implements `hodlr_kernels::ScalarKernel`, so the existing point-pair
+//!   source machinery accepts them unchanged.
+//! * [`source`] — [`CorrelationSource`] / [`covariance_source`] exposing
+//!   `K + sigma_n^2 I` through the workspace's `MatrixEntrySource` trait
+//!   (the nugget rides on `hodlr_compress::ShiftedSource`), plus 1-D grid
+//!   and clustered point-set helpers.
+//! * [`likelihood`] — [`GpModel`]: build the HODLR covariance with a
+//!   fluent [`GpConfig`], factorize on either [`Backend`](hodlr::Backend),
+//!   and evaluate [`LogLikelihood`]s.
+//! * [`oracle`] — dense Cholesky reference (`O(n^3)`), the validation
+//!   oracle of the tests and the `gp` bench family.
+//! * [`scan`] — [`GridScan`]: hyperparameter selection by likelihood
+//!   maximisation over a `(length_scale, variance, noise)` grid.
+//!
+//! ```
+//! use hodlr_gp::{GpConfig, GpModel, SquaredExponential, regular_grid_1d};
+//!
+//! let points = regular_grid_1d(256, 0.0, 4.0);
+//! let kernel = SquaredExponential { variance: 1.0, length_scale: 0.5 };
+//! let y: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+//! let model = GpModel::build(&kernel, &points, 1e-2, &GpConfig::default()).unwrap();
+//! let ll = model.log_likelihood(&y).unwrap();
+//! assert!(ll.value.is_finite() && ll.quadratic_form > 0.0);
+//! ```
+
+pub mod kernels;
+pub mod likelihood;
+pub mod oracle;
+pub mod scan;
+pub mod source;
+
+pub use kernels::{
+    Matern, MaternSmoothness, RationalQuadratic, SquaredExponential, StationaryKernel,
+};
+pub use likelihood::{GpConfig, GpModel, LogLikelihood};
+pub use oracle::{dense_cholesky, dense_log_likelihood};
+pub use scan::{best_row, GridScan, KernelFamily, ScanRow};
+pub use source::{
+    clustered_points_1d, covariance_source, regular_grid_1d, CorrelationSource, CovarianceSource,
+};

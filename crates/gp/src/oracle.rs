@@ -1,0 +1,122 @@
+//! Dense Cholesky reference: the `O(n^3)` oracle the HODLR likelihood is
+//! validated against in tests and benches.
+
+use crate::likelihood::LogLikelihood;
+use hodlr_la::{DenseMatrix, HodlrError};
+
+/// Dense Cholesky factorization `K = L L^T` (lower triangular `L`).
+///
+/// # Errors
+/// [`HodlrError::NotPositiveDefinite`] when a pivot is non-positive, and
+/// [`HodlrError::DimensionMismatch`] for a non-square input.
+pub fn dense_cholesky(k: &DenseMatrix<f64>) -> Result<DenseMatrix<f64>, HodlrError> {
+    let n = k.rows();
+    HodlrError::check_dims("Cholesky input (rows vs cols)", n, k.cols())?;
+    let mut l = DenseMatrix::<f64>::zeros(n, n);
+    for j in 0..n {
+        let mut diag = k[(j, j)];
+        for p in 0..j {
+            diag -= l[(j, p)] * l[(j, p)];
+        }
+        if !diag.is_finite() || diag <= 0.0 {
+            return Err(HodlrError::NotPositiveDefinite {
+                context: format!("dense covariance matrix (Cholesky pivot {j})"),
+            });
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut v = k[(i, j)];
+            for p in 0..j {
+                v -= l[(i, p)] * l[(j, p)];
+            }
+            l[(i, j)] = v / ljj;
+        }
+    }
+    Ok(l)
+}
+
+/// The exact log-marginal likelihood of `y ~ N(0, K)` via dense Cholesky:
+/// `log|K| = 2 sum_i log L_ii` and `y^T K^{-1} y = |L^{-1} y|^2`.
+///
+/// # Errors
+/// As [`dense_cholesky`], plus [`HodlrError::DimensionMismatch`] when `y`
+/// has the wrong length.
+pub fn dense_log_likelihood(k: &DenseMatrix<f64>, y: &[f64]) -> Result<LogLikelihood, HodlrError> {
+    let n = k.rows();
+    HodlrError::check_dims("observation vector", n, y.len())?;
+    let l = dense_cholesky(k)?;
+    // Forward substitution z = L^{-1} y.
+    let mut z = y.to_vec();
+    for i in 0..n {
+        for p in 0..i {
+            let lip = l[(i, p)];
+            z[i] -= lip * z[p];
+        }
+        z[i] /= l[(i, i)];
+    }
+    let quadratic_form: f64 = z.iter().map(|v| v * v).sum();
+    let log_det: f64 = (0..n).map(|i| 2.0 * l[(i, i)].ln()).sum();
+    Ok(LogLikelihood::from_terms(quadratic_form, log_det, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr_la::LuFactor;
+
+    fn spd_matrix(n: usize) -> DenseMatrix<f64> {
+        // K = B B^T + n I for a fixed pseudo-random B: SPD by construction.
+        let b = DenseMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.4);
+        let mut k = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for p in 0..n {
+                    v += b[(i, p)] * b[(j, p)];
+                }
+                k[(i, j)] = v + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        k
+    }
+
+    #[test]
+    fn cholesky_reconstructs_and_log_det_matches_lu() {
+        let k = spd_matrix(24);
+        let l = dense_cholesky(&k).unwrap();
+        for i in 0..24 {
+            for j in 0..24 {
+                let mut v = 0.0;
+                for p in 0..=i.min(j) {
+                    v += l[(i, p)] * l[(j, p)];
+                }
+                assert!((v - k[(i, j)]).abs() < 1e-10);
+            }
+        }
+        let (lu_log, lu_sign) = LuFactor::new(&k).unwrap().log_det();
+        let chol_log: f64 = (0..24).map(|i| 2.0 * l[(i, i)].ln()).sum();
+        assert!((lu_log - chol_log).abs() < 1e-9);
+        assert!((lu_sign - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn likelihood_of_the_identity_covariance_is_the_standard_normal() {
+        let k = DenseMatrix::<f64>::identity(10);
+        let y = vec![0.5; 10];
+        let ll = dense_log_likelihood(&k, &y).unwrap();
+        let expected = -0.5 * 10.0 * 0.25 - 0.5 * 10.0 * (2.0 * std::f64::consts::PI).ln();
+        assert!((ll.value - expected).abs() < 1e-12);
+        assert_eq!(ll.log_det, 0.0);
+    }
+
+    #[test]
+    fn indefinite_matrices_are_reported() {
+        let k = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        let err = dense_cholesky(&k).unwrap_err();
+        assert!(
+            matches!(err, HodlrError::NotPositiveDefinite { .. }),
+            "{err}"
+        );
+    }
+}

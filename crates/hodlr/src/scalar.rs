@@ -14,7 +14,7 @@
 use crate::build::{Backend, Hodlr};
 use crate::solve::Solve;
 use hodlr_core::GpuSolver;
-use hodlr_la::{Complex32, Complex64, DenseMatrix, HodlrError, Scalar};
+use hodlr_la::{Complex32, Complex64, DenseMatrix, HodlrError, RealScalar, Scalar};
 use hodlr_solver::{demote_hodlr, iterative_refinement, DemoteScalar, LinearOperator};
 
 mod sealed {
@@ -173,5 +173,17 @@ impl<T: DemoteScalar> Solve<T> for MixedSolver<'_, T> {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// The log-determinant of the *lower-precision* factors, promoted to
+    /// the working precision.  Accurate to the lower precision's epsilon
+    /// (~`1e-7` relative for `f64`/`Complex64` scalars) — refinement
+    /// improves solves, not determinants.
+    fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        let (log_abs, sign) = self.inner.log_det()?;
+        Ok((
+            <T::Real as RealScalar>::from_f64_real(RealScalar::to_f64(log_abs)),
+            T::promote(sign),
+        ))
     }
 }

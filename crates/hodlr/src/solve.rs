@@ -80,6 +80,30 @@ pub trait Solve<T: Scalar> {
         let x = self.solve_block(&b)?;
         Ok((0..k).map(|j| x.col(j).to_vec()).collect())
     }
+
+    /// Log-determinant capability: `(log|det(A)|, sign)` with
+    /// `det(A) = sign * exp(log|det(A)|)` and `|sign| = 1`, evaluated from
+    /// the stored factors via the product form of the paper's Section
+    /// III-E (a).
+    ///
+    /// Supported by the direct backends ([`SerialFactorization`],
+    /// [`GpuSolver`], and the type-erased [`Factorization`] over either),
+    /// where serial and batched results agree **bitwise**.  The
+    /// mixed-precision backend reports the log-determinant of its
+    /// *lower-precision* factors (~`1e-7` relative accuracy for `f64`
+    /// scalars); iterative solvers have no determinant and keep this
+    /// default.
+    ///
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] when the backend has no completed
+    /// factorization, and [`HodlrError::InvalidConfig`] for backends with
+    /// no determinant (the default implementation).
+    fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        Err(HodlrError::config(
+            "this solver does not expose a log-determinant (only factorization \
+             backends do)",
+        ))
+    }
 }
 
 impl<T: Scalar> Solve<T> for SerialFactorization<T> {
@@ -99,6 +123,10 @@ impl<T: Scalar> Solve<T> for SerialFactorization<T> {
         *x = self.solve_matrix(x);
         Ok(())
     }
+
+    fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        Ok(SerialFactorization::log_det(self))
+    }
 }
 
 impl<T: Scalar> Solve<T> for GpuSolver<'_, T> {
@@ -107,22 +135,18 @@ impl<T: Scalar> Solve<T> for GpuSolver<'_, T> {
     }
 
     fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {
-        if !self.is_factored() {
-            return Err(HodlrError::NotFactorized);
-        }
-        HodlrError::check_dims("right-hand side", self.dim(), x.len())?;
-        let out = GpuSolver::solve(self, x);
+        let out = GpuSolver::solve(self, x)?;
         x.copy_from_slice(&out);
         Ok(())
     }
 
     fn solve_block_in_place(&self, x: &mut DenseMatrix<T>) -> Result<(), HodlrError> {
-        if !self.is_factored() {
-            return Err(HodlrError::NotFactorized);
-        }
-        HodlrError::check_dims("right-hand side block rows", self.dim(), x.rows())?;
-        *x = self.solve_matrix(x);
+        *x = GpuSolver::solve_matrix(self, x)?;
         Ok(())
+    }
+
+    fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        GpuSolver::log_det(self)
     }
 }
 
@@ -209,5 +233,9 @@ impl<T: Scalar> Solve<T> for Factorization<'_, T> {
 
     fn solve_many(&self, rhs: &[Vec<T>]) -> Result<Vec<Vec<T>>, HodlrError> {
         self.run(|| self.inner.solve_many(rhs))
+    }
+
+    fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        self.run(|| self.inner.log_det())
     }
 }

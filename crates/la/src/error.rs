@@ -59,6 +59,15 @@ pub enum HodlrError {
     },
     /// A solve was requested before the factorization was computed.
     NotFactorized,
+    /// A matrix that must be positive definite is not: its determinant sign
+    /// came out non-positive or non-finite.  Raised by the Gaussian-process
+    /// log-likelihood, whose covariance matrix `K + sigma_n^2 I` must be
+    /// symmetric positive definite for `log|K|` to be a real log-density
+    /// term.
+    NotPositiveDefinite {
+        /// Which matrix failed the check (e.g. `"GP covariance matrix"`).
+        context: String,
+    },
     /// A configuration value is out of its legal range (non-positive
     /// tolerance, zero-size tree, zero threads, missing input, ...).
     InvalidConfig {
@@ -140,6 +149,9 @@ impl fmt::Display for HodlrError {
             ),
             HodlrError::NotFactorized => {
                 write!(f, "solve requested before factorize() was called")
+            }
+            HodlrError::NotPositiveDefinite { context } => {
+                write!(f, "{context} is not positive definite")
             }
             HodlrError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
         }

@@ -35,7 +35,7 @@ pub use blas::{gemm, gemv, Op};
 pub use complex::Complex;
 pub use dense::{DenseMatrix, MatMut, MatRef};
 pub use error::HodlrError;
-pub use lu::LuFactor;
+pub use lu::{log_det_from_parts, LuFactor};
 pub use scalar::{RealScalar, Scalar};
 
 /// Single-precision complex number.

@@ -277,23 +277,7 @@ impl<T: Scalar> LuFactor<T> {
     /// Returns `(log|det|, s)` where `det = s * exp(log|det|)` and `|s| = 1`.
     pub fn log_det(&self) -> (T::Real, T) {
         let n = self.order();
-        let mut log_abs = T::Real::zero();
-        let mut phase = T::one();
-        let mut swaps = 0usize;
-        for (k, &p) in self.piv.iter().enumerate() {
-            if p != k {
-                swaps += 1;
-            }
-        }
-        for i in 0..n {
-            let d = self.lu[(i, i)];
-            log_abs += d.abs().ln();
-            phase *= d.scale(d.abs().recip_or_one());
-        }
-        if swaps % 2 == 1 {
-            phase = -phase;
-        }
-        (log_abs, phase)
+        log_det_from_parts((0..n).map(|i| self.lu[(i, i)]), &self.piv)
     }
 
     /// The factored matrix data (L and U packed), useful for testing.
@@ -307,6 +291,34 @@ impl<T: Scalar> LuFactor<T> {
         let id = DenseMatrix::identity(n);
         self.solve_matrix(&id)
     }
+}
+
+/// Log-determinant contribution of one packed LU factor, given its diagonal
+/// entries (in order) and its pivot rows.
+///
+/// Returns `(log|det|, s)` with `det = s * exp(log|det|)` and `|s| = 1`.
+/// This is the *one* accumulation both solver backends use — the serial
+/// factorization through [`LuFactor::log_det`] and the batched device
+/// through the diagonals gathered by its extraction kernel — so the
+/// product-form `log_det` of the two backends agrees bitwise whenever the
+/// underlying LU factors do.
+pub fn log_det_from_parts<T: Scalar>(diag: impl Iterator<Item = T>, piv: &[usize]) -> (T::Real, T) {
+    let mut log_abs = T::Real::zero();
+    let mut phase = T::one();
+    let mut swaps = 0usize;
+    for (k, &p) in piv.iter().enumerate() {
+        if p != k {
+            swaps += 1;
+        }
+    }
+    for d in diag {
+        log_abs += d.abs().ln();
+        phase *= d.scale(d.abs().recip_or_one());
+    }
+    if swaps % 2 == 1 {
+        phase = -phase;
+    }
+    (log_abs, phase)
 }
 
 /// Internal helper: `1 / x` but 1 when `x == 0`, used to normalise phases.

@@ -75,8 +75,8 @@ pub mod report;
 pub use bicgstab::BiCgStab;
 pub use gmres::Gmres;
 pub use mixed::{
-    demote_hodlr, mixed_precision_solve, DemoteScalar, MixedPrecisionPreconditioner,
-    MixedPrecisionSolve,
+    demote_hodlr, mixed_precision_solve, DemoteScalar, MixedPrecisionGpuPreconditioner,
+    MixedPrecisionPreconditioner, MixedPrecisionSolve,
 };
 pub use operator::{LinearOperator, SourceOperator};
 pub use precond::{GpuPreconditioner, IdentityPreconditioner, SerialPreconditioner};

@@ -125,12 +125,24 @@ impl<T: Scalar> LinearOperator<T> for GpuPreconditioner<'_, T> {
     }
 
     fn apply(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n, "apply: x has the wrong length");
         assert_eq!(y.len(), self.n, "apply: y has the wrong length");
-        y.copy_from_slice(&self.solver.solve(x));
+        let solved = self
+            .solver
+            .solve(x)
+            .expect("solver is factored and the right-hand-side length was checked");
+        y.copy_from_slice(&solved);
     }
 
     fn apply_to_block(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
-        self.solver.solve_matrix(x)
+        assert_eq!(
+            x.rows(),
+            self.n,
+            "apply_to_block: x has the wrong row count"
+        );
+        self.solver
+            .solve_matrix(x)
+            .expect("solver is factored and the right-hand-side shape was checked")
     }
 }
 

@@ -127,7 +127,7 @@ fn facade_solves_match_direct_backend_calls_bitwise() {
     let device = Device::new();
     let mut gpu = GpuSolver::new(&device, hodlr.matrix());
     gpu.factorize().unwrap();
-    let direct_gpu = gpu.solve(&b);
+    let direct_gpu = gpu.solve(&b).unwrap();
     let batched = Hodlr::builder()
         .source(&source)
         .leaf_size(32)
@@ -147,7 +147,7 @@ fn facade_solves_match_direct_backend_calls_bitwise() {
             .collect();
         bm.col_mut(j).copy_from_slice(&col);
     }
-    let direct_block = gpu.solve_matrix(&bm);
+    let direct_block = gpu.solve_matrix(&bm).unwrap();
     let facade_block = batched.factorize().unwrap().solve_block(&bm).unwrap();
     for j in 0..k {
         assert_eq!(facade_block.col(j), direct_block.col(j), "column {j}");

@@ -1,0 +1,251 @@
+//! The Gaussian-process log-likelihood subsystem, end to end: bitwise
+//! serial-vs-batched `log_det` parity (the product form of Section
+//! III-E(a) on both backends), GP log-marginal likelihood against the
+//! dense Cholesky oracle, and the façade's `log_det` capability across
+//! backends and precision policies.
+
+use hodlr::prelude::*;
+use hodlr_core::matrix::random_hodlr;
+use hodlr_gp::{
+    best_row, dense_log_likelihood, regular_grid_1d, GpConfig, GpModel, GridScan, KernelFamily,
+    Matern, SquaredExponential,
+};
+
+/// Serial and batched `log_det` agree **bitwise**: same product-form
+/// recursion over bitwise-identical LU factors (acceptance criterion).
+#[test]
+fn log_det_is_bitwise_identical_across_backends() {
+    fn check<T: Scalar>(n: usize, levels: usize, rank: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let matrix: HodlrMatrix<T> = random_hodlr(&mut rng, n, levels, rank);
+        let (log_serial, sign_serial) = matrix.factorize_serial().unwrap().log_det();
+        let device = Device::new();
+        let mut gpu = GpuSolver::new(&device, &matrix);
+        gpu.factorize().unwrap();
+        let (log_gpu, sign_gpu) = gpu.log_det().unwrap();
+        assert_eq!(
+            log_serial.to_f64().to_bits(),
+            log_gpu.to_f64().to_bits(),
+            "log|det| differs: {log_serial:?} vs {log_gpu:?}"
+        );
+        assert_eq!(sign_serial, sign_gpu, "sign differs");
+    }
+    check::<f64>(128, 3, 3, 0xd37);
+    check::<f64>(257, 4, 2, 0xd38); // non-power-of-two
+    check::<Complex64>(96, 3, 2, 0xd39);
+    check::<Complex64>(64, 2, 4, 0xd3a);
+}
+
+/// Bitwise parity holds with *asymmetric* sibling ranks too (rank-1
+/// upper-right vs rank-3 lower-left blocks, recovered by truncated SVD),
+/// and both backends agree with the dense LU log-determinant.
+#[test]
+fn log_det_parity_with_asymmetric_sibling_ranks() {
+    let n = 64;
+    let h = n / 2;
+    let mut a: DenseMatrix<f64> = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, i)] = 10.0 + i as f64;
+    }
+    // Upper-right block: exactly rank 1; lower-left: exactly rank 3.
+    for i in 0..h {
+        for j in 0..h {
+            a[(i, h + j)] = (1.0 + i as f64) * (2.0 + j as f64) / 256.0;
+            let (x, y) = (i as f64, j as f64);
+            a[(h + i, j)] = (x * y + (x * x) * (y * y) / 8.0 + 1.0) / 512.0;
+        }
+    }
+    let hodlr = Hodlr::builder()
+        .dense(&a)
+        .levels(1)
+        .tolerance(1e-12)
+        .method(CompressionMethod::TruncatedSvd)
+        .build()
+        .unwrap();
+    let matrix = hodlr.matrix();
+    let (alpha, beta) = matrix.tree().children(matrix.tree().root()).unwrap();
+    assert_ne!(
+        matrix.node_rank(alpha),
+        0,
+        "asymmetric blocks must compress to a nonzero rank"
+    );
+    assert_eq!(matrix.node_rank(alpha), matrix.node_rank(beta));
+
+    let (log_serial, sign_serial) = matrix.factorize_serial().unwrap().log_det();
+    let device = Device::new();
+    let mut gpu = GpuSolver::new(&device, matrix);
+    gpu.factorize().unwrap();
+    let (log_gpu, sign_gpu) = gpu.log_det().unwrap();
+    assert_eq!(log_serial.to_bits(), log_gpu.to_bits());
+    assert_eq!(sign_serial, sign_gpu);
+
+    // Both agree with the dense reference (through the 1e-12 compression).
+    let (log_dense, sign_dense) = hodlr_la::LuFactor::new(&a).unwrap().log_det();
+    assert!(
+        (log_serial - log_dense).abs() < 1e-8,
+        "{log_serial} vs {log_dense}"
+    );
+    assert!((sign_serial - sign_dense).abs() < 1e-12);
+}
+
+/// The façade's `log_det` capability: bitwise across `Backend::Serial`
+/// and `Backend::Batched`, lower-precision-accurate under
+/// `Precision::MixedRefine`, and a typed error on iterative solvers.
+#[test]
+fn facade_log_det_across_backends_and_precisions() {
+    let n = 192;
+    let source = ClosureSource::new(n, n, move |i, j| {
+        1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 4.0 } else { 0.0 }
+    });
+    let build = |backend, precision| {
+        Hodlr::builder()
+            .source(&source)
+            .leaf_size(32)
+            .tolerance(1e-11)
+            .backend(backend)
+            .precision(precision)
+            .build()
+            .unwrap()
+    };
+
+    let serial = build(Backend::Serial, Precision::Full);
+    let serial_f = serial.factorize().unwrap();
+    let (log_serial, sign_serial) = serial_f.log_det().unwrap();
+    assert!(sign_serial > 0.0 && log_serial.is_finite());
+
+    let batched = build(Backend::Batched, Precision::Full);
+    let batched_f = batched.factorize().unwrap();
+    let (log_batched, sign_batched) = batched_f.log_det().unwrap();
+    assert_eq!(log_serial.to_bits(), log_batched.to_bits());
+    assert_eq!(sign_serial, sign_batched);
+
+    // MixedRefine promotes the f32 factors' log-determinant: ~7 digits.
+    let mixed = build(Backend::Batched, Precision::MixedRefine);
+    let mixed_f = mixed.factorize().unwrap();
+    let (log_mixed, sign_mixed) = mixed_f.log_det().unwrap();
+    // The sign is a product of normalized phases, exact only to rounding.
+    assert!((sign_mixed - 1.0).abs() < 1e-5);
+    assert!(
+        (log_mixed - log_serial).abs() < 1e-3 * log_serial.abs().max(1.0),
+        "{log_mixed} vs {log_serial}"
+    );
+
+    // Iterative solvers have no determinant: typed error, not a panic.
+    let gmres = serial
+        .iterative(KrylovMethod::Gmres { restart: 30 })
+        .unwrap();
+    let err = gmres.log_det().unwrap_err();
+    assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err}");
+}
+
+/// Acceptance criterion: the GP log-marginal likelihood matches the dense
+/// Cholesky oracle to `1e-8` at `n = 512` on both backends.
+#[test]
+fn gp_loglik_matches_dense_oracle_at_512_on_both_backends() {
+    let n = 512;
+    let points = regular_grid_1d(n, 0.0, 4.0);
+    let kernel = Matern::three_halves(1.2, 0.4);
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = 4.0 * i as f64 / (n - 1) as f64;
+            (2.0 * x).sin() + 0.3 * (5.0 * x).cos()
+        })
+        .collect();
+    let noise = 1e-2;
+    let dense = hodlr_compress::MatrixEntrySource::to_dense(&hodlr_gp::covariance_source(
+        &kernel, &points, noise,
+    ));
+    let oracle = dense_log_likelihood(&dense, &y).unwrap();
+
+    for backend in [Backend::Serial, Backend::Batched] {
+        let config = GpConfig {
+            backend,
+            tolerance: 1e-12,
+            ..GpConfig::default()
+        };
+        let model = GpModel::build(&kernel, &points, noise, &config).unwrap();
+        let ll = model.log_likelihood(&y).unwrap();
+        assert!(
+            (ll.value - oracle.value).abs() < 1e-8,
+            "{backend:?}: loglik {} vs oracle {}",
+            ll.value,
+            oracle.value
+        );
+        assert!((ll.log_det - oracle.log_det).abs() < 1e-8);
+        assert!((ll.quadratic_form - oracle.quadratic_form).abs() < 1e-8);
+    }
+}
+
+/// The hyperparameter grid scan drives the whole subsystem end to end on
+/// the batched backend and recovers the generating length scale.
+#[test]
+fn grid_scan_on_the_batched_backend_recovers_hyperparameters() {
+    let n = 256;
+    let points = regular_grid_1d(n, 0.0, 4.0);
+    let y: Vec<f64> = (0..n)
+        .map(|i| (2.0 * (4.0 * i as f64 / (n - 1) as f64)).sin())
+        .collect();
+    let scan = GridScan {
+        family: KernelFamily::SquaredExponential,
+        length_scales: vec![0.05, 0.5, 5.0],
+        variances: vec![0.5, 1.0],
+        noises: vec![1e-4],
+    };
+    let config = GpConfig {
+        backend: Backend::Batched,
+        leaf_size: 32,
+        ..GpConfig::default()
+    };
+    let rows = scan.run(&points, &y, &config).unwrap();
+    assert_eq!(rows.len(), 6);
+    let best = best_row(&rows).unwrap();
+    assert_eq!(best.length_scale, 0.5, "best row: {best:?}");
+
+    // A misspecified kernel family still scores, just worse: Matérn-1/2 on
+    // this smooth signal loses to the squared exponential at the same
+    // hyperparameters.
+    let rough = GridScan {
+        family: KernelFamily::MaternHalf,
+        length_scales: vec![0.5],
+        variances: vec![1.0],
+        noises: vec![1e-4],
+    };
+    let rough_rows = rough.run(&points, &y, &config).unwrap();
+    assert!(rough_rows[0].log_likelihood.value < best.log_likelihood.value);
+}
+
+/// A GP model built over *clustered* (spatially reordered) points goes
+/// through the explicit-tree policy and stays oracle-accurate.
+#[test]
+fn clustered_point_sets_use_the_explicit_tree_policy() {
+    let mut rng = StdRng::seed_from_u64(0x6a5);
+    let part = hodlr_gp::clustered_points_1d(&mut rng, 384, 6, 32);
+    let kernel = SquaredExponential {
+        variance: 1.0,
+        length_scale: 0.05,
+    };
+    let y: Vec<f64> = (0..384)
+        .map(|i| (part.points.point(i)[0] * 20.0).sin())
+        .collect();
+    let noise = 1e-2;
+    let dense = hodlr_compress::MatrixEntrySource::to_dense(&hodlr_gp::covariance_source(
+        &kernel,
+        &part.points,
+        noise,
+    ));
+    let oracle = dense_log_likelihood(&dense, &y).unwrap();
+    let config = GpConfig {
+        backend: Backend::Batched,
+        tolerance: 1e-12,
+        tree: Some(part.tree.clone()),
+        ..GpConfig::default()
+    };
+    let model = GpModel::build(&kernel, &part.points, noise, &config).unwrap();
+    let ll = model.log_likelihood(&y).unwrap();
+    assert!(
+        (ll.value - oracle.value).abs() < 1e-7,
+        "{} vs {}",
+        ll.value,
+        oracle.value
+    );
+}

@@ -89,9 +89,9 @@ fn solve_block_matches_per_rhs_solves_column_for_column() {
     let device = Device::new();
     let mut gpu = GpuSolver::new(&device, &matrix);
     gpu.factorize().unwrap();
-    let block = gpu.solve_block(&rhs);
+    let block = gpu.solve_block(&rhs).unwrap();
     for (j, b) in rhs.iter().enumerate() {
-        let single = gpu.solve(b);
+        let single = gpu.solve(b).unwrap();
         assert_eq!(block[j], single, "gpu column {j} differs");
     }
 }
@@ -113,11 +113,11 @@ fn solve_block_issues_fewer_launches_than_a_per_rhs_loop() {
     gpu.factorize().unwrap();
 
     let before = device.counters();
-    let block = gpu.solve_block(&rhs);
+    let block = gpu.solve_block(&rhs).unwrap();
     let blocked = device.counters().since(&before);
 
     let before = device.counters();
-    let looped: Vec<Vec<f64>> = rhs.iter().map(|b| gpu.solve(b)).collect();
+    let looped: Vec<Vec<f64>> = rhs.iter().map(|b| gpu.solve(b).unwrap()).collect();
     let per_rhs = device.counters().since(&before);
 
     assert_eq!(block, looped, "blocked and looped solves disagree");

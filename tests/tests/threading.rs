@@ -65,8 +65,8 @@ fn run_pipeline(threads: usize) -> PipelineOutput {
         let device = Device::new();
         let mut gpu = GpuSolver::new(&device, &matrix);
         gpu.factorize().expect("batched factorization");
-        let x_gpu = gpu.solve(&rhs[0]);
-        let x_block = gpu.solve_block(&rhs);
+        let x_gpu = gpu.solve(&rhs[0]).expect("batched solve");
+        let x_block = gpu.solve_block(&rhs).expect("batched block solve");
 
         let lib = HodlrlibStyleSolver::factorize(&matrix).expect("hodlrlib factorization");
         let x_hodlrlib = lib.solve(&rhs[0]);
@@ -131,9 +131,9 @@ fn solve_block_matches_per_rhs_solves() {
     let device = Device::new();
     let mut gpu = GpuSolver::new(&device, &matrix);
     gpu.factorize().expect("factorization");
-    let block = gpu.solve_block(&rhs);
+    let block = gpu.solve_block(&rhs).unwrap();
     for (j, b) in rhs.iter().enumerate() {
-        let single = gpu.solve(b);
+        let single = gpu.solve(b).unwrap();
         let err: f64 = block[j]
             .iter()
             .zip(&single)
