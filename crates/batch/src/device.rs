@@ -215,6 +215,22 @@ impl Device {
         }
     }
 
+    /// Meter a window of device work: snapshot the counters, run `f`, and
+    /// return its result next to the counter deltas accumulated while it
+    /// ran.
+    ///
+    /// The deltas are exact only when `f` is the sole issuer of launches on
+    /// this device for the duration of the call — the counters are global
+    /// atomics, so concurrent traffic on the same device bleeds into the
+    /// window.  `hodlr-serve` meets this by draining coalesced batches
+    /// under a per-cache-entry lock; each `Hodlr` owns its device, so
+    /// traffic against *other* factorizations never pollutes the window.
+    pub fn meter<R>(&self, f: impl FnOnce() -> R) -> (R, CounterSnapshot) {
+        let before = self.counters();
+        let result = f();
+        (result, self.counters().since(&before))
+    }
+
     /// Reset all counters (allocation gauges included) to zero.
     pub fn reset_counters(&self) {
         self.kernel_launches.store(0, Ordering::Relaxed);
@@ -268,6 +284,23 @@ mod tests {
         assert_eq!(delta.kernel_launches, 1);
         assert_eq!(delta.batch_entries, 2);
         assert_eq!(delta.flops, 250);
+    }
+
+    #[test]
+    fn meter_isolates_a_window() {
+        let dev = Device::new();
+        dev.record_launch("warmup", 1, 100, 0);
+        let (sum, delta) = dev.meter(|| {
+            dev.record_launch("a", 2, 300, 0);
+            dev.record_launch("b", 3, 400, 0);
+            2 + 3
+        });
+        assert_eq!(sum, 5);
+        assert_eq!(delta.kernel_launches, 2);
+        assert_eq!(delta.batch_entries, 5);
+        assert_eq!(delta.flops, 700);
+        // The warmup launch stays outside the window.
+        assert_eq!(dev.counters().kernel_launches, 3);
     }
 
     #[test]

@@ -58,10 +58,7 @@ fn main() {
     print_iterative_table(&format!("Iterative solves, RPY kernel, N = {rpy_n}"), &rows);
     all_rows.extend(rows);
 
-    // Machine-readable perf trajectory for cross-PR comparison.
-    let json_path = hodlr_bench::json::bench_json_path("iterative");
-    match write_iterative_json(&json_path, &all_rows) {
-        Ok(()) => println!("wrote {} rows to {}", all_rows.len(), json_path.display()),
-        Err(e) => eprintln!("failed to write {}: {e}", json_path.display()),
-    }
+    // Machine-readable perf trajectory for cross-PR comparison; the
+    // output path resolves through the shared helper like every bench bin.
+    write_iterative_json("iterative", &all_rows);
 }

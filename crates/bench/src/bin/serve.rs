@@ -1,0 +1,60 @@
+//! Multi-tenant serving trajectory: the `warm` / `cold` / `coalesce`
+//! scenarios of the deterministic mixed GP/BIE load generator (throughput,
+//! p50/p99 latency, cache hit-rate, evictions, launches-per-request,
+//! bitwise-replay verdict), written to `BENCH_serve.json`.
+//!
+//! Usage: `serve [--smoke]` — `--smoke` runs the seconds-scale CI sweep.
+//! Exits non-zero if any scenario fails a request, fails to reproduce
+//! bitwise on replay, or misses its headline target (warm hit-rate > 0.5,
+//! coalesced launches-per-request < 1).
+
+use hodlr_bench::{print_serve_table, run_serve_bench, write_serve_json, ServeBenchConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke {
+        ServeBenchConfig::smoke()
+    } else {
+        ServeBenchConfig::full()
+    };
+    let rows = run_serve_bench(&config);
+    print_serve_table(
+        "Multi-tenant serving (factorization cache + coalescing)",
+        &rows,
+    );
+    write_serve_json("serve", &rows);
+
+    let mut broken = false;
+    for row in &rows {
+        if row.failed > 0 {
+            eprintln!("FAILED REQUESTS: {} had {}", row.scenario, row.failed);
+            broken = true;
+        }
+        if !row.deterministic {
+            eprintln!("NON-DETERMINISTIC REPLAY: {}", row.scenario);
+            broken = true;
+        }
+        if row.throughput_rps <= 0.0 || row.throughput_rps.is_nan() {
+            eprintln!("ZERO THROUGHPUT: {}", row.scenario);
+            broken = true;
+        }
+        if row.scenario == "warm" && row.hit_rate <= 0.5 {
+            eprintln!("COLD WARM CACHE: hit rate {:.3}", row.hit_rate);
+            broken = true;
+        }
+        if row.scenario == "coalesce" && row.launches_per_request >= 1.0 {
+            eprintln!(
+                "UNAMORTIZED LAUNCHES: {:.3} per request",
+                row.launches_per_request
+            );
+            broken = true;
+        }
+        if row.scenario == "cold" && row.evictions == 0 {
+            eprintln!("NO EVICTIONS: cold scenario never churned the cache");
+            broken = true;
+        }
+    }
+    if broken {
+        std::process::exit(1);
+    }
+}

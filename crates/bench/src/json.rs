@@ -20,16 +20,22 @@
 //!   likelihood value, its error against the dense Cholesky oracle, and
 //!   launch/flop metering).
 //!
-//! [`write_solver_json`] resolves the output path like the `iterative`
-//! binary does: `HODLR_BENCH_JSON` overrides the default
-//! `BENCH_<name>.json` in the working directory.
+//! * the `serve` binary emits [`ServeRow`]s (scenario, tenant mix,
+//!   throughput, p50/p99 latency, cache hit-rate, launches-per-request,
+//!   and a determinism checksum).
+//!
+//! Every bench family resolves its output path through the one shared
+//! helper, [`bench_json_path`]: `HODLR_BENCH_JSON` overrides the default
+//! `BENCH_<name>.json` in the working directory, identically for every
+//! binary.
 
 use crate::gp::GpRow;
 use crate::harness::SolverRow;
 use crate::iterative::IterativeRow;
 use crate::kernels::KernelRow;
+use crate::serve::ServeRow;
 use std::io::Write;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 /// Escape a string for inclusion in a JSON string literal.
 fn escape(s: &str) -> String {
@@ -88,11 +94,10 @@ pub fn iterative_rows_to_json(rows: &[IterativeRow]) -> String {
     out
 }
 
-/// Write the rows as JSON to `path` (the `iterative` binary points this at
-/// `BENCH_iterative.json`, overridable via `HODLR_BENCH_JSON`).
-pub fn write_iterative_json(path: &Path, rows: &[IterativeRow]) -> std::io::Result<()> {
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(iterative_rows_to_json(rows).as_bytes())
+/// Write iterative rows to the family's JSON path (see
+/// [`bench_json_path`]).
+pub fn write_iterative_json(name: &str, rows: &[IterativeRow]) {
+    write_bench_json(name, &iterative_rows_to_json(rows), rows.len());
 }
 
 /// An optional float as JSON (`null` when absent or non-finite).
@@ -235,6 +240,47 @@ pub fn write_gp_json(name: &str, rows: &[GpRow]) {
     write_bench_json(name, &gp_rows_to_json(rows), rows.len());
 }
 
+/// Render serving rows (the `serve` binary) as a JSON array.
+pub fn serve_rows_to_json(rows: &[ServeRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"scenario\": \"{}\", ", escape(&row.scenario)));
+        out.push_str(&format!("\"tenants\": {}, ", row.tenants));
+        out.push_str(&format!("\"requests\": {}, ", row.requests));
+        out.push_str(&format!("\"n\": {}, ", row.n));
+        out.push_str(&format!("\"burst\": {}, ", row.burst));
+        out.push_str(&format!("\"drains\": {}, ", row.drains));
+        out.push_str(&format!(
+            "\"throughput_rps\": {}, ",
+            number(row.throughput_rps)
+        ));
+        out.push_str(&format!("\"p50_ms\": {}, ", number(row.p50_ms)));
+        out.push_str(&format!("\"p99_ms\": {}, ", number(row.p99_ms)));
+        out.push_str(&format!("\"hit_rate\": {}, ", number(row.hit_rate)));
+        out.push_str(&format!("\"evictions\": {}, ", row.evictions));
+        out.push_str(&format!(
+            "\"launches_per_request\": {}, ",
+            number(row.launches_per_request)
+        ));
+        out.push_str(&format!("\"failed\": {}, ", row.failed));
+        out.push_str(&format!("\"deterministic\": {}, ", row.deterministic));
+        out.push_str(&format!("\"checksum\": {}", number(row.checksum)));
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write serving rows to the family's JSON path (see [`bench_json_path`]).
+pub fn write_serve_json(name: &str, rows: &[ServeRow]) {
+    write_bench_json(name, &serve_rows_to_json(rows), rows.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +406,40 @@ mod tests {
             "\"threads\": 8",
             "\"speedup_vs_reference\": 5e0",
             "\"bitwise_vs_1thread\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn serve_rows_render_required_fields() {
+        let row = ServeRow {
+            scenario: "coalesce".into(),
+            tenants: 1,
+            requests: 48,
+            n: 192,
+            burst: 24,
+            drains: 2,
+            throughput_rps: 850.0,
+            p50_ms: 1.2,
+            p99_ms: 4.5,
+            hit_rate: 0.96,
+            evictions: 0,
+            launches_per_request: 0.4,
+            failed: 0,
+            deterministic: true,
+            checksum: 0.125,
+        };
+        let json = serve_rows_to_json(&[row]);
+        for key in [
+            "\"scenario\": \"coalesce\"",
+            "\"requests\": 48",
+            "\"burst\": 24",
+            "\"throughput_rps\": 8.5e2",
+            "\"hit_rate\": 9.6e-1",
+            "\"launches_per_request\": 4e-1",
+            "\"deterministic\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -43,6 +43,7 @@ pub mod harness;
 pub mod iterative;
 pub mod json;
 pub mod kernels;
+pub mod serve;
 pub mod workloads;
 
 pub use gp::{print_gp_table, run_gp_bench, GpBenchConfig, GpRow};
@@ -51,10 +52,12 @@ pub use iterative::{
     measure_block_direct, measure_iterative, print_iterative_table, IterativeConfig, IterativeRow,
 };
 pub use json::{
-    gp_rows_to_json, iterative_rows_to_json, kernel_rows_to_json, solver_rows_to_json,
-    write_gp_json, write_iterative_json, write_kernel_json, write_solver_json,
+    gp_rows_to_json, iterative_rows_to_json, kernel_rows_to_json, serve_rows_to_json,
+    solver_rows_to_json, write_gp_json, write_iterative_json, write_kernel_json, write_serve_json,
+    write_solver_json,
 };
 pub use kernels::{print_kernel_table, run_kernel_bench, KernelBenchConfig, KernelRow};
+pub use serve::{print_serve_table, run_serve_bench, ServeBenchConfig, ServeRow};
 pub use workloads::{
     helmholtz_hodlr, kernel_hodlr, laplace_hodlr, parse_args, rpy_hodlr, SweepArgs,
 };

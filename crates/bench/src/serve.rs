@@ -1,0 +1,417 @@
+//! The serving scenario family: a deterministic multi-tenant load
+//! generator over [`SolveService`].
+//!
+//! Three scenarios probe the three serve-layer mechanisms:
+//!
+//! * `warm` — a small mixed GP/BIE tenant set under steady traffic; the
+//!   factorization cache must absorb it (hit-rate > 0.5 after warmup).
+//! * `cold` — more tenants than the cache budget admits, cycling; probes
+//!   LRU + memory-budget eviction under churn.
+//! * `coalesce` — one batched tenant under bursts larger than one blocked
+//!   solve's launch count; request coalescing must push
+//!   launches-per-request below 1.
+//!
+//! Everything is seeded and scripted: the tenant schedule, the right-hand
+//! sides and the drain boundaries are pure functions of the request index,
+//! and each scenario runs **twice** to assert the solve results are
+//! bitwise reproducible (the `deterministic` column).  Only wall-clock
+//! derived metrics (throughput, latency) vary between runs.
+
+use hodlr::{Backend, Hodlr, TreePolicy};
+use hodlr_gp::{covariance_source, regular_grid_1d, Matern, SquaredExponential};
+use hodlr_la::HodlrError;
+use hodlr_serve::{CacheConfig, CacheKey, ServeConfig, SolveService};
+use std::time::Instant;
+
+use crate::workloads::laplace_hodlr;
+
+/// One row of the serving table: one scenario, aggregated over its whole
+/// request stream.
+#[derive(Clone, Debug)]
+pub struct ServeRow {
+    /// Scenario label (`warm`, `cold`, `coalesce`).
+    pub scenario: String,
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Requests driven through the service.
+    pub requests: usize,
+    /// Matrix size of every tenant operator.
+    pub n: usize,
+    /// Requests submitted between drain cycles (the burst size).
+    pub burst: usize,
+    /// Drain cycles run.
+    pub drains: u64,
+    /// Completed requests per wall-clock second, cache warmup included.
+    pub throughput_rps: f64,
+    /// Median submit-to-result latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile submit-to-result latency, milliseconds.
+    pub p99_ms: f64,
+    /// Factorization-cache hit rate over the whole stream.
+    pub hit_rate: f64,
+    /// Cache evictions over the whole stream.
+    pub evictions: u64,
+    /// Batched-kernel launches divided by completed requests (the
+    /// coalescing figure of merit; 0 for purely serial traffic).
+    pub launches_per_request: f64,
+    /// Requests that resolved to an error.
+    pub failed: u64,
+    /// Whether a second, identically scripted run reproduced every solve
+    /// result bitwise.
+    pub deterministic: bool,
+    /// Order-sensitive fold of all solution vectors (for eyeballing
+    /// cross-PR drift; the bitwise check is `deterministic`).
+    pub checksum: f64,
+}
+
+/// Sweep configuration of the `serve` binary.
+#[derive(Clone, Debug)]
+pub struct ServeBenchConfig {
+    /// Matrix size per tenant.
+    pub n: usize,
+    /// Requests per scenario.
+    pub requests: usize,
+    /// Requests per drain cycle (floor; `coalesce` raises it above the
+    /// per-solve launch count automatically).
+    pub burst: usize,
+}
+
+impl ServeBenchConfig {
+    /// The seconds-scale CI sweep (`--smoke`).
+    pub fn smoke() -> Self {
+        ServeBenchConfig {
+            n: 192,
+            requests: 48,
+            burst: 6,
+        }
+    }
+
+    /// The default laptop-scale sweep.
+    pub fn full() -> Self {
+        ServeBenchConfig {
+            n: 512,
+            requests: 240,
+            burst: 12,
+        }
+    }
+}
+
+/// The tenant archetypes of the mixed workload.
+#[derive(Copy, Clone, Debug)]
+enum TenantKind {
+    /// Gaussian-process covariance, Matérn-3/2 on a regular grid.
+    GpMatern,
+    /// Gaussian-process covariance, squared-exponential on a regular grid.
+    GpSquaredExponential,
+    /// Laplace exterior boundary-integral operator on the star contour.
+    Bie,
+}
+
+/// Register `count` tenants cycling through the archetypes; tenant `t`
+/// gets a slightly different operator (length scale / noise shift) so
+/// distinct tenants genuinely factorize distinct matrices.
+fn register_tenants(service: &SolveService<f64>, count: usize, n: usize, backend: Backend) {
+    const KINDS: [TenantKind; 3] = [
+        TenantKind::GpMatern,
+        TenantKind::GpSquaredExponential,
+        TenantKind::Bie,
+    ];
+    for t in 0..count {
+        let kind = KINDS[t % KINDS.len()];
+        let name = format!("tenant-{t}");
+        let tol = 1e-8;
+        let key = CacheKey::new(
+            format!("{name}/{kind:?}/n={n}"),
+            &TreePolicy::LeafSize(64),
+            tol,
+            backend,
+            hodlr::Precision::Full,
+        );
+        let build = move || -> Result<Hodlr<f64>, HodlrError> {
+            match kind {
+                TenantKind::GpMatern => {
+                    let points = regular_grid_1d(n, 0.0, 1.0);
+                    let kernel = Matern::three_halves(1.0, 0.2 + 0.05 * (t % 3) as f64);
+                    let source = covariance_source(&kernel, &points, 1e-2);
+                    Hodlr::builder()
+                        .source(&source)
+                        .leaf_size(64)
+                        .tolerance(tol)
+                        .backend(backend)
+                        .build()
+                }
+                TenantKind::GpSquaredExponential => {
+                    let points = regular_grid_1d(n, 0.0, 1.0);
+                    let kernel = SquaredExponential {
+                        variance: 1.0,
+                        length_scale: 0.15 + 0.05 * (t % 3) as f64,
+                    };
+                    let source = covariance_source(&kernel, &points, 1e-2);
+                    Hodlr::builder()
+                        .source(&source)
+                        .leaf_size(64)
+                        .tolerance(tol)
+                        .backend(backend)
+                        .build()
+                }
+                TenantKind::Bie => {
+                    let (_, matrix) = laplace_hodlr(n, tol);
+                    Hodlr::builder().matrix(matrix).backend(backend).build()
+                }
+            }
+        };
+        service.register_tenant(name, key, build);
+    }
+}
+
+/// The scripted right-hand side of request `r`: a pure function of the
+/// request index, shared by both determinism runs.
+fn scripted_rhs(n: usize, r: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 7 + r * 13 + 1) as f64 * 0.01).sin())
+        .collect()
+}
+
+/// The scripted tenant of request `r` (multiplicative-congruential hop, so
+/// neighbours in a burst mix tenants).
+fn scripted_tenant(tenants: usize, r: usize) -> String {
+    format!("tenant-{}", (r * 2654435761) % tenants.max(1))
+}
+
+/// Outcome of one scripted pass: metrics plus the bitwise-foldable result
+/// stream.
+struct PassOutcome {
+    latencies_ms: Vec<f64>,
+    elapsed_s: f64,
+    result_bits: Vec<u64>,
+    failed: u64,
+}
+
+/// Drive `requests` scripted requests through `service` in bursts,
+/// draining at each burst boundary.
+fn drive(
+    service: &SolveService<f64>,
+    tenants: usize,
+    n: usize,
+    requests: usize,
+    burst: usize,
+) -> PassOutcome {
+    let mut latencies_ms = Vec::with_capacity(requests);
+    let mut result_bits = Vec::new();
+    let mut failed = 0u64;
+    let started = Instant::now();
+    let mut r = 0;
+    while r < requests {
+        let burst_end = (r + burst).min(requests);
+        let mut in_flight = Vec::with_capacity(burst_end - r);
+        for req in r..burst_end {
+            let tenant = scripted_tenant(tenants, req);
+            let submitted = Instant::now();
+            match service.submit(&tenant, scripted_rhs(n, req)) {
+                Ok(ticket) => in_flight.push((submitted, ticket)),
+                Err(_) => failed += 1,
+            }
+        }
+        service.drain();
+        for (submitted, ticket) in in_flight {
+            match ticket.try_take().expect("drain fulfills every ticket") {
+                Ok(x) => {
+                    latencies_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+                    result_bits.extend(x.iter().map(|v| v.to_bits()));
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        r = burst_end;
+    }
+    PassOutcome {
+        latencies_ms,
+        elapsed_s: started.elapsed().as_secs_f64(),
+        result_bits,
+        failed,
+    }
+}
+
+/// Percentile over a copy of `values` (nearest-rank); 0 when empty.
+fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// Order-sensitive fold of the result stream into one telltale float.
+fn checksum(bits: &[u64]) -> f64 {
+    let mut acc = 0u64;
+    for &b in bits {
+        acc = acc.rotate_left(7) ^ b;
+    }
+    (acc >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One scenario: build the service, run the scripted stream twice, and
+/// report metrics from the first pass plus the cross-pass bitwise verdict.
+fn run_scenario(
+    name: &str,
+    tenants: usize,
+    cache: CacheConfig,
+    backend: Backend,
+    config: &ServeBenchConfig,
+    burst: usize,
+) -> ServeRow {
+    let make_service = || {
+        let service = SolveService::<f64>::new(ServeConfig {
+            cache,
+            queue_capacity: config.requests.max(16),
+        });
+        register_tenants(&service, tenants, config.n, backend);
+        service
+    };
+
+    let service = make_service();
+    let pass = drive(&service, tenants, config.n, config.requests, burst);
+    let replay = drive(&make_service(), tenants, config.n, config.requests, burst);
+
+    let cache_stats = service.cache_stats();
+    let stats = service.stats();
+    ServeRow {
+        scenario: name.to_string(),
+        tenants,
+        requests: config.requests,
+        n: config.n,
+        burst,
+        drains: stats.drains,
+        throughput_rps: config.requests as f64 / pass.elapsed_s,
+        p50_ms: percentile(&pass.latencies_ms, 50.0),
+        p99_ms: percentile(&pass.latencies_ms, 99.0),
+        hit_rate: cache_stats.hit_rate(),
+        evictions: cache_stats.evictions,
+        launches_per_request: stats.launches_per_request(),
+        failed: pass.failed + stats.failed,
+        deterministic: pass.result_bits == replay.result_bits,
+        checksum: checksum(&pass.result_bits),
+    }
+}
+
+/// Launches of one uncoalesced request against the first tenant, used to
+/// size the `coalesce` burst above the per-solve launch count.
+fn solo_launch_count(config: &ServeBenchConfig) -> u64 {
+    let service = SolveService::<f64>::new(ServeConfig::default());
+    register_tenants(&service, 1, config.n, Backend::Batched);
+    service
+        .solve_now("tenant-0", &scripted_rhs(config.n, 0))
+        .expect("coalesce probe tenant solves");
+    service.stats().launches
+}
+
+/// Run the three serving scenarios.
+pub fn run_serve_bench(config: &ServeBenchConfig) -> Vec<ServeRow> {
+    let roomy = CacheConfig {
+        max_entries: 32,
+        memory_budget_bytes: 4 << 30,
+    };
+    // Steady mixed traffic over a cache that fits every tenant.
+    let warm = run_scenario("warm", 3, roomy, Backend::Batched, config, config.burst);
+
+    // More tenants than the cache admits: a two-entry cache under a
+    // six-tenant rotation must evict continuously.
+    let tight = CacheConfig {
+        max_entries: 2,
+        memory_budget_bytes: 4 << 30,
+    };
+    let cold = run_scenario("cold", 6, tight, Backend::Batched, config, config.burst);
+
+    // Single hot tenant, bursts sized well above one blocked solve's
+    // launch bill: launches-per-request must drop below 1.
+    let burst = (2 * solo_launch_count(config) as usize).max(config.burst);
+    let coalesce = run_scenario("coalesce", 1, roomy, Backend::Batched, config, burst);
+
+    vec![warm, cold, coalesce]
+}
+
+/// Print the rows as an aligned table.
+pub fn print_serve_table(title: &str, rows: &[ServeRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<10} {:>7} {:>8} {:>6} {:>6} {:>12} {:>9} {:>9} {:>9} {:>10} {:>14} {:>7} {:>6}",
+        "scenario",
+        "tenants",
+        "requests",
+        "n",
+        "burst",
+        "thruput_rps",
+        "p50_ms",
+        "p99_ms",
+        "hit_rate",
+        "evictions",
+        "launches/req",
+        "failed",
+        "determ"
+    );
+    for row in rows {
+        println!(
+            "{:<10} {:>7} {:>8} {:>6} {:>6} {:>12.1} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>14.3} {:>7} {:>6}",
+            row.scenario,
+            row.tenants,
+            row.requests,
+            row.n,
+            row.burst,
+            row.throughput_rps,
+            row.p50_ms,
+            row.p99_ms,
+            row.hit_rate,
+            row.evictions,
+            row.launches_per_request,
+            row.failed,
+            row.deterministic
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_hits_the_acceptance_targets() {
+        let rows = run_serve_bench(&ServeBenchConfig {
+            n: 160,
+            requests: 24,
+            burst: 6,
+        });
+        assert_eq!(rows.len(), 3);
+        let by_name = |name: &str| rows.iter().find(|r| r.scenario == name).unwrap();
+
+        let warm = by_name("warm");
+        assert!(warm.hit_rate > 0.5, "warm hit rate {:.3}", warm.hit_rate);
+        assert_eq!(warm.failed, 0);
+
+        let cold = by_name("cold");
+        assert!(cold.evictions > 0, "cold run must churn the cache");
+
+        let coalesce = by_name("coalesce");
+        assert!(
+            coalesce.launches_per_request < 1.0,
+            "coalescing must amortize launches, got {:.3}",
+            coalesce.launches_per_request
+        );
+
+        for row in &rows {
+            assert!(row.deterministic, "{}: replay diverged", row.scenario);
+            assert!(row.throughput_rps > 0.0);
+            assert!(row.p99_ms >= row.p50_ms);
+        }
+    }
+
+    #[test]
+    fn scripted_schedule_is_a_pure_function() {
+        assert_eq!(scripted_rhs(8, 3), scripted_rhs(8, 3));
+        assert_eq!(scripted_tenant(6, 5), scripted_tenant(6, 5));
+        let hit_all: std::collections::HashSet<String> =
+            (0..32).map(|r| scripted_tenant(3, r)).collect();
+        assert_eq!(hit_all.len(), 3, "schedule must visit every tenant");
+    }
+}

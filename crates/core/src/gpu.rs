@@ -108,6 +108,18 @@ impl<'d, T: Scalar> GpuSolver<'d, T> {
         self.tree.n()
     }
 
+    /// Scalar entries resident in device buffers: the packed diagonal
+    /// blocks, both basis stacks, and (after factorization) the per-level
+    /// coupling factors.  Mirrors
+    /// [`SerialFactorization::storage_entries`](crate::SerialFactorization::storage_entries)
+    /// so cache layers can budget either backend the same way.
+    pub fn storage_entries(&self) -> usize {
+        self.dbig.len()
+            + self.ybig.len()
+            + self.vbig.len()
+            + self.k_bufs.iter().map(|b| b.len()).sum::<usize>()
+    }
+
     fn n_rows(&self) -> usize {
         self.tree.n()
     }

@@ -9,6 +9,7 @@
 //! [`covariance_source`](crate::covariance_source), not by the kernel.
 
 use hodlr_kernels::ScalarKernel;
+use hodlr_la::HodlrError;
 
 /// A stationary covariance kernel `k(r)` over distances `r >= 0`.
 ///
@@ -27,6 +28,24 @@ pub trait StationaryKernel: Sync {
     fn variance(&self) -> f64 {
         self.eval(0.0)
     }
+
+    /// Check the hyperparameters for domain errors *before* any covariance
+    /// matrix is assembled.
+    ///
+    /// Families whose parameters can silently produce a non-kernel (e.g.
+    /// [`RationalQuadratic`] with `alpha <= 0`, which is no longer positive
+    /// definite) override this; the default accepts.  Callers that build
+    /// matrices ([`GpModel::build`](crate::GpModel::build),
+    /// [`GridScan::run`](crate::GridScan::run)) validate up front so the
+    /// failure is a typed [`HodlrError::InvalidConfig`] naming the
+    /// parameter instead of a late `NotPositiveDefinite` from the
+    /// factorization.
+    ///
+    /// # Errors
+    /// [`HodlrError::InvalidConfig`] describing the offending parameter.
+    fn validate(&self) -> Result<(), HodlrError> {
+        Ok(())
+    }
 }
 
 impl<K: StationaryKernel + ?Sized> StationaryKernel for &K {
@@ -37,6 +56,10 @@ impl<K: StationaryKernel + ?Sized> StationaryKernel for &K {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+
+    fn validate(&self) -> Result<(), HodlrError> {
+        (**self).validate()
+    }
 }
 
 impl StationaryKernel for Box<dyn StationaryKernel> {
@@ -46,6 +69,10 @@ impl StationaryKernel for Box<dyn StationaryKernel> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn validate(&self) -> Result<(), HodlrError> {
+        (**self).validate()
     }
 }
 
@@ -176,6 +203,30 @@ pub struct RationalQuadratic {
     pub alpha: f64,
 }
 
+impl RationalQuadratic {
+    /// Construct with validated hyperparameters.
+    ///
+    /// The fields stay public for struct-literal construction (matching the
+    /// other families), but literals skip this check and are caught by
+    /// [`StationaryKernel::validate`] when a model is built.
+    ///
+    /// # Errors
+    /// [`HodlrError::InvalidConfig`] when `alpha` is not positive and
+    /// finite: `alpha <= 0` flips the exponent sign, so `k(r)` *grows* with
+    /// distance and the covariance matrix is no longer positive definite —
+    /// a domain error that previously surfaced only as a late
+    /// `NotPositiveDefinite` from the factorization.
+    pub fn new(variance: f64, length_scale: f64, alpha: f64) -> Result<Self, HodlrError> {
+        let kernel = RationalQuadratic {
+            variance,
+            length_scale,
+            alpha,
+        };
+        kernel.validate()?;
+        Ok(kernel)
+    }
+}
+
 impl StationaryKernel for RationalQuadratic {
     fn eval(&self, r: f64) -> f64 {
         let s = r / self.length_scale;
@@ -184,6 +235,16 @@ impl StationaryKernel for RationalQuadratic {
 
     fn name(&self) -> &'static str {
         "rational-quadratic"
+    }
+
+    fn validate(&self) -> Result<(), HodlrError> {
+        if !(self.alpha > 0.0 && self.alpha.is_finite()) {
+            return Err(HodlrError::config(format!(
+                "rational-quadratic alpha must be positive and finite, got {:e}",
+                self.alpha
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -262,6 +323,40 @@ mod tests {
         for r in [0.1, 0.5, 1.0, 2.0] {
             assert!((ev(&se, r) - ev(&rq, r)).abs() < 1e-5, "r = {r}");
         }
+    }
+
+    #[test]
+    fn rational_quadratic_rejects_bad_alpha_at_construction() {
+        for alpha in [0.0, -1.5, f64::NAN, f64::INFINITY] {
+            let err = RationalQuadratic::new(1.0, 1.0, alpha).unwrap_err();
+            assert!(
+                matches!(err, HodlrError::InvalidConfig { .. }),
+                "alpha = {alpha}: {err}"
+            );
+        }
+        let ok = RationalQuadratic::new(1.0, 1.0, 1.5).unwrap();
+        assert_eq!(ok.alpha, 1.5);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_default_accepts_other_families() {
+        assert!(SquaredExponential {
+            variance: 1.0,
+            length_scale: 1.0,
+        }
+        .validate()
+        .is_ok());
+        assert!(Matern::half(1.0, 1.0).validate().is_ok());
+        // The blanket impls forward validation through references and boxes.
+        let rq = RationalQuadratic {
+            variance: 1.0,
+            length_scale: 1.0,
+            alpha: -2.0,
+        };
+        assert!(<&RationalQuadratic as StationaryKernel>::validate(&&rq).is_err());
+        let bad: Box<dyn StationaryKernel> = Box::new(rq);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -111,6 +111,9 @@ impl GpModel {
         noise: f64,
         config: &GpConfig,
     ) -> Result<Self, HodlrError> {
+        // Domain errors surface here as typed InvalidConfig, not as a late
+        // NotPositiveDefinite from the factorization.
+        kernel.validate()?;
         // Typed-error variant of covariance_source's panic contract.
         if noise < 0.0 || !noise.is_finite() {
             return Err(HodlrError::config(format!(

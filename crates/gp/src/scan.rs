@@ -111,6 +111,10 @@ impl GridScan {
                 "grid scan needs at least one candidate per axis",
             ));
         }
+        // Family-level hyperparameters (e.g. rational-quadratic alpha) are
+        // shared by every grid point — reject a bad family before the first
+        // compression rather than failing mid-scan.
+        self.family.kernel(1.0, 1.0).validate()?;
         let mut rows = Vec::new();
         for &length_scale in &self.length_scales {
             for &variance in &self.variances {
@@ -213,6 +217,29 @@ mod tests {
             let rows = scan.run(&points, &y, &config).unwrap();
             assert_eq!(rows.len(), 1, "{}", family.name());
             assert!(rows[0].log_likelihood.value.is_finite());
+        }
+    }
+
+    #[test]
+    fn bad_rational_quadratic_alpha_is_a_typed_config_error() {
+        // Regression: alpha <= 0 used to sail through construction and
+        // surface deep in the scan as NotPositiveDefinite (or worse, a
+        // skipped grid point); it must abort up front as InvalidConfig.
+        let points = regular_grid_1d(16, 0.0, 1.0);
+        for alpha in [0.0, -1.0, f64::NAN] {
+            let scan = GridScan {
+                family: KernelFamily::RationalQuadratic { alpha },
+                length_scales: vec![0.3],
+                variances: vec![1.0],
+                noises: vec![1e-2],
+            };
+            let err = scan
+                .run(&points, &[0.0; 16], &GpConfig::default())
+                .unwrap_err();
+            assert!(
+                matches!(err, HodlrError::InvalidConfig { .. }),
+                "alpha = {alpha}: {err}"
+            );
         }
     }
 

@@ -29,7 +29,10 @@ use hodlr_la::{DenseMatrix, HodlrError, RealScalar, Scalar};
 use hodlr_tree::ClusterTree;
 
 /// Which factorization backend serves this matrix.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+///
+/// `Hash` is derived so the pair can participate in cache keys (e.g. the
+/// `hodlr-serve` factorization cache keys on backend + precision).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// The level-by-level serial factorization (Algorithms 1–2), the
     /// paper's single-core baseline.
@@ -40,7 +43,7 @@ pub enum Backend {
 }
 
 /// The arithmetic policy of the factorization.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// Factorize and solve in the working precision.
     Full,
@@ -434,17 +437,18 @@ impl<T: Scalar> Hodlr<T> {
 impl<T: SolveScalar> Factorize<T> for Hodlr<T> {
     /// Factorize with the configured backend and precision policy.
     fn factorize(&self) -> Result<Factorization<'_, T>, HodlrError> {
-        let inner: Box<dyn crate::Solve<T> + '_> = match (self.precision, self.backend) {
-            (Precision::Full, Backend::Serial) => {
-                Box::new(self.run_in_pool(|| self.matrix.factorize_serial())?)
-            }
-            (Precision::Full, Backend::Batched) => {
-                let mut solver = GpuSolver::new(&self.device, &self.matrix);
-                self.run_in_pool(|| solver.factorize())?;
-                Box::new(solver)
-            }
-            (Precision::MixedRefine, _) => self.run_in_pool(|| T::mixed_factorization(self))?,
-        };
+        let inner: Box<dyn crate::Solve<T> + Send + Sync + '_> =
+            match (self.precision, self.backend) {
+                (Precision::Full, Backend::Serial) => {
+                    Box::new(self.run_in_pool(|| self.matrix.factorize_serial())?)
+                }
+                (Precision::Full, Backend::Batched) => {
+                    let mut solver = GpuSolver::new(&self.device, &self.matrix);
+                    self.run_in_pool(|| solver.factorize())?;
+                    Box::new(solver)
+                }
+                (Precision::MixedRefine, _) => self.run_in_pool(|| T::mixed_factorization(self))?,
+            };
         Ok(Factorization {
             inner,
             backend: self.backend,

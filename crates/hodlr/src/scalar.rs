@@ -34,23 +34,31 @@ pub trait SolveScalar: Scalar + sealed::Sealed {
     /// Build the mixed-precision solver for `hodlr`, or explain why the
     /// scalar cannot be demoted.
     #[doc(hidden)]
-    fn mixed_factorization(hodlr: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError>;
+    fn mixed_factorization(
+        hodlr: &Hodlr<Self>,
+    ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError>;
 }
 
 impl SolveScalar for f64 {
-    fn mixed_factorization(hodlr: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError> {
+    fn mixed_factorization(
+        hodlr: &Hodlr<Self>,
+    ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError> {
         mixed_factorization_impl(hodlr)
     }
 }
 
 impl SolveScalar for Complex64 {
-    fn mixed_factorization(hodlr: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError> {
+    fn mixed_factorization(
+        hodlr: &Hodlr<Self>,
+    ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError> {
         mixed_factorization_impl(hodlr)
     }
 }
 
 impl SolveScalar for f32 {
-    fn mixed_factorization(_: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError> {
+    fn mixed_factorization(
+        _: &Hodlr<Self>,
+    ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError> {
         Err(HodlrError::config(
             "Precision::MixedRefine requires a double-precision scalar (f64 or \
              Complex64); f32 has no lower companion precision",
@@ -59,7 +67,9 @@ impl SolveScalar for f32 {
 }
 
 impl SolveScalar for Complex32 {
-    fn mixed_factorization(_: &Hodlr<Self>) -> Result<Box<dyn Solve<Self> + '_>, HodlrError> {
+    fn mixed_factorization(
+        _: &Hodlr<Self>,
+    ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError> {
         Err(HodlrError::config(
             "Precision::MixedRefine requires a double-precision scalar (f64 or \
              Complex64); Complex32 has no lower companion precision",
@@ -69,12 +79,14 @@ impl SolveScalar for Complex32 {
 
 /// Demote, factorize with the configured backend, and wrap in the
 /// refinement loop.
-fn mixed_factorization_impl<T>(hodlr: &Hodlr<T>) -> Result<Box<dyn Solve<T> + '_>, HodlrError>
+fn mixed_factorization_impl<T>(
+    hodlr: &Hodlr<T>,
+) -> Result<Box<dyn Solve<T> + Send + Sync + '_>, HodlrError>
 where
     T: DemoteScalar + SolveScalar,
 {
     let demoted = demote_hodlr(hodlr.matrix());
-    let inner: Box<dyn Solve<T::Lower> + '_> = match hodlr.backend() {
+    let inner: Box<dyn Solve<T::Lower> + Send + Sync + '_> = match hodlr.backend() {
         Backend::Serial => Box::new(demoted.factorize_serial()?),
         Backend::Batched => {
             let mut solver = GpuSolver::new(hodlr.device(), &demoted);
@@ -95,7 +107,7 @@ where
 /// iterative refinement to the configured tolerance.
 struct MixedSolver<'m, T: DemoteScalar> {
     hodlr: &'m Hodlr<T>,
-    inner: Box<dyn Solve<T::Lower> + 'm>,
+    inner: Box<dyn Solve<T::Lower> + Send + Sync + 'm>,
     tol: f64,
     max_iters: usize,
 }
@@ -185,5 +197,11 @@ impl<T: DemoteScalar> Solve<T> for MixedSolver<'_, T> {
             <T::Real as RealScalar>::from_f64_real(RealScalar::to_f64(log_abs)),
             T::promote(sign),
         ))
+    }
+
+    /// Resident bytes of the *lower-precision* factors (half the
+    /// full-precision footprint — the point of the policy).
+    fn factor_bytes(&self) -> u64 {
+        self.inner.factor_bytes()
     }
 }

@@ -104,6 +104,17 @@ pub trait Solve<T: Scalar> {
              backends do)",
         ))
     }
+
+    /// Approximate resident size of the stored factors in bytes — cache-key
+    /// material for admission and eviction decisions in a factorization
+    /// cache (e.g. `hodlr-serve`'s memory budget).
+    ///
+    /// Counts factor payload (`O(N log N)` scalar entries), not control
+    /// metadata; backends without stored factors (iterative adapters) keep
+    /// the default of 0.
+    fn factor_bytes(&self) -> u64 {
+        0
+    }
 }
 
 impl<T: Scalar> Solve<T> for SerialFactorization<T> {
@@ -127,6 +138,10 @@ impl<T: Scalar> Solve<T> for SerialFactorization<T> {
     fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
         Ok(SerialFactorization::log_det(self))
     }
+
+    fn factor_bytes(&self) -> u64 {
+        (self.storage_entries() * std::mem::size_of::<T>()) as u64
+    }
 }
 
 impl<T: Scalar> Solve<T> for GpuSolver<'_, T> {
@@ -147,6 +162,10 @@ impl<T: Scalar> Solve<T> for GpuSolver<'_, T> {
 
     fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
         GpuSolver::log_det(self)
+    }
+
+    fn factor_bytes(&self) -> u64 {
+        (self.storage_entries() * std::mem::size_of::<T>()) as u64
     }
 }
 
@@ -182,8 +201,14 @@ impl<T: Scalar> Factorize<T> for hodlr_core::HodlrMatrix<T> {
 /// A completed factorization with the backend erased: solve through the
 /// [`Solve`] trait without knowing whether Algorithms 1–2, Algorithms 3–4,
 /// or a mixed-precision refinement loop run underneath.
+///
+/// The erased solver is required to be `Send + Sync`, so a completed
+/// `Factorization` is itself `Send + Sync`: one factorization can serve
+/// solves from many threads concurrently (every [`Solve`] method takes
+/// `&self`).  The `hodlr-serve` crate relies on this to share cached
+/// factorizations across request handlers.
 pub struct Factorization<'m, T: Scalar> {
-    pub(crate) inner: Box<dyn Solve<T> + 'm>,
+    pub(crate) inner: Box<dyn Solve<T> + Send + Sync + 'm>,
     pub(crate) backend: crate::Backend,
     pub(crate) precision: crate::Precision,
     /// Dedicated worker pool of the owning [`Hodlr`](crate::Hodlr), when
@@ -238,4 +263,17 @@ impl<T: Scalar> Solve<T> for Factorization<'_, T> {
     fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
         self.run(|| self.inner.log_det())
     }
+
+    fn factor_bytes(&self) -> u64 {
+        self.inner.factor_bytes()
+    }
 }
+
+// Compile-time proof of the concurrency contract: a shared-reference
+// `Factorization` can cross threads, so N handlers may solve against one
+// cached factorization at once.
+const _: () = {
+    const fn assert_send_sync<S: Send + Sync>() {}
+    assert_send_sync::<Factorization<'static, f64>>();
+    assert_send_sync::<Factorization<'static, hodlr_la::Complex64>>();
+};

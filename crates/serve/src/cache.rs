@@ -1,0 +1,384 @@
+//! The factorization cache: LRU + memory-budget eviction over
+//! [`CachedFactorization`] entries.
+//!
+//! This generalizes `GridScan`'s reuse-one-compression trick — the paper's
+//! economics say a factorization costs `O(N log^2 N)` and a solve only
+//! `O(N log N)`, so amortizing one factorization across many requests is
+//! the whole ballgame — into a reusable subsystem with explicit
+//! observability ([`CacheStats`]).
+//!
+//! Recency is tracked with a logical tick counter, not wall-clock time, so
+//! cache behaviour is a pure function of the request sequence — part of
+//! the serve layer's determinism contract.
+
+use crate::entry::{build_entry, CachedFactorization};
+use crate::{CacheKey, ServeError};
+use hodlr::{Hodlr, SolveScalar};
+use hodlr_la::HodlrError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Sizing knobs of a [`FactorCache`].
+#[derive(Copy, Clone, Debug)]
+pub struct CacheConfig {
+    /// Maximum number of resident factorizations.
+    pub max_entries: usize,
+    /// Total resident-byte budget across all entries (factor payload plus
+    /// the compressed matrices kept alive); admission refuses any single
+    /// entry larger than this.
+    pub memory_budget_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 32,
+            memory_budget_bytes: 2 << 30,
+        }
+    }
+}
+
+/// Cache observability: every request accounted for as a hit or a miss.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served by a resident factorization.
+    pub hits: u64,
+    /// Lookups that had to build (or wait for) a factorization.
+    pub misses: u64,
+    /// Entries pushed out by LRU / memory-budget pressure.
+    pub evictions: u64,
+    /// Factorizations inserted over the cache's lifetime.
+    pub inserts: u64,
+    /// Bytes currently charged against the budget.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub resident_entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache; 0 when nothing was looked
+    /// up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot<T: SolveScalar> {
+    entry: Arc<CachedFactorization<T>>,
+    last_used: u64,
+}
+
+struct CacheInner<T: SolveScalar> {
+    entries: HashMap<CacheKey, Slot<T>>,
+    /// Logical clock, bumped on every touch; drives LRU ordering.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    inserts: u64,
+    resident_bytes: u64,
+}
+
+/// A keyed cache of owned factorizations with LRU + memory-budget
+/// eviction.
+///
+/// All entry points take `&self`; interior state lives behind one mutex
+/// held only for map bookkeeping — factorization *builds* (the expensive
+/// part) run outside the lock, with a double-check on insert so two
+/// threads racing on the same key keep the first completed build.
+pub struct FactorCache<T: SolveScalar> {
+    inner: Mutex<CacheInner<T>>,
+    config: CacheConfig,
+}
+
+impl<T: SolveScalar> FactorCache<T> {
+    /// An empty cache with the given budget.
+    pub fn new(config: CacheConfig) -> Self {
+        FactorCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                inserts: 0,
+                resident_bytes: 0,
+            }),
+            config,
+        }
+    }
+
+    /// The configured budget.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Look up a resident factorization, bumping its recency.  Counts a
+    /// hit or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedFactorization<T>>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let found = inner.entries.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            Arc::clone(&slot.entry)
+        });
+        match found {
+            Some(entry) => {
+                inner.hits += 1;
+                Some(entry)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The workhorse: return the resident factorization for `key`, or
+    /// build one with `build`, insert it, and return it.
+    ///
+    /// The build runs outside the cache lock.  When two threads race on
+    /// the same cold key both may build; the loser's work is discarded in
+    /// favour of the already-inserted entry, so callers always observe one
+    /// factorization per key.
+    ///
+    /// # Errors
+    /// [`ServeError::Solver`] from the builder or factorization, and
+    /// [`ServeError::Evicted`] when the finished entry alone exceeds the
+    /// memory budget (it can never be resident).
+    pub fn get_or_build(
+        &self,
+        key: &CacheKey,
+        build: impl FnOnce() -> Result<Hodlr<T>, HodlrError>,
+    ) -> Result<Arc<CachedFactorization<T>>, ServeError> {
+        if let Some(entry) = self.get(key) {
+            return Ok(entry);
+        }
+        let entry = build_entry(build)?;
+        self.insert(key.clone(), entry)
+    }
+
+    /// Insert a pre-built entry, evicting LRU entries until it fits.
+    ///
+    /// If another thread inserted the same key in the meantime, the
+    /// existing entry wins and `entry` is dropped.
+    ///
+    /// # Errors
+    /// [`ServeError::Evicted`] when `entry` exceeds the whole budget.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        entry: CachedFactorization<T>,
+    ) -> Result<Arc<CachedFactorization<T>>, ServeError> {
+        let bytes = entry.bytes();
+        if bytes > self.config.memory_budget_bytes {
+            return Err(ServeError::Evicted {
+                bytes,
+                budget_bytes: self.config.memory_budget_bytes,
+            });
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(slot) = inner.entries.get_mut(&key) {
+            // Lost a build race; the resident entry stays.
+            slot.last_used = tick;
+            return Ok(Arc::clone(&slot.entry));
+        }
+        self.evict_to_fit(&mut inner, bytes);
+        let entry = Arc::new(entry);
+        inner.resident_bytes += bytes;
+        inner.inserts += 1;
+        inner.entries.insert(
+            key,
+            Slot {
+                entry: Arc::clone(&entry),
+                last_used: tick,
+            },
+        );
+        Ok(entry)
+    }
+
+    /// Drop the least-recently-used entries until both the entry count and
+    /// the byte budget can absorb `incoming_bytes`.
+    fn evict_to_fit(&self, inner: &mut CacheInner<T>, incoming_bytes: u64) {
+        while inner.entries.len() >= self.config.max_entries
+            || inner.resident_bytes + incoming_bytes > self.config.memory_budget_bytes
+        {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone());
+            let Some(victim) = victim else { break };
+            // In-flight Arcs keep an evicted factorization alive until the
+            // last request against it completes; the cache just stops
+            // charging it against the budget and stops handing it out.
+            let slot = inner.entries.remove(&victim).expect("victim is resident");
+            inner.resident_bytes -= slot.entry.bytes();
+            inner.evictions += 1;
+        }
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            inserts: inner.inserts,
+            resident_bytes: inner.resident_bytes,
+            resident_entries: inner.entries.len(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr::{Backend, Precision, TreePolicy};
+    use hodlr_compress::ClosureSource;
+
+    fn build_hodlr(n: usize) -> Result<Hodlr<f64>, HodlrError> {
+        let source = ClosureSource::new(n, n, move |i, j| {
+            let d = (i as f64 - j as f64).abs() / n as f64;
+            1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
+        });
+        Hodlr::builder()
+            .source(&source)
+            .leaf_size(32)
+            .tolerance(1e-8)
+            .build()
+    }
+
+    fn key(id: &str) -> CacheKey {
+        CacheKey::new(
+            id,
+            &TreePolicy::LeafSize(32),
+            1e-8,
+            Backend::Serial,
+            Precision::Full,
+        )
+    }
+
+    fn cache(max_entries: usize, budget: u64) -> FactorCache<f64> {
+        FactorCache::new(CacheConfig {
+            max_entries,
+            memory_budget_bytes: budget,
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = cache(4, u64::MAX);
+        assert!(cache.get(&key("a")).is_none());
+        let e1 = cache.get_or_build(&key("a"), || build_hodlr(128)).unwrap();
+        let e2 = cache
+            .get_or_build(&key("a"), || panic!("must hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&e1, &e2));
+        let s = cache.stats();
+        // get() miss + get_or_build() miss, then one hit.
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.resident_entries, 1);
+        assert_eq!(s.resident_bytes, e1.bytes());
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_by_entry_count() {
+        let cache = cache(2, u64::MAX);
+        cache.get_or_build(&key("a"), || build_hodlr(96)).unwrap();
+        cache.get_or_build(&key("b"), || build_hodlr(96)).unwrap();
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get(&key("a")).is_some());
+        cache.get_or_build(&key("c"), || build_hodlr(96)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("a")).is_some(), "recently used survives");
+        assert!(cache.get(&key("b")).is_none(), "LRU victim evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn memory_budget_evicts_and_rejects_oversize() {
+        let probe = {
+            let c = cache(8, u64::MAX);
+            c.get_or_build(&key("probe"), || build_hodlr(128))
+                .unwrap()
+                .bytes()
+        };
+        // Budget fits one entry but not two.
+        let cache = cache(8, probe + probe / 2);
+        cache.get_or_build(&key("a"), || build_hodlr(128)).unwrap();
+        cache.get_or_build(&key("b"), || build_hodlr(128)).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.resident_entries, 1, "budget holds one entry");
+        assert_eq!(s.evictions, 1);
+        assert!(s.resident_bytes <= cache.config().memory_budget_bytes);
+        // An entry bigger than the whole budget is refused outright.
+        let tiny = self::cache(8, 16);
+        let err = tiny
+            .get_or_build(&key("big"), || build_hodlr(128))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Evicted {
+                budget_bytes: 16,
+                ..
+            }
+        ));
+        assert!(tiny.is_empty());
+    }
+
+    #[test]
+    fn evicted_entries_survive_while_referenced() {
+        let cache = cache(1, u64::MAX);
+        let a = cache.get_or_build(&key("a"), || build_hodlr(96)).unwrap();
+        cache.get_or_build(&key("b"), || build_hodlr(96)).unwrap();
+        assert!(cache.get(&key("a")).is_none(), "a was evicted");
+        // ... but the Arc still solves: in-flight requests are unaffected.
+        use hodlr::Solve;
+        let x = a.solver().solve(&vec![1.0; 96]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn builder_failures_surface_typed() {
+        let cache = cache(4, u64::MAX);
+        let err = cache
+            .get_or_build(&key("bad"), || {
+                Err(HodlrError::config("tenant build exploded"))
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Solver(HodlrError::InvalidConfig { .. })
+        ));
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Request coalescing: many single-RHS arrivals, one blocked launch.
+//!
+//! The paper's blocked solve costs one batched launch sequence per tree
+//! level *regardless of the number of right-hand sides*, so packing `k`
+//! queued requests against the same factorization into one
+//! [`solve_block`](hodlr::Solve::solve_block) divides the launch bill by
+//! `k`: under load, launches-per-request drops well below 1.
+//!
+//! A drain cycle preserves two contracts:
+//!
+//! * **Determinism** — groups are formed in first-arrival order and the
+//!   blocked solve computes each column exactly as a single-column solve
+//!   would (same sweep, same reduction order), so a request's answer is
+//!   bitwise independent of which neighbours happened to share its batch.
+//! * **Attribution** — when a coalesced launch fails, every member is
+//!   retried individually so each ticket resolves to its own
+//!   [`ServeError`], never to a neighbour's failure.
+
+use crate::entry::CachedFactorization;
+use crate::{CacheKey, ServeError};
+use hodlr::{Backend, Solve, SolveScalar};
+use hodlr_la::DenseMatrix;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One-shot result slot shared between a waiting caller and the drain
+/// cycle.
+struct TicketShared<T: SolveScalar> {
+    slot: Mutex<Option<Result<Vec<T>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl<T: SolveScalar> TicketShared<T> {
+    fn fulfill(&self, result: Result<Vec<T>, ServeError>) {
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // First writer wins; a retry never overwrites a delivered result.
+        if slot.is_none() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A claim on one submitted request's future result.
+///
+/// Obtained from [`CoalesceQueue::submit`]; redeemed with [`Ticket::wait`]
+/// (block until a drain cycle serves the request) or
+/// [`Ticket::wait_timeout`].
+pub struct Ticket<T: SolveScalar> {
+    shared: Arc<TicketShared<T>>,
+}
+
+impl<T: SolveScalar> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self
+            .shared
+            .slot
+            .lock()
+            .map(|slot| slot.is_some())
+            .unwrap_or(false);
+        f.debug_struct("Ticket").field("ready", &ready).finish()
+    }
+}
+
+impl<T: SolveScalar> Ticket<T> {
+    /// Block until the request is served, returning its solution (or its
+    /// own attributed error).
+    pub fn wait(self) -> Result<Vec<T>, ServeError> {
+        let mut slot = self
+            .shared
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .shared
+                .ready
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`Ticket::wait`], but give up after `timeout`.
+    ///
+    /// # Errors
+    /// [`ServeError::Timeout`] when the bound elapses first; the request
+    /// itself stays queued and is still solved by a later drain.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<T>, ServeError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self
+            .shared
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(ServeError::Timeout {
+                    waited_ms: timeout.as_millis() as u64,
+                });
+            };
+            let (guard, _) = self
+                .shared
+                .ready
+                .wait_timeout(slot, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = guard;
+        }
+    }
+
+    /// Non-blocking poll: the result if a drain has already delivered it.
+    pub fn try_take(&self) -> Option<Result<Vec<T>, ServeError>> {
+        self.shared
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+/// One queued request: its grouping key, the entry it resolved to at
+/// admission (an `Arc`, so eviction between submit and drain cannot
+/// invalidate it), and the caller's ticket.
+struct Pending<T: SolveScalar> {
+    key: CacheKey,
+    entry: Arc<CachedFactorization<T>>,
+    rhs: Vec<T>,
+    ticket: Arc<TicketShared<T>>,
+}
+
+/// What one [`CoalesceQueue::drain`] cycle did — the observability needed
+/// to compute launches-per-request.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests taken off the queue this cycle.
+    pub requests: usize,
+    /// Distinct factorizations they coalesced into.
+    pub groups: usize,
+    /// Batched-kernel launches issued across all groups (0 for purely
+    /// serial-backend traffic).
+    pub launches: u64,
+    /// Device flops metered across all groups.
+    pub flops: u64,
+    /// Requests whose coalesced launch failed and were retried
+    /// individually.
+    pub retried: usize,
+    /// Requests that ultimately resolved to an error.
+    pub failed: usize,
+}
+
+/// A bounded FIFO of single-RHS requests, drained in coalesced blocked
+/// solves.
+pub struct CoalesceQueue<T: SolveScalar> {
+    queue: Mutex<VecDeque<Pending<T>>>,
+    /// Serializes drain cycles so per-group launch metering windows never
+    /// overlap (the per-entry devices make windows exact; see
+    /// [`Device::meter`](hodlr_batch::Device::meter)).
+    drain: Mutex<()>,
+    capacity: usize,
+}
+
+impl<T: SolveScalar> CoalesceQueue<T> {
+    /// An empty queue admitting at most `capacity` in-flight requests.
+    pub fn new(capacity: usize) -> Self {
+        CoalesceQueue {
+            queue: Mutex::new(VecDeque::new()),
+            drain: Mutex::new(()),
+            capacity,
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.lock_queue().len()
+    }
+
+    /// `true` when no request is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue one right-hand side against a resolved factorization.
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] at capacity (backpressure), and an
+    /// immediate [`ServeError::Solver`] dimension mismatch when `rhs` does
+    /// not match the factorization — rejecting it here keeps malformed
+    /// requests out of everyone else's batch entirely.
+    pub fn submit(
+        &self,
+        key: CacheKey,
+        entry: Arc<CachedFactorization<T>>,
+        rhs: Vec<T>,
+    ) -> Result<Ticket<T>, ServeError> {
+        hodlr_la::HodlrError::check_dims("right-hand side", entry.dim(), rhs.len())
+            .map_err(ServeError::Solver)?;
+        let mut queue = self.lock_queue();
+        if queue.len() >= self.capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let shared = Arc::new(TicketShared {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        queue.push_back(Pending {
+            key,
+            entry,
+            rhs,
+            ticket: Arc::clone(&shared),
+        });
+        Ok(Ticket { shared })
+    }
+
+    /// Run one drain cycle: take every queued request, group by cache key
+    /// in first-arrival order, issue one blocked solve per group, and
+    /// fulfill every ticket.
+    pub fn drain(&self) -> DrainReport {
+        let _serialized = self
+            .drain
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let batch: Vec<Pending<T>> = self.lock_queue().drain(..).collect();
+        let mut report = DrainReport {
+            requests: batch.len(),
+            ..DrainReport::default()
+        };
+        if batch.is_empty() {
+            return report;
+        }
+
+        // Group by key, preserving first-arrival order of both the groups
+        // and the members within each group: the batch layout — and with
+        // it every result — is a pure function of the submission sequence.
+        let mut groups: Vec<(CacheKey, Vec<Pending<T>>)> = Vec::new();
+        for pending in batch {
+            match groups.iter_mut().find(|(key, _)| *key == pending.key) {
+                Some((_, members)) => members.push(pending),
+                None => groups.push((pending.key.clone(), vec![pending])),
+            }
+        }
+        report.groups = groups.len();
+
+        for (_, members) in groups {
+            self.solve_group(members, &mut report);
+        }
+        report
+    }
+
+    /// One coalesced blocked solve; on failure, retry members one by one
+    /// so each ticket gets its own attributed result.
+    fn solve_group(&self, members: Vec<Pending<T>>, report: &mut DrainReport) {
+        let entry = Arc::clone(&members[0].entry);
+        let n = entry.dim();
+        let k = members.len();
+        let mut block = DenseMatrix::<T>::zeros(n, k);
+        for (j, pending) in members.iter().enumerate() {
+            block.col_mut(j).copy_from_slice(&pending.rhs);
+        }
+
+        let device = entry.hodlr().device();
+        let (outcome, metered) = device.meter(|| entry.solver().solve_block(&block));
+        if entry.solver().backend() == Backend::Batched {
+            report.launches += metered.kernel_launches;
+            report.flops += metered.flops;
+        }
+
+        match outcome {
+            Ok(solved) => {
+                for (j, pending) in members.into_iter().enumerate() {
+                    pending.ticket.fulfill(Ok(solved.col(j).to_vec()));
+                }
+            }
+            Err(_batch_err) => {
+                // One bad member must not poison the batch: attribute the
+                // failure by re-solving each right-hand side on its own.
+                report.retried += k;
+                for pending in members {
+                    let (result, metered) = device.meter(|| entry.solver().solve(&pending.rhs));
+                    if entry.solver().backend() == Backend::Batched {
+                        report.launches += metered.kernel_launches;
+                        report.flops += metered.flops;
+                    }
+                    if result.is_err() {
+                        report.failed += 1;
+                    }
+                    pending.ticket.fulfill(result.map_err(ServeError::Solver));
+                }
+            }
+        }
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Pending<T>>> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,152 @@
+//! An owned, shareable factorization: the unit the cache stores.
+//!
+//! The façade's [`Factorization`] borrows the [`Hodlr`] it was factorized
+//! from (the batched backend keeps its buffers on the handle's device, and
+//! solves may run on the handle's thread pool).  A cache must *own* both
+//! halves, so [`CachedFactorization`] pins the `Hodlr` behind a `Box` —
+//! a stable heap address — and stores the factorization next to it.
+
+use crate::ServeError;
+use hodlr::{Factorization, Factorize, Hodlr, Solve, SolveScalar};
+use hodlr_la::HodlrError;
+
+/// A factorization that owns its matrix, device and thread pool: safe to
+/// park in a cache and to share across request-handler threads
+/// (`Send + Sync`, with every solve entry point taking `&self`).
+pub struct CachedFactorization<T: SolveScalar> {
+    // Field order is load-bearing: `factorization` borrows from the boxed
+    // `hodlr` below it, and struct fields drop top-to-bottom, so the
+    // borrower is always dropped before its referent.
+    factorization: Factorization<'static, T>,
+    hodlr: Box<Hodlr<T>>,
+    bytes: u64,
+}
+
+impl<T: SolveScalar> CachedFactorization<T> {
+    /// Factorize `hodlr` and take ownership of both halves.
+    ///
+    /// # Errors
+    /// Factorization errors ([`HodlrError::SingularPivot`], configuration
+    /// rejections from exotic backend/precision combinations) propagate.
+    pub fn build(hodlr: Hodlr<T>) -> Result<Self, HodlrError> {
+        let hodlr = Box::new(hodlr);
+        let factorization = hodlr.factorize()?;
+        // SAFETY: `factorization` borrows only from the heap allocation
+        // behind `hodlr` (matrix, device, optional pool), whose address is
+        // stable for the life of `self`: the box is never reassigned, the
+        // struct exposes no `&mut Hodlr`, and field order drops the
+        // factorization first.  The forged 'static never escapes — every
+        // accessor reborrows it at `&self`'s lifetime.
+        let factorization: Factorization<'static, T> = unsafe {
+            std::mem::transmute::<Factorization<'_, T>, Factorization<'static, T>>(factorization)
+        };
+        let bytes = factorization.factor_bytes() + hodlr.matrix().storage_bytes();
+        Ok(CachedFactorization {
+            factorization,
+            hodlr,
+            bytes,
+        })
+    }
+
+    /// The completed factorization, reborrowed at `&self`'s lifetime.
+    pub fn solver(&self) -> &Factorization<'_, T> {
+        &self.factorization
+    }
+
+    /// The owning handle (device counters, matrix, residual checks).
+    pub fn hodlr(&self) -> &Hodlr<T> {
+        &self.hodlr
+    }
+
+    /// Resident bytes this entry charges against the cache budget: factor
+    /// payload plus the compressed matrix it keeps alive.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Matrix size `N`.
+    pub fn dim(&self) -> usize {
+        self.factorization.dim()
+    }
+}
+
+impl<T: SolveScalar> std::fmt::Debug for CachedFactorization<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedFactorization")
+            .field("n", &self.dim())
+            .field("backend", &self.factorization.backend())
+            .field("precision", &self.factorization.precision())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// Convenience: build the entry straight from a builder closure, mapping
+/// the failure into the per-request error type.
+pub(crate) fn build_entry<T: SolveScalar>(
+    build: impl FnOnce() -> Result<Hodlr<T>, HodlrError>,
+) -> Result<CachedFactorization<T>, ServeError> {
+    let hodlr = build().map_err(ServeError::Solver)?;
+    CachedFactorization::build(hodlr).map_err(ServeError::Solver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr::{Backend, Solve};
+    use hodlr_compress::ClosureSource;
+
+    fn diagonally_dominant(n: usize) -> ClosureSource<f64, impl Fn(usize, usize) -> f64> {
+        ClosureSource::new(n, n, move |i, j| {
+            let d = (i as f64 - j as f64).abs() / n as f64;
+            1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
+        })
+    }
+
+    fn entry(backend: Backend) -> CachedFactorization<f64> {
+        let source = diagonally_dominant(128);
+        let hodlr = Hodlr::builder()
+            .source(&source)
+            .leaf_size(32)
+            .tolerance(1e-10)
+            .backend(backend)
+            .build()
+            .unwrap();
+        CachedFactorization::build(hodlr).unwrap()
+    }
+
+    #[test]
+    fn owns_and_solves_on_both_backends() {
+        for backend in [Backend::Serial, Backend::Batched] {
+            let e = entry(backend);
+            assert_eq!(e.dim(), 128);
+            assert!(e.bytes() > 0, "{backend:?} must report resident bytes");
+            let b = vec![1.0; 128];
+            let x = e.solver().solve(&b).unwrap();
+            let r = e.hodlr().relative_residual(&x, &b);
+            assert!(r < 1e-8, "{backend:?}: residual {r:e}");
+        }
+    }
+
+    #[test]
+    fn entry_outlives_the_scope_that_built_it() {
+        // The entry must be movable (returned from functions, pushed into
+        // maps) without invalidating the internal borrow.
+        let moved = {
+            let e = entry(Backend::Batched);
+            let boxed = Box::new(e);
+            *boxed
+        };
+        let x = moved.solver().solve(&vec![1.0; 128]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn batched_entries_meter_on_their_own_device() {
+        let e = entry(Backend::Batched);
+        let before = e.hodlr().device().counters();
+        e.solver().solve(&vec![1.0; 128]).unwrap();
+        let delta = e.hodlr().device().counters().since(&before);
+        assert!(delta.kernel_launches > 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! The per-request error type of the service layer.
+
+use hodlr_la::HodlrError;
+use std::fmt;
+
+/// Why one request failed — typed, so one bad tenant cannot poison a
+/// coalesced batch anonymously.
+///
+/// Wraps the workspace-wide [`HodlrError`] for solver failures and adds the
+/// service-layer conditions: admission backpressure ([`QueueFull`]),
+/// cache-budget rejection ([`Evicted`]) and a caller-side wait bound
+/// ([`Timeout`]).  Every variant is attributed to exactly one request:
+/// when a coalesced `solve_block` launch fails, the drain cycle retries
+/// its members individually so each ticket resolves to its *own* error
+/// (or success), never to a neighbour's.
+///
+/// [`QueueFull`]: ServeError::QueueFull
+/// [`Evicted`]: ServeError::Evicted
+/// [`Timeout`]: ServeError::Timeout
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The underlying solver failed for this request's right-hand side
+    /// (dimension mismatch, singular pivot, non-convergence, ...).
+    Solver(HodlrError),
+    /// The coalescing queue is at capacity; the request was rejected at
+    /// admission (backpressure, not an error of the solve itself).
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The factorization cannot be resident: it is larger than the cache's
+    /// entire memory budget, so admission was refused.
+    Evicted {
+        /// Resident size the factorization would occupy.
+        bytes: u64,
+        /// The cache's total memory budget.
+        budget_bytes: u64,
+    },
+    /// The caller's wait bound elapsed before the request was drained.
+    /// The ticket stays valid: a later wait can still collect the result.
+    Timeout {
+        /// How long the caller waited, in milliseconds.
+        waited_ms: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Solver(e) => write!(f, "solver error: {e}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "coalescing queue is full ({capacity} requests)")
+            }
+            ServeError::Evicted {
+                bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "factorization of {bytes} bytes exceeds the cache budget of \
+                 {budget_bytes} bytes"
+            ),
+            ServeError::Timeout { waited_ms } => {
+                write!(f, "request not served within {waited_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HodlrError> for ServeError {
+    fn from(e: HodlrError) -> Self {
+        ServeError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_condition() {
+        let e = ServeError::from(HodlrError::config("bad tenant"));
+        assert!(e.to_string().contains("bad tenant"));
+        assert!(ServeError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("8"));
+        let e = ServeError::Evicted {
+            bytes: 100,
+            budget_bytes: 10,
+        };
+        assert!(e.to_string().contains("100") && e.to_string().contains("10"));
+        assert!(ServeError::Timeout { waited_ms: 5 }
+            .to_string()
+            .contains("5 ms"));
+    }
+
+    #[test]
+    fn solver_errors_keep_their_source() {
+        use std::error::Error;
+        let e = ServeError::from(HodlrError::config("x"));
+        assert!(e.source().is_some());
+        assert!(ServeError::QueueFull { capacity: 1 }.source().is_none());
+    }
+}

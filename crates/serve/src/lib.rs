@@ -1,0 +1,353 @@
+//! # hodlr-serve — multi-tenant solve serving on cached factorizations
+//!
+//! The paper's economics (factorize once at `O(N log^2 N)`, then solve at
+//! `O(N log N)` per right-hand side, many right-hand sides per blocked
+//! launch) are exactly the economics of a serving system.  This crate
+//! turns them into one:
+//!
+//! * [`FactorCache`] — factorizations keyed by
+//!   `(source-id, tree policy, tolerance, backend, precision)`
+//!   ([`CacheKey`]), with LRU + memory-budget eviction and explicit
+//!   [`CacheStats`] (hits / misses / evictions / resident bytes).
+//! * [`CoalesceQueue`] — single-RHS arrivals against the same cached
+//!   factorization are packed into one blocked
+//!   [`solve_block`](hodlr::Solve::solve_block) per drain cycle, so
+//!   launches-per-request drops below 1 under load.
+//! * [`ServeError`] — a typed per-request error path
+//!   ([`HodlrError`](hodlr::HodlrError) wrapped, plus `QueueFull` /
+//!   `Evicted` / `Timeout`): a failed coalesced launch is retried member
+//!   by member, so one bad tenant cannot poison a batch.
+//! * [`SolveService`] — the front door tying the three together behind a
+//!   `&self`, `Send + Sync` API.
+//!
+//! ## Determinism under concurrent traffic
+//!
+//! Results are bitwise independent of batching and thread schedule: the
+//! blocked solve computes column `j` exactly as a single-column solve of
+//! the same right-hand side would, groups are formed in first-arrival
+//! order, and cache recency is a logical tick counter (no wall-clock
+//! input).  The only schedule-dependent quantities are *metrics* (hit
+//! rates, launch counts), never solutions.
+//!
+//! ```
+//! use hodlr::prelude::*;
+//! use hodlr_serve::{CacheKey, ServeConfig, SolveService};
+//!
+//! let service = SolveService::<f64>::new(ServeConfig::default());
+//! let key = CacheKey::new(
+//!     "demo-v1",
+//!     &TreePolicy::LeafSize(32),
+//!     1e-10,
+//!     Backend::Batched,
+//!     Precision::Full,
+//! );
+//! service.register_tenant("demo", key, || {
+//!     let source = ClosureSource::new(128, 128, |i, j| {
+//!         let d = (i as f64 - j as f64).abs() / 128.0;
+//!         1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
+//!     });
+//!     Hodlr::builder()
+//!         .source(&source)
+//!         .leaf_size(32)
+//!         .tolerance(1e-10)
+//!         .backend(Backend::Batched)
+//!         .build()
+//! });
+//!
+//! // Many single-RHS submissions, one coalesced launch sequence.
+//! let tickets: Vec<_> = (0..8)
+//!     .map(|s| {
+//!         let rhs: Vec<f64> = (0..128).map(|i| ((i + s) as f64).sin()).collect();
+//!         service.submit("demo", rhs).unwrap()
+//!     })
+//!     .collect();
+//! let report = service.drain();
+//! assert_eq!(report.requests, 8);
+//! assert_eq!(report.groups, 1);
+//! for t in tickets {
+//!     assert!(t.wait().unwrap().iter().all(|v| v.is_finite()));
+//! }
+//! assert!(service.stats().launches_per_request() < 1.0);
+//! ```
+
+pub mod cache;
+pub mod coalesce;
+pub mod entry;
+pub mod error;
+pub mod key;
+pub mod service;
+
+pub use cache::{CacheConfig, CacheStats, FactorCache};
+pub use coalesce::{CoalesceQueue, DrainReport, Ticket};
+pub use entry::CachedFactorization;
+pub use error::ServeError;
+pub use key::{CacheKey, TreeKey};
+pub use service::{ServeConfig, ServeStats, SolveService};
+
+// The cache entry is the type that crosses threads inside Arcs; its
+// Send/Sync is a hard requirement, not an accident of today's fields.
+const _: () = {
+    const fn assert_send_sync<S: Send + Sync>() {}
+    assert_send_sync::<CachedFactorization<f64>>();
+    assert_send_sync::<CachedFactorization<hodlr_la::Complex64>>();
+    assert_send_sync::<FactorCache<f64>>();
+    assert_send_sync::<Ticket<f64>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr::prelude::*;
+    use hodlr::Precision as FacadePrecision;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const N: usize = 128;
+
+    fn demo_key(id: &str, backend: Backend) -> CacheKey {
+        CacheKey::new(
+            id,
+            &TreePolicy::LeafSize(32),
+            1e-10,
+            backend,
+            FacadePrecision::Full,
+        )
+    }
+
+    fn register_demo(service: &SolveService<f64>, name: &str, backend: Backend, shift: f64) {
+        service.register_tenant(name, demo_key(name, backend), move || {
+            let source = ClosureSource::new(N, N, move |i, j| {
+                let d = (i as f64 - j as f64).abs() / N as f64;
+                1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 + shift } else { 0.0 }
+            });
+            Hodlr::builder()
+                .source(&source)
+                .leaf_size(32)
+                .tolerance(1e-10)
+                .backend(backend)
+                .build()
+        });
+    }
+
+    fn rhs(seed: usize) -> Vec<f64> {
+        (0..N)
+            .map(|i| ((i * 7 + seed * 13) as f64 * 0.01).sin())
+            .collect()
+    }
+
+    #[test]
+    fn coalesced_results_match_individual_solves_bitwise() {
+        for backend in [Backend::Serial, Backend::Batched] {
+            let service = SolveService::<f64>::new(ServeConfig::default());
+            register_demo(&service, "a", backend, 0.0);
+
+            // Individual baseline, one request per drain.
+            let singles: Vec<Vec<f64>> = (0..6)
+                .map(|s| service.solve_now("a", &rhs(s)).unwrap())
+                .collect();
+
+            // Coalesced: all six in one drain cycle.
+            let tickets: Vec<_> = (0..6)
+                .map(|s| service.submit("a", rhs(s)).unwrap())
+                .collect();
+            let report = service.drain();
+            assert_eq!((report.requests, report.groups), (6, 1));
+            for (ticket, single) in tickets.into_iter().zip(&singles) {
+                let coalesced = ticket.wait().unwrap();
+                assert_eq!(&coalesced, single, "{backend:?}: batching changed bits");
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_amortizes_launches() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        register_demo(&service, "a", Backend::Batched, 0.0);
+
+        // Baseline: one request, one drain.
+        service.solve_now("a", &rhs(0)).unwrap();
+        let solo_launches = service.stats().launches;
+        assert!(solo_launches > 0);
+
+        // A burst bigger than the per-solve launch count in one drain.
+        let burst = (solo_launches as usize) * 2;
+        let tickets: Vec<_> = (0..burst)
+            .map(|s| service.submit("a", rhs(s)).unwrap())
+            .collect();
+        let report = service.drain();
+        assert_eq!(report.groups, 1);
+        assert!(
+            report.launches < burst as u64,
+            "coalesced {} requests cost {} launches",
+            burst,
+            report.launches
+        );
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn distinct_tenants_form_distinct_groups() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        register_demo(&service, "a", Backend::Batched, 0.0);
+        register_demo(&service, "b", Backend::Batched, 1.0);
+        let ta = service.submit("a", rhs(1)).unwrap();
+        let tb = service.submit("b", rhs(2)).unwrap();
+        let ta2 = service.submit("a", rhs(3)).unwrap();
+        let report = service.drain();
+        assert_eq!((report.requests, report.groups), (3, 2));
+        for t in [ta, tb, ta2] {
+            t.wait().unwrap();
+        }
+        assert_eq!(service.cache_stats().resident_entries, 2);
+    }
+
+    #[test]
+    fn failed_coalesced_launch_retries_and_attributes() {
+        // A mixed-precision tenant with a NaN right-hand side in the
+        // batch: the blocked refinement fails as a whole, the drain must
+        // retry members individually, and only the poisoned request may
+        // see an error.
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        let key = CacheKey::new(
+            "mixed-v1",
+            &TreePolicy::LeafSize(32),
+            1e-10,
+            Backend::Serial,
+            FacadePrecision::MixedRefine,
+        );
+        service.register_tenant("mixed", key, || {
+            let source = ClosureSource::new(N, N, |i, j| {
+                let d = (i as f64 - j as f64).abs() / N as f64;
+                1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
+            });
+            Hodlr::builder()
+                .source(&source)
+                .leaf_size(32)
+                .tolerance(1e-10)
+                .backend(Backend::Serial)
+                .precision(FacadePrecision::MixedRefine)
+                .build()
+        });
+
+        let good_before = service.submit("mixed", rhs(1)).unwrap();
+        let mut poison = rhs(2);
+        poison[0] = f64::NAN;
+        let bad = service.submit("mixed", poison).unwrap();
+        let good_after = service.submit("mixed", rhs(3)).unwrap();
+
+        let report = service.drain();
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.retried, 3, "whole group retried individually");
+        assert_eq!(report.failed, 1, "only the poisoned member fails");
+
+        assert!(good_before.wait().is_ok());
+        assert!(good_after.wait().is_ok());
+        match bad.wait() {
+            Err(ServeError::Solver(HodlrError::NonConvergence { .. })) => {}
+            other => panic!("poisoned request must fail as its own NonConvergence, got {other:?}"),
+        }
+        assert_eq!(service.stats().failed, 1);
+    }
+
+    #[test]
+    fn queue_full_is_backpressure_not_failure() {
+        let service = SolveService::<f64>::new(ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        register_demo(&service, "a", Backend::Serial, 0.0);
+        let t1 = service.submit("a", rhs(1)).unwrap();
+        let t2 = service.submit("a", rhs(2)).unwrap();
+        match service.submit("a", rhs(3)) {
+            Err(ServeError::QueueFull { capacity: 2 }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        service.drain();
+        assert!(t1.wait().is_ok() && t2.wait().is_ok());
+        // Capacity freed; admission works again.
+        assert!(service.submit("a", rhs(4)).is_ok());
+    }
+
+    #[test]
+    fn wrong_dimension_is_rejected_at_admission() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        register_demo(&service, "a", Backend::Serial, 0.0);
+        match service.submit("a", vec![1.0; N + 1]) {
+            Err(ServeError::Solver(HodlrError::DimensionMismatch { .. })) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        assert_eq!(service.queued(), 0, "malformed request never enqueued");
+    }
+
+    #[test]
+    fn unknown_tenant_is_a_typed_config_error() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        match service.submit("ghost", rhs(0)) {
+            Err(ServeError::Solver(HodlrError::InvalidConfig { .. })) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ticket_timeout_leaves_the_request_queued() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        register_demo(&service, "a", Backend::Serial, 0.0);
+        let ticket = service.submit("a", rhs(0)).unwrap();
+        match ticket.wait_timeout(Duration::from_millis(1)) {
+            Err(ServeError::Timeout { .. }) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // The request is still queued; a drain serves it and a fresh
+        // submit's ticket resolves normally.
+        assert_eq!(service.queued(), 1);
+        let report = service.drain();
+        assert_eq!(report.requests, 1);
+    }
+
+    #[test]
+    fn warm_traffic_hits_the_cache() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        register_demo(&service, "a", Backend::Batched, 0.0);
+        for round in 0..10 {
+            let t = service.submit("a", rhs(round)).unwrap();
+            service.drain();
+            t.wait().unwrap();
+        }
+        let stats = service.cache_stats();
+        assert!(
+            stats.hit_rate() > 0.5,
+            "10 rounds against one tenant must be warm: {stats:?}"
+        );
+        assert_eq!(stats.inserts, 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_get_bitwise_identical_answers() {
+        let service = Arc::new(SolveService::<f64>::new(ServeConfig::default()));
+        register_demo(&service, "a", Backend::Batched, 0.0);
+        let baseline: Vec<Vec<f64>> = (0..8)
+            .map(|s| service.solve_now("a", &rhs(s)).unwrap())
+            .collect();
+
+        let mut handles = Vec::new();
+        for s in 0..8 {
+            let service = Arc::clone(&service);
+            handles.push(std::thread::spawn(move || {
+                let ticket = service.submit("a", rhs(s)).unwrap();
+                // Every thread may drain; cycles are serialized internally
+                // and each ticket resolves exactly once.
+                service.drain();
+                ticket.wait().unwrap()
+            }));
+        }
+        for (s, handle) in handles.into_iter().enumerate() {
+            let got = handle.join().unwrap();
+            assert_eq!(
+                got, baseline[s],
+                "thread schedule changed request {s}'s bits"
+            );
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The multi-tenant front door: tenant registry + cache + coalescing
+//! queue behind one `&self` API.
+
+use crate::cache::{CacheConfig, CacheStats, FactorCache};
+use crate::coalesce::{CoalesceQueue, DrainReport, Ticket};
+use crate::{CacheKey, ServeError};
+use hodlr::{Hodlr, SolveScalar};
+use hodlr_la::HodlrError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How a tenant's operator is (re)built on a cache miss.
+type TenantBuilder<T> = Box<dyn Fn() -> Result<Hodlr<T>, HodlrError> + Send + Sync>;
+
+/// Sizing knobs of a [`SolveService`].
+#[derive(Copy, Clone, Debug)]
+pub struct ServeConfig {
+    /// Factorization-cache budget.
+    pub cache: CacheConfig,
+    /// Coalescing-queue admission capacity.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache: CacheConfig::default(),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Service-level counters (cache counters live in [`CacheStats`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests taken off the queue by drain cycles.
+    pub completed: u64,
+    /// Requests that resolved to an error during a drain.
+    pub failed: u64,
+    /// Drain cycles run.
+    pub drains: u64,
+    /// Coalesced groups solved across all drains.
+    pub groups: u64,
+    /// Batched-kernel launches metered across all drains.
+    pub launches: u64,
+    /// Requests retried individually after a failed coalesced launch.
+    pub retried: u64,
+}
+
+impl ServeStats {
+    /// Batched launches divided by drained requests — the coalescing
+    /// figure of merit (`< 1` means batching is amortizing launches).
+    pub fn launches_per_request(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.launches as f64 / self.completed as f64
+        }
+    }
+}
+
+/// A multi-tenant solve service: register tenants once, then [`submit`]
+/// single right-hand sides from any thread and [`drain`] them in
+/// coalesced blocked launches.
+///
+/// Every entry point takes `&self` and the service is `Send + Sync`, so
+/// one instance can be shared across request-handler threads directly (or
+/// behind an `Arc`).
+///
+/// [`submit`]: SolveService::submit
+/// [`drain`]: SolveService::drain
+pub struct SolveService<T: SolveScalar> {
+    cache: FactorCache<T>,
+    queue: CoalesceQueue<T>,
+    tenants: Mutex<HashMap<String, (CacheKey, TenantBuilder<T>)>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    drains: AtomicU64,
+    groups: AtomicU64,
+    launches: AtomicU64,
+    retried: AtomicU64,
+}
+
+impl<T: SolveScalar> SolveService<T> {
+    /// An empty service with the given budgets.
+    pub fn new(config: ServeConfig) -> Self {
+        SolveService {
+            cache: FactorCache::new(config.cache),
+            queue: CoalesceQueue::new(config.queue_capacity),
+            tenants: Mutex::new(HashMap::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            drains: AtomicU64::new(0),
+            groups: AtomicU64::new(0),
+            launches: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+        }
+    }
+
+    /// Register (or replace) a tenant: a cache key describing the
+    /// factorization and a builder that produces the matching [`Hodlr`]
+    /// on a cache miss.
+    ///
+    /// The key is the cache's identity, so the builder must honour it:
+    /// same source, tree policy, tolerance, backend and precision.
+    pub fn register_tenant(
+        &self,
+        name: impl Into<String>,
+        key: CacheKey,
+        build: impl Fn() -> Result<Hodlr<T>, HodlrError> + Send + Sync + 'static,
+    ) {
+        self.lock_tenants()
+            .insert(name.into(), (key, Box::new(build)));
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.lock_tenants().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Submit one right-hand side for `tenant`, resolving (and if needed
+    /// building) its cached factorization, and enqueue it for the next
+    /// drain cycle.
+    ///
+    /// # Errors
+    /// [`ServeError::Solver`] for an unknown tenant, a failed build, or a
+    /// right-hand side of the wrong dimension; [`ServeError::Evicted`]
+    /// when the tenant's factorization exceeds the cache budget;
+    /// [`ServeError::QueueFull`] under backpressure.
+    pub fn submit(&self, tenant: &str, rhs: Vec<T>) -> Result<Ticket<T>, ServeError> {
+        let (key, entry) = {
+            let tenants = self.lock_tenants();
+            let (key, build) = tenants.get(tenant).ok_or_else(|| {
+                ServeError::Solver(HodlrError::config(format!(
+                    "unknown tenant {tenant:?}: register_tenant first"
+                )))
+            })?;
+            // The registry lock is held across a potential build; tenant
+            // registration is rare and the alternative (cloning the
+            // builder out) would let two threads build the same cold
+            // entry. The cache's own double-check still guards the
+            // cross-tenant race.
+            (key.clone(), self.cache.get_or_build(key, build)?)
+        };
+        let ticket = self.queue.submit(key, entry, rhs)?;
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// Solve one right-hand side immediately, bypassing the queue (the
+    /// uncoalesced baseline: one launch sequence per request).
+    ///
+    /// # Errors
+    /// As [`SolveService::submit`], plus any solver error.
+    pub fn solve_now(&self, tenant: &str, rhs: &[T]) -> Result<Vec<T>, ServeError> {
+        let ticket = self.submit(tenant, rhs.to_vec())?;
+        let report = self.drain();
+        debug_assert!(report.requests >= 1);
+        ticket
+            .try_take()
+            .expect("drain fulfills every queued ticket")
+    }
+
+    /// Run one drain cycle over everything queued, folding its report into
+    /// the service counters.
+    pub fn drain(&self) -> DrainReport {
+        let report = self.queue.drain();
+        self.drains.fetch_add(1, Ordering::Relaxed);
+        self.completed
+            .fetch_add(report.requests as u64, Ordering::Relaxed);
+        self.failed
+            .fetch_add(report.failed as u64, Ordering::Relaxed);
+        self.groups
+            .fetch_add(report.groups as u64, Ordering::Relaxed);
+        self.launches.fetch_add(report.launches, Ordering::Relaxed);
+        self.retried
+            .fetch_add(report.retried as u64, Ordering::Relaxed);
+        report
+    }
+
+    /// Requests currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Cache observability.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Service observability.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+            groups: self.groups.load(Ordering::Relaxed),
+            launches: self.launches.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Direct access to the factorization cache (tests, warmup sweeps).
+    pub fn cache(&self) -> &FactorCache<T> {
+        &self.cache
+    }
+
+    fn lock_tenants(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<String, (CacheKey, TenantBuilder<T>)>> {
+        self.tenants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+// A solve service is shared state by design; prove it at compile time.
+const _: () = {
+    const fn assert_send_sync<S: Send + Sync>() {}
+    assert_send_sync::<SolveService<f64>>();
+    assert_send_sync::<SolveService<hodlr_la::Complex64>>();
+};
