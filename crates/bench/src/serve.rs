@@ -290,7 +290,11 @@ fn run_scenario(
         hit_rate: cache_stats.hit_rate(),
         evictions: cache_stats.evictions,
         launches_per_request: stats.launches_per_request(),
-        failed: pass.failed + stats.failed,
+        // `drive` already counts both submit rejections and tickets that
+        // drained to an error, so `pass.failed` is the complete per-request
+        // failure count; adding `stats.failed` (the drain-side view of the
+        // same errors) would double-count.
+        failed: pass.failed,
         deterministic: pass.result_bits == replay.result_bits,
         checksum: checksum(&pass.result_bits),
     }

@@ -248,19 +248,29 @@ impl<T: SolveScalar> CoalesceQueue<T> {
             return report;
         }
 
-        // Group by key, preserving first-arrival order of both the groups
-        // and the members within each group: the batch layout — and with
-        // it every result — is a pure function of the submission sequence.
-        let mut groups: Vec<(CacheKey, Vec<Pending<T>>)> = Vec::new();
+        // Group by key AND by the resolved entry (pointer identity),
+        // preserving first-arrival order of both the groups and the
+        // members within each group: the batch layout — and with it every
+        // result — is a pure function of the submission sequence.  The
+        // entry check matters: two submissions can share a key yet have
+        // resolved to different factorizations (an eviction + rebuild
+        // between their submits), and each right-hand side was validated
+        // against *its own* entry at admission — mixing them in one block
+        // would solve one member against the other's operator.
+        let mut groups: Vec<Vec<Pending<T>>> = Vec::new();
         for pending in batch {
-            match groups.iter_mut().find(|(key, _)| *key == pending.key) {
-                Some((_, members)) => members.push(pending),
-                None => groups.push((pending.key.clone(), vec![pending])),
+            let group = groups.iter_mut().find(|members| {
+                let head = &members[0];
+                head.key == pending.key && Arc::ptr_eq(&head.entry, &pending.entry)
+            });
+            match group {
+                Some(members) => members.push(pending),
+                None => groups.push(vec![pending]),
             }
         }
         report.groups = groups.len();
 
-        for (_, members) in groups {
+        for members in groups {
             self.solve_group(members, &mut report);
         }
         report
@@ -268,6 +278,10 @@ impl<T: SolveScalar> CoalesceQueue<T> {
 
     /// One coalesced blocked solve; on failure, retry members one by one
     /// so each ticket gets its own attributed result.
+    ///
+    /// Every member shares one entry (drain groups by pointer identity)
+    /// and every `rhs` was length-checked against that entry at admission,
+    /// so the block assembly below cannot mismatch.
     fn solve_group(&self, members: Vec<Pending<T>>, report: &mut DrainReport) {
         let entry = Arc::clone(&members[0].entry);
         let n = entry.dim();
@@ -292,9 +306,12 @@ impl<T: SolveScalar> CoalesceQueue<T> {
             }
             Err(_batch_err) => {
                 // One bad member must not poison the batch: attribute the
-                // failure by re-solving each right-hand side on its own.
+                // failure by re-solving each right-hand side on its own,
+                // against the entry *it* resolved to at admission.
                 report.retried += k;
                 for pending in members {
+                    let entry = &pending.entry;
+                    let device = entry.hodlr().device();
                     let (result, metered) = device.meter(|| entry.solver().solve(&pending.rhs));
                     if entry.solver().backend() == Backend::Batched {
                         report.launches += metered.kernel_launches;

@@ -3,23 +3,54 @@
 //! The façade's [`Factorization`] borrows the [`Hodlr`] it was factorized
 //! from (the batched backend keeps its buffers on the handle's device, and
 //! solves may run on the handle's thread pool).  A cache must *own* both
-//! halves, so [`CachedFactorization`] pins the `Hodlr` behind a `Box` —
-//! a stable heap address — and stores the factorization next to it.
+//! halves, so [`CachedFactorization`] keeps the `Hodlr` on the heap behind
+//! a **raw** pointer and stores the factorization next to it.
+//!
+//! Why a raw pointer and not a `Box`: a `Box` field asserts unique access
+//! on every move of the struct (Stacked Borrows retags it), which would
+//! invalidate the long-lived borrow the factorization holds into the
+//! allocation — the classic self-referential-struct UB (cf. ouroboros
+//! RUSTSEC-2023-0042).  A `NonNull` is never retagged on move, so the
+//! borrow derived from it stays valid for the life of the allocation, and
+//! the struct can be moved, boxed and `Arc`'d freely.  The `miri_*` tests
+//! below run under Miri in CI to keep this claim checked.
 
 use crate::ServeError;
 use hodlr::{Factorization, Factorize, Hodlr, Solve, SolveScalar};
 use hodlr_la::HodlrError;
+use std::mem::ManuallyDrop;
+use std::ptr::NonNull;
 
 /// A factorization that owns its matrix, device and thread pool: safe to
 /// park in a cache and to share across request-handler threads
 /// (`Send + Sync`, with every solve entry point taking `&self`).
 pub struct CachedFactorization<T: SolveScalar> {
-    // Field order is load-bearing: `factorization` borrows from the boxed
-    // `hodlr` below it, and struct fields drop top-to-bottom, so the
-    // borrower is always dropped before its referent.
-    factorization: Factorization<'static, T>,
-    hodlr: Box<Hodlr<T>>,
+    /// Borrows the allocation behind `hodlr`; manually dropped *before*
+    /// that allocation is freed (see `Drop`).
+    factorization: ManuallyDrop<Factorization<'static, T>>,
+    /// The leaked heap allocation this struct owns and frees on drop.
+    /// Deliberately a raw pointer: moving the struct must not retag it.
+    hodlr: NonNull<Hodlr<T>>,
     bytes: u64,
+}
+
+// SAFETY: the struct owns the heap `Hodlr` outright (no other pointer to
+// the allocation exists outside `self`), never hands out `&mut Hodlr`, and
+// the factorization is required `Send`/`Sync` by the façade.  Sending the
+// struct moves both halves together; sharing `&self` only ever yields
+// shared references.  `Hodlr<T>: Sync` is required even for `Send`
+// because the factorization holds `&Hodlr` across the move.
+unsafe impl<T: SolveScalar> Send for CachedFactorization<T>
+where
+    Hodlr<T>: Send + Sync,
+    for<'a> Factorization<'a, T>: Send,
+{
+}
+unsafe impl<T: SolveScalar> Sync for CachedFactorization<T>
+where
+    Hodlr<T>: Sync,
+    for<'a> Factorization<'a, T>: Sync,
+{
 }
 
 impl<T: SolveScalar> CachedFactorization<T> {
@@ -29,20 +60,27 @@ impl<T: SolveScalar> CachedFactorization<T> {
     /// Factorization errors ([`HodlrError::SingularPivot`], configuration
     /// rejections from exotic backend/precision combinations) propagate.
     pub fn build(hodlr: Hodlr<T>) -> Result<Self, HodlrError> {
-        let hodlr = Box::new(hodlr);
-        let factorization = hodlr.factorize()?;
-        // SAFETY: `factorization` borrows only from the heap allocation
-        // behind `hodlr` (matrix, device, optional pool), whose address is
-        // stable for the life of `self`: the box is never reassigned, the
-        // struct exposes no `&mut Hodlr`, and field order drops the
-        // factorization first.  The forged 'static never escapes — every
-        // accessor reborrows it at `&self`'s lifetime.
-        let factorization: Factorization<'static, T> = unsafe {
-            std::mem::transmute::<Factorization<'_, T>, Factorization<'static, T>>(factorization)
+        // Leak the handle to a raw pointer; from here on `self` is the
+        // allocation's sole owner and frees it in `Drop`.
+        let hodlr: NonNull<Hodlr<T>> = NonNull::from(Box::leak(Box::new(hodlr)));
+        // SAFETY: the allocation is live and uniquely owned by this
+        // function; the shared borrow is derived from the raw pointer, so
+        // later moves of `self` (which copy the pointer bits untagged)
+        // cannot invalidate it.  It lives as long as the allocation, which
+        // `Drop` frees only after dropping the factorization.
+        let borrowed: &'static Hodlr<T> = unsafe { &*hodlr.as_ptr() };
+        let factorization = match borrowed.factorize() {
+            Ok(f) => f,
+            Err(e) => {
+                // SAFETY: `factorize` failed, so no borrow of the
+                // allocation survives; reclaim and free it.
+                unsafe { drop(Box::from_raw(hodlr.as_ptr())) };
+                return Err(e);
+            }
         };
-        let bytes = factorization.factor_bytes() + hodlr.matrix().storage_bytes();
+        let bytes = factorization.factor_bytes() + borrowed.matrix().storage_bytes();
         Ok(CachedFactorization {
-            factorization,
+            factorization: ManuallyDrop::new(factorization),
             hodlr,
             bytes,
         })
@@ -55,7 +93,9 @@ impl<T: SolveScalar> CachedFactorization<T> {
 
     /// The owning handle (device counters, matrix, residual checks).
     pub fn hodlr(&self) -> &Hodlr<T> {
-        &self.hodlr
+        // SAFETY: the allocation is live until `self` drops and no `&mut`
+        // to it ever exists; the returned borrow is capped at `&self`.
+        unsafe { self.hodlr.as_ref() }
     }
 
     /// Resident bytes this entry charges against the cache budget: factor
@@ -67,6 +107,18 @@ impl<T: SolveScalar> CachedFactorization<T> {
     /// Matrix size `N`.
     pub fn dim(&self) -> usize {
         self.factorization.dim()
+    }
+}
+
+impl<T: SolveScalar> Drop for CachedFactorization<T> {
+    fn drop(&mut self) {
+        // SAFETY: drop order is load-bearing — the factorization borrows
+        // the allocation, so it goes first; afterwards no reference into
+        // the allocation survives and the leaked box can be reclaimed.
+        unsafe {
+            ManuallyDrop::drop(&mut self.factorization);
+            drop(Box::from_raw(self.hodlr.as_ptr()));
+        }
     }
 }
 
@@ -103,16 +155,20 @@ mod tests {
         })
     }
 
-    fn entry(backend: Backend) -> CachedFactorization<f64> {
-        let source = diagonally_dominant(128);
+    fn entry_sized(backend: Backend, n: usize, leaf: usize) -> CachedFactorization<f64> {
+        let source = diagonally_dominant(n);
         let hodlr = Hodlr::builder()
             .source(&source)
-            .leaf_size(32)
+            .leaf_size(leaf)
             .tolerance(1e-10)
             .backend(backend)
             .build()
             .unwrap();
         CachedFactorization::build(hodlr).unwrap()
+    }
+
+    fn entry(backend: Backend) -> CachedFactorization<f64> {
+        entry_sized(backend, 128, 32)
     }
 
     #[test]
@@ -148,5 +204,45 @@ mod tests {
         e.solver().solve(&vec![1.0; 128]).unwrap();
         let delta = e.hodlr().device().counters().since(&before);
         assert!(delta.kernel_launches > 0);
+    }
+
+    /// Interpreter-scale exercise of the whole aliasing story — build,
+    /// move (by value, through a `Box`, into and out of an `Arc`), solve
+    /// after every move, then drop.  CI runs exactly the `miri_*` filter
+    /// under Miri; keep this test tiny and serial so the interpreter
+    /// finishes in seconds.
+    #[test]
+    fn miri_moves_boxes_and_arcs_stay_sound() {
+        let e = entry_sized(Backend::Serial, 16, 8);
+        let b = vec![1.0; 16];
+        let baseline = e.solver().solve(&b).unwrap();
+
+        // Move by value out of a block.
+        let moved = { e };
+        assert_eq!(moved.solver().solve(&b).unwrap(), baseline);
+
+        // Through a Box round-trip (heap → stack move).
+        let unboxed = *Box::new(moved);
+        assert_eq!(unboxed.solver().solve(&b).unwrap(), baseline);
+
+        // The cache's actual usage: Arc-shared, cloned, dropped.
+        let shared = std::sync::Arc::new(unboxed);
+        let clone = std::sync::Arc::clone(&shared);
+        drop(shared);
+        assert_eq!(clone.solver().solve(&b).unwrap(), baseline);
+    }
+
+    /// The error path must free the leaked allocation (Miri flags leaks).
+    #[test]
+    fn miri_failed_factorization_does_not_leak() {
+        // A singular 2x2 (rank one, zero pivot after elimination).
+        let source = ClosureSource::new(4, 4, |_, _| 1.0);
+        let hodlr = Hodlr::builder()
+            .source(&source)
+            .leaf_size(2)
+            .tolerance(1e-12)
+            .build()
+            .unwrap();
+        assert!(CachedFactorization::build(hodlr).is_err());
     }
 }

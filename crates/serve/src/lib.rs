@@ -252,6 +252,49 @@ mod tests {
     }
 
     #[test]
+    fn same_key_different_entries_never_share_a_block() {
+        // Two submissions can share a cache key yet have resolved to
+        // different entries (an eviction + rebuild between their
+        // submits).  Drain must group by entry identity, not key alone:
+        // each request solves against its own operator — no panic on
+        // mismatched dimensions, no neighbour's matrix.
+        let build = |n: usize| {
+            let source = ClosureSource::new(n, n, move |i, j| {
+                let d = (i as f64 - j as f64).abs() / n as f64;
+                1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
+            });
+            let hodlr = Hodlr::builder()
+                .source(&source)
+                .leaf_size(32)
+                .tolerance(1e-10)
+                .build()
+                .unwrap();
+            Arc::new(CachedFactorization::build(hodlr).unwrap())
+        };
+        let queue = CoalesceQueue::<f64>::new(16);
+        let key = demo_key("shared", Backend::Serial);
+        let small = build(64);
+        let big = build(96);
+        let t_small = queue
+            .submit(key.clone(), Arc::clone(&small), vec![1.0; 64])
+            .unwrap();
+        let t_big = queue
+            .submit(key.clone(), Arc::clone(&big), vec![1.0; 96])
+            .unwrap();
+        let t_small2 = queue.submit(key, small, vec![2.0; 64]).unwrap();
+        let report = queue.drain();
+        assert_eq!(report.requests, 3);
+        assert_eq!(
+            report.groups, 2,
+            "distinct entries under one key must form distinct groups"
+        );
+        assert_eq!(report.failed, 0);
+        assert_eq!(t_small.wait().unwrap().len(), 64);
+        assert_eq!(t_big.wait().unwrap().len(), 96);
+        assert_eq!(t_small2.wait().unwrap().len(), 64);
+    }
+
+    #[test]
     fn queue_full_is_backpressure_not_failure() {
         let service = SolveService::<f64>::new(ServeConfig {
             queue_capacity: 2,
@@ -304,6 +347,59 @@ mod tests {
         assert_eq!(service.queued(), 1);
         let report = service.drain();
         assert_eq!(report.requests, 1);
+    }
+
+    #[test]
+    fn cold_build_does_not_block_other_tenants() {
+        // One tenant's expensive cold build must not hold the tenant
+        // registry hostage: while it runs, other tenants' submits and new
+        // registrations proceed.  The slow builder parks on a barrier; if
+        // submit still held the registry lock across the build, the warm
+        // solve below would deadlock instead of completing.
+        use std::sync::Barrier;
+
+        let service = Arc::new(SolveService::<f64>::new(ServeConfig::default()));
+        register_demo(&service, "warm", Backend::Serial, 0.0);
+        service.solve_now("warm", &rhs(0)).unwrap();
+
+        let entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        {
+            let entered = Arc::clone(&entered);
+            let release = Arc::clone(&release);
+            service.register_tenant("slow", demo_key("slow", Backend::Serial), move || {
+                entered.wait();
+                release.wait();
+                let source = ClosureSource::new(N, N, |i, j| {
+                    let d = (i as f64 - j as f64).abs() / N as f64;
+                    1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
+                });
+                Hodlr::builder()
+                    .source(&source)
+                    .leaf_size(32)
+                    .tolerance(1e-10)
+                    .build()
+            });
+        }
+
+        let cold = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.submit("slow", rhs(1)).unwrap())
+        };
+        entered.wait(); // the cold build is now in flight
+
+        // Must complete while the cold build is parked.
+        service.solve_now("warm", &rhs(2)).unwrap();
+        register_demo(&service, "late", Backend::Serial, 1.0);
+        service.solve_now("late", &rhs(3)).unwrap();
+
+        release.wait();
+        let ticket = cold.join().unwrap();
+        service.drain();
+        assert!(ticket
+            .try_take()
+            .expect("drain serves the cold request")
+            .is_ok());
     }
 
     #[test]

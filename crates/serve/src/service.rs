@@ -8,10 +8,12 @@ use hodlr::{Hodlr, SolveScalar};
 use hodlr_la::HodlrError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// How a tenant's operator is (re)built on a cache miss.
-type TenantBuilder<T> = Box<dyn Fn() -> Result<Hodlr<T>, HodlrError> + Send + Sync>;
+/// How a tenant's operator is (re)built on a cache miss.  `Arc`'d so
+/// `submit` can clone it out of the registry and run the (potentially
+/// expensive) build without holding the registry lock.
+type TenantBuilder<T> = Arc<dyn Fn() -> Result<Hodlr<T>, HodlrError> + Send + Sync>;
 
 /// Sizing knobs of a [`SolveService`].
 #[derive(Copy, Clone, Debug)]
@@ -115,7 +117,7 @@ impl<T: SolveScalar> SolveService<T> {
         build: impl Fn() -> Result<Hodlr<T>, HodlrError> + Send + Sync + 'static,
     ) {
         self.lock_tenants()
-            .insert(name.into(), (key, Box::new(build)));
+            .insert(name.into(), (key, Arc::new(build) as TenantBuilder<T>));
     }
 
     /// Registered tenant names, sorted.
@@ -135,20 +137,21 @@ impl<T: SolveScalar> SolveService<T> {
     /// when the tenant's factorization exceeds the cache budget;
     /// [`ServeError::QueueFull`] under backpressure.
     pub fn submit(&self, tenant: &str, rhs: Vec<T>) -> Result<Ticket<T>, ServeError> {
-        let (key, entry) = {
+        // Clone the key and the Arc'd builder out of the registry, then
+        // drop the lock *before* a potential factorization build: one
+        // tenant's cold build must not stall every other tenant's submits
+        // (or registrations).  Two threads racing on the same cold key may
+        // both build; the cache's double-checked insert keeps exactly one.
+        let (key, build) = {
             let tenants = self.lock_tenants();
             let (key, build) = tenants.get(tenant).ok_or_else(|| {
                 ServeError::Solver(HodlrError::config(format!(
                     "unknown tenant {tenant:?}: register_tenant first"
                 )))
             })?;
-            // The registry lock is held across a potential build; tenant
-            // registration is rare and the alternative (cloning the
-            // builder out) would let two threads build the same cold
-            // entry. The cache's own double-check still guards the
-            // cross-tenant race.
-            (key.clone(), self.cache.get_or_build(key, build)?)
+            (key.clone(), Arc::clone(build))
         };
+        let entry = self.cache.get_or_build(&key, &*build)?;
         let ticket = self.queue.submit(key, entry, rhs)?;
         self.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(ticket)
