@@ -54,6 +54,7 @@
 //! ```
 
 pub mod buffer;
+pub mod cholesky;
 pub mod device;
 pub mod gemm;
 pub mod lu;
@@ -62,6 +63,10 @@ pub mod stream;
 pub mod windows;
 
 pub use buffer::DeviceBuffer;
+pub use cholesky::{
+    extract_tridiagonals_batched, potrf_batched_varied, potrs_batched_varied, BatchSymmetricError,
+    SymDesc, SymSolveDesc,
+};
 pub use device::{CounterSnapshot, Device, TransferDirection};
 pub use gemm::{gemm_batched_aliased, gemm_batched_varied, gemm_strided_batched, GemmDesc};
 pub use lu::{

@@ -208,6 +208,7 @@ pub fn gp_rows_to_json(rows: &[GpRow]) -> String {
         out.push_str("  {");
         out.push_str(&format!("\"kernel\": \"{}\", ", escape(&row.kernel)));
         out.push_str(&format!("\"backend\": \"{}\", ", escape(&row.backend)));
+        out.push_str(&format!("\"path\": \"{}\", ", escape(&row.path)));
         out.push_str(&format!("\"n\": {}, ", row.n));
         out.push_str(&format!("\"threads\": {}, ", row.threads));
         out.push_str(&format!("\"tol\": {}, ", number(row.tol)));
@@ -224,7 +225,8 @@ pub fn gp_rows_to_json(rows: &[GpRow]) -> String {
             opt_number(row.loglik_err_vs_dense)
         ));
         out.push_str(&format!("\"launches\": {}, ", row.launches));
-        out.push_str(&format!("\"flops\": {}", row.flops));
+        out.push_str(&format!("\"flops\": {}, ", row.flops));
+        out.push_str(&format!("\"factor_bytes\": {}", row.factor_bytes));
         out.push('}');
         if i + 1 < rows.len() {
             out.push(',');
@@ -357,6 +359,7 @@ mod tests {
         let row = GpRow {
             kernel: "matern-3/2".into(),
             backend: "batched".into(),
+            path: "spd".into(),
             n: 512,
             tol: 1e-10,
             t_build: 0.2,
@@ -367,17 +370,20 @@ mod tests {
             loglik_err_vs_dense: Some(3e-10),
             launches: 17,
             flops: 123456,
+            factor_bytes: 7890,
             threads: 1,
         };
         let json = gp_rows_to_json(&[row]);
         for key in [
             "\"kernel\": \"matern-3/2\"",
             "\"backend\": \"batched\"",
+            "\"path\": \"spd\"",
             "\"n\": 512",
             "\"t_logdet_s\": 1e-3",
             "\"loglik_err_vs_dense\": 3e-10",
             "\"launches\": 17",
             "\"flops\": 123456",
+            "\"factor_bytes\": 7890",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -202,6 +202,101 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
     HodlrMatrix::from_parts(tree, layout, node_ranks, ubig, vbig, diag)
 }
 
+/// Build a Hermitian HODLR approximation of `source` with shared bases:
+/// each sibling pair is compressed **once** — `A(I_alpha, I_beta) = U V^*`
+/// gives `U_alpha := U` and `U_beta := V`, so the mirror block `A(I_beta,
+/// I_alpha) = U_beta U_alpha^*` is the conjugate transpose by construction.
+/// Half the compression work and half the basis storage of
+/// [`build_from_source`].
+///
+/// The caller asserts that `source` is Hermitian; only the blocks on and
+/// below the diagonal are ever read (the symmetric factorizations
+/// downstream likewise read only lower triangles of the leaf blocks).
+///
+/// # Errors
+/// As [`build_from_source`].
+pub fn build_from_source_symmetric<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
+    source: &S,
+    tree: ClusterTree,
+    config: &CompressionConfig<T::Real>,
+) -> Result<HodlrMatrix<T>, HodlrError> {
+    let n = tree.n();
+    if n == 0 {
+        return Err(HodlrError::config(
+            "cannot build a HODLR matrix over a zero-size tree",
+        ));
+    }
+    config.validate()?;
+    HodlrError::check_dims("source rows (must be N x N)", n, source.nrows())?;
+    HodlrError::check_dims("source columns (must be N x N)", n, source.ncols())?;
+
+    // One compression per sibling pair instead of two.
+    let internal: Vec<NodeId> = tree.internal_nodes().collect();
+    let compressed: Vec<(NodeId, LowRank<T>)> = internal
+        .par_iter()
+        .map(|&gamma| {
+            let (alpha, beta) = tree.children(gamma).expect("internal node");
+            let ra = tree.range(alpha);
+            let rb = tree.range(beta);
+            let ab = BlockSource::new(source, ra.start, rb.start, ra.len(), rb.len())?;
+            let lr = compress(&ab, config).map_err(|e| annotate_block(e, alpha, beta))?;
+            Ok((gamma, lr))
+        })
+        .collect::<Result<Vec<_>, HodlrError>>()?;
+
+    let num_nodes = tree.num_nodes();
+    let mut u_of: Vec<Option<DenseMatrix<T>>> = vec![None; num_nodes + 1];
+    let mut node_ranks = vec![0usize; num_nodes + 1];
+    for (gamma, lr) in compressed {
+        let (alpha, beta) = tree.children(gamma).expect("internal node");
+        let rank = lr.rank();
+        node_ranks[alpha] = rank;
+        node_ranks[beta] = rank;
+        u_of[alpha] = Some(lr.u);
+        u_of[beta] = Some(lr.v);
+    }
+
+    let levels = tree.levels();
+    let mut widths = vec![0usize; levels];
+    for level in 1..=levels {
+        let mut w = 0;
+        for node in tree.level_nodes(level) {
+            w = w.max(u_of[node].as_ref().map_or(0, |m| m.cols()));
+        }
+        widths[level - 1] = w;
+    }
+    let layout = LevelLayout::new(widths);
+
+    let total = layout.total_cols();
+    let mut ubig = DenseMatrix::zeros(n, total);
+    for level in 1..=levels {
+        let cols = layout.col_range(level);
+        for node in tree.level_nodes(level) {
+            let rows = tree.range(node);
+            if let Some(u) = &u_of[node] {
+                for j in 0..u.cols() {
+                    for (local_i, i) in rows.clone().enumerate() {
+                        ubig[(i, cols.start + j)] = u[(local_i, j)];
+                    }
+                }
+            }
+        }
+    }
+
+    let leaf_ids: Vec<NodeId> = tree.leaves().collect();
+    let diag: Vec<DenseMatrix<T>> = leaf_ids
+        .par_iter()
+        .map(|&leaf| {
+            let range = tree.range(leaf);
+            let block =
+                BlockSource::new(source, range.start, range.start, range.len(), range.len())?;
+            Ok(block.to_dense())
+        })
+        .collect::<Result<Vec<_>, HodlrError>>()?;
+
+    HodlrMatrix::from_parts_symmetric(tree, layout, node_ranks, ubig, diag)
+}
+
 /// Attribute a compression error to the off-diagonal block it came from.
 fn annotate_block(e: HodlrError, row_node: NodeId, col_node: NodeId) -> HodlrError {
     match e {
@@ -236,6 +331,26 @@ pub fn build_from_dense<T: Scalar>(
     )?;
     let source = DenseSource::new(a);
     build_from_source(&source, tree, config)
+}
+
+/// Build a shared-basis Hermitian HODLR approximation of a dense Hermitian
+/// matrix; see [`build_from_source_symmetric`].
+///
+/// # Errors
+/// Returns [`HodlrError::DimensionMismatch`] when `a` is not square, and
+/// everything [`build_from_source_symmetric`] can return.
+pub fn build_from_dense_symmetric<T: Scalar>(
+    a: &DenseMatrix<T>,
+    tree: ClusterTree,
+    config: &CompressionConfig<T::Real>,
+) -> Result<HodlrMatrix<T>, HodlrError> {
+    HodlrError::check_dims(
+        "dense input (HODLR matrices are square)",
+        a.rows(),
+        a.cols(),
+    )?;
+    let source = DenseSource::new(a);
+    build_from_source_symmetric(&source, tree, config)
 }
 
 #[cfg(test)]
@@ -292,6 +407,35 @@ mod tests {
         let err_tight = dense.sub(&tight.to_dense()).norm_fro() / dense.norm_fro();
         assert!(err_tight < err_loose);
         assert!(err_tight < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_build_shares_bases_and_matches_general_build() {
+        let n = 128;
+        let src = kernel_source(n);
+        let tree = ClusterTree::with_leaf_size(n, 16);
+        let config = CompressionConfig::with_tol(1e-9);
+        let general = build_from_source(&src, tree.clone(), &config).unwrap();
+        let sym = build_from_source_symmetric(&src, tree, &config).unwrap();
+
+        assert!(sym.shares_bases());
+        assert!(!general.shares_bases());
+        // Half the basis storage (same leaf blocks on both sides).
+        let diag_entries: usize = sym.diag_blocks().iter().map(|d| d.rows() * d.cols()).sum();
+        let sym_basis = sym.storage_entries() - diag_entries;
+        let gen_basis = general.storage_entries() - diag_entries;
+        assert!(
+            sym_basis * 2 <= gen_basis + sym.n(),
+            "symmetric bases {sym_basis} vs general {gen_basis}"
+        );
+
+        let dense = src.to_dense();
+        let approx = sym.to_dense();
+        let err = dense.sub(&approx).norm_fro();
+        assert!(err < 1e-7 * dense.norm_fro(), "approximation error {err}");
+        // The approximation is exactly Hermitian by construction.
+        let asym = approx.sub(&approx.conj_transpose()).norm_max();
+        assert!(asym < 1e-14, "not Hermitian: {asym}");
     }
 
     #[test]

@@ -1,0 +1,869 @@
+//! The batched *symmetric* factorization and solve — the Hermitian fast
+//! path of Algorithms 3–4 on the virtual batched-BLAS device.
+//!
+//! The kernel sequence is that of [`GpuSolver`](crate::GpuSolver) with every
+//! batched LU replaced by its symmetric counterpart: `potrf_batched_varied`
+//! factorizes the leaf diagonal blocks (strictly, for
+//! [`Symmetry::PositiveDefinite`]) and the Hermitian-indefinite coupling
+//! matrices (always through the fallback ladder), and
+//! `potrs_batched_varied` replays the stored factors on right-hand sides.
+//! Each batch entry runs the *same* host-side kernels as
+//! [`SerialSymmetricFactorization`](crate::SerialSymmetricFactorization) —
+//! `factorize_symmetric_in_place` / `solve_symmetric_in_place` — so the two
+//! backends produce bitwise-identical factors, solutions, and
+//! log-determinants.  The per-entry ladder outcome ([`SymmetricKind`]) stays
+//! host-side, exactly as LU pivots do.
+
+use crate::layout::LevelLayout;
+use crate::matrix::HodlrMatrix;
+use crate::symmetric::Symmetry;
+use hodlr_batch::{
+    extract_tridiagonals_batched, gemm_batched_aliased, gemm_batched_varied, potrf_batched_varied,
+    potrs_batched_varied, Device, DeviceBuffer, GemmDesc, Stream, StreamPool, SymDesc,
+    SymSolveDesc,
+};
+use hodlr_la::{
+    sym_log_det_from_parts, DenseMatrix, HodlrError, Op, Scalar, SymmetricKind, SymmetricPolicy,
+};
+use hodlr_tree::ClusterTree;
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// Below this many nodes in a level, independent kernels are cycled over a
+/// stream pool instead of one big batch (Section III-C).
+const STREAM_THRESHOLD: usize = 4;
+
+/// The GPU-style symmetric HODLR solver: device-resident data plus the
+/// stored symmetric factorization state.
+pub struct GpuSymmetricSolver<'d, T: Scalar> {
+    device: &'d Device,
+    tree: ClusterTree,
+    layout: LevelLayout,
+    symmetry: Symmetry,
+    /// Row range of every leaf, in leaf order.
+    leaf_ranges: Vec<Range<usize>>,
+    /// Element offset of every leaf block inside `dbig`.
+    diag_offsets: Vec<usize>,
+    /// Leaf diagonal blocks, factorized in place by
+    /// [`GpuSymmetricSolver::factorize`].
+    dbig: DeviceBuffer<'d, T>,
+    /// The flattened shared bases; overwritten with `Ybig` by the
+    /// factorization.
+    ybig: DeviceBuffer<'d, T>,
+    /// The original bases, playing the `Vbig` role of the sweep.
+    vbig: DeviceBuffer<'d, T>,
+    /// Ladder outcome of every leaf diagonal block (host-side, like pivots).
+    diag_kinds: Vec<SymmetricKind>,
+    /// Per level: the coupling matrices `Kbig` (factorized in place).
+    k_bufs: Vec<DeviceBuffer<'d, T>>,
+    /// Per level: ladder outcome of every coupling matrix.
+    k_kinds: Vec<Vec<SymmetricKind>>,
+    factored: bool,
+    streams: StreamPool,
+}
+
+impl<'d, T: Scalar> GpuSymmetricSolver<'d, T> {
+    /// Upload a Hermitian HODLR matrix to the device.
+    ///
+    /// The caller asserts the matrix is Hermitian-valued (matrices from
+    /// [`build_from_source_symmetric`](crate::builder::build_from_source_symmetric)
+    /// or
+    /// [`from_parts_symmetric`](crate::matrix::HodlrMatrix::from_parts_symmetric)
+    /// are, by construction).
+    ///
+    /// # Errors
+    /// [`HodlrError::InvalidConfig`] if `symmetry` is [`Symmetry::General`]
+    /// — use [`GpuSolver`](crate::GpuSolver) for unsymmetric matrices.
+    pub fn new(
+        device: &'d Device,
+        matrix: &HodlrMatrix<T>,
+        symmetry: Symmetry,
+    ) -> Result<Self, HodlrError> {
+        if !symmetry.is_symmetric() {
+            return Err(HodlrError::config(
+                "GpuSymmetricSolver requires Symmetry::PositiveDefinite or Symmetry::Hermitian; \
+                 use GpuSolver for Symmetry::General",
+            ));
+        }
+        let tree = matrix.tree().clone();
+        let layout = matrix.layout().clone();
+        let n = matrix.n();
+        let total_cols = layout.total_cols();
+
+        let leaf_ranges: Vec<Range<usize>> = tree.leaves().map(|leaf| tree.range(leaf)).collect();
+        let mut diag_offsets = Vec::with_capacity(leaf_ranges.len());
+        let mut dbig_host: Vec<T> = Vec::new();
+        for (leaf_idx, range) in leaf_ranges.iter().enumerate() {
+            diag_offsets.push(dbig_host.len());
+            debug_assert_eq!(matrix.diag_block(leaf_idx).rows(), range.len());
+            dbig_host.extend_from_slice(matrix.diag_block(leaf_idx).data());
+        }
+
+        let dbig = DeviceBuffer::from_host(device, &dbig_host);
+        // Ybig is overwritten by the factorization while Vbig must stay
+        // pristine for the solve sweep, so the shared bases are uploaded
+        // twice even though the host matrix stores them once.
+        let ybig = DeviceBuffer::from_host(device, matrix.ubig().data());
+        let vbig = DeviceBuffer::from_host(device, matrix.vbig().data());
+        debug_assert_eq!(ybig.len(), n * total_cols);
+
+        Ok(GpuSymmetricSolver {
+            device,
+            tree,
+            layout,
+            symmetry,
+            leaf_ranges,
+            diag_offsets,
+            dbig,
+            ybig,
+            vbig,
+            diag_kinds: Vec::new(),
+            k_bufs: Vec::new(),
+            k_kinds: Vec::new(),
+            factored: false,
+            streams: StreamPool::new(4),
+        })
+    }
+
+    /// The device this solver runs on.
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    /// The [`Symmetry`] the solver was created with.
+    pub fn symmetry(&self) -> Symmetry {
+        self.symmetry
+    }
+
+    /// `true` once [`GpuSymmetricSolver::factorize`] has completed
+    /// successfully.
+    pub fn is_factored(&self) -> bool {
+        self.factored
+    }
+
+    /// Matrix size `N`.
+    pub fn n(&self) -> usize {
+        self.tree.n()
+    }
+
+    /// Which factorization rung each leaf diagonal block landed on, in leaf
+    /// order (empty before [`GpuSymmetricSolver::factorize`]).
+    pub fn leaf_kinds(&self) -> &[SymmetricKind] {
+        &self.diag_kinds
+    }
+
+    /// Scalar entries resident in device buffers; mirrors
+    /// [`GpuSolver::storage_entries`](crate::GpuSolver::storage_entries).
+    pub fn storage_entries(&self) -> usize {
+        self.dbig.len()
+            + self.ybig.len()
+            + self.vbig.len()
+            + self.k_bufs.iter().map(|b| b.len()).sum::<usize>()
+    }
+
+    fn n_rows(&self) -> usize {
+        self.tree.n()
+    }
+
+    /// Stream to issue a launch of `batch` problems on: the default stream
+    /// for large batches, a pooled stream for the tiny top-level batches.
+    fn stream_for(&self, batch: usize) -> Stream {
+        if batch < STREAM_THRESHOLD {
+            self.streams.next_stream()
+        } else {
+            Stream::default_stream()
+        }
+    }
+
+    /// The symmetric Algorithm-3 sweep: batched factorization.
+    ///
+    /// # Errors
+    /// [`HodlrError::NotPositiveDefinite`] if the symmetry is
+    /// [`Symmetry::PositiveDefinite`] and a leaf Cholesky pivot fails
+    /// (naming the batch entry and pivot), or
+    /// [`HodlrError::SingularPivot`] if the fallback ladder bottoms out.
+    pub fn factorize(&mut self) -> Result<(), HodlrError> {
+        let n = self.n_rows();
+        let levels = self.tree.levels();
+        let total_cols = self.layout.total_cols();
+        let leaf_policy = self.symmetry.leaf_policy();
+
+        // --- leaf level ----------------------------------------------------
+        let leaf_descs: Vec<SymDesc> = self
+            .leaf_ranges
+            .iter()
+            .zip(self.diag_offsets.iter())
+            .map(|(range, &offset)| SymDesc {
+                n: range.len(),
+                offset,
+                ld: range.len(),
+            })
+            .collect();
+        let stream = self.stream_for(leaf_descs.len());
+        self.diag_kinds = potrf_batched_varied(
+            self.device,
+            stream,
+            &leaf_descs,
+            leaf_policy,
+            &mut self.dbig,
+        )
+        .map_err(|e| e.into_hodlr("leaf diagonal block"))?;
+
+        if total_cols > 0 {
+            let solve_descs: Vec<SymSolveDesc> = self
+                .leaf_ranges
+                .iter()
+                .zip(self.diag_offsets.iter())
+                .map(|(range, &offset)| SymSolveDesc {
+                    n: range.len(),
+                    nrhs: total_cols,
+                    a_offset: offset,
+                    lda: range.len(),
+                    b_offset: range.start,
+                    ldb: n,
+                })
+                .collect();
+            let stream = self.stream_for(solve_descs.len());
+            potrs_batched_varied(
+                self.device,
+                stream,
+                &solve_descs,
+                &self.dbig,
+                &self.diag_kinds,
+                &mut self.ybig,
+            );
+        }
+
+        // --- internal levels, deepest first --------------------------------
+        self.k_bufs = Vec::with_capacity(levels);
+        self.k_kinds = Vec::with_capacity(levels);
+        let mut k_bufs_rev: Vec<DeviceBuffer<'d, T>> = Vec::with_capacity(levels);
+        let mut k_kinds_rev: Vec<Vec<SymmetricKind>> = Vec::with_capacity(levels);
+
+        for level in (0..levels).rev() {
+            let child_level = level + 1;
+            let w = self.layout.width(child_level);
+            let prefix = self.layout.prefix_cols(level);
+            let child_col_start = self.layout.col_range(child_level).start;
+            let parents: Vec<usize> = self.tree.level_nodes(level).collect();
+            let batch = parents.len();
+
+            if w == 0 {
+                k_bufs_rev.push(DeviceBuffer::zeros(self.device, 0));
+                k_kinds_rev.push(Vec::new());
+                continue;
+            }
+
+            // Coupling-matrix buffer: one (2w x 2w) block per parent, with
+            // the identity blocks written by a small device-side kernel.
+            let k_stride = 4 * w * w;
+            let mut k_buf = DeviceBuffer::<T>::zeros(self.device, batch * k_stride);
+            write_coupling_identities(self.device, &mut k_buf, batch, w);
+
+            // T = U^* ⊙ Y for every child, written straight into the
+            // diagonal blocks of K.
+            let mut t_descs = Vec::with_capacity(2 * batch);
+            for (p, &gamma) in parents.iter().enumerate() {
+                let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+                for (child_idx, child) in [alpha, beta].into_iter().enumerate() {
+                    let range = self.tree.range(child);
+                    let c_offset = p * k_stride + child_idx * (w * 2 * w + w);
+                    t_descs.push(GemmDesc {
+                        m: w,
+                        n: w,
+                        k: range.len(),
+                        alpha: T::one(),
+                        beta: T::zero(),
+                        op_a: Op::ConjTrans,
+                        op_b: Op::None,
+                        a_offset: child_col_start * n + range.start,
+                        lda: n,
+                        b_offset: child_col_start * n + range.start,
+                        ldb: n,
+                        c_offset,
+                        ldc: 2 * w,
+                    });
+                }
+            }
+            let stream = self.stream_for(batch);
+            gemm_batched_varied(
+                self.device,
+                stream,
+                &t_descs,
+                &self.vbig,
+                &self.ybig,
+                &mut k_buf,
+            );
+
+            // W = U^* ⊙ Ybig(:, 1:prefix), stacked child-over-child per
+            // parent so each parent's right-hand side is contiguous.
+            let mut w_buf = DeviceBuffer::<T>::zeros(self.device, batch * 2 * w * prefix);
+            if prefix > 0 {
+                let mut w_descs = Vec::with_capacity(2 * batch);
+                for (p, &gamma) in parents.iter().enumerate() {
+                    let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+                    for (child_idx, child) in [alpha, beta].into_iter().enumerate() {
+                        let range = self.tree.range(child);
+                        w_descs.push(GemmDesc {
+                            m: w,
+                            n: prefix,
+                            k: range.len(),
+                            alpha: T::one(),
+                            beta: T::zero(),
+                            op_a: Op::ConjTrans,
+                            op_b: Op::None,
+                            a_offset: child_col_start * n + range.start,
+                            lda: n,
+                            b_offset: range.start,
+                            ldb: n,
+                            c_offset: p * 2 * w * prefix + child_idx * w,
+                            ldc: 2 * w,
+                        });
+                    }
+                }
+                let stream = self.stream_for(batch);
+                gemm_batched_varied(
+                    self.device,
+                    stream,
+                    &w_descs,
+                    &self.vbig,
+                    &self.ybig,
+                    &mut w_buf,
+                );
+            }
+
+            // Batched symmetric factorization of the coupling matrices.
+            // K is Hermitian indefinite by construction: always the ladder.
+            let k_descs: Vec<SymDesc> = (0..batch)
+                .map(|p| SymDesc {
+                    n: 2 * w,
+                    offset: p * k_stride,
+                    ld: 2 * w,
+                })
+                .collect();
+            let stream = self.stream_for(batch);
+            let kinds = potrf_batched_varied(
+                self.device,
+                stream,
+                &k_descs,
+                SymmetricPolicy::Fallback,
+                &mut k_buf,
+            )
+            .map_err(|e| e.into_hodlr(format!("coupling matrix at level {level}")))?;
+
+            if prefix > 0 {
+                // W <- K^{-1} ⊙ W.
+                let solve_descs: Vec<SymSolveDesc> = (0..batch)
+                    .map(|p| SymSolveDesc {
+                        n: 2 * w,
+                        nrhs: prefix,
+                        a_offset: p * k_stride,
+                        lda: 2 * w,
+                        b_offset: p * 2 * w * prefix,
+                        ldb: 2 * w,
+                    })
+                    .collect();
+                let stream = self.stream_for(batch);
+                potrs_batched_varied(
+                    self.device,
+                    stream,
+                    &solve_descs,
+                    &k_buf,
+                    &kinds,
+                    &mut w_buf,
+                );
+
+                // Ybig(:, 1:prefix) -= Y^{l+1} ⊙ W (A and C alias Ybig).
+                let mut update_descs = Vec::with_capacity(2 * batch);
+                for (p, &gamma) in parents.iter().enumerate() {
+                    let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+                    for (child_idx, child) in [alpha, beta].into_iter().enumerate() {
+                        let range = self.tree.range(child);
+                        update_descs.push(GemmDesc {
+                            m: range.len(),
+                            n: prefix,
+                            k: w,
+                            alpha: -T::one(),
+                            beta: T::one(),
+                            op_a: Op::None,
+                            op_b: Op::None,
+                            a_offset: child_col_start * n + range.start,
+                            lda: n,
+                            b_offset: p * 2 * w * prefix + child_idx * w,
+                            ldb: 2 * w,
+                            c_offset: range.start,
+                            ldc: n,
+                        });
+                    }
+                }
+                let stream = self.stream_for(batch);
+                gemm_batched_aliased(self.device, stream, &update_descs, &mut self.ybig, &w_buf);
+            }
+
+            k_bufs_rev.push(k_buf);
+            k_kinds_rev.push(kinds);
+        }
+
+        // Stored deepest-level first in the loop above; store per level index.
+        k_bufs_rev.reverse();
+        k_kinds_rev.reverse();
+        self.k_bufs = k_bufs_rev;
+        self.k_kinds = k_kinds_rev;
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Log-determinant from the batched symmetric factors: the factor
+    /// (tri)diagonals are gathered with one `extract_tridiagonals_batched`
+    /// launch per buffer, then folded with the *same* per-factor
+    /// accumulation
+    /// ([`sym_log_det_from_parts`]) in the
+    /// *same* order (leaves first, then coupling levels from the top split
+    /// down, `(-1)^w` Sylvester correction) as
+    /// [`SerialSymmetricFactorization::log_det`](crate::SerialSymmetricFactorization::log_det)
+    /// — the two backends agree **bitwise**.
+    ///
+    /// Returns `(log|det(A)|, sign)`; for a positive-definite matrix the
+    /// sign is `1`.
+    ///
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] when
+    /// [`GpuSymmetricSolver::factorize`] has not completed yet.
+    pub fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        if !self.factored {
+            return Err(HodlrError::NotFactorized);
+        }
+        let mut log_abs = <T::Real as Scalar>::zero();
+        let mut sign = T::one();
+
+        // Leaf diagonal blocks, in leaf order.
+        let leaf_descs: Vec<SymDesc> = self
+            .leaf_ranges
+            .iter()
+            .zip(self.diag_offsets.iter())
+            .map(|(range, &offset)| SymDesc {
+                n: range.len(),
+                offset,
+                ld: range.len(),
+            })
+            .collect();
+        let stream = self.stream_for(leaf_descs.len());
+        let leaf_parts = extract_tridiagonals_batched(self.device, stream, &leaf_descs, &self.dbig);
+        for ((diag, sub), kind) in leaf_parts.iter().zip(&self.diag_kinds) {
+            let (la, s) = sym_log_det_from_parts(kind, diag, sub);
+            log_abs += la;
+            sign *= s;
+        }
+
+        // Coupling matrices, level 0 (top split) downwards, node order
+        // within a level — the iteration order of the serial sweep.
+        for level in 0..self.tree.levels() {
+            let w = self.layout.width(level + 1);
+            if w == 0 {
+                continue;
+            }
+            let batch = self.k_kinds[level].len();
+            let k_stride = 4 * w * w;
+            let descs: Vec<SymDesc> = (0..batch)
+                .map(|p| SymDesc {
+                    n: 2 * w,
+                    offset: p * k_stride,
+                    ld: 2 * w,
+                })
+                .collect();
+            let stream = self.stream_for(batch);
+            let parts =
+                extract_tridiagonals_batched(self.device, stream, &descs, &self.k_bufs[level]);
+            for ((diag, sub), kind) in parts.iter().zip(&self.k_kinds[level]) {
+                let (la, s) = sym_log_det_from_parts(kind, diag, sub);
+                log_abs += la;
+                sign *= s;
+                // det([[A, I], [I, B]]) = (-1)^w det(K), as in the LU path.
+                if w % 2 == 1 {
+                    sign = -sign;
+                }
+            }
+        }
+        Ok((log_abs, sign))
+    }
+
+    /// Batched solve of `A x = b` for one right-hand side.
+    ///
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] before
+    /// [`GpuSymmetricSolver::factorize`], and
+    /// [`HodlrError::DimensionMismatch`] when `b` has length `!= n`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, HodlrError> {
+        if !self.factored {
+            return Err(HodlrError::NotFactorized);
+        }
+        HodlrError::check_dims("right-hand side", self.n_rows(), b.len())?;
+        Ok(self.solve_matrix_host(b, 1))
+    }
+
+    /// Batched solve with multiple right-hand sides given as an `N x k`
+    /// matrix.
+    ///
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] before
+    /// [`GpuSymmetricSolver::factorize`], and
+    /// [`HodlrError::DimensionMismatch`] when `b` has `!= n` rows.
+    pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> Result<DenseMatrix<T>, HodlrError> {
+        if !self.factored {
+            return Err(HodlrError::NotFactorized);
+        }
+        HodlrError::check_dims("right-hand side block rows", self.n_rows(), b.rows())?;
+        let data = self.solve_matrix_host(b.data(), b.cols());
+        Ok(DenseMatrix::from_col_major(b.rows(), b.cols(), data))
+    }
+
+    /// Blocked multi-RHS solve; see
+    /// [`GpuSolver::solve_block`](crate::GpuSolver::solve_block).
+    ///
+    /// # Errors
+    /// [`HodlrError::NotFactorized`] before
+    /// [`GpuSymmetricSolver::factorize`], and
+    /// [`HodlrError::DimensionMismatch`] naming the first right-hand side
+    /// whose length is `!= n`.
+    pub fn solve_block(&self, rhs: &[impl AsRef<[T]> + Sync]) -> Result<Vec<Vec<T>>, HodlrError> {
+        if !self.factored {
+            return Err(HodlrError::NotFactorized);
+        }
+        let n = self.n_rows();
+        let k = rhs.len();
+        for (j, col) in rhs.iter().enumerate() {
+            HodlrError::check_dims(format!("right-hand side {j}"), n, col.as_ref().len())?;
+        }
+        let mut packed = vec![T::zero(); n * k];
+        packed
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(j, col)| col.copy_from_slice(rhs[j].as_ref()));
+        let x = self.solve_matrix_host(&packed, k);
+        let mut out = vec![Vec::new(); k];
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(j, col)| *col = x[j * n..(j + 1) * n].to_vec());
+        Ok(out)
+    }
+
+    /// The shared solve sweep; the public entry points have already
+    /// validated the factorization state and the right-hand-side shape.
+    fn solve_matrix_host(&self, b: &[T], nrhs: usize) -> Vec<T> {
+        debug_assert!(self.factored);
+        let n = self.n_rows();
+        debug_assert_eq!(b.len(), n * nrhs);
+        let levels = self.tree.levels();
+
+        // Upload the right-hand side (metered H2D transfer).
+        let mut x_buf = DeviceBuffer::from_host(self.device, b);
+
+        // Leaf sweep.
+        let solve_descs: Vec<SymSolveDesc> = self
+            .leaf_ranges
+            .iter()
+            .zip(self.diag_offsets.iter())
+            .map(|(range, &offset)| SymSolveDesc {
+                n: range.len(),
+                nrhs,
+                a_offset: offset,
+                lda: range.len(),
+                b_offset: range.start,
+                ldb: n,
+            })
+            .collect();
+        let stream = self.stream_for(solve_descs.len());
+        potrs_batched_varied(
+            self.device,
+            stream,
+            &solve_descs,
+            &self.dbig,
+            &self.diag_kinds,
+            &mut x_buf,
+        );
+
+        // Level sweep, deepest first.
+        for level in (0..levels).rev() {
+            let child_level = level + 1;
+            let w = self.layout.width(child_level);
+            if w == 0 {
+                continue;
+            }
+            let child_col_start = self.layout.col_range(child_level).start;
+            let parents: Vec<usize> = self.tree.level_nodes(level).collect();
+            let batch = parents.len();
+
+            // w = U^* ⊙ x, stacked per parent.
+            let mut w_buf = DeviceBuffer::<T>::zeros(self.device, batch * 2 * w * nrhs);
+            let mut w_descs = Vec::with_capacity(2 * batch);
+            for (p, &gamma) in parents.iter().enumerate() {
+                let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+                for (child_idx, child) in [alpha, beta].into_iter().enumerate() {
+                    let range = self.tree.range(child);
+                    w_descs.push(GemmDesc {
+                        m: w,
+                        n: nrhs,
+                        k: range.len(),
+                        alpha: T::one(),
+                        beta: T::zero(),
+                        op_a: Op::ConjTrans,
+                        op_b: Op::None,
+                        a_offset: child_col_start * n + range.start,
+                        lda: n,
+                        b_offset: range.start,
+                        ldb: n,
+                        c_offset: p * 2 * w * nrhs + child_idx * w,
+                        ldc: 2 * w,
+                    });
+                }
+            }
+            let stream = self.stream_for(batch);
+            gemm_batched_varied(
+                self.device,
+                stream,
+                &w_descs,
+                &self.vbig,
+                &x_buf,
+                &mut w_buf,
+            );
+
+            // w <- K^{-1} ⊙ w.
+            let k_stride = 4 * w * w;
+            let solve_descs: Vec<SymSolveDesc> = (0..batch)
+                .map(|p| SymSolveDesc {
+                    n: 2 * w,
+                    nrhs,
+                    a_offset: p * k_stride,
+                    lda: 2 * w,
+                    b_offset: p * 2 * w * nrhs,
+                    ldb: 2 * w,
+                })
+                .collect();
+            let stream = self.stream_for(batch);
+            potrs_batched_varied(
+                self.device,
+                stream,
+                &solve_descs,
+                &self.k_bufs[level],
+                &self.k_kinds[level],
+                &mut w_buf,
+            );
+
+            // x <- x - Y ⊙ w.
+            let mut update_descs = Vec::with_capacity(2 * batch);
+            for (p, &gamma) in parents.iter().enumerate() {
+                let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+                for (child_idx, child) in [alpha, beta].into_iter().enumerate() {
+                    let range = self.tree.range(child);
+                    update_descs.push(GemmDesc {
+                        m: range.len(),
+                        n: nrhs,
+                        k: w,
+                        alpha: -T::one(),
+                        beta: T::one(),
+                        op_a: Op::None,
+                        op_b: Op::None,
+                        a_offset: child_col_start * n + range.start,
+                        lda: n,
+                        b_offset: p * 2 * w * nrhs + child_idx * w,
+                        ldb: 2 * w,
+                        c_offset: range.start,
+                        ldc: n,
+                    });
+                }
+            }
+            let stream = self.stream_for(batch);
+            gemm_batched_varied(
+                self.device,
+                stream,
+                &update_descs,
+                &self.ybig,
+                &w_buf,
+                &mut x_buf,
+            );
+        }
+
+        // Download the solution (metered D2H transfer).
+        x_buf.download()
+    }
+}
+
+/// Write the two identity blocks of every coupling matrix (shared with the
+/// LU path's kernel; metered as one launch with no flops).
+fn write_coupling_identities<T: Scalar>(
+    device: &Device,
+    k_buf: &mut DeviceBuffer<'_, T>,
+    batch: usize,
+    w: usize,
+) {
+    device.record_launch("assemble_coupling_identity", batch, 0, 0);
+    let k_stride = 4 * w * w;
+    let data = k_buf.data_mut();
+    for p in 0..batch {
+        let base = p * k_stride;
+        for i in 0..w {
+            data[base + (w + i) * 2 * w + i] = T::one();
+            data[base + i * 2 * w + w + i] = T::one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::random_hodlr_spd;
+    use hodlr_la::{Complex64, RealScalar};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_gpu_symmetric<T: Scalar>(n: usize, levels: usize, rank: usize, seed: u64, tol: f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m: HodlrMatrix<T> = random_hodlr_spd(&mut rng, n, levels, rank);
+        let device = Device::new();
+        let mut gpu = GpuSymmetricSolver::new(&device, &m, Symmetry::PositiveDefinite).unwrap();
+        gpu.factorize().expect("SPD HODLR is invertible");
+        assert!(gpu.leaf_kinds().iter().all(|k| *k == SymmetricKind::Llt));
+        let b: Vec<T> = hodlr_la::random::random_vector(&mut rng, n);
+        let x = gpu.solve(&b).unwrap();
+        assert!(
+            m.relative_residual(&x, &b).to_f64() < tol,
+            "residual {}",
+            m.relative_residual(&x, &b).to_f64()
+        );
+        // Bitwise agreement with the serial symmetric factorization.
+        let serial = m.factorize_symmetric(Symmetry::PositiveDefinite).unwrap();
+        let x_serial = serial.solve(&b);
+        for (a, s) in x.iter().zip(x_serial.iter()) {
+            assert_eq!(a.real().to_f64().to_bits(), s.real().to_f64().to_bits());
+            assert_eq!(a.imag().to_f64().to_bits(), s.imag().to_f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn gpu_symmetric_matches_serial_bitwise_real() {
+        check_gpu_symmetric::<f64>(64, 3, 3, 91, 1e-9);
+        check_gpu_symmetric::<f64>(101, 3, 2, 92, 1e-9);
+    }
+
+    #[test]
+    fn gpu_symmetric_matches_serial_bitwise_complex() {
+        check_gpu_symmetric::<Complex64>(48, 2, 2, 93, 1e-9);
+    }
+
+    #[test]
+    fn log_det_matches_serial_symmetric_bitwise() {
+        fn check<T: Scalar>(n: usize, levels: usize, rank: usize, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m: HodlrMatrix<T> = random_hodlr_spd(&mut rng, n, levels, rank);
+            let serial = m.factorize_symmetric(Symmetry::PositiveDefinite).unwrap();
+            let (log_serial, sign_serial) = serial.log_det();
+            let device = Device::new();
+            let mut gpu = GpuSymmetricSolver::new(&device, &m, Symmetry::PositiveDefinite).unwrap();
+            gpu.factorize().unwrap();
+            let (log_gpu, sign_gpu) = gpu.log_det().unwrap();
+            assert_eq!(
+                log_serial.to_f64().to_bits(),
+                log_gpu.to_f64().to_bits(),
+                "{log_serial:?} vs {log_gpu:?}"
+            );
+            assert_eq!(sign_serial, sign_gpu);
+        }
+        check::<f64>(64, 3, 3, 94);
+        check::<f64>(101, 3, 2, 95);
+        check::<Complex64>(48, 2, 2, 96);
+    }
+
+    #[test]
+    fn general_symmetry_is_rejected_at_construction() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 16, 1, 1);
+        let device = Device::new();
+        let err = match GpuSymmetricSolver::new(&device, &m, Symmetry::General) {
+            Ok(_) => panic!("General symmetry must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn solving_before_factorizing_is_a_typed_error() {
+        let mut rng = StdRng::seed_from_u64(98);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 32, 2, 1);
+        let device = Device::new();
+        let gpu = GpuSymmetricSolver::new(&device, &m, Symmetry::PositiveDefinite).unwrap();
+        assert_eq!(
+            gpu.solve(&vec![1.0; 32]).unwrap_err(),
+            HodlrError::NotFactorized
+        );
+        assert_eq!(
+            gpu.solve_matrix(&DenseMatrix::zeros(32, 2)).unwrap_err(),
+            HodlrError::NotFactorized
+        );
+        assert_eq!(
+            gpu.solve_block(&[vec![1.0; 32]]).unwrap_err(),
+            HodlrError::NotFactorized
+        );
+        assert_eq!(gpu.log_det().unwrap_err(), HodlrError::NotFactorized);
+    }
+
+    #[test]
+    fn indefinite_leaf_reports_not_positive_definite_with_batch_entry() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 32, 1, 1);
+        let mut diag: Vec<_> = m.diag_blocks().to_vec();
+        let sz = diag[1].rows();
+        diag[1][(sz / 2, sz / 2)] = -1e6;
+        let indef = HodlrMatrix::from_parts_symmetric(
+            m.tree().clone(),
+            m.layout().clone(),
+            (0..=m.tree().num_nodes()).map(|_| 1).collect(),
+            m.ubig().clone(),
+            diag,
+        )
+        .unwrap();
+        let device = Device::new();
+        let mut gpu = GpuSymmetricSolver::new(&device, &indef, Symmetry::PositiveDefinite).unwrap();
+        let err = gpu.factorize().expect_err("second leaf is indefinite");
+        match &err {
+            HodlrError::NotPositiveDefinite { context } => {
+                assert!(context.contains("batch entry 1"), "{context}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+
+        // The Hermitian symmetry falls back and solves.
+        let mut gpu = GpuSymmetricSolver::new(&device, &indef, Symmetry::Hermitian).unwrap();
+        gpu.factorize().unwrap();
+        let b: Vec<f64> = hodlr_la::random::random_vector(&mut rng, 32);
+        let x = gpu.solve(&b).unwrap();
+        assert!(indef.relative_residual(&x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn counters_record_cholesky_flops_below_lu() {
+        use crate::gpu::GpuSolver;
+        let mut rng = StdRng::seed_from_u64(100);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 64, 2, 2);
+        let dev_sym = Device::new();
+        let mut sym = GpuSymmetricSolver::new(&dev_sym, &m, Symmetry::PositiveDefinite).unwrap();
+        let before = dev_sym.counters();
+        sym.factorize().unwrap();
+        let sym_counters = dev_sym.counters().since(&before);
+
+        let dev_lu = Device::new();
+        let mut lu = GpuSolver::new(&dev_lu, &m);
+        let before = dev_lu.counters();
+        lu.factorize().unwrap();
+        let lu_counters = dev_lu.counters().since(&before);
+
+        assert!(sym_counters.flops > 0);
+        assert!(
+            sym_counters.flops < lu_counters.flops,
+            "symmetric {} vs LU {}",
+            sym_counters.flops,
+            lu_counters.flops
+        );
+        // No host/device traffic during the factorization itself.
+        assert_eq!(sym_counters.h2d_bytes, 0);
+    }
+}

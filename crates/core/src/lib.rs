@@ -41,16 +41,23 @@
 
 pub mod builder;
 pub mod gpu;
+pub mod gpu_symmetric;
 pub mod layout;
 pub mod matrix;
 pub mod recursive;
 pub mod report;
 pub mod serial;
+pub mod symmetric;
 
-pub use builder::{build_from_dense, build_from_source, BlockSource};
+pub use builder::{
+    build_from_dense, build_from_dense_symmetric, build_from_source, build_from_source_symmetric,
+    BlockSource,
+};
 pub use gpu::GpuSolver;
+pub use gpu_symmetric::GpuSymmetricSolver;
 pub use layout::LevelLayout;
 pub use matrix::HodlrMatrix;
 pub use recursive::solve_recursive;
 pub use report::{ComplexityReport, CostModel};
 pub use serial::SerialFactorization;
+pub use symmetric::{SerialSymmetricFactorization, Symmetry};

@@ -23,7 +23,9 @@ pub struct HodlrMatrix<T: Scalar> {
     layout: LevelLayout,
     node_ranks: Vec<usize>,
     ubig: DenseMatrix<T>,
-    vbig: DenseMatrix<T>,
+    /// `None` for Hermitian matrices, whose right bases are shared with
+    /// `ubig` (`V_alpha = U_alpha`), halving the basis storage.
+    vbig: Option<DenseMatrix<T>>,
     diag: Vec<DenseMatrix<T>>,
 }
 
@@ -89,7 +91,70 @@ impl<T: Scalar> HodlrMatrix<T> {
             layout,
             node_ranks,
             ubig,
-            vbig,
+            vbig: Some(vbig),
+            diag,
+        })
+    }
+
+    /// Assemble a Hermitian HODLR matrix whose right bases are shared with
+    /// the left ones (`V_alpha = U_alpha` for every node), so every sibling
+    /// off-diagonal block is `A(I_alpha, I_beta) = U_alpha U_beta^*` and the
+    /// matrix satisfies `A = A^H` whenever the diagonal blocks do.  Stores
+    /// half the basis entries of the general format.
+    ///
+    /// # Errors
+    /// As [`HodlrMatrix::from_parts`], minus the `Vbig` checks.
+    pub fn from_parts_symmetric(
+        tree: ClusterTree,
+        layout: LevelLayout,
+        node_ranks: Vec<usize>,
+        ubig: DenseMatrix<T>,
+        diag: Vec<DenseMatrix<T>>,
+    ) -> Result<Self, HodlrError> {
+        let n = tree.n();
+        HodlrError::check_dims("layout levels", tree.levels(), layout.levels())?;
+        HodlrError::check_dims("Ubig rows", n, ubig.rows())?;
+        HodlrError::check_dims("Ubig columns", layout.total_cols(), ubig.cols())?;
+        HodlrError::check_dims(
+            "node rank table (one entry per node id)",
+            tree.num_nodes() + 1,
+            node_ranks.len(),
+        )?;
+        HodlrError::check_dims(
+            "diagonal blocks (one per leaf)",
+            tree.num_leaves(),
+            diag.len(),
+        )?;
+        for (leaf_idx, leaf) in tree.leaves().enumerate() {
+            let size = tree.node_size(leaf);
+            HodlrError::check_dims(
+                format!("rows of diagonal block of leaf {leaf_idx} (node {leaf})"),
+                size,
+                diag[leaf_idx].rows(),
+            )?;
+            HodlrError::check_dims(
+                format!("columns of diagonal block of leaf {leaf_idx} (node {leaf})"),
+                size,
+                diag[leaf_idx].cols(),
+            )?;
+        }
+        for level in 1..=tree.levels() {
+            for node in tree.level_nodes(level) {
+                if node_ranks[node] > layout.width(level) {
+                    return Err(HodlrError::dims(
+                        format!("rank of node {node} vs its level-{level} width"),
+                        layout.width(level),
+                        node_ranks[node],
+                    ));
+                }
+            }
+        }
+        Ok(HodlrMatrix {
+            tree,
+            layout,
+            node_ranks,
+            ubig,
+            vbig: None,
             diag,
         })
     }
@@ -119,9 +184,17 @@ impl<T: Scalar> HodlrMatrix<T> {
         &self.ubig
     }
 
-    /// The flattened right bases (`Vbig` in the paper).
+    /// The flattened right bases (`Vbig` in the paper).  For Hermitian
+    /// matrices built with [`HodlrMatrix::from_parts_symmetric`] this is the
+    /// same storage as [`HodlrMatrix::ubig`].
     pub fn vbig(&self) -> &DenseMatrix<T> {
-        &self.vbig
+        self.vbig.as_ref().unwrap_or(&self.ubig)
+    }
+
+    /// `true` when the right bases are shared with the left ones (the
+    /// matrix was assembled as Hermitian and stores half the basis data).
+    pub fn shares_bases(&self) -> bool {
+        self.vbig.is_none()
     }
 
     /// The true (unpadded) rank of a node's low-rank basis.
@@ -162,7 +235,7 @@ impl<T: Scalar> HodlrMatrix<T> {
 
     /// View of `V_alpha` (padded to the level width) inside `Vbig`.
     pub fn v_block(&self, node: NodeId) -> MatRef<'_, T> {
-        self.basis_block(&self.vbig, node)
+        self.basis_block(self.vbig(), node)
     }
 
     fn basis_block<'a>(&'a self, big: &'a DenseMatrix<T>, node: NodeId) -> MatRef<'a, T> {
@@ -197,10 +270,12 @@ impl<T: Scalar> HodlrMatrix<T> {
             .collect()
     }
 
-    /// Number of scalar entries stored (diagonal blocks + padded bases).
+    /// Number of scalar entries stored (diagonal blocks + padded bases;
+    /// shared-basis Hermitian matrices count `Ubig` once).
     pub fn storage_entries(&self) -> usize {
         let diag: usize = self.diag.iter().map(|d| d.rows() * d.cols()).sum();
-        diag + self.ubig.rows() * self.ubig.cols() + self.vbig.rows() * self.vbig.cols()
+        let vbig: usize = self.vbig.as_ref().map_or(0, |v| v.rows() * v.cols());
+        diag + self.ubig.rows() * self.ubig.cols() + vbig
     }
 
     /// Storage in bytes.
@@ -377,6 +452,60 @@ pub fn random_hodlr<T: Scalar, R: rand::Rng + ?Sized>(
         .expect("random_hodlr assembles consistent parts")
 }
 
+/// Build a random, exactly-representable Hermitian positive-definite HODLR
+/// matrix with shared bases (`V_alpha = U_alpha`) — the workhorse of the
+/// symmetric-solver tests.
+///
+/// Hermitian symmetry comes from the shared bases plus Hermitian leaf
+/// blocks; positive definiteness from a diagonal shift that makes the whole
+/// matrix strictly diagonally dominant with a positive real diagonal
+/// (Gershgorin).
+pub fn random_hodlr_spd<T: Scalar, R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    levels: usize,
+    rank: usize,
+) -> HodlrMatrix<T> {
+    let tree = ClusterTree::uniform(n, levels);
+    let layout = LevelLayout::uniform(levels, rank);
+    let w = layout.total_cols();
+    let mut ubig: DenseMatrix<T> = DenseMatrix::zeros(n, w);
+    let mut node_ranks = vec![0usize; tree.num_nodes() + 1];
+
+    for level in 1..=levels {
+        let cols = layout.col_range(level);
+        for node in tree.level_nodes(level) {
+            node_ranks[node] = rank;
+            let rows = tree.range(node);
+            for j in cols.clone() {
+                for i in rows.clone() {
+                    ubig[(i, j)] = hodlr_la::random::random_scalar(rng);
+                }
+            }
+        }
+    }
+
+    let shift = T::from_f64((levels.max(1) * rank.max(1)) as f64 * n as f64);
+    let diag: Vec<DenseMatrix<T>> = tree
+        .leaves()
+        .map(|leaf| {
+            let size = tree.node_size(leaf);
+            let g: DenseMatrix<T> = hodlr_la::random::random_matrix(rng, size, size);
+            let gh = g.conj_transpose();
+            let mut d = g;
+            d.axpy(T::one(), &gh);
+            d.scale_in_place(T::from_f64(0.5));
+            for i in 0..size {
+                d[(i, i)] += shift;
+            }
+            d
+        })
+        .collect();
+
+    HodlrMatrix::from_parts_symmetric(tree, layout, node_ranks, ubig, diag)
+        .expect("random_hodlr_spd assembles consistent parts")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +527,29 @@ mod tests {
         // Storage: 8 leaf blocks of 8x8 plus two 64x12 bases.
         assert_eq!(m.storage_entries(), 8 * 64 + 2 * 64 * 12);
         assert!(m.memory_gib() > 0.0);
+    }
+
+    #[test]
+    fn symmetric_storage_shares_bases_and_is_hermitian() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m: HodlrMatrix<Complex64> = random_hodlr_spd(&mut rng, 64, 3, 4);
+        assert!(m.shares_bases());
+        // Half the basis entries of the general format.
+        assert_eq!(m.storage_entries(), 8 * 64 + 64 * 12);
+        let dense = m.to_dense();
+        let diff = dense.sub(&dense.conj_transpose()).norm_max();
+        assert!(diff < 1e-14, "not Hermitian: {diff}");
+        // matvec still agrees with dense through the shared-basis views.
+        let x: Vec<Complex64> = (0..64)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let y = m.matvec(&x);
+        let y_ref = dense.matvec(&x);
+        for (a, b) in y.iter().zip(y_ref.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+        let general: HodlrMatrix<f64> = random_hodlr(&mut rng, 64, 3, 4);
+        assert!(!general.shares_bases());
     }
 
     #[test]

@@ -47,6 +47,16 @@ impl CostModel {
         2 * m * m * n / 3 + 2 * m * r * n * l + 2 * r * r * n * (l + l * l)
     }
 
+    /// Operations required by the *symmetric* factorization — the Theorem-3
+    /// formula with every dense factorization cost halved (`n^3/3`
+    /// Cholesky-family factorizations instead of LU's `2 n^3/3`) while the
+    /// gemm-shaped basis updates and triangular solves keep their cost:
+    /// `1/3 m^2 N + 2 m r N L + 3/2 r^2 N (L + L^2)`.
+    pub fn symmetric_factorization_flops(&self) -> u64 {
+        let (n, m, r, l) = self.as_u64();
+        m * m * n / 3 + 2 * m * r * n * l + 3 * r * r * n * (l + l * l) / 2
+    }
+
     /// Operations required to solve one right-hand side (Theorem 4).
     pub fn solve_flops(&self) -> u64 {
         let (n, m, r, l) = self.as_u64();

@@ -174,7 +174,11 @@ impl<T: Scalar> HodlrMatrix<T> {
 }
 
 /// Assemble `K = [[V_a^* Y_a, I], [I, V_b^* Y_b]]` (Eq. 11).
-fn build_coupling_matrix<T: Scalar>(
+///
+/// Shared with the symmetric path ([`crate::symmetric`]): when the matrix is
+/// Hermitian with shared bases, `K` itself is Hermitian and is handed to the
+/// symmetric kernels instead of LU.
+pub(crate) fn build_coupling_matrix<T: Scalar>(
     v_a: &MatRef<'_, T>,
     v_b: &MatRef<'_, T>,
     y_a: &DenseMatrix<T>,

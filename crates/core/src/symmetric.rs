@@ -1,0 +1,631 @@
+//! The symmetric (Hermitian) fast path of the level-by-level factorization.
+//!
+//! When the HODLR matrix is Hermitian — shared off-diagonal bases
+//! (`V_alpha = U_alpha`, see
+//! [`HodlrMatrix::from_parts_symmetric`](crate::matrix::HodlrMatrix::from_parts_symmetric))
+//! plus Hermitian leaf diagonal blocks — every small factorization of
+//! Algorithm 1 can be replaced by a symmetric one at half the flops:
+//!
+//! * every **leaf diagonal block** is a principal submatrix of `A`, so for a
+//!   positive-definite `A` it is positive definite and admits a Cholesky
+//!   (`L L^*`) factorization at `n^3/3` flops instead of LU's `2 n^3/3`;
+//! * every **coupling matrix** `K_gamma = [[U_a^* Y_a, I], [I, U_b^* Y_b]]`
+//!   is Hermitian but *indefinite* (its off-diagonal identity blocks give it
+//!   eigenvalues on both sides of zero), so it is factorized through the
+//!   fallback ladder `LL^* -> LDL^* -> Bunch-Kaufman` of
+//!   [`hodlr_la::cholesky`] — in practice Bunch-Kaufman, still a symmetric
+//!   `n^3/3` cost.
+//!
+//! The [`Symmetry`] knob selects how *leaf* failures are handled:
+//! [`Symmetry::PositiveDefinite`] demands Cholesky and surfaces
+//! [`HodlrError::NotPositiveDefinite`] if a pivot fails, while
+//! [`Symmetry::Hermitian`] quietly walks down the same fallback ladder.
+//!
+//! The sweep structure (operation order, gemm shapes, update order) is a
+//! line-for-line mirror of [`crate::serial`], so the symmetric path inherits
+//! the serial path's bitwise-reproducibility contract; the batched
+//! counterpart is [`crate::gpu_symmetric`], which reuses the *same*
+//! per-block kernels and therefore agrees bitwise with this module.
+
+use crate::layout::LevelLayout;
+use crate::matrix::HodlrMatrix;
+use crate::serial::build_coupling_matrix;
+use hodlr_la::{
+    gemm, DenseMatrix, HodlrError, Op, Scalar, SymmetricFactor, SymmetricKind, SymmetricPolicy,
+};
+use hodlr_tree::ClusterTree;
+
+/// Declared symmetry structure of a HODLR matrix, selecting the
+/// factorization path.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Symmetry {
+    /// No symmetry is assumed; the pivoted-LU path of
+    /// [`crate::serial`] / [`crate::gpu`] is used.
+    #[default]
+    General,
+    /// Hermitian positive definite: leaf diagonal blocks are factorized with
+    /// a strict Cholesky, and a failed pivot is reported as
+    /// [`HodlrError::NotPositiveDefinite`].
+    PositiveDefinite,
+    /// Hermitian but possibly indefinite: leaf diagonal blocks walk the
+    /// fallback ladder `LL^* -> LDL^* -> Bunch-Kaufman` instead of erroring.
+    Hermitian,
+}
+
+impl Symmetry {
+    /// Whether this symmetry selects the symmetric factorization path.
+    pub fn is_symmetric(self) -> bool {
+        !matches!(self, Symmetry::General)
+    }
+
+    /// The [`SymmetricPolicy`] applied to *leaf* diagonal blocks.  Coupling
+    /// matrices are Hermitian indefinite by construction and always use
+    /// [`SymmetricPolicy::Fallback`] regardless of this value.
+    pub fn leaf_policy(self) -> SymmetricPolicy {
+        match self {
+            Symmetry::PositiveDefinite => SymmetricPolicy::Strict,
+            Symmetry::General | Symmetry::Hermitian => SymmetricPolicy::Fallback,
+        }
+    }
+
+    /// Stable lowercase label used by benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Symmetry::General => "general",
+            Symmetry::PositiveDefinite => "positive_definite",
+            Symmetry::Hermitian => "hermitian",
+        }
+    }
+}
+
+/// The output of the symmetric Algorithm-1 sweep: the transformed bases
+/// `Ybig`, the (copied) original bases playing the `Vbig` role, and the
+/// symmetric factorization of every leaf diagonal block and coupling matrix.
+#[derive(Clone, Debug)]
+pub struct SerialSymmetricFactorization<T: Scalar> {
+    tree: ClusterTree,
+    layout: LevelLayout,
+    symmetry: Symmetry,
+    ybig: DenseMatrix<T>,
+    vbig: DenseMatrix<T>,
+    diag_fact: Vec<SymmetricFactor<T>>,
+    /// `k_fact[l]` holds, for every node at level `l` (in node order), the
+    /// symmetric factorization of its coupling matrix `K` (levels `0..L`).
+    k_fact: Vec<Vec<SymmetricFactor<T>>>,
+}
+
+impl<T: Scalar> HodlrMatrix<T> {
+    /// Factorize a Hermitian matrix with the symmetric variant of
+    /// Algorithm 1 (sequential).
+    ///
+    /// The caller asserts the matrix is Hermitian-valued; the symmetric
+    /// kernels read only the lower triangles of the small blocks, so a
+    /// non-Hermitian input silently factorizes its "Hermitian part".
+    /// Matrices built with
+    /// [`build_from_source_symmetric`](crate::builder::build_from_source_symmetric)
+    /// or [`from_parts_symmetric`](HodlrMatrix::from_parts_symmetric) are
+    /// Hermitian by construction.
+    ///
+    /// # Errors
+    /// * [`HodlrError::InvalidConfig`] if `symmetry` is
+    ///   [`Symmetry::General`] (use
+    ///   [`factorize_serial`](HodlrMatrix::factorize_serial) instead);
+    /// * [`HodlrError::NotPositiveDefinite`] if `symmetry` is
+    ///   [`Symmetry::PositiveDefinite`] and a leaf Cholesky pivot fails,
+    ///   naming the offending leaf and pivot;
+    /// * [`HodlrError::SingularPivot`] if even the Bunch-Kaufman rung of the
+    ///   fallback ladder hits a numerically singular pivot.
+    pub fn factorize_symmetric(
+        &self,
+        symmetry: Symmetry,
+    ) -> Result<SerialSymmetricFactorization<T>, HodlrError> {
+        if !symmetry.is_symmetric() {
+            return Err(HodlrError::config(
+                "factorize_symmetric requires Symmetry::PositiveDefinite or Symmetry::Hermitian; \
+                 use factorize_serial for Symmetry::General",
+            ));
+        }
+        let tree = self.tree().clone();
+        let layout = self.layout().clone();
+        let n = self.n();
+        let total_cols = layout.total_cols();
+        let levels = tree.levels();
+        let leaf_policy = symmetry.leaf_policy();
+
+        // Ybig starts as a copy of Ubig; the original bases (shared U = V)
+        // are kept for the V role of the solve sweep.
+        let mut ybig = self.ubig().clone();
+        let vbig = self.vbig().clone();
+
+        // --- leaf level: factorize D_alpha and solve its rows of Ybig ------
+        let mut diag_fact = Vec::with_capacity(tree.num_leaves());
+        for (leaf_idx, leaf) in tree.leaves().enumerate() {
+            let range = tree.range(leaf);
+            let f = SymmetricFactor::new(self.diag_block(leaf_idx), leaf_policy)
+                .map_err(|e| e.into_hodlr(format!("diagonal block of leaf {leaf_idx}")))?;
+            if total_cols > 0 {
+                let block = ybig.block_mut(range.start, 0, range.len(), total_cols);
+                f.solve_in_place(block);
+            }
+            diag_fact.push(f);
+        }
+
+        // --- internal levels, deepest first -------------------------------
+        let mut k_fact: Vec<Vec<SymmetricFactor<T>>> = vec![Vec::new(); levels];
+        for level in (0..levels).rev() {
+            let child_level = level + 1;
+            let w = layout.width(child_level);
+            let prefix = layout.prefix_cols(level);
+            let child_cols = layout.col_range(child_level);
+            let mut level_factors = Vec::with_capacity(1 << level);
+
+            for gamma in tree.level_nodes(level) {
+                let (alpha, beta) = tree.children(gamma).expect("internal node");
+                let ra = tree.range(alpha);
+                let rb = tree.range(beta);
+
+                if w == 0 {
+                    // Zero-rank level: the coupling matrix is empty and the
+                    // update is a no-op; store a trivial factorization.
+                    let empty =
+                        SymmetricFactor::new(&DenseMatrix::identity(0), SymmetricPolicy::Fallback)
+                            .expect("empty factorization cannot fail");
+                    level_factors.push(empty);
+                    continue;
+                }
+
+                // T_alpha = U_alpha^* Y_alpha and T_beta = U_beta^* Y_beta.
+                let v_a = self.vbig().block(ra.start, child_cols.start, ra.len(), w);
+                let v_b = self.vbig().block(rb.start, child_cols.start, rb.len(), w);
+                let y_a = ybig
+                    .block(ra.start, child_cols.start, ra.len(), w)
+                    .to_owned();
+                let y_b = ybig
+                    .block(rb.start, child_cols.start, rb.len(), w)
+                    .to_owned();
+
+                // K is Hermitian indefinite: always the fallback ladder.
+                let k = build_coupling_matrix(&v_a, &v_b, &y_a, &y_b);
+                let k_f = SymmetricFactor::from_matrix(k, SymmetricPolicy::Fallback)
+                    .map_err(|e| e.into_hodlr(format!("coupling matrix of node {gamma}")))?;
+
+                if prefix > 0 {
+                    // Right-hand sides (13): stack V_alpha^* Ybig(I_alpha, 1:prefix)
+                    // over V_beta^* Ybig(I_beta, 1:prefix).
+                    let mut rhs = DenseMatrix::<T>::zeros(2 * w, prefix);
+                    {
+                        let yb_a = ybig.block(ra.start, 0, ra.len(), prefix);
+                        let mut top = rhs.block_mut(0, 0, w, prefix);
+                        gemm(
+                            T::one(),
+                            v_a,
+                            Op::ConjTrans,
+                            yb_a,
+                            Op::None,
+                            T::zero(),
+                            top.reborrow(),
+                        );
+                    }
+                    {
+                        let yb_b = ybig.block(rb.start, 0, rb.len(), prefix);
+                        let mut bottom = rhs.block_mut(w, 0, w, prefix);
+                        gemm(
+                            T::one(),
+                            v_b,
+                            Op::ConjTrans,
+                            yb_b,
+                            Op::None,
+                            T::zero(),
+                            bottom.reborrow(),
+                        );
+                    }
+                    k_f.solve_in_place(rhs.as_mut());
+
+                    // Update (14): Ybig(I_gamma, 1:prefix) -= [Y_a W_a; Y_b W_b].
+                    let w_a = rhs.block(0, 0, w, prefix);
+                    let w_b = rhs.block(w, 0, w, prefix);
+                    let mut upd_a = ybig.block_mut(ra.start, 0, ra.len(), prefix);
+                    gemm(
+                        -T::one(),
+                        y_a.as_ref(),
+                        Op::None,
+                        w_a,
+                        Op::None,
+                        T::one(),
+                        upd_a.reborrow(),
+                    );
+                    let mut upd_b = ybig.block_mut(rb.start, 0, rb.len(), prefix);
+                    gemm(
+                        -T::one(),
+                        y_b.as_ref(),
+                        Op::None,
+                        w_b,
+                        Op::None,
+                        T::one(),
+                        upd_b.reborrow(),
+                    );
+                }
+
+                level_factors.push(k_f);
+            }
+            k_fact[level] = level_factors;
+        }
+
+        debug_assert_eq!(ybig.rows(), n);
+        Ok(SerialSymmetricFactorization {
+            tree,
+            layout,
+            symmetry,
+            ybig,
+            vbig,
+            diag_fact,
+            k_fact,
+        })
+    }
+}
+
+impl<T: Scalar> SerialSymmetricFactorization<T> {
+    /// The transformed bases `Ybig`.
+    pub fn ybig(&self) -> &DenseMatrix<T> {
+        &self.ybig
+    }
+
+    /// The cluster tree the factorization was computed over.
+    pub fn tree(&self) -> &ClusterTree {
+        &self.tree
+    }
+
+    /// The column layout shared with the original matrix.
+    pub fn layout(&self) -> &LevelLayout {
+        &self.layout
+    }
+
+    /// The [`Symmetry`] the factorization was requested with.
+    pub fn symmetry(&self) -> Symmetry {
+        self.symmetry
+    }
+
+    /// Which factorization rung each leaf diagonal block landed on, in leaf
+    /// order (all [`SymmetricKind::Llt`] for an SPD matrix).
+    pub fn leaf_kinds(&self) -> Vec<&SymmetricKind> {
+        self.diag_fact.iter().map(|f| f.kind()).collect()
+    }
+
+    /// The stored coupling-matrix factorizations of one level, in node order.
+    pub fn coupling_factors(&self, level: usize) -> &[SymmetricFactor<T>] {
+        &self.k_fact[level]
+    }
+
+    /// Solve `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let b_mat = DenseMatrix::from_col_major(b.len(), 1, b.to_vec());
+        self.solve_matrix(&b_mat).into_data()
+    }
+
+    /// Blocked multi-RHS solve; see
+    /// [`SerialFactorization::solve_block`](crate::serial::SerialFactorization::solve_block).
+    ///
+    /// # Panics
+    /// Panics if any right-hand side has the wrong length.
+    pub fn solve_block(&self, rhs: &[impl AsRef<[T]>]) -> Vec<Vec<T>> {
+        let n = self.tree.n();
+        let k = rhs.len();
+        let mut b = DenseMatrix::<T>::zeros(n, k);
+        for (j, col) in rhs.iter().enumerate() {
+            let col = col.as_ref();
+            assert_eq!(col.len(), n, "right-hand side {j} has the wrong length");
+            b.col_mut(j).copy_from_slice(col);
+        }
+        let x = self.solve_matrix(&b);
+        (0..k).map(|j| x.col(j).to_vec()).collect()
+    }
+
+    /// Solve `A X = B` for multiple right-hand sides (the symmetric
+    /// Algorithm-2 sweep).
+    ///
+    /// # Panics
+    /// Panics if `b` has the wrong number of rows.
+    pub fn solve_matrix(&self, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+        assert_eq!(
+            b.rows(),
+            self.tree.n(),
+            "right-hand side has the wrong row count"
+        );
+        let nrhs = b.cols();
+        let mut x = b.clone();
+        let levels = self.tree.levels();
+
+        // Leaf sweep.
+        for (leaf_idx, leaf) in self.tree.leaves().enumerate() {
+            let range = self.tree.range(leaf);
+            let block = x.block_mut(range.start, 0, range.len(), nrhs);
+            self.diag_fact[leaf_idx].solve_in_place(block);
+        }
+
+        // Level sweep, deepest first.
+        for level in (0..levels).rev() {
+            let child_level = level + 1;
+            let w = self.layout.width(child_level);
+            if w == 0 {
+                continue;
+            }
+            let child_cols = self.layout.col_range(child_level);
+            for (node_idx, gamma) in self.tree.level_nodes(level).enumerate() {
+                let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+                let ra = self.tree.range(alpha);
+                let rb = self.tree.range(beta);
+
+                // w_rhs = [V_a^* x_a; V_b^* x_b] (Eq. 15).
+                let v_a = self.vbig.block(ra.start, child_cols.start, ra.len(), w);
+                let v_b = self.vbig.block(rb.start, child_cols.start, rb.len(), w);
+                let mut rhs = DenseMatrix::<T>::zeros(2 * w, nrhs);
+                {
+                    let x_a = x.block(ra.start, 0, ra.len(), nrhs);
+                    let mut top = rhs.block_mut(0, 0, w, nrhs);
+                    gemm(
+                        T::one(),
+                        v_a,
+                        Op::ConjTrans,
+                        x_a,
+                        Op::None,
+                        T::zero(),
+                        top.reborrow(),
+                    );
+                }
+                {
+                    let x_b = x.block(rb.start, 0, rb.len(), nrhs);
+                    let mut bottom = rhs.block_mut(w, 0, w, nrhs);
+                    gemm(
+                        T::one(),
+                        v_b,
+                        Op::ConjTrans,
+                        x_b,
+                        Op::None,
+                        T::zero(),
+                        bottom.reborrow(),
+                    );
+                }
+                self.k_fact[level][node_idx].solve_in_place(rhs.as_mut());
+
+                // x(I_gamma) -= [Y_a w_a; Y_b w_b] (Eq. 16).
+                let y_a = self.ybig.block(ra.start, child_cols.start, ra.len(), w);
+                let y_b = self.ybig.block(rb.start, child_cols.start, rb.len(), w);
+                let w_a = rhs.block(0, 0, w, nrhs).to_owned();
+                let w_b = rhs.block(w, 0, w, nrhs).to_owned();
+                let mut x_a = x.block_mut(ra.start, 0, ra.len(), nrhs);
+                gemm(
+                    -T::one(),
+                    y_a,
+                    Op::None,
+                    w_a.as_ref(),
+                    Op::None,
+                    T::one(),
+                    x_a.reborrow(),
+                );
+                let mut x_b = x.block_mut(rb.start, 0, rb.len(), nrhs);
+                gemm(
+                    -T::one(),
+                    y_b,
+                    Op::None,
+                    w_b.as_ref(),
+                    Op::None,
+                    T::one(),
+                    x_b.reborrow(),
+                );
+            }
+        }
+        x
+    }
+
+    /// Log-determinant via the same product form as
+    /// [`SerialFactorization::log_det`](crate::serial::SerialFactorization::log_det):
+    /// leaves first, then coupling levels from the top split down, each 2x2
+    /// coupling block contributing `(-1)^w det(K_gamma)`.
+    ///
+    /// Returns `(log|det(A)|, sign)`.  For a positive-definite matrix the
+    /// sign is `1` and `log|det|` is the log-determinant itself.  Mirrored
+    /// bitwise by
+    /// [`GpuSymmetricSolver::log_det`](crate::GpuSymmetricSolver::log_det).
+    pub fn log_det(&self) -> (T::Real, T) {
+        let mut log_abs = T::Real::zero();
+        let mut sign = T::one();
+        for f in &self.diag_fact {
+            let (la, s) = f.log_det();
+            log_abs += la;
+            sign *= s;
+        }
+        for (level, factors) in self.k_fact.iter().enumerate() {
+            let w = if level < self.layout.levels() {
+                self.layout.width(level + 1)
+            } else {
+                0
+            };
+            for f in factors {
+                if f.order() == 0 {
+                    continue;
+                }
+                let (la, s) = f.log_det();
+                log_abs += la;
+                sign *= s;
+                if w % 2 == 1 {
+                    sign = -sign;
+                }
+            }
+        }
+        (log_abs, sign)
+    }
+
+    /// Storage used by the factorization in scalar entries: the transformed
+    /// bases, the original bases (V role), and the *triangular* leaf and
+    /// coupling factors — the triangles are what the symmetric path saves
+    /// over [`SerialFactorization`](crate::serial::SerialFactorization)'s
+    /// square LU factors.
+    pub fn storage_entries(&self) -> usize {
+        let bases = 2 * self.ybig.rows() * self.ybig.cols();
+        let diags: usize = self.diag_fact.iter().map(|f| f.storage_entries()).sum();
+        let ks: usize = self
+            .k_fact
+            .iter()
+            .flat_map(|level| level.iter().map(|f| f.storage_entries()))
+            .sum();
+        bases + diags + ks
+    }
+
+    /// Storage in GiB.
+    pub fn memory_gib(&self) -> f64 {
+        (self.storage_entries() * std::mem::size_of::<T>()) as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{random_hodlr_spd, HodlrMatrix};
+    use hodlr_la::{Complex64, LuFactor, RealScalar};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_spd<T: Scalar>(n: usize, levels: usize, rank: usize, seed: u64, tol: f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m: HodlrMatrix<T> = random_hodlr_spd(&mut rng, n, levels, rank);
+        let f = m.factorize_symmetric(Symmetry::PositiveDefinite).unwrap();
+        // Every leaf of an SPD matrix is SPD: strict Cholesky must succeed.
+        assert!(f.leaf_kinds().iter().all(|k| **k == SymmetricKind::Llt));
+        let b: Vec<T> = hodlr_la::random::random_vector(&mut rng, n);
+        let x = f.solve(&b);
+        assert!(
+            m.relative_residual(&x, &b).to_f64() < tol,
+            "residual too large"
+        );
+        // Agreement with the general (LU) serial path.
+        let x_lu = m.factorize_serial().unwrap().solve(&b);
+        for (a, r) in x.iter().zip(x_lu.iter()) {
+            assert!((*a - *r).abs().to_f64() < tol);
+        }
+    }
+
+    #[test]
+    fn spd_solves_match_lu_path() {
+        check_spd::<f64>(64, 3, 3, 71, 1e-9);
+        check_spd::<f64>(101, 3, 2, 72, 1e-9);
+        check_spd::<Complex64>(48, 2, 2, 73, 1e-9);
+    }
+
+    #[test]
+    fn log_det_matches_dense_and_has_positive_sign() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 64, 3, 2);
+        let dense = m.to_dense();
+        let f = m.factorize_symmetric(Symmetry::PositiveDefinite).unwrap();
+        let (log_abs, sign) = f.log_det();
+        let dense_lu = LuFactor::new(&dense).unwrap();
+        let (ref_log, ref_sign) = dense_lu.log_det();
+        assert!(
+            (log_abs - ref_log).abs() < 1e-8 * ref_log.abs().max(1.0),
+            "{log_abs} vs {ref_log}"
+        );
+        assert!((sign - ref_sign).abs() < 1e-8);
+        assert!(sign > 0.0, "SPD determinant must be positive");
+    }
+
+    #[test]
+    fn log_det_complex_hermitian() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let m: HodlrMatrix<Complex64> = random_hodlr_spd(&mut rng, 48, 2, 2);
+        let dense = m.to_dense();
+        let f = m.factorize_symmetric(Symmetry::Hermitian).unwrap();
+        let (log_abs, sign) = f.log_det();
+        let dense_lu = LuFactor::new(&dense).unwrap();
+        let (ref_log, ref_sign) = dense_lu.log_det();
+        assert!((log_abs - ref_log).abs() < 1e-8 * ref_log.abs().max(1.0));
+        assert!((sign - ref_sign).abs().to_f64() < 1e-8);
+    }
+
+    #[test]
+    fn general_symmetry_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(76);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 16, 1, 1);
+        let err = m.factorize_symmetric(Symmetry::General).unwrap_err();
+        assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn indefinite_leaf_errors_strictly_but_falls_back_for_hermitian() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 32, 1, 1);
+        // Flip a diagonal entry of leaf 1 far negative: still Hermitian,
+        // but no longer positive definite.
+        let mut diag: Vec<_> = m.diag_blocks().to_vec();
+        let sz = diag[1].rows();
+        diag[1][(sz / 2, sz / 2)] = -1e6;
+        let indef = HodlrMatrix::from_parts_symmetric(
+            m.tree().clone(),
+            m.layout().clone(),
+            (0..=m.tree().num_nodes()).map(|_| 1).collect(),
+            m.ubig().clone(),
+            diag,
+        )
+        .unwrap();
+
+        let err = indef
+            .factorize_symmetric(Symmetry::PositiveDefinite)
+            .unwrap_err();
+        match &err {
+            HodlrError::NotPositiveDefinite { context } => {
+                assert!(context.contains("leaf 1"), "{context}");
+            }
+            other => panic!("expected NotPositiveDefinite, got {other}"),
+        }
+
+        // The Hermitian policy walks the fallback ladder and still solves.
+        let f = indef.factorize_symmetric(Symmetry::Hermitian).unwrap();
+        assert!(f.leaf_kinds().iter().any(|k| **k != SymmetricKind::Llt));
+        let b: Vec<f64> = hodlr_la::random::random_vector(&mut rng, 32);
+        let x = f.solve(&b);
+        assert!(indef.relative_residual(&x, &b) < 1e-8);
+        // log_det sign must come out negative (one negative eigenvalue
+        // direction dominates the flipped pivot).
+        let dense_lu = LuFactor::new(&indef.to_dense()).unwrap();
+        let (ref_log, ref_sign) = dense_lu.log_det();
+        let (log_abs, sign) = f.log_det();
+        assert!((log_abs - ref_log).abs() < 1e-8 * ref_log.abs().max(1.0));
+        assert!((sign - ref_sign).abs() < 1e-8);
+    }
+
+    #[test]
+    fn multiple_right_hand_sides_match_dense() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 48, 2, 3);
+        let dense = m.to_dense();
+        let f = m.factorize_symmetric(Symmetry::PositiveDefinite).unwrap();
+        let b: DenseMatrix<f64> = hodlr_la::random::random_matrix(&mut rng, 48, 5);
+        let x = f.solve_matrix(&b);
+        for j in 0..5 {
+            let xj_ref = hodlr_la::lu::solve_dense(&dense, b.col(j)).unwrap();
+            for i in 0..48 {
+                assert!((x[(i, j)] - xj_ref[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_factorization_stores_less_than_lu() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 256, 4, 3);
+        let sym = m.factorize_symmetric(Symmetry::PositiveDefinite).unwrap();
+        let lu = m.factorize_serial().unwrap();
+        // The bases dominate, but the triangular factors strictly undercut
+        // LU's square ones.
+        assert!(sym.storage_entries() < lu.storage_entries());
+    }
+
+    #[test]
+    fn zero_level_matrix_is_a_dense_cholesky() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let m: HodlrMatrix<f64> = random_hodlr_spd(&mut rng, 20, 0, 0);
+        let f = m.factorize_symmetric(Symmetry::PositiveDefinite).unwrap();
+        let b: Vec<f64> = hodlr_la::random::random_vector(&mut rng, 20);
+        let x = f.solve(&b);
+        assert!(m.relative_residual(&x, &b) < 1e-12);
+    }
+}

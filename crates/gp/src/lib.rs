@@ -27,7 +27,12 @@
 //!   fluent [`GpConfig`], factorize on either [`Backend`](hodlr::Backend),
 //!   and evaluate [`LogLikelihood`]s.
 //! * [`oracle`] — dense Cholesky reference (`O(n^3)`), the validation
-//!   oracle of the tests and the `gp` bench family.
+//!   oracle of the tests and the `gp` bench family (routed through the
+//!   same blocked `hodlr_la` kernel as the HODLR fast path).
+//! * [`sampling`] — [`GpPosterior`]: predictive mean / variance and
+//!   Matheron pathwise posterior draws, the payoff of factorizing
+//!   `K = L L^T` on the SPD fast path
+//!   ([`Symmetry::PositiveDefinite`](hodlr::Symmetry)).
 //! * [`scan`] — [`GridScan`]: hyperparameter selection by likelihood
 //!   maximisation over a `(length_scale, variance, noise)` grid.
 //!
@@ -45,6 +50,7 @@
 pub mod kernels;
 pub mod likelihood;
 pub mod oracle;
+pub mod sampling;
 pub mod scan;
 pub mod source;
 
@@ -53,6 +59,7 @@ pub use kernels::{
 };
 pub use likelihood::{GpConfig, GpModel, LogLikelihood};
 pub use oracle::{dense_cholesky, dense_log_likelihood};
+pub use sampling::GpPosterior;
 pub use scan::{best_row, GridScan, KernelFamily, ScanRow};
 pub use source::{
     clustered_points_1d, covariance_source, regular_grid_1d, CorrelationSource, CovarianceSource,

@@ -15,7 +15,7 @@
 
 use crate::kernels::StationaryKernel;
 use crate::source::covariance_source;
-use hodlr::{Backend, Factorization, Factorize, Hodlr, Solve};
+use hodlr::{Backend, Factorization, Factorize, Hodlr, Solve, Symmetry};
 use hodlr_la::HodlrError;
 use hodlr_tree::{ClusterTree, PointCloud};
 
@@ -33,6 +33,15 @@ pub struct GpConfig {
     /// [`clustered_points_1d`](crate::clustered_points_1d)); overrides
     /// `leaf_size` when set.
     pub tree: Option<ClusterTree>,
+    /// Declared symmetry of the covariance (default [`Symmetry::General`],
+    /// the LU path).  A GP covariance `K + sigma_n^2 I` is symmetric
+    /// positive definite by construction, so
+    /// [`Symmetry::PositiveDefinite`] is always sound here and routes the
+    /// factorization through the Cholesky fast path: half the low-rank
+    /// storage, roughly half the factorization flops, and a typed
+    /// [`HodlrError::NotPositiveDefinite`] if compression error ever
+    /// pushes a leaf indefinite.
+    pub symmetry: Symmetry,
 }
 
 impl Default for GpConfig {
@@ -42,6 +51,7 @@ impl Default for GpConfig {
             tolerance: 1e-10,
             leaf_size: 64,
             tree: None,
+            symmetry: Symmetry::General,
         }
     }
 }
@@ -53,6 +63,13 @@ impl GpConfig {
             backend,
             ..GpConfig::default()
         }
+    }
+
+    /// This configuration with the Cholesky/LDL^T fast path enabled
+    /// ([`Symmetry::PositiveDefinite`]).
+    pub fn positive_definite(mut self) -> Self {
+        self.symmetry = Symmetry::PositiveDefinite;
+        self
     }
 }
 
@@ -124,7 +141,8 @@ impl GpModel {
         let builder = Hodlr::builder()
             .source(&source)
             .tolerance(config.tolerance)
-            .backend(config.backend);
+            .backend(config.backend)
+            .symmetry(config.symmetry);
         let builder = match &config.tree {
             Some(tree) => builder.tree(tree.clone()),
             None => builder.leaf_size(config.leaf_size),
@@ -181,6 +199,7 @@ impl GpModel {
             .matrix(matrix)
             .backend(self.hodlr.backend())
             .precision(self.hodlr.precision())
+            .symmetry(self.hodlr.symmetry())
             .build()?;
         Ok(GpModel {
             hodlr,
@@ -200,6 +219,7 @@ impl GpModel {
             .matrix(self.hodlr.matrix().clone())
             .backend(backend)
             .precision(self.hodlr.precision())
+            .symmetry(self.hodlr.symmetry())
             .build()?;
         Ok(GpModel {
             hodlr,
@@ -402,6 +422,46 @@ mod tests {
         // goes through the respective solve sweeps and matches to rounding.
         assert_eq!(serial.log_det.to_bits(), batched.log_det.to_bits());
         assert!((serial.value - batched.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spd_fast_path_matches_the_lu_path_on_both_backends() {
+        let n = 192;
+        let points = regular_grid_1d(n, 0.0, 3.0);
+        let kernel = SquaredExponential {
+            variance: 1.1,
+            length_scale: 0.4,
+        };
+        let y = sample_y(n);
+        for backend in [Backend::Serial, Backend::Batched] {
+            let lu_config = GpConfig::with_backend(backend);
+            let spd_config = GpConfig::with_backend(backend).positive_definite();
+            let lu = GpModel::build(&kernel, &points, 0.1, &lu_config).unwrap();
+            let spd = GpModel::build(&kernel, &points, 0.1, &spd_config).unwrap();
+            assert_eq!(spd.hodlr().symmetry(), Symmetry::PositiveDefinite);
+            // Sibling pairs share one low-rank factor on the SPD path.
+            assert!(spd.hodlr().matrix().shares_bases());
+            let ll_lu = lu.log_likelihood(&y).unwrap();
+            let ll_spd = spd.log_likelihood(&y).unwrap();
+            assert!(
+                (ll_lu.value - ll_spd.value).abs() < 1e-8 * ll_lu.value.abs().max(1.0),
+                "{backend:?}: {} vs {}",
+                ll_lu.value,
+                ll_spd.value
+            );
+            assert!((ll_lu.log_det - ll_spd.log_det).abs() < 1e-8);
+        }
+        // with_noise keeps the declared symmetry (and the shared bases).
+        let spd = GpModel::build(
+            &kernel,
+            &points,
+            0.1,
+            &GpConfig::default().positive_definite(),
+        )
+        .unwrap();
+        let shifted = spd.with_noise(0.2).unwrap();
+        assert_eq!(shifted.hodlr().symmetry(), Symmetry::PositiveDefinite);
+        assert!(shifted.log_likelihood(&y).is_ok());
     }
 
     #[test]

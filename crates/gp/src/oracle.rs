@@ -2,38 +2,21 @@
 //! validated against in tests and benches.
 
 use crate::likelihood::LogLikelihood;
-use hodlr_la::{DenseMatrix, HodlrError};
+use hodlr_la::{DenseMatrix, HodlrError, SymmetricFactor, SymmetricPolicy};
 
-/// Dense Cholesky factorization `K = L L^T` (lower triangular `L`).
+/// Dense Cholesky factorization `K = L L^T` (lower triangular `L`), routed
+/// through the blocked [`hodlr_la`] kernel ([`SymmetricFactor`] under
+/// [`SymmetricPolicy::Strict`]) so the oracle and the HODLR fast path share
+/// one Cholesky implementation.
 ///
 /// # Errors
 /// [`HodlrError::NotPositiveDefinite`] when a pivot is non-positive, and
 /// [`HodlrError::DimensionMismatch`] for a non-square input.
 pub fn dense_cholesky(k: &DenseMatrix<f64>) -> Result<DenseMatrix<f64>, HodlrError> {
-    let n = k.rows();
-    HodlrError::check_dims("Cholesky input (rows vs cols)", n, k.cols())?;
-    let mut l = DenseMatrix::<f64>::zeros(n, n);
-    for j in 0..n {
-        let mut diag = k[(j, j)];
-        for p in 0..j {
-            diag -= l[(j, p)] * l[(j, p)];
-        }
-        if !diag.is_finite() || diag <= 0.0 {
-            return Err(HodlrError::NotPositiveDefinite {
-                context: format!("dense covariance matrix (Cholesky pivot {j})"),
-            });
-        }
-        let ljj = diag.sqrt();
-        l[(j, j)] = ljj;
-        for i in (j + 1)..n {
-            let mut v = k[(i, j)];
-            for p in 0..j {
-                v -= l[(i, p)] * l[(j, p)];
-            }
-            l[(i, j)] = v / ljj;
-        }
-    }
-    Ok(l)
+    HodlrError::check_dims("Cholesky input (rows vs cols)", k.rows(), k.cols())?;
+    let factor = SymmetricFactor::new(k, SymmetricPolicy::Strict)
+        .map_err(|e| e.into_hodlr("dense covariance matrix"))?;
+    Ok(factor.lower_factor())
 }
 
 /// The exact log-marginal likelihood of `y ~ N(0, K)` via dense Cholesky:

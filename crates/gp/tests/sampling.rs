@@ -1,0 +1,222 @@
+//! Differential tests of the posterior sampling layer: predictive mean /
+//! variance against a dense oracle, and a fixed-seed statistical check that
+//! the sample moments of Matheron pathwise draws converge to the exact
+//! posterior moments.  Every tolerance is deterministic because every rng
+//! is seeded.
+
+use hodlr::{Backend, Symmetry};
+use hodlr_compress::MatrixEntrySource;
+use hodlr_gp::{
+    covariance_source, regular_grid_1d, GpConfig, GpPosterior, SquaredExponential, StationaryKernel,
+};
+use hodlr_la::{DenseMatrix, HodlrError, SymmetricFactor, SymmetricPolicy};
+use hodlr_tree::PointCloud;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn kernel() -> SquaredExponential {
+    SquaredExponential {
+        variance: 1.3,
+        length_scale: 0.35,
+    }
+}
+
+fn observations(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.11).sin() + 0.3 * (i as f64 * 0.37).cos())
+        .collect()
+}
+
+/// Dense posterior moments: `mu = K_*^T K^{-1} y`,
+/// `Sigma = K_** - K_*^T K^{-1} K_*`, all through the dense Cholesky.
+struct DenseOracle {
+    mean: Vec<f64>,
+    cov: DenseMatrix<f64>,
+}
+
+fn dense_oracle(
+    kernel: &impl StationaryKernel,
+    train: &PointCloud,
+    test: &PointCloud,
+    noise: f64,
+    y: &[f64],
+) -> DenseOracle {
+    let (n, m) = (train.len(), test.len());
+    let k = covariance_source(kernel, train, noise).to_dense();
+    let cross = DenseMatrix::from_fn(n, m, |i, j| {
+        let d: f64 = train
+            .point(i)
+            .iter()
+            .zip(test.point(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        kernel.eval(d.sqrt())
+    });
+    let factor = SymmetricFactor::new(&k, SymmetricPolicy::Strict).unwrap();
+    let alpha = factor.solve_vec(y);
+    let mean: Vec<f64> = (0..m)
+        .map(|j| cross.col(j).iter().zip(&alpha).map(|(a, b)| a * b).sum())
+        .collect();
+    let w = factor.solve_matrix(&cross);
+    let mut cov = DenseMatrix::from_fn(m, m, |i, j| kernel.eval(test.distance(i, j)));
+    for i in 0..m {
+        for j in 0..m {
+            let explained: f64 = cross.col(i).iter().zip(w.col(j)).map(|(a, b)| a * b).sum();
+            cov[(i, j)] -= explained;
+        }
+    }
+    DenseOracle { mean, cov }
+}
+
+fn spd_config(backend: Backend) -> GpConfig {
+    let mut config = GpConfig::with_backend(backend).positive_definite();
+    config.leaf_size = 32;
+    config.tolerance = 1e-12;
+    config
+}
+
+#[test]
+fn predictive_mean_and_variance_match_the_dense_oracle_on_both_backends() {
+    let n = 96;
+    let train = regular_grid_1d(n, 0.0, 2.0);
+    let test = regular_grid_1d(10, 0.17, 1.83);
+    let noise = 0.05;
+    let y = observations(n);
+    let oracle = dense_oracle(&kernel(), &train, &test, noise, &y);
+    for backend in [Backend::Serial, Backend::Batched] {
+        let posterior =
+            GpPosterior::new(&kernel(), &train, &test, noise, &spd_config(backend)).unwrap();
+        assert_eq!(
+            posterior.model().hodlr().symmetry(),
+            Symmetry::PositiveDefinite
+        );
+        let factorization = posterior.factorize().unwrap();
+        let mean = posterior.mean(&factorization, &y).unwrap();
+        let var = posterior.variance(&factorization).unwrap();
+        for j in 0..test.len() {
+            assert!(
+                (mean[j] - oracle.mean[j]).abs() < 1e-8 * oracle.mean[j].abs().max(1.0),
+                "{backend:?} mean[{j}]: {} vs {}",
+                mean[j],
+                oracle.mean[j]
+            );
+            let exact = oracle.cov[(j, j)].max(0.0);
+            assert!(
+                (var[j] - exact).abs() < 1e-8 * exact.max(1.0),
+                "{backend:?} var[{j}]: {} vs {exact}",
+                var[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn sample_moments_of_pathwise_draws_converge_to_the_posterior_moments() {
+    let n = 64;
+    let m = 6;
+    let train = regular_grid_1d(n, 0.0, 2.0);
+    let test = regular_grid_1d(m, 0.2, 1.8);
+    let noise = 0.1;
+    let y = observations(n);
+    let oracle = dense_oracle(&kernel(), &train, &test, noise, &y);
+
+    let posterior = GpPosterior::new(
+        &kernel(),
+        &train,
+        &test,
+        noise,
+        &spd_config(Backend::Serial),
+    )
+    .unwrap();
+    let factorization = posterior.factorize().unwrap();
+    let count = 4000;
+    let mut rng = StdRng::seed_from_u64(20220711);
+    let draws = posterior
+        .draws(&factorization, &y, &mut rng, count)
+        .unwrap();
+    assert_eq!((draws.rows(), draws.cols()), (m, count));
+
+    // Sample mean and (unbiased) sample covariance over the draws.
+    let mut mean = vec![0.0; m];
+    for c in 0..count {
+        for i in 0..m {
+            mean[i] += draws[(i, c)];
+        }
+    }
+    for v in &mut mean {
+        *v /= count as f64;
+    }
+    let mut cov = DenseMatrix::<f64>::zeros(m, m);
+    for c in 0..count {
+        for i in 0..m {
+            for j in 0..m {
+                cov[(i, j)] += (draws[(i, c)] - mean[i]) * (draws[(j, c)] - mean[j]);
+            }
+        }
+    }
+    for v in cov.data_mut() {
+        *v /= (count - 1) as f64;
+    }
+
+    // Monte-Carlo error is O(1/sqrt(count)) ~ 1.6e-2 on unit-scale entries;
+    // the seed is fixed, so these bounds are deterministic with ~3x margin.
+    for i in 0..m {
+        assert!(
+            (mean[i] - oracle.mean[i]).abs() < 5e-2,
+            "mean[{i}]: {} vs {}",
+            mean[i],
+            oracle.mean[i]
+        );
+        for j in 0..m {
+            assert!(
+                (cov[(i, j)] - oracle.cov[(i, j)]).abs() < 5e-2,
+                "cov[{i},{j}]: {} vs {}",
+                cov[(i, j)],
+                oracle.cov[(i, j)]
+            );
+        }
+    }
+}
+
+#[test]
+fn draws_are_deterministic_for_a_fixed_seed() {
+    let train = regular_grid_1d(48, 0.0, 1.0);
+    let test = regular_grid_1d(4, 0.1, 0.9);
+    let y = observations(48);
+    let posterior =
+        GpPosterior::new(&kernel(), &train, &test, 0.1, &spd_config(Backend::Serial)).unwrap();
+    let factorization = posterior.factorize().unwrap();
+    let a = posterior
+        .draws(&factorization, &y, &mut StdRng::seed_from_u64(7), 16)
+        .unwrap();
+    let b = posterior
+        .draws(&factorization, &y, &mut StdRng::seed_from_u64(7), 16)
+        .unwrap();
+    for (x, z) in a.data().iter().zip(b.data()) {
+        assert_eq!(x.to_bits(), z.to_bits());
+    }
+}
+
+#[test]
+fn bad_inputs_are_typed_errors() {
+    let train = regular_grid_1d(32, 0.0, 1.0);
+    let test = regular_grid_1d(3, 0.2, 0.8);
+    let config = spd_config(Backend::Serial);
+    // Mismatched point dimensions.
+    let test_2d = PointCloud::new(2, vec![0.1, 0.2, 0.3, 0.4]);
+    let err = match GpPosterior::new(&kernel(), &train, &test_2d, 0.1, &config) {
+        Ok(_) => panic!("mismatched point dimensions must be rejected"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err}");
+    // Wrong observation length and zero draw count.
+    let posterior = GpPosterior::new(&kernel(), &train, &test, 0.1, &config).unwrap();
+    let factorization = posterior.factorize().unwrap();
+    let err = posterior.mean(&factorization, &vec![0.0; 31]).unwrap_err();
+    assert_eq!(err, HodlrError::dims("observation vector", 32, 31));
+    let y = observations(32);
+    let err = posterior
+        .draws(&factorization, &y, &mut StdRng::seed_from_u64(1), 0)
+        .unwrap_err();
+    assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err}");
+}

@@ -24,7 +24,10 @@ use crate::scalar::SolveScalar;
 use crate::solve::{Factorization, Factorize};
 use hodlr_batch::Device;
 use hodlr_compress::{CompressionConfig, CompressionMethod, MatrixEntrySource};
-use hodlr_core::{build_from_dense, build_from_source, GpuSolver, HodlrMatrix};
+use hodlr_core::{
+    build_from_dense, build_from_dense_symmetric, build_from_source, build_from_source_symmetric,
+    GpuSolver, GpuSymmetricSolver, HodlrMatrix, Symmetry,
+};
 use hodlr_la::{DenseMatrix, HodlrError, RealScalar, Scalar};
 use hodlr_tree::ClusterTree;
 
@@ -85,6 +88,7 @@ pub struct HodlrBuilder<'a, T: Scalar> {
     strict_rank: bool,
     backend: Backend,
     precision: Precision,
+    symmetry: Symmetry,
     threads: Option<usize>,
     refine_tol: f64,
     refine_max_iters: usize,
@@ -101,6 +105,7 @@ impl<T: Scalar> Default for HodlrBuilder<'_, T> {
             strict_rank: false,
             backend: Backend::Serial,
             precision: Precision::Full,
+            symmetry: Symmetry::General,
             threads: None,
             refine_tol: 1e-12,
             refine_max_iters: 50,
@@ -190,6 +195,27 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
         self
     }
 
+    /// Declared symmetry structure (default [`Symmetry::General`]).
+    ///
+    /// [`Symmetry::PositiveDefinite`] and [`Symmetry::Hermitian`] switch
+    /// both construction and factorization to the symmetric fast path: the
+    /// two off-diagonal blocks of every sibling pair share one low-rank
+    /// factor (one compression instead of two, half the basis storage), and
+    /// the factorization replaces every LU with a Cholesky-family
+    /// factorization at half the flops.  Under
+    /// [`Symmetry::PositiveDefinite`] a failed Cholesky pivot surfaces as
+    /// the typed [`HodlrError::NotPositiveDefinite`]; under
+    /// [`Symmetry::Hermitian`] it falls back to `LDL^*` and then
+    /// Bunch-Kaufman instead.
+    ///
+    /// The caller asserts the input is Hermitian-valued: only its lower
+    /// off-diagonal blocks are read, and the upper ones are taken to be
+    /// their conjugate transposes.
+    pub fn symmetry(mut self, symmetry: Symmetry) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
     /// Run construction, factorization and solves on a dedicated
     /// work-stealing pool with this many participants instead of the
     /// global pool (which honours `HODLR_NUM_THREADS`).
@@ -249,6 +275,12 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
                 "refinement sweep cap must be at least 1",
             ));
         }
+        if self.precision == Precision::MixedRefine && self.symmetry.is_symmetric() {
+            return Err(HodlrError::config(
+                "Precision::MixedRefine is not available for symmetric factorizations; \
+                 use Precision::Full with Symmetry::PositiveDefinite / Symmetry::Hermitian",
+            ));
+        }
 
         let pool = match self.threads {
             None => None,
@@ -294,8 +326,15 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
                 if self.strict_rank {
                     config = config.strict_rank();
                 }
+                let symmetric = self.symmetry.is_symmetric();
                 let build = || match dense_or_source {
+                    BuilderInput::Dense(a) if symmetric => {
+                        build_from_dense_symmetric(a, tree, &config)
+                    }
                     BuilderInput::Dense(a) => build_from_dense(a, tree, &config),
+                    BuilderInput::Source(s) if symmetric => {
+                        build_from_source_symmetric(s, tree, &config)
+                    }
                     BuilderInput::Source(s) => build_from_source(s, tree, &config),
                     BuilderInput::Matrix(_) => unreachable!("handled above"),
                 };
@@ -310,6 +349,7 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
             matrix,
             backend: self.backend,
             precision: self.precision,
+            symmetry: self.symmetry,
             device: Device::new(),
             pool,
             refine_tol: self.refine_tol,
@@ -330,6 +370,7 @@ pub struct Hodlr<T: Scalar> {
     matrix: HodlrMatrix<T>,
     backend: Backend,
     precision: Precision,
+    symmetry: Symmetry,
     device: Device,
     pool: Option<rayon::ThreadPool>,
     refine_tol: f64,
@@ -380,6 +421,11 @@ impl<T: Scalar> Hodlr<T> {
     /// The configured precision policy.
     pub fn precision(&self) -> Precision {
         self.precision
+    }
+
+    /// The declared symmetry structure.
+    pub fn symmetry(&self) -> Symmetry {
+        self.symmetry
     }
 
     /// The virtual batched device this handle owns (its counters meter all
@@ -437,15 +483,30 @@ impl<T: Scalar> Hodlr<T> {
 impl<T: SolveScalar> Factorize<T> for Hodlr<T> {
     /// Factorize with the configured backend and precision policy.
     fn factorize(&self) -> Result<Factorization<'_, T>, HodlrError> {
+        let symmetric = self.symmetry.is_symmetric();
         let inner: Box<dyn crate::Solve<T> + Send + Sync + '_> =
             match (self.precision, self.backend) {
+                (Precision::Full, Backend::Serial) if symmetric => {
+                    Box::new(self.run_in_pool(|| self.matrix.factorize_symmetric(self.symmetry))?)
+                }
                 (Precision::Full, Backend::Serial) => {
                     Box::new(self.run_in_pool(|| self.matrix.factorize_serial())?)
+                }
+                (Precision::Full, Backend::Batched) if symmetric => {
+                    let mut solver =
+                        GpuSymmetricSolver::new(&self.device, &self.matrix, self.symmetry)?;
+                    self.run_in_pool(|| solver.factorize())?;
+                    Box::new(solver)
                 }
                 (Precision::Full, Backend::Batched) => {
                     let mut solver = GpuSolver::new(&self.device, &self.matrix);
                     self.run_in_pool(|| solver.factorize())?;
                     Box::new(solver)
+                }
+                (Precision::MixedRefine, _) if symmetric => {
+                    return Err(HodlrError::config(
+                        "Precision::MixedRefine is not available for symmetric factorizations",
+                    ));
                 }
                 (Precision::MixedRefine, _) => self.run_in_pool(|| T::mixed_factorization(self))?,
             };

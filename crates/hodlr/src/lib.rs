@@ -62,6 +62,7 @@ pub use iterative::{IterativeSolver, KrylovMethod};
 pub use scalar::SolveScalar;
 pub use solve::{Factorization, Factorize, Solve};
 
+pub use hodlr_core::Symmetry;
 pub use hodlr_la::HodlrError;
 
 /// Everything an application needs, in one import.
@@ -83,7 +84,10 @@ pub mod prelude {
     pub use hodlr_compress::{
         ClosureSource, CompressionConfig, CompressionMethod, DenseSource, MatrixEntrySource,
     };
-    pub use hodlr_core::{GpuSolver, HodlrMatrix, SerialFactorization};
+    pub use hodlr_core::{
+        GpuSolver, GpuSymmetricSolver, HodlrMatrix, SerialFactorization,
+        SerialSymmetricFactorization, Symmetry,
+    };
     pub use hodlr_kernels::{
         ExponentialKernel, GaussianKernel, MaternKernel, RpyKernel, RpyMatrixSource, ScalarKernel,
         ScalarKernelSource,

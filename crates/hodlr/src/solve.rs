@@ -8,7 +8,9 @@
 //! [`Backend`](crate::Backend) on the builder and never name a concrete
 //! solver type again.
 
-use hodlr_core::{GpuSolver, SerialFactorization};
+use hodlr_core::{
+    GpuSolver, GpuSymmetricSolver, SerialFactorization, SerialSymmetricFactorization,
+};
 use hodlr_la::{DenseMatrix, HodlrError, Scalar};
 
 /// Backend-agnostic solving against a completed factorization.
@@ -144,6 +146,33 @@ impl<T: Scalar> Solve<T> for SerialFactorization<T> {
     }
 }
 
+impl<T: Scalar> Solve<T> for SerialSymmetricFactorization<T> {
+    fn dim(&self) -> usize {
+        self.tree().n()
+    }
+
+    fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {
+        HodlrError::check_dims("right-hand side", self.dim(), x.len())?;
+        let out = SerialSymmetricFactorization::solve(self, x);
+        x.copy_from_slice(&out);
+        Ok(())
+    }
+
+    fn solve_block_in_place(&self, x: &mut DenseMatrix<T>) -> Result<(), HodlrError> {
+        HodlrError::check_dims("right-hand side block rows", self.dim(), x.rows())?;
+        *x = self.solve_matrix(x);
+        Ok(())
+    }
+
+    fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        Ok(SerialSymmetricFactorization::log_det(self))
+    }
+
+    fn factor_bytes(&self) -> u64 {
+        (self.storage_entries() * std::mem::size_of::<T>()) as u64
+    }
+}
+
 impl<T: Scalar> Solve<T> for GpuSolver<'_, T> {
     fn dim(&self) -> usize {
         self.n()
@@ -162,6 +191,31 @@ impl<T: Scalar> Solve<T> for GpuSolver<'_, T> {
 
     fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
         GpuSolver::log_det(self)
+    }
+
+    fn factor_bytes(&self) -> u64 {
+        (self.storage_entries() * std::mem::size_of::<T>()) as u64
+    }
+}
+
+impl<T: Scalar> Solve<T> for GpuSymmetricSolver<'_, T> {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+
+    fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {
+        let out = GpuSymmetricSolver::solve(self, x)?;
+        x.copy_from_slice(&out);
+        Ok(())
+    }
+
+    fn solve_block_in_place(&self, x: &mut DenseMatrix<T>) -> Result<(), HodlrError> {
+        *x = GpuSymmetricSolver::solve_matrix(self, x)?;
+        Ok(())
+    }
+
+    fn log_det(&self) -> Result<(T::Real, T), HodlrError> {
+        GpuSymmetricSolver::log_det(self)
     }
 
     fn factor_bytes(&self) -> u64 {

@@ -13,6 +13,7 @@
 //! * level-3 BLAS style kernels ([`gemm`], triangular solves) with
 //!   cache blocking and optional rayon parallelism;
 //! * LAPACK-style factorizations: LU with partial pivoting ([`lu`]),
+//!   symmetric Cholesky / LDL^H / Bunch-Kaufman ([`cholesky`]),
 //!   Householder QR and column-pivoted QR ([`qr`]), and a one-sided Jacobi
 //!   SVD ([`svd`]) used for low-rank recompression.
 //!
@@ -20,6 +21,7 @@
 //! libraries are used anywhere in the workspace.
 
 pub mod blas;
+pub mod cholesky;
 pub mod complex;
 pub mod dense;
 pub mod error;
@@ -32,6 +34,10 @@ pub mod svd;
 pub mod triangular;
 
 pub use blas::{gemm, gemv, Op};
+pub use cholesky::{
+    sym_log_det_from_parts, BkPivot, SymmetricError, SymmetricFactor, SymmetricKind,
+    SymmetricPolicy,
+};
 pub use complex::Complex;
 pub use dense::{DenseMatrix, MatMut, MatRef};
 pub use error::HodlrError;

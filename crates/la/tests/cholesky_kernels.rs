@@ -1,0 +1,286 @@
+//! Differential property suite for the symmetric factorization kernels.
+//!
+//! Every kernel in `hodlr_la::cholesky` is checked against the pivoted-LU
+//! path that has been trusted since the seed: same solves, same
+//! `log_det`, on random SPD and random Hermitian-indefinite matrices of
+//! odd/prime orders, through both owning factors and strided views, for
+//! `f64` and Hermitian `Complex64`.
+
+use hodlr_la::cholesky::{
+    bunch_kaufman_in_place, bunch_kaufman_solve_in_place, ldlt_in_place, ldlt_solve_in_place,
+    potrf_in_place, potrs_in_place,
+};
+use hodlr_la::random::random_matrix;
+use hodlr_la::{
+    gemm, Complex64, DenseMatrix, LuFactor, MatMut, MatRef, Op, RealScalar, Scalar, SymmetricError,
+    SymmetricFactor, SymmetricKind, SymmetricPolicy,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Odd and prime orders, deliberately never a multiple of the blocking
+/// widths, plus two above `POTRF_BLOCK_MIN` to cross into the blocked path.
+const ODD_SIZES: &[usize] = &[1, 3, 5, 7, 11, 13, 17, 23, 29, 37, 41, 53, 131, 149];
+
+fn spd<T: Scalar>(rng: &mut StdRng, n: usize) -> DenseMatrix<T> {
+    let g: DenseMatrix<T> = random_matrix(rng, n, n);
+    let mut a = DenseMatrix::<T>::zeros(n, n);
+    gemm(
+        T::one(),
+        g.as_ref(),
+        Op::None,
+        g.as_ref(),
+        Op::ConjTrans,
+        T::zero(),
+        a.as_mut(),
+    );
+    for i in 0..n {
+        a[(i, i)] += T::from_f64(n as f64);
+    }
+    a
+}
+
+fn hermitian_indefinite<T: Scalar>(rng: &mut StdRng, n: usize) -> DenseMatrix<T> {
+    let g: DenseMatrix<T> = random_matrix(rng, n, n);
+    let gh = g.conj_transpose();
+    let mut a = g;
+    a.axpy(T::one(), &gh);
+    a.scale_in_place(T::from_f64(0.5));
+    // Push half of the spectrum hard negative so the matrix is certainly
+    // indefinite (for n >= 2) and never accidentally PD.
+    for i in (0..n).step_by(2) {
+        a[(i, i)] -= T::from_f64(2.0 * n as f64);
+    }
+    for i in (1..n).step_by(2) {
+        a[(i, i)] += T::from_f64(2.0 * n as f64);
+    }
+    a
+}
+
+fn solve_residual<T: Scalar>(a: &DenseMatrix<T>, x: &[T], b: &[T]) -> f64 {
+    let ax = a.matvec(x);
+    let mut num = T::Real::zero();
+    let mut den = T::Real::zero();
+    for (v, bi) in ax.iter().zip(b) {
+        num = num.max_real((*v - *bi).abs());
+        den = den.max_real(bi.abs());
+    }
+    (num / den.max_real(T::Real::from_f64_real(1e-300))).to_f64()
+}
+
+fn rhs<T: Scalar>(n: usize) -> Vec<T> {
+    (0..n)
+        .map(|i| T::from_f64((i as f64 * 0.7 - 1.3).sin() + 1.5))
+        .collect()
+}
+
+/// LLt + LDLt + LU on one SPD matrix: reconstruction, solve, log_det.
+fn spd_differential<T: Scalar>(n: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a: DenseMatrix<T> = spd(&mut rng, n);
+    let lu = LuFactor::new(&a).unwrap();
+    let (ld_lu, sign_lu) = lu.log_det();
+
+    // Strict policy must land on the Cholesky rung.
+    let f = SymmetricFactor::new(&a, SymmetricPolicy::Strict)
+        .unwrap_or_else(|e| panic!("potrf rejected an SPD matrix: {e}"));
+    prop_assert!(matches!(f.kind(), SymmetricKind::Llt));
+
+    // Reconstruction: ||L L^H - A|| small relative to ||A||.
+    let l = f.lower_factor();
+    let mut rec = DenseMatrix::<T>::zeros(n, n);
+    gemm(
+        T::one(),
+        l.as_ref(),
+        Op::None,
+        l.as_ref(),
+        Op::ConjTrans,
+        T::zero(),
+        rec.as_mut(),
+    );
+    let rel = (rec.sub(&a).norm_max() / a.norm_max()).to_f64();
+    prop_assert!(rel < 1e-12 * (n as f64).max(8.0), "reconstruction {rel}");
+
+    // Solves agree with LU.
+    let b = rhs::<T>(n);
+    let x_chol = f.solve_vec(&b);
+    let x_lu = lu.solve_vec(&b);
+    prop_assert!(solve_residual(&a, &x_chol, &b) < 1e-10);
+    for (xc, xl) in x_chol.iter().zip(&x_lu) {
+        prop_assert!((*xc - *xl).abs().to_f64() < 1e-9);
+    }
+
+    // log_det agrees with LU (SPD: positive sign on both paths).
+    let (ld, sign) = f.log_det();
+    prop_assert!(
+        (ld - ld_lu).abs_real().to_f64() < 1e-9 * (1.0 + ld_lu.abs_real().to_f64()),
+        "log_det {:?} vs {:?}",
+        ld,
+        ld_lu
+    );
+    prop_assert!((sign - sign_lu).abs().to_f64() < 1e-12);
+
+    // Unpivoted LDL^H on the same SPD matrix.
+    let mut packed = a.clone();
+    ldlt_in_place(packed.as_mut()).unwrap();
+    let diag: Vec<T> = (0..n).map(|i| packed[(i, i)]).collect();
+    let (ld_ldlt, sign_ldlt) = hodlr_la::sym_log_det_from_parts(&SymmetricKind::Ldlt, &diag, &[]);
+    prop_assert!((ld_ldlt - ld_lu).abs_real().to_f64() < 1e-9 * (1.0 + ld_lu.abs_real().to_f64()));
+    prop_assert!((sign_ldlt - T::one()).abs().to_f64() < 1e-12);
+    let mut x = b.clone();
+    ldlt_solve_in_place(packed.as_ref(), MatMut::from_parts(&mut x, n, 1, n.max(1)));
+    prop_assert!(solve_residual(&a, &x, &b) < 1e-10);
+}
+
+/// Bunch-Kaufman + LU on one Hermitian-indefinite matrix, plus the typed
+/// LLt rejection.
+fn indefinite_differential<T: Scalar>(n: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a: DenseMatrix<T> = hermitian_indefinite(&mut rng, n);
+    let lu = LuFactor::new(&a).unwrap();
+    let (ld_lu, sign_lu) = lu.log_det();
+
+    // Strict LLt must fail with the typed error and leave no NaN behind.
+    if n >= 2 {
+        let mut attempt = a.clone();
+        let err =
+            potrf_in_place(attempt.as_mut()).expect_err("potrf accepted an indefinite matrix");
+        prop_assert!(matches!(err, SymmetricError::NotPositiveDefinite { .. }));
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!(
+                    attempt[(i, j)].is_finite(),
+                    "potrf leaked a non-finite entry at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    // The fallback ladder must succeed, and on this shape it must not be
+    // the strict Cholesky rung.
+    let f = SymmetricFactor::new(&a, SymmetricPolicy::Fallback)
+        .unwrap_or_else(|e| panic!("fallback ladder failed: {e}"));
+    if n >= 2 {
+        prop_assert!(!matches!(f.kind(), SymmetricKind::Llt));
+    }
+    let b = rhs::<T>(n);
+    let x = f.solve_vec(&b);
+    prop_assert!(solve_residual(&a, &x, &b) < 1e-8);
+    let (ld, sign) = f.log_det();
+    prop_assert!(
+        (ld - ld_lu).abs_real().to_f64() < 1e-8 * (1.0 + ld_lu.abs_real().to_f64()),
+        "log_det {:?} vs {:?}",
+        ld,
+        ld_lu
+    );
+    prop_assert!((sign - sign_lu).abs().to_f64() < 1e-9);
+
+    // Raw Bunch-Kaufman agrees too (the ladder may have chosen it already;
+    // run it directly regardless).
+    let mut packed = a.clone();
+    let piv = bunch_kaufman_in_place(packed.as_mut()).unwrap();
+    let mut x = b.clone();
+    bunch_kaufman_solve_in_place(
+        packed.as_ref(),
+        &piv,
+        MatMut::from_parts(&mut x, n, 1, n.max(1)),
+    );
+    prop_assert!(solve_residual(&a, &x, &b) < 1e-8);
+}
+
+/// The same factorization through a strided view (ld > n) must match the
+/// contiguous factorization bitwise.
+fn strided_matches_contiguous<T: Scalar>(n: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a: DenseMatrix<T> = spd(&mut rng, n);
+    let mut contiguous = a.clone();
+    potrf_in_place(contiguous.as_mut()).unwrap();
+
+    let ld = n + 5;
+    let mut buf = vec![T::zero(); ld * n];
+    for j in 0..n {
+        for i in 0..n {
+            buf[j * ld + i] = a[(i, j)];
+        }
+    }
+    potrf_in_place(MatMut::from_parts(&mut buf, n, n, ld)).unwrap();
+    for j in 0..n {
+        for i in j..n {
+            prop_assert!(
+                buf[j * ld + i] == contiguous[(i, j)],
+                "strided factor differs at ({i}, {j})"
+            );
+        }
+    }
+
+    let b = rhs::<T>(n);
+    let mut x_strided = b.clone();
+    potrs_in_place(
+        MatRef::from_parts(&buf, n, n, ld),
+        MatMut::from_parts(&mut x_strided, n, 1, n.max(1)),
+    );
+    let mut x_contig = b.clone();
+    potrs_in_place(
+        contiguous.as_ref(),
+        MatMut::from_parts(&mut x_contig, n, 1, n.max(1)),
+    );
+    prop_assert!(x_strided == x_contig, "strided solve differs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn spd_differential_f64(idx in 0usize..ODD_SIZES.len(), seed in 0u64..1000) {
+        spd_differential::<f64>(ODD_SIZES[idx], seed);
+    }
+
+    #[test]
+    fn spd_differential_complex(idx in 0usize..ODD_SIZES.len(), seed in 0u64..1000) {
+        spd_differential::<Complex64>(ODD_SIZES[idx], seed);
+    }
+
+    #[test]
+    fn indefinite_differential_f64(idx in 0usize..ODD_SIZES.len(), seed in 0u64..1000) {
+        indefinite_differential::<f64>(ODD_SIZES[idx], seed);
+    }
+
+    #[test]
+    fn indefinite_differential_complex(idx in 0usize..ODD_SIZES.len(), seed in 0u64..1000) {
+        indefinite_differential::<Complex64>(ODD_SIZES[idx], seed);
+    }
+
+    #[test]
+    fn strided_views_match_contiguous_f64(idx in 0usize..ODD_SIZES.len(), seed in 0u64..1000) {
+        strided_matches_contiguous::<f64>(ODD_SIZES[idx], seed);
+    }
+
+    #[test]
+    fn strided_views_match_contiguous_complex(idx in 0usize..ODD_SIZES.len(), seed in 0u64..1000) {
+        strided_matches_contiguous::<Complex64>(ODD_SIZES[idx], seed);
+    }
+
+    #[test]
+    fn factorization_is_deterministic(idx in 0usize..ODD_SIZES.len(), seed in 0u64..1000) {
+        let n = ODD_SIZES[idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: DenseMatrix<f64> = hermitian_indefinite(&mut rng, n);
+        let f1 = SymmetricFactor::new(&a, SymmetricPolicy::Fallback).unwrap();
+        let f2 = SymmetricFactor::new(&a, SymmetricPolicy::Fallback).unwrap();
+        prop_assert!(f1.kind() == f2.kind());
+        let (m1, _) = f1.factors();
+        let (m2, _) = f2.factors();
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!(m1[(i, j)].to_bits() == m2[(i, j)].to_bits());
+            }
+        }
+        let b = rhs::<f64>(n);
+        let x1 = f1.solve_vec(&b);
+        let x2 = f2.solve_vec(&b);
+        for (v1, v2) in x1.iter().zip(&x2) {
+            prop_assert!(v1.to_bits() == v2.to_bits());
+        }
+    }
+}

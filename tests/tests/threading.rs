@@ -11,7 +11,10 @@
 use hodlr_baselines::HodlrlibStyleSolver;
 use hodlr_batch::{CounterSnapshot, Device};
 use hodlr_compress::CompressionConfig;
-use hodlr_core::{build_from_source, GpuSolver, HodlrMatrix};
+use hodlr_core::{
+    build_from_source, build_from_source_symmetric, GpuSolver, GpuSymmetricSolver, HodlrMatrix,
+    Symmetry,
+};
 use hodlr_kernels::{GaussianKernel, ScalarKernelSource};
 use hodlr_sparse::ExtendedSystem;
 use hodlr_tree::{partition_points, uniform_cube_points};
@@ -105,6 +108,122 @@ fn pipeline_is_bitwise_deterministic_across_thread_counts() {
     assert!(base.counters.flops > 0);
 }
 
+/// The Gaussian kernel matrix of [`test_matrix`] is SPD, so the same cloud
+/// also pins down the symmetric fast path: one shared-basis compression.
+fn test_matrix_symmetric() -> HodlrMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let cloud = uniform_cube_points(&mut rng, N, 3);
+    let part = partition_points(&cloud, 48);
+    let source =
+        ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.8 }, &part.points, 2.0);
+    build_from_source_symmetric(&source, part.tree, &CompressionConfig::with_tol(1e-10)).unwrap()
+}
+
+/// Everything the symmetric pipeline produces at one thread count.
+struct SymmetricOutput {
+    /// Serial Cholesky-path solve.
+    x_serial: Vec<f64>,
+    /// Serial blocked multi-RHS solve (flattened storage).
+    x_serial_block: Vec<f64>,
+    /// Serial product-form log-determinant.
+    log_det_serial: (f64, f64),
+    /// Batched Cholesky-path solve.
+    x_gpu: Vec<f64>,
+    /// Batched blocked multi-RHS solve (flattened storage).
+    x_gpu_block: Vec<f64>,
+    /// Batched product-form log-determinant.
+    log_det_gpu: (f64, f64),
+    /// Device counters after upload + symmetric factorization + solves.
+    counters: CounterSnapshot,
+}
+
+fn run_symmetric_pipeline(threads: usize) -> SymmetricOutput {
+    use hodlr_la::DenseMatrix;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    pool.install(|| {
+        assert_eq!(rayon::current_num_threads(), threads);
+        let matrix = test_matrix_symmetric();
+        assert!(matrix.shares_bases(), "symmetric build shares bases");
+        let rhs = rhs_block();
+        let block = DenseMatrix::from_fn(N, NRHS, |i, j| rhs[j][i]);
+
+        let serial = matrix
+            .factorize_symmetric(Symmetry::PositiveDefinite)
+            .expect("serial symmetric factorization");
+        let x_serial = serial.solve(&rhs[0]);
+        let x_serial_block = serial.solve_matrix(&block);
+        let log_det_serial = serial.log_det();
+
+        let device = Device::new();
+        let mut gpu = GpuSymmetricSolver::new(&device, &matrix, Symmetry::PositiveDefinite)
+            .expect("solver construction");
+        gpu.factorize().expect("batched symmetric factorization");
+        let x_gpu = gpu.solve(&rhs[0]).expect("batched symmetric solve");
+        let x_gpu_block = gpu.solve_matrix(&block).expect("batched block solve");
+        let log_det_gpu = gpu.log_det().expect("batched log_det");
+
+        SymmetricOutput {
+            x_serial,
+            x_serial_block: x_serial_block.data().to_vec(),
+            log_det_serial,
+            x_gpu,
+            x_gpu_block: x_gpu_block.data().to_vec(),
+            log_det_gpu,
+            counters: device.counters(),
+        }
+    })
+}
+
+/// The symmetric fast path inherits the determinism contract: 1, 2 and 8
+/// threads produce bitwise-identical Cholesky-path factorization, solve
+/// and `log_det` results on both backends, with identical metering — and
+/// the two backends agree bitwise with each other at every thread count.
+#[test]
+fn symmetric_pipeline_is_bitwise_deterministic_across_thread_counts() {
+    let base = run_symmetric_pipeline(1);
+    for threads in [2, 8] {
+        let other = run_symmetric_pipeline(threads);
+        assert_eq!(base.x_serial, other.x_serial, "{threads}-thread serial");
+        assert_eq!(
+            base.x_serial_block, other.x_serial_block,
+            "{threads}-thread serial block"
+        );
+        assert_eq!(
+            base.log_det_serial, other.log_det_serial,
+            "{threads}-thread serial log_det"
+        );
+        assert_eq!(base.x_gpu, other.x_gpu, "{threads}-thread batched");
+        assert_eq!(
+            base.x_gpu_block, other.x_gpu_block,
+            "{threads}-thread batched block"
+        );
+        assert_eq!(
+            base.log_det_gpu, other.log_det_gpu,
+            "{threads}-thread batched log_det"
+        );
+        assert_eq!(
+            base.counters, other.counters,
+            "{threads}-thread device counters"
+        );
+    }
+    // Serial and batched symmetric paths agree bitwise by construction
+    // (same blocked kernels, same iteration order).
+    assert_eq!(base.x_serial, base.x_gpu);
+    assert_eq!(base.x_serial_block, base.x_gpu_block);
+    assert_eq!(
+        base.log_det_serial.0.to_bits(),
+        base.log_det_gpu.0.to_bits()
+    );
+    assert_eq!(
+        base.log_det_serial.1.to_bits(),
+        base.log_det_gpu.1.to_bits()
+    );
+    assert!(base.counters.flops > 0);
+}
+
 /// The block-sparse comparator's parallel Schur updates are computed on the
 /// pool but applied in fixed order: parallel and sequential factorizations
 /// of the same extended system solve to bitwise-equal vectors.
@@ -175,12 +294,13 @@ fn panics_in_parallel_tasks_propagate_and_pool_survives() {
 
 /// The dense kernel layer itself is bitwise deterministic across pool
 /// sizes: the blocked `gemm` splits `C` into tiles whose boundaries depend
-/// only on the problem dims, and the blocked LU / compact-WY QR inherit
-/// that by routing their trailing updates through `gemm`.  This pins the
-/// contract at the layer below the solver pipeline.
+/// only on the problem dims, and the blocked LU / Cholesky / compact-WY QR
+/// inherit that by routing their trailing updates through `gemm`.  This
+/// pins the contract at the layer below the solver pipeline.
 #[test]
 fn dense_kernels_bitwise_deterministic_across_thread_counts() {
     use hodlr_la::blas::Op;
+    use hodlr_la::cholesky::potrf_in_place;
     use hodlr_la::lu::getrf_in_place;
     use hodlr_la::qr::thin_qr;
     use hodlr_la::random::random_matrix;
@@ -221,12 +341,20 @@ fn dense_kernels_bitwise_deterministic_across_thread_counts() {
             let square: DenseMatrix<f64> = random_matrix(&mut rng, m, m);
             let mut lu = square.clone();
             let piv = getrf_in_place(lu.as_mut()).expect("nonsingular");
+            // A^T A + m I is SPD: the blocked Cholesky must match bitwise
+            // too (its trailing updates also route through gemm).
+            let mut spd = ct.clone();
+            for i in 0..k {
+                spd[(i, i)] += m as f64;
+            }
+            potrf_in_place(spd.as_mut()).expect("SPD by construction");
             let (q, r) = thin_qr(&a);
             (
                 c.into_data(),
                 ct.into_data(),
                 lu.into_data(),
                 piv,
+                spd.into_data(),
                 q.into_data(),
                 r.into_data(),
             )
@@ -239,8 +367,9 @@ fn dense_kernels_bitwise_deterministic_across_thread_counts() {
         assert_eq!(base.1, other.1, "{threads}-thread gemm (trans)");
         assert_eq!(base.2, other.2, "{threads}-thread LU factors");
         assert_eq!(base.3, other.3, "{threads}-thread LU pivots");
-        assert_eq!(base.4, other.4, "{threads}-thread QR Q factor");
-        assert_eq!(base.5, other.5, "{threads}-thread QR R factor");
+        assert_eq!(base.4, other.4, "{threads}-thread Cholesky factors");
+        assert_eq!(base.5, other.5, "{threads}-thread QR Q factor");
+        assert_eq!(base.6, other.6, "{threads}-thread QR R factor");
     }
 }
 
