@@ -14,6 +14,7 @@
 
 use crate::buffer::DeviceBuffer;
 use crate::device::Device;
+use crate::fault::{poison_span, FaultAction, LaunchFault};
 use crate::gemm::scalar_flop_factor;
 use crate::stream::Stream;
 use crate::windows::{process_windows_mut, MatWindow};
@@ -130,6 +131,53 @@ impl BatchSymmetricError {
     }
 }
 
+/// How a batched symmetric factorization can fail: a block that resists the
+/// symmetric ladder, or an injected launch fault from an armed
+/// [`FaultPlan`](crate::FaultPlan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymBatchError {
+    /// A batch entry's block could not be factorized symmetrically.
+    Symmetric(BatchSymmetricError),
+    /// The launch itself was made to fail by fault injection.
+    Fault(LaunchFault),
+}
+
+impl fmt::Display for SymBatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymBatchError::Symmetric(e) => e.fmt(f),
+            SymBatchError::Fault(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SymBatchError {}
+
+impl From<BatchSymmetricError> for SymBatchError {
+    fn from(e: BatchSymmetricError) -> Self {
+        SymBatchError::Symmetric(e)
+    }
+}
+
+impl SymBatchError {
+    /// Promote to a [`HodlrError`](hodlr_la::HodlrError) naming the failing
+    /// batch, preserving whichever failure kind occurred.
+    pub fn into_hodlr(self, context: impl Into<String>) -> hodlr_la::HodlrError {
+        match self {
+            SymBatchError::Symmetric(e) => e.into_hodlr(context),
+            SymBatchError::Fault(e) => e.into_hodlr(context),
+        }
+    }
+
+    /// The symmetric-factorization failure, if that is what this error is.
+    pub fn symmetric(self) -> Option<BatchSymmetricError> {
+        match self {
+            SymBatchError::Symmetric(e) => Some(e),
+            SymBatchError::Fault(_) => None,
+        }
+    }
+}
+
 /// Factorize every Hermitian block described by `descs` in place under
 /// `policy`, returning the ladder rung each entry landed on
 /// (`potrfBatched`; with [`SymmetricPolicy::Fallback`] it generalizes to
@@ -137,7 +185,8 @@ impl BatchSymmetricError {
 ///
 /// # Errors
 /// Returns the index of the first batch entry that could not be factorized
-/// (not positive definite under the strict policy, singular otherwise).
+/// (not positive definite under the strict policy, singular otherwise), or
+/// a [`LaunchFault`] when an armed fault plan fails this launch.
 ///
 /// # Panics
 /// Panics if blocks overlap or reach past the end of the buffer.
@@ -147,7 +196,7 @@ pub fn potrf_batched_varied<T: Scalar>(
     descs: &[SymDesc],
     policy: SymmetricPolicy,
     a: &mut DeviceBuffer<'_, T>,
-) -> Result<Vec<SymmetricKind>, BatchSymmetricError> {
+) -> Result<Vec<SymmetricKind>, SymBatchError> {
     if descs.is_empty() {
         return Ok(Vec::new());
     }
@@ -159,6 +208,20 @@ pub fn potrf_batched_varied<T: Scalar>(
     }
     let flops: u64 = descs.iter().map(|d| d.flops::<T>()).sum();
     device.record_launch("potrf_batched", descs.len(), flops, stream.id());
+    let mut poison = false;
+    match device.take_launch_fault("potrf_batched") {
+        Some((FaultAction::FailLaunch, launch)) => {
+            return Err(SymBatchError::Fault(LaunchFault {
+                kernel: "potrf_batched",
+                launch,
+            }))
+        }
+        Some((FaultAction::PoisonNan, _)) => poison = true,
+        Some((FaultAction::Delay { micros }, _)) => {
+            std::thread::sleep(std::time::Duration::from_micros(micros))
+        }
+        None => {}
+    }
 
     let windows: Vec<MatWindow> = descs
         .iter()
@@ -181,11 +244,16 @@ pub fn potrf_batched_varied<T: Scalar>(
         match r.expect("every batch entry factored") {
             Ok(k) => kinds.push(k),
             Err(inner) => {
-                return Err(BatchSymmetricError {
+                return Err(SymBatchError::Symmetric(BatchSymmetricError {
                     batch_index: i,
                     inner,
-                })
+                }))
             }
+        }
+    }
+    if poison {
+        for d in descs {
+            poison_span(a.data_mut(), d.offset, d.span());
         }
     }
     Ok(kinds)
@@ -228,6 +296,16 @@ pub fn potrs_batched_varied<T: Scalar>(
     }
     let flops: u64 = descs.iter().map(|d| d.flops::<T>()).sum();
     device.record_launch("potrs_batched", descs.len(), flops, stream.id());
+    // No error channel (see `getrs_batched_varied`): FailLaunch degrades
+    // to NaN poisoning.
+    let mut poison = false;
+    match device.take_launch_fault("potrs_batched") {
+        Some((FaultAction::FailLaunch | FaultAction::PoisonNan, _)) => poison = true,
+        Some((FaultAction::Delay { micros }, _)) => {
+            std::thread::sleep(std::time::Duration::from_micros(micros))
+        }
+        None => {}
+    }
 
     let a_data = a.data();
     let windows: Vec<MatWindow> = descs
@@ -252,6 +330,11 @@ pub fn potrs_batched_varied<T: Scalar>(
         );
         solve_symmetric_in_place(f, &kinds[i], rhs);
     });
+    if poison {
+        for d in descs {
+            poison_span(b.data_mut(), d.b_offset, d.b_span());
+        }
+    }
 }
 
 /// Gather the main diagonal and the first subdiagonal of every block
@@ -472,13 +555,40 @@ mod tests {
             &mut buf,
         )
         .expect_err("second block is indefinite");
+        let promoted = err.clone().into_hodlr("leaf diagonal block");
+        assert!(promoted.to_string().contains("not positive definite"));
+        let err = err.symmetric().expect("an indefinite block, not a fault");
         assert_eq!(err.batch_index, 1);
         assert!(matches!(
             err.inner,
             SymmetricError::NotPositiveDefinite { pivot: 1 }
         ));
-        let promoted = err.into_hodlr("leaf diagonal block");
-        assert!(promoted.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn injected_fault_fails_the_scheduled_potrf_launch() {
+        let dev = Device::new();
+        dev.arm_faults(crate::FaultPlan::new().fail_launch(1));
+        let a = spd::<f64>(&mut StdRng::seed_from_u64(44), 4);
+        let mut buf = DeviceBuffer::from_host(&dev, a.data());
+        let descs = [SymDesc {
+            n: 4,
+            offset: 0,
+            ld: 4,
+        }];
+        let err = potrf_batched_varied(
+            &dev,
+            Stream::default(),
+            &descs,
+            SymmetricPolicy::Strict,
+            &mut buf,
+        )
+        .expect_err("launch 1 is scheduled to fail");
+        assert!(matches!(err, SymBatchError::Fault(_)));
+        assert!(err
+            .into_hodlr("leaf diagonal block")
+            .to_string()
+            .contains("potrf_batched"));
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! The virtual device: counters, launch metering, and the PCIe model.
+//! The virtual device: counters, launch metering, the PCIe model, and the
+//! fault-injection arming point.
 
+use crate::fault::{FaultAction, FaultEvent, FaultPlan};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Direction of an explicit host/device transfer.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -80,6 +82,20 @@ pub struct Device {
     /// Launch log guarded by a mutex (used by tests and the launch report).
     launch_log: Mutex<Vec<LaunchRecord>>,
     log_launches: bool,
+    /// Fast-path flag: `true` only while a fault plan is armed, so the
+    /// per-launch fault consultation costs one relaxed load when disarmed.
+    faults_armed: AtomicBool,
+    /// The armed fault plan plus its launch-ordinal cursor and fired log.
+    faults: Mutex<Option<FaultState>>,
+}
+
+/// Armed fault-plan state: the schedule, how many launches have consulted
+/// it, and which rules actually fired.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    launches_seen: u64,
+    fired: Vec<FaultEvent>,
 }
 
 /// One record in the (optional) launch log.
@@ -116,6 +132,8 @@ impl Device {
             parallel: true,
             launch_log: Mutex::new(Vec::new()),
             log_launches: false,
+            faults_armed: AtomicBool::new(false),
+            faults: Mutex::new(None),
         }
     }
 
@@ -250,6 +268,63 @@ impl Device {
     pub fn launch_log(&self) -> Vec<LaunchRecord> {
         self.launch_log.lock().clone()
     }
+
+    /// Arm `plan` on this device.  Launch ordinals restart at 1: the next
+    /// launch issued is ordinal 1 of the plan.  Arming replaces any plan
+    /// already armed.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        let mut guard = self.faults.lock();
+        *guard = Some(FaultState {
+            plan,
+            launches_seen: 0,
+            fired: Vec::new(),
+        });
+        self.faults_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm fault injection, returning the log of faults that fired
+    /// while the plan was armed (empty if none was armed).
+    pub fn disarm_faults(&self) -> Vec<FaultEvent> {
+        let mut guard = self.faults.lock();
+        self.faults_armed.store(false, Ordering::Release);
+        guard.take().map(|s| s.fired).unwrap_or_default()
+    }
+
+    /// Whether a fault plan is currently armed.
+    pub fn faults_armed(&self) -> bool {
+        self.faults_armed.load(Ordering::Acquire)
+    }
+
+    /// The faults that have fired so far under the armed plan.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.faults
+            .lock()
+            .as_ref()
+            .map(|s| s.fired.clone())
+            .unwrap_or_default()
+    }
+
+    /// Consult the armed fault plan for the launch being issued.  Called
+    /// once per launch by every batched kernel; advances the launch-ordinal
+    /// cursor and returns the scheduled action (with the ordinal, for error
+    /// reporting) when one fires.  Costs one relaxed atomic load when no
+    /// plan is armed.
+    pub fn take_launch_fault(&self, kernel: &'static str) -> Option<(FaultAction, u64)> {
+        if !self.faults_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut guard = self.faults.lock();
+        let state = guard.as_mut()?;
+        state.launches_seen += 1;
+        let ordinal = state.launches_seen;
+        let action = state.plan.rule(ordinal)?;
+        state.fired.push(FaultEvent {
+            kernel,
+            launch: ordinal,
+            action,
+        });
+        Some((action, ordinal))
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +404,51 @@ mod tests {
         };
         assert!((snap.gflops(1.0) - 2.0).abs() < 1e-12);
         assert_eq!(snap.gflops(0.0), 0.0);
+    }
+
+    #[test]
+    fn fault_consultation_counts_ordinals_from_arming() {
+        let dev = Device::new();
+        assert!(!dev.faults_armed());
+        assert_eq!(dev.take_launch_fault("gemm_strided_batched"), None);
+
+        dev.arm_faults(FaultPlan::new().fail_launch(2).delay_launch(3, 10));
+        assert!(dev.faults_armed());
+        assert_eq!(dev.take_launch_fault("a"), None); // ordinal 1
+        assert_eq!(
+            dev.take_launch_fault("b"),
+            Some((FaultAction::FailLaunch, 2))
+        );
+        assert_eq!(
+            dev.take_launch_fault("c"),
+            Some((FaultAction::Delay { micros: 10 }, 3))
+        );
+        assert_eq!(dev.take_launch_fault("d"), None); // ordinal 4, no rule
+
+        let events = dev.fault_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kernel, "b");
+        assert_eq!(events[0].launch, 2);
+
+        let fired = dev.disarm_faults();
+        assert_eq!(fired.len(), 2);
+        assert!(!dev.faults_armed());
+        assert_eq!(dev.take_launch_fault("e"), None);
+    }
+
+    #[test]
+    fn rearming_restarts_the_ordinal_cursor() {
+        let dev = Device::new();
+        dev.arm_faults(FaultPlan::new().poison_launch(1));
+        assert_eq!(
+            dev.take_launch_fault("x"),
+            Some((FaultAction::PoisonNan, 1))
+        );
+        dev.arm_faults(FaultPlan::new().poison_launch(1));
+        assert_eq!(
+            dev.take_launch_fault("y"),
+            Some((FaultAction::PoisonNan, 1))
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::buffer::DeviceBuffer;
 use crate::device::Device;
+use crate::fault::{poison_span, FaultAction};
 use crate::stream::Stream;
 use crate::windows::{process_windows_mut, MatWindow};
 use hodlr_la::blas::gemm_flops;
@@ -182,6 +183,16 @@ pub fn gemm_strided_batched<T: Scalar>(
 
     let flops: u64 = desc0.flops() * batch as u64;
     device.record_launch("gemm_strided_batched", batch, flops, stream.id());
+    // No error channel on gemm (see `getrs_batched_varied`): FailLaunch
+    // degrades to NaN poisoning of the output windows.
+    let mut poison = false;
+    match device.take_launch_fault("gemm_strided_batched") {
+        Some((FaultAction::FailLaunch | FaultAction::PoisonNan, _)) => poison = true,
+        Some((FaultAction::Delay { micros }, _)) => {
+            std::thread::sleep(std::time::Duration::from_micros(micros))
+        }
+        None => {}
+    }
 
     let a_data = a.data();
     let b_data = b.data();
@@ -203,6 +214,11 @@ pub fn gemm_strided_batched<T: Scalar>(
             c_view,
         );
     });
+    if poison {
+        for i in 0..batch {
+            poison_span(c.data_mut(), i * stride_c, c_span);
+        }
+    }
 }
 
 /// `cublasGemmBatched` with per-problem shapes: every descriptor addresses
@@ -237,6 +253,16 @@ pub fn gemm_batched_varied<T: Scalar>(
     }
     let flops: u64 = descs.iter().map(|d| d.flops()).sum();
     device.record_launch("gemm_batched", descs.len(), flops, stream.id());
+    // No error channel on gemm (see `getrs_batched_varied`): FailLaunch
+    // degrades to NaN poisoning of the output windows.
+    let mut poison = false;
+    match device.take_launch_fault("gemm_batched") {
+        Some((FaultAction::FailLaunch | FaultAction::PoisonNan, _)) => poison = true,
+        Some((FaultAction::Delay { micros }, _)) => {
+            std::thread::sleep(std::time::Duration::from_micros(micros))
+        }
+        None => {}
+    }
 
     let a_data = a.data();
     let b_data = b.data();
@@ -258,6 +284,11 @@ pub fn gemm_batched_varied<T: Scalar>(
             c_view,
         );
     });
+    if poison {
+        for d in descs {
+            poison_span(c.data_mut(), d.c_offset, d.c_span());
+        }
+    }
 }
 
 /// Varied batched gemm whose `A` operand lives in the same buffer as the
@@ -293,6 +324,16 @@ pub fn gemm_batched_aliased<T: Scalar>(
     }
     let flops: u64 = descs.iter().map(|d| d.flops()).sum();
     device.record_launch("gemm_batched_aliased", descs.len(), flops, stream.id());
+    // No error channel on gemm (see `getrs_batched_varied`): FailLaunch
+    // degrades to NaN poisoning of the output windows.
+    let mut poison = false;
+    match device.take_launch_fault("gemm_batched_aliased") {
+        Some((FaultAction::FailLaunch | FaultAction::PoisonNan, _)) => poison = true,
+        Some((FaultAction::Delay { micros }, _)) => {
+            std::thread::sleep(std::time::Duration::from_micros(micros))
+        }
+        None => {}
+    }
 
     let b_data = b.data();
 
@@ -326,6 +367,11 @@ pub fn gemm_batched_aliased<T: Scalar>(
             );
         },
     );
+    if poison {
+        for d in descs {
+            poison_span(ac.data_mut(), d.c_offset, d.c_span());
+        }
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,7 @@
 pub mod buffer;
 pub mod cholesky;
 pub mod device;
+pub mod fault;
 pub mod gemm;
 pub mod lu;
 pub mod slices;
@@ -65,13 +66,14 @@ pub mod windows;
 pub use buffer::DeviceBuffer;
 pub use cholesky::{
     extract_tridiagonals_batched, potrf_batched_varied, potrs_batched_varied, BatchSymmetricError,
-    SymDesc, SymSolveDesc,
+    SymBatchError, SymDesc, SymSolveDesc,
 };
 pub use device::{CounterSnapshot, Device, TransferDirection};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, LaunchFault};
 pub use gemm::{gemm_batched_aliased, gemm_batched_varied, gemm_strided_batched, GemmDesc};
 pub use lu::{
     extract_diagonals_batched, getrf_batched_varied, getrf_strided_batched, getrs_batched_varied,
-    getrs_strided_batched, BatchSingularError, LuDesc, LuSolveDesc,
+    getrs_strided_batched, BatchSingularError, LuBatchError, LuDesc, LuSolveDesc,
 };
 pub use stream::{Stream, StreamPool};
 pub use windows::{process_windows_mut, MatWindow};

@@ -8,6 +8,7 @@
 
 use crate::buffer::DeviceBuffer;
 use crate::device::Device;
+use crate::fault::{poison_span, FaultAction, LaunchFault};
 use crate::gemm::scalar_flop_factor;
 use crate::stream::Stream;
 use crate::windows::{process_windows_mut, MatWindow};
@@ -120,11 +121,64 @@ impl BatchSingularError {
     }
 }
 
+/// How a batched LU factorization can fail: a genuinely singular block, or
+/// an injected launch fault from an armed [`FaultPlan`](crate::FaultPlan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LuBatchError {
+    /// A batch entry's block is singular.
+    Singular(BatchSingularError),
+    /// The launch itself was made to fail by fault injection.
+    Fault(LaunchFault),
+}
+
+impl fmt::Display for LuBatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LuBatchError::Singular(e) => e.fmt(f),
+            LuBatchError::Fault(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LuBatchError {}
+
+impl From<BatchSingularError> for LuBatchError {
+    fn from(e: BatchSingularError) -> Self {
+        LuBatchError::Singular(e)
+    }
+}
+
+impl From<LuBatchError> for hodlr_la::HodlrError {
+    fn from(e: LuBatchError) -> Self {
+        e.into_hodlr("batched block")
+    }
+}
+
+impl LuBatchError {
+    /// Promote to a [`HodlrError`](hodlr_la::HodlrError) naming the failing
+    /// batch, preserving whichever failure kind occurred.
+    pub fn into_hodlr(self, context: impl Into<String>) -> hodlr_la::HodlrError {
+        match self {
+            LuBatchError::Singular(e) => e.into_hodlr(context),
+            LuBatchError::Fault(e) => e.into_hodlr(context),
+        }
+    }
+
+    /// The singular-block failure, if that is what this error is.
+    pub fn singular(self) -> Option<BatchSingularError> {
+        match self {
+            LuBatchError::Singular(e) => Some(e),
+            LuBatchError::Fault(_) => None,
+        }
+    }
+}
+
 /// Factorize every block described by `descs` in place and return one pivot
 /// vector per block (`getrfBatched`).
 ///
 /// # Errors
-/// Returns the index of the first batch entry whose block is singular.
+/// Returns the index of the first batch entry whose block is singular, or
+/// a [`LaunchFault`] when an armed fault plan fails this launch.
 ///
 /// # Panics
 /// Panics if blocks overlap or reach past the end of the buffer.
@@ -133,7 +187,7 @@ pub fn getrf_batched_varied<T: Scalar>(
     stream: Stream,
     descs: &[LuDesc],
     a: &mut DeviceBuffer<'_, T>,
-) -> Result<Vec<Vec<usize>>, BatchSingularError> {
+) -> Result<Vec<Vec<usize>>, LuBatchError> {
     if descs.is_empty() {
         return Ok(Vec::new());
     }
@@ -145,6 +199,20 @@ pub fn getrf_batched_varied<T: Scalar>(
     }
     let flops: u64 = descs.iter().map(|d| d.flops::<T>()).sum();
     device.record_launch("getrf_batched", descs.len(), flops, stream.id());
+    let mut poison = false;
+    match device.take_launch_fault("getrf_batched") {
+        Some((FaultAction::FailLaunch, launch)) => {
+            return Err(LuBatchError::Fault(LaunchFault {
+                kernel: "getrf_batched",
+                launch,
+            }))
+        }
+        Some((FaultAction::PoisonNan, _)) => poison = true,
+        Some((FaultAction::Delay { micros }, _)) => {
+            std::thread::sleep(std::time::Duration::from_micros(micros))
+        }
+        None => {}
+    }
 
     let windows: Vec<MatWindow> = descs
         .iter()
@@ -167,11 +235,16 @@ pub fn getrf_batched_varied<T: Scalar>(
         match r.expect("every batch entry factored") {
             Ok(p) => pivots.push(p),
             Err(inner) => {
-                return Err(BatchSingularError {
+                return Err(LuBatchError::Singular(BatchSingularError {
                     batch_index: i,
                     inner,
-                })
+                }))
             }
+        }
+    }
+    if poison {
+        for d in descs {
+            poison_span(a.data_mut(), d.offset, d.span());
         }
     }
     Ok(pivots)
@@ -187,7 +260,7 @@ pub fn getrf_strided_batched<T: Scalar>(
     lda: usize,
     stride: usize,
     batch: usize,
-) -> Result<Vec<Vec<usize>>, BatchSingularError> {
+) -> Result<Vec<Vec<usize>>, LuBatchError> {
     let descs: Vec<LuDesc> = (0..batch)
         .map(|i| LuDesc {
             n,
@@ -235,6 +308,16 @@ pub fn getrs_batched_varied<T: Scalar>(
     }
     let flops: u64 = descs.iter().map(|d| d.flops::<T>()).sum();
     device.record_launch("getrs_batched", descs.len(), flops, stream.id());
+    // No error channel here (cuBLAS solves report async failures only
+    // through garbage output), so FailLaunch degrades to NaN poisoning.
+    let mut poison = false;
+    match device.take_launch_fault("getrs_batched") {
+        Some((FaultAction::FailLaunch | FaultAction::PoisonNan, _)) => poison = true,
+        Some((FaultAction::Delay { micros }, _)) => {
+            std::thread::sleep(std::time::Duration::from_micros(micros))
+        }
+        None => {}
+    }
 
     let a_data = a.data();
     let windows: Vec<MatWindow> = descs
@@ -259,6 +342,11 @@ pub fn getrs_batched_varied<T: Scalar>(
         );
         getrs_in_place(lu, &pivots[i], rhs);
     });
+    if poison {
+        for d in descs {
+            poison_span(b.data_mut(), d.b_offset, d.b_span());
+        }
+    }
 }
 
 /// Gather the main diagonal of every block described by `descs`, returning
@@ -477,8 +565,88 @@ mod tests {
         let mut a_buf = DeviceBuffer::from_host(&dev, &host);
         let err = getrf_strided_batched(&dev, Stream::default(), 3, &mut a_buf, 3, 9, 2)
             .expect_err("second block is singular");
-        assert_eq!(err.batch_index, 1);
         assert!(err.to_string().contains("batch entry 1"));
+        let singular = err.singular().expect("a singular block, not a fault");
+        assert_eq!(singular.batch_index, 1);
+    }
+
+    #[test]
+    fn injected_fault_fails_the_scheduled_getrf_launch() {
+        let dev = Device::new();
+        dev.arm_faults(crate::FaultPlan::new().fail_launch(2));
+        let a = random_diag_dominant::<f64, _>(&mut StdRng::seed_from_u64(40), 4);
+
+        // Launch 1: no rule, factors fine.
+        let mut buf = DeviceBuffer::from_host(&dev, a.data());
+        getrf_strided_batched(&dev, Stream::default(), 4, &mut buf, 4, 16, 1)
+            .expect("launch 1 is clean");
+
+        // Launch 2: scheduled to fail with a typed fault.
+        let mut buf = DeviceBuffer::from_host(&dev, a.data());
+        let err = getrf_strided_batched(&dev, Stream::default(), 4, &mut buf, 4, 16, 1)
+            .expect_err("launch 2 is scheduled to fail");
+        match err {
+            LuBatchError::Fault(ref f) => {
+                assert_eq!(f.kernel, "getrf_batched");
+                assert_eq!(f.launch, 2);
+            }
+            other => panic!("expected a fault, got {other}"),
+        }
+        let promoted = err.clone().into_hodlr("leaf diagonal block");
+        assert!(promoted.to_string().contains("leaf diagonal block"));
+
+        // Launch 3: clean again; the plan only fires on its ordinal.
+        let mut buf = DeviceBuffer::from_host(&dev, a.data());
+        getrf_strided_batched(&dev, Stream::default(), 4, &mut buf, 4, 16, 1)
+            .expect("launch 3 is clean");
+        assert_eq!(dev.disarm_faults().len(), 1);
+    }
+
+    #[test]
+    fn injected_poison_makes_the_solve_output_non_finite() {
+        let dev = Device::new();
+        let a = random_diag_dominant::<f64, _>(&mut StdRng::seed_from_u64(41), 4);
+        let mut a_buf = DeviceBuffer::from_host(&dev, a.data());
+        let pivots =
+            getrf_strided_batched(&dev, Stream::default(), 4, &mut a_buf, 4, 16, 1).unwrap();
+
+        // FailLaunch on the (infallible) solve degrades to poisoning.
+        dev.arm_faults(crate::FaultPlan::new().fail_launch(1));
+        let mut b_buf = DeviceBuffer::from_host(&dev, &[1.0, 2.0, 3.0, 4.0]);
+        getrs_strided_batched(
+            &dev,
+            Stream::default(),
+            4,
+            1,
+            &a_buf,
+            4,
+            16,
+            &pivots,
+            &mut b_buf,
+            4,
+            4,
+            1,
+        );
+        assert!(b_buf.download().iter().all(|v| v.is_nan()));
+        dev.disarm_faults();
+
+        // With the plan disarmed the same solve is clean again.
+        let mut b_buf = DeviceBuffer::from_host(&dev, &[1.0, 2.0, 3.0, 4.0]);
+        getrs_strided_batched(
+            &dev,
+            Stream::default(),
+            4,
+            1,
+            &a_buf,
+            4,
+            16,
+            &pivots,
+            &mut b_buf,
+            4,
+            4,
+            1,
+        );
+        assert!(b_buf.download().iter().all(|v| v.is_finite()));
     }
 
     #[test]

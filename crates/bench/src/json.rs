@@ -266,6 +266,15 @@ pub fn serve_rows_to_json(rows: &[ServeRow]) -> String {
             number(row.launches_per_request)
         ));
         out.push_str(&format!("\"failed\": {}, ", row.failed));
+        out.push_str(&format!(
+            "\"recovered_requests\": {}, ",
+            row.recovered_requests
+        ));
+        out.push_str(&format!("\"retries\": {}, ", row.retries));
+        out.push_str(&format!("\"degraded_solves\": {}, ", row.degraded_solves));
+        out.push_str(&format!("\"breaker_trips\": {}, ", row.breaker_trips));
+        out.push_str(&format!("\"unaccounted\": {}, ", row.unaccounted));
+        out.push_str(&format!("\"fault_seed\": {}, ", row.fault_seed));
         out.push_str(&format!("\"deterministic\": {}, ", row.deterministic));
         out.push_str(&format!("\"checksum\": {}", number(row.checksum)));
         out.push('}');
@@ -434,6 +443,12 @@ mod tests {
             evictions: 0,
             launches_per_request: 0.4,
             failed: 0,
+            recovered_requests: 3,
+            retries: 5,
+            degraded_solves: 2,
+            breaker_trips: 1,
+            unaccounted: 0,
+            fault_seed: 0xC4A0_5EED,
             deterministic: true,
             checksum: 0.125,
         };
@@ -445,6 +460,12 @@ mod tests {
             "\"throughput_rps\": 8.5e2",
             "\"hit_rate\": 9.6e-1",
             "\"launches_per_request\": 4e-1",
+            "\"recovered_requests\": 3",
+            "\"retries\": 5",
+            "\"degraded_solves\": 2",
+            "\"breaker_trips\": 1",
+            "\"unaccounted\": 0",
+            "\"fault_seed\": 3298844397",
             "\"deterministic\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

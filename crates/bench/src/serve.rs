@@ -1,7 +1,7 @@
 //! The serving scenario family: a deterministic multi-tenant load
 //! generator over [`SolveService`].
 //!
-//! Three scenarios probe the three serve-layer mechanisms:
+//! Four scenarios probe the serve-layer mechanisms:
 //!
 //! * `warm` — a small mixed GP/BIE tenant set under steady traffic; the
 //!   factorization cache must absorb it (hit-rate > 0.5 after warmup).
@@ -10,17 +10,28 @@
 //! * `coalesce` — one batched tenant under bursts larger than one blocked
 //!   solve's launch count; request coalescing must push
 //!   launches-per-request below 1.
+//! * `chaos` — the same scripted traffic with seeded fault plans armed at
+//!   both layers (device launch poison, cache flushes, drain stalls, one
+//!   tenant that only solves at a tighter tolerance, one that never
+//!   recovers); probes the degradation ladder, the self-verification gate
+//!   and the circuit breaker under adversarial scheduling.
 //!
 //! Everything is seeded and scripted: the tenant schedule, the right-hand
-//! sides and the drain boundaries are pure functions of the request index,
-//! and each scenario runs **twice** to assert the solve results are
-//! bitwise reproducible (the `deterministic` column).  Only wall-clock
-//! derived metrics (throughput, latency) vary between runs.
+//! sides, the drain boundaries **and every injected fault** are pure
+//! functions of the request index (and, for `chaos`, of the fixed fault
+//! seed), and each scenario runs **twice** to assert the solve results are
+//! bitwise reproducible (the `deterministic` column; for `chaos` the
+//! folded stream includes a tag for every typed error, so the failure
+//! schedule itself must replay bitwise).  Only wall-clock derived metrics
+//! (throughput, latency) vary between runs.
 
 use hodlr::{Backend, Hodlr, TreePolicy};
+use hodlr_batch::FaultPlan;
 use hodlr_gp::{covariance_source, regular_grid_1d, Matern, SquaredExponential};
 use hodlr_la::HodlrError;
-use hodlr_serve::{CacheConfig, CacheKey, ServeConfig, SolveService};
+use hodlr_serve::{
+    CacheConfig, CacheKey, DegradeConfig, ServeConfig, ServeError, ServeFaultPlan, SolveService,
+};
 use std::time::Instant;
 
 use crate::workloads::laplace_hodlr;
@@ -56,6 +67,22 @@ pub struct ServeRow {
     pub launches_per_request: f64,
     /// Requests that resolved to an error.
     pub failed: u64,
+    /// Requests that first failed verification (or hit an injected fault)
+    /// and were then brought back to a *verified* solution by the
+    /// degradation ladder.
+    pub recovered_requests: u64,
+    /// Ladder rungs attempted across the whole stream.
+    pub retries: u64,
+    /// Requests answered by a degraded rung (tighter rebuild, iterative
+    /// refinement or GMRES fallback) rather than the nominal direct solve.
+    pub degraded_solves: u64,
+    /// Circuit-breaker trips across the whole stream.
+    pub breaker_trips: u64,
+    /// Requests that neither produced a result nor a typed error — must be
+    /// zero in every scenario (the accounting invariant).
+    pub unaccounted: u64,
+    /// Seed of the injected fault schedule (0 = faults disabled).
+    pub fault_seed: u64,
     /// Whether a second, identically scripted run reproduced every solve
     /// result bitwise.
     pub deterministic: bool,
@@ -107,26 +134,34 @@ enum TenantKind {
     Bie,
 }
 
+const KINDS: [TenantKind; 3] = [
+    TenantKind::GpMatern,
+    TenantKind::GpSquaredExponential,
+    TenantKind::Bie,
+];
+
+/// The cache key tenant `t` registers under (also used by the `chaos`
+/// driver to find a tenant's resident entry and poison its device).
+fn tenant_cache_key(t: usize, n: usize, backend: Backend) -> CacheKey {
+    let kind = KINDS[t % KINDS.len()];
+    CacheKey::new(
+        format!("tenant-{t}/{kind:?}/n={n}"),
+        &TreePolicy::LeafSize(64),
+        1e-8,
+        backend,
+        hodlr::Precision::Full,
+    )
+}
+
 /// Register `count` tenants cycling through the archetypes; tenant `t`
 /// gets a slightly different operator (length scale / noise shift) so
 /// distinct tenants genuinely factorize distinct matrices.
 fn register_tenants(service: &SolveService<f64>, count: usize, n: usize, backend: Backend) {
-    const KINDS: [TenantKind; 3] = [
-        TenantKind::GpMatern,
-        TenantKind::GpSquaredExponential,
-        TenantKind::Bie,
-    ];
     for t in 0..count {
         let kind = KINDS[t % KINDS.len()];
         let name = format!("tenant-{t}");
         let tol = 1e-8;
-        let key = CacheKey::new(
-            format!("{name}/{kind:?}/n={n}"),
-            &TreePolicy::LeafSize(64),
-            tol,
-            backend,
-            hodlr::Precision::Full,
-        );
+        let key = tenant_cache_key(t, n, backend);
         let build = move || -> Result<Hodlr<f64>, HodlrError> {
             match kind {
                 TenantKind::GpMatern => {
@@ -266,6 +301,7 @@ fn run_scenario(
         let service = SolveService::<f64>::new(ServeConfig {
             cache,
             queue_capacity: config.requests.max(16),
+            degrade: DegradeConfig::default(),
         });
         register_tenants(&service, tenants, config.n, backend);
         service
@@ -295,6 +331,249 @@ fn run_scenario(
         // failure count; adding `stats.failed` (the drain-side view of the
         // same errors) would double-count.
         failed: pass.failed,
+        recovered_requests: stats.recovered,
+        retries: stats.ladder_retries,
+        degraded_solves: stats.degraded,
+        breaker_trips: stats.breaker_trips,
+        unaccounted: (config.requests as u64)
+            .saturating_sub(pass.latencies_ms.len() as u64 + pass.failed),
+        fault_seed: 0,
+        deterministic: pass.result_bits == replay.result_bits,
+        checksum: checksum(&pass.result_bits),
+    }
+}
+
+/// The fixed fault seed of the `chaos` scenario: every injected device
+/// fault derives from it, so the whole failure schedule replays bitwise.
+pub const CHAOS_FAULT_SEED: u64 = 0xC4A0_5EED;
+
+/// Fold a typed serve error into the determinism stream.  Each variant
+/// gets a distinct tag, and variants carrying deterministic evidence
+/// (residuals, breaker state, offending index) mix it in, so a replay
+/// must reproduce not just the successes but the exact failure schedule.
+fn error_tag(e: &ServeError) -> u64 {
+    match e {
+        ServeError::Solver(_) => 0xE1,
+        ServeError::QueueFull { capacity } => 0xE2 ^ ((*capacity as u64) << 8),
+        ServeError::Evicted { .. } => 0xE3,
+        ServeError::Timeout { .. } => 0xE4,
+        ServeError::InvalidRhs { index } => 0xE5 ^ ((*index as u64) << 8),
+        ServeError::BuilderPanic { .. } => 0xE6,
+        ServeError::CircuitOpen {
+            failures,
+            until_drain,
+        } => 0xE7 ^ ((*failures as u64) << 8) ^ (until_drain << 40),
+        ServeError::SuspectSolution { residual, .. } => 0xE8 ^ residual.to_bits(),
+    }
+}
+
+/// Register the chaos tenant set: two healthy batched GP tenants (the
+/// seeded device faults target these), one tenant whose nominal build is
+/// poisoned but whose tighter rebuild is clean (every request must recover
+/// at the ladder's tighten rung), and one tenant that never solves (the
+/// ladder exhausts and the breaker must trip).
+fn register_chaos_tenants(service: &SolveService<f64>, n: usize) {
+    register_tenants(service, 2, n, Backend::Batched);
+
+    // tenant-2: flaky at nominal tolerance.  The builder arms a blanket
+    // poison plan on the device for the nominal (scale == 1.0) build, so
+    // the factorization itself is NaN; at the tighten rung's scale the
+    // device stays clean and the solve verifies.
+    let flaky_key = CacheKey::new(
+        format!("tenant-2/FlakyGp/n={n}"),
+        &TreePolicy::LeafSize(64),
+        1e-8,
+        Backend::Batched,
+        hodlr::Precision::Full,
+    );
+    service.register_tenant_scaled("tenant-2", flaky_key, move |scale| {
+        let points = regular_grid_1d(n, 0.0, 1.0);
+        let kernel = Matern::three_halves(1.0, 0.3);
+        let source = covariance_source(&kernel, &points, 1e-2);
+        let hodlr = Hodlr::builder()
+            .source(&source)
+            .leaf_size(64)
+            .tolerance(1e-8 * scale)
+            .backend(Backend::Batched)
+            .build()?;
+        if scale == 1.0 {
+            hodlr
+                .device()
+                .arm_faults(FaultPlan::new().poison_range(1, 4096));
+        }
+        Ok(hodlr)
+    });
+
+    // tenant-3: cursed.  Every build (nominal and rebuilt) is poisoned and
+    // the tenant is unscaled, so the tighten rung does not apply: the
+    // ladder exhausts, requests surface `SuspectSolution`, and the circuit
+    // breaker must trip.
+    let cursed_key = CacheKey::new(
+        format!("tenant-3/Cursed/n={n}"),
+        &TreePolicy::LeafSize(64),
+        1e-8,
+        Backend::Batched,
+        hodlr::Precision::Full,
+    );
+    service.register_tenant("tenant-3", cursed_key, move || {
+        let points = regular_grid_1d(n, 0.0, 1.0);
+        let kernel = SquaredExponential {
+            variance: 1.0,
+            length_scale: 0.25,
+        };
+        let source = covariance_source(&kernel, &points, 1e-2);
+        let hodlr = Hodlr::builder()
+            .source(&source)
+            .leaf_size(64)
+            .tolerance(1e-8)
+            .backend(Backend::Batched)
+            .build()?;
+        hodlr
+            .device()
+            .arm_faults(FaultPlan::new().poison_range(1, 4096));
+        Ok(hodlr)
+    });
+}
+
+/// Drive the chaos stream: the same scripted submit/drain cadence as
+/// [`drive`], with seeded device-fault plans re-armed on the healthy
+/// tenants' resident entries every third burst.  Errors are folded into
+/// the determinism stream via [`error_tag`], and every request must
+/// resolve (the returned outcome's `failed` plus its latency count must
+/// account for the full stream).
+fn drive_chaos(
+    service: &SolveService<f64>,
+    tenants: usize,
+    n: usize,
+    requests: usize,
+    burst: usize,
+    fault_seed: u64,
+) -> PassOutcome {
+    let mut latencies_ms = Vec::with_capacity(requests);
+    let mut result_bits = Vec::new();
+    let mut failed = 0u64;
+    let started = Instant::now();
+    let mut r = 0;
+    let mut burst_index = 0u64;
+    while r < requests {
+        // Every third burst, poison a couple of upcoming launches on one
+        // healthy tenant's resident device (alternating tenants).  Launch
+        // ordinals restart at arming, so the schedule is a pure function
+        // of the burst index and the fault seed.
+        if burst_index.is_multiple_of(3) {
+            let target = (burst_index / 3) as usize % 2;
+            if let Some(entry) = service
+                .cache()
+                .get(&tenant_cache_key(target, n, Backend::Batched))
+            {
+                let device = entry.hodlr().device();
+                device.disarm_faults();
+                device.arm_faults(FaultPlan::seeded(fault_seed ^ burst_index, 48, 3));
+            }
+        }
+        let burst_end = (r + burst).min(requests);
+        let mut in_flight = Vec::with_capacity(burst_end - r);
+        for req in r..burst_end {
+            let tenant = scripted_tenant(tenants, req);
+            let submitted = Instant::now();
+            match service.submit(&tenant, scripted_rhs(n, req)) {
+                Ok(ticket) => in_flight.push((submitted, ticket)),
+                Err(e) => {
+                    failed += 1;
+                    result_bits.push(error_tag(&e));
+                }
+            }
+        }
+        service.drain();
+        for (submitted, ticket) in in_flight {
+            match ticket.try_take().expect("drain fulfills every ticket") {
+                Ok(x) => {
+                    latencies_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+                    result_bits.extend(x.iter().map(|v| v.to_bits()));
+                }
+                Err(e) => {
+                    failed += 1;
+                    result_bits.push(error_tag(&e));
+                }
+            }
+        }
+        r = burst_end;
+        burst_index += 1;
+    }
+    PassOutcome {
+        latencies_ms,
+        elapsed_s: started.elapsed().as_secs_f64(),
+        result_bits,
+        failed,
+    }
+}
+
+/// The `chaos` scenario: scripted traffic over the chaos tenant set with
+/// fault plans armed at both layers, run twice for the bitwise verdict.
+fn run_chaos_scenario(config: &ServeBenchConfig) -> ServeRow {
+    let tenants = 4;
+    let make_service = || {
+        let service = SolveService::<f64>::new(ServeConfig {
+            cache: CacheConfig {
+                max_entries: 32,
+                memory_budget_bytes: 4 << 30,
+            },
+            queue_capacity: config.requests.max(16),
+            degrade: DegradeConfig::default(),
+        });
+        register_chaos_tenants(&service, config.n);
+        // Serve-layer chaos: flush the cache ahead of drains 2 and 5 (warm
+        // entries vanish under in-flight requests) and stall drain 3.
+        service.arm_faults(
+            ServeFaultPlan::new()
+                .evict_before_drain(2)
+                .evict_before_drain(5)
+                .stall_drain(3, 200),
+        );
+        service
+    };
+
+    let service = make_service();
+    let pass = drive_chaos(
+        &service,
+        tenants,
+        config.n,
+        config.requests,
+        config.burst,
+        CHAOS_FAULT_SEED,
+    );
+    let replay = drive_chaos(
+        &make_service(),
+        tenants,
+        config.n,
+        config.requests,
+        config.burst,
+        CHAOS_FAULT_SEED,
+    );
+
+    let cache_stats = service.cache_stats();
+    let stats = service.stats();
+    ServeRow {
+        scenario: "chaos".to_string(),
+        tenants,
+        requests: config.requests,
+        n: config.n,
+        burst: config.burst,
+        drains: stats.drains,
+        throughput_rps: config.requests as f64 / pass.elapsed_s,
+        p50_ms: percentile(&pass.latencies_ms, 50.0),
+        p99_ms: percentile(&pass.latencies_ms, 99.0),
+        hit_rate: cache_stats.hit_rate(),
+        evictions: cache_stats.evictions,
+        launches_per_request: stats.launches_per_request(),
+        failed: pass.failed,
+        recovered_requests: stats.recovered,
+        retries: stats.ladder_retries,
+        degraded_solves: stats.degraded,
+        breaker_trips: stats.breaker_trips,
+        unaccounted: (config.requests as u64)
+            .saturating_sub(pass.latencies_ms.len() as u64 + pass.failed),
+        fault_seed: CHAOS_FAULT_SEED,
         deterministic: pass.result_bits == replay.result_bits,
         checksum: checksum(&pass.result_bits),
     }
@@ -311,7 +590,7 @@ fn solo_launch_count(config: &ServeBenchConfig) -> u64 {
     service.stats().launches
 }
 
-/// Run the three serving scenarios.
+/// Run the four serving scenarios.
 pub fn run_serve_bench(config: &ServeBenchConfig) -> Vec<ServeRow> {
     let roomy = CacheConfig {
         max_entries: 32,
@@ -333,14 +612,18 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Vec<ServeRow> {
     let burst = (2 * solo_launch_count(config) as usize).max(config.burst);
     let coalesce = run_scenario("coalesce", 1, roomy, Backend::Batched, config, burst);
 
-    vec![warm, cold, coalesce]
+    // Seeded faults at both layers: the ladder, verification gate and
+    // breaker must keep every request accounted and replay bitwise.
+    let chaos = run_chaos_scenario(config);
+
+    vec![warm, cold, coalesce, chaos]
 }
 
 /// Print the rows as an aligned table.
 pub fn print_serve_table(title: &str, rows: &[ServeRow]) {
     println!("\n== {title} ==");
     println!(
-        "{:<10} {:>7} {:>8} {:>6} {:>6} {:>12} {:>9} {:>9} {:>9} {:>10} {:>14} {:>7} {:>6}",
+        "{:<10} {:>7} {:>8} {:>6} {:>6} {:>12} {:>9} {:>9} {:>9} {:>10} {:>14} {:>7} {:>9} {:>7} {:>8} {:>6} {:>6}",
         "scenario",
         "tenants",
         "requests",
@@ -353,11 +636,15 @@ pub fn print_serve_table(title: &str, rows: &[ServeRow]) {
         "evictions",
         "launches/req",
         "failed",
+        "recovered",
+        "retries",
+        "degraded",
+        "trips",
         "determ"
     );
     for row in rows {
         println!(
-            "{:<10} {:>7} {:>8} {:>6} {:>6} {:>12.1} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>14.3} {:>7} {:>6}",
+            "{:<10} {:>7} {:>8} {:>6} {:>6} {:>12.1} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>14.3} {:>7} {:>9} {:>7} {:>8} {:>6} {:>6}",
             row.scenario,
             row.tenants,
             row.requests,
@@ -370,6 +657,10 @@ pub fn print_serve_table(title: &str, rows: &[ServeRow]) {
             row.evictions,
             row.launches_per_request,
             row.failed,
+            row.recovered_requests,
+            row.retries,
+            row.degraded_solves,
+            row.breaker_trips,
             row.deterministic
         );
     }
@@ -386,7 +677,7 @@ mod tests {
             requests: 24,
             burst: 6,
         });
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         let by_name = |name: &str| rows.iter().find(|r| r.scenario == name).unwrap();
 
         let warm = by_name("warm");
@@ -403,10 +694,38 @@ mod tests {
             coalesce.launches_per_request
         );
 
+        // The faults-off scenarios must not exercise the ladder at all.
+        for name in ["warm", "cold", "coalesce"] {
+            let row = by_name(name);
+            assert_eq!(row.fault_seed, 0, "{name}: faults must be disabled");
+            assert_eq!(row.retries, 0, "{name}: ladder must stay cold");
+        }
+
+        let chaos = by_name("chaos");
+        assert_eq!(chaos.fault_seed, CHAOS_FAULT_SEED);
+        assert!(
+            chaos.recovered_requests > 0,
+            "chaos must recover faulted requests via the ladder"
+        );
+        assert!(
+            chaos.degraded_solves > 0,
+            "the flaky tenant must be answered by a degraded rung"
+        );
+        assert!(chaos.retries > 0, "chaos must attempt ladder rungs");
+        assert!(
+            chaos.breaker_trips > 0,
+            "the cursed tenant must trip the breaker"
+        );
+        assert!(
+            chaos.failed > 0,
+            "the cursed tenant's requests must surface typed errors"
+        );
+
         for row in &rows {
             assert!(row.deterministic, "{}: replay diverged", row.scenario);
             assert!(row.throughput_rps > 0.0);
             assert!(row.p99_ms >= row.p50_ms);
+            assert_eq!(row.unaccounted, 0, "{}: lost requests", row.scenario);
         }
     }
 

@@ -342,6 +342,79 @@ impl<T: Scalar> HodlrMatrix<T> {
         hodlr_la::gemv(T::one(), u, Op::None, &tmp, T::one(), &mut y[row_range]);
     }
 
+    /// Adjoint matrix-vector product `y = A^H x`, also `O(N log N)`: the
+    /// leaf blocks apply conjugate-transposed and each low-rank block
+    /// `U_row V_col^H` contributes `V_col (U_row^H x)` to the mirrored
+    /// index range.  The condition estimator drives this as the
+    /// `apply_adjoint` side of Hager/Higham.
+    pub fn matvec_adjoint(&self, x: &[T]) -> Vec<T> {
+        let mut y = vec![T::zero(); self.n()];
+        self.matvec_adjoint_into(x, &mut y);
+        y
+    }
+
+    /// In-place adjoint matrix-vector product `y = A^H x`.
+    pub fn matvec_adjoint_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n(), "matvec_adjoint: x has the wrong length");
+        assert_eq!(y.len(), self.n(), "matvec_adjoint: y has the wrong length");
+        y.fill(T::zero());
+        for (leaf_idx, leaf) in self.tree.leaves().enumerate() {
+            let range = self.tree.range(leaf);
+            let d = &self.diag[leaf_idx];
+            hodlr_la::gemv(
+                T::one(),
+                d.as_ref(),
+                Op::ConjTrans,
+                &x[range.clone()],
+                T::one(),
+                &mut y[range],
+            );
+        }
+        for gamma in self.tree.internal_nodes() {
+            let (alpha, beta) = self.tree.children(gamma).expect("internal node");
+            self.apply_off_diag_adjoint(alpha, beta, x, y);
+            self.apply_off_diag_adjoint(beta, alpha, x, y);
+        }
+    }
+
+    /// Adjoint of the `(row_node, col_node)` low-rank block:
+    /// `y[I_col] += V_col (U_row^H x[I_row])`.
+    fn apply_off_diag_adjoint(&self, row_node: NodeId, col_node: NodeId, x: &[T], y: &mut [T]) {
+        let row_range = self.tree.range(row_node);
+        let col_range = self.tree.range(col_node);
+        let u = self.u_block(row_node);
+        let v = self.v_block(col_node);
+        let width = u.cols();
+        let mut tmp = vec![T::zero(); width];
+        hodlr_la::gemv(
+            T::one(),
+            u,
+            Op::ConjTrans,
+            &x[row_range],
+            T::zero(),
+            &mut tmp,
+        );
+        hodlr_la::gemv(T::one(), v, Op::None, &tmp, T::one(), &mut y[col_range]);
+    }
+
+    /// Hager/Higham estimate of `‖A‖₁` from a handful of matvec /
+    /// adjoint-matvec pairs (`O(N log N)` each) — the `‖A‖` of the
+    /// verification layer's scaled residual, without densifying.
+    pub fn norm1_est(&self) -> f64 {
+        let mut apply = |x: &mut [T]| -> Result<(), std::convert::Infallible> {
+            let y = self.matvec(x);
+            x.copy_from_slice(&y);
+            Ok(())
+        };
+        let mut apply_adjoint = |x: &mut [T]| -> Result<(), std::convert::Infallible> {
+            let y = self.matvec_adjoint(x);
+            x.copy_from_slice(&y);
+            Ok(())
+        };
+        let Ok(est) = hodlr_la::one_norm_est(self.n(), &mut apply, &mut apply_adjoint);
+        est
+    }
+
     /// Matrix-matrix product `Y = A X` column by column.
     pub fn matmat(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
         assert_eq!(x.rows(), self.n());
@@ -578,6 +651,40 @@ mod tests {
         for (a, b) in y.iter().zip(y_ref.iter()) {
             assert!((*a - *b).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn matvec_adjoint_matches_dense_conj_transpose() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let m: HodlrMatrix<Complex64> = random_hodlr(&mut rng, 48, 3, 3);
+        let dense_h = m.to_dense().conj_transpose();
+        let x: Vec<Complex64> = (0..48)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let y = m.matvec_adjoint(&x);
+        let y_ref = dense_h.matvec(&x);
+        for (a, b) in y.iter().zip(y_ref.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+
+        let mr: HodlrMatrix<f64> = random_hodlr(&mut rng, 40, 2, 3);
+        let dense_t = mr.to_dense().conj_transpose();
+        let xr: Vec<f64> = (0..40).map(|i| (i as f64 * 0.31).cos()).collect();
+        let yr = mr.matvec_adjoint(&xr);
+        let yr_ref = dense_t.matvec(&xr);
+        for (a, b) in yr.iter().zip(yr_ref.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn norm1_est_tracks_the_dense_one_norm() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let m: HodlrMatrix<f64> = random_hodlr(&mut rng, 64, 3, 4);
+        let exact = hodlr_la::norms::norm_one(m.to_dense().as_ref());
+        let est = m.norm1_est();
+        assert!(est <= exact * (1.0 + 1e-12), "est {est} > exact {exact}");
+        assert!(est >= exact / 3.0, "est {est} too small vs {exact}");
     }
 
     #[test]

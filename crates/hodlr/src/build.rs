@@ -21,7 +21,7 @@
 //! ```
 
 use crate::scalar::SolveScalar;
-use crate::solve::{Factorization, Factorize};
+use crate::solve::{Factorization, Factorize, Solve};
 use hodlr_batch::Device;
 use hodlr_compress::{CompressionConfig, CompressionMethod, MatrixEntrySource};
 use hodlr_core::{
@@ -362,7 +362,7 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
 /// door of the workspace.
 ///
 /// Built with [`Hodlr::builder`]; factorized through the
-/// [`Factorize`] trait; solved through the [`Solve`](crate::Solve) trait.
+/// [`Factorize`] trait; solved through the [`Solve`] trait.
 /// The handle owns the virtual batched device, so
 /// [`Backend::Batched`] factorizations and their launch/flop counters live
 /// entirely behind it.
@@ -462,6 +462,36 @@ impl<T: Scalar> Hodlr<T> {
     /// Relative residual `||b - A x|| / ||b||` of a candidate solution.
     pub fn relative_residual(&self, x: &[T], b: &[T]) -> T::Real {
         self.run_in_pool(|| self.matrix.relative_residual(x, b))
+    }
+
+    /// Hager/Higham estimate of `‖A‖₁` (a handful of `O(N log N)`
+    /// matvec/adjoint-matvec pairs) — the operator-norm side of the
+    /// verification layer's scaled residual.
+    pub fn norm1_est(&self) -> f64 {
+        self.run_in_pool(|| self.matrix.norm1_est())
+    }
+
+    /// Verify a candidate solution `x` of `A x = b` against this operator
+    /// using `solver` for the condition estimate: one matvec for the
+    /// scaled residual `‖Ax−b‖₂ / (‖A‖₁ᵉˢᵗ‖x‖₂)`, then
+    /// [`Solve::verify_solution`] for the verdict.  `norm1_est` is
+    /// recomputed per call; callers in a solve loop should cache it (as
+    /// `hodlr-serve`'s cache entries do) and use
+    /// [`verify::scaled_residual`](crate::verify::scaled_residual)
+    /// directly.
+    pub fn verify_solve(
+        &self,
+        solver: &(impl Solve<T> + ?Sized),
+        x: &[T],
+        b: &[T],
+        cfg: &crate::VerifyConfig,
+    ) -> crate::SolveVerdict {
+        self.run_in_pool(|| {
+            let norm1 = self.matrix.norm1_est();
+            let ax = self.matrix.matvec(x);
+            let residual = crate::scaled_residual(&ax, x, b, norm1);
+            solver.verify_solution(x, residual, norm1, cfg)
+        })
     }
 
     pub(crate) fn refine_tol(&self) -> f64 {

@@ -56,11 +56,13 @@ pub mod build;
 pub mod iterative;
 pub mod scalar;
 pub mod solve;
+pub mod verify;
 
 pub use build::{Backend, Hodlr, HodlrBuilder, Precision, TreePolicy};
 pub use iterative::{IterativeSolver, KrylovMethod};
 pub use scalar::SolveScalar;
 pub use solve::{Factorization, Factorize, Solve};
+pub use verify::{scaled_residual, SolveVerdict, VerifyConfig};
 
 pub use hodlr_core::Symmetry;
 pub use hodlr_la::HodlrError;
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::iterative::{IterativeSolver, KrylovMethod};
     pub use crate::scalar::SolveScalar;
     pub use crate::solve::{Factorization, Factorize, Solve};
+    pub use crate::verify::{SolveVerdict, VerifyConfig};
     pub use hodlr_batch::Device;
     pub use hodlr_compress::{
         ClosureSource, CompressionConfig, CompressionMethod, DenseSource, MatrixEntrySource,

@@ -8,6 +8,7 @@
 //! [`Backend`](crate::Backend) on the builder and never name a concrete
 //! solver type again.
 
+use crate::verify::{SolveVerdict, VerifyConfig};
 use hodlr_core::{
     GpuSolver, GpuSymmetricSolver, SerialFactorization, SerialSymmetricFactorization,
 };
@@ -116,6 +117,63 @@ pub trait Solve<T: Scalar> {
     /// the default of 0.
     fn factor_bytes(&self) -> u64 {
         0
+    }
+
+    /// Hager/Higham estimate of `‖A⁻¹‖₁` driven by this solver's own
+    /// solves — a handful of `O(N log N)` applications instead of an
+    /// inverse.  Combined with the operator's `‖A‖₁` estimate this gives
+    /// the condition estimate attached to [`SolveVerdict::Suspect`].
+    ///
+    /// The estimator needs `A⁻ᴴ` applications too; this default reuses the
+    /// forward solve for them, which is **exact for Hermitian operators**
+    /// (`A⁻ᴴ = A⁻¹`) — the GP-covariance and symmetrized-BIE workloads
+    /// this system serves — and a documented heuristic otherwise (the
+    /// estimate stays a valid order-of-magnitude indicator because
+    /// `‖A⁻ᵀ‖₁ = ‖A⁻¹‖_∞` is within a factor `n` of `‖A⁻¹‖₁`).
+    ///
+    /// # Errors
+    /// Propagates the first solve failure ([`HodlrError::NotFactorized`],
+    /// [`HodlrError::NonConvergence`], ...).
+    fn inv_norm1_est(&self) -> Result<f64, HodlrError> {
+        let mut apply = |x: &mut [T]| self.solve_in_place(x);
+        let mut apply_adjoint = |x: &mut [T]| self.solve_in_place(x);
+        hodlr_la::one_norm_est(self.dim(), &mut apply, &mut apply_adjoint)
+    }
+
+    /// Judge a candidate solution `x` from its precomputed scaled residual
+    /// `‖Ax−b‖₂ / (‖A‖₁ᵉˢᵗ‖x‖₂)` (see
+    /// [`scaled_residual`](crate::verify::scaled_residual); the caller
+    /// supplies it because only the caller holds the operator for the
+    /// matvec).  `norm1_est` is the same `‖A‖₁` estimate used to scale the
+    /// residual, reused for the condition estimate.
+    ///
+    /// Verdict semantics:
+    /// * non-finite entries in `x` or a non-finite residual →
+    ///   [`SolveVerdict::NonFinite`];
+    /// * residual within the threshold → [`SolveVerdict::Verified`]
+    ///   (no extra work);
+    /// * otherwise → [`SolveVerdict::Suspect`] carrying the residual and a
+    ///   condition estimate computed via [`Solve::inv_norm1_est`]
+    ///   (`f64::INFINITY` when that fails — an unestimatable operator is
+    ///   maximally suspect).
+    fn verify_solution(
+        &self,
+        x: &[T],
+        residual: f64,
+        norm1_est: f64,
+        cfg: &VerifyConfig,
+    ) -> SolveVerdict {
+        if residual.is_nan() || x.iter().any(|v| !v.is_finite()) {
+            return SolveVerdict::NonFinite;
+        }
+        if residual <= cfg.residual_threshold {
+            return SolveVerdict::Verified { residual };
+        }
+        let cond_est = match self.inv_norm1_est() {
+            Ok(inv) => norm1_est * inv,
+            Err(_) => f64::INFINITY,
+        };
+        SolveVerdict::Suspect { residual, cond_est }
     }
 }
 
@@ -320,6 +378,20 @@ impl<T: Scalar> Solve<T> for Factorization<'_, T> {
 
     fn factor_bytes(&self) -> u64 {
         self.inner.factor_bytes()
+    }
+
+    fn inv_norm1_est(&self) -> Result<f64, HodlrError> {
+        self.run(|| self.inner.inv_norm1_est())
+    }
+
+    fn verify_solution(
+        &self,
+        x: &[T],
+        residual: f64,
+        norm1_est: f64,
+        cfg: &VerifyConfig,
+    ) -> SolveVerdict {
+        self.run(|| self.inner.verify_solution(x, residual, norm1_est, cfg))
     }
 }
 

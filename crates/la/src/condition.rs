@@ -1,0 +1,242 @@
+//! Hager/Higham 1-norm estimation (the LAPACK `xLACON` algorithm).
+//!
+//! [`one_norm_est`] estimates `‖B‖₁` for a linear operator `B` given only
+//! the ability to apply `B` and its adjoint `Bᴴ` to vectors.  With
+//! `B = A⁻¹` applied via a factorization's solve, the estimate combines
+//! with `‖A‖₁` into the condition estimate `κ₁(A) ≈ ‖A‖₁ ‖A⁻¹‖₁` that the
+//! verification layer attaches to `Suspect` solve verdicts — a handful of
+//! solves instead of an `O(n³)` inverse.
+//!
+//! The algorithm is Higham's refinement of Hager's convex-optimization
+//! ascent: walk the unit 1-norm ball vertex to vertex (each step is one
+//! apply + one adjoint apply), then take the maximum with a fallback
+//! estimate from a fixed alternating test vector that guards against the
+//! ascent stalling on symmetric structures.  The estimate is a **lower
+//! bound** on `‖B‖₁`, almost always within a factor of 2–3 and exact for
+//! many structured matrices; LAPACK ships the same trade-off.
+
+use crate::scalar::{RealScalar, Scalar};
+
+/// Maximum number of ascent iterations (LAPACK uses 5).
+const MAX_ITERS: usize = 5;
+
+/// Estimate the 1-norm of the operator behind `apply`/`apply_adjoint`.
+///
+/// `apply` must overwrite its argument with `B x`; `apply_adjoint` with
+/// `Bᴴ x`.  Both are called on vectors of length `n`, at most
+/// `2 * MAX_ITERS + 3` times in total.  Returns the estimate as `f64`.
+///
+/// Non-finite intermediates (e.g. a poisoned operator) yield
+/// `f64::INFINITY` rather than an error: for condition estimation an
+/// operator that produces NaN is as bad as a singular one.
+///
+/// # Errors
+/// Propagates the first error either closure returns.
+pub fn one_norm_est<T: Scalar, E>(
+    n: usize,
+    apply: &mut dyn FnMut(&mut [T]) -> Result<(), E>,
+    apply_adjoint: &mut dyn FnMut(&mut [T]) -> Result<(), E>,
+) -> Result<f64, E> {
+    if n == 0 {
+        return Ok(0.0);
+    }
+
+    // Start from the uniform vertex x = e/n.
+    let mut x = vec![T::from_f64(1.0 / n as f64); n];
+    apply(&mut x)?;
+    let mut est = norm1(&x);
+    if !est.is_finite() {
+        return Ok(f64::INFINITY);
+    }
+    if n == 1 {
+        return Ok(est);
+    }
+
+    let mut prev_j = usize::MAX;
+    for _ in 0..MAX_ITERS {
+        // xi = sign(B x); z = Bᴴ xi.  The largest |z_j| names the vertex
+        // e_j with the steepest ascent direction.
+        let mut z: Vec<T> = x.iter().map(|&v| sign(v)).collect();
+        apply_adjoint(&mut z)?;
+        let j = argmax_abs(&z);
+        if !z[j].abs().to_f64().is_finite() {
+            return Ok(f64::INFINITY);
+        }
+        if j == prev_j {
+            break;
+        }
+        prev_j = j;
+
+        // Evaluate the vertex: est = ‖B e_j‖₁.
+        x.iter_mut().for_each(|v| *v = T::zero());
+        x[j] = T::one();
+        apply(&mut x)?;
+        let vertex_est = norm1(&x);
+        if !vertex_est.is_finite() {
+            return Ok(f64::INFINITY);
+        }
+        if vertex_est <= est {
+            break;
+        }
+        est = vertex_est;
+    }
+
+    // Higham's safeguard: an alternating vector with growing magnitudes
+    // catches operators on which the ascent stalls at the first vertex.
+    let mut alt: Vec<T> = (0..n)
+        .map(|i| {
+            let mag = 1.0 + i as f64 / (n - 1) as f64;
+            T::from_f64(if i % 2 == 0 { mag } else { -mag })
+        })
+        .collect();
+    apply(&mut alt)?;
+    let alt_est = 2.0 * norm1(&alt) / (3.0 * n as f64);
+    if !alt_est.is_finite() {
+        return Ok(f64::INFINITY);
+    }
+    Ok(est.max(alt_est))
+}
+
+/// `‖x‖₁` as `f64` (NaN entries propagate into a NaN total).
+fn norm1<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|&v| v.abs().to_f64()).sum()
+}
+
+/// The complex sign `v/|v|` (1 for v = 0); reduces to ±1 for real scalars.
+fn sign<T: Scalar>(v: T) -> T {
+    let a = v.abs();
+    if a.to_f64() == 0.0 {
+        T::one()
+    } else {
+        v.scale(a.recip())
+    }
+}
+
+/// Index of the entry with the largest magnitude (ties: first).  NaN
+/// magnitudes never win a `>` comparison, so a poisoned z falls back to
+/// index 0 — the caller separately checks finiteness.
+fn argmax_abs<T: Scalar>(z: &[T]) -> usize {
+    let mut best = 0usize;
+    let mut best_abs = z[0].abs();
+    for (i, &v) in z.iter().enumerate().skip(1) {
+        let a = v.abs();
+        if a > best_abs {
+            best = i;
+            best_abs = a;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::norms::norm_one;
+    use crate::random::random_matrix;
+    use crate::{gemv, Complex64, Op};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Drive the estimator with dense gemv applies of `a`.
+    fn estimate_dense<T: Scalar>(a: &DenseMatrix<T>) -> f64 {
+        let n = a.cols();
+        let mut apply = |x: &mut [T]| -> Result<(), std::convert::Infallible> {
+            let y = gemv_vec(a, x, Op::None);
+            x.copy_from_slice(&y);
+            Ok(())
+        };
+        let mut apply_adj = |x: &mut [T]| -> Result<(), std::convert::Infallible> {
+            let y = gemv_vec(a, x, Op::ConjTrans);
+            x.copy_from_slice(&y);
+            Ok(())
+        };
+        let Ok(est) = one_norm_est(n, &mut apply, &mut apply_adj);
+        est
+    }
+
+    fn gemv_vec<T: Scalar>(a: &DenseMatrix<T>, x: &[T], op: Op) -> Vec<T> {
+        let mut y = vec![T::zero(); a.rows().max(a.cols())];
+        let out_len = match op {
+            Op::None => a.rows(),
+            _ => a.cols(),
+        };
+        y.truncate(out_len);
+        gemv(T::one(), a.as_ref(), op, x, T::zero(), &mut y);
+        y
+    }
+
+    #[test]
+    fn exact_on_diagonal_matrices() {
+        let mut a = DenseMatrix::<f64>::zeros(6, 6);
+        for (i, d) in [3.0, -7.0, 0.5, 2.0, -1.0, 4.0].iter().enumerate() {
+            a[(i, i)] = *d;
+        }
+        let est = estimate_dense(&a);
+        assert!((est - 7.0).abs() < 1e-12, "est {est}");
+    }
+
+    #[test]
+    fn exact_on_the_identity_and_empty() {
+        let est = estimate_dense(&DenseMatrix::<f64>::identity(5));
+        assert!((est - 1.0).abs() < 1e-12);
+        let mut apply = |_: &mut [f64]| -> Result<(), std::convert::Infallible> { Ok(()) };
+        let mut adj = |_: &mut [f64]| -> Result<(), std::convert::Infallible> { Ok(()) };
+        assert_eq!(one_norm_est::<f64, _>(0, &mut apply, &mut adj), Ok(0.0));
+    }
+
+    #[test]
+    fn one_by_one_needs_a_single_apply() {
+        let mut a = DenseMatrix::<f64>::zeros(1, 1);
+        a[(0, 0)] = -9.25;
+        assert!((estimate_dense(&a) - 9.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_within_factor_three_on_random_matrices() {
+        let mut rng = StdRng::seed_from_u64(97);
+        for n in [4usize, 9, 16, 32] {
+            let a: DenseMatrix<f64> = random_matrix(&mut rng, n, n);
+            let exact = norm_one(a.as_ref()).to_f64();
+            let est = estimate_dense(&a);
+            assert!(
+                est <= exact * (1.0 + 1e-12),
+                "n={n}: estimate {est} above exact {exact}"
+            );
+            assert!(
+                est >= exact / 3.0,
+                "n={n}: estimate {est} too far below exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn complex_operators_are_estimated() {
+        let mut rng = StdRng::seed_from_u64(98);
+        let a: DenseMatrix<Complex64> = random_matrix(&mut rng, 8, 8);
+        let exact = norm_one(a.as_ref()).to_f64();
+        let est = estimate_dense(&a);
+        assert!(est <= exact * (1.0 + 1e-12) && est >= exact / 3.0);
+    }
+
+    #[test]
+    fn non_finite_operator_estimates_infinite() {
+        let mut apply = |x: &mut [f64]| -> Result<(), std::convert::Infallible> {
+            x.iter_mut().for_each(|v| *v = f64::NAN);
+            Ok(())
+        };
+        let mut apply2 = |x: &mut [f64]| -> Result<(), std::convert::Infallible> {
+            x.iter_mut().for_each(|v| *v = f64::NAN);
+            Ok(())
+        };
+        let Ok(est) = one_norm_est(4, &mut apply, &mut apply2);
+        assert_eq!(est, f64::INFINITY);
+    }
+
+    #[test]
+    fn errors_from_the_applies_propagate() {
+        let mut apply = |_: &mut [f64]| -> Result<(), &'static str> { Err("boom") };
+        let mut adj = |_: &mut [f64]| -> Result<(), &'static str> { Ok(()) };
+        assert_eq!(one_norm_est(4, &mut apply, &mut adj), Err("boom"));
+    }
+}

@@ -74,6 +74,17 @@ pub enum HodlrError {
         /// Human-readable description of the offending setting.
         message: String,
     },
+    /// A device kernel launch failed (in this virtual device, only an armed
+    /// fault-injection plan produces these; on real hardware this is the
+    /// typed face of an asynchronous launch failure).
+    DeviceFault {
+        /// What the launch was computing (e.g. `"leaf diagonal block"`).
+        context: String,
+        /// Kernel whose launch failed (e.g. `"getrf_batched"`).
+        kernel: String,
+        /// Launch ordinal within the armed fault plan (1-based).
+        launch: u64,
+    },
 }
 
 impl HodlrError {
@@ -154,6 +165,14 @@ impl fmt::Display for HodlrError {
                 write!(f, "{context} is not positive definite")
             }
             HodlrError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            HodlrError::DeviceFault {
+                context,
+                kernel,
+                launch,
+            } => write!(
+                f,
+                "device fault while computing {context}: {kernel} launch #{launch} failed"
+            ),
         }
     }
 }

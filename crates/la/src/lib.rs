@@ -23,6 +23,7 @@
 pub mod blas;
 pub mod cholesky;
 pub mod complex;
+pub mod condition;
 pub mod dense;
 pub mod error;
 pub mod lu;
@@ -39,6 +40,7 @@ pub use cholesky::{
     SymmetricPolicy,
 };
 pub use complex::Complex;
+pub use condition::one_norm_est;
 pub use dense::{DenseMatrix, MatMut, MatRef};
 pub use error::HodlrError;
 pub use lu::{log_det_from_parts, LuFactor};

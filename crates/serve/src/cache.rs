@@ -226,6 +226,41 @@ impl<T: SolveScalar> FactorCache<T> {
         }
     }
 
+    /// Remove `key`'s resident entry **only if** it is still the given
+    /// one (pointer identity) — the quarantine primitive: a drain that
+    /// decides an entry produced garbage must not evict a replacement
+    /// that a concurrent rebuild already installed.
+    ///
+    /// Returns whether an entry was removed.  In-flight `Arc`s keep the
+    /// quarantined factorization alive; the cache merely stops handing it
+    /// out and stops charging it against the budget.
+    pub fn remove_entry(&self, key: &CacheKey, entry: &Arc<CachedFactorization<T>>) -> bool {
+        let mut inner = self.lock();
+        let matches = inner
+            .entries
+            .get(key)
+            .is_some_and(|slot| Arc::ptr_eq(&slot.entry, entry));
+        if !matches {
+            return false;
+        }
+        let slot = inner.entries.remove(key).expect("entry is resident");
+        inner.resident_bytes -= slot.entry.bytes();
+        inner.evictions += 1;
+        true
+    }
+
+    /// Evict every resident entry (fault injection: "cache flushed
+    /// mid-flight").  In-flight `Arc`s keep their factorizations alive.
+    /// Returns how many entries were dropped.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.lock();
+        let dropped = inner.entries.len();
+        inner.entries.clear();
+        inner.resident_bytes = 0;
+        inner.evictions += dropped as u64;
+        dropped
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> CacheStats {
         let inner = self.lock();

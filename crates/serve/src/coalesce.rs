@@ -21,6 +21,7 @@ use crate::{CacheKey, ServeError};
 use hodlr::{Backend, Solve, SolveScalar};
 use hodlr_la::DenseMatrix;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -29,19 +30,31 @@ use std::time::Duration;
 struct TicketShared<T: SolveScalar> {
     slot: Mutex<Option<Result<Vec<T>, ServeError>>>,
     ready: Condvar,
+    /// Set (under the slot lock) by a timed-out waiter; a cancelled
+    /// ticket's request is dropped from the queue, or its result is
+    /// discarded if a drain was already solving it.
+    cancelled: AtomicBool,
 }
 
 impl<T: SolveScalar> TicketShared<T> {
-    fn fulfill(&self, result: Result<Vec<T>, ServeError>) {
+    /// Deliver `result` unless the ticket was cancelled; returns whether
+    /// the result was actually delivered.
+    fn fulfill(&self, result: Result<Vec<T>, ServeError>) -> bool {
         let mut slot = self
             .slot
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Cancellation is set under the same lock, so this check cannot
+        // race with a timing-out waiter.
+        if self.cancelled.load(Ordering::Acquire) {
+            return false;
+        }
         // First writer wins; a retry never overwrites a delivered result.
         if slot.is_none() {
             *slot = Some(result);
             self.ready.notify_all();
         }
+        true
     }
 }
 
@@ -90,8 +103,12 @@ impl<T: SolveScalar> Ticket<T> {
     /// Like [`Ticket::wait`], but give up after `timeout`.
     ///
     /// # Errors
-    /// [`ServeError::Timeout`] when the bound elapses first; the request
-    /// itself stays queued and is still solved by a later drain.
+    /// [`ServeError::Timeout`] when the bound elapses first.  A timed-out
+    /// ticket is **cancelled**: its request is removed from the pending
+    /// queue at the next drain, or — if a drain was already solving it —
+    /// its result is discarded on delivery.  Either way the abandoned
+    /// request is counted in [`DrainReport::cancelled`], so no work and no
+    /// result ever dangles.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<T>, ServeError> {
         let deadline = std::time::Instant::now() + timeout;
         let mut slot = self
@@ -108,6 +125,11 @@ impl<T: SolveScalar> Ticket<T> {
                 .checked_duration_since(now)
                 .filter(|d| !d.is_zero())
             else {
+                // Cancel under the slot lock: `fulfill` checks the flag
+                // under the same lock, so the request either never
+                // resolves or resolves into a discarded slot — exactly
+                // once, never into a waiter that already gave up.
+                self.shared.cancelled.store(true, Ordering::Release);
                 return Err(ServeError::Timeout {
                     waited_ms: timeout.as_millis() as u64,
                 });
@@ -159,7 +181,63 @@ pub struct DrainReport {
     pub retried: usize,
     /// Requests that ultimately resolved to an error.
     pub failed: usize,
+    /// Requests abandoned by a timed-out waiter: dropped from the queue
+    /// before solving, or solved with the result discarded.
+    pub cancelled: usize,
+    /// Recovery-ladder rungs consumed across all members this cycle.
+    pub ladder_retries: usize,
+    /// Requests resolved by a degraded path (tighter-tolerance rebuild,
+    /// iterative refinement, or GMRES) rather than the nominal
+    /// factorization solve.
+    pub degraded: usize,
+    /// Requests whose initial solve was faulted or unverified but whose
+    /// final result is a verified success.
+    pub recovered: usize,
 }
+
+/// What a drain hook decided for one coalesced group: the final
+/// per-member results (parallel to the right-hand sides it received) plus
+/// the recovery accounting to fold into the [`DrainReport`].
+pub struct GroupOutcome<T: SolveScalar> {
+    /// Final result per member, in member order.
+    pub results: Vec<Result<Vec<T>, ServeError>>,
+    /// Recovery-ladder rungs consumed.
+    pub ladder_retries: usize,
+    /// Members resolved by a degraded path.
+    pub degraded: usize,
+    /// Members recovered from a faulted or unverified initial solve.
+    pub recovered: usize,
+    /// Extra batched-kernel launches metered during recovery.
+    pub launches: u64,
+    /// Extra device flops metered during recovery.
+    pub flops: u64,
+}
+
+impl<T: SolveScalar> GroupOutcome<T> {
+    /// Accept the initial results unchanged (no verification, no
+    /// recovery) — the behaviour of [`CoalesceQueue::drain`].
+    pub fn passthrough(results: Vec<Result<Vec<T>, ServeError>>) -> Self {
+        GroupOutcome {
+            results,
+            ladder_retries: 0,
+            degraded: 0,
+            recovered: 0,
+            launches: 0,
+            flops: 0,
+        }
+    }
+}
+
+/// A drain hook: sees each group's key, entry, right-hand sides and
+/// initial results, and returns the final results plus recovery
+/// accounting.  `hodlr-serve`'s degradation ladder lives behind this seam.
+pub type GroupHook<'a, T> = dyn FnMut(
+        &CacheKey,
+        &Arc<CachedFactorization<T>>,
+        &[Vec<T>],
+        Vec<Result<Vec<T>, ServeError>>,
+    ) -> GroupOutcome<T>
+    + 'a;
 
 /// A bounded FIFO of single-RHS requests, drained in coalesced blocked
 /// solves.
@@ -221,6 +299,7 @@ impl<T: SolveScalar> CoalesceQueue<T> {
         let shared = Arc::new(TicketShared {
             slot: Mutex::new(None),
             ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
         });
         queue.push_back(Pending {
             key,
@@ -235,15 +314,28 @@ impl<T: SolveScalar> CoalesceQueue<T> {
     /// in first-arrival order, issue one blocked solve per group, and
     /// fulfill every ticket.
     pub fn drain(&self) -> DrainReport {
+        self.drain_with(&mut |_key, _entry, _rhs, initial| GroupOutcome::passthrough(initial))
+    }
+
+    /// [`CoalesceQueue::drain`] with a per-group hook between the solve
+    /// and ticket fulfillment: the hook may verify, retry, or replace the
+    /// members' results (see [`GroupHook`]).  Cancelled requests are
+    /// dropped before grouping and never reach the hook.
+    pub fn drain_with(&self, hook: &mut GroupHook<'_, T>) -> DrainReport {
         let _serialized = self
             .drain
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let batch: Vec<Pending<T>> = self.lock_queue().drain(..).collect();
+        let mut batch: Vec<Pending<T>> = self.lock_queue().drain(..).collect();
         let mut report = DrainReport {
             requests: batch.len(),
             ..DrainReport::default()
         };
+        // Timed-out submitters already walked away; drop their requests
+        // before they cost a solve.
+        let before = batch.len();
+        batch.retain(|pending| !pending.ticket.cancelled.load(Ordering::Acquire));
+        report.cancelled += before - batch.len();
         if batch.is_empty() {
             return report;
         }
@@ -271,24 +363,36 @@ impl<T: SolveScalar> CoalesceQueue<T> {
         report.groups = groups.len();
 
         for members in groups {
-            self.solve_group(members, &mut report);
+            self.solve_group(members, &mut report, hook);
         }
         report
     }
 
     /// One coalesced blocked solve; on failure, retry members one by one
-    /// so each ticket gets its own attributed result.
+    /// so each ticket gets its own attributed result.  The hook then sees
+    /// the whole group's results at once (blocked verification, recovery)
+    /// before any ticket is fulfilled.
     ///
     /// Every member shares one entry (drain groups by pointer identity)
     /// and every `rhs` was length-checked against that entry at admission,
     /// so the block assembly below cannot mismatch.
-    fn solve_group(&self, members: Vec<Pending<T>>, report: &mut DrainReport) {
+    fn solve_group(
+        &self,
+        members: Vec<Pending<T>>,
+        report: &mut DrainReport,
+        hook: &mut GroupHook<'_, T>,
+    ) {
+        let key = members[0].key.clone();
         let entry = Arc::clone(&members[0].entry);
+        let (tickets, rhss): (Vec<_>, Vec<_>) = members
+            .into_iter()
+            .map(|pending| (pending.ticket, pending.rhs))
+            .unzip();
         let n = entry.dim();
-        let k = members.len();
+        let k = rhss.len();
         let mut block = DenseMatrix::<T>::zeros(n, k);
-        for (j, pending) in members.iter().enumerate() {
-            block.col_mut(j).copy_from_slice(&pending.rhs);
+        for (j, rhs) in rhss.iter().enumerate() {
+            block.col_mut(j).copy_from_slice(rhs);
         }
 
         let device = entry.hodlr().device();
@@ -298,30 +402,40 @@ impl<T: SolveScalar> CoalesceQueue<T> {
             report.flops += metered.flops;
         }
 
-        match outcome {
-            Ok(solved) => {
-                for (j, pending) in members.into_iter().enumerate() {
-                    pending.ticket.fulfill(Ok(solved.col(j).to_vec()));
-                }
-            }
+        let initial: Vec<Result<Vec<T>, ServeError>> = match outcome {
+            Ok(solved) => (0..k).map(|j| Ok(solved.col(j).to_vec())).collect(),
             Err(_batch_err) => {
                 // One bad member must not poison the batch: attribute the
-                // failure by re-solving each right-hand side on its own,
-                // against the entry *it* resolved to at admission.
+                // failure by re-solving each right-hand side on its own.
                 report.retried += k;
-                for pending in members {
-                    let entry = &pending.entry;
-                    let device = entry.hodlr().device();
-                    let (result, metered) = device.meter(|| entry.solver().solve(&pending.rhs));
-                    if entry.solver().backend() == Backend::Batched {
-                        report.launches += metered.kernel_launches;
-                        report.flops += metered.flops;
-                    }
-                    if result.is_err() {
-                        report.failed += 1;
-                    }
-                    pending.ticket.fulfill(result.map_err(ServeError::Solver));
-                }
+                rhss.iter()
+                    .map(|rhs| {
+                        let (result, metered) = device.meter(|| entry.solver().solve(rhs));
+                        if entry.solver().backend() == Backend::Batched {
+                            report.launches += metered.kernel_launches;
+                            report.flops += metered.flops;
+                        }
+                        result.map_err(ServeError::Solver)
+                    })
+                    .collect()
+            }
+        };
+
+        let outcome = hook(&key, &entry, &rhss, initial);
+        debug_assert_eq!(outcome.results.len(), tickets.len());
+        report.ladder_retries += outcome.ladder_retries;
+        report.degraded += outcome.degraded;
+        report.recovered += outcome.recovered;
+        report.launches += outcome.launches;
+        report.flops += outcome.flops;
+        for (ticket, result) in tickets.into_iter().zip(outcome.results) {
+            if result.is_err() {
+                report.failed += 1;
+            }
+            if !ticket.fulfill(result) {
+                // The waiter timed out while this drain was solving; the
+                // result is discarded, not delivered.
+                report.cancelled += 1;
             }
         }
     }

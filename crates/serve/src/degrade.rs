@@ -1,0 +1,167 @@
+//! The degradation ladder's knobs and the per-tenant circuit breaker.
+//!
+//! When a drained solve comes back faulted, [`SolveVerdict::Suspect`] or
+//! [`SolveVerdict::NonFinite`], the service does not just propagate the
+//! error — it escalates through a bounded ladder of recovery rungs, each
+//! strictly more expensive and more conservative than the last:
+//!
+//! 1. **Re-solve** on the same factorization (transient device faults —
+//!    a poisoned launch — do not repeat at the same ordinal).
+//! 2. **Quarantine + rebuild**: the suspect cache entry is removed (only
+//!    if it is still the resident one) and the tenant's builder produces a
+//!    fresh factorization, which is re-inserted and solved.
+//! 3. **Tighter tolerance**: a transient factorization built at 100×
+//!    tighter compression tolerance (never cached — its tolerance does not
+//!    match the tenant's cache key).
+//! 4. **Iterative refinement**: one residual-correction pass on the best
+//!    finite candidate so far.
+//! 5. **GMRES** with the factorization as right preconditioner — the
+//!    slow-but-sure iterative fallback.
+//!
+//! Every rung's output is re-verified; the first verified solution wins.
+//! Exhausting the ladder yields [`ServeError::SuspectSolution`] and feeds
+//! the tenant's circuit breaker: after
+//! [`DegradeConfig::breaker_threshold`] *consecutive* exhausted requests
+//! the breaker opens and the tenant's submits are rejected with
+//! [`ServeError::CircuitOpen`] until
+//! [`DegradeConfig::breaker_cooldown_drains`] drain cycles pass.
+//!
+//! [`SolveVerdict::Suspect`]: hodlr::SolveVerdict::Suspect
+//! [`SolveVerdict::NonFinite`]: hodlr::SolveVerdict::NonFinite
+//! [`ServeError::SuspectSolution`]: crate::ServeError::SuspectSolution
+//! [`ServeError::CircuitOpen`]: crate::ServeError::CircuitOpen
+
+/// Verification + recovery knobs of a [`SolveService`](crate::SolveService).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct DegradeConfig {
+    /// Verify drained solutions.  Every drained solution gets a free
+    /// finiteness scan (it catches poisoned launches and NaN factors);
+    /// residual verification proper runs on a deterministic drain cadence
+    /// — see [`DegradeConfig::verify_stride`].  When `false`, only
+    /// outright solver errors enter the recovery ladder.
+    pub verify: bool,
+    /// Residual checks run on every drain whose ordinal is a multiple of
+    /// this stride (`0` and `1` both mean every drain).  On a checked
+    /// drain each coalesced group pays **one** HODLR matvec for a
+    /// Freivalds-style combined residual over all its members; only when
+    /// that aggregate check fails does the group pay a full per-member
+    /// `A·X` matmat to attribute the suspect columns.  The default of 4
+    /// keeps warm-path median latency within a few percent of
+    /// verification-off while still bounding how long a silently wrong
+    /// (finite) answer stream can go unnoticed.
+    pub verify_stride: u64,
+    /// Largest scaled residual `‖Ax−b‖₂/(‖A‖₁ᵉˢᵗ‖x‖₂)` accepted as
+    /// verified.
+    pub residual_threshold: f64,
+    /// Maximum recovery rungs attempted per request (5 covers the whole
+    /// ladder; 0 disables recovery entirely).
+    pub max_retries: u32,
+    /// Consecutive ladder-exhausted failures that trip a tenant's circuit
+    /// breaker.
+    pub breaker_threshold: u32,
+    /// Drain cycles a tripped breaker stays open before half-opening.
+    pub breaker_cooldown_drains: u64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            verify: true,
+            verify_stride: 4,
+            residual_threshold: 1e-6,
+            max_retries: 5,
+            breaker_threshold: 3,
+            breaker_cooldown_drains: 2,
+        }
+    }
+}
+
+/// Per-tenant-key breaker state (interior to the service; keyed by
+/// [`CacheKey`](crate::CacheKey), the tenant's factorization identity).
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct Breaker {
+    /// Consecutive ladder-exhausted failures since the last success.
+    pub(crate) consecutive: u32,
+    /// When open: the drain ordinal at which submits are admitted again.
+    pub(crate) open_until_drain: Option<u64>,
+}
+
+impl Breaker {
+    /// Record an unrecoverable request; returns `true` when this failure
+    /// trips the breaker open.
+    pub(crate) fn record_failure(
+        &mut self,
+        threshold: u32,
+        now_drains: u64,
+        cooldown: u64,
+    ) -> bool {
+        self.consecutive += 1;
+        if threshold > 0 && self.consecutive >= threshold {
+            // Keep the streak at the brink: after the cooldown half-opens
+            // the breaker, a single further exhausted request re-trips it.
+            self.consecutive = threshold.saturating_sub(1);
+            self.open_until_drain = Some(now_drains + cooldown);
+            return true;
+        }
+        false
+    }
+
+    /// Record a verified (or at least successful) request: closes the
+    /// breaker and clears the failure streak.
+    pub(crate) fn record_success(&mut self) {
+        self.consecutive = 0;
+        self.open_until_drain = None;
+    }
+
+    /// Whether submits should be rejected at drain ordinal `now_drains`.
+    /// A breaker past its cooldown half-opens: the next request is
+    /// admitted and its outcome decides whether the breaker re-trips.
+    pub(crate) fn is_open(&mut self, now_drains: u64) -> Option<u64> {
+        match self.open_until_drain {
+            Some(until) if now_drains < until => Some(until),
+            Some(_) => {
+                // Half-open: admit traffic again; `record_failure` left the
+                // streak one short of the threshold, so a single further
+                // exhausted request re-trips immediately.
+                self.open_until_drain = None;
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_verify_with_a_bounded_ladder() {
+        let d = DegradeConfig::default();
+        assert!(d.verify);
+        assert_eq!(d.max_retries, 5);
+        assert!(d.breaker_threshold > 0);
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_cools_down() {
+        let mut b = Breaker::default();
+        assert!(!b.record_failure(3, 10, 2));
+        assert!(!b.record_failure(3, 10, 2));
+        assert!(b.is_open(10).is_none(), "not yet tripped");
+        assert!(b.record_failure(3, 10, 2), "third failure trips");
+        assert_eq!(b.is_open(10), Some(12));
+        assert_eq!(b.is_open(11), Some(12));
+        assert!(b.is_open(12).is_none(), "cooldown elapsed: half-open");
+        // Half-open: one more failure re-trips immediately ...
+        assert!(
+            b.record_failure(3, 12, 2),
+            "half-open re-trips on one failure"
+        );
+        assert_eq!(b.is_open(13), Some(14));
+        // ... while a success closes it for good.
+        b.record_success();
+        assert!(b.is_open(13).is_none());
+        assert_eq!(b.consecutive, 0);
+    }
+}

@@ -16,10 +16,11 @@
 //! below run under Miri in CI to keep this claim checked.
 
 use crate::ServeError;
-use hodlr::{Factorization, Factorize, Hodlr, Solve, SolveScalar};
+use hodlr::{Factorization, Factorize, Hodlr, Solve, SolveScalar, SolveVerdict, VerifyConfig};
 use hodlr_la::HodlrError;
 use std::mem::ManuallyDrop;
 use std::ptr::NonNull;
+use std::sync::OnceLock;
 
 /// A factorization that owns its matrix, device and thread pool: safe to
 /// park in a cache and to share across request-handler threads
@@ -32,6 +33,12 @@ pub struct CachedFactorization<T: SolveScalar> {
     /// Deliberately a raw pointer: moving the struct must not retag it.
     hodlr: NonNull<Hodlr<T>>,
     bytes: u64,
+    /// Cached `‖A‖₁` estimate — one Hager/Higham run per entry, shared by
+    /// every verification against it.
+    norm1: OnceLock<f64>,
+    /// Cached `‖A⁻¹‖₁` estimate (a handful of solves); only computed when
+    /// a verdict needs the condition estimate.
+    inv_norm1: OnceLock<f64>,
 }
 
 // SAFETY: the struct owns the heap `Hodlr` outright (no other pointer to
@@ -83,6 +90,8 @@ impl<T: SolveScalar> CachedFactorization<T> {
             factorization: ManuallyDrop::new(factorization),
             hodlr,
             bytes,
+            norm1: OnceLock::new(),
+            inv_norm1: OnceLock::new(),
         })
     }
 
@@ -107,6 +116,46 @@ impl<T: SolveScalar> CachedFactorization<T> {
     /// Matrix size `N`.
     pub fn dim(&self) -> usize {
         self.factorization.dim()
+    }
+
+    /// Cached `‖A‖₁` estimate of the entry's operator (computed once, on
+    /// first use).
+    pub fn norm1_est(&self) -> f64 {
+        *self.norm1.get_or_init(|| self.hodlr().norm1_est())
+    }
+
+    /// Cached condition estimate `κ₁(A) ≈ ‖A‖₁ᵉˢᵗ · ‖A⁻¹‖₁ᵉˢᵗ`
+    /// (`INFINITY` when either estimate failed, e.g. on a poisoned
+    /// factorization).
+    pub fn cond_estimate(&self) -> f64 {
+        let inv = *self
+            .inv_norm1
+            .get_or_init(|| self.solver().inv_norm1_est().unwrap_or(f64::INFINITY));
+        self.norm1_est() * inv
+    }
+
+    /// Verify a candidate solution of `A x = b` against this entry's
+    /// operator: one HODLR matvec for the scaled residual, then
+    /// [`CachedFactorization::verdict`].
+    pub fn verify(&self, x: &[T], b: &[T], cfg: &VerifyConfig) -> SolveVerdict {
+        let ax = self.hodlr().matvec(x);
+        let residual = hodlr::scaled_residual(&ax, x, b, self.norm1_est());
+        self.verdict(x, residual, cfg)
+    }
+
+    /// Classify a precomputed scaled residual, using the entry's cached
+    /// norms so repeated suspects do not pay repeated Hager/Higham solves.
+    pub fn verdict(&self, x: &[T], residual: f64, cfg: &VerifyConfig) -> SolveVerdict {
+        if residual.is_nan() || x.iter().any(|v| !v.is_finite()) {
+            return SolveVerdict::NonFinite;
+        }
+        if residual <= cfg.residual_threshold {
+            return SolveVerdict::Verified { residual };
+        }
+        SolveVerdict::Suspect {
+            residual,
+            cond_est: self.cond_estimate(),
+        }
     }
 }
 

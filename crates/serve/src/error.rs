@@ -37,10 +37,42 @@ pub enum ServeError {
         budget_bytes: u64,
     },
     /// The caller's wait bound elapsed before the request was drained.
-    /// The ticket stays valid: a later wait can still collect the result.
+    /// The request is **cancelled**: it is removed from the pending queue
+    /// (or its result discarded if a drain was already solving it), so a
+    /// timed-out caller never leaks work into later drains.
     Timeout {
         /// How long the caller waited, in milliseconds.
         waited_ms: u64,
+    },
+    /// The submitted right-hand side contains a non-finite entry; rejected
+    /// at admission so it can never poison a coalesced batch.
+    InvalidRhs {
+        /// Index of the first non-finite entry in the right-hand side.
+        index: usize,
+    },
+    /// The tenant's factorization builder panicked; the panic was caught
+    /// at the service boundary and attributed to this request.
+    BuilderPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The tenant's circuit breaker is open after repeated unrecoverable
+    /// solve failures; requests are rejected at admission until the
+    /// cooldown elapses.
+    CircuitOpen {
+        /// Consecutive ladder-exhausted failures that tripped the breaker.
+        failures: u32,
+        /// The drain ordinal at which the breaker half-opens again.
+        until_drain: u64,
+    },
+    /// The degradation ladder was exhausted without producing a verified
+    /// solution; the last verdict's evidence is attached.
+    SuspectSolution {
+        /// The scaled residual of the best candidate solution.
+        residual: f64,
+        /// Condition estimate `κ₁(A)` of the operator (`INFINITY` when the
+        /// estimate itself failed or the candidate was non-finite).
+        cond_est: f64,
     },
 }
 
@@ -62,6 +94,25 @@ impl fmt::Display for ServeError {
             ServeError::Timeout { waited_ms } => {
                 write!(f, "request not served within {waited_ms} ms")
             }
+            ServeError::InvalidRhs { index } => {
+                write!(f, "right-hand side entry {index} is not finite")
+            }
+            ServeError::BuilderPanic { message } => {
+                write!(f, "tenant builder panicked: {message}")
+            }
+            ServeError::CircuitOpen {
+                failures,
+                until_drain,
+            } => write!(
+                f,
+                "circuit breaker open after {failures} consecutive failures \
+                 (closed again at drain #{until_drain})"
+            ),
+            ServeError::SuspectSolution { residual, cond_est } => write!(
+                f,
+                "degradation ladder exhausted: best scaled residual {residual:e} \
+                 (condition estimate {cond_est:e})"
+            ),
         }
     }
 }

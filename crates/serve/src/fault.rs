@@ -1,0 +1,119 @@
+//! Deterministic fault injection for the serve layer.
+//!
+//! A [`ServeFaultPlan`] is schedule-addressable against **drain
+//! ordinals** (1-based, counted from arming), mirroring the launch-ordinal
+//! plans of [`hodlr_batch::FaultPlan`] one layer down:
+//!
+//! * `evict_before_drain(d)` — flush the entire factorization cache
+//!   immediately before drain `d` runs, simulating eviction racing
+//!   mid-flight requests (their `Arc`'d entries must keep solving).
+//! * `stall_drain(d, micros)` — sleep before drain `d` collects the
+//!   queue, widening the window in which callers time out and cancel.
+//!
+//! Both actions perturb *timing and cache state only*: with a fixed plan
+//! the solve results remain a pure function of the submission schedule,
+//! which is what the chaos bench's bitwise-replay verdict checks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a serve-layer fault did when it fired.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServeFaultAction {
+    /// The whole factorization cache was flushed before the drain.
+    EvictAll,
+    /// The drain was delayed by this many microseconds.
+    Stall {
+        /// The injected delay.
+        micros: u64,
+    },
+}
+
+/// One fired serve-layer fault: which drain ordinal, what happened.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ServeFaultEvent {
+    /// 1-based drain ordinal (counted from arming) the fault fired at.
+    pub drain: u64,
+    /// What the fault did.
+    pub action: ServeFaultAction,
+}
+
+/// A deterministic schedule of serve-layer faults, addressed by drain
+/// ordinal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    evictions: BTreeSet<u64>,
+    stalls: BTreeMap<u64, u64>,
+}
+
+impl ServeFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        ServeFaultPlan::default()
+    }
+
+    /// Flush the factorization cache immediately before drain `drain`
+    /// (1-based, counted from arming).
+    pub fn evict_before_drain(mut self, drain: u64) -> Self {
+        self.evictions.insert(drain);
+        self
+    }
+
+    /// Stall drain `drain` by `micros` microseconds before it collects
+    /// the queue.
+    pub fn stall_drain(mut self, drain: u64, micros: u64) -> Self {
+        self.stalls.insert(drain, micros);
+        self
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.evictions.is_empty() && self.stalls.is_empty()
+    }
+
+    /// The actions scheduled for drain ordinal `drain`, eviction first.
+    pub(crate) fn actions_at(&self, drain: u64) -> Vec<ServeFaultAction> {
+        let mut actions = Vec::new();
+        if self.evictions.contains(&drain) {
+            actions.push(ServeFaultAction::EvictAll);
+        }
+        if let Some(&micros) = self.stalls.get(&drain) {
+            actions.push(ServeFaultAction::Stall { micros });
+        }
+        actions
+    }
+}
+
+/// Armed-plan state: the plan plus the drain cursor and the fired log.
+#[derive(Debug, Default)]
+pub(crate) struct ServeFaultState {
+    pub(crate) plan: ServeFaultPlan,
+    pub(crate) drains_seen: u64,
+    pub(crate) fired: Vec<ServeFaultEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_schedule_by_drain_ordinal() {
+        let plan = ServeFaultPlan::new()
+            .evict_before_drain(2)
+            .stall_drain(2, 500)
+            .stall_drain(4, 100);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.actions_at(1), vec![]);
+        assert_eq!(
+            plan.actions_at(2),
+            vec![
+                ServeFaultAction::EvictAll,
+                ServeFaultAction::Stall { micros: 500 }
+            ]
+        );
+        assert_eq!(
+            plan.actions_at(4),
+            vec![ServeFaultAction::Stall { micros: 100 }]
+        );
+        assert!(ServeFaultPlan::new().is_empty());
+    }
+}

@@ -15,10 +15,33 @@
 //!   launches-per-request drops below 1 under load.
 //! * [`ServeError`] — a typed per-request error path
 //!   ([`HodlrError`](hodlr::HodlrError) wrapped, plus `QueueFull` /
-//!   `Evicted` / `Timeout`): a failed coalesced launch is retried member
-//!   by member, so one bad tenant cannot poison a batch.
+//!   `Evicted` / `Timeout` / `InvalidRhs` / `BuilderPanic` /
+//!   `CircuitOpen` / `SuspectSolution`): a failed coalesced launch is
+//!   retried member by member, so one bad tenant cannot poison a batch.
 //! * [`SolveService`] — the front door tying the three together behind a
 //!   `&self`, `Send + Sync` API.
+//!
+//! ## Failure model
+//!
+//! Every drained solution is **verified** with a scaled-residual check
+//! (one blocked HODLR matvec per coalesced group, amortized like the
+//! solve itself).  Faulted, [`Suspect`](hodlr::SolveVerdict::Suspect) or
+//! non-finite results escalate through a bounded **degradation ladder**
+//! — re-solve, quarantine + rebuild, tighter-tolerance rebuild, iterative
+//! refinement, preconditioned GMRES — configured by [`DegradeConfig`];
+//! tenants whose requests repeatedly exhaust the ladder trip a per-tenant
+//! **circuit breaker**.  Right-hand sides are validated at admission and
+//! tenant-builder panics are caught at the service boundary, so no
+//! request can poison a batch or unwind across the service.
+//!
+//! For testing the ladder end to end there are two deterministic fault
+//! injectors: device-level fault plans
+//! ([`FaultPlan`](hodlr_batch::FaultPlan): fail / poison / delay the k-th
+//! kernel launch) armed on any entry's device, and serve-level plans
+//! ([`ServeFaultPlan`]: flush the cache or stall before the k-th drain)
+//! armed on the service.  Both are schedule-addressable and replay
+//! bitwise for a fixed plan; with no plan armed, the fault hooks are a
+//! single relaxed atomic load.
 //!
 //! ## Determinism under concurrent traffic
 //!
@@ -72,15 +95,19 @@
 
 pub mod cache;
 pub mod coalesce;
+pub mod degrade;
 pub mod entry;
 pub mod error;
+pub mod fault;
 pub mod key;
 pub mod service;
 
 pub use cache::{CacheConfig, CacheStats, FactorCache};
-pub use coalesce::{CoalesceQueue, DrainReport, Ticket};
+pub use coalesce::{CoalesceQueue, DrainReport, GroupOutcome, Ticket};
+pub use degrade::DegradeConfig;
 pub use entry::CachedFactorization;
 pub use error::ServeError;
+pub use fault::{ServeFaultAction, ServeFaultEvent, ServeFaultPlan};
 pub use key::{CacheKey, TreeKey};
 pub use service::{ServeConfig, ServeStats, SolveService};
 
@@ -99,6 +126,7 @@ mod tests {
     use super::*;
     use hodlr::prelude::*;
     use hodlr::Precision as FacadePrecision;
+    use hodlr_batch::FaultPlan;
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -205,11 +233,25 @@ mod tests {
 
     #[test]
     fn failed_coalesced_launch_retries_and_attributes() {
-        // A mixed-precision tenant with a NaN right-hand side in the
+        // A mixed-precision entry with a NaN right-hand side in the
         // batch: the blocked refinement fails as a whole, the drain must
         // retry members individually, and only the poisoned request may
-        // see an error.
-        let service = SolveService::<f64>::new(ServeConfig::default());
+        // see an error.  (The service front door rejects non-finite
+        // right-hand sides at admission, so this exercises the queue's
+        // own attribution path directly.)
+        let source = ClosureSource::new(N, N, |i, j| {
+            let d = (i as f64 - j as f64).abs() / N as f64;
+            1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
+        });
+        let hodlr = Hodlr::builder()
+            .source(&source)
+            .leaf_size(32)
+            .tolerance(1e-10)
+            .backend(Backend::Serial)
+            .precision(FacadePrecision::MixedRefine)
+            .build()
+            .unwrap();
+        let entry = Arc::new(CachedFactorization::build(hodlr).unwrap());
         let key = CacheKey::new(
             "mixed-v1",
             &TreePolicy::LeafSize(32),
@@ -217,27 +259,19 @@ mod tests {
             Backend::Serial,
             FacadePrecision::MixedRefine,
         );
-        service.register_tenant("mixed", key, || {
-            let source = ClosureSource::new(N, N, |i, j| {
-                let d = (i as f64 - j as f64).abs() / N as f64;
-                1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
-            });
-            Hodlr::builder()
-                .source(&source)
-                .leaf_size(32)
-                .tolerance(1e-10)
-                .backend(Backend::Serial)
-                .precision(FacadePrecision::MixedRefine)
-                .build()
-        });
+        let queue = CoalesceQueue::<f64>::new(16);
 
-        let good_before = service.submit("mixed", rhs(1)).unwrap();
+        let good_before = queue
+            .submit(key.clone(), Arc::clone(&entry), rhs(1))
+            .unwrap();
         let mut poison = rhs(2);
         poison[0] = f64::NAN;
-        let bad = service.submit("mixed", poison).unwrap();
-        let good_after = service.submit("mixed", rhs(3)).unwrap();
+        let bad = queue
+            .submit(key.clone(), Arc::clone(&entry), poison)
+            .unwrap();
+        let good_after = queue.submit(key, entry, rhs(3)).unwrap();
 
-        let report = service.drain();
+        let report = queue.drain();
         assert_eq!(report.requests, 3);
         assert_eq!(report.retried, 3, "whole group retried individually");
         assert_eq!(report.failed, 1, "only the poisoned member fails");
@@ -248,7 +282,6 @@ mod tests {
             Err(ServeError::Solver(HodlrError::NonConvergence { .. })) => {}
             other => panic!("poisoned request must fail as its own NonConvergence, got {other:?}"),
         }
-        assert_eq!(service.stats().failed, 1);
     }
 
     #[test]
@@ -325,6 +358,27 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_rhs_is_rejected_at_admission() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        register_demo(&service, "a", Backend::Serial, 0.0);
+        let mut poisoned = rhs(0);
+        poisoned[17] = f64::NAN;
+        match service.submit("a", poisoned) {
+            Err(ServeError::InvalidRhs { index: 17 }) => {}
+            other => panic!("expected InvalidRhs {{ index: 17 }}, got {other:?}"),
+        }
+        let mut poisoned = rhs(1);
+        poisoned[3] = f64::INFINITY;
+        assert!(matches!(
+            service.submit("a", poisoned),
+            Err(ServeError::InvalidRhs { index: 3 })
+        ));
+        assert_eq!(service.queued(), 0, "poisoned request never enqueued");
+        // The service stays healthy for clean traffic.
+        assert!(service.solve_now("a", &rhs(2)).is_ok());
+    }
+
+    #[test]
     fn unknown_tenant_is_a_typed_config_error() {
         let service = SolveService::<f64>::new(ServeConfig::default());
         match service.submit("ghost", rhs(0)) {
@@ -334,7 +388,7 @@ mod tests {
     }
 
     #[test]
-    fn ticket_timeout_leaves_the_request_queued() {
+    fn ticket_timeout_before_drain_cancels_the_request() {
         let service = SolveService::<f64>::new(ServeConfig::default());
         register_demo(&service, "a", Backend::Serial, 0.0);
         let ticket = service.submit("a", rhs(0)).unwrap();
@@ -342,11 +396,205 @@ mod tests {
             Err(ServeError::Timeout { .. }) => {}
             other => panic!("expected Timeout, got {other:?}"),
         }
-        // The request is still queued; a drain serves it and a fresh
-        // submit's ticket resolves normally.
-        assert_eq!(service.queued(), 1);
+        // The abandoned request is dropped at the next drain — never
+        // solved, never dangling.
         let report = service.drain();
         assert_eq!(report.requests, 1);
+        assert_eq!(report.cancelled, 1, "timed-out request must be cancelled");
+        assert_eq!(report.groups, 0, "cancelled request must not cost a solve");
+        assert_eq!(service.stats().cancelled, 1);
+        // Fresh traffic is unaffected.
+        assert!(service.solve_now("a", &rhs(1)).is_ok());
+    }
+
+    #[test]
+    fn ticket_timeout_during_drain_discards_the_result() {
+        // A delay fault keeps the drain busy long enough for the waiter
+        // to give up mid-solve; the solved result must be discarded (and
+        // counted), not delivered into a slot nobody will read.
+        let service = Arc::new(SolveService::<f64>::new(ServeConfig::default()));
+        register_demo(&service, "a", Backend::Batched, 0.0);
+        service.solve_now("a", &rhs(0)).unwrap(); // warm the cache
+        let entry = service
+            .cache()
+            .get(&demo_key("a", Backend::Batched))
+            .unwrap();
+        entry
+            .hodlr()
+            .device()
+            .arm_faults(FaultPlan::new().delay_launch(1, 400_000));
+
+        let ticket = service.submit("a", rhs(1)).unwrap();
+        let drainer = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.drain())
+        };
+        // Give the drain a head start into the delayed solve, then give up
+        // long before the 400ms delay elapses.
+        std::thread::sleep(Duration::from_millis(50));
+        match ticket.wait_timeout(Duration::from_millis(10)) {
+            Err(ServeError::Timeout { .. }) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        let report = drainer.join().unwrap();
+        assert_eq!(report.cancelled, 1, "abandoned result must be discarded");
+        let events = entry.hodlr().device().disarm_faults();
+        assert!(!events.is_empty(), "the delay fault must have fired");
+        // The service stays healthy.
+        assert!(service.solve_now("a", &rhs(2)).is_ok());
+    }
+
+    #[test]
+    fn builder_panic_is_caught_and_typed() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        service.register_tenant("explosive", demo_key("explosive", Backend::Serial), || {
+            panic!("boom: synthetic builder failure")
+        });
+        match service.submit("explosive", rhs(0)) {
+            Err(ServeError::BuilderPanic { message }) => {
+                assert!(message.contains("boom"), "payload preserved: {message}")
+            }
+            other => panic!("expected BuilderPanic, got {other:?}"),
+        }
+        // The panic never unwound across the service; other tenants work.
+        register_demo(&service, "a", Backend::Serial, 0.0);
+        assert!(service.solve_now("a", &rhs(1)).is_ok());
+    }
+
+    #[test]
+    fn poisoned_launch_recovers_via_the_ladder() {
+        // Poison the first kernel launch of the next drain: the blocked
+        // solve comes back NaN, verification flags it, and the ladder's
+        // first rung (a clean re-solve) recovers the exact answer.
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        register_demo(&service, "a", Backend::Batched, 0.0);
+        let baseline = service.solve_now("a", &rhs(5)).unwrap();
+        let entry = service
+            .cache()
+            .get(&demo_key("a", Backend::Batched))
+            .unwrap();
+        entry
+            .hodlr()
+            .device()
+            .arm_faults(FaultPlan::new().poison_launch(1));
+
+        let ticket = service.submit("a", rhs(5)).unwrap();
+        let report = service.drain();
+        assert_eq!(report.failed, 0, "the fault must be absorbed, not surfaced");
+        assert_eq!(report.recovered, 1);
+        assert!(report.ladder_retries >= 1);
+        let recovered = ticket.wait().unwrap();
+        assert_eq!(recovered, baseline, "recovery must reproduce exact bits");
+
+        let stats = service.stats();
+        assert_eq!((stats.recovered, stats.failed), (1, 0));
+        assert!(!entry.hodlr().device().disarm_faults().is_empty());
+    }
+
+    #[test]
+    fn persistent_poison_trips_the_breaker_and_cools_down() {
+        // A tenant whose device poisons *every* launch — rebuilds
+        // included — exhausts the ladder on each request.  After the
+        // third consecutive exhausted request the circuit breaker opens,
+        // rejects submits for the cooldown, then half-opens.
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        let key = demo_key("cursed", Backend::Batched);
+        service.register_tenant("cursed", key, || {
+            let source = ClosureSource::new(N, N, |i, j| {
+                let d = (i as f64 - j as f64).abs() / N as f64;
+                1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 } else { 0.0 }
+            });
+            let hodlr = Hodlr::builder()
+                .source(&source)
+                .leaf_size(32)
+                .tolerance(1e-10)
+                .backend(Backend::Batched)
+                .build()?;
+            // Simulate a persistently broken device: every launch for the
+            // life of this factorization yields NaN.
+            hodlr
+                .device()
+                .arm_faults(FaultPlan::new().poison_range(1, 100_000));
+            Ok(hodlr)
+        });
+
+        for round in 0..3 {
+            let ticket = service.submit("cursed", rhs(round)).unwrap();
+            let report = service.drain();
+            assert_eq!(report.failed, 1, "round {round} must exhaust the ladder");
+            match ticket.wait() {
+                Err(ServeError::SuspectSolution { .. }) => {}
+                other => panic!("round {round}: expected SuspectSolution, got {other:?}"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.breaker_trips, 1, "third failure trips the breaker");
+        assert!(
+            stats.quarantined >= 1,
+            "poisoned entries must be quarantined"
+        );
+        assert!(stats.ladder_retries >= 3);
+        assert_eq!(stats.recovered, 0);
+
+        // Open: submits are rejected with a typed, time-bounded error.
+        match service.submit("cursed", rhs(9)) {
+            Err(ServeError::CircuitOpen { failures: 3, .. }) => {}
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        // Cool down (empty drains advance the clock), then half-open
+        // admits traffic again.
+        service.drain();
+        assert!(
+            service.submit("cursed", rhs(10)).is_ok(),
+            "cooldown elapsed: the breaker must half-open"
+        );
+        service.drain();
+
+        // A healthy tenant is never affected by the cursed one's breaker.
+        register_demo(&service, "a", Backend::Serial, 0.0);
+        assert!(service.solve_now("a", &rhs(0)).is_ok());
+    }
+
+    #[test]
+    fn serve_faults_evict_and_stall_deterministically() {
+        let service = SolveService::<f64>::new(ServeConfig::default());
+        register_demo(&service, "a", Backend::Serial, 0.0);
+        service.solve_now("a", &rhs(0)).unwrap(); // warm: one resident entry
+        service.arm_faults(
+            ServeFaultPlan::new()
+                .evict_before_drain(1)
+                .stall_drain(2, 500),
+        );
+
+        // Drain 1: the whole cache is flushed mid-flight; the queued
+        // request still resolves (it holds its entry by Arc).
+        let ticket = service.submit("a", rhs(1)).unwrap();
+        let report = service.drain();
+        assert_eq!((report.requests, report.failed), (1, 0));
+        assert!(
+            ticket.wait().is_ok(),
+            "in-flight request survives the flush"
+        );
+        assert_eq!(service.cache_stats().resident_entries, 0);
+
+        // Drain 2 (stalled): the next submit rebuilds transparently.
+        let ticket = service.submit("a", rhs(2)).unwrap();
+        service.drain();
+        assert!(ticket.wait().is_ok());
+        assert_eq!(service.cache_stats().inserts, 2);
+
+        let events = service.disarm_faults();
+        assert_eq!(events.len(), 2, "both scheduled faults fired: {events:?}");
+        assert_eq!(
+            (events[0].drain, events[0].action),
+            (1, ServeFaultAction::EvictAll)
+        );
+        assert_eq!(events[1].drain, 2);
+        assert!(matches!(
+            events[1].action,
+            ServeFaultAction::Stall { micros: 500 }
+        ));
+        assert!(service.fault_events().is_empty(), "disarm clears the plan");
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Property suite for the serve layer's interleaving invariants.
+//!
+//! Random sequences of submit / drain / evict / rebuild — including
+//! same-key entries across evictions and deliberately poisoned batch
+//! members — must never panic, must resolve **every** ticket exactly
+//! once, and must attribute errors to exactly the requests that earned
+//! them.  The sequences are derived from a seeded `StdRng`, so every
+//! failure replays bitwise from its seed.
+
+use hodlr::prelude::*;
+use hodlr::Precision as FacadePrecision;
+use hodlr_batch::FaultPlan;
+use hodlr_serve::{
+    CacheConfig, CacheKey, CachedFactorization, CoalesceQueue, FactorCache, ServeConfig,
+    ServeError, ServeFaultPlan, SolveService, Ticket,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 24;
+const LEAF: usize = 8;
+
+/// A ticket must resolve promptly once its drain ran; a missing result is
+/// a hang, and this bound converts it into a test failure.
+const RESOLVE_BOUND: Duration = Duration::from_secs(10);
+
+fn build_entry(precision: FacadePrecision, shift: f64) -> CachedFactorization<f64> {
+    let source = ClosureSource::new(N, N, move |i, j| {
+        let d = (i as f64 - j as f64).abs() / N as f64;
+        1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 + shift } else { 0.0 }
+    });
+    let hodlr = Hodlr::builder()
+        .source(&source)
+        .leaf_size(LEAF)
+        .tolerance(1e-10)
+        .precision(precision)
+        .build()
+        .unwrap();
+    CachedFactorization::build(hodlr).unwrap()
+}
+
+fn key(id: &str, precision: FacadePrecision) -> CacheKey {
+    CacheKey::new(
+        id,
+        &TreePolicy::LeafSize(LEAF),
+        1e-10,
+        Backend::Serial,
+        precision,
+    )
+}
+
+fn rhs(rng: &mut StdRng) -> Vec<f64> {
+    (0..N).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// What each submitted ticket owes us at the end of the run.
+enum Expect {
+    CleanSolve,
+    /// A NaN right-hand side snuck into a mixed-precision batch at the
+    /// queue layer: the blocked refinement fails, the drain retries
+    /// members individually, and only this request may error.
+    AttributedFailure,
+}
+
+/// Random interleaving of queue submits, drains, cache evictions and
+/// same-key rebuilds against the raw `FactorCache` + `CoalesceQueue`
+/// pair (no service in front, so poisoned right-hand sides reach the
+/// queue and exercise its attribution path).
+fn queue_cache_interleaving(seed: u64, ops: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cache = FactorCache::<f64>::new(CacheConfig::default());
+    let queue = CoalesceQueue::<f64>::new(4096);
+
+    // One shared key whose resident entry is rebuilt mid-run (same-key
+    // groups must split by entry identity), plus a mixed-precision lane
+    // for attributed failures.
+    let shared_key = key("shared", FacadePrecision::Full);
+    let mixed_key = key("mixed", FacadePrecision::MixedRefine);
+    let mut shared = cache
+        .insert(shared_key.clone(), build_entry(FacadePrecision::Full, 0.0))
+        .unwrap();
+    let mixed = Arc::new(build_entry(FacadePrecision::MixedRefine, 1.0));
+
+    let mut pending: Vec<(Ticket<f64>, Expect)> = Vec::new();
+    let mut drained_requests = 0usize;
+    let mut submitted = 0usize;
+    let mut rebuild_round = 0usize;
+
+    for _ in 0..ops {
+        match rng.gen_range(0u32..100) {
+            // Submit against the shared key's current resident entry (or
+            // the stale Arc we still hold after an eviction — both are
+            // legal and must group by entry identity, not key).
+            0..=44 => {
+                let entry = if rng.gen_bool(0.5) {
+                    cache
+                        .get(&shared_key)
+                        .unwrap_or_else(|| Arc::clone(&shared))
+                } else {
+                    Arc::clone(&shared)
+                };
+                let b = rhs(&mut rng);
+                let t = queue.submit(shared_key.clone(), entry, b).unwrap();
+                pending.push((t, Expect::CleanSolve));
+                submitted += 1;
+            }
+            // Submit into the mixed-precision lane, sometimes poisoned.
+            45..=59 => {
+                let mut b = rhs(&mut rng);
+                let poisoned = rng.gen_bool(0.3);
+                if poisoned {
+                    b[rng.gen_range(0..N)] = f64::NAN;
+                }
+                let t = queue
+                    .submit(mixed_key.clone(), Arc::clone(&mixed), b)
+                    .unwrap();
+                pending.push((
+                    t,
+                    if poisoned {
+                        Expect::AttributedFailure
+                    } else {
+                        Expect::CleanSolve
+                    },
+                ));
+                submitted += 1;
+            }
+            // Drain everything queued so far.
+            60..=79 => {
+                let report = queue.drain();
+                drained_requests += report.requests;
+            }
+            // Evict: flush the cache or surgically remove the shared
+            // entry.  In-flight Arcs keep solving against the old entry.
+            80..=89 => {
+                if rng.gen_bool(0.5) {
+                    cache.clear();
+                } else {
+                    cache.remove_entry(&shared_key, &shared);
+                }
+            }
+            // Rebuild the shared key: a *different* entry under the same
+            // key, racing requests that still hold the old Arc.
+            _ => {
+                rebuild_round += 1;
+                let fresh = build_entry(FacadePrecision::Full, (rebuild_round % 3) as f64);
+                cache.remove_entry(&shared_key, &shared);
+                if let Ok(inserted) = cache.insert(shared_key.clone(), fresh) {
+                    shared = inserted;
+                }
+            }
+        }
+    }
+
+    // Final drain picks up everything still queued.
+    let report = queue.drain();
+    drained_requests += report.requests;
+    prop_assert_eq!(
+        drained_requests,
+        submitted,
+        "every submitted request must be drained exactly once"
+    );
+
+    // Every ticket resolves exactly once, with errors attributed to the
+    // poisoned requests and nobody else.
+    for (i, (ticket, expect)) in pending.into_iter().enumerate() {
+        let outcome = ticket.wait_timeout(RESOLVE_BOUND);
+        match expect {
+            Expect::CleanSolve => {
+                let x = outcome.unwrap_or_else(|e| panic!("ticket {i} must solve, got {e:?}"));
+                prop_assert!(
+                    x.iter().all(|v| v.is_finite()),
+                    "clean request {i} produced a non-finite solution"
+                );
+            }
+            Expect::AttributedFailure => match outcome {
+                Err(ServeError::Solver(_)) => {}
+                other => {
+                    panic!("poisoned request {i} must fail as its own solver error, got {other:?}")
+                }
+            },
+        }
+    }
+}
+
+/// Random interleaving at the service layer with fault plans armed:
+/// device poison on cached entries, serve-level cache flushes, and
+/// breaker trips racing clean traffic.  Every admitted request must
+/// resolve exactly once (success or typed error) and the service's own
+/// accounting must balance.
+fn service_interleaving_with_faults(seed: u64, ops: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let service = SolveService::<f64>::new(ServeConfig {
+        queue_capacity: 4096,
+        ..ServeConfig::default()
+    });
+    let tenant_key = |name: &str| {
+        CacheKey::new(
+            name,
+            &TreePolicy::LeafSize(LEAF),
+            1e-10,
+            Backend::Batched,
+            FacadePrecision::Full,
+        )
+    };
+    for (name, shift) in [("a", 0.0), ("b", 1.0)] {
+        service.register_tenant(name, tenant_key(name), move || {
+            let source = ClosureSource::new(N, N, move |i, j| {
+                let d = (i as f64 - j as f64).abs() / N as f64;
+                1.0 / (1.0 + 8.0 * d) + if i == j { 4.0 + shift } else { 0.0 }
+            });
+            Hodlr::builder()
+                .source(&source)
+                .leaf_size(LEAF)
+                .tolerance(1e-10)
+                .backend(Backend::Batched)
+                .build()
+        });
+    }
+
+    let mut pending: Vec<Ticket<f64>> = Vec::new();
+    let mut admitted = 0u64;
+    for _ in 0..ops {
+        match rng.gen_range(0u32..100) {
+            0..=54 => {
+                let tenant = if rng.gen_bool(0.5) { "a" } else { "b" };
+                match service.submit(tenant, rhs(&mut rng)) {
+                    Ok(t) => {
+                        pending.push(t);
+                        admitted += 1;
+                    }
+                    // The breaker may be open after a poisoned streak;
+                    // that is a typed admission error, not a lost request.
+                    Err(ServeError::CircuitOpen { .. }) => {}
+                    Err(other) => panic!("unexpected admission error: {other:?}"),
+                }
+            }
+            55..=74 => {
+                service.drain();
+            }
+            // Poison the next couple of launches on a cached entry's
+            // device: drained solves come back NaN and must be absorbed
+            // by the ladder (or attributed, never mixed up).
+            75..=84 => {
+                let tenant = if rng.gen_bool(0.5) { "a" } else { "b" };
+                if let Some(entry) = service.cache().get(&tenant_key(tenant)) {
+                    let device = entry.hodlr().device();
+                    device.disarm_faults();
+                    device.arm_faults(FaultPlan::new().poison_launch(1).poison_launch(2));
+                }
+            }
+            // Serve-level fault: flush the cache before the next drain.
+            _ => {
+                service.arm_faults(ServeFaultPlan::new().evict_before_drain(1));
+            }
+        }
+    }
+    service.drain();
+
+    // Accounting balances: everything admitted was drained exactly once.
+    let stats = service.stats();
+    prop_assert_eq!(stats.submitted, admitted);
+    prop_assert_eq!(
+        stats.completed,
+        admitted,
+        "drained-request accounting must balance: {stats:?}"
+    );
+    // And every ticket resolves — success, or a typed error earned by an
+    // injected fault; an unresolved ticket would time out here.
+    for (i, ticket) in pending.into_iter().enumerate() {
+        match ticket.wait_timeout(RESOLVE_BOUND) {
+            Ok(x) => {
+                prop_assert!(x.iter().all(|v| v.is_finite()), "request {i}: NaN escaped");
+            }
+            Err(ServeError::Timeout { .. }) => panic!("request {i} never resolved (hang)"),
+            Err(_) => {} // typed failure attributed to this request
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_queue_cache_interleavings_hold_the_invariants(
+        seed in 0u64..10_000,
+        ops in 20usize..60,
+    ) {
+        queue_cache_interleaving(seed, ops);
+    }
+
+    #[test]
+    fn random_service_schedules_with_faults_stay_accounted(
+        seed in 0u64..10_000,
+        ops in 20usize..50,
+    ) {
+        service_interleaving_with_faults(seed, ops);
+    }
+}
