@@ -22,7 +22,11 @@
 //!
 //! * the `serve` binary emits [`ServeRow`]s (scenario, tenant mix,
 //!   throughput, p50/p99 latency, cache hit-rate, launches-per-request,
-//!   and a determinism checksum).
+//!   and a determinism checksum);
+//! * the `spectral` binary emits [`SpectralRow`]s (scenario, backend,
+//!   size, requested pairs / probe counts, the scenario residual and its
+//!   gate, the SLQ standard error, estimator-vs-dense-oracle wall clocks
+//!   and the 1/2/8-thread bitwise-determinism verdict).
 //!
 //! Every bench family resolves its output path through the one shared
 //! helper, [`bench_json_path`]: `HODLR_BENCH_JSON` overrides the default
@@ -34,6 +38,7 @@ use crate::harness::SolverRow;
 use crate::iterative::IterativeRow;
 use crate::kernels::KernelRow;
 use crate::serve::ServeRow;
+use crate::spectral::SpectralRow;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -242,6 +247,39 @@ pub fn write_gp_json(name: &str, rows: &[GpRow]) {
     write_bench_json(name, &gp_rows_to_json(rows), rows.len());
 }
 
+/// Render spectral rows (the `spectral` binary) as a JSON array.
+pub fn spectral_rows_to_json(rows: &[SpectralRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"scenario\": \"{}\", ", escape(&row.scenario)));
+        out.push_str(&format!("\"backend\": \"{}\", ", escape(&row.backend)));
+        out.push_str(&format!("\"n\": {}, ", row.n));
+        out.push_str(&format!("\"k\": {}, ", row.k));
+        out.push_str(&format!("\"probes\": {}, ", row.probes));
+        out.push_str(&format!("\"steps\": {}, ", row.steps));
+        out.push_str(&format!("\"threads\": {}, ", row.threads));
+        out.push_str(&format!("\"residual\": {}, ", number(row.residual)));
+        out.push_str(&format!("\"tolerance\": {}, ", number(row.tolerance)));
+        out.push_str(&format!("\"slq_stderr\": {}, ", opt_number(row.slq_stderr)));
+        out.push_str(&format!("\"t_s\": {}, ", number(row.t_s)));
+        out.push_str(&format!("\"t_dense_s\": {}, ", opt_number(row.t_dense_s)));
+        out.push_str(&format!("\"deterministic\": {}", row.deterministic));
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write spectral rows to the family's JSON path (see [`bench_json_path`]).
+pub fn write_spectral_json(name: &str, rows: &[SpectralRow]) {
+    write_bench_json(name, &spectral_rows_to_json(rows), rows.len());
+}
+
 /// Render serving rows (the `serve` binary) as a JSON array.
 pub fn serve_rows_to_json(rows: &[ServeRow]) -> String {
     let mut out = String::from("[\n");
@@ -421,6 +459,43 @@ mod tests {
             "\"threads\": 8",
             "\"speedup_vs_reference\": 5e0",
             "\"bitwise_vs_1thread\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn spectral_rows_render_required_fields() {
+        let row = SpectralRow {
+            scenario: "slq-logdet".into(),
+            backend: "batched".into(),
+            n: 2048,
+            k: 0,
+            probes: 24,
+            steps: 128,
+            residual: 0.5,
+            tolerance: 1.5,
+            slq_stderr: Some(0.5),
+            t_s: 0.25,
+            t_dense_s: Some(1e-3),
+            deterministic: true,
+            threads: 8,
+        };
+        let json = spectral_rows_to_json(&[row]);
+        for key in [
+            "\"scenario\": \"slq-logdet\"",
+            "\"backend\": \"batched\"",
+            "\"n\": 2048",
+            "\"k\": 0",
+            "\"probes\": 24",
+            "\"steps\": 128",
+            "\"threads\": 8",
+            "\"residual\": 5e-1",
+            "\"tolerance\": 1.5e0",
+            "\"slq_stderr\": 5e-1",
+            "\"t_dense_s\": 1e-3",
+            "\"deterministic\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -15,6 +15,7 @@
 //! | `iterative` | Table V(b) extension | preconditioned GMRES/BiCGStab/mixed-precision over all three workloads |
 //! | `kernels` | (infrastructure) | gemm/LU/QR GFLOP/s by size, scalar and thread count vs the naive reference kernel |
 //! | `gp` | Section III-E(a) application | GP log-marginal likelihood (solve + product-form `log_det`) by kernel family, backend and tolerance, vs the dense Cholesky oracle |
+//! | `spectral` | (spectral subsystem) | dense EVD/SVD kernel accuracy, HODLR-accelerated Lanczos eigenpairs and the SLQ log-determinant vs the product form, with 1/2/8-thread bitwise-determinism verdicts |
 //!
 //! Every binary accepts `--full` to run the paper's original problem sizes
 //! (hours on a laptop; the defaults are scaled down so a full sweep finishes
@@ -44,6 +45,7 @@ pub mod iterative;
 pub mod json;
 pub mod kernels;
 pub mod serve;
+pub mod spectral;
 pub mod workloads;
 
 pub use gp::{print_gp_table, run_gp_bench, GpBenchConfig, GpRow};
@@ -53,11 +55,12 @@ pub use iterative::{
 };
 pub use json::{
     gp_rows_to_json, iterative_rows_to_json, kernel_rows_to_json, serve_rows_to_json,
-    solver_rows_to_json, write_gp_json, write_iterative_json, write_kernel_json, write_serve_json,
-    write_solver_json,
+    solver_rows_to_json, spectral_rows_to_json, write_gp_json, write_iterative_json,
+    write_kernel_json, write_serve_json, write_solver_json, write_spectral_json,
 };
 pub use kernels::{print_kernel_table, run_kernel_bench, KernelBenchConfig, KernelRow};
 pub use serve::{print_serve_table, run_serve_bench, ServeBenchConfig, ServeRow};
+pub use spectral::{print_spectral_table, run_spectral_bench, SpectralBenchConfig, SpectralRow};
 pub use workloads::{
     helmholtz_hodlr, kernel_hodlr, laplace_hodlr, parse_args, rpy_hodlr, SweepArgs,
 };

@@ -1,0 +1,524 @@
+//! The spectral scenario family: dense EVD/SVD kernel accuracy,
+//! HODLR-accelerated Lanczos (largest and shift-invert smallest
+//! eigenpairs of a GP covariance) and the SLQ log-determinant against the
+//! product-form route, with bitwise-determinism verdicts across 1/2/8
+//! thread pools, written to `BENCH_spectral.json`.
+//!
+//! Each row's `residual` is the scenario's natural relative error —
+//! eigenpair residual `max_j ||A v_j - lambda_j v_j|| / ||A||` joined with
+//! the basis orthogonality defect for the decompositions, the worst Ritz
+//! residual for the Lanczos scenarios, and `|slq - product|` for the SLQ
+//! row — and `tolerance` is the gate the `spectral` binary enforces on it
+//! (for SLQ: three reported standard errors plus a small relative floor,
+//! so the stochastic route must agree with the `O(N log^2 N)` product
+//! form within its own error bars).  `t_dense_s` carries the dense-oracle
+//! wall clock (full `symmetric_evd` for the Lanczos rows, the
+//! factorization + product-form determinant for SLQ) where affordable, so
+//! the JSON trajectory records when the matvec-side estimators start
+//! undercutting the direct routes.
+
+use hodlr::{Backend, Symmetry};
+use hodlr_gp::{regular_grid_1d, GpConfig, GpModel, KernelFamily};
+use hodlr_la::{symmetric_evd, DenseMatrix};
+use hodlr_spectral::{
+    lanczos_report, shift_invert_report, slq_log_det, LanczosConfig, PartialEigen, SlqConfig,
+    SpectrumTarget,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One row of the spectral table.
+#[derive(Clone, Debug)]
+pub struct SpectralRow {
+    /// Scenario label (`evd-dense`, `svd-dense`, `lanczos-largest`,
+    /// `shift-invert-smallest`, `slq-logdet`).
+    pub scenario: String,
+    /// Backend label: `dense` for the dense-kernel scenarios, `serial` /
+    /// `batched` for the operator-backed ones.
+    pub backend: String,
+    /// Matrix / operator dimension.
+    pub n: usize,
+    /// Eigenpairs requested (the full `n` for the dense decompositions,
+    /// `0` for SLQ which returns no pairs).
+    pub k: usize,
+    /// SLQ probe vectors (0 for non-SLQ rows).
+    pub probes: usize,
+    /// SLQ Lanczos steps per probe (0 for non-SLQ rows).
+    pub steps: usize,
+    /// Scenario residual (see module docs).
+    pub residual: f64,
+    /// The gate the `spectral` binary enforces on `residual`.
+    pub tolerance: f64,
+    /// Reported SLQ standard error (SLQ rows only).
+    pub slq_stderr: Option<f64>,
+    /// Wall-clock seconds of the scenario's estimator route.
+    pub t_s: f64,
+    /// Wall-clock seconds of the dense / direct oracle, where affordable.
+    pub t_dense_s: Option<f64>,
+    /// `true` when 1-, 2- and 8-thread pools produced bitwise-identical
+    /// values, vectors and error bars.
+    pub deterministic: bool,
+    /// Rayon pool size the timed run was measured with.
+    pub threads: usize,
+}
+
+/// Sweep configuration of the `spectral` binary.
+#[derive(Clone, Debug)]
+pub struct SpectralBenchConfig {
+    /// Order of the dense EVD / SVD kernel scenarios.
+    pub dense_n: usize,
+    /// GP covariance sizes for the operator-backed scenarios.
+    pub operator_sizes: Vec<usize>,
+    /// Run the dense `symmetric_evd` oracle up to this operator size.
+    pub dense_oracle_cap: usize,
+    /// Eigenpairs requested from the Lanczos scenarios.
+    pub k: usize,
+    /// SLQ probe vectors.
+    pub probes: usize,
+    /// SLQ Lanczos steps per probe.
+    pub steps: usize,
+}
+
+impl SpectralBenchConfig {
+    /// The seconds-scale CI sweep (`--smoke`).
+    pub fn smoke() -> Self {
+        SpectralBenchConfig {
+            dense_n: 96,
+            operator_sizes: vec![512],
+            dense_oracle_cap: 512,
+            k: 6,
+            probes: 8,
+            steps: 48,
+        }
+    }
+
+    /// The default laptop-scale sweep; includes the `n = 2048` SLQ row
+    /// the acceptance criteria pin.
+    pub fn full() -> Self {
+        SpectralBenchConfig {
+            dense_n: 256,
+            operator_sizes: vec![1 << 10, 1 << 11],
+            dense_oracle_cap: 1 << 10,
+            k: 6,
+            probes: 24,
+            steps: 128,
+        }
+    }
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("bench pool")
+}
+
+/// `true` when the signature is bitwise-identical in 1-, 2- and 8-thread
+/// pools (the README's determinism contract, applied to the spectral
+/// subsystem end to end: construction, factorization, Lanczos, SLQ).
+fn bitwise_across_pools(signature: impl Fn() -> Vec<u64> + Sync) -> bool {
+    let sigs: Vec<Vec<u64>> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| pool(t).install(&signature))
+        .collect();
+    sigs.windows(2).all(|w| w[0] == w[1])
+}
+
+fn bits_of(values: &[f64]) -> impl Iterator<Item = u64> + '_ {
+    values.iter().map(|v| v.to_bits())
+}
+
+fn eigen_signature(report: &PartialEigen<f64>) -> Vec<u64> {
+    bits_of(&report.values)
+        .chain(bits_of(report.vectors.data()))
+        .collect()
+}
+
+/// The deterministic Hermitian test matrix `G G^H + I` of the dense
+/// scenarios.
+fn hermitian_matrix(n: usize) -> DenseMatrix<f64> {
+    let mut rng = StdRng::seed_from_u64(0x05be_c7a1 + n as u64);
+    let g: DenseMatrix<f64> = hodlr_la::random::gaussian_matrix(&mut rng, n, n);
+    let mut a = g.matmul(&g.conj_transpose());
+    for i in 0..n {
+        a[(i, i)] += 1.0;
+    }
+    a
+}
+
+/// `max_ij |Q^H Q - I|` — orthogonality defect of a (square or thin)
+/// basis.
+fn orthogonality_defect(q: &DenseMatrix<f64>) -> f64 {
+    let g = q.conj_transpose().matmul(q);
+    let mut worst = 0.0f64;
+    for j in 0..g.cols() {
+        for i in 0..g.rows() {
+            let target = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((g[(i, j)] - target).abs());
+        }
+    }
+    worst
+}
+
+/// `max_ij |A - B|` scaled by `scale`.
+fn max_abs_diff(a: &DenseMatrix<f64>, b: &DenseMatrix<f64>, scale: f64) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
+        / scale
+}
+
+fn evd_dense_row(n: usize, threads: usize) -> SpectralRow {
+    let a = hermitian_matrix(n);
+    let start = Instant::now();
+    let evd = symmetric_evd(&a).expect("dense EVD");
+    let t_s = start.elapsed().as_secs_f64();
+    let scale = evd
+        .values
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    let residual =
+        max_abs_diff(&evd.reconstruct(), &a, scale).max(orthogonality_defect(&evd.vectors));
+    let deterministic = bitwise_across_pools(|| {
+        let evd = symmetric_evd(&hermitian_matrix(n)).expect("dense EVD");
+        bits_of(&evd.values)
+            .chain(bits_of(evd.vectors.data()))
+            .collect()
+    });
+    SpectralRow {
+        scenario: "evd-dense".to_string(),
+        backend: "dense".to_string(),
+        n,
+        k: n,
+        probes: 0,
+        steps: 0,
+        residual,
+        tolerance: 1e-11 * n as f64,
+        slq_stderr: None,
+        t_s,
+        t_dense_s: None,
+        deterministic,
+        threads,
+    }
+}
+
+fn svd_dense_row(n: usize, threads: usize) -> SpectralRow {
+    let mut rng = StdRng::seed_from_u64(0x57d_b0b + n as u64);
+    let a: DenseMatrix<f64> = hodlr_la::random::gaussian_matrix(&mut rng, n, n);
+    let start = Instant::now();
+    let svd = hodlr_la::golub_kahan_svd(&a).expect("dense SVD");
+    let t_s = start.elapsed().as_secs_f64();
+    let scale = svd
+        .sigma
+        .first()
+        .copied()
+        .unwrap_or(1.0)
+        .max(f64::MIN_POSITIVE);
+    let residual = max_abs_diff(&svd.reconstruct(), &a, scale)
+        .max(orthogonality_defect(&svd.u))
+        .max(orthogonality_defect(&svd.v));
+    let deterministic = bitwise_across_pools(|| {
+        let mut rng = StdRng::seed_from_u64(0x57d_b0b + n as u64);
+        let a: DenseMatrix<f64> = hodlr_la::random::gaussian_matrix(&mut rng, n, n);
+        let svd = hodlr_la::golub_kahan_svd(&a).expect("dense SVD");
+        bits_of(&svd.sigma)
+            .chain(bits_of(svd.u.data()))
+            .chain(bits_of(svd.v.data()))
+            .collect()
+    });
+    SpectralRow {
+        scenario: "svd-dense".to_string(),
+        backend: "dense".to_string(),
+        n,
+        k: n,
+        probes: 0,
+        steps: 0,
+        residual,
+        tolerance: 1e-11 * n as f64,
+        slq_stderr: None,
+        t_s,
+        t_dense_s: None,
+        deterministic,
+        threads,
+    }
+}
+
+fn backend_label(backend: Backend) -> &'static str {
+    match backend {
+        Backend::Serial => "serial",
+        Backend::Batched => "batched",
+    }
+}
+
+/// The GP covariance every operator-backed scenario runs on: squared
+/// exponential over a regular grid with a `1e-2` nugget, compressed at
+/// `1e-10` on the SPD path.
+fn covariance_model(n: usize, backend: Backend) -> GpModel {
+    let points = regular_grid_1d(n, 0.0, 4.0);
+    let kernel = KernelFamily::SquaredExponential.kernel(1.0, 0.5);
+    let config = GpConfig {
+        backend,
+        tolerance: 1e-10,
+        symmetry: Symmetry::PositiveDefinite,
+        ..GpConfig::default()
+    };
+    GpModel::build(&kernel, &points, 1e-2, &config).expect("GP covariance construction")
+}
+
+fn lanczos_cfg(k: usize) -> LanczosConfig {
+    LanczosConfig {
+        // The SE spectrum decays fast, but the smallest eigenvalues
+        // cluster at the nugget; a roomier basis keeps both scenarios'
+        // residuals tight.
+        subspace: (4 * k + 32).min(256),
+        ..LanczosConfig::default()
+    }
+}
+
+/// The three operator-backed rows for one `(n, backend)` cell; the model
+/// is built (and factorized) once per cell and once more per pool size
+/// for the determinism verdicts.
+fn operator_rows(config: &SpectralBenchConfig, n: usize, backend: Backend) -> Vec<SpectralRow> {
+    let threads = rayon::current_num_threads();
+    let k = config.k;
+    let lcfg = lanczos_cfg(k);
+    let scfg = SlqConfig {
+        probes: config.probes,
+        steps: config.steps,
+        seed: 0x51c9_ad00,
+    };
+
+    let model = covariance_model(n, backend);
+    let start = Instant::now();
+    let largest =
+        lanczos_report(model.hodlr(), k, SpectrumTarget::Largest, &lcfg).expect("Lanczos largest");
+    let t_largest = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let factorization = model.factorize().expect("SPD factorization");
+    let smallest = shift_invert_report(model.hodlr(), &factorization, 0.0, k, &lcfg)
+        .expect("shift-invert smallest");
+    let t_smallest = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let slq = slq_log_det(model.hodlr(), &scfg).expect("SLQ log-determinant");
+    let t_slq = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let product = model
+        .log_det_term(&factorization)
+        .expect("product-form log-determinant");
+    let t_product = start.elapsed().as_secs_f64();
+
+    // Dense EVD oracle: eigenvalue agreement (relative to the largest)
+    // and the direct-route wall clock the Lanczos rows are measured
+    // against.
+    let oracle = if n <= config.dense_oracle_cap {
+        let dense = model.hodlr().matrix().to_dense();
+        let start = Instant::now();
+        let evd = symmetric_evd(&dense).expect("dense oracle EVD");
+        Some((evd, start.elapsed().as_secs_f64()))
+    } else {
+        None
+    };
+    let scale = largest.values[0].max(f64::MIN_POSITIVE);
+    let largest_residual = oracle
+        .as_ref()
+        .map(|(evd, _)| {
+            largest
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v - evd.values[n - 1 - i]).abs() / scale)
+                .fold(0.0f64, f64::max)
+        })
+        .unwrap_or(0.0)
+        .max(worst_residual(&largest));
+    let smallest_residual = oracle
+        .as_ref()
+        .map(|(evd, _)| {
+            smallest
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v - evd.values[i]).abs() / scale)
+                .fold(0.0f64, f64::max)
+        })
+        .unwrap_or(0.0)
+        .max(worst_residual(&smallest));
+    let t_oracle = oracle.as_ref().map(|(_, t)| *t);
+
+    // One determinism verdict per cell: the full pipeline — build,
+    // factorize, both Lanczos scenarios, SLQ — re-run inside each pool,
+    // all outputs folded into one signature.
+    let deterministic = bitwise_across_pools(|| {
+        let model = covariance_model(n, backend);
+        let largest = lanczos_report(model.hodlr(), k, SpectrumTarget::Largest, &lcfg)
+            .expect("Lanczos largest");
+        let factorization = model.factorize().expect("SPD factorization");
+        let smallest = shift_invert_report(model.hodlr(), &factorization, 0.0, k, &lcfg)
+            .expect("shift-invert smallest");
+        let slq = slq_log_det(model.hodlr(), &scfg).expect("SLQ log-determinant");
+        let mut sig = eigen_signature(&largest);
+        sig.extend(eigen_signature(&smallest));
+        sig.push(slq.value.to_bits());
+        sig.push(slq.stderr.to_bits());
+        sig.push(slq.min_ritz.to_bits());
+        sig
+    });
+
+    let backend = backend_label(backend).to_string();
+    vec![
+        SpectralRow {
+            scenario: "lanczos-largest".to_string(),
+            backend: backend.clone(),
+            n,
+            k,
+            probes: 0,
+            steps: 0,
+            residual: largest_residual,
+            tolerance: 1e-8,
+            slq_stderr: None,
+            t_s: t_largest,
+            t_dense_s: t_oracle,
+            deterministic,
+            threads,
+        },
+        SpectralRow {
+            scenario: "shift-invert-smallest".to_string(),
+            backend: backend.clone(),
+            n,
+            k,
+            probes: 0,
+            steps: 0,
+            residual: smallest_residual,
+            tolerance: 1e-6,
+            slq_stderr: None,
+            t_s: t_smallest,
+            t_dense_s: t_oracle,
+            deterministic,
+            threads,
+        },
+        SpectralRow {
+            scenario: "slq-logdet".to_string(),
+            backend,
+            n,
+            k: 0,
+            probes: scfg.probes,
+            steps: scfg.steps,
+            residual: (slq.value - product).abs(),
+            // Agreement within the reported stochastic error (plus a
+            // relative floor for the near-zero-variance case).
+            tolerance: 3.0 * slq.stderr + 1e-6 * product.abs().max(1.0),
+            slq_stderr: Some(slq.stderr),
+            t_s: t_slq,
+            t_dense_s: Some(t_product),
+            deterministic,
+            threads,
+        },
+    ]
+}
+
+fn worst_residual(report: &PartialEigen<f64>) -> f64 {
+    report.residuals.iter().copied().fold(0.0f64, f64::max)
+}
+
+/// Run the sweep: the two dense-kernel rows plus
+/// `operator_sizes x {serial, batched} x 3` operator-backed rows.
+pub fn run_spectral_bench(config: &SpectralBenchConfig) -> Vec<SpectralRow> {
+    let threads = rayon::current_num_threads();
+    let mut rows = vec![
+        evd_dense_row(config.dense_n, threads),
+        svd_dense_row(config.dense_n, threads),
+    ];
+    for &n in &config.operator_sizes {
+        for backend in [Backend::Serial, Backend::Batched] {
+            rows.extend(operator_rows(config, n, backend));
+        }
+    }
+    rows
+}
+
+/// Print rows in the aligned table layout of the other harnesses.
+pub fn print_spectral_table(title: &str, rows: &[SpectralRow]) {
+    println!("== {title}");
+    println!(
+        "{:<22} {:<8} {:<8} {:>4} {:>7} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>6}",
+        "scenario",
+        "backend",
+        "N",
+        "k",
+        "probes",
+        "steps",
+        "residual",
+        "tolerance",
+        "t [s]",
+        "t_dense [s]",
+        "stderr",
+        "det"
+    );
+    for row in rows {
+        println!(
+            "{:<22} {:<8} {:<8} {:>4} {:>7} {:>6} {:>12.4e} {:>12.4e} {:>12.4e} {:>12} {:>12} {:>6}",
+            row.scenario,
+            row.backend,
+            row.n,
+            row.k,
+            row.probes,
+            row.steps,
+            row.residual,
+            row.tolerance,
+            row.t_s,
+            row.t_dense_s
+                .map_or("-".to_string(), |t| format!("{t:.4e}")),
+            row.slq_stderr
+                .map_or("-".to_string(), |e| format!("{e:.3e}")),
+            row.deterministic
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_accurate_and_deterministic() {
+        let config = SpectralBenchConfig {
+            dense_n: 48,
+            operator_sizes: vec![192],
+            dense_oracle_cap: 256,
+            k: 4,
+            probes: 6,
+            steps: 40,
+        };
+        let rows = run_spectral_bench(&config);
+        // 2 dense rows + 1 size x 2 backends x 3 scenarios.
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(
+                row.residual.is_finite() && row.residual <= row.tolerance,
+                "{} {}: residual {} vs tolerance {}",
+                row.scenario,
+                row.backend,
+                row.residual,
+                row.tolerance
+            );
+            assert!(row.deterministic, "{} {}", row.scenario, row.backend);
+            if row.scenario == "slq-logdet" {
+                assert!(row.probes > 0 && row.steps > 0);
+                assert!(row.slq_stderr.expect("SLQ rows carry stderr").is_finite());
+            }
+        }
+        // Serial and batched backends agree bitwise per scenario on what
+        // they measure (the determinism flag already certifies each is
+        // pool-size-invariant; this certifies backend invariance of the
+        // Lanczos values via the shared oracle gate).
+        print_spectral_table("smoke", &rows);
+    }
+}

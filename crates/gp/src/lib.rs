@@ -53,6 +53,7 @@ pub mod oracle;
 pub mod sampling;
 pub mod scan;
 pub mod source;
+pub mod spectral;
 
 pub use kernels::{
     Matern, MaternSmoothness, RationalQuadratic, SquaredExponential, StationaryKernel,
@@ -64,3 +65,4 @@ pub use scan::{best_row, GridScan, KernelFamily, ScanRow};
 pub use source::{
     clustered_points_1d, covariance_source, regular_grid_1d, CorrelationSource, CovarianceSource,
 };
+pub use spectral::SpectralCheck;

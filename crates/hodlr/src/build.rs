@@ -29,6 +29,7 @@ use hodlr_core::{
     GpuSolver, GpuSymmetricSolver, HodlrMatrix, Symmetry,
 };
 use hodlr_la::{DenseMatrix, HodlrError, RealScalar, Scalar};
+use hodlr_solver::LinearOperator;
 use hodlr_tree::ClusterTree;
 
 /// Which factorization backend serves this matrix.
@@ -459,6 +460,26 @@ impl<T: Scalar> Hodlr<T> {
         self.run_in_pool(|| self.matrix.matvec(x))
     }
 
+    /// `y = A x` into a caller-owned buffer (no per-call allocation).
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
+        self.run_in_pool(|| self.matrix.matvec_into(x, y))
+    }
+
+    /// `y = A^H x` in `O(N log N)`.
+    pub fn matvec_adjoint(&self, x: &[T]) -> Vec<T> {
+        self.run_in_pool(|| self.matrix.matvec_adjoint(x))
+    }
+
+    /// `y = A^H x` into a caller-owned buffer (no per-call allocation).
+    pub fn matvec_adjoint_into(&self, x: &[T], y: &mut [T]) {
+        self.run_in_pool(|| self.matrix.matvec_adjoint_into(x, y))
+    }
+
+    /// `Y = A X` for a block of vectors.
+    pub fn matmat(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        self.run_in_pool(|| self.matrix.matmat(x))
+    }
+
     /// Relative residual `||b - A x|| / ||b||` of a candidate solution.
     pub fn relative_residual(&self, x: &[T], b: &[T]) -> T::Real {
         self.run_in_pool(|| self.matrix.relative_residual(x, b))
@@ -507,6 +528,24 @@ impl<T: Scalar> Hodlr<T> {
             Some(pool) => pool.install(f),
             None => f(),
         }
+    }
+}
+
+/// The façade is itself a [`LinearOperator`]: Krylov methods and the
+/// spectral subsystem (`hodlr-spectral`) consume it directly, with every
+/// apply routed through the handle's dedicated thread pool so the
+/// workspace determinism contract holds at any thread count.
+impl<T: Scalar> LinearOperator<T> for Hodlr<T> {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        self.matvec_into(x, y);
+    }
+
+    fn apply_to_block(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        self.matmat(x)
     }
 }
 

@@ -64,7 +64,7 @@ impl<'m, T: Scalar> IterativeSolver<'m, T> {
     ) -> Result<Self, HodlrError> {
         HodlrError::check_dims(
             "iterative operator vs preconditioner",
-            precond.dim(),
+            Solve::dim(&precond),
             operator.dim(),
         )?;
         Ok(IterativeSolver {
@@ -88,7 +88,7 @@ impl<'m, T: Scalar> IterativeSolver<'m, T> {
     ) -> Result<Self, HodlrError> {
         HodlrError::check_dims(
             "iterative operator vs preconditioner",
-            self.precond.dim(),
+            Solve::dim(&self.precond),
             operator.dim(),
         )?;
         self.operator = operator;
@@ -118,7 +118,8 @@ impl<'m, T: Scalar> IterativeSolver<'m, T> {
     /// # Errors
     /// [`HodlrError::DimensionMismatch`] when `b` has the wrong length.
     pub fn run(&self, b: &[T]) -> Result<IterativeSolution<T>, HodlrError> {
-        let m = FactorizationOperator { f: &self.precond };
+        // The factorization IS the `M^{-1}` operator (see the
+        // `LinearOperator` impl on `Factorization`); no adapter needed.
         // The whole Krylov loop runs on the factorization's dedicated pool
         // (when one was configured with `threads(..)`), so the operator
         // matvecs parallelize there too, not on the global pool.
@@ -127,50 +128,18 @@ impl<'m, T: Scalar> IterativeSolver<'m, T> {
                 .restart(restart)
                 .tol(self.tol)
                 .max_iters(self.max_iters)
-                .solve_preconditioned(&self.operator, &m, b),
+                .solve_preconditioned(&self.operator, &self.precond, b),
             KrylovMethod::BiCgStab => BiCgStab::new()
                 .tol(self.tol)
                 .max_iters(self.max_iters)
-                .solve_preconditioned(&self.operator, &m, b),
+                .solve_preconditioned(&self.operator, &self.precond, b),
         })
-    }
-}
-
-/// A [`Factorization`] applying `M^{-1}` as a [`LinearOperator`], for the
-/// Krylov methods of `hodlr-solver`.
-struct FactorizationOperator<'a, 'm, T: Scalar> {
-    f: &'a Factorization<'m, T>,
-}
-
-impl<T: Scalar> LinearOperator<T> for FactorizationOperator<'_, '_, T> {
-    fn dim(&self) -> usize {
-        self.f.dim()
-    }
-
-    fn apply(&self, x: &[T], y: &mut [T]) {
-        y.copy_from_slice(x);
-        match self.f.solve_in_place(y) {
-            Ok(()) => {}
-            // A best-effort correction (mixed-precision refinement that hit
-            // its sweep cap) is still a valid preconditioner application;
-            // the outer Krylov residual check decides what it was worth.
-            Err(HodlrError::NonConvergence { .. }) => {}
-            Err(e) => panic!("preconditioner application failed: {e}"),
-        }
-    }
-
-    fn apply_to_block(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
-        let mut y = x.clone();
-        match self.f.solve_block_in_place(&mut y) {
-            Ok(()) | Err(HodlrError::NonConvergence { .. }) => y,
-            Err(e) => panic!("preconditioner application failed: {e}"),
-        }
     }
 }
 
 impl<T: Scalar> Solve<T> for IterativeSolver<'_, T> {
     fn dim(&self) -> usize {
-        self.precond.dim()
+        Solve::dim(&self.precond)
     }
 
     fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {

@@ -13,6 +13,7 @@ use hodlr_core::{
     GpuSolver, GpuSymmetricSolver, SerialFactorization, SerialSymmetricFactorization,
 };
 use hodlr_la::{DenseMatrix, HodlrError, Scalar};
+use hodlr_solver::LinearOperator;
 
 /// Backend-agnostic solving against a completed factorization.
 ///
@@ -392,6 +393,36 @@ impl<T: Scalar> Solve<T> for Factorization<'_, T> {
         cfg: &VerifyConfig,
     ) -> SolveVerdict {
         self.run(|| self.inner.verify_solution(x, residual, norm1_est, cfg))
+    }
+}
+
+/// A factorization applies `A^{-1}` as a [`LinearOperator`]: the Krylov
+/// methods consume it directly as a right preconditioner, and the
+/// spectral subsystem iterates on it for shift-invert interior
+/// eigenvalues.
+impl<T: Scalar> LinearOperator<T> for Factorization<'_, T> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        y.copy_from_slice(x);
+        match self.solve_in_place(y) {
+            Ok(()) => {}
+            // A best-effort correction (mixed-precision refinement that hit
+            // its sweep cap) is still a valid operator application; the
+            // caller's residual check decides what it was worth.
+            Err(HodlrError::NonConvergence { .. }) => {}
+            Err(e) => panic!("factorization apply failed: {e}"),
+        }
+    }
+
+    fn apply_to_block(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
+        let mut y = x.clone();
+        match self.solve_block_in_place(&mut y) {
+            Ok(()) | Err(HodlrError::NonConvergence { .. }) => y,
+            Err(e) => panic!("factorization apply failed: {e}"),
+        }
     }
 }
 

@@ -1,0 +1,761 @@
+//! Dense Hermitian eigendecomposition (LAPACK `heevd`-style, QR flavour).
+//!
+//! The pipeline mirrors the classic two-stage LAPACK design:
+//!
+//! 1. [`tridiagonalize`] reduces a Hermitian matrix to real symmetric
+//!    tridiagonal form `A = Q T Q^H` with blocked Householder reflectors
+//!    (the `latrd` panel scheme: per-panel `V`/`W` accumulation followed by
+//!    a rank-`2k` GEMM trailing update, so most flops land in level-3 BLAS);
+//! 2. [`steqr`] diagonalizes the tridiagonal matrix with implicit-shift QL
+//!    iteration (Wilkinson shift), optionally accumulating the rotations
+//!    into an eigenvector matrix;
+//! 3. [`symmetric_evd`] chains the two and returns eigenvalues sorted
+//!    ascending with a deterministic tie-break, plus orthonormal
+//!    eigenvectors.
+//!
+//! Everything is sequential with fixed reduction orders (the only threaded
+//! kernel reached is [`gemm`], whose tiling depends only on shapes), so
+//! results are bitwise identical at any thread count — the same determinism
+//! contract the factorization stack honours.
+//!
+//! Failure modes are typed: non-square input is a
+//! [`HodlrError::DimensionMismatch`], QL stagnation is a
+//! [`HodlrError::NonConvergence`] carrying the iteration count.
+
+use crate::blas::{axpy_slice, dot_conj, gemm, gemv, Op};
+use crate::dense::DenseMatrix;
+use crate::error::HodlrError;
+use crate::scalar::{RealScalar, Scalar};
+
+/// Panel width for the blocked tridiagonalization (LAPACK `NB`).
+const TRIDIAG_BLOCK: usize = 32;
+/// Maximum implicit-shift QL iterations per eigenvalue before giving up.
+const STEQR_MAX_ITERS: usize = 30;
+
+/// `|a| * sign(b)` with `sign(0) = +1` (Fortran `SIGN`).
+#[inline]
+pub(crate) fn sign_to<R: RealScalar>(a: R, b: R) -> R {
+    if b >= R::zero() {
+        a.abs_real()
+    } else {
+        -a.abs_real()
+    }
+}
+
+/// Generate an elementary Householder reflector `H = I - tau * v * v^H`
+/// (with `v[0] = 1` implicit) such that `H^H * [alpha; x] = [beta; 0]` and
+/// `beta` is real.  On exit `x` holds `v[1..]`; returns `(beta, tau)`.
+///
+/// This is LAPACK `larfg` without the extreme-scale rescaling loop (the
+/// workspace never feeds it subnormal-magnitude columns).
+pub(crate) fn larfg<T: Scalar>(alpha: T, x: &mut [T]) -> (T::Real, T) {
+    let xnorm = crate::norms::norm2(x);
+    if xnorm == T::Real::zero() && alpha.imag() == T::Real::zero() {
+        return (alpha.real(), T::zero());
+    }
+    let full = alpha.abs().hypot(xnorm);
+    let beta = -sign_to(full, alpha.real());
+    let tau = T::from_parts((beta - alpha.real()) / beta, -alpha.imag() / beta);
+    let scale = (alpha - T::from_real(beta)).recip();
+    for xi in x.iter_mut() {
+        *xi *= scale;
+    }
+    (beta, tau)
+}
+
+/// Result of [`tridiagonalize`]: `A = Q * T * Q^H` with `T` real symmetric
+/// tridiagonal.
+#[derive(Debug, Clone)]
+pub struct Tridiagonal<T: Scalar> {
+    /// Unitary factor (`n x n`), the accumulated Householder reflectors.
+    pub q: DenseMatrix<T>,
+    /// Diagonal of `T` (length `n`, real even for complex input).
+    pub diag: Vec<T::Real>,
+    /// Subdiagonal of `T` (length `n - 1`).
+    pub sub: Vec<T::Real>,
+}
+
+/// State shared by the blocked and unblocked reduction sweeps.
+struct TridiagScratch<T: Scalar> {
+    e: Vec<T::Real>,
+    tau: Vec<T>,
+}
+
+/// Reduce a Hermitian matrix to real symmetric tridiagonal form
+/// `A = Q T Q^H` via blocked Householder reflectors.
+///
+/// Only the lower triangle of `a` is referenced; the strict upper triangle
+/// is rebuilt from it, so slightly non-Hermitian input is projected onto
+/// its Hermitian part the same way LAPACK's `UPLO='L'` drivers behave.
+///
+/// # Errors
+/// [`HodlrError::DimensionMismatch`] when `a` is not square.
+pub fn tridiagonalize<T: Scalar>(a: &DenseMatrix<T>) -> Result<Tridiagonal<T>, HodlrError> {
+    if a.rows() != a.cols() {
+        return Err(HodlrError::dims(
+            "hermitian tridiagonalization input (square matrix required)",
+            a.rows(),
+            a.cols(),
+        ));
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Tridiagonal {
+            q: DenseMatrix::identity(0),
+            diag: Vec::new(),
+            sub: Vec::new(),
+        });
+    }
+    // Working copy, rebuilt as exactly Hermitian from the lower triangle.
+    let mut work = DenseMatrix::from_fn(n, n, |i, j| {
+        if i > j {
+            a[(i, j)]
+        } else if i == j {
+            T::from_real(a[(i, i)].real())
+        } else {
+            a[(j, i)].conj()
+        }
+    });
+    let mut scratch = TridiagScratch {
+        e: vec![T::Real::zero(); n.saturating_sub(1)],
+        tau: vec![T::zero(); n.saturating_sub(1)],
+    };
+
+    let mut k0 = 0usize;
+    if n >= 2 * TRIDIAG_BLOCK {
+        let mut w = DenseMatrix::<T>::zeros(n, TRIDIAG_BLOCK);
+        while n - k0 > 2 * TRIDIAG_BLOCK {
+            latrd_panel(&mut work, k0, TRIDIAG_BLOCK, &mut w, &mut scratch);
+            k0 += TRIDIAG_BLOCK;
+        }
+    }
+    tridiag_unblocked(&mut work, k0, &mut scratch);
+
+    let q = accumulate_q(&work, &scratch.tau);
+    let diag = (0..n).map(|i| work[(i, i)].real()).collect();
+    Ok(Tridiagonal {
+        q,
+        diag,
+        sub: scratch.e,
+    })
+}
+
+/// One `latrd`-style panel: compute `nb` reflectors starting at column `k0`
+/// together with their `W` vectors, then apply the aggregated rank-`2k`
+/// update to the trailing block with two GEMMs.
+fn latrd_panel<T: Scalar>(
+    a: &mut DenseMatrix<T>,
+    k0: usize,
+    nb: usize,
+    w: &mut DenseMatrix<T>,
+    scratch: &mut TridiagScratch<T>,
+) {
+    let n = a.rows();
+    w.fill(T::zero());
+    for i in 0..nb {
+        let j = k0 + i;
+        // Apply the panel's previous reflectors to column j:
+        // A[j.., j] -= V * conj(W[j, ..i]) + W * conj(V[j, ..i]).
+        if i > 0 {
+            let rows = n - j;
+            let mut acol = a.col(j)[j..].to_vec();
+            let wrow: Vec<T> = (0..i).map(|l| w[(j, l)].conj()).collect();
+            gemv(
+                -T::one(),
+                a.block(j, k0, rows, i),
+                Op::None,
+                &wrow,
+                T::one(),
+                &mut acol,
+            );
+            let vrow: Vec<T> = (0..i).map(|l| a[(j, k0 + l)].conj()).collect();
+            gemv(
+                -T::one(),
+                w.block(j, 0, rows, i),
+                Op::None,
+                &vrow,
+                T::one(),
+                &mut acol,
+            );
+            a.col_mut(j)[j..].copy_from_slice(&acol);
+            let djj = a[(j, j)].real();
+            a[(j, j)] = T::from_real(djj);
+        }
+        // Generate the reflector annihilating A[j+2.., j].
+        let (beta, tau_i) = {
+            let col = a.col_mut(j);
+            let (head, tail) = col[j + 1..].split_at_mut(1);
+            larfg(head[0], tail)
+        };
+        scratch.e[j] = beta;
+        scratch.tau[j] = tau_i;
+        a[(j + 1, j)] = T::one();
+        // W[j+1.., i] = tau * (A22 v - V (W^H v) - W (V^H v)) + correction.
+        let tn = n - (j + 1);
+        let v: Vec<T> = a.col(j)[j + 1..].to_vec();
+        let mut wcol = vec![T::zero(); tn];
+        gemv(
+            T::one(),
+            a.block(j + 1, j + 1, tn, tn),
+            Op::None,
+            &v,
+            T::zero(),
+            &mut wcol,
+        );
+        if i > 0 {
+            let mut t = vec![T::zero(); i];
+            gemv(
+                T::one(),
+                w.block(j + 1, 0, tn, i),
+                Op::ConjTrans,
+                &v,
+                T::zero(),
+                &mut t,
+            );
+            gemv(
+                -T::one(),
+                a.block(j + 1, k0, tn, i),
+                Op::None,
+                &t,
+                T::one(),
+                &mut wcol,
+            );
+            gemv(
+                T::one(),
+                a.block(j + 1, k0, tn, i),
+                Op::ConjTrans,
+                &v,
+                T::zero(),
+                &mut t,
+            );
+            gemv(
+                -T::one(),
+                w.block(j + 1, 0, tn, i),
+                Op::None,
+                &t,
+                T::one(),
+                &mut wcol,
+            );
+        }
+        for x in wcol.iter_mut() {
+            *x *= tau_i;
+        }
+        let half = T::Real::from_f64_real(0.5);
+        let corr = -(tau_i.scale(half)) * dot_conj(&wcol, &v);
+        axpy_slice(corr, &v, &mut wcol);
+        w.col_mut(i)[j + 1..].copy_from_slice(&wcol);
+    }
+    // Rank-2k trailing update: A22 -= V2 W2^H + W2 V2^H.
+    let k2 = k0 + nb;
+    let q = n - k2;
+    if q > 0 {
+        let v2 = a.sub_matrix(k2, k0, q, nb);
+        gemm(
+            -T::one(),
+            v2.as_ref(),
+            Op::None,
+            w.block(k2, 0, q, nb),
+            Op::ConjTrans,
+            T::one(),
+            a.block_mut(k2, k2, q, q),
+        );
+        gemm(
+            -T::one(),
+            w.block(k2, 0, q, nb),
+            Op::None,
+            v2.as_ref(),
+            Op::ConjTrans,
+            T::one(),
+            a.block_mut(k2, k2, q, q),
+        );
+    }
+}
+
+/// Unblocked `hetd2`-style sweep from column `k0` to the end, applying each
+/// rank-2 update immediately.
+fn tridiag_unblocked<T: Scalar>(
+    a: &mut DenseMatrix<T>,
+    k0: usize,
+    scratch: &mut TridiagScratch<T>,
+) {
+    let n = a.rows();
+    for j in k0..n.saturating_sub(1) {
+        let (beta, tau_j) = {
+            let col = a.col_mut(j);
+            let (head, tail) = col[j + 1..].split_at_mut(1);
+            larfg(head[0], tail)
+        };
+        scratch.e[j] = beta;
+        scratch.tau[j] = tau_j;
+        a[(j + 1, j)] = T::one();
+        if tau_j == T::zero() {
+            continue;
+        }
+        let tn = n - (j + 1);
+        let v: Vec<T> = a.col(j)[j + 1..].to_vec();
+        // w = tau A v;  w -= (tau/2)(w^H v) v;  A -= v w^H + w v^H.
+        let mut wv = vec![T::zero(); tn];
+        gemv(
+            T::one(),
+            a.block(j + 1, j + 1, tn, tn),
+            Op::None,
+            &v,
+            T::zero(),
+            &mut wv,
+        );
+        for x in wv.iter_mut() {
+            *x *= tau_j;
+        }
+        let half = T::Real::from_f64_real(0.5);
+        let corr = -(tau_j.scale(half)) * dot_conj(&wv, &v);
+        axpy_slice(corr, &v, &mut wv);
+        for c in 0..tn {
+            let wc = wv[c].conj();
+            let vc = v[c].conj();
+            let col = &mut a.col_mut(j + 1 + c)[j + 1..];
+            for r in 0..tn {
+                col[r] = col[r] - v[r] * wc - wv[r] * vc;
+            }
+        }
+    }
+}
+
+/// Accumulate `Q = H_0 H_1 ... H_{n-2}` from the reflector vectors stored
+/// below the subdiagonal of `work` (backward accumulation, `ungtr`-style).
+fn accumulate_q<T: Scalar>(work: &DenseMatrix<T>, tau: &[T]) -> DenseMatrix<T> {
+    let n = work.rows();
+    let mut q = DenseMatrix::identity(n);
+    for j in (0..n.saturating_sub(1)).rev() {
+        let tau_j = tau[j];
+        if tau_j == T::zero() {
+            continue;
+        }
+        let v: Vec<T> = work.col(j)[j + 1..].to_vec();
+        let bl = n - (j + 1);
+        let mut t = vec![T::zero(); bl];
+        gemv(
+            T::one(),
+            q.block(j + 1, j + 1, bl, bl),
+            Op::ConjTrans,
+            &v,
+            T::zero(),
+            &mut t,
+        );
+        // gemv gave t = Q^H v; the update needs (v^H Q)[c] = conj(t[c]).
+        for (c, &tc) in t.iter().enumerate() {
+            let alpha = -(tau_j * tc.conj());
+            if alpha == T::zero() {
+                continue;
+            }
+            axpy_slice(alpha, &v, &mut q.col_mut(j + 1 + c)[j + 1..]);
+        }
+    }
+    q
+}
+
+/// Implicit-shift QL iteration on a real symmetric tridiagonal matrix
+/// (EISPACK `tql2` / LAPACK `steqr`).
+///
+/// On entry `d` holds the diagonal and `e` the subdiagonal (`d.len() - 1`
+/// entries).  On successful exit `d` holds the eigenvalues sorted ascending
+/// (deterministic index tie-break), `e` is zeroed, and — when `z` is
+/// provided — the rotations have been accumulated into `z`'s columns, so
+/// passing the `Q` of [`tridiagonalize`] yields eigenvectors of the
+/// original matrix and passing the identity yields eigenvectors of the
+/// tridiagonal matrix itself.
+///
+/// # Errors
+/// * [`HodlrError::DimensionMismatch`] when `e`/`z` shapes disagree with
+///   `d`;
+/// * [`HodlrError::NonConvergence`] when any eigenvalue fails to deflate
+///   within 30 sweeps; the error reports the total rotation-sweep count.
+pub fn steqr<T: Scalar>(
+    d: &mut [T::Real],
+    e: &mut [T::Real],
+    mut z: Option<&mut DenseMatrix<T>>,
+) -> Result<(), HodlrError> {
+    let n = d.len();
+    if e.len() + 1 != n && !(n == 0 && e.is_empty()) {
+        return Err(HodlrError::dims(
+            "steqr subdiagonal length (must be diag length - 1)",
+            n.saturating_sub(1),
+            e.len(),
+        ));
+    }
+    if let Some(zm) = z.as_ref() {
+        if zm.cols() != n {
+            return Err(HodlrError::dims(
+                "steqr rotation accumulator columns",
+                n,
+                zm.cols(),
+            ));
+        }
+    }
+    if n <= 1 {
+        return Ok(());
+    }
+
+    let zero = T::Real::zero();
+    let one = T::Real::one();
+    let two = T::Real::from_f64_real(2.0);
+
+    // QL deflates at the *top* of the active block, so it converges
+    // fastest when the small diagonal entries sit there; on matrices
+    // graded the other way (large entries at the top — e.g. the
+    // tridiagonalization of a kernel covariance whose trailing pivots
+    // collapse onto the nugget) the EISPACK-style loop below can hit its
+    // iteration cap.  LAPACK's `steqr` switches to QR for that grading;
+    // flipping with the exchange permutation `J` achieves the same in
+    // O(n) plus one column reversal: `J T J = (J Q) Λ (J Q)ᴴ`, so seeding
+    // the accumulator with reversed columns makes the accumulated product
+    // come out as the caller expects, and the ascending sort at the end
+    // restores a deterministic order.  `e` is zeroed on exit either way.
+    if d[0].abs_real() > d[n - 1].abs_real() {
+        d.reverse();
+        e.reverse();
+        if let Some(zm) = z.as_mut() {
+            for j in 0..n / 2 {
+                let jj = n - 1 - j;
+                for i in 0..zm.rows() {
+                    let tmp = zm[(i, j)];
+                    zm[(i, j)] = zm[(i, jj)];
+                    zm[(i, jj)] = tmp;
+                }
+            }
+        }
+    }
+
+    // Internal subdiagonal with a trailing zero sentinel.
+    let mut ee: Vec<T::Real> = Vec::with_capacity(n);
+    ee.extend_from_slice(e);
+    ee.push(zero);
+
+    let mut total_sweeps = 0usize;
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find the first negligible subdiagonal at or after l.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs_real() + d[m + 1].abs_real();
+                if ee[m].abs_real() <= T::Real::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            if iter == STEQR_MAX_ITERS {
+                let scale = d
+                    .iter()
+                    .chain(ee.iter())
+                    .fold(zero, |acc, &x| acc.max_real(x.abs_real()))
+                    .max_real(T::Real::EPSILON);
+                return Err(HodlrError::NonConvergence {
+                    iterations: total_sweeps,
+                    relative_residual: (ee[l].abs_real() / scale).to_f64(),
+                    context: "symmetric tridiagonal QL iteration".to_string(),
+                });
+            }
+            iter += 1;
+            total_sweeps += 1;
+            // Wilkinson shift from the leading 2x2 of the active block.
+            let mut g = (d[l + 1] - d[l]) / (two * ee[l]);
+            let mut r = g.hypot(one);
+            g = d[m] - d[l] + ee[l] / (g + sign_to(r, g));
+            let mut s = one;
+            let mut c = one;
+            let mut p = zero;
+            let mut underflow_break = false;
+            for i in (l..m).rev() {
+                let f = s * ee[i];
+                let b = c * ee[i];
+                r = f.hypot(g);
+                ee[i + 1] = r;
+                if r == zero {
+                    // Recover from underflow by deflating early.
+                    d[i + 1] -= p;
+                    ee[m] = zero;
+                    underflow_break = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + two * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                if let Some(ref mut zm) = z {
+                    rotate_cols(zm, i, c, s);
+                }
+            }
+            if underflow_break {
+                continue;
+            }
+            d[l] -= p;
+            ee[l] = g;
+            ee[m] = zero;
+        }
+    }
+
+    // Sort ascending with a deterministic index tie-break.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        d[a].partial_cmp(&d[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let sorted: Vec<T::Real> = idx.iter().map(|&i| d[i]).collect();
+    d.copy_from_slice(&sorted);
+    e.fill(zero);
+    if let Some(zm) = z {
+        let permuted = DenseMatrix::from_fn(zm.rows(), n, |i, j| zm[(i, idx[j])]);
+        *zm = permuted;
+    }
+    Ok(())
+}
+
+/// Apply the real Givens rotation `(c, s)` to columns `i` and `i + 1`.
+fn rotate_cols<T: Scalar>(z: &mut DenseMatrix<T>, i: usize, c: T::Real, s: T::Real) {
+    let (mut left, mut right) = z.split_cols_mut(i + 1);
+    let ci = left.col_mut(i);
+    let cj = right.col_mut(0);
+    for (a, b) in ci.iter_mut().zip(cj.iter_mut()) {
+        let f = *b;
+        *b = a.scale(s) + f.scale(c);
+        *a = a.scale(c) - f.scale(s);
+    }
+}
+
+/// Full eigendecomposition `A = V diag(values) V^H` of a Hermitian matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEvd<T: Scalar> {
+    /// Eigenvalues sorted ascending (real even for complex input).
+    pub values: Vec<T::Real>,
+    /// Orthonormal eigenvectors, one per column, matching `values`.
+    pub vectors: DenseMatrix<T>,
+}
+
+impl<T: Scalar> SymmetricEvd<T> {
+    /// Rebuild `V diag(values) V^H` (test/diagnostic helper).
+    pub fn reconstruct(&self) -> DenseMatrix<T> {
+        let n = self.vectors.rows();
+        let k = self.values.len();
+        let scaled = DenseMatrix::from_fn(n, k, |i, j| self.vectors[(i, j)].scale(self.values[j]));
+        let mut out = DenseMatrix::zeros(n, n);
+        gemm(
+            T::one(),
+            scaled.as_ref(),
+            Op::None,
+            self.vectors.as_ref(),
+            Op::ConjTrans,
+            T::zero(),
+            out.as_mut(),
+        );
+        out
+    }
+}
+
+/// Eigendecomposition of a Hermitian matrix via Householder
+/// tridiagonalization + implicit-shift QL iteration.
+///
+/// Only the lower triangle of `a` is referenced (see [`tridiagonalize`]).
+/// Eigenvalues come back sorted ascending; eigenvectors are orthonormal to
+/// roundoff regardless of eigenvalue clustering (a property the one-sided
+/// Jacobi SVD in this crate cannot give for tight clusters).
+///
+/// # Errors
+/// * [`HodlrError::DimensionMismatch`] when `a` is not square;
+/// * [`HodlrError::NonConvergence`] from [`steqr`].
+pub fn symmetric_evd<T: Scalar>(a: &DenseMatrix<T>) -> Result<SymmetricEvd<T>, HodlrError> {
+    let tri = tridiagonalize(a)?;
+    let Tridiagonal {
+        mut q,
+        mut diag,
+        mut sub,
+    } = tri;
+    steqr(&mut diag, &mut sub, Some(&mut q))?;
+    Ok(SymmetricEvd {
+        values: diag,
+        vectors: q,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_matrix;
+    use crate::Complex64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hermitian_from<T: Scalar>(g: &DenseMatrix<T>) -> DenseMatrix<T> {
+        let n = g.rows();
+        DenseMatrix::from_fn(n, n, |i, j| {
+            let x = g[(i, j)] + g[(j, i)].conj();
+            if i == j {
+                T::from_real(x.real())
+            } else {
+                x
+            }
+        })
+    }
+
+    fn evd_residual<T: Scalar>(a: &DenseMatrix<T>, evd: &SymmetricEvd<T>) -> f64 {
+        let recon = evd.reconstruct();
+        let diff = a.sub(&recon);
+        (diff.norm_fro() / a.norm_fro().max_real(T::Real::EPSILON)).to_f64()
+    }
+
+    fn orthogonality<T: Scalar>(v: &DenseMatrix<T>) -> f64 {
+        let n = v.cols();
+        let mut gram = DenseMatrix::zeros(n, n);
+        gemm(
+            T::one(),
+            v.as_ref(),
+            Op::ConjTrans,
+            v.as_ref(),
+            Op::None,
+            T::zero(),
+            gram.as_mut(),
+        );
+        let eye = DenseMatrix::<T>::identity(n);
+        gram.sub(&eye).norm_fro().to_f64()
+    }
+
+    #[test]
+    fn evd_2x2_known() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = DenseMatrix::<f64>::from_fn(2, 2, |i, j| if i == j { 2.0 } else { 1.0 });
+        let evd = symmetric_evd(&a).unwrap();
+        assert!((evd.values[0] - 1.0).abs() < 1e-14);
+        assert!((evd.values[1] - 3.0).abs() < 1e-14);
+        assert!(evd_residual(&a, &evd) < 1e-14);
+    }
+
+    #[test]
+    fn evd_random_real_blocked_path() {
+        // n > 2 * TRIDIAG_BLOCK so the latrd panel path is exercised.
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 3 * TRIDIAG_BLOCK + 5;
+        let g: DenseMatrix<f64> = gaussian_matrix(&mut rng, n, n);
+        let a = hermitian_from(&g);
+        let evd = symmetric_evd(&a).unwrap();
+        assert!(evd_residual(&a, &evd) < 1e-12, "residual too large");
+        assert!(orthogonality(&evd.vectors) < 1e-12);
+        for w in evd.values.windows(2) {
+            assert!(w[0] <= w[1], "eigenvalues not sorted");
+        }
+    }
+
+    #[test]
+    fn evd_random_complex_hermitian() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40;
+        let g: DenseMatrix<Complex64> = gaussian_matrix(&mut rng, n, n);
+        let a = hermitian_from(&g);
+        let evd = symmetric_evd(&a).unwrap();
+        assert!(evd_residual(&a, &evd) < 1e-12);
+        assert!(orthogonality(&evd.vectors) < 1e-12);
+        // Hermitian eigenvalues are real by construction of the return type;
+        // cross-check against the Jacobi SVD's singular values (|lambda|).
+        let svd = crate::svd::jacobi_svd(&a);
+        let mut abs_eigs: Vec<f64> = evd.values.iter().map(|v| v.abs()).collect();
+        abs_eigs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (s, l) in svd.sigma.iter().zip(&abs_eigs) {
+            assert!((s - l).abs() < 1e-10 * (1.0 + s.abs()), "{s} vs {l}");
+        }
+    }
+
+    #[test]
+    fn tridiagonalize_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 24;
+        let g: DenseMatrix<Complex64> = gaussian_matrix(&mut rng, n, n);
+        let a = hermitian_from(&g);
+        let tri = tridiagonalize(&a).unwrap();
+        // Rebuild Q T Q^H.
+        let t = DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                Complex64::from_real(tri.diag[i])
+            } else if i == j + 1 {
+                Complex64::from_real(tri.sub[j])
+            } else if j == i + 1 {
+                Complex64::from_real(tri.sub[i])
+            } else {
+                Complex64::zero()
+            }
+        });
+        let qt = tri.q.matmul(&t);
+        let mut recon = DenseMatrix::zeros(n, n);
+        gemm(
+            Complex64::one(),
+            qt.as_ref(),
+            Op::None,
+            tri.q.as_ref(),
+            Op::ConjTrans,
+            Complex64::zero(),
+            recon.as_mut(),
+        );
+        let rel = (a.sub(&recon).norm_fro() / a.norm_fro()).to_f64();
+        assert!(rel < 1e-13, "tridiagonal reconstruction residual {rel}");
+        assert!(orthogonality(&tri.q) < 1e-13);
+    }
+
+    #[test]
+    fn steqr_known_tridiagonal() {
+        // Second-difference matrix: eigenvalues 2 - 2 cos(k pi / (n + 1)).
+        let n = 16usize;
+        let mut d = vec![2.0f64; n];
+        let mut e = vec![-1.0f64; n - 1];
+        let mut z = DenseMatrix::<f64>::identity(n);
+        steqr(&mut d, &mut e, Some(&mut z)).unwrap();
+        for (k, &lam) in d.iter().enumerate() {
+            let exact =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((lam - exact).abs() < 1e-12, "{lam} vs {exact}");
+        }
+        assert!(orthogonality(&z) < 1e-13);
+    }
+
+    #[test]
+    fn non_square_input_is_typed_error() {
+        let a = DenseMatrix::<f64>::zeros(3, 4);
+        match symmetric_evd(&a) {
+            Err(HodlrError::DimensionMismatch { .. }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        match tridiagonalize(&a) {
+            Err(HodlrError::DimensionMismatch { .. }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steqr_shape_checks() {
+        let mut d = vec![1.0f64; 4];
+        let mut e = vec![0.0f64; 4];
+        match steqr::<f64>(&mut d, &mut e, None) {
+            Err(HodlrError::DimensionMismatch { .. }) => {}
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evd_is_bitwise_reproducible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 48;
+        let g: DenseMatrix<f64> = gaussian_matrix(&mut rng, n, n);
+        let a = hermitian_from(&g);
+        let e1 = symmetric_evd(&a).unwrap();
+        let e2 = symmetric_evd(&a).unwrap();
+        assert_eq!(
+            e1.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            e2.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let bits = |m: &DenseMatrix<f64>| m.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&e1.vectors), bits(&e2.vectors));
+    }
+}

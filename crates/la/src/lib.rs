@@ -20,12 +20,14 @@
 //! Everything is written from scratch: no external BLAS, LAPACK or GPU
 //! libraries are used anywhere in the workspace.
 
+pub mod bidiag;
 pub mod blas;
 pub mod cholesky;
 pub mod complex;
 pub mod condition;
 pub mod dense;
 pub mod error;
+pub mod evd;
 pub mod lu;
 pub mod norms;
 pub mod qr;
@@ -34,6 +36,7 @@ pub mod scalar;
 pub mod svd;
 pub mod triangular;
 
+pub use bidiag::{bidiagonalize, golub_kahan_svd, Bidiagonal};
 pub use blas::{gemm, gemv, Op};
 pub use cholesky::{
     sym_log_det_from_parts, BkPivot, SymmetricError, SymmetricFactor, SymmetricKind,
@@ -43,6 +46,7 @@ pub use complex::Complex;
 pub use condition::one_norm_est;
 pub use dense::{DenseMatrix, MatMut, MatRef};
 pub use error::HodlrError;
+pub use evd::{steqr, symmetric_evd, tridiagonalize, SymmetricEvd, Tridiagonal};
 pub use lu::{log_det_from_parts, LuFactor};
 pub use scalar::{RealScalar, Scalar};
 

@@ -1,0 +1,436 @@
+//! Partial-spectrum Lanczos with full reorthogonalization.
+//!
+//! The iteration runs over any [`LinearOperator`] — a dense matrix, the
+//! HODLR façade's forward matvec (eigenvalues at `O(k n log n)` cost), or a
+//! factorization's solve (shift-invert, reaching interior eigenvalues).
+//! The operator is assumed Hermitian; the Ritz values of the real
+//! symmetric tridiagonal projection are therefore real.
+//!
+//! Determinism contract: the start vector is drawn from a seeded
+//! generator, the two-pass classical Gram-Schmidt reorthogonalization
+//! visits basis vectors in a fixed index order, and every reduction is a
+//! sequential loop, so for a fixed seed the eigenpairs are bitwise
+//! identical at any thread count (the underlying matvec honours the same
+//! contract).
+
+use hodlr_la::blas::{axpy_slice, dot_conj, gemm, Op};
+use hodlr_la::evd::steqr;
+use hodlr_la::norms::norm2;
+use hodlr_la::random::gaussian_scalar;
+use hodlr_la::{one_norm_est, DenseMatrix, HodlrError, RealScalar, Scalar};
+use hodlr_solver::LinearOperator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which end of the spectrum a Lanczos run should resolve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpectrumTarget {
+    /// The `k` algebraically largest eigenvalues (returned descending).
+    Largest,
+    /// The `k` algebraically smallest eigenvalues (returned ascending).
+    Smallest,
+}
+
+/// Configuration for the Lanczos eigensolvers.
+#[derive(Clone, Debug)]
+pub struct LanczosConfig {
+    /// Krylov subspace dimension; `0` picks `min(n, max(2k + 16, 32))`.
+    pub subspace: usize,
+    /// Relative residual target `||A x - lambda x|| / ||A||_1-est`.
+    pub tol: f64,
+    /// Seed for the start vector (and any breakdown restarts).
+    pub seed: u64,
+}
+
+impl Default for LanczosConfig {
+    fn default() -> Self {
+        Self {
+            subspace: 0,
+            tol: 1e-10,
+            seed: 0x5eed_1a2c,
+        }
+    }
+}
+
+/// A partial eigendecomposition: `k` Ritz pairs plus convergence evidence.
+#[derive(Clone, Debug)]
+pub struct PartialEigen<T: Scalar> {
+    /// Ritz values (descending for [`SpectrumTarget::Largest`], ascending
+    /// for [`SpectrumTarget::Smallest`]; shift-invert orders by distance
+    /// to the shift).
+    pub values: Vec<T::Real>,
+    /// Ritz vectors (`n x k`, orthonormal columns), matching `values`.
+    pub vectors: DenseMatrix<T>,
+    /// Exact relative residuals `||A x_i - lambda_i x_i|| / ||A||_1-est`,
+    /// recomputed against the forward operator for every returned pair.
+    pub residuals: Vec<f64>,
+    /// Krylov basis dimension actually built.
+    pub iterations: usize,
+    /// `true` when every residual is at or below the configured tolerance.
+    pub converged: bool,
+    /// The Hager/Higham 1-norm estimate used to normalize residuals.
+    pub operator_norm: f64,
+}
+
+/// Hager/Higham 1-norm estimate for a Hermitian operator (the adjoint
+/// apply is the forward apply, which is what makes the estimator usable
+/// behind the [`LinearOperator`] trait without an adjoint method).
+pub fn hermitian_norm1_est<T: Scalar, A: LinearOperator<T> + ?Sized>(op: &A) -> f64 {
+    let n = op.dim();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut buf = vec![T::zero(); n];
+    let mut apply = |x: &mut [T]| -> Result<(), HodlrError> {
+        op.apply(x, &mut buf);
+        x.copy_from_slice(&buf);
+        Ok(())
+    };
+    let mut buf2 = vec![T::zero(); n];
+    let mut apply_adjoint = |x: &mut [T]| -> Result<(), HodlrError> {
+        op.apply(x, &mut buf2);
+        x.copy_from_slice(&buf2);
+        Ok(())
+    };
+    one_norm_est(n, &mut apply, &mut apply_adjoint).expect("infallible apply")
+}
+
+/// The raw Lanczos recurrence: basis vectors plus tridiagonal entries.
+struct LanczosBasis<T: Scalar> {
+    vectors: Vec<Vec<T>>,
+    alphas: Vec<T::Real>,
+    betas: Vec<T::Real>,
+}
+
+/// Run `m` Lanczos steps with two-pass classical Gram-Schmidt full
+/// reorthogonalization (fixed index order, deterministic).  Happy
+/// breakdowns record a zero coupling and restart from a fresh seeded
+/// vector so invariant subspaces do not stall the iteration.
+fn lanczos_basis<T: Scalar, A: LinearOperator<T> + ?Sized>(
+    op: &A,
+    m: usize,
+    seed: u64,
+    restart_on_breakdown: bool,
+) -> LanczosBasis<T> {
+    let n = op.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vectors: Vec<Vec<T>> = Vec::with_capacity(m);
+    let mut alphas: Vec<T::Real> = Vec::with_capacity(m);
+    let mut betas: Vec<T::Real> = Vec::with_capacity(m.saturating_sub(1));
+
+    let draw = |rng: &mut StdRng| -> Vec<T> { (0..n).map(|_| gaussian_scalar(rng)).collect() };
+    let mut v = draw(&mut rng);
+    let nrm = norm2(&v);
+    if nrm == T::Real::zero() {
+        return LanczosBasis {
+            vectors,
+            alphas,
+            betas,
+        };
+    }
+    let inv = T::Real::one() / nrm;
+    for x in v.iter_mut() {
+        *x = x.scale(inv);
+    }
+
+    let mut w = vec![T::zero(); n];
+    let mut scale = T::Real::zero();
+    for j in 0..m {
+        vectors.push(v.clone());
+        op.apply(&v, &mut w);
+        let alpha = dot_conj(&v, &w).real();
+        alphas.push(alpha);
+        scale = scale.max_real(alpha.abs_real());
+        // Two-pass CGS against the whole basis (subsumes the three-term
+        // recurrence and keeps the basis orthonormal to roundoff).
+        for _pass in 0..2 {
+            for q in &vectors {
+                let c = dot_conj(q, &w);
+                axpy_slice(-c, q, &mut w);
+            }
+        }
+        if j + 1 == m {
+            break;
+        }
+        let beta = norm2(&w);
+        scale = scale.max_real(beta);
+        let breakdown =
+            beta.to_f64() <= (n as f64) * T::Real::EPSILON.to_f64() * scale.to_f64().max(1.0);
+        if breakdown {
+            if !restart_on_breakdown {
+                break;
+            }
+            // Invariant subspace found: couple in a fresh direction with a
+            // zero off-diagonal (the tridiagonal splits into blocks).
+            betas.push(T::Real::zero());
+            let mut fresh = draw(&mut rng);
+            for _pass in 0..2 {
+                for q in &vectors {
+                    let c = dot_conj(q, &fresh);
+                    axpy_slice(-c, q, &mut fresh);
+                }
+            }
+            let fresh_nrm = norm2(&fresh);
+            if fresh_nrm.to_f64() <= (n as f64) * T::Real::EPSILON.to_f64() {
+                betas.pop();
+                break; // whole space exhausted
+            }
+            let inv = T::Real::one() / fresh_nrm;
+            for x in fresh.iter_mut() {
+                *x = x.scale(inv);
+            }
+            v = fresh;
+        } else {
+            betas.push(beta);
+            let inv = T::Real::one() / beta;
+            v = w.iter().map(|x| x.scale(inv)).collect();
+        }
+    }
+    LanczosBasis {
+        vectors,
+        alphas,
+        betas,
+    }
+}
+
+fn validate(n: usize, k: usize, cfg: &LanczosConfig) -> Result<usize, HodlrError> {
+    if k == 0 {
+        return Err(HodlrError::config(
+            "lanczos: requested eigenpair count k must be positive",
+        ));
+    }
+    if k > n {
+        return Err(HodlrError::config(format!(
+            "lanczos: requested k = {k} eigenpairs from an n = {n} dimensional operator"
+        )));
+    }
+    if !(cfg.tol > 0.0 && cfg.tol.is_finite()) {
+        return Err(HodlrError::config(format!(
+            "lanczos: tolerance must be positive and finite, got {:e}",
+            cfg.tol
+        )));
+    }
+    let m = if cfg.subspace == 0 {
+        (2 * k + 16).max(32).min(n)
+    } else {
+        cfg.subspace.min(n)
+    };
+    if m < k {
+        return Err(HodlrError::config(format!(
+            "lanczos: subspace dimension {m} is smaller than the requested k = {k}"
+        )));
+    }
+    Ok(m)
+}
+
+/// Which tridiagonal eigenvalues a run keeps.  Forward Lanczos wants an
+/// algebraic end of the spectrum; shift-invert wants the largest
+/// *magnitudes* of the inverse operator, since `theta = 1/(lambda -
+/// sigma)` is signed and the eigenvalues of `A` nearest `sigma` can sit
+/// on either side of it.
+enum RitzSelect {
+    Smallest,
+    Largest,
+    LargestMagnitude,
+}
+
+impl From<SpectrumTarget> for RitzSelect {
+    fn from(t: SpectrumTarget) -> Self {
+        match t {
+            SpectrumTarget::Smallest => RitzSelect::Smallest,
+            SpectrumTarget::Largest => RitzSelect::Largest,
+        }
+    }
+}
+
+/// Assemble Ritz pairs for the selected end of the spectrum and measure
+/// their exact residuals against `residual_op`.
+#[allow(clippy::too_many_arguments)]
+fn ritz_pairs<T: Scalar, A: LinearOperator<T> + ?Sized>(
+    basis: &LanczosBasis<T>,
+    residual_op: &A,
+    map_value: impl Fn(T::Real) -> T::Real,
+    k: usize,
+    select: RitzSelect,
+    tol: f64,
+    operator_norm: f64,
+) -> Result<PartialEigen<T>, HodlrError> {
+    let m = basis.alphas.len();
+    let n = residual_op.dim();
+    let mut d = basis.alphas.clone();
+    let mut e = basis.betas.clone();
+    let mut z = DenseMatrix::<T::Real>::identity(m);
+    steqr::<T::Real>(&mut d, &mut e, Some(&mut z))?;
+
+    let k = k.min(m);
+    let selected: Vec<usize> = match select {
+        RitzSelect::Smallest => (0..k).collect(),
+        RitzSelect::Largest => (m - k..m).rev().collect(),
+        RitzSelect::LargestMagnitude => {
+            let mut idx: Vec<usize> = (0..m).collect();
+            idx.sort_by(|&a, &b| {
+                d[b].abs_real()
+                    .partial_cmp(&d[a].abs_real())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            idx.truncate(k);
+            idx
+        }
+    };
+
+    // Ritz vectors X = B * S with S the selected tridiagonal eigenvectors.
+    let bmat = DenseMatrix::from_fn(n, m, |i, j| basis.vectors[j][i]);
+    let smat = DenseMatrix::from_fn(m, k, |i, j| T::from_real(z[(i, selected[j])]));
+    let mut x = DenseMatrix::<T>::zeros(n, k);
+    gemm(
+        T::one(),
+        bmat.as_ref(),
+        Op::None,
+        smat.as_ref(),
+        Op::None,
+        T::zero(),
+        x.as_mut(),
+    );
+
+    let values: Vec<T::Real> = selected.iter().map(|&i| map_value(d[i])).collect();
+    let denom = operator_norm.max(f64::MIN_POSITIVE);
+    let mut residuals = Vec::with_capacity(k);
+    let mut ax = vec![T::zero(); n];
+    for (j, &lambda) in values.iter().enumerate() {
+        let xj = x.col(j);
+        residual_op.apply(xj, &mut ax);
+        for (r, &xv) in ax.iter_mut().zip(xj) {
+            *r -= xv.scale(lambda);
+        }
+        residuals.push(norm2(&ax).to_f64() / denom);
+    }
+    let converged = residuals.iter().all(|&r| r.is_finite() && r <= tol);
+    Ok(PartialEigen {
+        values,
+        vectors: x,
+        residuals,
+        iterations: m,
+        converged,
+        operator_norm,
+    })
+}
+
+/// Run Lanczos and return the `k` extreme Ritz pairs with their residuals,
+/// whether or not they converged (the report says which).
+///
+/// # Errors
+/// [`HodlrError::InvalidConfig`] for `k == 0`, `k > n`, a non-positive
+/// tolerance, or a user-chosen subspace smaller than `k`.
+pub fn lanczos_report<T: Scalar, A: LinearOperator<T> + ?Sized>(
+    op: &A,
+    k: usize,
+    target: SpectrumTarget,
+    cfg: &LanczosConfig,
+) -> Result<PartialEigen<T>, HodlrError> {
+    let n = op.dim();
+    let m = validate(n, k, cfg)?;
+    let basis = lanczos_basis(op, m, cfg.seed, true);
+    let norm = hermitian_norm1_est(op);
+    ritz_pairs(&basis, op, |v| v, k, target.into(), cfg.tol, norm)
+}
+
+/// Strict variant of [`lanczos_report`]: non-convergence is a typed error.
+///
+/// # Errors
+/// Everything [`lanczos_report`] returns, plus
+/// [`HodlrError::NonConvergence`] carrying the Krylov dimension actually
+/// built and the worst relative residual.
+pub fn lanczos_eigs<T: Scalar, A: LinearOperator<T> + ?Sized>(
+    op: &A,
+    k: usize,
+    target: SpectrumTarget,
+    cfg: &LanczosConfig,
+) -> Result<PartialEigen<T>, HodlrError> {
+    let report = lanczos_report(op, k, target, cfg)?;
+    require_converged(report, cfg.tol, "lanczos partial eigensolver")
+}
+
+/// Shift-invert Lanczos: iterate on `inv` (an operator applying
+/// `(A - sigma I)^{-1}`, typically a `Factorization`'s solve) and map Ritz
+/// values `theta -> sigma + 1/theta`, which resolves the eigenvalues of
+/// `A` nearest `sigma`.  Residuals are recomputed against the *forward*
+/// operator `op`, so the report's convergence verdict is about `A`, not
+/// about the inverse iteration.  Pairs are ordered by distance to the
+/// shift, nearest first.
+///
+/// # Errors
+/// See [`lanczos_report`].
+pub fn shift_invert_report<T: Scalar, A, B>(
+    op: &A,
+    inv: &B,
+    sigma: T::Real,
+    k: usize,
+    cfg: &LanczosConfig,
+) -> Result<PartialEigen<T>, HodlrError>
+where
+    A: LinearOperator<T> + ?Sized,
+    B: LinearOperator<T> + ?Sized,
+{
+    let n = op.dim();
+    HodlrError::check_dims("shift-invert forward vs inverse operator", n, inv.dim())?;
+    let m = validate(n, k, cfg)?;
+    let basis = lanczos_basis(inv, m, cfg.seed, true);
+    let norm = hermitian_norm1_est(op);
+    // Largest |theta| of the inverse operator are the eigenvalues of A
+    // nearest sigma; theta -> sigma + 1/theta undoes the spectral map.
+    ritz_pairs(
+        &basis,
+        op,
+        |theta| sigma + T::Real::one() / theta,
+        k,
+        RitzSelect::LargestMagnitude,
+        cfg.tol,
+        norm,
+    )
+}
+
+/// Strict variant of [`shift_invert_report`].
+///
+/// # Errors
+/// See [`lanczos_eigs`].
+pub fn shift_invert_eigs<T: Scalar, A, B>(
+    op: &A,
+    inv: &B,
+    sigma: T::Real,
+    k: usize,
+    cfg: &LanczosConfig,
+) -> Result<PartialEigen<T>, HodlrError>
+where
+    A: LinearOperator<T> + ?Sized,
+    B: LinearOperator<T> + ?Sized,
+{
+    let report = shift_invert_report(op, inv, sigma, k, cfg)?;
+    require_converged(report, cfg.tol, "shift-invert lanczos eigensolver")
+}
+
+fn require_converged<T: Scalar>(
+    report: PartialEigen<T>,
+    tol: f64,
+    what: &str,
+) -> Result<PartialEigen<T>, HodlrError> {
+    if report.converged {
+        return Ok(report);
+    }
+    let worst = report.residuals.iter().copied().fold(0.0f64, f64::max);
+    let unconverged = report
+        .residuals
+        .iter()
+        .filter(|&&r| !(r.is_finite() && r <= tol))
+        .count();
+    Err(HodlrError::NonConvergence {
+        iterations: report.iterations,
+        relative_residual: worst,
+        context: format!(
+            "{what}: {unconverged} of {} Ritz pairs above tolerance {tol:.3e} after a \
+             {}-dimensional Krylov basis",
+            report.residuals.len(),
+            report.iterations
+        ),
+    })
+}

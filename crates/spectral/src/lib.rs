@@ -1,0 +1,371 @@
+//! # hodlr-spectral — spectral subsystem
+//!
+//! Partial-spectrum and spectral-sum estimation on top of the workspace's
+//! [`LinearOperator`](hodlr_solver::LinearOperator) abstraction:
+//!
+//! * [`lanczos_report`] / [`lanczos_eigs`] — partial-spectrum Lanczos with
+//!   full reorthogonalization.  Over the HODLR façade's forward matvec the
+//!   extreme eigenpairs of an `n x n` kernel matrix cost `O(k n log n)`
+//!   instead of the dense `O(n^3)`.
+//! * [`shift_invert_report`] / [`shift_invert_eigs`] — interior
+//!   eigenvalues near a shift `sigma`, iterating on a factorization's
+//!   solve as the operator `(A - sigma I)^{-1}`.
+//! * [`slq_trace`] / [`slq_log_det`] — stochastic Lanczos quadrature for
+//!   `trace(f(A))` and `log det A` with seeded, bitwise-replayable
+//!   Rademacher probes.  `slq_log_det` doubles as an indefiniteness
+//!   detector: it inspects every quadrature node and refuses operators
+//!   whose spectrum dips non-positive, catching the even-negative-
+//!   eigenvalue case the determinant-sign guard cannot see.
+//!
+//! The dense kernels backing everything (blocked Householder
+//! tridiagonalization + implicit-shift QL, Golub-Kahan bidiagonalization +
+//! bidiagonal QR SVD) live in `hodlr-la` ([`hodlr_la::symmetric_evd`],
+//! [`hodlr_la::golub_kahan_svd`]); this crate supplies the operator and
+//! estimator layers.
+//!
+//! Determinism: every routine here is a sequential reduction seeded from
+//! its config, so results are bitwise identical at 1, 2 or 8 threads and
+//! across the serial and batched solve backends (the operators themselves
+//! honour the workspace determinism contract).
+
+pub mod lanczos;
+pub mod slq;
+
+pub use lanczos::{
+    hermitian_norm1_est, lanczos_eigs, lanczos_report, shift_invert_eigs, shift_invert_report,
+    LanczosConfig, PartialEigen, SpectrumTarget,
+};
+pub use slq::{slq_log_det, slq_trace, SlqConfig, SlqEstimate};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hodlr_la::random::gaussian_matrix;
+    use hodlr_la::{symmetric_evd, Complex64, DenseMatrix, HodlrError, Scalar};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A dense random Hermitian matrix with a known (EVD-computed) spectrum.
+    fn hermitian<T: Scalar>(n: usize, seed: u64) -> DenseMatrix<T> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g: DenseMatrix<T> = gaussian_matrix(&mut rng, n, n);
+        let gt = g.conj_transpose();
+        let mut a = g.matmul(&gt); // Hermitian PSD
+        for i in 0..n {
+            a[(i, i)] += T::from_f64(0.5); // safely positive definite
+        }
+        a
+    }
+
+    #[test]
+    fn lanczos_matches_dense_evd_largest_and_smallest() {
+        let n = 60;
+        let a = hermitian::<f64>(n, 7);
+        let evd = symmetric_evd(&a).unwrap();
+        // Full subspace: Lanczos is then exact and the 1e-10 default
+        // tolerance is comfortably reachable on a dense spectrum.
+        let cfg = LanczosConfig {
+            subspace: n,
+            ..LanczosConfig::default()
+        };
+
+        let top = lanczos_eigs(&a, 3, SpectrumTarget::Largest, &cfg).unwrap();
+        for (i, &lam) in top.values.iter().enumerate() {
+            let exact = evd.values[n - 1 - i];
+            assert!(
+                (lam - exact).abs() <= 1e-8 * exact.abs().max(1.0),
+                "largest[{i}]: {lam} vs {exact}"
+            );
+        }
+        assert!(top.converged);
+        assert!(top.residuals.iter().all(|&r| r <= cfg.tol));
+
+        let bottom = lanczos_eigs(&a, 3, SpectrumTarget::Smallest, &cfg).unwrap();
+        for (i, &lam) in bottom.values.iter().enumerate() {
+            let exact = evd.values[i];
+            assert!(
+                (lam - exact).abs() <= 1e-8 * exact.abs().max(1.0),
+                "smallest[{i}]: {lam} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn lanczos_complex_hermitian() {
+        let n = 48;
+        let a = hermitian::<Complex64>(n, 11);
+        let evd = symmetric_evd(&a).unwrap();
+        let top = lanczos_eigs(&a, 2, SpectrumTarget::Largest, &LanczosConfig::default()).unwrap();
+        assert!((top.values[0] - evd.values[n - 1]).abs() <= 1e-8 * evd.values[n - 1]);
+        assert!((top.values[1] - evd.values[n - 2]).abs() <= 1e-8 * evd.values[n - 1]);
+    }
+
+    #[test]
+    fn lanczos_ritz_vectors_are_orthonormal_eigenvectors() {
+        let n = 50;
+        let a = hermitian::<f64>(n, 3);
+        let cfg = LanczosConfig {
+            subspace: n,
+            ..LanczosConfig::default()
+        };
+        let got = lanczos_eigs(&a, 4, SpectrumTarget::Largest, &cfg).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let d = hodlr_la::blas::dot_conj(got.vectors.col(i), got.vectors.col(j));
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-9, "V^H V [{i},{j}] = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanczos_is_bitwise_reproducible() {
+        let a = hermitian::<f64>(40, 5);
+        let cfg = LanczosConfig::default();
+        let r1 = lanczos_report(&a, 3, SpectrumTarget::Largest, &cfg).unwrap();
+        let r2 = lanczos_report(&a, 3, SpectrumTarget::Largest, &cfg).unwrap();
+        assert_eq!(
+            r1.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            r2.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            r1.vectors
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            r2.vectors
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lanczos_handles_invariant_subspaces() {
+        // Identity-like operator with two distinct eigenvalues: Krylov
+        // spaces are 2-dimensional, so a 32-dim subspace request forces
+        // repeated happy-breakdown restarts.
+        let n = 24;
+        let a = DenseMatrix::<f64>::from_fn(n, n, |i, j| {
+            if i != j {
+                0.0
+            } else if i < 4 {
+                5.0
+            } else {
+                1.0
+            }
+        });
+        let got = lanczos_eigs(&a, 5, SpectrumTarget::Largest, &LanczosConfig::default()).unwrap();
+        assert!((got.values[0] - 5.0).abs() < 1e-10);
+        assert!((got.values[3] - 5.0).abs() < 1e-10);
+        assert!((got.values[4] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lanczos_typed_errors() {
+        let a = hermitian::<f64>(10, 1);
+        let cfg = LanczosConfig::default();
+        for bad_k in [0usize, 11] {
+            let err = lanczos_report(&a, bad_k, SpectrumTarget::Largest, &cfg).unwrap_err();
+            assert!(
+                matches!(err, HodlrError::InvalidConfig { .. }),
+                "k={bad_k}: {err}"
+            );
+        }
+        let bad_tol = LanczosConfig {
+            tol: -1.0,
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            lanczos_report(&a, 2, SpectrumTarget::Largest, &bad_tol),
+            Err(HodlrError::InvalidConfig { .. })
+        ));
+        let tiny_subspace = LanczosConfig { subspace: 1, ..cfg };
+        assert!(matches!(
+            lanczos_report(&a, 4, SpectrumTarget::Largest, &tiny_subspace),
+            Err(HodlrError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn lanczos_nonconvergence_reports_iteration_count() {
+        // A 3-dimensional Krylov space cannot resolve 3 eigenpairs of a
+        // dense-spectrum matrix to 1e-10.
+        let a = hermitian::<f64>(40, 9);
+        let cfg = LanczosConfig {
+            subspace: 3,
+            tol: 1e-12,
+            ..LanczosConfig::default()
+        };
+        match lanczos_eigs(&a, 3, SpectrumTarget::Largest, &cfg) {
+            Err(HodlrError::NonConvergence {
+                iterations,
+                relative_residual,
+                context,
+            }) => {
+                assert_eq!(iterations, 3);
+                assert!(relative_residual > 1e-12);
+                assert!(context.contains("lanczos"), "context: {context}");
+            }
+            other => panic!("expected NonConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shift_invert_finds_interior_eigenvalues() {
+        // Diagonal matrix: interior eigenvalues are known exactly, and the
+        // inverse operator is easy to build densely.
+        let n = 30;
+        let diag: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let a = DenseMatrix::<f64>::from_fn(n, n, |i, j| if i == j { diag[i] } else { 0.0 });
+        let sigma = 10.3;
+        let inv =
+            DenseMatrix::<f64>::from_fn(
+                n,
+                n,
+                |i, j| {
+                    if i == j {
+                        1.0 / (diag[i] - sigma)
+                    } else {
+                        0.0
+                    }
+                },
+            );
+        let got = shift_invert_eigs(&a, &inv, sigma, 3, &LanczosConfig::default()).unwrap();
+        // Nearest to 10.3 are 10, 11, 10 first.
+        assert!((got.values[0] - 10.0).abs() < 1e-8);
+        assert!((got.values[1] - 11.0).abs() < 1e-8);
+        assert!((got.values[2] - 9.0).abs() < 1e-8);
+        assert!(got.converged);
+    }
+
+    #[test]
+    fn shift_invert_rejects_mismatched_operators() {
+        let a = hermitian::<f64>(10, 1);
+        let inv = hermitian::<f64>(12, 2);
+        assert!(matches!(
+            shift_invert_report(&a, &inv, 0.0, 2, &LanczosConfig::default()),
+            Err(HodlrError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn slq_log_det_matches_dense_evd() {
+        let n = 64;
+        let a = hermitian::<f64>(n, 21);
+        let evd = symmetric_evd(&a).unwrap();
+        let exact: f64 = evd.values.iter().map(|&v| v.ln()).sum();
+        let cfg = SlqConfig {
+            probes: 32,
+            steps: 48,
+            seed: 17,
+        };
+        let est = slq_log_det(&a, &cfg).unwrap();
+        assert_eq!(est.probes, 32);
+        assert!(est.min_ritz > 0.0);
+        assert!(est.stderr > 0.0);
+        let err = (est.value - exact).abs();
+        assert!(
+            err <= 4.0 * est.stderr + 1e-6 * exact.abs(),
+            "SLQ {} vs exact {exact}, stderr {}",
+            est.value,
+            est.stderr
+        );
+    }
+
+    #[test]
+    fn slq_trace_of_identity_function_is_trace() {
+        // f(x) = x makes each probe's estimate z^T A z / ||z||^2 * n, whose
+        // quadrature is exact for any step count >= 1.
+        let n = 32;
+        let a = hermitian::<f64>(n, 4);
+        let exact: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let est = slq_trace(
+            &a,
+            |x| x,
+            &SlqConfig {
+                probes: 64,
+                steps: 8,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        assert!(
+            (est.value - exact).abs() <= 4.0 * est.stderr + 1e-8 * exact.abs(),
+            "trace est {} vs {exact} (stderr {})",
+            est.value,
+            est.stderr
+        );
+    }
+
+    #[test]
+    fn slq_detects_even_count_indefiniteness() {
+        // Two negative eigenvalues: the determinant sign stays positive, so
+        // the product-form sign guard passes — SLQ must still object.
+        let n = 16;
+        let a = DenseMatrix::<f64>::from_fn(n, n, |i, j| {
+            if i != j {
+                0.0
+            } else if i < 2 {
+                -1.0
+            } else {
+                2.0
+            }
+        });
+        let sign: f64 = (0..n).map(|i| a[(i, i)].signum()).product();
+        assert!(sign > 0.0, "even negative count keeps the sign positive");
+        let err = slq_log_det(&a, &SlqConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, HodlrError::NotPositiveDefinite { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn slq_is_bitwise_reproducible() {
+        let a = hermitian::<f64>(40, 31);
+        let cfg = SlqConfig {
+            probes: 8,
+            steps: 16,
+            seed: 5,
+        };
+        let e1 = slq_log_det(&a, &cfg).unwrap();
+        let e2 = slq_log_det(&a, &cfg).unwrap();
+        assert_eq!(e1.value.to_bits(), e2.value.to_bits());
+        assert_eq!(e1.stderr.to_bits(), e2.stderr.to_bits());
+        assert_eq!(e1.min_ritz.to_bits(), e2.min_ritz.to_bits());
+    }
+
+    #[test]
+    fn slq_typed_errors() {
+        let a = hermitian::<f64>(8, 2);
+        for cfg in [
+            SlqConfig {
+                probes: 0,
+                ..SlqConfig::default()
+            },
+            SlqConfig {
+                steps: 0,
+                ..SlqConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                slq_log_det(&a, &cfg),
+                Err(HodlrError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn hermitian_norm_est_bounds_the_true_norm() {
+        let a = hermitian::<f64>(24, 13);
+        let exact: f64 = (0..24)
+            .map(|j| a.col(j).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0, f64::max);
+        let est = hermitian_norm1_est(&a);
+        assert!(est <= exact * (1.0 + 1e-12));
+        assert!(est >= exact / 3.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The spectral subsystem end to end over the `hodlr` façade: bitwise
+//! determinism of Lanczos / shift-invert / SLQ across 1-, 2- and 8-thread
+//! pools and across the serial and batched backends, dense-oracle
+//! agreement of the shift-invert eigenpairs, and the typed error paths
+//! (bad configs, indefinite operands, mismatched operator dimensions).
+
+use hodlr::prelude::*;
+use hodlr_la::{symmetric_evd, HodlrError};
+use hodlr_spectral::{
+    lanczos_report, shift_invert_report, slq_log_det, slq_trace, LanczosConfig, SlqConfig,
+    SpectrumTarget,
+};
+
+const N: usize = 256;
+const K: usize = 4;
+
+/// A smooth, diagonally shifted SPD kernel source (same family as the
+/// façade round-trip tests): HODLR-compressible, eigenvalues clear of
+/// zero.
+fn kernel_source(n: usize) -> ClosureSource<f64, impl Fn(usize, usize) -> f64 + Sync> {
+    ClosureSource::new(n, n, move |i, j| {
+        let x = i as f64 / n as f64;
+        let y = j as f64 / n as f64;
+        let k = 1.0 / (1.0 + (x - y).abs() * n as f64 / 8.0);
+        if i == j {
+            k + 4.0
+        } else {
+            k
+        }
+    })
+}
+
+fn build(n: usize, backend: Backend) -> Hodlr<f64> {
+    let source = kernel_source(n);
+    Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-10)
+        .backend(backend)
+        .symmetry(Symmetry::PositiveDefinite)
+        .build()
+        .unwrap()
+}
+
+fn lanczos_cfg() -> LanczosConfig {
+    LanczosConfig {
+        subspace: 64,
+        ..LanczosConfig::default()
+    }
+}
+
+fn slq_cfg() -> SlqConfig {
+    SlqConfig {
+        probes: 8,
+        steps: 40,
+        seed: 7,
+    }
+}
+
+/// Everything the spectral pipeline produces at one thread count, as one
+/// bitwise-comparable signature: Lanczos largest, shift-invert smallest
+/// (through the SPD factorization) and the SLQ log-determinant.
+fn pipeline_signature(backend: Backend) -> Vec<u64> {
+    let hodlr = build(N, backend);
+    let largest = lanczos_report(&hodlr, K, SpectrumTarget::Largest, &lanczos_cfg()).unwrap();
+    let factorization = hodlr.factorize().unwrap();
+    let smallest = shift_invert_report(&hodlr, &factorization, 0.0, K, &lanczos_cfg()).unwrap();
+    let slq = slq_log_det(&hodlr, &slq_cfg()).unwrap();
+    let mut sig: Vec<u64> = Vec::new();
+    for report in [&largest, &smallest] {
+        sig.extend(report.values.iter().map(|v| v.to_bits()));
+        sig.extend(report.vectors.data().iter().map(|v| v.to_bits()));
+        sig.extend(report.residuals.iter().map(|v| v.to_bits()));
+    }
+    sig.push(slq.value.to_bits());
+    sig.push(slq.stderr.to_bits());
+    sig.push(slq.min_ritz.to_bits());
+    sig
+}
+
+/// The README's determinism contract extended to the spectral subsystem:
+/// construction, factorization, both Lanczos scenarios and SLQ are
+/// bitwise identical inside 1-, 2- and 8-thread pools.
+#[test]
+fn spectral_pipeline_is_bitwise_identical_across_thread_counts() {
+    let signatures: Vec<Vec<u64>> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(|| {
+                    assert_eq!(rayon::current_num_threads(), threads);
+                    pipeline_signature(Backend::Serial)
+                })
+        })
+        .collect();
+    assert_eq!(signatures[0], signatures[1], "1 vs 2 threads");
+    assert_eq!(signatures[1], signatures[2], "2 vs 8 threads");
+}
+
+/// The backend only decides who factorizes and solves; the HODLR matvec
+/// is the same arithmetic either way, so the matvec-driven estimators —
+/// Lanczos over the forward operator and SLQ — agree **bitwise** between
+/// `Backend::Serial` and `Backend::Batched`.
+#[test]
+fn matvec_driven_estimators_are_bitwise_identical_across_backends() {
+    let serial = build(N, Backend::Serial);
+    let batched = build(N, Backend::Batched);
+
+    let ls = lanczos_report(&serial, K, SpectrumTarget::Largest, &lanczos_cfg()).unwrap();
+    let lb = lanczos_report(&batched, K, SpectrumTarget::Largest, &lanczos_cfg()).unwrap();
+    assert_eq!(
+        ls.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        lb.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(ls.vectors.data(), lb.vectors.data());
+
+    let ss = slq_log_det(&serial, &slq_cfg()).unwrap();
+    let sb = slq_log_det(&batched, &slq_cfg()).unwrap();
+    assert_eq!(ss.value.to_bits(), sb.value.to_bits());
+    assert_eq!(ss.stderr.to_bits(), sb.stderr.to_bits());
+}
+
+/// Shift-invert through the façade factorization recovers the smallest
+/// eigenpairs the dense EVD oracle reports.  The smallest eigenvalues of
+/// this kernel cluster just above the `+4` diagonal shift, so the test
+/// runs a full-dimension Krylov basis (Lanczos is then exact up to the
+/// factorization's own solve accuracy) rather than asking a small basis
+/// to resolve the cluster member by member.
+#[test]
+fn shift_invert_agrees_with_the_dense_oracle() {
+    let hodlr = build(N, Backend::Serial);
+    let factorization = hodlr.factorize().unwrap();
+    let cfg = LanczosConfig {
+        subspace: N,
+        ..LanczosConfig::default()
+    };
+    let got = shift_invert_report(&hodlr, &factorization, 0.0, K, &cfg).unwrap();
+
+    let evd = symmetric_evd(&hodlr.matrix().to_dense()).unwrap();
+    let scale = evd.values[N - 1].abs();
+    for (i, &value) in got.values.iter().enumerate() {
+        assert!(
+            (value - evd.values[i]).abs() <= 1e-7 * scale,
+            "pair {i}: {value} vs dense {}",
+            evd.values[i]
+        );
+    }
+    for &r in &got.residuals {
+        assert!(r.is_finite() && r <= 1e-7, "residual {r}");
+    }
+}
+
+/// Config and operand failures surface as typed errors, not panics.
+#[test]
+fn spectral_typed_errors_surface_through_the_facade() {
+    let hodlr = build(64, Backend::Serial);
+
+    let err = lanczos_report(
+        &hodlr,
+        0,
+        SpectrumTarget::Largest,
+        &LanczosConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err}");
+
+    let err = slq_trace(
+        &hodlr,
+        |x| x,
+        &SlqConfig {
+            probes: 0,
+            ..SlqConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err}");
+
+    // Operator and inverse of different sizes.
+    let small = build(32, Backend::Serial);
+    let factorization = small.factorize().unwrap();
+    let err =
+        shift_invert_report(&hodlr, &factorization, 0.0, 2, &LanczosConfig::default()).unwrap_err();
+    assert!(matches!(err, HodlrError::DimensionMismatch { .. }), "{err}");
+
+    // An indefinite operand with an even negative-eigenvalue count: the
+    // determinant sign stays positive, SLQ's node inspection still
+    // refuses it.
+    let n = 64;
+    let indefinite = ClosureSource::new(n, n, move |i, j| {
+        if i != j {
+            0.0
+        } else if i < 2 {
+            -1.0
+        } else {
+            2.0
+        }
+    });
+    let hodlr = Hodlr::<f64>::builder()
+        .source(&indefinite)
+        .leaf_size(16)
+        .tolerance(1e-12)
+        .build()
+        .unwrap();
+    let err = slq_log_det(&hodlr, &SlqConfig::default()).unwrap_err();
+    assert!(
+        matches!(err, HodlrError::NotPositiveDefinite { .. }),
+        "{err}"
+    );
+}
