@@ -141,7 +141,12 @@ fn backend_label(backend: Backend) -> &'static str {
 /// Analytic serial flop model for one factorization + `rhs_cols` solve
 /// columns on the given path.
 fn serial_flops(model: &GpModel, symmetry: Symmetry, rhs_cols: u64) -> u64 {
-    let report = ComplexityReport::for_matrix(model.hodlr().matrix());
+    let report = ComplexityReport::for_matrix(
+        model
+            .hodlr()
+            .matrix()
+            .expect("benchmark models are built in working precision"),
+    );
     let factor = match symmetry {
         Symmetry::General => report.factorization_flops,
         _ => report.model.symmetric_factorization_flops(),

@@ -20,6 +20,12 @@
 //!   likelihood value, its error against the dense Cholesky oracle, and
 //!   launch/flop metering).
 //!
+//! * the `scale` binary emits [`ScaleRow`](crate::scale::ScaleRow)s
+//!   (workload, dimension, size, storage precision, the budget the build
+//!   ran under, build/factor/solve wall clocks, the **measured** peak
+//!   build bytes from the allocation meter, stored bytes, max rank, the
+//!   solve residual and the small-`n` dense-matvec check);
+//!
 //! * the `serve` binary emits [`ServeRow`]s (scenario, tenant mix,
 //!   throughput, p50/p99 latency, cache hit-rate, launches-per-request,
 //!   and a determinism checksum);
@@ -280,6 +286,43 @@ pub fn write_spectral_json(name: &str, rows: &[SpectralRow]) {
     write_bench_json(name, &spectral_rows_to_json(rows), rows.len());
 }
 
+/// Render scale rows (the `scale` binary) as a JSON array.
+pub fn scale_rows_to_json(rows: &[crate::scale::ScaleRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"workload\": \"{}\", ", escape(&row.workload)));
+        out.push_str(&format!("\"dim\": {}, ", row.dim));
+        out.push_str(&format!("\"n\": {}, ", row.n));
+        out.push_str(&format!("\"precision\": \"{}\", ", escape(&row.precision)));
+        out.push_str(&format!("\"budget_bytes\": {}, ", row.budget_bytes));
+        out.push_str(&format!("\"t_build_s\": {}, ", number(row.t_build)));
+        out.push_str(&format!("\"t_factor_s\": {}, ", number(row.t_factor)));
+        out.push_str(&format!("\"t_solve_s\": {}, ", number(row.t_solve)));
+        out.push_str(&format!("\"peak_bytes\": {}, ", row.peak_bytes));
+        out.push_str(&format!("\"storage_bytes\": {}, ", row.storage_bytes));
+        out.push_str(&format!("\"max_rank\": {}, ", row.max_rank));
+        out.push_str(&format!("\"relres\": {}, ", number(row.relres)));
+        out.push_str(&format!(
+            "\"compress_err\": {}, ",
+            opt_number(row.compress_err)
+        ));
+        out.push_str(&format!("\"threads\": {}", row.threads));
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Write scale rows to the family's JSON path (see [`bench_json_path`]).
+pub fn write_scale_json(name: &str, rows: &[crate::scale::ScaleRow]) {
+    write_bench_json(name, &scale_rows_to_json(rows), rows.len());
+}
+
 /// Render serving rows (the `serve` binary) as a JSON array.
 pub fn serve_rows_to_json(rows: &[ServeRow]) -> String {
     let mut out = String::from("[\n");
@@ -496,6 +539,43 @@ mod tests {
             "\"slq_stderr\": 5e-1",
             "\"t_dense_s\": 1e-3",
             "\"deterministic\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn scale_rows_render_required_fields() {
+        let row = crate::scale::ScaleRow {
+            workload: "laplace-surface".into(),
+            dim: 3,
+            n: 131072,
+            precision: "f32-storage".into(),
+            budget_bytes: 6 << 30,
+            t_build: 120.5,
+            t_factor: 80.25,
+            t_solve: 0.75,
+            peak_bytes: 1_500_000_000,
+            storage_bytes: 900_000_000,
+            max_rank: 41,
+            relres: 2.5e-9,
+            compress_err: None,
+            threads: 8,
+        };
+        let json = scale_rows_to_json(&[row]);
+        for key in [
+            "\"workload\": \"laplace-surface\"",
+            "\"dim\": 3",
+            "\"n\": 131072",
+            "\"precision\": \"f32-storage\"",
+            "\"budget_bytes\": 6442450944",
+            "\"peak_bytes\": 1500000000",
+            "\"storage_bytes\": 900000000",
+            "\"max_rank\": 41",
+            "\"relres\": 2.5e-9",
+            "\"compress_err\": null",
+            "\"threads\": 8",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -44,6 +44,7 @@ pub mod harness;
 pub mod iterative;
 pub mod json;
 pub mod kernels;
+pub mod scale;
 pub mod serve;
 pub mod spectral;
 pub mod workloads;
@@ -54,11 +55,13 @@ pub use iterative::{
     measure_block_direct, measure_iterative, print_iterative_table, IterativeConfig, IterativeRow,
 };
 pub use json::{
-    gp_rows_to_json, iterative_rows_to_json, kernel_rows_to_json, serve_rows_to_json,
-    solver_rows_to_json, spectral_rows_to_json, write_gp_json, write_iterative_json,
-    write_kernel_json, write_serve_json, write_solver_json, write_spectral_json,
+    gp_rows_to_json, iterative_rows_to_json, kernel_rows_to_json, scale_rows_to_json,
+    serve_rows_to_json, solver_rows_to_json, spectral_rows_to_json, write_gp_json,
+    write_iterative_json, write_kernel_json, write_scale_json, write_serve_json, write_solver_json,
+    write_spectral_json,
 };
 pub use kernels::{print_kernel_table, run_kernel_bench, KernelBenchConfig, KernelRow};
+pub use scale::{print_scale_table, run_scale_bench, ScaleBenchConfig, ScaleRow};
 pub use serve::{print_serve_table, run_serve_bench, ServeBenchConfig, ServeRow};
 pub use spectral::{print_spectral_table, run_spectral_bench, SpectralBenchConfig, SpectralRow};
 pub use workloads::{

@@ -318,7 +318,11 @@ fn operator_rows(config: &SpectralBenchConfig, n: usize, backend: Backend) -> Ve
     // and the direct-route wall clock the Lanczos rows are measured
     // against.
     let oracle = if n <= config.dense_oracle_cap {
-        let dense = model.hodlr().matrix().to_dense();
+        let dense = model
+            .hodlr()
+            .matrix()
+            .expect("benchmark models are built in working precision")
+            .to_dense();
         let start = Instant::now();
         let evd = symmetric_evd(&dense).expect("dense oracle EVD");
         Some((evd, start.elapsed().as_secs_f64()))

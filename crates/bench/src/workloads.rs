@@ -80,7 +80,7 @@ pub fn rpy_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
         })
         .collect();
     let cloud = hodlr_tree::PointCloud::new(3, coords);
-    let part = partition_points(&cloud, (LEAF_SIZE / 3).max(2));
+    let part = partition_points(&cloud, (LEAF_SIZE / 3).max(2)).expect("non-empty cloud");
     // Particle radius a = r_min / 2, estimated on a subsample for large
     // clouds (exact minimum distance is quadratic in the cloud size).
     let sample = if particles > 2000 {
@@ -105,6 +105,7 @@ pub fn rpy_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
         .build()
         .expect("RPY workload construction")
         .into_matrix()
+        .expect("benchmark workloads build in working precision")
 }
 
 /// Build a scalar Gaussian kernel matrix workload (used by the quickstart
@@ -113,7 +114,7 @@ pub fn rpy_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
 pub fn kernel_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
     let mut rng = StdRng::seed_from_u64(0xabcd + n as u64);
     let cloud = uniform_cube_points(&mut rng, n, 3);
-    let part = partition_points(&cloud, LEAF_SIZE);
+    let part = partition_points(&cloud, LEAF_SIZE).expect("non-empty cloud");
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 1.0 }, &part.points, 1.0);
     Hodlr::builder()
@@ -124,6 +125,7 @@ pub fn kernel_hodlr(n: usize, tol: f64) -> HodlrMatrix<f64> {
         .build()
         .expect("Gaussian kernel workload construction")
         .into_matrix()
+        .expect("benchmark workloads build in working precision")
 }
 
 /// Build the Table IV workload: the Laplace exterior BIE (Eq. 21) on the
@@ -138,7 +140,8 @@ pub fn laplace_hodlr(n: usize, tol: f64) -> (LaplaceExteriorBie<StarContour>, Ho
         .method(CompressionMethod::AcaRook)
         .build()
         .expect("Laplace BIE workload construction")
-        .into_matrix();
+        .into_matrix()
+        .expect("benchmark workloads build in working precision");
     (bie, matrix)
 }
 
@@ -163,7 +166,8 @@ pub fn helmholtz_hodlr(
         .method(CompressionMethod::AcaRook)
         .build()
         .expect("Helmholtz BIE workload construction")
-        .into_matrix();
+        .into_matrix()
+        .expect("benchmark workloads build in working precision");
     (bie, matrix)
 }
 

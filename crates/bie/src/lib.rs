@@ -12,7 +12,10 @@
 //!   combined-field equation (24) with `eta = kappa`, discretized with the
 //!   6th-order Kapur–Rokhlin corrected trapezoidal rule — see [`helmholtz`];
 //! * the smooth star-shaped contour of Fig. 6 and the quadrature rules
-//!   themselves — see [`contour`] and [`quadrature`].
+//!   themselves — see [`contour`] and [`quadrature`];
+//! * regularized single-layer operators over unordered 2-D / 3-D surface
+//!   point clouds (unit circle, Fibonacci sphere), the geometry family of
+//!   the `n >= 10^5` scale-out benchmark — see [`surface`].
 //!
 //! Every discretized operator is exposed as a
 //! [`MatrixEntrySource`](hodlr_compress::MatrixEntrySource), so the HODLR
@@ -25,8 +28,13 @@ pub mod contour;
 pub mod helmholtz;
 pub mod laplace;
 pub mod quadrature;
+pub mod surface;
 
 pub use contour::{Contour, StarContour};
 pub use helmholtz::HelmholtzExteriorBie;
 pub use laplace::LaplaceExteriorBie;
 pub use quadrature::{kapur_rokhlin_weights, trapezoidal_weights};
+pub use surface::{
+    circle_cloud, fibonacci_sphere_cloud, surface_resolved_kappa, HelmholtzSurfaceSource,
+    LaplaceSurfaceSource,
+};

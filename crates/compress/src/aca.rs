@@ -13,8 +13,9 @@
 //!   strong diagonal decay.
 
 use crate::lowrank::LowRank;
+use crate::randomized::dense_bytes;
 use crate::source::MatrixEntrySource;
-use hodlr_la::{DenseMatrix, RealScalar, Scalar};
+use hodlr_la::{AllocMeter, DenseMatrix, RealScalar, Scalar};
 
 /// Pivot selection strategy for [`aca_compress`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -26,7 +27,7 @@ pub enum AcaPivoting {
 }
 
 /// Maximum number of row/column alternations in a rook-pivot search.
-const ROOK_ITERATIONS: usize = 4;
+pub(crate) const ROOK_ITERATIONS: usize = 4;
 
 /// Compress `source` with ACA to relative tolerance `tol`, with an optional
 /// hard rank cap.
@@ -40,6 +41,18 @@ pub fn aca_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
     max_rank: Option<usize>,
     pivoting: AcaPivoting,
 ) -> LowRank<T> {
+    aca_compress_metered(source, tol, max_rank, pivoting, None)
+}
+
+/// [`aca_compress`] with live/peak scratch accounting on `meter`: one
+/// `(m + n)`-sized buffer pair plus `(m + n)` entries per accepted cross.
+pub fn aca_compress_metered<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
+    source: &S,
+    tol: T::Real,
+    max_rank: Option<usize>,
+    pivoting: AcaPivoting,
+    meter: Option<&AllocMeter>,
+) -> LowRank<T> {
     let m = source.nrows();
     let n = source.ncols();
     if m == 0 || n == 0 {
@@ -48,6 +61,10 @@ pub fn aca_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
     let rank_cap = max_rank.unwrap_or(usize::MAX).min(m).min(n);
     if rank_cap == 0 {
         return LowRank::zero(m, n);
+    }
+    if let Some(meter) = meter {
+        // row_buf + col_buf live for the whole compression.
+        meter.record_alloc(dense_bytes::<T>(m + n, 1));
     }
 
     // Crosses accumulated so far: us[k] has length m, vs[k] has length n and
@@ -141,6 +158,9 @@ pub fn aca_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
         used_rows[i] = true;
         used_cols[j] = true;
         next_row = i + 1;
+        if let Some(meter) = meter {
+            meter.record_alloc(dense_bytes::<T>(m + n, 1));
+        }
         us.push(u);
         vs.push(v);
 
@@ -152,7 +172,16 @@ pub fn aca_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
         }
     }
 
-    factors_from_crosses(m, n, &us, &vs)
+    let lr = factors_from_crosses(m, n, &us, &vs);
+    if let Some(meter) = meter {
+        // Copying the crosses into the returned factors briefly doubles
+        // them, then every buffer this function owns retires.  Compression
+        // is metered net-zero: the caller records the bytes of the factors
+        // it decides to retain.
+        meter.record_alloc(dense_bytes::<T>(m + n, us.len()));
+        meter.record_free(dense_bytes::<T>(m + n, 2 * us.len() + 1));
+    }
+    lr
 }
 
 /// Residual row `i`: `A(i, :) - sum_k us[k][i] * vs[k]^*`.

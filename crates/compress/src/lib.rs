@@ -24,13 +24,13 @@ pub mod randomized;
 pub mod source;
 pub mod truncated;
 
-pub use aca::{aca_compress, AcaPivoting};
+pub use aca::{aca_compress, aca_compress_metered, AcaPivoting};
 pub use lowrank::LowRank;
-pub use randomized::randomized_compress;
+pub use randomized::{randomized_compress, randomized_compress_metered};
 pub use source::{ClosureSource, DenseSource, MatrixEntrySource, ShiftedSource};
-pub use truncated::truncated_svd_compress;
+pub use truncated::{truncated_svd_compress, truncated_svd_compress_metered};
 
-use hodlr_la::{HodlrError, RealScalar, Scalar};
+use hodlr_la::{AllocMeter, HodlrError, RealScalar, Scalar};
 
 /// How an off-diagonal block should be compressed into `U V^*`.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -121,19 +121,44 @@ pub fn compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
     source: &S,
     config: &CompressionConfig<T::Real>,
 ) -> Result<LowRank<T>, HodlrError> {
+    compress_metered(source, config, None)
+}
+
+/// [`compress`] with live/peak scratch accounting on `meter`.
+///
+/// Every method streams the block through bounded scratch — the peak the
+/// meter sees is `O((m + n) k)` plus a fixed tile, never the `O(mn)` dense
+/// block.  Compression is metered net-zero: scratch retires before the call
+/// returns, and the caller records the bytes of the factors it retains.
+///
+/// # Errors
+/// As [`compress`].
+pub fn compress_metered<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
+    source: &S,
+    config: &CompressionConfig<T::Real>,
+    meter: Option<&AllocMeter>,
+) -> Result<LowRank<T>, HodlrError> {
     config.validate()?;
     let lr = match config.method {
-        CompressionMethod::AcaPartial => {
-            aca_compress(source, config.tol, config.max_rank, AcaPivoting::Partial)
-        }
-        CompressionMethod::AcaRook => {
-            aca_compress(source, config.tol, config.max_rank, AcaPivoting::Rook)
-        }
+        CompressionMethod::AcaPartial => aca_compress_metered(
+            source,
+            config.tol,
+            config.max_rank,
+            AcaPivoting::Partial,
+            meter,
+        ),
+        CompressionMethod::AcaRook => aca_compress_metered(
+            source,
+            config.tol,
+            config.max_rank,
+            AcaPivoting::Rook,
+            meter,
+        ),
         CompressionMethod::RandomizedSvd => {
-            randomized_compress(source, config.tol, config.max_rank)
+            randomized_compress_metered(source, config.tol, config.max_rank, meter)
         }
         CompressionMethod::TruncatedSvd => {
-            truncated_svd_compress(source, config.tol, config.max_rank)
+            truncated_svd_compress_metered(source, config.tol, config.max_rank, meter)
         }
     };
     if config.strict_rank {
@@ -158,6 +183,7 @@ pub fn compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aca::ROOK_ITERATIONS;
     use hodlr_la::random::random_low_rank;
     use hodlr_la::{DenseMatrix, RealScalar};
     use rand::rngs::StdRng;
@@ -235,6 +261,71 @@ mod tests {
                 .strict_rank();
             assert!(compress(&src, &cfg).is_ok(), "{method:?}");
         }
+    }
+
+    #[test]
+    fn no_method_materialises_the_dense_block() {
+        // A smooth far-field kernel block, well above one streaming tile in
+        // both directions.  Every method must compress it through bounded
+        // scratch: the metered peak stays a small multiple of (m + n) * k
+        // plus a fixed tile — far below the m * n dense block it replaced.
+        let m = 400;
+        let n = 300;
+        let src = ClosureSource::new(m, n, |i, j| {
+            let x = i as f64 / m as f64;
+            let y = 3.0 + j as f64 / n as f64;
+            1.0 / (1.0 + (x - y).abs())
+        });
+        let dense_bytes = (m * n * std::mem::size_of::<f64>()) as u64;
+        for method in [
+            CompressionMethod::AcaPartial,
+            CompressionMethod::AcaRook,
+            CompressionMethod::RandomizedSvd,
+            CompressionMethod::TruncatedSvd,
+        ] {
+            let meter = hodlr_la::AllocMeter::new();
+            let cfg = CompressionConfig::with_tol(1e-8).method(method);
+            let lr = compress_metered(&src, &cfg, Some(&meter)).unwrap();
+            assert!(
+                lr.rank() > 0 && lr.rank() < 30,
+                "{method:?}: rank {}",
+                lr.rank()
+            );
+            assert!(meter.peak_bytes() > 0, "{method:?}: nothing metered");
+            assert!(
+                meter.peak_bytes() < dense_bytes / 2,
+                "{method:?}: peak {} vs dense {}",
+                meter.peak_bytes(),
+                dense_bytes
+            );
+            // Net-zero convention: all compression scratch retired.
+            assert_eq!(meter.live_bytes(), 0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn aca_touches_only_the_crosses() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let m = 300;
+        let n = 260;
+        let evals = AtomicUsize::new(0);
+        let src = ClosureSource::new(m, n, |i, j| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            let x = i as f64 / m as f64;
+            let y = 2.0 + j as f64 / n as f64;
+            1.0 / (1.0 + (x - y).abs())
+        });
+        let cfg = CompressionConfig::with_tol(1e-8);
+        let lr = compress(&src, &cfg).unwrap();
+        let r = lr.rank();
+        assert!(r > 0);
+        // Rook pivoting evaluates a handful of rows and columns per cross;
+        // the budget is a small constant times (m + n) per rank, a far cry
+        // from the m * n entries of the block.
+        let budget = 2 * (1 + ROOK_ITERATIONS) * (m + n) * (r + 1);
+        let used = evals.load(Ordering::Relaxed);
+        assert!(used <= budget, "{used} evaluations for rank {r}");
+        assert!(used < m * n / 4, "{used} evaluations approaches dense");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Lazy entry access to the block being compressed.
 
-use hodlr_la::{DenseMatrix, Scalar};
+use hodlr_la::{DenseMatrix, MatMut, Scalar};
 
 /// A matrix block whose entries can be evaluated on demand.
 ///
@@ -30,6 +30,20 @@ pub trait MatrixEntrySource<T: Scalar>: Sync {
         debug_assert_eq!(out.len(), self.nrows());
         for (i, o) in out.iter_mut().enumerate() {
             *o = self.entry(i, j);
+        }
+    }
+
+    /// Evaluate the tile `[row0 .. row0 + out.rows()) x [col0 .. col0 +
+    /// out.cols())` into `out`.  This is the unit of access of the
+    /// streaming compressors: they walk the block tile by tile with one
+    /// bounded scratch buffer instead of materialising it densely.
+    fn tile(&self, row0: usize, col0: usize, out: &mut MatMut<'_, T>) {
+        debug_assert!(row0 + out.rows() <= self.nrows());
+        debug_assert!(col0 + out.cols() <= self.ncols());
+        for jj in 0..out.cols() {
+            for ii in 0..out.rows() {
+                out.set(ii, jj, self.entry(row0 + ii, col0 + jj));
+            }
         }
     }
 
@@ -103,6 +117,16 @@ impl<T: Scalar> MatrixEntrySource<T> for DenseSource<'_, T> {
     fn col(&self, j: usize, out: &mut [T]) {
         let col = self.matrix.col(self.col_offset + j);
         out.copy_from_slice(&col[self.row_offset..self.row_offset + self.nrows]);
+    }
+
+    fn tile(&self, row0: usize, col0: usize, out: &mut MatMut<'_, T>) {
+        let view = self.matrix.block(
+            self.row_offset + row0,
+            self.col_offset + col0,
+            out.rows(),
+            out.cols(),
+        );
+        out.copy_from(view);
     }
 }
 
@@ -250,6 +274,26 @@ mod tests {
         let mut col = vec![0.0; 3];
         src.col(1, &mut col);
         assert_eq!(col, vec![10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn tile_matches_entries_for_default_and_dense_override() {
+        let f = |i: usize, j: usize| (100 * i + j) as f64;
+        let src = ClosureSource::new(7, 9, f);
+        let mut got = DenseMatrix::<f64>::zeros(3, 4);
+        let mut view = got.as_mut();
+        src.tile(2, 5, &mut view);
+        for jj in 0..4 {
+            for ii in 0..3 {
+                assert_eq!(got[(ii, jj)], f(ii + 2, jj + 5));
+            }
+        }
+        let a = DenseMatrix::<f64>::from_fn(7, 9, f);
+        let dense = DenseSource::new(&a);
+        let mut got2 = DenseMatrix::<f64>::zeros(3, 4);
+        let mut view2 = got2.as_mut();
+        dense.tile(2, 5, &mut view2);
+        assert_eq!(got, got2);
     }
 
     #[test]

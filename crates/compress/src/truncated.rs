@@ -1,16 +1,29 @@
-//! Dense truncated-SVD compression.
+//! Truncated-SVD compression by streaming panel QR.
 //!
-//! Forms the block densely and truncates its SVD at the requested tolerance.
 //! This is the optimal (Eckart–Young) compression, used as the reference in
-//! tests and as the method of choice for blocks that are small enough that
-//! the `O(mn min(m, n))` cost does not matter.
+//! tests and as the method of choice when the `O(mn min(m, n))` flop cost
+//! does not matter.  It no longer forms the block densely: the block is
+//! consumed one column panel at a time and folded into a growing
+//! orthonormal basis `Q` (re-orthogonalised CGS2 + Householder QR of the
+//! panel residual) together with the coefficient matrix `C = Q^* A`, so the
+//! working set is `O((m + n) K + m P)` for numerical rank `K` and panel
+//! width `P` — never the `O(mn)` dense block.  The final factors come from
+//! a dense SVD of the small `K x n` coefficient matrix, which reproduces
+//! the singular value decomposition of `A` to roundoff: panels are
+//! processed in a fixed sequential order, so the result is also bitwise
+//! deterministic and independent of any surrounding thread pool.
 
 use crate::lowrank::LowRank;
+use crate::randomized::dense_bytes;
 use crate::source::MatrixEntrySource;
+use hodlr_la::qr::thin_qr;
 use hodlr_la::svd::jacobi_svd;
-use hodlr_la::Scalar;
+use hodlr_la::{gemm, AllocMeter, DenseMatrix, Op, RealScalar, Scalar};
 
-/// Compress `source` by a dense truncated SVD at relative tolerance `tol`
+/// Column-panel width of the streaming pass.
+const PANEL: usize = 64;
+
+/// Compress `source` by a truncated SVD at relative tolerance `tol`
 /// (singular values below `tol * sigma_max` are discarded), with an optional
 /// hard rank cap.
 pub fn truncated_svd_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
@@ -18,18 +31,158 @@ pub fn truncated_svd_compress<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
     tol: T::Real,
     max_rank: Option<usize>,
 ) -> LowRank<T> {
+    truncated_svd_compress_metered(source, tol, max_rank, None)
+}
+
+/// [`truncated_svd_compress`] with live/peak scratch accounting on `meter`.
+pub fn truncated_svd_compress_metered<T: Scalar, S: MatrixEntrySource<T> + ?Sized>(
+    source: &S,
+    tol: T::Real,
+    max_rank: Option<usize>,
+    meter: Option<&AllocMeter>,
+) -> LowRank<T> {
     let m = source.nrows();
     let n = source.ncols();
     if m == 0 || n == 0 {
         return LowRank::zero(m, n);
     }
-    let a = source.to_dense();
-    let svd = jacobi_svd(&a);
+
+    // Orthonormal basis of the column space seen so far (m x K, K grows),
+    // and per-panel coefficient blocks C_p = Q_final^* A[:, panel p] (only
+    // the rows known when the panel was processed are stored; rows added by
+    // *later* panels are orthogonal to this panel's columns to roundoff, so
+    // the missing coefficients are zero and are padded as such below).
+    let mut q = DenseMatrix::<T>::zeros(m, 0);
+    let mut coeff_blocks: Vec<(usize, DenseMatrix<T>)> = Vec::new();
+    // Running ||A||_F^2 over the panels consumed so far, used to scale the
+    // drop tolerance of the panel QR.
+    let mut norm_sq = T::Real::zero();
+
+    let mut w = DenseMatrix::<T>::zeros(m, PANEL.min(n));
+    if let Some(meter) = meter {
+        meter.record_alloc(dense_bytes::<T>(m, PANEL.min(n)));
+    }
+
+    for p0 in (0..n).step_by(PANEL) {
+        let pb = PANEL.min(n - p0);
+        // Evaluate the panel W = A[:, p0 .. p0 + pb].
+        for j in 0..pb {
+            source.col(p0 + j, w.col_mut(j));
+        }
+        let mut w = w.block_mut(0, 0, m, pb);
+        for j in 0..pb {
+            for i in 0..m {
+                norm_sq += w.get(i, j).abs_sqr();
+            }
+        }
+
+        // Project out the existing basis twice (classical Gram–Schmidt with
+        // re-orthogonalisation): R = Q^* W accumulated over both sweeps is
+        // the coefficient block of this panel in the current basis.
+        let k0 = q.cols();
+        let mut r_above = DenseMatrix::<T>::zeros(k0, pb);
+        if k0 > 0 {
+            let mut r_sweep = DenseMatrix::<T>::zeros(k0, pb);
+            for _ in 0..2 {
+                gemm(
+                    T::one(),
+                    q.as_ref(),
+                    Op::ConjTrans,
+                    w.as_ref(),
+                    Op::None,
+                    T::zero(),
+                    r_sweep.as_mut(),
+                );
+                gemm(
+                    -T::one(),
+                    q.as_ref(),
+                    Op::None,
+                    r_sweep.as_ref(),
+                    Op::None,
+                    T::one(),
+                    w.reborrow(),
+                );
+                r_above.axpy(T::one(), &r_sweep);
+            }
+        }
+
+        // QR of the residual panel; keep only directions carrying mass
+        // relative to the block seen so far (the trailing near-zero diagonal
+        // of R is the part of the panel already inside span(Q)).
+        let (qp, rp) = thin_qr(&w.to_owned());
+        let drop_tol = T::Real::EPSILON * norm_sq.sqrt_real();
+        let mut keep = 0;
+        for i in 0..qp.cols() {
+            if rp[(i, i)].abs() > drop_tol {
+                keep = i + 1;
+            }
+        }
+
+        // Coefficients of this panel in the enlarged basis.
+        let mut c_panel = DenseMatrix::<T>::zeros(k0 + keep, pb);
+        c_panel.set_block(0, 0, &r_above);
+        if keep > 0 {
+            c_panel.set_block(k0, 0, &rp.sub_matrix(0, 0, keep, pb));
+            let grown = q.hcat(&qp.sub_matrix(0, 0, m, keep));
+            if let Some(meter) = meter {
+                // The basis grew; the old copy is dropped on assignment.
+                meter.record_alloc(dense_bytes::<T>(m, k0 + keep));
+                meter.record_free(dense_bytes::<T>(m, k0));
+            }
+            q = grown;
+        }
+        if let Some(meter) = meter {
+            meter.record_alloc(dense_bytes::<T>(k0 + keep, pb));
+        }
+        coeff_blocks.push((p0, c_panel));
+    }
+    if let Some(meter) = meter {
+        meter.record_free(dense_bytes::<T>(m, PANEL.min(n)));
+    }
+
+    let kk = q.cols();
+    if kk == 0 {
+        return LowRank::zero(m, n);
+    }
+
+    // Assemble C = Q^* A (K x n): each panel's stored coefficients, padded
+    // with the zero rows of the basis directions found after it.
+    let mut c = DenseMatrix::<T>::zeros(kk, n);
+    if let Some(meter) = meter {
+        meter.record_alloc(dense_bytes::<T>(kk, n));
+    }
+    for (p0, c_panel) in &coeff_blocks {
+        c.set_block(0, *p0, c_panel);
+    }
+    if let Some(meter) = meter {
+        for (_, c_panel) in &coeff_blocks {
+            meter.record_free(dense_bytes::<T>(c_panel.rows(), c_panel.cols()));
+        }
+    }
+    drop(coeff_blocks);
+
+    // A = Q C, so svd(C) = (Uc, S, V) gives svd(A) = (Q Uc, S, V).
+    let svd = jacobi_svd(&c);
     let mut k = svd.rank(tol);
     if let Some(cap) = max_rank {
         k = k.min(cap);
     }
-    let (u, v) = svd.truncate(k);
+    let (uc, v) = svd.truncate(k);
+    let mut u = DenseMatrix::zeros(m, k);
+    if k > 0 {
+        gemm(
+            T::one(),
+            q.as_ref(),
+            Op::None,
+            uc.as_ref(),
+            Op::None,
+            T::zero(),
+            u.as_mut(),
+        );
+    }
+    if let Some(meter) = meter {
+        meter.record_free(dense_bytes::<T>(m, kk) + dense_bytes::<T>(kk, n));
+    }
     LowRank::new(u, v)
 }
 
@@ -90,5 +243,22 @@ mod tests {
         let lr = truncated_svd_compress(&DenseSource::new(&empty), 1e-10, None);
         assert_eq!(lr.nrows(), 4);
         assert_eq!(lr.ncols(), 0);
+    }
+
+    #[test]
+    fn multi_panel_blocks_match_the_dense_svd() {
+        // More columns than one panel, full-rank-deficient: the streamed
+        // panel QR must agree with the dense factorization to roundoff.
+        let mut rng = StdRng::seed_from_u64(32);
+        let a: DenseMatrix<f64> = random_low_rank(&mut rng, 90, PANEL * 2 + 11, 9);
+        let lr = truncated_svd_compress(&DenseSource::new(&a), 1e-10, None);
+        assert_eq!(lr.rank(), 9);
+        assert!(lr.reconstruction_error(&a) < 1e-9 * a.norm_fro());
+
+        let sigma = hodlr_la::svd::singular_values(&a);
+        let capped = truncated_svd_compress(&DenseSource::new(&a), 1e-14, Some(4));
+        let err = capped.reconstruction_error(&a);
+        let best = tail_energy(&sigma, 4);
+        assert!((err - best).abs() < 1e-9 * a.norm_fro().max(1.0));
     }
 }

@@ -6,14 +6,82 @@
 //! sibling pair `(alpha, beta)` yield `U_alpha, V_beta` (from
 //! `A(I_alpha, I_beta)`) and `U_beta, V_alpha` (from `A(I_beta, I_alpha)`),
 //! which is exactly what the per-node concatenation of `Ubig` / `Vbig`
-//! needs.  Blocks are compressed in parallel with rayon.
+//! needs.
+//!
+//! The build streams: it walks the tree level by level, compressing the
+//! sibling blocks of one level in parallel directly from the entry source
+//! (the compressors themselves stream through bounded scratch — see
+//! `hodlr-compress`), so no off-diagonal block is ever materialised
+//! densely; only leaf diagonal blocks are.  Every allocation the build
+//! retains is recorded on an optional [`AllocMeter`], and an optional byte
+//! budget is enforced between levels with a typed
+//! [`HodlrError::BudgetExceeded`] naming the level or stage that crossed
+//! it.
 
 use crate::layout::LevelLayout;
 use crate::matrix::HodlrMatrix;
-use hodlr_compress::{compress, CompressionConfig, DenseSource, LowRank, MatrixEntrySource};
-use hodlr_la::{DenseMatrix, HodlrError, Scalar};
+use hodlr_compress::{
+    compress_metered, CompressionConfig, DenseSource, LowRank, MatrixEntrySource,
+};
+use hodlr_la::{AllocMeter, DemoteScalar, DenseMatrix, HodlrError, Scalar};
 use hodlr_tree::{ClusterTree, NodeId};
 use rayon::prelude::*;
+
+/// Options threading the allocation meter and memory budget through a
+/// build.
+#[derive(Clone, Copy, Default)]
+pub struct BuildOptions<'m> {
+    /// Records live/peak bytes of compression scratch, retained factors,
+    /// leaf blocks and the flattened bases.  At a successful return the
+    /// meter's live count equals the storage bytes of the returned matrix.
+    pub meter: Option<&'m AllocMeter>,
+    /// Hard ceiling on live bytes, checked after every level of
+    /// off-diagonal compression, after the leaf blocks, and before the
+    /// flattened `Ubig`/`Vbig` bases are allocated.  Exceeding it aborts
+    /// the build with [`HodlrError::BudgetExceeded`].
+    pub budget_bytes: Option<u64>,
+}
+
+/// Bytes retained by a low-rank factor pair.
+fn lowrank_bytes<T: Scalar>(lr: &LowRank<T>) -> u64 {
+    ((lr.u.rows() * lr.u.cols() + lr.v.rows() * lr.v.cols()) * std::mem::size_of::<T>()) as u64
+}
+
+/// Bytes of a `rows x cols` dense matrix of `T`.
+fn matrix_bytes<T>(rows: usize, cols: usize) -> u64 {
+    (rows * cols * std::mem::size_of::<T>()) as u64
+}
+
+/// Fail with a typed [`HodlrError::BudgetExceeded`] if the metered live
+/// count has crossed the budget.
+fn check_budget(
+    meter: Option<&AllocMeter>,
+    budget: Option<u64>,
+    context: impl FnOnce() -> String,
+) -> Result<(), HodlrError> {
+    if let (Some(meter), Some(budget)) = (meter, budget) {
+        let live = meter.live_bytes();
+        if live > budget {
+            return Err(HodlrError::BudgetExceeded {
+                budget_bytes: budget,
+                needed_bytes: live,
+                context: context(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Name the widest sibling block hanging off the given parents, for budget
+/// error messages.
+fn widest_block(tree: &ClusterTree, parents: &[NodeId]) -> usize {
+    parents
+        .iter()
+        .filter_map(|&gamma| tree.children(gamma))
+        .map(|(alpha, beta)| tree.node_size(alpha).max(tree.node_size(beta)))
+        .max()
+        .unwrap_or(0)
+}
 
 /// A rectangular sub-block of another entry source, addressed by row and
 /// column offsets.  This is what lets one `N x N` kernel source serve every
@@ -100,6 +168,21 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
     tree: ClusterTree,
     config: &CompressionConfig<T::Real>,
 ) -> Result<HodlrMatrix<T>, HodlrError> {
+    build_from_source_with(source, tree, config, BuildOptions::default())
+}
+
+/// [`build_from_source`] with metering and an optional memory budget; see
+/// [`BuildOptions`].
+///
+/// # Errors
+/// As [`build_from_source`], plus [`HodlrError::BudgetExceeded`] when the
+/// metered live bytes cross `options.budget_bytes`.
+pub fn build_from_source_with<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
+    source: &S,
+    tree: ClusterTree,
+    config: &CompressionConfig<T::Real>,
+    options: BuildOptions<'_>,
+) -> Result<HodlrMatrix<T>, HodlrError> {
     let n = tree.n();
     if n == 0 {
         return Err(HodlrError::config(
@@ -110,23 +193,14 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
     HodlrError::check_dims("source rows (must be N x N)", n, source.nrows())?;
     HodlrError::check_dims("source columns (must be N x N)", n, source.ncols())?;
 
-    // Compress the two off-diagonal blocks of every sibling pair in parallel.
-    // Each internal node gamma produces (U_alpha, V_beta) and (U_beta,
-    // V_alpha) where (alpha, beta) are its children.
-    let internal: Vec<NodeId> = tree.internal_nodes().collect();
-    let compressed: Vec<(NodeId, LowRank<T>, LowRank<T>)> = internal
-        .par_iter()
-        .map(|&gamma| {
-            let (alpha, beta) = tree.children(gamma).expect("internal node");
-            let ra = tree.range(alpha);
-            let rb = tree.range(beta);
-            let ab = BlockSource::new(source, ra.start, rb.start, ra.len(), rb.len())?;
-            let ba = BlockSource::new(source, rb.start, ra.start, rb.len(), ra.len())?;
-            let lr_ab = compress(&ab, config).map_err(|e| annotate_block(e, alpha, beta))?;
-            let lr_ba = compress(&ba, config).map_err(|e| annotate_block(e, beta, alpha))?;
-            Ok((gamma, lr_ab, lr_ba))
-        })
-        .collect::<Result<Vec<_>, HodlrError>>()?;
+    // A budget needs a meter to compare against even when the caller did
+    // not ask for one.
+    let fallback = AllocMeter::new();
+    let meter = match (options.meter, options.budget_bytes) {
+        (None, Some(_)) => Some(&fallback),
+        (m, _) => m,
+    };
+    let budget = options.budget_bytes;
 
     // Per-node factors: U_alpha from the (alpha, beta) block, V_alpha from
     // the (beta, alpha) block.  The rank of the (alpha, beta) block and of
@@ -137,19 +211,61 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
     let mut u_of: Vec<Option<DenseMatrix<T>>> = vec![None; num_nodes + 1];
     let mut v_of: Vec<Option<DenseMatrix<T>>> = vec![None; num_nodes + 1];
     let mut node_ranks = vec![0usize; num_nodes + 1];
-    for (gamma, lr_ab, lr_ba) in compressed {
-        let (alpha, beta) = tree.children(gamma).expect("internal node");
-        let pair_rank = lr_ab.rank().max(lr_ba.rank());
-        node_ranks[alpha] = pair_rank;
-        node_ranks[beta] = pair_rank;
-        u_of[alpha] = Some(lr_ab.u);
-        v_of[beta] = Some(lr_ab.v);
-        u_of[beta] = Some(lr_ba.u);
-        v_of[alpha] = Some(lr_ba.v);
+    let mut factor_bytes = 0u64;
+
+    // Walk the tree level by level, compressing the two off-diagonal blocks
+    // of every sibling pair of one level in parallel.  Each internal node
+    // gamma produces (U_alpha, V_beta) and (U_beta, V_alpha) where (alpha,
+    // beta) are its children.  The level-wise order bounds the live set and
+    // gives the budget check a natural granularity.
+    let levels = tree.levels();
+    for parent_level in 0..levels {
+        let parents: Vec<NodeId> = tree
+            .level_nodes(parent_level)
+            .filter(|&gamma| !tree.is_leaf(gamma))
+            .collect();
+        if parents.is_empty() {
+            continue;
+        }
+        let compressed: Vec<(NodeId, LowRank<T>, LowRank<T>)> = parents
+            .par_iter()
+            .map(|&gamma| {
+                let (alpha, beta) = tree.children(gamma).expect("internal node");
+                let ra = tree.range(alpha);
+                let rb = tree.range(beta);
+                let ab = BlockSource::new(source, ra.start, rb.start, ra.len(), rb.len())?;
+                let ba = BlockSource::new(source, rb.start, ra.start, rb.len(), ra.len())?;
+                let lr_ab = compress_metered(&ab, config, meter)
+                    .map_err(|e| annotate_block(e, alpha, beta))?;
+                let lr_ba = compress_metered(&ba, config, meter)
+                    .map_err(|e| annotate_block(e, beta, alpha))?;
+                if let Some(meter) = meter {
+                    meter.record_alloc(lowrank_bytes(&lr_ab) + lowrank_bytes(&lr_ba));
+                }
+                Ok((gamma, lr_ab, lr_ba))
+            })
+            .collect::<Result<Vec<_>, HodlrError>>()?;
+        for (gamma, lr_ab, lr_ba) in compressed {
+            let (alpha, beta) = tree.children(gamma).expect("internal node");
+            let pair_rank = lr_ab.rank().max(lr_ba.rank());
+            node_ranks[alpha] = pair_rank;
+            node_ranks[beta] = pair_rank;
+            factor_bytes += lowrank_bytes(&lr_ab) + lowrank_bytes(&lr_ba);
+            u_of[alpha] = Some(lr_ab.u);
+            v_of[beta] = Some(lr_ab.v);
+            u_of[beta] = Some(lr_ba.u);
+            v_of[alpha] = Some(lr_ba.v);
+        }
+        check_budget(meter, budget, || {
+            format!(
+                "off-diagonal factors at level {} (widest block {w} x {w})",
+                parent_level + 1,
+                w = widest_block(&tree, &parents)
+            )
+        })?;
     }
 
     // Level widths = maximum factor width at each level.
-    let levels = tree.levels();
     let mut widths = vec![0usize; levels];
     for level in 1..=levels {
         let mut w = 0;
@@ -162,8 +278,24 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
     }
     let layout = LevelLayout::new(widths);
 
-    // Assemble Ubig / Vbig with zero padding to the level width.
+    // Assemble Ubig / Vbig with zero padding to the level width.  The two
+    // flattened bases are the largest single allocation of the build, so
+    // they get a budget check *before* they exist.
     let total = layout.total_cols();
+    let flattened_bytes = 2 * matrix_bytes::<T>(n, total);
+    if let (Some(meter), Some(budget)) = (meter, budget) {
+        let needed = meter.live_bytes() + flattened_bytes;
+        if needed > budget {
+            return Err(HodlrError::BudgetExceeded {
+                budget_bytes: budget,
+                needed_bytes: needed,
+                context: format!("flattened level bases (Ubig/Vbig, {n} x {total} each)"),
+            });
+        }
+    }
+    if let Some(meter) = meter {
+        meter.record_alloc(flattened_bytes);
+    }
     let mut ubig = DenseMatrix::zeros(n, total);
     let mut vbig = DenseMatrix::zeros(n, total);
     for level in 1..=levels {
@@ -186,8 +318,15 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
             }
         }
     }
+    // The per-node factors are consumed by the flattened bases.
+    drop(u_of);
+    drop(v_of);
+    if let Some(meter) = meter {
+        meter.record_free(factor_bytes);
+    }
 
-    // Dense leaf diagonal blocks.
+    // Dense leaf diagonal blocks — the only densely materialised blocks of
+    // the whole build.
     let leaf_ids: Vec<NodeId> = tree.leaves().collect();
     let diag: Vec<DenseMatrix<T>> = leaf_ids
         .par_iter()
@@ -195,9 +334,14 @@ pub fn build_from_source<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
             let range = tree.range(leaf);
             let block =
                 BlockSource::new(source, range.start, range.start, range.len(), range.len())?;
-            Ok(block.to_dense())
+            let dense = block.to_dense();
+            if let Some(meter) = meter {
+                meter.record_alloc(matrix_bytes::<T>(dense.rows(), dense.cols()));
+            }
+            Ok(dense)
         })
         .collect::<Result<Vec<_>, HodlrError>>()?;
+    check_budget(meter, budget, || "leaf diagonal blocks".to_string())?;
 
     HodlrMatrix::from_parts(tree, layout, node_ranks, ubig, vbig, diag)
 }
@@ -220,6 +364,21 @@ pub fn build_from_source_symmetric<T: Scalar, S: MatrixEntrySource<T> + Sync + ?
     tree: ClusterTree,
     config: &CompressionConfig<T::Real>,
 ) -> Result<HodlrMatrix<T>, HodlrError> {
+    build_from_source_symmetric_with(source, tree, config, BuildOptions::default())
+}
+
+/// [`build_from_source_symmetric`] with metering and an optional memory
+/// budget; see [`BuildOptions`].
+///
+/// # Errors
+/// As [`build_from_source_symmetric`], plus [`HodlrError::BudgetExceeded`]
+/// when the metered live bytes cross `options.budget_bytes`.
+pub fn build_from_source_symmetric_with<T: Scalar, S: MatrixEntrySource<T> + Sync + ?Sized>(
+    source: &S,
+    tree: ClusterTree,
+    config: &CompressionConfig<T::Real>,
+    options: BuildOptions<'_>,
+) -> Result<HodlrMatrix<T>, HodlrError> {
     let n = tree.n();
     if n == 0 {
         return Err(HodlrError::config(
@@ -230,33 +389,61 @@ pub fn build_from_source_symmetric<T: Scalar, S: MatrixEntrySource<T> + Sync + ?
     HodlrError::check_dims("source rows (must be N x N)", n, source.nrows())?;
     HodlrError::check_dims("source columns (must be N x N)", n, source.ncols())?;
 
-    // One compression per sibling pair instead of two.
-    let internal: Vec<NodeId> = tree.internal_nodes().collect();
-    let compressed: Vec<(NodeId, LowRank<T>)> = internal
-        .par_iter()
-        .map(|&gamma| {
-            let (alpha, beta) = tree.children(gamma).expect("internal node");
-            let ra = tree.range(alpha);
-            let rb = tree.range(beta);
-            let ab = BlockSource::new(source, ra.start, rb.start, ra.len(), rb.len())?;
-            let lr = compress(&ab, config).map_err(|e| annotate_block(e, alpha, beta))?;
-            Ok((gamma, lr))
-        })
-        .collect::<Result<Vec<_>, HodlrError>>()?;
+    let fallback = AllocMeter::new();
+    let meter = match (options.meter, options.budget_bytes) {
+        (None, Some(_)) => Some(&fallback),
+        (m, _) => m,
+    };
+    let budget = options.budget_bytes;
 
     let num_nodes = tree.num_nodes();
     let mut u_of: Vec<Option<DenseMatrix<T>>> = vec![None; num_nodes + 1];
     let mut node_ranks = vec![0usize; num_nodes + 1];
-    for (gamma, lr) in compressed {
-        let (alpha, beta) = tree.children(gamma).expect("internal node");
-        let rank = lr.rank();
-        node_ranks[alpha] = rank;
-        node_ranks[beta] = rank;
-        u_of[alpha] = Some(lr.u);
-        u_of[beta] = Some(lr.v);
+    let mut factor_bytes = 0u64;
+
+    // One compression per sibling pair instead of two, level by level.
+    let levels = tree.levels();
+    for parent_level in 0..levels {
+        let parents: Vec<NodeId> = tree
+            .level_nodes(parent_level)
+            .filter(|&gamma| !tree.is_leaf(gamma))
+            .collect();
+        if parents.is_empty() {
+            continue;
+        }
+        let compressed: Vec<(NodeId, LowRank<T>)> = parents
+            .par_iter()
+            .map(|&gamma| {
+                let (alpha, beta) = tree.children(gamma).expect("internal node");
+                let ra = tree.range(alpha);
+                let rb = tree.range(beta);
+                let ab = BlockSource::new(source, ra.start, rb.start, ra.len(), rb.len())?;
+                let lr = compress_metered(&ab, config, meter)
+                    .map_err(|e| annotate_block(e, alpha, beta))?;
+                if let Some(meter) = meter {
+                    meter.record_alloc(lowrank_bytes(&lr));
+                }
+                Ok((gamma, lr))
+            })
+            .collect::<Result<Vec<_>, HodlrError>>()?;
+        for (gamma, lr) in compressed {
+            let (alpha, beta) = tree.children(gamma).expect("internal node");
+            let rank = lr.rank();
+            node_ranks[alpha] = rank;
+            node_ranks[beta] = rank;
+            factor_bytes += lowrank_bytes(&lr);
+            u_of[alpha] = Some(lr.u);
+            u_of[beta] = Some(lr.v);
+        }
+        check_budget(meter, budget, || {
+            format!(
+                "off-diagonal factors at level {} (widest block {w} x {w})",
+                parent_level + 1,
+                w = widest_block(&tree, &parents)
+            )
+        })?;
     }
 
-    let levels = tree.levels();
     let mut widths = vec![0usize; levels];
     for level in 1..=levels {
         let mut w = 0;
@@ -268,6 +455,20 @@ pub fn build_from_source_symmetric<T: Scalar, S: MatrixEntrySource<T> + Sync + ?
     let layout = LevelLayout::new(widths);
 
     let total = layout.total_cols();
+    let flattened_bytes = matrix_bytes::<T>(n, total);
+    if let (Some(meter), Some(budget)) = (meter, budget) {
+        let needed = meter.live_bytes() + flattened_bytes;
+        if needed > budget {
+            return Err(HodlrError::BudgetExceeded {
+                budget_bytes: budget,
+                needed_bytes: needed,
+                context: format!("flattened level basis (shared Ubig, {n} x {total})"),
+            });
+        }
+    }
+    if let Some(meter) = meter {
+        meter.record_alloc(flattened_bytes);
+    }
     let mut ubig = DenseMatrix::zeros(n, total);
     for level in 1..=levels {
         let cols = layout.col_range(level);
@@ -282,6 +483,10 @@ pub fn build_from_source_symmetric<T: Scalar, S: MatrixEntrySource<T> + Sync + ?
             }
         }
     }
+    drop(u_of);
+    if let Some(meter) = meter {
+        meter.record_free(factor_bytes);
+    }
 
     let leaf_ids: Vec<NodeId> = tree.leaves().collect();
     let diag: Vec<DenseMatrix<T>> = leaf_ids
@@ -290,11 +495,54 @@ pub fn build_from_source_symmetric<T: Scalar, S: MatrixEntrySource<T> + Sync + ?
             let range = tree.range(leaf);
             let block =
                 BlockSource::new(source, range.start, range.start, range.len(), range.len())?;
-            Ok(block.to_dense())
+            let dense = block.to_dense();
+            if let Some(meter) = meter {
+                meter.record_alloc(matrix_bytes::<T>(dense.rows(), dense.cols()));
+            }
+            Ok(dense)
         })
         .collect::<Result<Vec<_>, HodlrError>>()?;
+    check_budget(meter, budget, || "leaf diagonal blocks".to_string())?;
 
     HodlrMatrix::from_parts_symmetric(tree, layout, node_ranks, ubig, diag)
+}
+
+/// An adapter demoting every entry of a source to the lower precision:
+/// `entry(i, j) = inner.entry(i, j).demote()`.  This is what the compact
+/// (`f32`-storage) build path compresses from — demotion happens entry by
+/// entry at evaluation time, so the compact build's scratch is *also* in
+/// the lower precision and the working-precision block never exists.
+pub struct DemotedSource<'a, T: DemoteScalar, S: MatrixEntrySource<T> + ?Sized> {
+    inner: &'a S,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<'a, T: DemoteScalar, S: MatrixEntrySource<T> + ?Sized> DemotedSource<'a, T, S> {
+    /// View `inner` in the lower precision.
+    pub fn new(inner: &'a S) -> Self {
+        DemotedSource {
+            inner,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, S> MatrixEntrySource<T::Lower> for DemotedSource<'_, T, S>
+where
+    T: DemoteScalar,
+    S: MatrixEntrySource<T> + ?Sized,
+{
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn entry(&self, i: usize, j: usize) -> T::Lower {
+        self.inner.entry(i, j).demote()
+    }
 }
 
 /// Attribute a compression error to the off-diagonal block it came from.
@@ -500,6 +748,138 @@ mod tests {
         assert!(err.to_string().contains("rows of block"), "{err}");
         let err = BlockSource::new(&src, 0, 5, 2, 3).err().unwrap();
         assert!(err.to_string().contains("columns of block"), "{err}");
+    }
+
+    #[test]
+    fn metered_build_accounts_for_exactly_the_retained_storage() {
+        let n = 512;
+        let src = kernel_source(n);
+        let tree = ClusterTree::with_leaf_size(n, 64);
+        let meter = AllocMeter::new();
+        let options = BuildOptions {
+            meter: Some(&meter),
+            budget_bytes: None,
+        };
+        let hodlr = build_from_source_with(&src, tree, &CompressionConfig::with_tol(1e-9), options)
+            .unwrap();
+        // At return the live count is exactly the storage of the matrix:
+        // all compression scratch and intermediate factors have retired.
+        assert_eq!(meter.live_bytes(), hodlr.storage_bytes());
+        assert!(meter.peak_bytes() >= meter.live_bytes());
+        // The peak never approached the n x n dense matrix the streaming
+        // assembly replaced.
+        let dense_bytes = (n * n * std::mem::size_of::<f64>()) as u64;
+        assert!(
+            meter.peak_bytes() < dense_bytes / 2,
+            "peak {} vs dense {}",
+            meter.peak_bytes(),
+            dense_bytes
+        );
+    }
+
+    #[test]
+    fn symmetric_metered_build_accounts_for_exactly_the_retained_storage() {
+        let n = 192;
+        let src = kernel_source(n);
+        let tree = ClusterTree::with_leaf_size(n, 24);
+        let meter = AllocMeter::new();
+        let options = BuildOptions {
+            meter: Some(&meter),
+            budget_bytes: None,
+        };
+        let hodlr = build_from_source_symmetric_with(
+            &src,
+            tree,
+            &CompressionConfig::with_tol(1e-9),
+            options,
+        )
+        .unwrap();
+        assert_eq!(meter.live_bytes(), hodlr.storage_bytes());
+    }
+
+    #[test]
+    fn tiny_budget_fails_with_a_typed_error_naming_the_stage() {
+        let n = 128;
+        let src = kernel_source(n);
+        let tree = ClusterTree::with_leaf_size(n, 16);
+        let err = build_from_source_with(
+            &src,
+            tree.clone(),
+            &CompressionConfig::with_tol(1e-9),
+            BuildOptions {
+                meter: None,
+                budget_bytes: Some(1024),
+            },
+        )
+        .unwrap_err();
+        match &err {
+            HodlrError::BudgetExceeded {
+                budget_bytes,
+                needed_bytes,
+                context,
+            } => {
+                assert_eq!(*budget_bytes, 1024);
+                assert!(*needed_bytes > 1024);
+                assert!(
+                    context.contains("level")
+                        || context.contains("leaf")
+                        || context.contains("Ubig"),
+                    "context: {context}"
+                );
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+
+        // A budget that fits the real footprint succeeds and the build is
+        // identical to the unbudgeted one.
+        let free =
+            build_from_source(&src, tree.clone(), &CompressionConfig::with_tol(1e-9)).unwrap();
+        let budgeted = build_from_source_with(
+            &src,
+            tree,
+            &CompressionConfig::with_tol(1e-9),
+            BuildOptions {
+                meter: None,
+                budget_bytes: Some(64 << 20),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            free.to_dense()
+                .sub(&budgeted.to_dense())
+                .norm_max()
+                .to_f64(),
+            0.0,
+            "budgeted build must be bitwise identical"
+        );
+    }
+
+    #[test]
+    fn demoted_source_views_entries_in_the_lower_precision() {
+        let src = ClosureSource::new(4, 4, |i, j| 1.0 + (i + 10 * j) as f64 * 1e-9);
+        let lo = DemotedSource::new(&src);
+        assert_eq!(lo.nrows(), 4);
+        assert_eq!(lo.ncols(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(lo.entry(i, j), src.entry(i, j) as f32);
+            }
+        }
+        // A full compact-precision build goes through the generic builder.
+        let n = 64;
+        let kernel = kernel_source(n);
+        let view = DemotedSource::new(&kernel);
+        let tree = ClusterTree::with_leaf_size(n, 16);
+        let cfg = CompressionConfig::with_tol(1e-5f32);
+        let low = build_from_source(&view, tree, &cfg).unwrap();
+        let lo_dense = low.to_dense();
+        let dense = kernel.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                let got = lo_dense[(i, j)] as f64;
+                assert!((got - dense[(i, j)]).abs() < 1e-3 * (1.0 + dense[(i, j)].abs()));
+            }
+        }
     }
 
     /// Regression test for the duplicated `node_ranks` assignment block: with

@@ -51,7 +51,8 @@ pub mod symmetric;
 
 pub use builder::{
     build_from_dense, build_from_dense_symmetric, build_from_source, build_from_source_symmetric,
-    BlockSource,
+    build_from_source_symmetric_with, build_from_source_with, BlockSource, BuildOptions,
+    DemotedSource,
 };
 pub use gpu::GpuSolver;
 pub use gpu_symmetric::GpuSymmetricSolver;

@@ -63,6 +63,7 @@ pub use oracle::{dense_cholesky, dense_log_likelihood};
 pub use sampling::GpPosterior;
 pub use scan::{best_row, GridScan, KernelFamily, ScanRow};
 pub use source::{
-    clustered_points_1d, covariance_source, regular_grid_1d, CorrelationSource, CovarianceSource,
+    clustered_points_1d, covariance_source, regular_grid_1d, spatial_points, CorrelationSource,
+    CovarianceSource,
 };
 pub use spectral::SpectralCheck;

@@ -193,7 +193,11 @@ impl GpModel {
                 "noise variance must be non-negative and finite, got {noise}"
             )));
         }
-        let mut matrix = self.hodlr.matrix().clone();
+        let mut matrix = self
+            .hodlr
+            .matrix()
+            .expect("GP models store the covariance in working precision")
+            .clone();
         matrix.shift_diagonal(noise - self.noise);
         let hodlr = Hodlr::builder()
             .matrix(matrix)
@@ -216,7 +220,12 @@ impl GpModel {
     /// Builder errors propagate.
     pub fn with_backend(&self, backend: Backend) -> Result<GpModel, HodlrError> {
         let hodlr = Hodlr::builder()
-            .matrix(self.hodlr.matrix().clone())
+            .matrix(
+                self.hodlr
+                    .matrix()
+                    .expect("GP models store the covariance in working precision")
+                    .clone(),
+            )
             .backend(backend)
             .precision(self.hodlr.precision())
             .symmetry(self.hodlr.symmetry())
@@ -440,7 +449,7 @@ mod tests {
             let spd = GpModel::build(&kernel, &points, 0.1, &spd_config).unwrap();
             assert_eq!(spd.hodlr().symmetry(), Symmetry::PositiveDefinite);
             // Sibling pairs share one low-rank factor on the SPD path.
-            assert!(spd.hodlr().matrix().shares_bases());
+            assert!(spd.hodlr().matrix().unwrap().shares_bases());
             let ll_lu = lu.log_likelihood(&y).unwrap();
             let ll_spd = spd.log_likelihood(&y).unwrap();
             assert!(

@@ -102,6 +102,29 @@ pub fn clustered_points_1d(
         })
         .collect();
     partition_points(&PointCloud::new(1, coords), leaf_size)
+        .expect("clustered_points always produces a non-empty cloud")
+}
+
+/// `n` points drawn uniformly from `[0, 1]^dim` and spatially reordered by
+/// recursive coordinate bisection: the d-dimensional observation layout
+/// (sensor fields, spatial surveys) of the scale-out benchmark.  Returns
+/// the [`PointPartition`] (reordered cloud + matching cluster tree), ready
+/// for the HODLR builder's explicit-tree policy; stationary kernels only
+/// see pairwise distances, so [`CorrelationSource`] works over the result
+/// unchanged in any dimension.
+///
+/// # Panics
+/// Panics if `n == 0`, `dim == 0` or `leaf_size == 0`.
+pub fn spatial_points(
+    rng: &mut impl Rng,
+    n: usize,
+    dim: usize,
+    leaf_size: usize,
+) -> PointPartition {
+    assert!(n > 0 && dim > 0 && leaf_size > 0);
+    let coords: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+    partition_points(&PointCloud::new(dim, coords), leaf_size)
+        .expect("spatial_points always produces a non-empty cloud")
 }
 
 #[cfg(test)]

@@ -20,15 +20,16 @@
 //! assert!(hodlr.relative_residual(&x, &[1.0, 2.0, 3.0, 4.0]) < 1e-10);
 //! ```
 
+use crate::compact::{CompactConfig, CompactOps};
 use crate::scalar::SolveScalar;
 use crate::solve::{Factorization, Factorize, Solve};
 use hodlr_batch::Device;
-use hodlr_compress::{CompressionConfig, CompressionMethod, MatrixEntrySource};
+use hodlr_compress::{CompressionConfig, CompressionMethod, DenseSource, MatrixEntrySource};
 use hodlr_core::{
-    build_from_dense, build_from_dense_symmetric, build_from_source, build_from_source_symmetric,
-    GpuSolver, GpuSymmetricSolver, HodlrMatrix, Symmetry,
+    build_from_source_symmetric_with, build_from_source_with, BuildOptions, GpuSolver,
+    GpuSymmetricSolver, HodlrMatrix, Symmetry,
 };
-use hodlr_la::{DenseMatrix, HodlrError, RealScalar, Scalar};
+use hodlr_la::{norms, AllocMeter, DenseMatrix, HodlrError, RealScalar, Scalar};
 use hodlr_solver::LinearOperator;
 use hodlr_tree::ClusterTree;
 
@@ -56,6 +57,29 @@ pub enum Precision {
     /// recover working-precision accuracy by iterative refinement — the
     /// paper's Table IV(b) regime.
     MixedRefine,
+}
+
+/// The storage precision of the compressed representation itself.
+///
+/// Orthogonal to [`Precision`], which governs the *factorization*:
+/// `Precision::MixedRefine` demotes an already-built working-precision
+/// matrix, while [`FactorPrecision::CompactLower`] never builds the
+/// working-precision matrix in the first place — compression streams
+/// straight into the lower precision, halving both the resident bytes and
+/// the assembly peak.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FactorPrecision {
+    /// Store the representation in the working precision (default).
+    Working,
+    /// Store in the companion lower precision (`f64 -> f32`,
+    /// `Complex64 -> Complex32`): half the resident bytes.  Matvecs
+    /// promote entries on the fly and accumulate in the working precision,
+    /// and [`Factorize::factorize`] always wraps the lower-precision
+    /// factorization in working-precision iterative refinement, recovering
+    /// working accuracy on solves (the MixedRefine recovery argument
+    /// applied to the storage itself).  Requires an `f64`/`Complex64`
+    /// scalar and [`Symmetry::General`].
+    CompactLower,
 }
 
 /// How the cluster tree over `0..n` is chosen.
@@ -89,6 +113,8 @@ pub struct HodlrBuilder<'a, T: Scalar> {
     strict_rank: bool,
     backend: Backend,
     precision: Precision,
+    factor_precision: FactorPrecision,
+    memory_budget: Option<u64>,
     symmetry: Symmetry,
     threads: Option<usize>,
     refine_tol: f64,
@@ -106,6 +132,8 @@ impl<T: Scalar> Default for HodlrBuilder<'_, T> {
             strict_rank: false,
             backend: Backend::Serial,
             precision: Precision::Full,
+            factor_precision: FactorPrecision::Working,
+            memory_budget: None,
             symmetry: Symmetry::General,
             threads: None,
             refine_tol: 1e-12,
@@ -196,6 +224,32 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
         self
     }
 
+    /// Storage precision of the representation (default
+    /// [`FactorPrecision::Working`]).
+    ///
+    /// [`FactorPrecision::CompactLower`] compresses straight into the
+    /// companion lower precision — half the resident bytes, working
+    /// accuracy recovered on solves by iterative refinement.  The
+    /// compression tolerance is clamped to a few lower-precision ulps
+    /// (asking `f32` storage for `1e-10` blocks would only blow the ranks
+    /// chasing noise; refinement recovers the accuracy instead).
+    pub fn factor_precision(mut self, factor_precision: FactorPrecision) -> Self {
+        self.factor_precision = factor_precision;
+        self
+    }
+
+    /// Fail the build with a typed [`HodlrError::BudgetExceeded`] the
+    /// moment the metered live bytes of the assembly (retained factors,
+    /// flattened bases, leaf blocks, compression scratch) would cross
+    /// `bytes`.
+    ///
+    /// The budget covers construction only — factorization and solves are
+    /// governed by the representation this build produced.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Declared symmetry structure (default [`Symmetry::General`]).
     ///
     /// [`Symmetry::PositiveDefinite`] and [`Symmetry::Hermitian`] switch
@@ -237,17 +291,27 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
         self.refine_max_iters = max_iters;
         self
     }
+}
 
+impl<'a, T: SolveScalar> HodlrBuilder<'a, T> {
     /// Build the HODLR approximation.
+    ///
+    /// Construction streams level by level from the input — only the
+    /// compression scratch and the retained factors are ever resident —
+    /// and is metered throughout; the peak is available afterwards as
+    /// [`Hodlr::build_peak_bytes`].
     ///
     /// # Errors
     /// [`HodlrError::InvalidConfig`] for a missing input, a zero-size
     /// problem, a non-positive tolerance, a zero leaf size or thread
-    /// count, or a level count deeper than the index set;
+    /// count, a level count deeper than the index set, or an unsupported
+    /// combination ([`FactorPrecision::CompactLower`] with a symmetric
+    /// structure, an adopted matrix, or a single-precision scalar);
     /// [`HodlrError::DimensionMismatch`] for a non-square input or a tree
-    /// that does not match it; compression errors (e.g.
-    /// [`HodlrError::CompressionRankOverflow`] under a strict rank cap)
-    /// propagate.
+    /// that does not match it; [`HodlrError::BudgetExceeded`] when a
+    /// [`memory_budget`](HodlrBuilder::memory_budget) is crossed;
+    /// compression errors (e.g. [`HodlrError::CompressionRankOverflow`]
+    /// under a strict rank cap) propagate.
     pub fn build(self) -> Result<Hodlr<T>, HodlrError> {
         let input = self.input.ok_or_else(|| {
             HodlrError::config(
@@ -282,6 +346,13 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
                  use Precision::Full with Symmetry::PositiveDefinite / Symmetry::Hermitian",
             ));
         }
+        let compact = self.factor_precision == FactorPrecision::CompactLower;
+        if compact && self.symmetry.is_symmetric() {
+            return Err(HodlrError::config(
+                "FactorPrecision::CompactLower is not available for symmetric structures; \
+                 the shared-basis Hermitian format already halves the basis storage",
+            ));
+        }
 
         let pool = match self.threads {
             None => None,
@@ -296,9 +367,42 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
             ),
         };
 
-        let matrix = match input {
-            BuilderInput::Matrix(m) => m,
+        // Every build is metered: the peak is cheap to track and the scale
+        // benchmarks report it as the measured assembly footprint.
+        let meter = AllocMeter::new();
+        let options = BuildOptions {
+            meter: Some(&meter),
+            budget_bytes: self.memory_budget,
+        };
+
+        let store = match input {
+            BuilderInput::Matrix(m) => {
+                if compact {
+                    return Err(HodlrError::config(
+                        ".matrix(..) adopts prebuilt working-precision storage; build from \
+                         .source(..) or .dense(..) to use FactorPrecision::CompactLower",
+                    ));
+                }
+                if let Some(budget) = self.memory_budget {
+                    let resident = m.storage_bytes();
+                    if resident > budget {
+                        return Err(HodlrError::BudgetExceeded {
+                            budget_bytes: budget,
+                            needed_bytes: resident,
+                            context: "adopted HodlrMatrix".to_string(),
+                        });
+                    }
+                }
+                Store::Full(m)
+            }
             dense_or_source => {
+                if let BuilderInput::Dense(a) = &dense_or_source {
+                    HodlrError::check_dims(
+                        "dense input (HODLR matrices are square)",
+                        a.rows(),
+                        a.cols(),
+                    )?;
+                }
                 let tree = match &self.tree {
                     TreePolicy::LeafSize(0) => {
                         return Err(HodlrError::config("leaf size must be at least 1"));
@@ -319,35 +423,62 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
                         t.clone()
                     }
                 };
-                let mut config = CompressionConfig::with_tol(T::Real::from_f64_real(self.tol))
-                    .method(self.method);
-                if let Some(cap) = self.max_rank {
-                    config = config.max_rank(cap);
-                }
-                if self.strict_rank {
-                    config = config.strict_rank();
-                }
                 let symmetric = self.symmetry.is_symmetric();
-                let build = || match dense_or_source {
-                    BuilderInput::Dense(a) if symmetric => {
-                        build_from_dense_symmetric(a, tree, &config)
+                if compact {
+                    let config = CompactConfig {
+                        tol: self.tol,
+                        max_rank: self.max_rank,
+                        strict_rank: self.strict_rank,
+                        method: self.method,
+                    };
+                    let build = || match dense_or_source {
+                        BuilderInput::Dense(a) => {
+                            T::build_compact(&DenseSource::new(a), tree, &config, options)
+                        }
+                        BuilderInput::Source(s) => T::build_compact(s, tree, &config, options),
+                        BuilderInput::Matrix(_) => unreachable!("handled above"),
+                    };
+                    Store::Compact(match &pool {
+                        Some(pool) => pool.install(build)?,
+                        None => build()?,
+                    })
+                } else {
+                    let mut config = CompressionConfig::with_tol(T::Real::from_f64_real(self.tol))
+                        .method(self.method);
+                    if let Some(cap) = self.max_rank {
+                        config = config.max_rank(cap);
                     }
-                    BuilderInput::Dense(a) => build_from_dense(a, tree, &config),
-                    BuilderInput::Source(s) if symmetric => {
-                        build_from_source_symmetric(s, tree, &config)
+                    if self.strict_rank {
+                        config = config.strict_rank();
                     }
-                    BuilderInput::Source(s) => build_from_source(s, tree, &config),
-                    BuilderInput::Matrix(_) => unreachable!("handled above"),
-                };
-                match &pool {
-                    Some(pool) => pool.install(build)?,
-                    None => build()?,
+                    let build = || match dense_or_source {
+                        BuilderInput::Dense(a) if symmetric => build_from_source_symmetric_with(
+                            &DenseSource::new(a),
+                            tree,
+                            &config,
+                            options,
+                        ),
+                        BuilderInput::Dense(a) => {
+                            build_from_source_with(&DenseSource::new(a), tree, &config, options)
+                        }
+                        BuilderInput::Source(s) if symmetric => {
+                            build_from_source_symmetric_with(s, tree, &config, options)
+                        }
+                        BuilderInput::Source(s) => {
+                            build_from_source_with(s, tree, &config, options)
+                        }
+                        BuilderInput::Matrix(_) => unreachable!("handled above"),
+                    };
+                    Store::Full(match &pool {
+                        Some(pool) => pool.install(build)?,
+                        None => build()?,
+                    })
                 }
             }
         };
 
         Ok(Hodlr {
-            matrix,
+            store,
             backend: self.backend,
             precision: self.precision,
             symmetry: self.symmetry,
@@ -355,8 +486,17 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
             pool,
             refine_tol: self.refine_tol,
             refine_max_iters: self.refine_max_iters,
+            build_peak_bytes: meter.peak_bytes(),
         })
     }
+}
+
+/// The representation behind a [`Hodlr`] handle: either the
+/// working-precision flattened matrix, or a compact lower-precision store
+/// applied through on-the-fly promotion.
+enum Store<T: Scalar> {
+    Full(HodlrMatrix<T>),
+    Compact(Box<dyn CompactOps<T>>),
 }
 
 /// A HODLR approximation plus its backend configuration: the one front
@@ -368,7 +508,7 @@ impl<'a, T: Scalar> HodlrBuilder<'a, T> {
 /// [`Backend::Batched`] factorizations and their launch/flop counters live
 /// entirely behind it.
 pub struct Hodlr<T: Scalar> {
-    matrix: HodlrMatrix<T>,
+    store: Store<T>,
     backend: Backend,
     precision: Precision,
     symmetry: Symmetry,
@@ -376,6 +516,7 @@ pub struct Hodlr<T: Scalar> {
     pool: Option<rayon::ThreadPool>,
     refine_tol: f64,
     refine_max_iters: usize,
+    build_peak_bytes: u64,
 }
 
 impl<T: Scalar> Hodlr<T> {
@@ -403,15 +544,46 @@ impl<T: Scalar> Hodlr<T> {
         HodlrBuilder::default()
     }
 
-    /// The underlying flattened HODLR matrix.
-    pub fn matrix(&self) -> &HodlrMatrix<T> {
-        &self.matrix
+    /// The underlying flattened HODLR matrix, when this handle stores one
+    /// in the working precision; `None` for
+    /// [`FactorPrecision::CompactLower`] handles, whose storage lives in
+    /// the companion lower precision.
+    pub fn matrix(&self) -> Option<&HodlrMatrix<T>> {
+        match &self.store {
+            Store::Full(m) => Some(m),
+            Store::Compact(_) => None,
+        }
     }
 
-    /// Consume the handle, returning the matrix (migration path to the
-    /// low-level API).
-    pub fn into_matrix(self) -> HodlrMatrix<T> {
-        self.matrix
+    /// Consume the handle, returning the working-precision matrix
+    /// (migration path to the low-level API); `None` for compact handles.
+    pub fn into_matrix(self) -> Option<HodlrMatrix<T>> {
+        match self.store {
+            Store::Full(m) => Some(m),
+            Store::Compact(_) => None,
+        }
+    }
+
+    /// `true` when the representation is stored in the companion lower
+    /// precision ([`FactorPrecision::CompactLower`]).
+    pub fn is_compact(&self) -> bool {
+        matches!(self.store, Store::Compact(_))
+    }
+
+    /// Resident bytes of the stored representation (bases + leaf blocks,
+    /// in whichever precision they live in).
+    pub fn storage_bytes(&self) -> u64 {
+        match &self.store {
+            Store::Full(m) => m.storage_bytes(),
+            Store::Compact(c) => c.storage_bytes(),
+        }
+    }
+
+    /// Measured peak live bytes of the assembly (factors, flattened bases,
+    /// leaf blocks and compression scratch), from the meter every build
+    /// runs under.  Zero for handles that adopted a prebuilt matrix.
+    pub fn build_peak_bytes(&self) -> u64 {
+        self.build_peak_bytes
     }
 
     /// The configured backend.
@@ -437,59 +609,104 @@ impl<T: Scalar> Hodlr<T> {
 
     /// Matrix size `N`.
     pub fn n(&self) -> usize {
-        self.matrix.n()
+        match &self.store {
+            Store::Full(m) => m.n(),
+            Store::Compact(c) => c.n(),
+        }
     }
 
     /// Number of tree levels.
     pub fn levels(&self) -> usize {
-        self.matrix.levels()
+        match &self.store {
+            Store::Full(m) => m.levels(),
+            Store::Compact(c) => c.levels(),
+        }
     }
 
     /// Maximum off-diagonal rank.
     pub fn max_rank(&self) -> usize {
-        self.matrix.max_rank()
+        match &self.store {
+            Store::Full(m) => m.max_rank(),
+            Store::Compact(c) => c.max_rank(),
+        }
     }
 
     /// Storage in GiB.
     pub fn memory_gib(&self) -> f64 {
-        self.matrix.memory_gib()
+        self.storage_bytes() as f64 / (1u64 << 30) as f64
     }
 
     /// `y = A x` in `O(N log N)`.
     pub fn matvec(&self, x: &[T]) -> Vec<T> {
-        self.run_in_pool(|| self.matrix.matvec(x))
+        let mut y = vec![T::zero(); self.n()];
+        self.matvec_into(x, &mut y);
+        y
     }
 
     /// `y = A x` into a caller-owned buffer (no per-call allocation).
     pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
-        self.run_in_pool(|| self.matrix.matvec_into(x, y))
+        self.run_in_pool(|| match &self.store {
+            Store::Full(m) => m.matvec_into(x, y),
+            Store::Compact(c) => c.matvec_into(x, y),
+        })
     }
 
     /// `y = A^H x` in `O(N log N)`.
     pub fn matvec_adjoint(&self, x: &[T]) -> Vec<T> {
-        self.run_in_pool(|| self.matrix.matvec_adjoint(x))
+        let mut y = vec![T::zero(); self.n()];
+        self.matvec_adjoint_into(x, &mut y);
+        y
     }
 
     /// `y = A^H x` into a caller-owned buffer (no per-call allocation).
     pub fn matvec_adjoint_into(&self, x: &[T], y: &mut [T]) {
-        self.run_in_pool(|| self.matrix.matvec_adjoint_into(x, y))
+        self.run_in_pool(|| match &self.store {
+            Store::Full(m) => m.matvec_adjoint_into(x, y),
+            Store::Compact(c) => c.matvec_adjoint_into(x, y),
+        })
     }
 
     /// `Y = A X` for a block of vectors.
     pub fn matmat(&self, x: &DenseMatrix<T>) -> DenseMatrix<T> {
-        self.run_in_pool(|| self.matrix.matmat(x))
+        self.run_in_pool(|| match &self.store {
+            Store::Full(m) => m.matmat(x),
+            Store::Compact(c) => {
+                assert_eq!(x.rows(), c.n(), "matmat: block has the wrong row count");
+                let mut y = DenseMatrix::zeros(c.n(), x.cols());
+                for j in 0..x.cols() {
+                    c.matvec_into(x.col(j), y.col_mut(j));
+                }
+                y
+            }
+        })
     }
 
     /// Relative residual `||b - A x|| / ||b||` of a candidate solution.
     pub fn relative_residual(&self, x: &[T], b: &[T]) -> T::Real {
-        self.run_in_pool(|| self.matrix.relative_residual(x, b))
+        self.run_in_pool(|| match &self.store {
+            Store::Full(m) => m.relative_residual(x, b),
+            Store::Compact(c) => {
+                let mut ax = vec![T::zero(); c.n()];
+                c.matvec_into(x, &mut ax);
+                let mut diff = T::Real::zero();
+                let mut bnorm = T::Real::zero();
+                for i in 0..b.len() {
+                    diff += (b[i] - ax[i]).abs_sqr();
+                    bnorm += b[i].abs_sqr();
+                }
+                norms::relative_residual(diff.sqrt_real(), bnorm.sqrt_real())
+            }
+        })
     }
 
     /// Hager/Higham estimate of `‖A‖₁` (a handful of `O(N log N)`
     /// matvec/adjoint-matvec pairs) — the operator-norm side of the
     /// verification layer's scaled residual.
     pub fn norm1_est(&self) -> f64 {
-        self.run_in_pool(|| self.matrix.norm1_est())
+        self.run_in_pool(|| match &self.store {
+            Store::Full(m) => m.norm1_est(),
+            Store::Compact(c) => c.norm1_est(),
+        })
     }
 
     /// Verify a candidate solution `x` of `A x = b` against this operator
@@ -508,8 +725,15 @@ impl<T: Scalar> Hodlr<T> {
         cfg: &crate::VerifyConfig,
     ) -> crate::SolveVerdict {
         self.run_in_pool(|| {
-            let norm1 = self.matrix.norm1_est();
-            let ax = self.matrix.matvec(x);
+            let norm1 = match &self.store {
+                Store::Full(m) => m.norm1_est(),
+                Store::Compact(c) => c.norm1_est(),
+            };
+            let mut ax = vec![T::zero(); self.n()];
+            match &self.store {
+                Store::Full(m) => m.matvec_into(x, &mut ax),
+                Store::Compact(c) => c.matvec_into(x, &mut ax),
+            }
             let residual = crate::scaled_residual(&ax, x, b, norm1);
             solver.verify_solution(x, residual, norm1, cfg)
         })
@@ -550,25 +774,35 @@ impl<T: Scalar> LinearOperator<T> for Hodlr<T> {
 }
 
 impl<T: SolveScalar> Factorize<T> for Hodlr<T> {
-    /// Factorize with the configured backend and precision policy.
+    /// Factorize with the configured backend and precision policy.  A
+    /// compact store always factorizes its lower-precision representation
+    /// and refines against the promoted operator, whatever the
+    /// [`Precision`] setting.
     fn factorize(&self) -> Result<Factorization<'_, T>, HodlrError> {
         let symmetric = self.symmetry.is_symmetric();
-        let inner: Box<dyn crate::Solve<T> + Send + Sync + '_> =
-            match (self.precision, self.backend) {
+        let inner: Box<dyn crate::Solve<T> + Send + Sync + '_> = match &self.store {
+            Store::Compact(c) => self.run_in_pool(|| {
+                c.factorize(
+                    &self.device,
+                    self.backend,
+                    self.refine_tol,
+                    self.refine_max_iters,
+                )
+            })?,
+            Store::Full(matrix) => match (self.precision, self.backend) {
                 (Precision::Full, Backend::Serial) if symmetric => {
-                    Box::new(self.run_in_pool(|| self.matrix.factorize_symmetric(self.symmetry))?)
+                    Box::new(self.run_in_pool(|| matrix.factorize_symmetric(self.symmetry))?)
                 }
                 (Precision::Full, Backend::Serial) => {
-                    Box::new(self.run_in_pool(|| self.matrix.factorize_serial())?)
+                    Box::new(self.run_in_pool(|| matrix.factorize_serial())?)
                 }
                 (Precision::Full, Backend::Batched) if symmetric => {
-                    let mut solver =
-                        GpuSymmetricSolver::new(&self.device, &self.matrix, self.symmetry)?;
+                    let mut solver = GpuSymmetricSolver::new(&self.device, matrix, self.symmetry)?;
                     self.run_in_pool(|| solver.factorize())?;
                     Box::new(solver)
                 }
                 (Precision::Full, Backend::Batched) => {
-                    let mut solver = GpuSolver::new(&self.device, &self.matrix);
+                    let mut solver = GpuSolver::new(&self.device, matrix);
                     self.run_in_pool(|| solver.factorize())?;
                     Box::new(solver)
                 }
@@ -578,7 +812,8 @@ impl<T: SolveScalar> Factorize<T> for Hodlr<T> {
                     ));
                 }
                 (Precision::MixedRefine, _) => self.run_in_pool(|| T::mixed_factorization(self))?,
-            };
+            },
+        };
         Ok(Factorization {
             inner,
             backend: self.backend,

@@ -188,6 +188,6 @@ impl<T: SolveScalar> Hodlr<T> {
     /// # Errors
     /// Factorization errors propagate (see [`Factorize::factorize`]).
     pub fn iterative(&self, method: KrylovMethod) -> Result<IterativeSolver<'_, T>, HodlrError> {
-        IterativeSolver::new(self.matrix(), self.factorize()?, method)
+        IterativeSolver::new(self, self.factorize()?, method)
     }
 }

@@ -53,12 +53,13 @@
 //! ```
 
 pub mod build;
+mod compact;
 pub mod iterative;
 pub mod scalar;
 pub mod solve;
 pub mod verify;
 
-pub use build::{Backend, Hodlr, HodlrBuilder, Precision, TreePolicy};
+pub use build::{Backend, FactorPrecision, Hodlr, HodlrBuilder, Precision, TreePolicy};
 pub use iterative::{IterativeSolver, KrylovMethod};
 pub use scalar::SolveScalar;
 pub use solve::{Factorization, Factorize, Solve};
@@ -78,7 +79,7 @@ pub use hodlr_la::HodlrError;
 /// assert!((a.matvec(&x)[0] - 1.0).abs() < 1e-12);
 /// ```
 pub mod prelude {
-    pub use crate::build::{Backend, Hodlr, HodlrBuilder, Precision, TreePolicy};
+    pub use crate::build::{Backend, FactorPrecision, Hodlr, HodlrBuilder, Precision, TreePolicy};
     pub use crate::iterative::{IterativeSolver, KrylovMethod};
     pub use crate::scalar::SolveScalar;
     pub use crate::solve::{Factorization, Factorize, Solve};

@@ -1,21 +1,28 @@
 //! The sealed [`SolveScalar`] extension trait: per-scalar dispatch of the
-//! [`Precision::MixedRefine`](crate::Precision) policy.
+//! [`Precision::MixedRefine`](crate::Precision) policy and of the
+//! [`FactorPrecision::CompactLower`](crate::FactorPrecision) storage mode.
 //!
 //! Mixed-precision refinement factorizes the HODLR approximation in the
 //! *companion lower precision* (`f64 -> f32`, `Complex64 -> Complex32`) and
 //! recovers working-precision accuracy by iterative refinement.  The demoted
 //! factorization itself runs on whichever [`Backend`] the
 //! builder selected, so `Backend::Batched` + `Precision::MixedRefine`
-//! demotes, uploads and factorizes on the virtual device in `f32`.  For the
-//! scalars that *are* the lower precision (`f32`, `Complex32`) the policy is
-//! rejected with a typed error instead of a compile failure, keeping
-//! [`Hodlr`] generic over every [`Scalar`].
+//! demotes, uploads and factorizes on the virtual device in `f32`.  Compact
+//! storage goes one step further: the representation is *built* in the
+//! lower precision (the working-precision matrix never exists) and the
+//! refinement residuals come from the promoted operator instead.  For the
+//! scalars that *are* the lower precision (`f32`, `Complex32`) both
+//! policies are rejected with a typed error instead of a compile failure,
+//! keeping [`Hodlr`] generic over every [`Scalar`].
 
 use crate::build::{Backend, Hodlr};
+use crate::compact::{build_compact_store, CompactConfig, CompactOps};
 use crate::solve::Solve;
-use hodlr_core::GpuSolver;
+use hodlr_compress::MatrixEntrySource;
+use hodlr_core::{BuildOptions, GpuSolver};
 use hodlr_la::{Complex32, Complex64, DenseMatrix, HodlrError, RealScalar, Scalar};
 use hodlr_solver::{demote_hodlr, iterative_refinement, DemoteScalar, LinearOperator};
+use hodlr_tree::ClusterTree;
 
 mod sealed {
     pub trait Sealed {}
@@ -28,8 +35,9 @@ mod sealed {
 /// A [`Scalar`] the façade can factorize under every precision policy.
 ///
 /// Sealed: implemented for exactly `f32`, `f64`, `Complex32` and
-/// `Complex64`.  The single method is an implementation detail of
-/// [`Factorize`](crate::Factorize) for [`Hodlr`].
+/// `Complex64`.  The methods are implementation details of
+/// [`Factorize`](crate::Factorize) for [`Hodlr`] and of
+/// [`HodlrBuilder::build`](crate::HodlrBuilder::build).
 pub trait SolveScalar: Scalar + sealed::Sealed {
     /// Build the mixed-precision solver for `hodlr`, or explain why the
     /// scalar cannot be demoted.
@@ -37,6 +45,16 @@ pub trait SolveScalar: Scalar + sealed::Sealed {
     fn mixed_factorization(
         hodlr: &Hodlr<Self>,
     ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError>;
+
+    /// Compress `source` straight into compact lower-precision storage, or
+    /// explain why the scalar cannot be demoted.
+    #[doc(hidden)]
+    fn build_compact(
+        source: &(dyn MatrixEntrySource<Self> + '_),
+        tree: ClusterTree,
+        config: &CompactConfig,
+        options: BuildOptions<'_>,
+    ) -> Result<Box<dyn CompactOps<Self>>, HodlrError>;
 }
 
 impl SolveScalar for f64 {
@@ -44,6 +62,15 @@ impl SolveScalar for f64 {
         hodlr: &Hodlr<Self>,
     ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError> {
         mixed_factorization_impl(hodlr)
+    }
+
+    fn build_compact(
+        source: &(dyn MatrixEntrySource<Self> + '_),
+        tree: ClusterTree,
+        config: &CompactConfig,
+        options: BuildOptions<'_>,
+    ) -> Result<Box<dyn CompactOps<Self>>, HodlrError> {
+        build_compact_store(source, tree, config, options)
     }
 }
 
@@ -53,6 +80,15 @@ impl SolveScalar for Complex64 {
     ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError> {
         mixed_factorization_impl(hodlr)
     }
+
+    fn build_compact(
+        source: &(dyn MatrixEntrySource<Self> + '_),
+        tree: ClusterTree,
+        config: &CompactConfig,
+        options: BuildOptions<'_>,
+    ) -> Result<Box<dyn CompactOps<Self>>, HodlrError> {
+        build_compact_store(source, tree, config, options)
+    }
 }
 
 impl SolveScalar for f32 {
@@ -61,6 +97,18 @@ impl SolveScalar for f32 {
     ) -> Result<Box<dyn Solve<Self> + Send + Sync + '_>, HodlrError> {
         Err(HodlrError::config(
             "Precision::MixedRefine requires a double-precision scalar (f64 or \
+             Complex64); f32 has no lower companion precision",
+        ))
+    }
+
+    fn build_compact(
+        _: &(dyn MatrixEntrySource<Self> + '_),
+        _: ClusterTree,
+        _: &CompactConfig,
+        _: BuildOptions<'_>,
+    ) -> Result<Box<dyn CompactOps<Self>>, HodlrError> {
+        Err(HodlrError::config(
+            "FactorPrecision::CompactLower requires a double-precision scalar (f64 or \
              Complex64); f32 has no lower companion precision",
         ))
     }
@@ -75,6 +123,18 @@ impl SolveScalar for Complex32 {
              Complex64); Complex32 has no lower companion precision",
         ))
     }
+
+    fn build_compact(
+        _: &(dyn MatrixEntrySource<Self> + '_),
+        _: ClusterTree,
+        _: &CompactConfig,
+        _: BuildOptions<'_>,
+    ) -> Result<Box<dyn CompactOps<Self>>, HodlrError> {
+        Err(HodlrError::config(
+            "FactorPrecision::CompactLower requires a double-precision scalar (f64 or \
+             Complex64); Complex32 has no lower companion precision",
+        ))
+    }
 }
 
 /// Demote, factorize with the configured backend, and wrap in the
@@ -85,7 +145,13 @@ fn mixed_factorization_impl<T>(
 where
     T: DemoteScalar + SolveScalar,
 {
-    let demoted = demote_hodlr(hodlr.matrix());
+    let matrix = hodlr.matrix().ok_or_else(|| {
+        HodlrError::config(
+            "Precision::MixedRefine demotes the working-precision matrix; a compact \
+             store is already lower-precision and factorizes with refinement directly",
+        )
+    })?;
+    let demoted = demote_hodlr(matrix);
     let inner: Box<dyn Solve<T::Lower> + Send + Sync + '_> = match hodlr.backend() {
         Backend::Serial => Box::new(demoted.factorize_serial()?),
         Backend::Batched => {
@@ -94,22 +160,28 @@ where
             Box::new(solver)
         }
     };
-    Ok(Box::new(MixedSolver {
-        hodlr,
+    Ok(Box::new(RefinedSolver {
+        op: matrix,
         inner,
         tol: hodlr.refine_tol(),
         max_iters: hodlr.refine_max_iters(),
+        context: "mixed-precision iterative refinement",
     }))
 }
 
-/// The [`Precision::MixedRefine`](crate::Precision) backend: a
-/// lower-precision factorization (serial or batched) plus working-precision
-/// iterative refinement to the configured tolerance.
-struct MixedSolver<'m, T: DemoteScalar> {
-    hodlr: &'m Hodlr<T>,
-    inner: Box<dyn Solve<T::Lower> + Send + Sync + 'm>,
-    tol: f64,
-    max_iters: usize,
+/// A lower-precision factorization plus working-precision iterative
+/// refinement to the configured tolerance — the solver behind both
+/// [`Precision::MixedRefine`](crate::Precision) (residuals from the
+/// working-precision matrix) and
+/// [`FactorPrecision::CompactLower`](crate::FactorPrecision) (residuals
+/// from the promoted compact operator).
+pub(crate) struct RefinedSolver<'m, T: DemoteScalar, A: LinearOperator<T> + Send + Sync> {
+    /// The working-precision residual operator.
+    pub(crate) op: A,
+    pub(crate) inner: Box<dyn Solve<T::Lower> + Send + Sync + 'm>,
+    pub(crate) tol: f64,
+    pub(crate) max_iters: usize,
+    pub(crate) context: &'static str,
 }
 
 /// The lower-precision factorization exposed as a working-precision
@@ -136,9 +208,9 @@ impl<T: DemoteScalar> LinearOperator<T> for DemotedPrecondOp<'_, T> {
     }
 }
 
-impl<T: DemoteScalar> Solve<T> for MixedSolver<'_, T> {
+impl<T: DemoteScalar, A: LinearOperator<T> + Send + Sync> Solve<T> for RefinedSolver<'_, T, A> {
     fn dim(&self) -> usize {
-        self.hodlr.n()
+        self.op.dim()
     }
 
     fn solve_in_place(&self, x: &mut [T]) -> Result<(), HodlrError> {
@@ -147,7 +219,7 @@ impl<T: DemoteScalar> Solve<T> for MixedSolver<'_, T> {
             inner: self.inner.as_ref(),
         };
         let out = iterative_refinement(
-            self.hodlr.matrix(),
+            &self.op,
             &m,
             x,
             hodlr_solver::RefinementOptions {
@@ -164,7 +236,7 @@ impl<T: DemoteScalar> Solve<T> for MixedSolver<'_, T> {
             return Err(HodlrError::NonConvergence {
                 iterations: out.iterations,
                 relative_residual: out.relative_residual,
-                context: "mixed-precision iterative refinement".to_string(),
+                context: self.context.to_string(),
             });
         }
         Ok(())

@@ -138,7 +138,7 @@ mod tests {
         // rank.
         let mut rng = StdRng::seed_from_u64(5);
         let cloud = uniform_cube_points(&mut rng, 256, 3);
-        let part = partition_points(&cloud, 32);
+        let part = partition_points(&cloud, 32).unwrap();
         let src =
             ScalarKernelSource::with_shift(GaussianKernel { length_scale: 3.0 }, &part.points, 1.0);
         // Compress the level-1 off-diagonal block (first half vs second half).

@@ -1,0 +1,81 @@
+//! [`DemoteScalar`] — scalars with a companion lower-precision format.
+//!
+//! `f64 -> f32` and `Complex64 -> Complex32`: half the memory and flop
+//! width.  This lives at the bottom of the dependency graph so that both
+//! the mixed-precision refinement machinery (`hodlr-solver`) and the
+//! compact-storage build path (`hodlr-core`) can share one definition.
+
+use crate::dense::DenseMatrix;
+use crate::scalar::Scalar;
+use crate::{Complex32, Complex64};
+
+/// A scalar with a companion lower-precision format (`f64 -> f32`,
+/// `Complex64 -> Complex32`).
+pub trait DemoteScalar: Scalar {
+    /// The lower-precision companion type.
+    type Lower: Scalar;
+
+    /// Round to the lower precision.
+    fn demote(self) -> Self::Lower;
+    /// Embed the lower-precision value back (exact).
+    fn promote(lower: Self::Lower) -> Self;
+}
+
+impl DemoteScalar for f64 {
+    type Lower = f32;
+
+    fn demote(self) -> f32 {
+        self as f32
+    }
+    fn promote(lower: f32) -> f64 {
+        lower as f64
+    }
+}
+
+impl DemoteScalar for Complex64 {
+    type Lower = Complex32;
+
+    fn demote(self) -> Complex32 {
+        Complex32::new(self.re as f32, self.im as f32)
+    }
+    fn promote(lower: Complex32) -> Complex64 {
+        Complex64::new(lower.re as f64, lower.im as f64)
+    }
+}
+
+/// Round every entry of a dense matrix to the lower precision.
+pub fn demote_dense<T: DemoteScalar>(a: &DenseMatrix<T>) -> DenseMatrix<T::Lower> {
+    DenseMatrix::from_col_major(
+        a.rows(),
+        a.cols(),
+        a.data().iter().map(|&x| x.demote()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demote_promote_round_trips_representable_values() {
+        let x = 1.5f64;
+        assert_eq!(f64::promote(x.demote()), 1.5);
+        let z = Complex64::new(0.25, -2.0);
+        let back = Complex64::promote(z.demote());
+        assert_eq!(back.re, 0.25);
+        assert_eq!(back.im, -2.0);
+    }
+
+    #[test]
+    fn demote_dense_rounds_every_entry() {
+        let a = DenseMatrix::<f64>::from_fn(3, 2, |i, j| 1.0 + (i + 10 * j) as f64 * 1e-9);
+        let lo = demote_dense(&a);
+        assert_eq!(lo.rows(), 3);
+        assert_eq!(lo.cols(), 2);
+        for j in 0..2 {
+            for i in 0..3 {
+                assert_eq!(lo[(i, j)], a[(i, j)] as f32);
+            }
+        }
+    }
+}

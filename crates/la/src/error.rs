@@ -74,6 +74,18 @@ pub enum HodlrError {
         /// Human-readable description of the offending setting.
         message: String,
     },
+    /// A memory-budgeted build needed more bytes than the caller allowed.
+    /// `context` names the level or block whose allocation crossed the
+    /// budget, so the caller knows where assembly stopped.
+    BudgetExceeded {
+        /// The caller's budget in bytes.
+        budget_bytes: u64,
+        /// Live bytes the build had reached when it gave up.
+        needed_bytes: u64,
+        /// The level or block that blew the budget (e.g. `"off-diagonal
+        /// factors at level 3"`, `"leaf diagonal blocks"`).
+        context: String,
+    },
     /// A device kernel launch failed (in this virtual device, only an armed
     /// fault-injection plan produces these; on real hardware this is the
     /// typed face of an asynchronous launch failure).
@@ -165,6 +177,15 @@ impl fmt::Display for HodlrError {
                 write!(f, "{context} is not positive definite")
             }
             HodlrError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            HodlrError::BudgetExceeded {
+                budget_bytes,
+                needed_bytes,
+                context,
+            } => write!(
+                f,
+                "memory budget exceeded while building {context}: needed {needed_bytes} \
+                 bytes against a budget of {budget_bytes}"
+            ),
             HodlrError::DeviceFault {
                 context,
                 kernel,

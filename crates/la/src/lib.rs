@@ -25,10 +25,12 @@ pub mod blas;
 pub mod cholesky;
 pub mod complex;
 pub mod condition;
+pub mod demote;
 pub mod dense;
 pub mod error;
 pub mod evd;
 pub mod lu;
+pub mod meter;
 pub mod norms;
 pub mod qr;
 pub mod random;
@@ -44,10 +46,12 @@ pub use cholesky::{
 };
 pub use complex::Complex;
 pub use condition::one_norm_est;
+pub use demote::{demote_dense, DemoteScalar};
 pub use dense::{DenseMatrix, MatMut, MatRef};
 pub use error::HodlrError;
 pub use evd::{steqr, symmetric_evd, tridiagonalize, SymmetricEvd, Tridiagonal};
 pub use lu::{log_det_from_parts, LuFactor};
+pub use meter::AllocMeter;
 pub use scalar::{RealScalar, Scalar};
 
 /// Single-precision complex number.

@@ -1,0 +1,133 @@
+//! [`AllocMeter`] — live/peak byte accounting for streaming assembly.
+//!
+//! The HODLR builder's claim to fame is that it never materialises an
+//! `O(N^2)` block, so the workspace needs *measured* evidence of what it
+//! does allocate.  `AllocMeter` is that evidence: a pair of atomic
+//! counters (live bytes, peak bytes) threaded through the compression
+//! kernels and the level-by-level builder, in the same spirit as the
+//! launch/flop counters of the virtual batched device (`hodlr-batch`).
+//! Recording is wait-free and safe to share across the rayon pool, so the
+//! parallel per-level compression sweeps meter their scratch without
+//! serialising on a lock.
+//!
+//! The meter *observes*; it never fails.  Budget enforcement lives in the
+//! builder, which compares [`AllocMeter::live_bytes`] against the caller's
+//! budget between levels and surfaces a typed
+//! [`BudgetExceeded`](crate::HodlrError::BudgetExceeded) naming the level
+//! or block that blew it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic live/peak byte counters for streaming assembly.
+///
+/// `record_alloc`/`record_free` bracket the lifetime of every sizable
+/// buffer a metered code path owns (compression scratch, per-block
+/// factors, leaf blocks, the flattened `Ubig`/`Vbig`).  `peak_bytes` is
+/// the high-water mark of the live count — a *measured* peak, not an
+/// estimate.
+#[derive(Debug, Default)]
+pub struct AllocMeter {
+    live: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl AllocMeter {
+    /// A meter with both counters at zero.
+    pub fn new() -> Self {
+        AllocMeter::default()
+    }
+
+    /// Record an allocation of `bytes`, advancing the peak if the live
+    /// count crosses it.
+    pub fn record_alloc(&self, bytes: u64) {
+        let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Record a free of `bytes` (saturating: a mismatched free clamps the
+    /// live count at zero instead of wrapping).
+    pub fn record_free(&self, bytes: u64) {
+        let mut cur = self.live.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self
+                .live
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Bytes currently recorded as live.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the live count since construction (or the last
+    /// [`reset`](AllocMeter::reset)).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Zero both counters.
+    pub fn reset(&self) {
+        self.live.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_the_high_water_mark() {
+        let m = AllocMeter::new();
+        m.record_alloc(100);
+        m.record_alloc(50);
+        m.record_free(120);
+        m.record_alloc(10);
+        assert_eq!(m.live_bytes(), 40);
+        assert_eq!(m.peak_bytes(), 150);
+    }
+
+    #[test]
+    fn free_saturates_instead_of_wrapping() {
+        let m = AllocMeter::new();
+        m.record_alloc(10);
+        m.record_free(100);
+        assert_eq!(m.live_bytes(), 0);
+        m.record_alloc(5);
+        assert_eq!(m.live_bytes(), 5);
+        assert_eq!(m.peak_bytes(), 10);
+    }
+
+    #[test]
+    fn reset_zeroes_both_counters() {
+        let m = AllocMeter::new();
+        m.record_alloc(7);
+        m.reset();
+        assert_eq!(m.live_bytes(), 0);
+        assert_eq!(m.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let m = AllocMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.record_alloc(3);
+                        m.record_free(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.live_bytes(), 0);
+        assert!(m.peak_bytes() >= 3);
+        assert!(m.peak_bytes() <= 12);
+    }
+}

@@ -85,7 +85,7 @@ impl<T: SolveScalar> CachedFactorization<T> {
                 return Err(e);
             }
         };
-        let bytes = factorization.factor_bytes() + borrowed.matrix().storage_bytes();
+        let bytes = factorization.factor_bytes() + borrowed.storage_bytes();
         Ok(CachedFactorization {
             factorization: ManuallyDrop::new(factorization),
             hodlr,

@@ -536,7 +536,7 @@ impl<T: SolveScalar> SolveService<T> {
                         xs.col_mut(c)
                             .copy_from_slice(initial[i].as_ref().expect("filtered Ok"));
                     }
-                    let ax = entry.hodlr().matrix().matmat(&xs);
+                    let ax = entry.hodlr().matmat(&xs);
                     for (c, &i) in finite_idx.iter().enumerate() {
                         let x = xs.col(c);
                         let residual =
@@ -819,9 +819,8 @@ impl<T: SolveScalar> SolveService<T> {
             .max_iters(200)
             .tol(self.degrade.residual_threshold.clamp(1e-12, 1e-2));
         let device = entry.hodlr().device();
-        let (result, metered) = device.meter(|| {
-            gmres.solve_preconditioned(entry.hodlr().matrix(), &FactorPrecond(entry.solver()), b)
-        });
+        let (result, metered) = device
+            .meter(|| gmres.solve_preconditioned(entry.hodlr(), &FactorPrecond(entry.solver()), b));
         if entry.solver().backend() == Backend::Batched {
             out.launches += metered.kernel_launches;
             out.flops += metered.flops;

@@ -11,49 +11,11 @@ use crate::refine::{iterative_refinement, RefinementOptions};
 use crate::report::IterativeSolution;
 use hodlr_batch::Device;
 use hodlr_core::{ComplexityReport, GpuSolver, HodlrMatrix, SerialFactorization};
-use hodlr_la::{Complex32, Complex64, DenseMatrix, HodlrError, Scalar};
-
-/// A scalar with a companion lower-precision format (`f64 -> f32`,
-/// `Complex64 -> Complex32`).
-pub trait DemoteScalar: Scalar {
-    /// The lower-precision companion type.
-    type Lower: Scalar;
-
-    /// Round to the lower precision.
-    fn demote(self) -> Self::Lower;
-    /// Embed the lower-precision value back (exact).
-    fn promote(lower: Self::Lower) -> Self;
-}
-
-impl DemoteScalar for f64 {
-    type Lower = f32;
-
-    fn demote(self) -> f32 {
-        self as f32
-    }
-    fn promote(lower: f32) -> f64 {
-        lower as f64
-    }
-}
-
-impl DemoteScalar for Complex64 {
-    type Lower = Complex32;
-
-    fn demote(self) -> Complex32 {
-        Complex32::new(self.re as f32, self.im as f32)
-    }
-    fn promote(lower: Complex32) -> Complex64 {
-        Complex64::new(lower.re as f64, lower.im as f64)
-    }
-}
-
-fn demote_dense<T: DemoteScalar>(a: &DenseMatrix<T>) -> DenseMatrix<T::Lower> {
-    DenseMatrix::from_col_major(
-        a.rows(),
-        a.cols(),
-        a.data().iter().map(|&x| x.demote()).collect(),
-    )
-}
+use hodlr_la::{HodlrError, Scalar};
+// The demotion vocabulary lives in `hodlr-la` (the bottom of the
+// dependency graph) so the compact-storage build path in `hodlr-core` can
+// share it; re-exported here for backwards compatibility.
+pub use hodlr_la::{demote_dense, DemoteScalar};
 
 /// Round every stored entry of a HODLR matrix to the lower precision,
 /// preserving the tree, layout and rank bookkeeping.

@@ -9,6 +9,7 @@
 //! median of the widest coordinate).
 
 use crate::tree::ClusterTree;
+use hodlr_la::HodlrError;
 use std::ops::Range;
 
 /// A set of `len` points in `dim` dimensions, stored point-major
@@ -74,10 +75,64 @@ impl PointCloud {
     }
 
     /// Minimum pairwise distance (used by the RPY benchmark, where the
-    /// particle radius is set to half the minimum distance).  Quadratic in
-    /// the number of points over small subsamples; for large clouds the
-    /// caller should pass a subsample.
+    /// particle radius is set to half the minimum distance).
+    ///
+    /// Computed by a sorted-axis sweep: points are ordered along the widest
+    /// coordinate and each inner scan stops as soon as the separation along
+    /// that single axis already reaches the best distance seen — for
+    /// spatially spread clouds this visits `O(k)` neighbours per point
+    /// instead of all `n`.  The answer is the minimum of exactly the same
+    /// pairwise distances as the plain double loop, so it is bitwise
+    /// identical to it.
     pub fn min_distance(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return f64::INFINITY;
+        }
+        if !self.coords.iter().all(|c| c.is_finite()) {
+            // Non-finite coordinates break the sortedness argument of the
+            // sweep; fall back to the exhaustive scan.
+            return self.min_distance_exhaustive();
+        }
+        let idx_all: Vec<usize> = (0..n).collect();
+        let (lo, hi) = self.bounding_box(&idx_all);
+        let axis = (0..self.dim)
+            .max_by(|&a, &b| {
+                (hi[a] - lo[a])
+                    .partial_cmp(&(hi[b] - lo[b]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0);
+        let mut order = idx_all;
+        order.sort_by(|&a, &b| {
+            self.point(a)[axis]
+                .partial_cmp(&self.point(b)[axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut best = f64::INFINITY;
+        for i in 0..n {
+            let xi = self.point(order[i])[axis];
+            for &oj in &order[(i + 1)..] {
+                let dx = self.point(oj)[axis] - xi;
+                // Along the sorted axis dx only grows with j, and the full
+                // distance is at least |dx|: nothing further right can
+                // still beat `best`.
+                if dx * dx >= best * best {
+                    break;
+                }
+                let d = self.distance(order[i], oj);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// The plain `O(n^2)` double loop behind [`PointCloud::min_distance`];
+    /// kept as the fallback for non-finite coordinates and as the test
+    /// oracle for the sweep.
+    fn min_distance_exhaustive(&self) -> f64 {
         let n = self.len();
         let mut best = f64::INFINITY;
         for i in 0..n {
@@ -93,13 +148,29 @@ impl PointCloud {
 
     /// Reorder the points by `perm` (`perm[new] = old`), returning a new
     /// cloud.
-    pub fn permuted(&self, perm: &[usize]) -> PointCloud {
-        assert_eq!(perm.len(), self.len());
+    ///
+    /// # Errors
+    /// [`HodlrError::InvalidConfig`] when `perm` does not have one entry
+    /// per point or names a point index out of range.
+    pub fn permuted(&self, perm: &[usize]) -> Result<PointCloud, HodlrError> {
+        if perm.len() != self.len() {
+            return Err(HodlrError::config(format!(
+                "permutation has {} entries for a cloud of {} points",
+                perm.len(),
+                self.len()
+            )));
+        }
         let mut coords = Vec::with_capacity(self.coords.len());
         for &old in perm {
+            if old >= self.len() {
+                return Err(HodlrError::config(format!(
+                    "permutation names point {old} of a cloud of {} points",
+                    self.len()
+                )));
+            }
             coords.extend_from_slice(self.point(old));
         }
-        PointCloud::new(self.dim, coords)
+        Ok(PointCloud::new(self.dim, coords))
     }
 
     /// Bounding-box extents `(min, max)` per coordinate of a subset of
@@ -140,11 +211,16 @@ pub struct PointPartition {
 /// bisection with `levels` levels chosen so that every leaf holds at least
 /// `min_leaf_size` points.
 ///
-/// # Panics
-/// Panics if the cloud is empty.
-pub fn partition_points(cloud: &PointCloud, min_leaf_size: usize) -> PointPartition {
+/// # Errors
+/// [`HodlrError::InvalidConfig`] for an empty point cloud.
+pub fn partition_points(
+    cloud: &PointCloud,
+    min_leaf_size: usize,
+) -> Result<PointPartition, HodlrError> {
     let n = cloud.len();
-    assert!(n > 0, "cannot partition an empty point cloud");
+    if n == 0 {
+        return Err(HodlrError::config("cannot partition an empty point cloud"));
+    }
     let min_leaf = min_leaf_size.max(1);
     let mut levels = 0usize;
     while n >> (levels + 1) >= min_leaf && (1usize << (levels + 1)) <= n {
@@ -189,8 +265,8 @@ pub fn partition_points(cloud: &PointCloud, min_leaf_size: usize) -> PointPartit
     }
 
     let tree = ClusterTree::from_ranges(n, levels, ranges);
-    let points = cloud.permuted(&perm);
-    PointPartition { tree, perm, points }
+    let points = cloud.permuted(&perm)?;
+    Ok(PointPartition { tree, perm, points })
 }
 
 /// Generate `n` points distributed uniformly in the cube `[-1, 1]^dim`
@@ -221,7 +297,7 @@ mod tests {
     #[test]
     fn permuted_reorders_points() {
         let cloud = PointCloud::from_points(&[[1.0], [2.0], [3.0]]);
-        let p = cloud.permuted(&[2, 0, 1]);
+        let p = cloud.permuted(&[2, 0, 1]).unwrap();
         assert_eq!(p.point(0), &[3.0]);
         assert_eq!(p.point(1), &[1.0]);
         assert_eq!(p.point(2), &[2.0]);
@@ -231,7 +307,7 @@ mod tests {
     fn partition_produces_valid_tree_and_permutation() {
         let mut rng = StdRng::seed_from_u64(42);
         let cloud = uniform_cube_points(&mut rng, 500, 3);
-        let part = partition_points(&cloud, 32);
+        let part = partition_points(&cloud, 32).unwrap();
         part.tree.check_invariants().unwrap();
         assert!(part.tree.leaves().all(|id| part.tree.node_size(id) >= 32));
         // perm is a permutation of 0..n.
@@ -256,7 +332,7 @@ mod tests {
             pts.push([10.0 + 0.01 * i as f64, 0.0]);
         }
         let cloud = PointCloud::from_points(&pts);
-        let part = partition_points(&cloud, 10);
+        let part = partition_points(&cloud, 10).unwrap();
         let left = part.tree.range(2);
         let originals: Vec<usize> = left.map(|i| part.perm[i]).collect();
         assert!(originals.iter().all(|&o| o < 40) || originals.iter().all(|&o| o >= 40));
@@ -265,7 +341,7 @@ mod tests {
     #[test]
     fn single_point_cloud() {
         let cloud = PointCloud::from_points(&[[0.5, 0.5]]);
-        let part = partition_points(&cloud, 16);
+        let part = partition_points(&cloud, 16).unwrap();
         assert_eq!(part.tree.levels(), 0);
         assert_eq!(part.perm, vec![0]);
     }
@@ -276,12 +352,88 @@ mod tests {
         let _ = PointCloud::new(3, vec![1.0, 2.0]);
     }
 
+    #[test]
+    fn invalid_permutations_are_typed_errors() {
+        let cloud = PointCloud::from_points(&[[1.0], [2.0], [3.0]]);
+        assert!(matches!(
+            cloud.permuted(&[0, 1]),
+            Err(HodlrError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            cloud.permuted(&[0, 1, 7]),
+            Err(HodlrError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_cloud_partition_is_a_typed_error() {
+        let empty = PointCloud::new(2, vec![]);
+        assert!(matches!(
+            partition_points(&empty, 8),
+            Err(HodlrError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_balances_leaves_in_2d_and_3d() {
+        for dim in [2usize, 3] {
+            let mut rng = StdRng::seed_from_u64(7 + dim as u64);
+            let cloud = uniform_cube_points(&mut rng, 1000, dim);
+            let part = partition_points(&cloud, 32).unwrap();
+            assert!(part.tree.levels() >= 3, "dim {dim}: tree too shallow");
+            let sizes: Vec<usize> = part
+                .tree
+                .leaves()
+                .map(|id| part.tree.node_size(id))
+                .collect();
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            // Median splits keep every leaf within one point of its
+            // sibling, so globally leaves differ by at most the number of
+            // levels.
+            assert!(
+                max - min <= part.tree.levels(),
+                "dim {dim}: leaf sizes {min}..{max}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_still_split_on_the_widest_axis() {
+        // All points share x; the spread lives on y.  The split must pick
+        // y (the widest axis) and still produce a balanced partition.
+        let pts: Vec<[f64; 2]> = (0..64).map(|i| [5.0, i as f64]).collect();
+        let cloud = PointCloud::from_points(&pts);
+        let part = partition_points(&cloud, 16).unwrap();
+        assert!(part.tree.levels() >= 1);
+        let left: Vec<usize> = part.tree.range(2).map(|i| part.perm[i]).collect();
+        let right: Vec<usize> = part.tree.range(3).map(|i| part.perm[i]).collect();
+        // The split separates low-y from high-y points.
+        let left_max = left.iter().map(|&o| pts[o][1]).fold(f64::MIN, f64::max);
+        let right_min = right.iter().map(|&o| pts[o][1]).fold(f64::MAX, f64::min);
+        assert!(left_max <= right_min);
+        // A fully degenerate cloud (every point identical) still
+        // partitions without panicking.
+        let same = PointCloud::from_points(&[[1.0, 2.0]; 50]);
+        let part = partition_points(&same, 8).unwrap();
+        part.tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn min_distance_handles_non_finite_coordinates() {
+        let cloud = PointCloud::from_points(&[[0.0, 0.0], [f64::NAN, 1.0], [0.0, 3.0]]);
+        // The sweep falls back to the exhaustive scan; the finite pair
+        // still wins.
+        assert_eq!(cloud.min_distance(), 3.0);
+        let single = PointCloud::from_points(&[[1.0]]);
+        assert_eq!(single.min_distance(), f64::INFINITY);
+    }
+
     proptest! {
         #[test]
         fn partition_is_always_a_permutation(n in 1usize..400, dim in 1usize..4, leaf in 1usize..64) {
             let mut rng = StdRng::seed_from_u64(n as u64 * 31 + dim as u64);
             let cloud = uniform_cube_points(&mut rng, n, dim);
-            let part = partition_points(&cloud, leaf);
+            let part = partition_points(&cloud, leaf).unwrap();
             let mut sorted = part.perm.clone();
             sorted.sort_unstable();
             prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
@@ -289,10 +441,22 @@ mod tests {
         }
 
         #[test]
+        fn min_distance_sweep_is_bitwise_exhaustive(n in 2usize..200, dim in 1usize..4) {
+            let mut rng = StdRng::seed_from_u64(n as u64 * 131 + dim as u64);
+            let cloud = uniform_cube_points(&mut rng, n, dim);
+            // The sweep minimizes over the same multiset of distances as
+            // the double loop, so the answers are bitwise identical.
+            prop_assert_eq!(
+                cloud.min_distance().to_bits(),
+                cloud.min_distance_exhaustive().to_bits()
+            );
+        }
+
+        #[test]
         fn leaves_are_geometrically_tighter_than_root(n in 64usize..300) {
             let mut rng = StdRng::seed_from_u64(n as u64);
             let cloud = uniform_cube_points(&mut rng, n, 2);
-            let part = partition_points(&cloud, 8);
+            let part = partition_points(&cloud, 8).unwrap();
             prop_assume!(part.tree.levels() >= 1);
             // Diameter of each level-1 cluster along the split axis is at
             // most the root diameter (sanity of the bisection).

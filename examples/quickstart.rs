@@ -26,7 +26,7 @@ fn main() {
     //    recursive bisection so off-diagonal blocks are low rank.
     let mut rng = StdRng::seed_from_u64(7);
     let cloud = uniform_cube_points(&mut rng, n, 3);
-    let part = partition_points(&cloud, 64);
+    let part = partition_points(&cloud, 64).expect("non-empty cloud");
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 1.0 }, &part.points, 1.0);
 

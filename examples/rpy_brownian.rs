@@ -21,7 +21,10 @@ fn main() {
         .expect("adopting the RPY matrix");
     println!(
         "rank profile (level 1 -> leaves): {:?}",
-        hodlr.matrix().rank_profile()
+        hodlr
+            .matrix()
+            .expect("built in working precision")
+            .rank_profile()
     );
 
     // Force vector: unit force in x on every particle.
@@ -42,7 +45,8 @@ fn main() {
     );
 
     let start = Instant::now();
-    let lib = HodlrlibStyleSolver::factorize(hodlr.matrix()).expect("factorization");
+    let lib = HodlrlibStyleSolver::factorize(hodlr.matrix().expect("built in working precision"))
+        .expect("factorization");
     let t_factor_lib = start.elapsed().as_secs_f64();
     let start = Instant::now();
     let x_lib = lib.solve(&b);

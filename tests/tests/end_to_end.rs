@@ -23,7 +23,7 @@ fn all_solvers_agree_on_a_kernel_matrix() {
     let n = 600;
     let mut rng = StdRng::seed_from_u64(1);
     let cloud = uniform_cube_points(&mut rng, n, 3);
-    let part = partition_points(&cloud, 48);
+    let part = partition_points(&cloud, 48).unwrap();
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.8 }, &part.points, 2.0);
     // The façade is the front door: one builder, backends by enum value.
@@ -33,7 +33,7 @@ fn all_solvers_agree_on_a_kernel_matrix() {
         .tolerance(1e-10)
         .build()
         .unwrap();
-    let matrix = hodlr.matrix();
+    let matrix = hodlr.matrix().expect("full-precision store");
 
     let dense = source.to_dense();
     let b: Vec<f64> = (0..n).map(|i| (0.1 * i as f64).cos()).collect();
@@ -83,7 +83,7 @@ fn rpy_kernel_system_solves_accurately() {
     let particles = 400;
     let mut rng = StdRng::seed_from_u64(2);
     let cloud = uniform_cube_points(&mut rng, particles, 3);
-    let part = partition_points(&cloud, 24);
+    let part = partition_points(&cloud, 24).unwrap();
     let kernel = RpyKernel::paper_benchmark(part.points.min_distance());
     let source = RpyMatrixSource::new(kernel, &part.points);
     let n = 3 * particles;

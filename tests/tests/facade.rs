@@ -119,13 +119,18 @@ fn facade_solves_match_direct_backend_calls_bitwise() {
         .unwrap();
 
     // Pre-redesign serial spelling: factorize_serial + solve.
-    let direct_serial = hodlr.matrix().factorize_serial().unwrap().solve(&b);
+    let direct_serial = hodlr
+        .matrix()
+        .unwrap()
+        .factorize_serial()
+        .unwrap()
+        .solve(&b);
     let facade_serial = hodlr.factorize().unwrap().solve(&b).unwrap();
     assert_eq!(facade_serial, direct_serial, "serial path must be bitwise");
 
     // Pre-redesign batched spelling: GpuSolver::new + factorize + solve.
     let device = Device::new();
-    let mut gpu = GpuSolver::new(&device, hodlr.matrix());
+    let mut gpu = GpuSolver::new(&device, hodlr.matrix().unwrap());
     gpu.factorize().unwrap();
     let direct_gpu = gpu.solve(&b).unwrap();
     let batched = Hodlr::builder()
@@ -429,7 +434,13 @@ fn hodlr_matrix_implements_factorize_directly() {
         .build()
         .unwrap();
     let b = rhs_f64(n);
-    let via_matrix = hodlr.matrix().factorize().unwrap().solve(&b).unwrap();
+    let via_matrix = hodlr
+        .matrix()
+        .unwrap()
+        .factorize()
+        .unwrap()
+        .solve(&b)
+        .unwrap();
     let via_handle = hodlr.factorize().unwrap().solve(&b).unwrap();
     assert_eq!(via_matrix, via_handle);
 }
@@ -482,7 +493,194 @@ fn unfactorized_gpu_solver_is_a_typed_error_through_the_trait() {
         .build()
         .unwrap();
     let device = Device::new();
-    let gpu = GpuSolver::new(&device, hodlr.matrix());
+    let gpu = GpuSolver::new(&device, hodlr.matrix().unwrap());
     let err = Solve::solve(&gpu, &rhs_f64(n)).unwrap_err();
     assert!(matches!(err, HodlrError::NotFactorized), "{err}");
+}
+
+/// The build peak is metered on every facade build and a generous memory
+/// budget does not change the result bitwise.
+#[test]
+fn memory_budget_meters_peaks_and_is_bitwise_invisible() {
+    let n = 256;
+    let source = kernel_source(n);
+    let unbudgeted = Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-10)
+        .build()
+        .unwrap();
+    assert!(unbudgeted.build_peak_bytes() > 0, "build was not metered");
+    assert!(unbudgeted.build_peak_bytes() >= unbudgeted.storage_bytes());
+
+    let budgeted = Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-10)
+        .memory_budget(1 << 30)
+        .build()
+        .unwrap();
+    let a = unbudgeted.matrix().expect("working precision");
+    let b = budgeted.matrix().expect("working precision");
+    assert_eq!(a.rank_profile(), b.rank_profile());
+    let bits =
+        |m: &DenseMatrix<f64>| -> Vec<u64> { m.data().iter().map(|v| v.to_bits()).collect() };
+    assert_eq!(bits(a.ubig()), bits(b.ubig()));
+}
+
+/// An impossible budget fails the build with the typed error carrying the
+/// budget and the size that broke it.
+#[test]
+fn exhausted_memory_budget_is_a_typed_error() {
+    let n = 512;
+    let source = kernel_source(n);
+    let err = Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-10)
+        .memory_budget(4 * 1024)
+        .build()
+        .err()
+        .expect("budget must fail the build");
+    match err {
+        HodlrError::BudgetExceeded {
+            budget_bytes,
+            needed_bytes,
+            ..
+        } => {
+            assert_eq!(budget_bytes, 4 * 1024);
+            assert!(needed_bytes > budget_bytes);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+}
+
+/// Compact (`f32`-storage) builds halve the stored bytes, hide the
+/// working-precision matrix, and still solve to working accuracy through
+/// iterative refinement.
+#[test]
+fn compact_storage_halves_bytes_and_refines_to_working_accuracy() {
+    let n = 384;
+    let source = kernel_source(n);
+    let full = Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-10)
+        .build()
+        .unwrap();
+    let compact = Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-10)
+        .factor_precision(FactorPrecision::CompactLower)
+        .build()
+        .unwrap();
+    assert!(compact.is_compact());
+    assert!(!full.is_compact());
+    assert!(compact.matrix().is_none());
+    assert_eq!(compact.n(), n);
+    assert!(compact.max_rank() > 0);
+    // f32 entries: exactly half the bytes of the same-shape f64 store
+    // would be ideal; ranks can differ slightly at f32 tolerance, so
+    // assert a strict reduction with headroom.
+    assert!(
+        2 * compact.storage_bytes() <= full.storage_bytes() + full.storage_bytes() / 4,
+        "compact {} vs full {}",
+        compact.storage_bytes(),
+        full.storage_bytes()
+    );
+    assert!(compact.storage_bytes() < full.storage_bytes());
+    assert!(compact.build_peak_bytes() > 0);
+
+    let b = rhs_f64(n);
+    for backend in [Backend::Serial, Backend::Batched] {
+        let compact = Hodlr::builder()
+            .source(&source)
+            .leaf_size(32)
+            .tolerance(1e-10)
+            .backend(backend)
+            .factor_precision(FactorPrecision::CompactLower)
+            .build()
+            .unwrap();
+        let f = compact.factorize().unwrap();
+        let x = f.solve(&b).unwrap();
+        let relres = compact.relative_residual(&x, &b);
+        assert!(
+            relres < 1e-9,
+            "{backend:?}: refinement left relres {relres}"
+        );
+    }
+}
+
+/// Compact storage is rejected, typed, where it cannot work: f32 scalars
+/// (no lower precision to demote to), symmetric structure-exploiting
+/// builds, and adopted working-precision matrices.
+#[test]
+fn compact_storage_rejections_are_typed() {
+    let n = 128;
+    let source_f32 = ClosureSource::new(n, n, move |i: usize, j: usize| {
+        let k = 1.0f32 / (1.0 + (i as f32 - j as f32).abs() / 8.0);
+        if i == j {
+            k + 4.0
+        } else {
+            k
+        }
+    });
+    let err = Hodlr::builder()
+        .source(&source_f32)
+        .leaf_size(32)
+        .tolerance(1e-5)
+        .factor_precision(FactorPrecision::CompactLower)
+        .build()
+        .err()
+        .expect("f32 compact build must fail");
+    assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err:?}");
+
+    let source = kernel_source(n);
+    let err = Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-10)
+        .symmetry(Symmetry::Hermitian)
+        .factor_precision(FactorPrecision::CompactLower)
+        .build()
+        .err()
+        .expect("symmetric compact build must fail");
+    assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err:?}");
+
+    let matrix = Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-10)
+        .build()
+        .unwrap()
+        .into_matrix()
+        .unwrap();
+    let err = Hodlr::builder()
+        .matrix(matrix)
+        .factor_precision(FactorPrecision::CompactLower)
+        .build()
+        .err()
+        .expect("adopted-matrix compact build must fail");
+    assert!(matches!(err, HodlrError::InvalidConfig { .. }), "{err:?}");
+}
+
+/// Complex compact storage (Complex64 stored as Complex32) works through
+/// the same refinement path.
+#[test]
+fn compact_storage_supports_complex_scalars() {
+    let n = 256;
+    let source = complex_source(n);
+    let compact = Hodlr::builder()
+        .source(&source)
+        .leaf_size(32)
+        .tolerance(1e-8)
+        .factor_precision(FactorPrecision::CompactLower)
+        .build()
+        .unwrap();
+    assert!(compact.is_compact());
+    let b = rhs_c64(n);
+    let f = compact.factorize().unwrap();
+    let x = f.solve(&b).unwrap();
+    assert!(compact.relative_residual(&x, &b) < 1e-9);
 }

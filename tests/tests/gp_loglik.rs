@@ -62,7 +62,7 @@ fn log_det_parity_with_asymmetric_sibling_ranks() {
         .method(CompressionMethod::TruncatedSvd)
         .build()
         .unwrap();
-    let matrix = hodlr.matrix();
+    let matrix = hodlr.matrix().expect("full-precision store");
     let (alpha, beta) = matrix.tree().children(matrix.tree().root()).unwrap();
     assert_ne!(
         matrix.node_rank(alpha),

@@ -139,7 +139,7 @@ fn shift_invert_agrees_with_the_dense_oracle() {
     };
     let got = shift_invert_report(&hodlr, &factorization, 0.0, K, &cfg).unwrap();
 
-    let evd = symmetric_evd(&hodlr.matrix().to_dense()).unwrap();
+    let evd = symmetric_evd(&hodlr.matrix().unwrap().to_dense()).unwrap();
     let scale = evd.values[N - 1].abs();
     for (i, &value) in got.values.iter().enumerate() {
         assert!(

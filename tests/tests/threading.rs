@@ -29,7 +29,7 @@ const NRHS: usize = 3;
 fn test_matrix() -> HodlrMatrix<f64> {
     let mut rng = StdRng::seed_from_u64(42);
     let cloud = uniform_cube_points(&mut rng, N, 3);
-    let part = partition_points(&cloud, 48);
+    let part = partition_points(&cloud, 48).unwrap();
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.8 }, &part.points, 2.0);
     build_from_source(&source, part.tree, &CompressionConfig::with_tol(1e-10)).unwrap()
@@ -113,7 +113,7 @@ fn pipeline_is_bitwise_deterministic_across_thread_counts() {
 fn test_matrix_symmetric() -> HodlrMatrix<f64> {
     let mut rng = StdRng::seed_from_u64(42);
     let cloud = uniform_cube_points(&mut rng, N, 3);
-    let part = partition_points(&cloud, 48);
+    let part = partition_points(&cloud, 48).unwrap();
     let source =
         ScalarKernelSource::with_shift(GaussianKernel { length_scale: 0.8 }, &part.points, 2.0);
     build_from_source_symmetric(&source, part.tree, &CompressionConfig::with_tol(1e-10)).unwrap()
@@ -389,7 +389,7 @@ fn threading_speedup_on_multicore() {
         pool.install(|| {
             let mut rng = StdRng::seed_from_u64(7);
             let cloud = uniform_cube_points(&mut rng, 4096, 3);
-            let part = partition_points(&cloud, 64);
+            let part = partition_points(&cloud, 64).unwrap();
             let source = ScalarKernelSource::with_shift(
                 GaussianKernel { length_scale: 0.8 },
                 &part.points,
@@ -410,4 +410,41 @@ fn threading_speedup_on_multicore() {
         tn < 0.8 * t1,
         "expected speedup over 1 thread: t1 = {t1:.3}s, t{threads} = {tn:.3}s"
     );
+}
+
+/// The scale-out path end to end — shuffled 3-D surface cloud, spatial
+/// partitioning, streaming budgeted facade build, factorization, solve —
+/// is bitwise identical in 1-, 2- and 8-thread pools, at both storage
+/// precisions.
+#[test]
+fn surface_scale_pipeline_is_bitwise_deterministic_across_thread_counts() {
+    use hodlr::prelude::*;
+    use hodlr_bie::LaplaceSurfaceSource;
+
+    let run = |threads: usize, precision: FactorPrecision| -> Vec<u64> {
+        let cloud = hodlr_bie::fibonacci_sphere_cloud(400);
+        let source = LaplaceSurfaceSource::new(&cloud, 32).unwrap();
+        let tree = source.tree().clone();
+        let hodlr = Hodlr::builder()
+            .source(&source)
+            .tree(tree)
+            .tolerance(1e-8)
+            .memory_budget(256 << 20)
+            .factor_precision(precision)
+            .threads(threads)
+            .build()
+            .unwrap();
+        let f = hodlr.factorize().unwrap();
+        let b: Vec<f64> = (0..400).map(|i| (0.21 * i as f64).sin() + 1.5).collect();
+        let x = f.solve(&b).unwrap();
+        let mut sig: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        sig.push(hodlr.storage_bytes());
+        sig.push(hodlr.build_peak_bytes());
+        sig
+    };
+    for precision in [FactorPrecision::Working, FactorPrecision::CompactLower] {
+        let sigs: Vec<Vec<u64>> = [1usize, 2, 8].map(|t| run(t, precision)).to_vec();
+        assert_eq!(sigs[0], sigs[1], "{precision:?}: 1 vs 2 threads");
+        assert_eq!(sigs[1], sigs[2], "{precision:?}: 2 vs 8 threads");
+    }
 }
